@@ -1,0 +1,124 @@
+//===- Harness.cpp --------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace concord;
+using namespace concord::bench;
+using namespace concord::workloads;
+
+const char *concord::bench::GpuConfigNames[NumGpuConfigs] = {
+    "GPU", "GPU+PTROPT", "GPU+L3OPT", "GPU+ALL"};
+
+transforms::PipelineOptions concord::bench::gpuConfig(unsigned Index) {
+  switch (Index) {
+  case 0:
+    return transforms::PipelineOptions::gpuBaseline();
+  case 1:
+    return transforms::PipelineOptions::gpuPtrOpt();
+  case 2:
+    return transforms::PipelineOptions::gpuL3Opt();
+  default:
+    return transforms::PipelineOptions::gpuAll();
+  }
+}
+
+std::vector<WorkloadRow>
+concord::bench::runMatrix(const gpusim::MachineConfig &Machine,
+                          unsigned Scale, bool Verbose) {
+  std::vector<WorkloadRow> Rows;
+  for (auto &W : allWorkloads()) {
+    WorkloadRow Row;
+    Row.Name = W->name();
+    if (Verbose)
+      std::fprintf(stderr, "  [%s] %s ...\n", Machine.Name.c_str(),
+                   W->name());
+
+    svm::SharedRegion Region(256 << 20);
+    Runtime RT(Machine, Region);
+    if (!W->setup(Region, Scale)) {
+      Row.Error = "setup failed (out of shared memory?)";
+      Rows.push_back(Row);
+      continue;
+    }
+
+    auto RunOne = [&](bool OnCpu, double *Sec, double *Joules) {
+      WorkloadRun Run = W->run(RT, OnCpu);
+      if (!Run.Ok) {
+        Row.Error = Run.Error;
+        return false;
+      }
+      std::string VerifyError;
+      if (!W->verify(&VerifyError)) {
+        Row.Error = VerifyError;
+        return false;
+      }
+      *Sec = Run.Seconds;
+      *Joules = Run.Joules;
+      return true;
+    };
+
+    bool Ok = RunOne(/*OnCpu=*/true, &Row.CpuSeconds, &Row.CpuJoules);
+    for (unsigned C = 0; Ok && C < NumGpuConfigs; ++C) {
+      RT.setGpuOptions(gpuConfig(C));
+      Ok = RunOne(false, &Row.GpuSeconds[C], &Row.GpuJoules[C]);
+    }
+    Row.Ok = Ok;
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+double concord::bench::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double LogSum = 0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / double(Values.size()));
+}
+
+static void printRatioTable(const std::vector<WorkloadRow> &Rows,
+                            const std::string &Title, bool Energy) {
+  std::printf("\n%s\n", Title.c_str());
+  std::printf("%-20s", "workload");
+  for (const char *Name : GpuConfigNames)
+    std::printf(" %12s", Name);
+  std::printf("\n");
+  std::printf("%s\n", std::string(20 + 13 * NumGpuConfigs, '-').c_str());
+
+  std::vector<double> PerConfig[NumGpuConfigs];
+  for (const WorkloadRow &Row : Rows) {
+    std::printf("%-20s", Row.Name.c_str());
+    if (!Row.Ok) {
+      std::printf("  FAILED: %s\n", Row.Error.c_str());
+      continue;
+    }
+    for (unsigned C = 0; C < NumGpuConfigs; ++C) {
+      double Ratio = Energy ? Row.energySaving(C) : Row.speedup(C);
+      PerConfig[C].push_back(Ratio);
+      std::printf(" %11.2fx", Ratio);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-20s", "geomean");
+  for (unsigned C = 0; C < NumGpuConfigs; ++C)
+    std::printf(" %11.2fx", geomean(PerConfig[C]));
+  std::printf("\n");
+}
+
+void concord::bench::printSpeedupTable(const std::vector<WorkloadRow> &Rows,
+                                       const std::string &Title) {
+  printRatioTable(Rows, Title + "\n(speedup vs multicore CPU; >1 = GPU "
+                                "faster)",
+                  /*Energy=*/false);
+}
+
+void concord::bench::printEnergyTable(const std::vector<WorkloadRow> &Rows,
+                                      const std::string &Title) {
+  printRatioTable(Rows, Title + "\n(package-energy savings vs multicore "
+                                "CPU; >1 = GPU saves energy)",
+                  /*Energy=*/true);
+}

@@ -1,0 +1,65 @@
+//===- Harness.h - Shared benchmark harness ---------------------*- C++ -*-===//
+///
+/// \file
+/// Runs the nine workloads across the paper's device/optimization matrix
+/// and prints figure-style tables. Each figure binary (fig7..fig10) runs
+/// the matrix for its machine and reports either speedups or energy
+/// savings relative to multicore-CPU execution, for the four GPU
+/// configurations GPU / GPU+PTROPT / GPU+L3OPT / GPU+ALL - exactly the
+/// bars of Figures 7-10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_BENCH_HARNESS_H
+#define CONCORD_BENCH_HARNESS_H
+
+#include "workloads/Workload.h"
+
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace bench {
+
+constexpr unsigned NumGpuConfigs = 4;
+extern const char *GpuConfigNames[NumGpuConfigs];
+
+transforms::PipelineOptions gpuConfig(unsigned Index);
+
+struct WorkloadRow {
+  std::string Name;
+  bool Ok = false;
+  std::string Error;
+  double CpuSeconds = 0, CpuJoules = 0;
+  double GpuSeconds[NumGpuConfigs] = {};
+  double GpuJoules[NumGpuConfigs] = {};
+
+  double speedup(unsigned C) const {
+    return GpuSeconds[C] > 0 ? CpuSeconds / GpuSeconds[C] : 0;
+  }
+  double energySaving(unsigned C) const {
+    return GpuJoules[C] > 0 ? CpuJoules / GpuJoules[C] : 0;
+  }
+};
+
+/// Runs CPU + all four GPU configurations for every workload on
+/// \p Machine. Verifies results after every run; failures are reported in
+/// the row. \p Scale scales problem sizes.
+std::vector<WorkloadRow> runMatrix(const gpusim::MachineConfig &Machine,
+                                   unsigned Scale = 1, bool Verbose = true);
+
+/// Prints the Figure 7/9-style speedup table (one row per workload, one
+/// column per GPU configuration) plus the geometric mean row.
+void printSpeedupTable(const std::vector<WorkloadRow> &Rows,
+                       const std::string &Title);
+
+/// Prints the Figure 8/10-style energy-savings table.
+void printEnergyTable(const std::vector<WorkloadRow> &Rows,
+                      const std::string &Title);
+
+double geomean(const std::vector<double> &Values);
+
+} // namespace bench
+} // namespace concord
+
+#endif // CONCORD_BENCH_HARNESS_H

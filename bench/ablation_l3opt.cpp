@@ -1,0 +1,103 @@
+//===- ablation_l3opt.cpp - Cache-line contention model/transform sweep ---===//
+//
+// DESIGN.md ablation for the section 4.2 transformation: a pure Figure-5
+// streaming kernel (every work-item scans the same array) run with and
+// without L3OPT, across a sweep of the simulator's contention penalty.
+// Shows (a) the contention events L3OPT removes and (b) where the
+// transformation's add/compare/select overhead crosses over.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include <cstdio>
+
+using namespace concord;
+
+namespace {
+
+const char *streamSource() {
+  return R"(
+    class StreamBody {
+    public:
+      float* a;
+      float* out;
+      int n;
+      void operator()(int i) {
+        float acc = 0.0f;
+        for (int j = 0; j < n; j++)
+          acc += a[j];
+        out[i] = acc + (float)i;
+      }
+    };
+  )";
+}
+
+struct StreamBits {
+  float *A;
+  float *Out;
+  int32_t N;
+};
+
+} // namespace
+
+int main() {
+  constexpr int Items = 16384;
+  constexpr int ArrayLen = 512;
+
+  std::printf("L3OPT ablation: Figure-5 streaming kernel, %d items scanning "
+              "a %d-float array (Ultrabook GPU)\n",
+              Items, ArrayLen);
+  std::printf("%12s %10s %12s %12s %10s\n", "contention", "l3opt",
+              "device-ms", "cont-events", "speedup");
+  std::printf("%s\n", std::string(62, '-').c_str());
+
+  runtime::KernelSpec Spec{streamSource(), "StreamBody"};
+  for (double Penalty : {0.0, 4.0, 8.0, 16.0, 32.0}) {
+    double BaseMs = 0;
+    for (bool UseL3 : {false, true}) {
+      svm::SharedRegion Region(32 << 20);
+      auto Machine = gpusim::MachineConfig::ultrabook();
+      Machine.Gpu.ContentionPenalty = Penalty;
+      Runtime RT(Machine, Region);
+      auto Opts = UseL3 ? transforms::PipelineOptions::gpuL3Opt()
+                        : transforms::PipelineOptions::gpuBaseline();
+      RT.setGpuOptions(Opts);
+
+      auto *A = Region.allocArray<float>(ArrayLen);
+      auto *Out = Region.allocArray<float>(Items);
+      for (int I = 0; I < ArrayLen; ++I)
+        A[I] = float(I % 7);
+      auto *Body = Region.create<StreamBits>();
+      *Body = {A, Out, ArrayLen};
+
+      LaunchReport Rep = RT.offload(Spec, Items, Body, /*OnCpu=*/false);
+      if (!Rep.Ok) {
+        std::printf("FAILED: %s\n", Rep.Diagnostics.c_str());
+        return 1;
+      }
+      // Sanity: every item computed the same scan sum.
+      float Want = 0;
+      for (int I = 0; I < ArrayLen; ++I)
+        Want += float(I % 7);
+      for (int I = 0; I < Items; ++I)
+        if (Out[I] != Want + float(I)) {
+          std::printf("MISMATCH at %d\n", I);
+          return 1;
+        }
+
+      double Ms = Rep.Sim.Seconds * 1e3;
+      if (!UseL3)
+        BaseMs = Ms;
+      std::printf("%12.0f %10s %12.3f %12llu %9.2fx\n", Penalty,
+                  UseL3 ? "on" : "off", Ms,
+                  (unsigned long long)Rep.Sim.ContentionEvents,
+                  UseL3 ? BaseMs / Ms : 1.0);
+    }
+  }
+  std::printf("\nexpected: L3OPT removes most cross-EU same-line contention "
+              "events; it pays off once the hardware's contention penalty "
+              "outweighs the rotation arithmetic (the paper found it "
+              "roughly neutral alone, +1%% combined with PTROPT)\n");
+  return 0;
+}

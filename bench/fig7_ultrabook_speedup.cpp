@@ -1,0 +1,29 @@
+//===- fig7_ultrabook_speedup.cpp - Figure 7 reproduction -----------------===//
+//
+// Figure 7: runtime performance of the nine workloads on the Ultrabook
+// (i7-4650U + HD Graphics 5000, 15 W), relative to multicore CPU
+// execution, for GPU / GPU+PTROPT / GPU+L3OPT / GPU+ALL.
+//
+// Paper results (GPU+ALL): speedups 1.11x..9.88x, average 2.5x; Raytracer
+// best (9.88x) as the least irregular workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+using namespace concord;
+using namespace concord::bench;
+
+int main() {
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  auto Rows = runMatrix(Machine);
+  printSpeedupTable(Rows,
+                    "Figure 7: Ultrabook (2C i7-4650U vs 40-EU HD 5000) "
+                    "runtime speedup");
+  std::printf("\npaper (GPU+ALL): range 1.11x-9.88x, avg 2.5x, Raytracer "
+              "best\n");
+  for (const WorkloadRow &Row : Rows)
+    if (!Row.Ok)
+      return 1;
+  return 0;
+}

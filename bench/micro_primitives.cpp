@@ -1,0 +1,120 @@
+//===- micro_primitives.cpp - google-benchmark micro-benchmarks -----------===//
+//
+// Hot-primitive microbenchmarks: the SVM allocator, pointer translation,
+// binding-table resolution, the cache model, kernel JIT compilation, and
+// end-to-end tiny-kernel dispatch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concord/Concord.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace concord;
+
+static void BM_SvmAllocateFree(benchmark::State &State) {
+  svm::SharedRegion Region(64 << 20);
+  for (auto _ : State) {
+    void *P = Region.allocate(256);
+    benchmark::DoNotOptimize(P);
+    Region.deallocate(P);
+  }
+}
+BENCHMARK(BM_SvmAllocateFree);
+
+static void BM_SvmAllocateFreeFragmented(benchmark::State &State) {
+  svm::SharedRegion Region(64 << 20);
+  // Build fragmentation: many live blocks with gaps.
+  std::vector<void *> Live;
+  for (int I = 0; I < 1000; ++I) {
+    void *A = Region.allocate(128);
+    void *B = Region.allocate(128);
+    Live.push_back(A);
+    Region.deallocate(B);
+  }
+  for (auto _ : State) {
+    void *P = Region.allocate(64);
+    benchmark::DoNotOptimize(P);
+    Region.deallocate(P);
+  }
+  for (void *P : Live)
+    Region.deallocate(P);
+}
+BENCHMARK(BM_SvmAllocateFreeFragmented);
+
+static void BM_PointerTranslation(benchmark::State &State) {
+  svm::SharedRegion Region(1 << 20);
+  uint64_t Addr = Region.cpuBase() + 4096;
+  for (auto _ : State) {
+    uint64_t Gpu = Region.gpuFromCpu(Addr);
+    benchmark::DoNotOptimize(Gpu);
+    Addr = Region.cpuFromGpu(Gpu);
+    benchmark::DoNotOptimize(Addr);
+  }
+}
+BENCHMARK(BM_PointerTranslation);
+
+static void BM_BindingTableResolve(benchmark::State &State) {
+  svm::SharedRegion Region(8 << 20);
+  svm::BindingTable BT(Region);
+  uint64_t Addr = Region.gpuBase() + 64 * 1024;
+  for (auto _ : State) {
+    void *Host = BT.resolve(Addr, 8);
+    benchmark::DoNotOptimize(Host);
+    Addr = Region.gpuBase() + ((Addr + 64) & ((8 << 20) - 1));
+  }
+}
+BENCHMARK(BM_BindingTableResolve);
+
+static void BM_CacheModelAccess(benchmark::State &State) {
+  gpusim::CacheConfig Cfg{256 << 10, 64, 16};
+  gpusim::CacheModel Cache(Cfg);
+  uint64_t Line = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Cache.access(Line));
+    Line = (Line * 2862933555777941757ull + 3037000493ull) % 16384;
+  }
+}
+BENCHMARK(BM_CacheModelAccess);
+
+static const char *TinyKernel = R"(
+  class Tiny {
+  public:
+    float* data;
+    void operator()(int i) { data[i] = data[i] * 2.0f + 1.0f; }
+  };
+)";
+
+static void BM_KernelJitCompile(benchmark::State &State) {
+  // Fresh runtime per iteration so the program cache never hits.
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  for (auto _ : State) {
+    svm::SharedRegion Region(4 << 20);
+    Runtime RT(Machine, Region);
+    codegen::OpMixStats Stats;
+    bool Ok = RT.staticStats({TinyKernel, "Tiny"}, &Stats);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_KernelJitCompile)->Unit(benchmark::kMicrosecond);
+
+static void BM_TinyKernelDispatch(benchmark::State &State) {
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  svm::SharedRegion Region(16 << 20);
+  Runtime RT(Machine, Region);
+  auto *Data = Region.allocArray<float>(1024);
+  struct Bits {
+    float *Data;
+  };
+  auto *Body = Region.create<Bits>();
+  Body->Data = Data;
+  // Warm the JIT cache.
+  RT.offload({TinyKernel, "Tiny"}, 1024, Body, false);
+  for (auto _ : State) {
+    LaunchReport Rep = RT.offload({TinyKernel, "Tiny"}, 1024, Body, false);
+    benchmark::DoNotOptimize(Rep.Sim.Cycles);
+  }
+}
+BENCHMARK(BM_TinyKernelDispatch)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,219 @@
+//===- sec54_svm_overhead.cpp - Section 5.4 reproduction ------------------===//
+//
+// The paper measures software-SVM overhead by hand-porting the Raytracer
+// to OpenCL 1.2: the pointer-based scene graph is flattened into linear
+// arrays indexed by integers (no shared pointers, no virtual dispatch),
+// and the host marshals the data into buffers. The finding: "negligible
+// overhead for small images ... for even the largest image size only a
+// 6% overhead".
+//
+// This binary renders the same scene both ways across an image-size sweep
+// and reports overhead = (concord - flattened) / flattened, verifying the
+// two renderers agree pixel for pixel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+using namespace concord;
+
+namespace {
+
+/// Pointer-based Concord version: Shape objects with virtual intersect.
+struct ConcordShape {
+  uint64_t VPtr;
+  float Cx, Cy, Cz, R;
+};
+
+const char *concordSource() {
+  return R"(
+    class Shape {
+    public:
+      float cx; float cy; float cz; float r;
+      virtual float intersect(float dx, float dy, float dz) = 0;
+    };
+    class Sphere : public Shape {
+    public:
+      virtual float intersect(float dx, float dy, float dz) {
+        float b = cx*dx + cy*dy + cz*dz;
+        float c = cx*cx + cy*cy + cz*cz - r*r;
+        float disc = b*b - c;
+        if (disc < 0.0f) return -1.0f;
+        return b - sqrtf(disc);
+      }
+    };
+    class ConcordRay {
+    public:
+      Shape** objects;
+      float* image;
+      int numObjects;
+      int width;
+      void operator()(int i) {
+        int px = i % width;
+        int py = i / width;
+        float dx = ((float)px / (float)width - 0.5f) * 1.5f;
+        float dy = ((float)py / (float)width - 0.4f) * 1.5f;
+        float dz = 1.0f;
+        float inv = rsqrtf(dx*dx + dy*dy + dz*dz);
+        dx *= inv; dy *= inv; dz *= inv;
+        float best = 1.0e9f;
+        for (int o = 0; o < numObjects; o++) {
+          float t = objects[o]->intersect(dx, dy, dz);
+          if (t > 0.001f && t < best) best = t;
+        }
+        image[i] = best < 1.0e9f ? 1.0f / (1.0f + best * 0.3f) : 0.0f;
+      }
+    };
+  )";
+}
+
+/// OpenCL-1.2-style version: the scene graph flattened to SoA arrays,
+/// objects referenced by integer index (what the paper's hand port did).
+const char *flatSource() {
+  return R"(
+    class Rec {
+    public:
+      float cx; float cy; float cz; float r;
+    };
+    class FlatRay {
+    public:
+      int* index;           // scene-graph order -> record slot
+      Rec* recs;            // flattened scene records (AoS buffer)
+      float* image;
+      int numObjects;
+      int width;
+      void operator()(int i) {
+        int px = i % width;
+        int py = i / width;
+        float dx = ((float)px / (float)width - 0.5f) * 1.5f;
+        float dy = ((float)py / (float)width - 0.4f) * 1.5f;
+        float dz = 1.0f;
+        float inv = rsqrtf(dx*dx + dy*dy + dz*dz);
+        dx *= inv; dy *= inv; dz *= inv;
+        float best = 1.0e9f;
+        for (int o = 0; o < numObjects; o++) {
+          int k = index[o];
+          Rec* rc = &recs[k];
+          float b = rc->cx*dx + rc->cy*dy + rc->cz*dz;
+          float c = rc->cx*rc->cx + rc->cy*rc->cy + rc->cz*rc->cz
+                    - rc->r*rc->r;
+          float disc = b*b - c;
+          if (disc >= 0.0f) {
+            float t = b - sqrtf(disc);
+            if (t > 0.001f && t < best) best = t;
+          }
+        }
+        image[i] = best < 1.0e9f ? 1.0f / (1.0f + best * 0.3f) : 0.0f;
+      }
+    };
+  )";
+}
+
+} // namespace
+
+int main() {
+  constexpr int NumObjects = 64;
+  std::printf("Section 5.4: software-SVM overhead, Concord raytracer vs "
+              "hand-flattened OpenCL-1.2-style port\n");
+  std::printf("%8s %14s %14s %10s\n", "image", "concord-ms", "flat-ms",
+              "overhead");
+
+  bool AllOk = true;
+  double LargestOverhead = 0;
+  for (int Size : {64, 96, 128, 192}) {
+    svm::SharedRegion Region(128 << 20);
+    auto Machine = gpusim::MachineConfig::ultrabook();
+    Runtime RT(Machine, Region);
+    int N = Size * Size;
+    std::mt19937_64 Rng(5);
+    std::uniform_real_distribution<float> U(-1.0f, 1.0f);
+
+    // Shared scene parameters.
+    std::vector<std::array<float, 4>> Params(NumObjects);
+    for (auto &P : Params)
+      P = {U(Rng) * 2, U(Rng), 3.0f + U(Rng) * 2, 0.2f + 0.1f * U(Rng)};
+
+    // Concord version: pointer graph + virtual dispatch.
+    runtime::KernelSpec CSpec{concordSource(), "ConcordRay"};
+    auto *Objects = Region.allocArray<ConcordShape *>(NumObjects);
+    for (int O = 0; O < NumObjects; ++O) {
+      auto *S = Region.create<ConcordShape>();
+      *S = {0, Params[O][0], Params[O][1], Params[O][2], Params[O][3]};
+      RT.installVPtrs(CSpec, S, "Sphere");
+      Objects[O] = S;
+    }
+    auto *ImgConcord = Region.allocArray<float>(N);
+    struct CBody {
+      ConcordShape **Objects;
+      float *Image;
+      int32_t NumObjects, Width;
+    };
+    auto *CB = Region.create<CBody>();
+    *CB = {Objects, ImgConcord, NumObjects, Size};
+    LaunchReport CRep = RT.offload(CSpec, N, CB, /*OnCpu=*/false);
+
+    // Flattened version: the paper's port turned the pointer graph into
+    // linear arrays traversed by integer offsets; scene-graph order is an
+    // index array, records an AoS buffer (the marshalling step).
+    struct Rec {
+      float Cx, Cy, Cz, R;
+    };
+    auto *Index = Region.allocArray<int32_t>(NumObjects);
+    auto *Recs = Region.allocArray<Rec>(NumObjects);
+    for (int O = 0; O < NumObjects; ++O) {
+      Index[O] = O;
+      Recs[O] = {Params[O][0], Params[O][1], Params[O][2], Params[O][3]};
+    }
+    auto *ImgFlat = Region.allocArray<float>(N);
+    struct FBody {
+      int32_t *Index;
+      Rec *Recs;
+      float *Image;
+      int32_t NumObjects, Width;
+    };
+    auto *FB = Region.create<FBody>();
+    *FB = {Index, Recs, ImgFlat, NumObjects, Size};
+    runtime::KernelSpec FSpec{flatSource(), "FlatRay"};
+    LaunchReport FRep = RT.offload(FSpec, N, FB, /*OnCpu=*/false);
+
+    if (!CRep.Ok || !FRep.Ok) {
+      std::printf("  FAILED: %s%s\n", CRep.Diagnostics.c_str(),
+                  FRep.Diagnostics.c_str());
+      AllOk = false;
+      continue;
+    }
+    for (int I = 0; I < N; ++I)
+      if (std::fabs(ImgConcord[I] - ImgFlat[I]) > 1e-4f) {
+        std::printf("  MISMATCH at pixel %d (%g vs %g)\n", I, ImgConcord[I],
+                    ImgFlat[I]);
+        AllOk = false;
+        break;
+      }
+    if (getenv("SVM_OVERHEAD_DEBUG"))
+      std::fprintf(stderr,
+                   "size %d: concord warpInst=%llu lines=%llu cont=%llu | "
+                   "flat warpInst=%llu lines=%llu cont=%llu\n",
+                   Size, (unsigned long long)CRep.Sim.WarpInstructions,
+                   (unsigned long long)CRep.Sim.LinesTouched,
+                   (unsigned long long)CRep.Sim.ContentionEvents,
+                   (unsigned long long)FRep.Sim.WarpInstructions,
+                   (unsigned long long)FRep.Sim.LinesTouched,
+                   (unsigned long long)FRep.Sim.ContentionEvents);
+    double Overhead =
+        (CRep.Sim.Seconds - FRep.Sim.Seconds) / FRep.Sim.Seconds;
+    LargestOverhead = std::max(LargestOverhead, Overhead);
+    std::printf("%4dx%-4d %13.3f %13.3f %9.1f%%\n", Size, Size,
+                CRep.Sim.Seconds * 1e3, FRep.Sim.Seconds * 1e3,
+                Overhead * 100.0);
+  }
+  std::printf("\npaper: negligible overhead for small images; ~6%% at the "
+              "largest size (their scene/images are larger)\n");
+  std::printf("largest measured overhead: %.1f%%\n", LargestOverhead * 100);
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+//===- cloth_reduce.cpp - parallel_reduce_hetero on a soft body -----------===//
+//
+// A hanging-cloth step loop built on parallel_reduce_hetero: every
+// timestep integrates the springs *and* reduces the total kinetic energy
+// across all nodes using the Body's join() - the hierarchical local-
+// memory reduction of paper section 3.3. Prints the energy curve as the
+// cloth swings and settles.
+//
+// Build & run:  ./build/examples/cloth_reduce
+//
+//===----------------------------------------------------------------------===//
+
+#include "concord/Concord.h"
+
+#include <cstdio>
+
+using namespace concord;
+
+struct ClothStep {
+  float *Px, *Py;     ///< Positions (2D cloth for brevity).
+  float *Vx, *Vy;     ///< Velocities.
+  float *Nx, *Ny;     ///< New positions (written).
+  int32_t *Pinned;
+  int32_t W;
+  float Energy;       ///< Reduced.
+
+  void operator()(int I) {
+    // Native reference path (unused here; the device path is exercised).
+  }
+  void join(ClothStep &O) { Energy += O.Energy; }
+
+  static const char *kernelSource() {
+    return R"(
+      class ClothStep {
+      public:
+        float* px; float* py;
+        float* vx; float* vy;
+        float* nx; float* ny;
+        int* pinned;
+        int w;
+        float energy;
+        void operator()(int i) {
+          if (pinned[i] == 1) {
+            nx[i] = px[i]; ny[i] = py[i];
+            return;
+          }
+          int x = i % w;
+          int y = i / w;
+          float fx = 0.0f;
+          float fy = -9.8f;
+          // Springs to the 4-neighborhood at rest length 0.05.
+          for (int d = 0; d < 4; d++) {
+            int jx = x; int jy = y;
+            if (d == 0) jx = x - 1;
+            if (d == 1) jx = x + 1;
+            if (d == 2) jy = y - 1;
+            if (d == 3) jy = y + 1;
+            if (jx < 0 || jx >= w || jy < 0 || jy >= w)
+              continue;
+            int j = jy * w + jx;
+            float dx = px[j] - px[i];
+            float dy = py[j] - py[i];
+            float len = sqrtf(dx*dx + dy*dy) + 0.000001f;
+            float f = 60.0f * (len - 0.05f) / len;
+            fx += f * dx;
+            fy += f * dy;
+          }
+          float nvx = (vx[i] + fx * 0.01f) * 0.99f;
+          float nvy = (vy[i] + fy * 0.01f) * 0.99f;
+          vx[i] = nvx; vy[i] = nvy;
+          nx[i] = px[i] + nvx * 0.01f;
+          ny[i] = py[i] + nvy * 0.01f;
+          energy += nvx*nvx + nvy*nvy;
+        }
+        void join(ClothStep& other) { energy += other.energy; }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "ClothStep"; }
+};
+
+int main() {
+  svm::SharedRegion Region(64 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+
+  constexpr int W = 48, N = W * W;
+  auto AllocF = [&] { return Region.allocArray<float>(N); };
+  float *Px = AllocF(), *Py = AllocF(), *Vx = AllocF(), *Vy = AllocF();
+  float *Nx = AllocF(), *Ny = AllocF();
+  auto *Pinned = Region.allocArray<int32_t>(N);
+  for (int I = 0; I < N; ++I) {
+    Px[I] = float(I % W) * 0.05f;
+    Py[I] = -float(I / W) * 0.05f;
+    Vx[I] = Vy[I] = 0;
+    Pinned[I] = I < W ? 1 : 0; // Top row pinned.
+  }
+
+  auto *Body = Region.create<ClothStep>();
+  uint64_t LastBarriers = 0;
+  std::printf("step  kinetic-energy   device-ms\n");
+  for (int Step = 0; Step < 12; ++Step) {
+    *Body = {Px, Py, Vx, Vy, Nx, Ny, Pinned, W, 0.0f};
+    LaunchReport Rep = parallel_reduce_hetero(RT, N, *Body, false);
+    if (!Rep.Ok) {
+      std::fprintf(stderr, "step failed:\n%s\n", Rep.Diagnostics.c_str());
+      return 1;
+    }
+    std::printf("%4d  %14.5f  %9.3f\n", Step, Body->Energy,
+                Rep.Sim.Seconds * 1e3);
+    LastBarriers = Rep.Sim.Barriers;
+    std::swap(Px, Nx);
+    std::swap(Py, Ny);
+  }
+  std::printf("cloth settled; reductions ran as work-group trees with "
+              "%llu barriers in the last step\n",
+              (unsigned long long)LastBarriers);
+  return 0;
+}

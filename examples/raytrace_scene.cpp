@@ -1,0 +1,150 @@
+//===- raytrace_scene.cpp - Virtual dispatch on the GPU, rendered to PPM --===//
+//
+// A small Whitted-style raytracer whose scene objects are C++ classes
+// with *virtual* intersect/normal methods, dispatched on the GPU through
+// vtables materialized in the shared region (paper section 3.2). Writes
+// the rendered image to raytrace_scene.ppm.
+//
+// Build & run:  ./build/examples/raytrace_scene
+//
+//===----------------------------------------------------------------------===//
+
+#include "concord/Concord.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace concord;
+
+/// Host mirror of the kernel's Shape layout: vptr, center, radius/normal,
+/// material. install_vptrs() fills VPtr with the shared-region vtable.
+struct Shape {
+  uint64_t VPtr;
+  float Cx, Cy, Cz;
+  float P0, P1, P2;
+  int32_t Material;
+};
+
+struct RenderBody {
+  Shape **Objects;
+  float *Image;
+  int32_t NumObjects;
+  int32_t Width;
+
+  void operator()(int) {}
+
+  static const char *kernelSource() {
+    return R"(
+      class Shape {
+      public:
+        float cx; float cy; float cz;
+        float p0; float p1; float p2;
+        int material;
+        virtual float intersect(float ox, float oy, float oz,
+                                float dx, float dy, float dz) {
+          return -1.0f;
+        }
+      };
+      class Sphere : public Shape {
+      public:
+        virtual float intersect(float ox, float oy, float oz,
+                                float dx, float dy, float dz) {
+          float mx = cx - ox; float my = cy - oy; float mz = cz - oz;
+          float b = mx*dx + my*dy + mz*dz;
+          float c = mx*mx + my*my + mz*mz - p0*p0;
+          float disc = b*b - c;
+          if (disc < 0.0f) return -1.0f;
+          return b - sqrtf(disc);
+        }
+      };
+      class Floor : public Shape {
+      public:
+        virtual float intersect(float ox, float oy, float oz,
+                                float dx, float dy, float dz) {
+          if (fabsf(dy) < 0.0001f) return -1.0f;
+          return (cy - oy) / dy;
+        }
+      };
+      class RenderBody {
+      public:
+        Shape** objects;
+        float* image;
+        int numObjects;
+        int width;
+        void operator()(int i) {
+          int px = i % width;
+          int py = i / width;
+          float dx = ((float)px / (float)width - 0.5f) * 1.6f;
+          float dy = ((float)py / (float)width - 0.3f) * 1.6f;
+          float dz = 1.0f;
+          float inv = rsqrtf(dx*dx + dy*dy + dz*dz);
+          dx *= inv; dy *= inv; dz *= inv;
+          float best = 1.0e9f;
+          Shape* hit = nullptr;
+          for (int o = 0; o < numObjects; o++) {
+            float t = objects[o]->intersect(0.0f, 1.0f, -4.0f, dx, dy, dz);
+            if (t > 0.001f && t < best) { best = t; hit = objects[o]; }
+          }
+          float shade = 0.1f;
+          if (hit != nullptr)
+            shade = 0.2f + 0.8f / (1.0f + best * 0.2f);
+          image[i] = shade;
+        }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "RenderBody"; }
+};
+
+int main() {
+  svm::SharedRegion Region(64 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  KernelSpec Spec{RenderBody::kernelSource(), RenderBody::kernelClassName()};
+
+  constexpr int W = 200, H = 150, NumShapes = 25;
+  auto *Objects = Region.allocArray<Shape *>(NumShapes);
+  for (int I = 0; I < NumShapes; ++I) {
+    auto *S = Region.create<Shape>();
+    if (I == 0) {
+      *S = {0, 0.f, -0.5f, 0.f, 0.f, 0.f, 0.f, 0};
+      RT.installVPtrs(Spec, S, "Floor");
+    } else {
+      float A = float(I) * 0.7f;
+      *S = {0, std::cos(A) * 2.0f, 0.2f + 0.1f * float(I % 4),
+            2.0f + std::sin(A) * 2.0f, 0.3f, 0, 0, 0};
+      RT.installVPtrs(Spec, S, "Sphere");
+    }
+    Objects[I] = S;
+  }
+
+  auto *Image = Region.allocArray<float>(W * H);
+  auto *Body = Region.create<RenderBody>();
+  *Body = {Objects, Image, NumShapes, W};
+
+  LaunchReport Rep = parallel_for_hetero(RT, W * H, *Body, /*OnCpu=*/false);
+  if (!Rep.Ok) {
+    std::fprintf(stderr, "render failed:\n%s\n", Rep.Diagnostics.c_str());
+    return 1;
+  }
+  std::printf("rendered %dx%d on the simulated GPU: %.2f ms, %.2f mJ, "
+              "%llu virtual dispatches inlined as test chains\n",
+              W, H, Rep.Sim.Seconds * 1e3, Rep.Sim.Joules * 1e3,
+              (unsigned long long)Rep.OptStats.VCallsDevirtualized);
+
+  FILE *F = std::fopen("raytrace_scene.ppm", "w");
+  if (!F)
+    return 1;
+  std::fprintf(F, "P2\n%d %d\n255\n", W, H);
+  for (int Y = H - 1; Y >= 0; --Y) {
+    for (int X = 0; X < W; ++X) {
+      float V = Image[Y * W + X];
+      int G = int(std::fmin(1.0f, std::fmax(0.0f, V)) * 255.0f);
+      std::fprintf(F, "%d ", G);
+    }
+    std::fprintf(F, "\n");
+  }
+  std::fclose(F);
+  std::printf("wrote raytrace_scene.ppm\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- CFG.cpp ------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "cir/Module.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+std::map<BasicBlock *, std::vector<BasicBlock *>>
+concord::analysis::computePredecessors(Function &F) {
+  std::map<BasicBlock *, std::vector<BasicBlock *>> Preds;
+  for (BasicBlock *BB : F)
+    Preds[BB]; // Ensure every block has an entry.
+  for (BasicBlock *BB : F)
+    for (BasicBlock *Succ : BB->successors())
+      Preds[Succ].push_back(BB);
+  return Preds;
+}
+
+static void postOrderVisit(BasicBlock *BB, std::set<BasicBlock *> &Seen,
+                           std::vector<BasicBlock *> &Order) {
+  if (!Seen.insert(BB).second)
+    return;
+  for (BasicBlock *Succ : BB->successors())
+    postOrderVisit(Succ, Seen, Order);
+  Order.push_back(BB);
+}
+
+std::vector<BasicBlock *> concord::analysis::reversePostOrder(Function &F) {
+  std::vector<BasicBlock *> Order;
+  std::set<BasicBlock *> Seen;
+  if (!F.empty())
+    postOrderVisit(F.entry(), Seen, Order);
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+std::vector<BasicBlock *> concord::analysis::exitBlocks(Function &F) {
+  std::vector<BasicBlock *> Exits;
+  for (BasicBlock *BB : F) {
+    Instruction *T = BB->terminator();
+    if (T && (T->opcode() == Opcode::Ret || T->opcode() == Opcode::Trap))
+      Exits.push_back(BB);
+  }
+  return Exits;
+}
+
+BasicBlock *concord::analysis::splitEdge(Function &F, BasicBlock *From,
+                                         BasicBlock *To) {
+  BasicBlock *Mid = F.createBlockAfter(From, From->name() + ".split");
+  // Redirect the From terminator.
+  Instruction *T = From->terminator();
+  assert(T && "splitting an edge from an unterminated block");
+  for (unsigned I = 0; I < T->numBlocks(); ++I)
+    if (T->block(I) == To)
+      T->setBlock(I, Mid);
+  // Forwarding branch.
+  auto Br = std::make_unique<Instruction>(
+      Opcode::Br, To->parent()->parent()->types().voidTy());
+  Br->addBlock(To);
+  Mid->append(std::move(Br));
+  // Fix phi incoming blocks in To.
+  for (Instruction *Phi : To->phis())
+    for (unsigned K = 0; K < Phi->numBlocks(); ++K)
+      if (Phi->incomingBlock(K) == From)
+        Phi->setBlock(K, Mid);
+  return Mid;
+}

@@ -1,0 +1,38 @@
+//===- CFG.h - Control-flow graph utilities ---------------------*- C++ -*-===//
+///
+/// \file
+/// Predecessor maps and traversal orders over a Function's blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_CFG_H
+#define CONCORD_ANALYSIS_CFG_H
+
+#include "cir/Function.h"
+#include <map>
+#include <vector>
+
+namespace concord {
+namespace analysis {
+
+/// Predecessor lists for every block of \p F (blocks with no predecessors
+/// map to an empty vector).
+std::map<cir::BasicBlock *, std::vector<cir::BasicBlock *>>
+computePredecessors(cir::Function &F);
+
+/// Blocks of \p F in reverse post-order from the entry. Unreachable blocks
+/// are excluded.
+std::vector<cir::BasicBlock *> reversePostOrder(cir::Function &F);
+
+/// Exit blocks (terminated by Ret or Trap).
+std::vector<cir::BasicBlock *> exitBlocks(cir::Function &F);
+
+/// Splits the critical edge From->To by inserting a forwarding block.
+/// Returns the new block (phi incoming entries in To are updated).
+cir::BasicBlock *splitEdge(cir::Function &F, cir::BasicBlock *From,
+                           cir::BasicBlock *To);
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_CFG_H

@@ -1,0 +1,67 @@
+//===- CallGraph.cpp ------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+CallGraph::CallGraph(const Module &M) {
+  for (const auto &F : M.functions()) {
+    auto &Out = Edges[F.get()];
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (I->opcode() == Opcode::Call)
+          Out.insert(I->callee());
+  }
+}
+
+const std::set<Function *> &CallGraph::callees(Function *F) const {
+  static const std::set<Function *> Empty;
+  auto It = Edges.find(F);
+  return It == Edges.end() ? Empty : It->second;
+}
+
+std::set<Function *> CallGraph::recursiveFunctions() const {
+  // A function is recursive if it can reach itself through call edges.
+  std::set<Function *> Result;
+  for (const auto &[F, Direct] : Edges) {
+    std::set<Function *> Reached;
+    std::vector<Function *> Work(Direct.begin(), Direct.end());
+    while (!Work.empty()) {
+      Function *Cur = Work.back();
+      Work.pop_back();
+      if (!Reached.insert(Cur).second)
+        continue;
+      if (Cur == F) {
+        Result.insert(F);
+        break;
+      }
+      for (Function *Next : callees(Cur))
+        Work.push_back(Next);
+    }
+    if (Reached.count(F))
+      Result.insert(F);
+  }
+  return Result;
+}
+
+bool CallGraph::isSelfRecursionTailOnly(Function &F) {
+  for (BasicBlock *BB : F) {
+    for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+      Instruction *I = BB->instr(Idx);
+      if (I->opcode() != Opcode::Call || I->callee() != &F)
+        continue;
+      // Tail position: the next instruction is the block terminator and is
+      // `ret` of this call's result (or a bare ret for void).
+      if (Idx + 1 >= BB->size())
+        return false;
+      Instruction *NextI = BB->instr(Idx + 1);
+      if (NextI->opcode() != Opcode::Ret)
+        return false;
+      if (NextI->numOperands() == 1 && NextI->operand(0) != I)
+        return false;
+    }
+  }
+  return true;
+}

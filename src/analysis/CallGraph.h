@@ -1,0 +1,41 @@
+//===- CallGraph.h - Direct call graph and recursion checks -----*- C++ -*-===//
+///
+/// \file
+/// Direct-call graph over a module. Used to enforce Concord's restriction
+/// (paper section 2.1): no recursion on the GPU, *except* tail recursion
+/// that the compiler can eliminate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_CALLGRAPH_H
+#define CONCORD_ANALYSIS_CALLGRAPH_H
+
+#include "cir/Module.h"
+#include <map>
+#include <set>
+#include <vector>
+
+namespace concord {
+namespace analysis {
+
+class CallGraph {
+public:
+  explicit CallGraph(const cir::Module &M);
+
+  const std::set<cir::Function *> &callees(cir::Function *F) const;
+
+  /// Functions involved in a call cycle (self- or mutual recursion).
+  std::set<cir::Function *> recursiveFunctions() const;
+
+  /// True if every self-recursive call in \p F is in tail position, i.e.
+  /// the recursion is eliminable by TailRecursionElim.
+  static bool isSelfRecursionTailOnly(cir::Function &F);
+
+private:
+  std::map<cir::Function *, std::set<cir::Function *>> Edges;
+};
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_CALLGRAPH_H

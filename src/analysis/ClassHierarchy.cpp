@@ -1,0 +1,49 @@
+//===- ClassHierarchy.cpp -------------------------------------------------===//
+
+#include "analysis/ClassHierarchy.h"
+
+#include <algorithm>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+ClassHierarchy::ClassHierarchy(const Module &M) : M(M) {}
+
+std::vector<const ClassType *>
+ClassHierarchy::derivedOrSelf(const ClassType *Base) const {
+  std::vector<const ClassType *> Result;
+  for (const ClassType *C : M.types().classes())
+    if (C->isBaseOrSelf(Base))
+      Result.push_back(C);
+  return Result;
+}
+
+std::vector<Function *>
+ClassHierarchy::possibleTargets(const ClassType *Static, unsigned Group,
+                                unsigned Slot) const {
+  assert(Group < Static->vtables().size() && "bad vtable group");
+  assert(Slot < Static->vtables()[Group].Slots.size() && "bad vtable slot");
+  uint64_t GroupOffInStatic = Static->vtables()[Group].Offset;
+
+  std::vector<Function *> Targets;
+  for (const ClassType *C : derivedOrSelf(Static)) {
+    uint64_t BaseOff = 0;
+    bool HasBase = C->offsetOfBase(Static, &BaseOff);
+    assert(HasBase);
+    (void)HasBase;
+    // The group in C corresponding to Static's group: same slots, shifted
+    // by the subobject offset of Static within C.
+    uint64_t WantOffset = BaseOff + GroupOffInStatic;
+    for (const VTableGroup &G : C->vtables()) {
+      if (G.Offset != WantOffset || Slot >= G.Slots.size())
+        continue;
+      Function *Impl = G.Slots[Slot].Impl;
+      if (Impl &&
+          std::find(Targets.begin(), Targets.end(), Impl) == Targets.end())
+        Targets.push_back(Impl);
+      break;
+    }
+  }
+  return Targets;
+}

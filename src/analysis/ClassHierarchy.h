@@ -1,0 +1,43 @@
+//===- ClassHierarchy.h - Class hierarchy analysis --------------*- C++ -*-===//
+///
+/// \file
+/// Class hierarchy analysis (CHA) over a module's class types. The
+/// Devirtualize pass uses it to enumerate the possible targets of each
+/// virtual call, which the paper (section 3.2) lowers to an inline sequence
+/// of tests because GPU hardware has no function pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_CLASSHIERARCHY_H
+#define CONCORD_ANALYSIS_CLASSHIERARCHY_H
+
+#include "cir/Module.h"
+#include <vector>
+
+namespace concord {
+namespace analysis {
+
+class ClassHierarchy {
+public:
+  explicit ClassHierarchy(const cir::Module &M);
+
+  /// Classes that have \p Base as a transitive base, plus \p Base itself,
+  /// in module declaration order.
+  std::vector<const cir::ClassType *>
+  derivedOrSelf(const cir::ClassType *Base) const;
+
+  /// Possible implementations of a virtual call whose static receiver type
+  /// is \p Static, dispatching through vtable group \p Group, slot
+  /// \p Slot. Deduplicated, in deterministic (module class order) order.
+  std::vector<cir::Function *>
+  possibleTargets(const cir::ClassType *Static, unsigned Group,
+                  unsigned Slot) const;
+
+private:
+  const cir::Module &M;
+};
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_CLASSHIERARCHY_H

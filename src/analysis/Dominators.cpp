@@ -1,0 +1,194 @@
+//===- Dominators.cpp -----------------------------------------------------===//
+//
+// Implements the Cooper-Harvey-Kennedy "A Simple, Fast Dominance Algorithm".
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/CFG.h"
+
+#include <algorithm>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+static int intersect(const std::vector<int> &IDom, int A, int B) {
+  while (A != B) {
+    while (A > B)
+      A = IDom[size_t(A)];
+    while (B > A)
+      B = IDom[size_t(B)];
+  }
+  return A;
+}
+
+DominatorTree::DominatorTree(Function &F) {
+  RPO = reversePostOrder(F);
+  for (size_t I = 0; I < RPO.size(); ++I)
+    Index[RPO[I]] = int(I);
+
+  auto Preds = computePredecessors(F);
+  IDom.assign(RPO.size(), -1);
+  if (RPO.empty())
+    return;
+  IDom[0] = 0;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I < RPO.size(); ++I) {
+      int NewIDom = -1;
+      for (BasicBlock *P : Preds[RPO[I]]) {
+        auto It = Index.find(P);
+        if (It == Index.end())
+          continue; // Unreachable predecessor.
+        int PI = It->second;
+        if (IDom[size_t(PI)] == -1)
+          continue;
+        NewIDom = NewIDom == -1 ? PI : intersect(IDom, PI, NewIDom);
+      }
+      if (NewIDom != -1 && IDom[I] != NewIDom) {
+        IDom[I] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Dominance frontiers.
+  for (BasicBlock *BB : RPO)
+    Frontier[BB];
+  for (size_t I = 0; I < RPO.size(); ++I) {
+    BasicBlock *BB = RPO[I];
+    const auto &P = Preds[BB];
+    if (P.size() < 2)
+      continue;
+    for (BasicBlock *Pred : P) {
+      auto It = Index.find(Pred);
+      if (It == Index.end())
+        continue;
+      int Runner = It->second;
+      while (Runner != IDom[I]) {
+        auto &DF = Frontier[RPO[size_t(Runner)]];
+        if (std::find(DF.begin(), DF.end(), BB) == DF.end())
+          DF.push_back(BB);
+        Runner = IDom[size_t(Runner)];
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::idom(BasicBlock *BB) const {
+  auto It = Index.find(BB);
+  if (It == Index.end() || It->second == 0)
+    return nullptr;
+  return RPO[size_t(IDom[size_t(It->second)])];
+}
+
+bool DominatorTree::dominates(BasicBlock *A, BasicBlock *B) const {
+  auto AIt = Index.find(A);
+  auto BIt = Index.find(B);
+  if (AIt == Index.end() || BIt == Index.end())
+    return false;
+  int AI = AIt->second, BI = BIt->second;
+  while (BI > AI)
+    BI = IDom[size_t(BI)];
+  return BI == AI;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::dominanceFrontier(BasicBlock *BB) const {
+  static const std::vector<BasicBlock *> Empty;
+  auto It = Frontier.find(BB);
+  return It == Frontier.end() ? Empty : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// PostDominatorTree
+//===----------------------------------------------------------------------===//
+
+PostDominatorTree::PostDominatorTree(Function &F) {
+  // Post-order over the reverse CFG, starting from a virtual exit whose
+  // predecessors are the real exit blocks. Index 0 is the virtual exit.
+  std::vector<BasicBlock *> Exits = exitBlocks(F);
+  auto Preds = computePredecessors(F); // Real preds == reverse-CFG succs.
+
+  // Build reverse post-order of the reverse CFG via DFS.
+  std::vector<BasicBlock *> Order; // Post-order of reverse CFG.
+  std::map<BasicBlock *, bool> Seen;
+  // Iterative DFS from each exit.
+  struct Frame {
+    BasicBlock *BB;
+    size_t NextPred;
+  };
+  for (BasicBlock *Exit : Exits) {
+    if (Seen[Exit])
+      continue;
+    std::vector<Frame> Stack{{Exit, 0}};
+    Seen[Exit] = true;
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      auto &P = Preds[Top.BB];
+      if (Top.NextPred < P.size()) {
+        BasicBlock *Next = P[Top.NextPred++];
+        if (!Seen[Next]) {
+          Seen[Next] = true;
+          Stack.push_back({Next, 0});
+        }
+      } else {
+        Order.push_back(Top.BB);
+        Stack.pop_back();
+      }
+    }
+  }
+  std::reverse(Order.begin(), Order.end()); // RPO of reverse CFG.
+
+  // Indices: 0 = virtual exit, block i at Order[i-1] -> i.
+  std::map<BasicBlock *, int> Index;
+  for (size_t I = 0; I < Order.size(); ++I)
+    Index[Order[I]] = int(I) + 1;
+
+  std::vector<int> IDomVec(Order.size() + 1, -1);
+  IDomVec[0] = 0;
+
+  // Reverse-CFG predecessors of a block are its CFG successors; exits also
+  // have the virtual node as predecessor.
+  std::map<BasicBlock *, bool> IsExit;
+  for (BasicBlock *E : Exits)
+    IsExit[E] = true;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < Order.size(); ++I) {
+      BasicBlock *BB = Order[I];
+      int MyIdx = int(I) + 1;
+      int NewIDom = -1;
+      if (IsExit[BB])
+        NewIDom = 0;
+      for (BasicBlock *Succ : BB->successors()) {
+        auto It = Index.find(Succ);
+        if (It == Index.end())
+          continue; // Successor cannot reach an exit (infinite loop).
+        int SI = It->second;
+        if (IDomVec[size_t(SI)] == -1)
+          continue;
+        NewIDom = NewIDom == -1 ? SI : intersect(IDomVec, SI, NewIDom);
+      }
+      if (NewIDom != -1 && IDomVec[size_t(MyIdx)] != NewIDom) {
+        IDomVec[size_t(MyIdx)] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (size_t I = 0; I < Order.size(); ++I) {
+    int D = IDomVec[I + 1];
+    IPDom[Order[I]] = D <= 0 ? nullptr : Order[size_t(D) - 1];
+  }
+}
+
+BasicBlock *PostDominatorTree::ipdom(BasicBlock *BB) const {
+  auto It = IPDom.find(BB);
+  return It == IPDom.end() ? nullptr : It->second;
+}

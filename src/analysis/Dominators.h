@@ -1,0 +1,61 @@
+//===- Dominators.h - Dominator and post-dominator trees -------*- C++ -*-===//
+///
+/// \file
+/// Cooper-Harvey-Kennedy iterative dominator computation, plus dominance
+/// frontiers (for SSA construction) and post-dominators (for SIMT branch
+/// reconvergence points in code generation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_DOMINATORS_H
+#define CONCORD_ANALYSIS_DOMINATORS_H
+
+#include "cir/Function.h"
+#include <map>
+#include <vector>
+
+namespace concord {
+namespace analysis {
+
+class DominatorTree {
+public:
+  explicit DominatorTree(cir::Function &F);
+
+  /// Immediate dominator; null for the entry block.
+  cir::BasicBlock *idom(cir::BasicBlock *BB) const;
+
+  /// True when \p A dominates \p B (reflexive).
+  bool dominates(cir::BasicBlock *A, cir::BasicBlock *B) const;
+
+  /// Dominance frontier of \p BB.
+  const std::vector<cir::BasicBlock *> &
+  dominanceFrontier(cir::BasicBlock *BB) const;
+
+  /// Blocks in reverse post-order (the order used internally).
+  const std::vector<cir::BasicBlock *> &order() const { return RPO; }
+
+private:
+  std::vector<cir::BasicBlock *> RPO;
+  std::map<cir::BasicBlock *, int> Index;
+  std::vector<int> IDom;
+  std::map<cir::BasicBlock *, std::vector<cir::BasicBlock *>> Frontier;
+};
+
+/// Post-dominator tree over the reverse CFG with a virtual exit joining all
+/// Ret/Trap blocks.
+class PostDominatorTree {
+public:
+  explicit PostDominatorTree(cir::Function &F);
+
+  /// Immediate post-dominator, or null when the block's ipdom is the
+  /// virtual exit (i.e. divergence can only reconverge at kernel end).
+  cir::BasicBlock *ipdom(cir::BasicBlock *BB) const;
+
+private:
+  std::map<cir::BasicBlock *, cir::BasicBlock *> IPDom;
+};
+
+} // namespace analysis
+} // namespace concord
+
+#endif

@@ -1,0 +1,87 @@
+//===- Liveness.cpp -------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "analysis/CFG.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+/// Values that occupy registers: instructions with results and arguments.
+static bool isTracked(Value *V) {
+  if (auto *I = dyn_cast<Instruction>(V))
+    return !I->type()->isVoid();
+  return isa<Argument>(V);
+}
+
+Liveness::Liveness(Function &F) {
+  for (BasicBlock *BB : F) {
+    In[BB];
+    Out[BB];
+  }
+
+  // Iterate to a fixed point. Phi operands are treated as live-out of the
+  // corresponding predecessor, not live-in of the phi's block.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      std::set<Value *> LiveOut;
+      for (BasicBlock *Succ : BB->successors()) {
+        for (Value *V : In[Succ])
+          LiveOut.insert(V);
+        for (Instruction *Phi : Succ->phis())
+          for (unsigned K = 0; K < Phi->numBlocks(); ++K)
+            if (Phi->incomingBlock(K) == BB && isTracked(Phi->incomingValue(K)))
+              LiveOut.insert(Phi->incomingValue(K));
+      }
+
+      std::set<Value *> Live = LiveOut;
+      for (size_t Idx = BB->size(); Idx-- > 0;) {
+        Instruction *I = BB->instr(Idx);
+        Live.erase(I);
+        if (I->isPhi())
+          continue; // Phi inputs counted at predecessor edges.
+        for (Value *Op : I->operands())
+          if (isTracked(Op))
+            Live.insert(Op);
+      }
+      // Phi results are live-in.
+      for (Instruction *Phi : BB->phis())
+        Live.insert(Phi);
+
+      if (Live != In[BB] || LiveOut != Out[BB]) {
+        In[BB] = std::move(Live);
+        Out[BB] = std::move(LiveOut);
+        Changed = true;
+      }
+    }
+  }
+
+  // Max-live scan.
+  for (BasicBlock *BB : F) {
+    std::set<Value *> Live = Out[BB];
+    MaxLive = std::max<unsigned>(MaxLive, Live.size());
+    for (size_t Idx = BB->size(); Idx-- > 0;) {
+      Instruction *I = BB->instr(Idx);
+      Live.erase(I);
+      if (!I->isPhi())
+        for (Value *Op : I->operands())
+          if (isTracked(Op))
+            Live.insert(Op);
+      MaxLive = std::max<unsigned>(MaxLive, Live.size());
+    }
+  }
+}
+
+const std::set<Value *> &Liveness::liveIn(BasicBlock *BB) const {
+  auto It = In.find(BB);
+  assert(It != In.end() && "block not analyzed");
+  return It->second;
+}
+
+const std::set<Value *> &Liveness::liveOut(BasicBlock *BB) const {
+  auto It = Out.find(BB);
+  assert(It != Out.end() && "block not analyzed");
+  return It->second;
+}

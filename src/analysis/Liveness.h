@@ -1,0 +1,40 @@
+//===- Liveness.h - SSA value liveness --------------------------*- C++ -*-===//
+///
+/// \file
+/// Block-level liveness of SSA values. The headline client is the loop
+/// unroller, which bounds its unroll factor by the register budget: the
+/// paper (section 4) controls the unroll factor "by restricting max live to
+/// the available physical registers".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_LIVENESS_H
+#define CONCORD_ANALYSIS_LIVENESS_H
+
+#include "cir/Function.h"
+#include <map>
+#include <set>
+
+namespace concord {
+namespace analysis {
+
+class Liveness {
+public:
+  explicit Liveness(cir::Function &F);
+
+  const std::set<cir::Value *> &liveIn(cir::BasicBlock *BB) const;
+  const std::set<cir::Value *> &liveOut(cir::BasicBlock *BB) const;
+
+  /// The maximum number of simultaneously live SSA values at any program
+  /// point (a register-pressure estimate).
+  unsigned maxLive() const { return MaxLive; }
+
+private:
+  std::map<cir::BasicBlock *, std::set<cir::Value *>> In, Out;
+  unsigned MaxLive = 0;
+};
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_LIVENESS_H

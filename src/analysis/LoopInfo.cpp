@@ -1,0 +1,162 @@
+//===- LoopInfo.cpp -------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "analysis/CFG.h"
+
+#include <algorithm>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+LoopInfo::LoopInfo(Function &F, const DominatorTree &DT) {
+  auto Preds = computePredecessors(F);
+
+  // Find back edges grouped by header.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> BackEdges;
+  for (BasicBlock *BB : F)
+    for (BasicBlock *Succ : BB->successors())
+      if (DT.dominates(Succ, BB))
+        BackEdges[Succ].push_back(BB);
+
+  // Build one loop per header; body = reverse reachability from latches.
+  for (auto &[Header, Latches] : BackEdges) {
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Latches = Latches;
+    L->Blocks.insert(Header);
+    std::vector<BasicBlock *> Work(Latches.begin(), Latches.end());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!L->Blocks.insert(BB).second)
+        continue;
+      for (BasicBlock *P : Preds[BB])
+        Work.push_back(P);
+    }
+    // Preheader: unique out-of-loop predecessor of the header.
+    BasicBlock *Pre = nullptr;
+    bool Unique = true;
+    for (BasicBlock *P : Preds[Header]) {
+      if (L->contains(P))
+        continue;
+      if (Pre) {
+        Unique = false;
+        break;
+      }
+      Pre = P;
+    }
+    L->Preheader = Unique ? Pre : nullptr;
+    AllLoops.push_back(std::move(L));
+  }
+
+  // Nesting: loop A is a child of the smallest loop strictly containing
+  // its header (and all its blocks).
+  std::sort(AllLoops.begin(), AllLoops.end(),
+            [](const std::unique_ptr<Loop> &A, const std::unique_ptr<Loop> &B) {
+              return A->Blocks.size() < B->Blocks.size();
+            });
+  for (size_t I = 0; I < AllLoops.size(); ++I) {
+    Loop *Inner = AllLoops[I].get();
+    for (size_t J = I + 1; J < AllLoops.size(); ++J) {
+      Loop *Outer = AllLoops[J].get();
+      if (Outer != Inner && Outer->contains(Inner->Header) &&
+          Outer->Blocks.size() > Inner->Blocks.size()) {
+        Inner->Parent = Outer;
+        Outer->Children.push_back(Inner);
+        break;
+      }
+    }
+  }
+
+  // Innermost-loop map: smallest loop containing each block wins. AllLoops
+  // is sorted by size, so the first hit is the innermost.
+  for (const auto &L : AllLoops)
+    for (BasicBlock *BB : L->Blocks)
+      if (!InnermostMap.count(BB))
+        InnermostMap[BB] = L.get();
+}
+
+Loop *LoopInfo::loopFor(BasicBlock *BB) const {
+  auto It = InnermostMap.find(BB);
+  return It == InnermostMap.end() ? nullptr : It->second;
+}
+
+std::vector<Loop *> LoopInfo::innermostLoops() const {
+  std::vector<Loop *> Result;
+  for (const auto &L : AllLoops)
+    if (L->isInnermost())
+      Result.push_back(L.get());
+  return Result;
+}
+
+bool LoopInfo::analyzeInduction(const Loop &L, InductionInfo *Out) {
+  if (!L.Preheader || L.Latches.size() != 1)
+    return false;
+  BasicBlock *Latch = L.Latches.front();
+
+  // The controlling compare: header ends in condbr(icmp, inside, outside).
+  Instruction *Term = L.Header->terminator();
+  if (!Term || Term->opcode() != Opcode::CondBr)
+    return false;
+  auto *Cmp = dyn_cast<Instruction>(Term->operand(0));
+  if (!Cmp || Cmp->opcode() != Opcode::ICmp)
+    return false;
+  BasicBlock *S0 = Term->block(0), *S1 = Term->block(1);
+  BasicBlock *Body = nullptr, *Exit = nullptr;
+  if (L.contains(S0) && !L.contains(S1)) {
+    Body = S0;
+    Exit = S1;
+  } else if (L.contains(S1) && !L.contains(S0)) {
+    Body = S1;
+    Exit = S0;
+  } else {
+    return false;
+  }
+
+  // Find the induction phi among header phis.
+  for (Instruction *Phi : L.Header->phis()) {
+    Value *Init = nullptr;
+    Value *FromLatch = nullptr;
+    for (unsigned K = 0; K < Phi->numBlocks(); ++K) {
+      if (Phi->incomingBlock(K) == L.Preheader)
+        Init = Phi->incomingValue(K);
+      else if (Phi->incomingBlock(K) == Latch)
+        FromLatch = Phi->incomingValue(K);
+    }
+    if (!Init || !FromLatch)
+      continue;
+    auto *Next = dyn_cast<Instruction>(FromLatch);
+    if (!Next || Next->opcode() != Opcode::Add)
+      continue;
+    Value *StepVal = nullptr;
+    if (Next->operand(0) == Phi)
+      StepVal = Next->operand(1);
+    else if (Next->operand(1) == Phi)
+      StepVal = Next->operand(0);
+    else
+      continue;
+    auto *StepC = dyn_cast<ConstantInt>(StepVal);
+    if (!StepC)
+      continue;
+    // Compare must involve the phi (or its increment) and the bound.
+    Value *Bound = nullptr;
+    if (Cmp->operand(0) == Phi)
+      Bound = Cmp->operand(1);
+    else if (Cmp->operand(1) == Phi)
+      Bound = Cmp->operand(0);
+    else
+      continue;
+
+    Out->Phi = Phi;
+    Out->Init = Init;
+    Out->Next = Next;
+    Out->Step = StepC->sext();
+    Out->Bound = Bound;
+    Out->Cmp = Cmp;
+    Out->Body = Body;
+    Out->Exit = Exit;
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,79 @@
+//===- LoopInfo.h - Natural loop detection ----------------------*- C++ -*-===//
+///
+/// \file
+/// Natural-loop analysis used by loop unrolling and by the paper's
+/// cache-line-contention transformation (section 4.2), which applies to
+/// innermost loops. Also recognizes the canonical `for (j = init; j < N;
+/// j += step)` induction structure the frontend emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_LOOPINFO_H
+#define CONCORD_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+#include <memory>
+#include <set>
+
+namespace concord {
+namespace analysis {
+
+struct Loop {
+  cir::BasicBlock *Header = nullptr;
+  /// Unique predecessor of the header outside the loop, if any.
+  cir::BasicBlock *Preheader = nullptr;
+  std::vector<cir::BasicBlock *> Latches;
+  std::set<cir::BasicBlock *> Blocks;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> Children;
+
+  bool contains(cir::BasicBlock *BB) const { return Blocks.count(BB) != 0; }
+  bool isInnermost() const { return Children.empty(); }
+  unsigned depth() const {
+    unsigned D = 1;
+    for (Loop *P = Parent; P; P = P->Parent)
+      ++D;
+    return D;
+  }
+};
+
+/// The canonical induction structure of a counted loop:
+///   header: J = phi [Init, preheader] [Next, latch]
+///           Cond = icmp pred J, Bound ; condbr Cond, body..., exit
+///   latch : Next = add J, Step ; br header
+struct InductionInfo {
+  cir::Instruction *Phi = nullptr;   ///< The induction phi (J).
+  cir::Value *Init = nullptr;        ///< Initial value.
+  cir::Instruction *Next = nullptr;  ///< The increment instruction.
+  int64_t Step = 0;                  ///< Constant step.
+  cir::Value *Bound = nullptr;       ///< Loop bound (exclusive).
+  cir::Instruction *Cmp = nullptr;   ///< The controlling compare.
+  cir::BasicBlock *Body = nullptr;   ///< First in-loop successor.
+  cir::BasicBlock *Exit = nullptr;   ///< The out-of-loop successor.
+};
+
+class LoopInfo {
+public:
+  LoopInfo(cir::Function &F, const DominatorTree &DT);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return AllLoops; }
+
+  /// The innermost loop containing \p BB, or null.
+  Loop *loopFor(cir::BasicBlock *BB) const;
+
+  /// All innermost loops.
+  std::vector<Loop *> innermostLoops() const;
+
+  /// Recognizes the canonical induction structure of \p L. Returns false
+  /// when the loop is not in canonical counted form.
+  static bool analyzeInduction(const Loop &L, InductionInfo *Out);
+
+private:
+  std::vector<std::unique_ptr<Loop>> AllLoops;
+  std::map<cir::BasicBlock *, Loop *> InnermostMap;
+};
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_LOOPINFO_H

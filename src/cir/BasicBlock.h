@@ -1,0 +1,129 @@
+//===- BasicBlock.h - Concord IR basic blocks -------------------*- C++ -*-===//
+///
+/// \file
+/// A basic block owns its instructions. Block order within a Function is the
+/// layout order used by code generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CIR_BASICBLOCK_H
+#define CONCORD_CIR_BASICBLOCK_H
+
+#include "cir/Instruction.h"
+#include <memory>
+#include <vector>
+
+namespace concord {
+namespace cir {
+
+class Function;
+
+class BasicBlock {
+public:
+  BasicBlock(std::string Name, Function *Parent)
+      : Name(std::move(Name)), Parent(Parent) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  Function *parent() const { return Parent; }
+
+  bool empty() const { return Instrs.empty(); }
+  size_t size() const { return Instrs.size(); }
+  Instruction *front() const { return Instrs.front().get(); }
+  Instruction *back() const { return Instrs.back().get(); }
+  Instruction *instr(size_t I) const { return Instrs[I].get(); }
+
+  /// The terminator, or null if the block is not yet terminated.
+  Instruction *terminator() const {
+    if (Instrs.empty() || !Instrs.back()->isTerminator())
+      return nullptr;
+    return Instrs.back().get();
+  }
+
+  /// Successor blocks, from the terminator (empty for Ret/Trap).
+  std::vector<BasicBlock *> successors() const {
+    Instruction *T = terminator();
+    if (!T || T->opcode() == Opcode::Ret || T->opcode() == Opcode::Trap)
+      return {};
+    return T->blocks();
+  }
+
+  /// Appends an instruction (takes ownership).
+  Instruction *append(std::unique_ptr<Instruction> I) {
+    I->setParent(this);
+    Instrs.push_back(std::move(I));
+    return Instrs.back().get();
+  }
+
+  /// Inserts before position \p Index (takes ownership).
+  Instruction *insertAt(size_t Index, std::unique_ptr<Instruction> I) {
+    assert(Index <= Instrs.size());
+    I->setParent(this);
+    auto It = Instrs.insert(Instrs.begin() + Index, std::move(I));
+    return It->get();
+  }
+
+  /// Index of \p I within this block; asserts if absent.
+  size_t indexOf(const Instruction *I) const {
+    for (size_t Idx = 0; Idx < Instrs.size(); ++Idx)
+      if (Instrs[Idx].get() == I)
+        return Idx;
+    assert(false && "instruction not in this block");
+    return ~size_t(0);
+  }
+
+  /// Removes and destroys the instruction at \p Index.
+  void erase(size_t Index) {
+    assert(Index < Instrs.size());
+    Instrs.erase(Instrs.begin() + Index);
+  }
+
+  /// Removes the instruction at \p Index, transferring ownership.
+  std::unique_ptr<Instruction> take(size_t Index) {
+    assert(Index < Instrs.size());
+    std::unique_ptr<Instruction> I = std::move(Instrs[Index]);
+    Instrs.erase(Instrs.begin() + Index);
+    I->setParent(nullptr);
+    return I;
+  }
+
+  /// Iteration over raw instruction pointers.
+  class iterator {
+  public:
+    iterator(const std::vector<std::unique_ptr<Instruction>> *Vec, size_t I)
+        : Vec(Vec), I(I) {}
+    Instruction *operator*() const { return (*Vec)[I].get(); }
+    iterator &operator++() {
+      ++I;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return I != O.I; }
+
+  private:
+    const std::vector<std::unique_ptr<Instruction>> *Vec;
+    size_t I;
+  };
+  iterator begin() const { return iterator(&Instrs, 0); }
+  iterator end() const { return iterator(&Instrs, Instrs.size()); }
+
+  /// The phi instructions at the head of the block.
+  std::vector<Instruction *> phis() const {
+    std::vector<Instruction *> Result;
+    for (const auto &I : Instrs) {
+      if (!I->isPhi())
+        break;
+      Result.push_back(I.get());
+    }
+    return Result;
+  }
+
+private:
+  std::string Name;
+  Function *Parent;
+  std::vector<std::unique_ptr<Instruction>> Instrs;
+};
+
+} // namespace cir
+} // namespace concord
+
+#endif // CONCORD_CIR_BASICBLOCK_H

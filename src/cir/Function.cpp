@@ -1,0 +1,46 @@
+//===- Function.cpp -------------------------------------------------------===//
+
+#include "cir/Function.h"
+#include "cir/Module.h"
+
+using namespace concord;
+using namespace concord::cir;
+
+Function::Function(std::string Name, FunctionType *FTy, Module *Parent)
+    : Name(std::move(Name)), FTy(FTy), Parent(Parent) {
+  const std::vector<Type *> &Params = FTy->params();
+  Args.reserve(Params.size());
+  for (unsigned I = 0; I < Params.size(); ++I)
+    Args.push_back(std::make_unique<Argument>(Params[I], I, this));
+}
+
+BasicBlock *Function::createBlockAfter(BasicBlock *After,
+                                       std::string BlockName) {
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    if (Blocks[I].get() == After) {
+      auto It = Blocks.insert(
+          Blocks.begin() + I + 1,
+          std::make_unique<BasicBlock>(std::move(BlockName), this));
+      return It->get();
+    }
+  }
+  assert(false && "After block not in function");
+  return nullptr;
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    if (Blocks[I].get() == BB) {
+      Blocks.erase(Blocks.begin() + I);
+      return;
+    }
+  }
+  assert(false && "block not in function");
+}
+
+void Function::replaceAllUsesWith(Value *From, Value *To) {
+  assert(From != To && "RAUW with the same value");
+  for (BasicBlock *BB : *this)
+    for (Instruction *I : *BB)
+      I->replaceUsesOfWith(From, To);
+}

@@ -1,0 +1,103 @@
+//===- Function.h - Concord IR functions ------------------------*- C++ -*-===//
+///
+/// \file
+/// Functions own their arguments and basic blocks. The first block is the
+/// entry block. Kernel entry functions (the compiled operator() bodies)
+/// carry the IsKernel flag and follow the Figure 1 ABI: a single u64
+/// argument holding the CPU virtual address of the Body object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CIR_FUNCTION_H
+#define CONCORD_CIR_FUNCTION_H
+
+#include "cir/BasicBlock.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace cir {
+
+class Module;
+
+class Function {
+public:
+  Function(std::string Name, FunctionType *FTy, Module *Parent);
+
+  const std::string &name() const { return Name; }
+  FunctionType *functionType() const { return FTy; }
+  Type *returnType() const { return FTy->returnType(); }
+  Module *parent() const { return Parent; }
+
+  unsigned numArgs() const { return Args.size(); }
+  Argument *arg(unsigned I) const { return Args[I].get(); }
+
+  bool empty() const { return Blocks.empty(); }
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no body");
+    return Blocks.front().get();
+  }
+  BasicBlock *blockAt(size_t I) const { return Blocks[I].get(); }
+
+  BasicBlock *createBlock(std::string BlockName) {
+    Blocks.push_back(std::make_unique<BasicBlock>(std::move(BlockName), this));
+    return Blocks.back().get();
+  }
+
+  /// Inserts \p NewBlock ownership after block \p After in layout order.
+  BasicBlock *createBlockAfter(BasicBlock *After, std::string BlockName);
+
+  /// Removes a block (must have no predecessors; callers fix the CFG).
+  void eraseBlock(BasicBlock *BB);
+
+  /// Layout-order iteration over raw block pointers.
+  class iterator {
+  public:
+    iterator(const std::vector<std::unique_ptr<BasicBlock>> *Vec, size_t I)
+        : Vec(Vec), I(I) {}
+    BasicBlock *operator*() const { return (*Vec)[I].get(); }
+    iterator &operator++() {
+      ++I;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return I != O.I; }
+
+  private:
+    const std::vector<std::unique_ptr<BasicBlock>> *Vec;
+    size_t I;
+  };
+  iterator begin() const { return iterator(&Blocks, 0); }
+  iterator end() const { return iterator(&Blocks, Blocks.size()); }
+
+  // Kernel/method metadata.
+  bool isKernel() const { return Kernel; }
+  void setKernel(bool K) { Kernel = K; }
+  ClassType *methodOf() const { return MethodClass; }
+  void setMethodOf(ClassType *C) { MethodClass = C; }
+  bool isThunk() const { return Thunk; }
+  void setThunk(bool T) { Thunk = T; }
+
+  /// Replaces all uses of \p From with \p To across this function.
+  void replaceAllUsesWith(Value *From, Value *To);
+
+  /// Fresh value-name suffix for readable IR dumps.
+  unsigned nextValueId() { return ValueCounter++; }
+
+private:
+  std::string Name;
+  FunctionType *FTy;
+  Module *Parent;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  bool Kernel = false;
+  bool Thunk = false;
+  ClassType *MethodClass = nullptr;
+  unsigned ValueCounter = 0;
+};
+
+} // namespace cir
+} // namespace concord
+
+#endif // CONCORD_CIR_FUNCTION_H

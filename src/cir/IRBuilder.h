@@ -1,0 +1,268 @@
+//===- IRBuilder.h - Convenience builder for Concord IR --------*- C++ -*-===//
+///
+/// \file
+/// Creates instructions at an insertion point, inferring result types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CIR_IRBUILDER_H
+#define CONCORD_CIR_IRBUILDER_H
+
+#include "cir/Module.h"
+#include <limits>
+
+namespace concord {
+namespace cir {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  Module &module() { return M; }
+  TypeContext &types() { return M.types(); }
+
+  /// Sets the insertion point to the end of \p BB.
+  void setInsertAtEnd(BasicBlock *BB) {
+    Block = BB;
+    Index = AtEnd;
+  }
+
+  /// Sets the insertion point immediately before instruction index \p Idx.
+  void setInsertAt(BasicBlock *BB, size_t Idx) {
+    Block = BB;
+    Index = Idx;
+  }
+
+  BasicBlock *insertBlock() const { return Block; }
+
+  //===--- Memory -----------------------------------------------------===//
+
+  Instruction *createAlloca(Type *Allocated, std::string Name = "") {
+    auto I = make(Opcode::Alloca, types().pointerTo(Allocated));
+    I->setAuxType(Allocated);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createLoad(Value *Ptr, std::string Name = "") {
+    auto *PT = cast<PointerType>(Ptr->type());
+    auto I = make(Opcode::Load, PT->pointee());
+    I->addOperand(Ptr);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createStore(Value *Val, Value *Ptr) {
+    auto I = make(Opcode::Store, types().voidTy());
+    I->addOperand(Val);
+    I->addOperand(Ptr);
+    return insert(std::move(I), "");
+  }
+
+  Instruction *createMemcpy(Value *Dst, Value *Src, uint64_t Bytes) {
+    auto I = make(Opcode::Memcpy, types().voidTy());
+    I->addOperand(Dst);
+    I->addOperand(Src);
+    I->setAttr(Bytes);
+    return insert(std::move(I), "");
+  }
+
+  //===--- Arithmetic -------------------------------------------------===//
+
+  Instruction *createBinOp(Opcode Op, Value *A, Value *B,
+                           std::string Name = "") {
+    assert(A->type() == B->type() && "binop operand type mismatch");
+    auto I = make(Op, A->type());
+    I->addOperand(A);
+    I->addOperand(B);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createUnOp(Opcode Op, Value *A, std::string Name = "") {
+    auto I = make(Op, A->type());
+    I->addOperand(A);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createICmp(ICmpPred Pred, Value *A, Value *B,
+                          std::string Name = "") {
+    auto I = make(Opcode::ICmp, types().boolTy());
+    I->addOperand(A);
+    I->addOperand(B);
+    I->setAttr(uint64_t(Pred));
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createFCmp(FCmpPred Pred, Value *A, Value *B,
+                          std::string Name = "") {
+    auto I = make(Opcode::FCmp, types().boolTy());
+    I->addOperand(A);
+    I->addOperand(B);
+    I->setAttr(uint64_t(Pred));
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createSelect(Value *Cond, Value *T, Value *F,
+                            std::string Name = "") {
+    assert(T->type() == F->type() && "select arm type mismatch");
+    auto I = make(Opcode::Select, T->type());
+    I->addOperand(Cond);
+    I->addOperand(T);
+    I->addOperand(F);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createCast(CastKind Kind, Value *V, Type *To,
+                          std::string Name = "") {
+    auto I = make(Opcode::Cast, To);
+    I->addOperand(V);
+    I->setAttr(uint64_t(Kind));
+    return insert(std::move(I), std::move(Name));
+  }
+
+  //===--- Addressing -------------------------------------------------===//
+
+  /// &Base->field at byte offset \p Offset with field type \p FieldTy.
+  Instruction *createFieldAddr(Value *Base, uint64_t Offset, Type *FieldTy,
+                               std::string Name = "") {
+    assert(Base->type()->isPointer() && "field base must be a pointer");
+    auto I = make(Opcode::FieldAddr, types().pointerTo(FieldTy));
+    I->addOperand(Base);
+    I->setAttr(Offset);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  /// &Base[Index] where Base is an element pointer.
+  Instruction *createIndexAddr(Value *Base, Value *Index,
+                               std::string Name = "") {
+    assert(Base->type()->isPointer() && "index base must be a pointer");
+    auto I = make(Opcode::IndexAddr, Base->type());
+    I->addOperand(Base);
+    I->addOperand(Index);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  //===--- Calls ------------------------------------------------------===//
+
+  Instruction *createCall(Function *Callee, const std::vector<Value *> &Args,
+                          std::string Name = "") {
+    auto I = make(Opcode::Call, Callee->returnType());
+    for (Value *A : Args)
+      I->addOperand(A);
+    I->setCallee(Callee);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createVCall(const ClassType *StaticClass, unsigned Group,
+                           unsigned Slot, Type *RetTy, Value *Obj,
+                           const std::vector<Value *> &Args,
+                           std::string Name = "") {
+    auto I = make(Opcode::VCall, RetTy);
+    I->addOperand(Obj);
+    for (Value *A : Args)
+      I->addOperand(A);
+    I->setVCallTarget(StaticClass, Group, Slot);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createIntrinsic(IntrinsicId Id, Type *RetTy,
+                               const std::vector<Value *> &Args,
+                               std::string Name = "") {
+    auto I = make(Opcode::Intrinsic, RetTy);
+    for (Value *A : Args)
+      I->addOperand(A);
+    I->setAttr(uint64_t(Id));
+    return insert(std::move(I), std::move(Name));
+  }
+
+  //===--- SVM translation & device values ------------------------------===//
+
+  Instruction *createCpuToGpu(Value *CpuAddr, std::string Name = "") {
+    auto I = make(Opcode::CpuToGpu, CpuAddr->type());
+    I->addOperand(CpuAddr);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createGpuToCpu(Value *GpuAddr, std::string Name = "") {
+    auto I = make(Opcode::GpuToCpu, GpuAddr->type());
+    I->addOperand(GpuAddr);
+    return insert(std::move(I), std::move(Name));
+  }
+
+  Instruction *createDeviceQuery(Opcode Op, std::string Name = "") {
+    assert(Op == Opcode::GlobalId || Op == Opcode::LocalId ||
+           Op == Opcode::GroupId || Op == Opcode::GroupSize ||
+           Op == Opcode::NumCores);
+    return insert(make(Op, types().int32Ty()), std::move(Name));
+  }
+
+  Instruction *createLocalBase(std::string Name = "") {
+    return insert(make(Opcode::LocalBase, types().uint64Ty()),
+                  std::move(Name));
+  }
+
+  Instruction *createBarrier() {
+    return insert(make(Opcode::Barrier, types().voidTy()), "");
+  }
+
+  //===--- Control flow -------------------------------------------------===//
+
+  Instruction *createPhi(Type *Ty, std::string Name = "") {
+    return insert(make(Opcode::Phi, Ty), std::move(Name));
+  }
+
+  Instruction *createBr(BasicBlock *Target) {
+    auto I = make(Opcode::Br, types().voidTy());
+    I->addBlock(Target);
+    return insert(std::move(I), "");
+  }
+
+  Instruction *createCondBr(Value *Cond, BasicBlock *TrueBB,
+                            BasicBlock *FalseBB) {
+    auto I = make(Opcode::CondBr, types().voidTy());
+    I->addOperand(Cond);
+    I->addBlock(TrueBB);
+    I->addBlock(FalseBB);
+    return insert(std::move(I), "");
+  }
+
+  Instruction *createRet(Value *V = nullptr) {
+    auto I = make(Opcode::Ret, types().voidTy());
+    if (V)
+      I->addOperand(V);
+    return insert(std::move(I), "");
+  }
+
+  Instruction *createTrap() {
+    return insert(make(Opcode::Trap, types().voidTy()), "");
+  }
+
+  /// Sets the source location attached to subsequently created
+  /// instructions.
+  void setLoc(SourceLoc L) { Loc = L; }
+
+private:
+  static constexpr size_t AtEnd = std::numeric_limits<size_t>::max();
+
+  std::unique_ptr<Instruction> make(Opcode Op, Type *Ty) {
+    return std::make_unique<Instruction>(Op, Ty);
+  }
+
+  Instruction *insert(std::unique_ptr<Instruction> I, std::string Name) {
+    assert(Block && "no insertion point set");
+    I->setLoc(Loc);
+    if (!Name.empty())
+      I->setName(std::move(Name));
+    if (Index == AtEnd)
+      return Block->append(std::move(I));
+    return Block->insertAt(Index++, std::move(I));
+  }
+
+  Module &M;
+  BasicBlock *Block = nullptr;
+  size_t Index = AtEnd;
+  SourceLoc Loc;
+};
+
+} // namespace cir
+} // namespace concord
+
+#endif // CONCORD_CIR_IRBUILDER_H

@@ -1,0 +1,153 @@
+//===- Instruction.cpp ----------------------------------------------------===//
+
+#include "cir/Instruction.h"
+
+using namespace concord;
+using namespace concord::cir;
+
+void Instruction::replaceUsesOfWith(Value *From, Value *To) {
+  for (Value *&Op : Ops)
+    if (Op == From)
+      Op = To;
+}
+
+bool Instruction::isPure() const {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::AShr:
+  case Opcode::LShr:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::Neg:
+  case Opcode::FNeg:
+  case Opcode::Not:
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+  case Opcode::Select:
+  case Opcode::Cast:
+  case Opcode::FieldAddr:
+  case Opcode::IndexAddr:
+  case Opcode::CpuToGpu:
+  case Opcode::GpuToCpu:
+  case Opcode::GlobalId:
+  case Opcode::LocalId:
+  case Opcode::GroupId:
+  case Opcode::GroupSize:
+  case Opcode::NumCores:
+  case Opcode::LocalBase:
+  case Opcode::Intrinsic:
+    return true;
+  // SDiv/SRem/UDiv/URem can trap on zero; keep them anchored.
+  default:
+    return false;
+  }
+}
+
+const char *concord::cir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Alloca: return "alloca";
+  case Opcode::Load: return "load";
+  case Opcode::Store: return "store";
+  case Opcode::Memcpy: return "memcpy";
+  case Opcode::Add: return "add";
+  case Opcode::Sub: return "sub";
+  case Opcode::Mul: return "mul";
+  case Opcode::SDiv: return "sdiv";
+  case Opcode::SRem: return "srem";
+  case Opcode::UDiv: return "udiv";
+  case Opcode::URem: return "urem";
+  case Opcode::And: return "and";
+  case Opcode::Or: return "or";
+  case Opcode::Xor: return "xor";
+  case Opcode::Shl: return "shl";
+  case Opcode::AShr: return "ashr";
+  case Opcode::LShr: return "lshr";
+  case Opcode::FAdd: return "fadd";
+  case Opcode::FSub: return "fsub";
+  case Opcode::FMul: return "fmul";
+  case Opcode::FDiv: return "fdiv";
+  case Opcode::Neg: return "neg";
+  case Opcode::FNeg: return "fneg";
+  case Opcode::Not: return "not";
+  case Opcode::ICmp: return "icmp";
+  case Opcode::FCmp: return "fcmp";
+  case Opcode::Select: return "select";
+  case Opcode::Cast: return "cast";
+  case Opcode::FieldAddr: return "fieldaddr";
+  case Opcode::IndexAddr: return "indexaddr";
+  case Opcode::Call: return "call";
+  case Opcode::VCall: return "vcall";
+  case Opcode::Intrinsic: return "intrinsic";
+  case Opcode::CpuToGpu: return "cpu2gpu";
+  case Opcode::GpuToCpu: return "gpu2cpu";
+  case Opcode::GlobalId: return "globalid";
+  case Opcode::LocalId: return "localid";
+  case Opcode::GroupId: return "groupid";
+  case Opcode::GroupSize: return "groupsize";
+  case Opcode::NumCores: return "numcores";
+  case Opcode::LocalBase: return "localbase";
+  case Opcode::Barrier: return "barrier";
+  case Opcode::Phi: return "phi";
+  case Opcode::Br: return "br";
+  case Opcode::CondBr: return "condbr";
+  case Opcode::Ret: return "ret";
+  case Opcode::Trap: return "trap";
+  }
+  return "?";
+}
+
+const char *concord::cir::intrinsicName(IntrinsicId Id) {
+  switch (Id) {
+  case IntrinsicId::Sqrt: return "sqrt";
+  case IntrinsicId::Rsqrt: return "rsqrt";
+  case IntrinsicId::Fabs: return "fabs";
+  case IntrinsicId::Fmin: return "fmin";
+  case IntrinsicId::Fmax: return "fmax";
+  case IntrinsicId::Pow: return "pow";
+  case IntrinsicId::Exp: return "exp";
+  case IntrinsicId::Log: return "log";
+  case IntrinsicId::Sin: return "sin";
+  case IntrinsicId::Cos: return "cos";
+  case IntrinsicId::Floor: return "floor";
+  case IntrinsicId::IMin: return "imin";
+  case IntrinsicId::IMax: return "imax";
+  case IntrinsicId::IAbs: return "iabs";
+  }
+  return "?";
+}
+
+const char *concord::cir::icmpPredName(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::EQ: return "eq";
+  case ICmpPred::NE: return "ne";
+  case ICmpPred::SLT: return "slt";
+  case ICmpPred::SLE: return "sle";
+  case ICmpPred::SGT: return "sgt";
+  case ICmpPred::SGE: return "sge";
+  case ICmpPred::ULT: return "ult";
+  case ICmpPred::ULE: return "ule";
+  case ICmpPred::UGT: return "ugt";
+  case ICmpPred::UGE: return "uge";
+  }
+  return "?";
+}
+
+const char *concord::cir::fcmpPredName(FCmpPred P) {
+  switch (P) {
+  case FCmpPred::OEQ: return "oeq";
+  case FCmpPred::ONE: return "one";
+  case FCmpPred::OLT: return "olt";
+  case FCmpPred::OLE: return "ole";
+  case FCmpPred::OGT: return "ogt";
+  case FCmpPred::OGE: return "oge";
+  }
+  return "?";
+}

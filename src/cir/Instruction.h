@@ -1,0 +1,247 @@
+//===- Instruction.h - Concord IR instructions ------------------*- C++ -*-===//
+///
+/// \file
+/// A single generic Instruction class carrying an opcode, operand list,
+/// successor/incoming block list, and a small attribute payload. Kernels are
+/// small (tens to a few hundred device LoC, per Table 1 of the paper), so a
+/// compact uniform representation beats a deep class hierarchy here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CIR_INSTRUCTION_H
+#define CONCORD_CIR_INSTRUCTION_H
+
+#include "cir/Value.h"
+#include "support/SourceLoc.h"
+#include <vector>
+
+namespace concord {
+namespace cir {
+
+class BasicBlock;
+class Function;
+
+enum class Opcode {
+  // Memory.
+  Alloca, ///< Stack slot; attr = element count, AuxType = allocated type.
+  Load,   ///< ops: [Ptr]; loads type() from a GPU-space address.
+  Store,  ///< ops: [Val, Ptr].
+  Memcpy, ///< ops: [Dst, Src]; attr = byte count.
+
+  // Integer arithmetic.
+  Add, Sub, Mul, SDiv, SRem, UDiv, URem,
+  And, Or, Xor, Shl, AShr, LShr,
+  // Float arithmetic.
+  FAdd, FSub, FMul, FDiv,
+  // Unary.
+  Neg, FNeg, Not,
+
+  ICmp,   ///< attr = ICmpPred.
+  FCmp,   ///< attr = FCmpPred.
+  Select, ///< ops: [Cond, TrueVal, FalseVal].
+  Cast,   ///< attr = CastKind.
+
+  // Addressing. Both produce pointers in the same representation as their
+  // base operand (CPU space before SVM lowering).
+  FieldAddr, ///< ops: [Base]; attr = byte offset into the object.
+  IndexAddr, ///< ops: [Base, Index]; scales by pointee size of result type.
+
+  // Calls.
+  Call,      ///< Direct call; callee stored out-of-line; ops = args.
+  VCall,     ///< Virtual call; ops = [Obj, args...]; lowered by Devirtualize.
+  Intrinsic, ///< attr = IntrinsicId; ops = args.
+
+  // Software SVM pointer translation (paper sections 3.1 / 4.1).
+  CpuToGpu, ///< ops: [CpuAddr]; result = addr + svm_const.
+  GpuToCpu, ///< ops: [GpuAddr]; result = addr - svm_const.
+
+  // Device/query values.
+  GlobalId,  ///< Work-item global index (the parallel loop index i).
+  LocalId,   ///< Index within the work-group.
+  GroupId,   ///< Work-group index.
+  GroupSize, ///< Work-group size.
+  NumCores,  ///< W: number of GPU cores (EUs); used by the L3OPT transform.
+  LocalBase, ///< GPU address of this work-group's local scratch surface.
+
+  Barrier, ///< Work-group barrier.
+
+  // Control flow.
+  Phi,    ///< ops: incoming values; blocks(): incoming blocks.
+  Br,     ///< blocks: [Target].
+  CondBr, ///< ops: [Cond]; blocks: [True, False].
+  Ret,    ///< ops: [] or [Val].
+  Trap,   ///< Abort lane (devirtualization fallthrough, div-by-zero, ...).
+};
+
+enum class ICmpPred { EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE };
+enum class FCmpPred { OEQ, ONE, OLT, OLE, OGT, OGE };
+
+enum class CastKind {
+  Trunc,
+  SExt,
+  ZExt,
+  BitCast,  ///< Pointer <-> pointer reinterpretation.
+  PtrToInt,
+  IntToPtr,
+  SIToFP,
+  UIToFP,
+  FPToSI,
+  FPToUI,
+};
+
+enum class IntrinsicId {
+  Sqrt,
+  Rsqrt,
+  Fabs,
+  Fmin,
+  Fmax,
+  Pow,
+  Exp,
+  Log,
+  Sin,
+  Cos,
+  Floor,
+  IMin,
+  IMax,
+  IAbs,
+};
+
+const char *opcodeName(Opcode Op);
+const char *intrinsicName(IntrinsicId Id);
+const char *icmpPredName(ICmpPred P);
+const char *fcmpPredName(FCmpPred P);
+
+class Instruction : public Value {
+public:
+  Instruction(Opcode Op, Type *Ty) : Value(ValueKind::Instruction, Ty), Op(Op) {}
+
+  Opcode opcode() const { return Op; }
+
+  // Operands.
+  unsigned numOperands() const { return Ops.size(); }
+  Value *operand(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Ops.size() && "operand index out of range");
+    Ops[I] = V;
+  }
+  void addOperand(Value *V) { Ops.push_back(V); }
+  const std::vector<Value *> &operands() const { return Ops; }
+  /// Replaces every occurrence of \p From in the operand list with \p To.
+  void replaceUsesOfWith(Value *From, Value *To);
+
+  // Block references (successors for branches, incoming blocks for phis).
+  unsigned numBlocks() const { return Blocks.size(); }
+  BasicBlock *block(unsigned I) const {
+    assert(I < Blocks.size() && "block index out of range");
+    return Blocks[I];
+  }
+  void setBlock(unsigned I, BasicBlock *BB) {
+    assert(I < Blocks.size());
+    Blocks[I] = BB;
+  }
+  void addBlock(BasicBlock *BB) { Blocks.push_back(BB); }
+  const std::vector<BasicBlock *> &blocks() const { return Blocks; }
+
+  // Attribute payload accessors (meaning depends on the opcode).
+  uint64_t attr() const { return Attr; }
+  void setAttr(uint64_t A) { Attr = A; }
+  ICmpPred icmpPred() const {
+    assert(Op == Opcode::ICmp);
+    return ICmpPred(Attr);
+  }
+  FCmpPred fcmpPred() const {
+    assert(Op == Opcode::FCmp);
+    return FCmpPred(Attr);
+  }
+  CastKind castKind() const {
+    assert(Op == Opcode::Cast);
+    return CastKind(Attr);
+  }
+  IntrinsicId intrinsicId() const {
+    assert(Op == Opcode::Intrinsic);
+    return IntrinsicId(Attr);
+  }
+
+  /// Allocated element type for Alloca.
+  Type *auxType() const { return AuxType; }
+  void setAuxType(Type *T) { AuxType = T; }
+
+  /// Direct callee for Call.
+  Function *callee() const { return Callee; }
+  void setCallee(Function *F) { Callee = F; }
+
+  /// Static class and slot for VCall.
+  const ClassType *vcallClass() const { return VClass; }
+  unsigned vcallGroup() const { return VGroup; }
+  unsigned vcallSlot() const { return VSlot; }
+  void setVCallTarget(const ClassType *C, unsigned Group, unsigned Slot) {
+    VClass = C;
+    VGroup = Group;
+    VSlot = Slot;
+  }
+
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret ||
+           Op == Opcode::Trap;
+  }
+  bool isPhi() const { return Op == Opcode::Phi; }
+  bool isBinaryOp() const {
+    return Op >= Opcode::Add && Op <= Opcode::FDiv;
+  }
+  bool isAddressTranslate() const {
+    return Op == Opcode::CpuToGpu || Op == Opcode::GpuToCpu;
+  }
+  /// True for opcodes with no side effects whose result can be recomputed
+  /// (eligible for CSE and DCE).
+  bool isPure() const;
+  /// True if the instruction reads or writes memory.
+  bool touchesMemory() const {
+    return Op == Opcode::Load || Op == Opcode::Store || Op == Opcode::Memcpy;
+  }
+
+  // Phi helpers.
+  Value *incomingValue(unsigned I) const { return operand(I); }
+  BasicBlock *incomingBlock(unsigned I) const { return block(I); }
+  void addIncoming(Value *V, BasicBlock *BB) {
+    assert(isPhi());
+    addOperand(V);
+    addBlock(BB);
+  }
+  /// Removes incoming entry \p K (value and block) from a phi.
+  void removeIncoming(unsigned K) {
+    assert(isPhi() && K < Ops.size() && Ops.size() == Blocks.size());
+    Ops.erase(Ops.begin() + K);
+    Blocks.erase(Blocks.begin() + K);
+  }
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == ValueKind::Instruction;
+  }
+
+private:
+  Opcode Op;
+  std::vector<Value *> Ops;
+  std::vector<BasicBlock *> Blocks;
+  uint64_t Attr = 0;
+  Type *AuxType = nullptr;
+  Function *Callee = nullptr;
+  const ClassType *VClass = nullptr;
+  unsigned VGroup = 0;
+  unsigned VSlot = 0;
+  BasicBlock *Parent = nullptr;
+  SourceLoc Loc;
+};
+
+} // namespace cir
+} // namespace concord
+
+#endif // CONCORD_CIR_INSTRUCTION_H

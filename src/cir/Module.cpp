@@ -1,0 +1,88 @@
+//===- Module.cpp ---------------------------------------------------------===//
+
+#include "cir/Module.h"
+
+#include <bit>
+
+using namespace concord;
+using namespace concord::cir;
+
+Function *Module::createFunction(std::string FnName, FunctionType *FTy) {
+  assert(!FunctionMap.count(FnName) && "duplicate function name");
+  auto F = std::make_unique<Function>(FnName, FTy, this);
+  Function *Raw = F.get();
+  FunctionMap.emplace(std::move(FnName), Raw);
+  Functions.push_back(std::move(F));
+  return Raw;
+}
+
+Function *Module::findFunction(const std::string &FnName) const {
+  auto It = FunctionMap.find(FnName);
+  return It == FunctionMap.end() ? nullptr : It->second;
+}
+
+ConstantInt *Module::constInt(Type *Ty, uint64_t Bits) {
+  // Canonicalize to the type's width so equal values unify.
+  unsigned Bytes = unsigned(Ty->sizeInBytes());
+  if (Bytes < 8)
+    Bits &= (1ull << (Bytes * 8)) - 1;
+  auto Key = std::make_pair(Ty, Bits);
+  auto It = IntConstants.find(Key);
+  if (It != IntConstants.end())
+    return It->second;
+  auto C = std::make_unique<ConstantInt>(Ty, Bits);
+  ConstantInt *Raw = C.get();
+  OwnedConstants.push_back(std::move(C));
+  IntConstants.emplace(Key, Raw);
+  return Raw;
+}
+
+ConstantFloat *Module::constFloat(float V) {
+  uint32_t Key = std::bit_cast<uint32_t>(V);
+  auto It = FloatConstants.find(Key);
+  if (It != FloatConstants.end())
+    return It->second;
+  auto C = std::make_unique<ConstantFloat>(Types.floatTy(), V);
+  ConstantFloat *Raw = C.get();
+  OwnedConstants.push_back(std::move(C));
+  FloatConstants.emplace(Key, Raw);
+  return Raw;
+}
+
+ConstantNull *Module::nullPtr(PointerType *Ty) {
+  auto It = NullConstants.find(Ty);
+  if (It != NullConstants.end())
+    return It->second;
+  auto C = std::make_unique<ConstantNull>(Ty);
+  ConstantNull *Raw = C.get();
+  OwnedConstants.push_back(std::move(C));
+  NullConstants.emplace(Ty, Raw);
+  return Raw;
+}
+
+FunctionSymbol *Module::functionSymbol(Function *F) {
+  auto It = FunctionSymbols.find(F);
+  if (It != FunctionSymbols.end())
+    return It->second;
+  auto C = std::make_unique<FunctionSymbol>(Types.uint64Ty(), F);
+  FunctionSymbol *Raw = C.get();
+  OwnedConstants.push_back(std::move(C));
+  FunctionSymbols.emplace(F, Raw);
+  return Raw;
+}
+
+unsigned Module::symbolIndexOf(const Function *F) const {
+  for (unsigned I = 0; I < Functions.size(); ++I)
+    if (Functions[I].get() == F)
+      return I;
+  assert(false && "function not in module");
+  return ~0u;
+}
+
+size_t Module::countInstructions() const {
+  size_t N = 0;
+  for (const auto &F : Functions)
+    for (BasicBlock *BB : *F)
+      N += BB->size();
+  return N;
+}

@@ -1,0 +1,70 @@
+//===- Module.h - Concord IR module -----------------------------*- C++ -*-===//
+///
+/// \file
+/// A Module is one compiled Concord kernel program: its types, functions,
+/// and uniqued constants. It corresponds to the OpenCL program embedded in
+/// the host executable (gpu_program_t in section 3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CIR_MODULE_H
+#define CONCORD_CIR_MODULE_H
+
+#include "cir/Function.h"
+#include <map>
+#include <memory>
+
+namespace concord {
+namespace cir {
+
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const std::string &name() const { return Name; }
+  TypeContext &types() { return Types; }
+  const TypeContext &types() const { return Types; }
+
+  Function *createFunction(std::string FnName, FunctionType *FTy);
+  Function *findFunction(const std::string &FnName) const;
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  // Uniqued constants (owned by the module).
+  ConstantInt *constInt(Type *Ty, uint64_t Bits);
+  ConstantInt *constI32(int32_t V) {
+    return constInt(Types.int32Ty(), uint64_t(uint32_t(V)));
+  }
+  ConstantInt *constU64(uint64_t V) { return constInt(Types.uint64Ty(), V); }
+  ConstantInt *constBool(bool V) { return constInt(Types.boolTy(), V); }
+  ConstantFloat *constFloat(float V);
+  ConstantNull *nullPtr(PointerType *Ty);
+  FunctionSymbol *functionSymbol(Function *F);
+
+  /// Stable symbol index of a function in this module (used as its 64-bit
+  /// symbol value when vtables are materialized in the shared region).
+  unsigned symbolIndexOf(const Function *F) const;
+
+  /// Total number of IR instructions (used by the Figure 6 statistics).
+  size_t countInstructions() const;
+
+private:
+  std::string Name;
+  TypeContext Types;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::map<std::string, Function *> FunctionMap;
+
+  std::vector<std::unique_ptr<Value>> OwnedConstants;
+  std::map<std::pair<Type *, uint64_t>, ConstantInt *> IntConstants;
+  std::map<uint32_t, ConstantFloat *> FloatConstants;
+  std::map<PointerType *, ConstantNull *> NullConstants;
+  std::map<Function *, FunctionSymbol *> FunctionSymbols;
+};
+
+} // namespace cir
+} // namespace concord
+
+#endif // CONCORD_CIR_MODULE_H

@@ -1,0 +1,157 @@
+//===- Printer.cpp --------------------------------------------------------===//
+
+#include "cir/Printer.h"
+
+#include "cir/Module.h"
+#include "support/StringUtils.h"
+
+#include <map>
+#include <sstream>
+
+using namespace concord;
+using namespace concord::cir;
+
+namespace {
+
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) {}
+
+  std::string print() {
+    std::ostringstream OS;
+    OS << "func " << (F.isKernel() ? "kernel " : "") << "@" << F.name()
+       << "(";
+    for (unsigned I = 0; I < F.numArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << nameOf(F.arg(I)) << ": " << F.arg(I)->type()->str();
+    }
+    OS << ") -> " << F.returnType()->str() << " {\n";
+    for (BasicBlock *BB : F) {
+      OS << blockName(BB) << ":\n";
+      for (Instruction *I : *BB)
+        OS << "  " << printInstr(I) << "\n";
+    }
+    OS << "}\n";
+    return OS.str();
+  }
+
+private:
+  std::string nameOf(const Value *V) {
+    if (auto *CI = dyn_cast<ConstantInt>(V))
+      return std::to_string(CI->sext());
+    if (auto *CF = dyn_cast<ConstantFloat>(V))
+      return formatString("%g", double(CF->value()));
+    if (isa<ConstantNull>(V))
+      return "null";
+    if (auto *FS = dyn_cast<FunctionSymbol>(V))
+      return "@sym(" + FS->function()->name() + ")";
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    std::string Name;
+    if (!V->name().empty())
+      Name = "%" + V->name();
+    else
+      Name = "%" + std::to_string(NextId++);
+    Names.emplace(V, Name);
+    return Name;
+  }
+
+  std::string blockName(const BasicBlock *BB) {
+    auto It = BlockNames.find(BB);
+    if (It != BlockNames.end())
+      return It->second;
+    std::string Name = BB->name().empty()
+                           ? "bb" + std::to_string(BlockNames.size())
+                           : BB->name() + "." +
+                                 std::to_string(BlockNames.size());
+    BlockNames.emplace(BB, Name);
+    return Name;
+  }
+
+  std::string printInstr(const Instruction *I) {
+    std::ostringstream OS;
+    if (!I->type()->isVoid())
+      OS << nameOf(I) << " = ";
+    OS << opcodeName(I->opcode());
+    switch (I->opcode()) {
+    case Opcode::ICmp:
+      OS << "." << icmpPredName(I->icmpPred());
+      break;
+    case Opcode::FCmp:
+      OS << "." << fcmpPredName(I->fcmpPred());
+      break;
+    case Opcode::Intrinsic:
+      OS << "." << intrinsicName(I->intrinsicId());
+      break;
+    case Opcode::FieldAddr:
+      OS << "+" << I->attr();
+      break;
+    case Opcode::Alloca:
+      OS << " " << I->auxType()->str();
+      break;
+    case Opcode::Call:
+      OS << " @" << I->callee()->name();
+      break;
+    case Opcode::VCall:
+      OS << " " << I->vcallClass()->name() << "/g" << I->vcallGroup() << "s"
+         << I->vcallSlot();
+      break;
+    case Opcode::Memcpy:
+      OS << " bytes=" << I->attr();
+      break;
+    default:
+      break;
+    }
+    for (unsigned Op = 0; Op < I->numOperands(); ++Op)
+      OS << (Op ? ", " : " ") << nameOf(I->operand(Op));
+    if (I->opcode() == Opcode::Phi) {
+      for (unsigned K = 0; K < I->numBlocks(); ++K)
+        OS << " [" << nameOf(I->incomingValue(K)) << ", "
+           << blockName(I->incomingBlock(K)) << "]";
+    } else {
+      for (unsigned K = 0; K < I->numBlocks(); ++K)
+        OS << (K || I->numOperands() ? ", " : " ") << blockName(I->block(K));
+    }
+    if (!I->type()->isVoid())
+      OS << " : " << I->type()->str();
+    return OS.str();
+  }
+
+  const Function &F;
+  std::map<const Value *, std::string> Names;
+  std::map<const BasicBlock *, std::string> BlockNames;
+  unsigned NextId = 0;
+};
+
+} // namespace
+
+std::string concord::cir::printFunction(const Function &F) {
+  return FunctionPrinter(F).print();
+}
+
+std::string concord::cir::printModule(const Module &M) {
+  std::ostringstream OS;
+  OS << "module " << M.name() << "\n";
+  for (const ClassType *C : M.types().classes()) {
+    OS << "class " << C->name() << " size=" << C->classSize()
+       << " align=" << C->classAlign() << " {\n";
+    for (const BaseInfo &B : C->bases())
+      OS << "  base " << B.Base->name() << " @" << B.Offset << "\n";
+    for (const FieldInfo &F : C->fields())
+      OS << "  field " << F.Name << ": " << F.Ty->str() << " @" << F.Offset
+         << "\n";
+    for (unsigned G = 0; G < C->vtables().size(); ++G) {
+      const VTableGroup &Group = C->vtables()[G];
+      OS << "  vtable g" << G << " @" << Group.Offset << ":";
+      for (const VTableSlot &S : Group.Slots)
+        OS << " " << S.Name << "=" << (S.Impl ? S.Impl->name() : "<null>");
+      OS << "\n";
+    }
+    OS << "}\n";
+  }
+  for (const auto &F : M.functions())
+    OS << printFunction(*F);
+  return OS.str();
+}

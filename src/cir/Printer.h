@@ -1,0 +1,28 @@
+//===- Printer.h - Textual dump of Concord IR -------------------*- C++ -*-===//
+///
+/// \file
+/// Human-readable IR dumps for tests and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CIR_PRINTER_H
+#define CONCORD_CIR_PRINTER_H
+
+#include <string>
+
+namespace concord {
+namespace cir {
+
+class Module;
+class Function;
+
+/// Renders a whole module (classes and functions).
+std::string printModule(const Module &M);
+
+/// Renders one function.
+std::string printFunction(const Function &F);
+
+} // namespace cir
+} // namespace concord
+
+#endif // CONCORD_CIR_PRINTER_H

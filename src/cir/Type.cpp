@@ -1,0 +1,340 @@
+//===- Type.cpp -----------------------------------------------------------===//
+
+#include "cir/Type.h"
+
+using namespace concord;
+using namespace concord::cir;
+
+static uint64_t alignUp(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// Structural signature equality (types are uniqued except FunctionType).
+static bool sameSignature(const FunctionType *A, const FunctionType *B) {
+  if (A == B)
+    return true;
+  if (A->returnType() != B->returnType())
+    return false;
+  return A->params() == B->params();
+}
+
+uint64_t Type::sizeInBytes() const {
+  switch (Kind) {
+  case TypeKind::Void:
+  case TypeKind::Function:
+    assert(false && "type has no size");
+    return 0;
+  case TypeKind::Bool:
+  case TypeKind::Int8:
+  case TypeKind::UInt8:
+    return 1;
+  case TypeKind::Int16:
+  case TypeKind::UInt16:
+    return 2;
+  case TypeKind::Int32:
+  case TypeKind::UInt32:
+  case TypeKind::Float32:
+    return 4;
+  case TypeKind::Int64:
+  case TypeKind::UInt64:
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array: {
+    auto *AT = cast<ArrayType>(this);
+    return AT->element()->sizeInBytes() * AT->length();
+  }
+  case TypeKind::Class:
+    return cast<ClassType>(this)->classSize();
+  }
+  return 0;
+}
+
+uint64_t Type::alignInBytes() const {
+  switch (Kind) {
+  case TypeKind::Array:
+    return cast<ArrayType>(this)->element()->alignInBytes();
+  case TypeKind::Class:
+    return cast<ClassType>(this)->classAlign();
+  default:
+    return sizeInBytes();
+  }
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Int8:
+    return "i8";
+  case TypeKind::Int16:
+    return "i16";
+  case TypeKind::Int32:
+    return "i32";
+  case TypeKind::Int64:
+    return "i64";
+  case TypeKind::UInt8:
+    return "u8";
+  case TypeKind::UInt16:
+    return "u16";
+  case TypeKind::UInt32:
+    return "u32";
+  case TypeKind::UInt64:
+    return "u64";
+  case TypeKind::Float32:
+    return "float";
+  case TypeKind::Pointer:
+    return cast<PointerType>(this)->pointee()->str() + "*";
+  case TypeKind::Array: {
+    auto *AT = cast<ArrayType>(this);
+    return AT->element()->str() + "[" + std::to_string(AT->length()) + "]";
+  }
+  case TypeKind::Class:
+    return cast<ClassType>(this)->name();
+  case TypeKind::Function: {
+    auto *FT = cast<FunctionType>(this);
+    std::string S = FT->returnType()->str() + "(";
+    for (size_t I = 0; I < FT->params().size(); ++I) {
+      if (I)
+        S += ", ";
+      S += FT->params()[I]->str();
+    }
+    return S + ")";
+  }
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// ClassType
+//===----------------------------------------------------------------------===//
+
+void ClassType::addBase(ClassType *Base) {
+  assert(!LaidOut && "class layout already finalized");
+  assert(Base->isLaidOut() && "base classes must be laid out first");
+  Bases.push_back({Base, 0});
+}
+
+void ClassType::addField(std::string FieldName, Type *FieldTy) {
+  assert(!LaidOut && "class layout already finalized");
+  Fields.push_back({std::move(FieldName), FieldTy, 0});
+}
+
+void ClassType::addVirtualMethod(std::string MethodName,
+                                 FunctionType *Signature) {
+  assert(!LaidOut && "class layout already finalized");
+  DeclaredVirtuals.push_back({std::move(MethodName), Signature});
+}
+
+void ClassType::finalizeLayout() {
+  assert(!LaidOut && "layout finalized twice");
+
+  // Pick a primary base: the first vtable-carrying direct base, so the
+  // derived class can share (extend) its vtable pointer at offset 0.
+  int PrimaryIdx = -1;
+  for (size_t I = 0; I < Bases.size(); ++I) {
+    if (Bases[I].Base->hasVTable()) {
+      PrimaryIdx = static_cast<int>(I);
+      break;
+    }
+  }
+  if (PrimaryIdx > 0)
+    std::swap(Bases[0], Bases[size_t(PrimaryIdx)]);
+
+  uint64_t Cursor = 0;
+  bool HavePrimaryVTable = false;
+
+  if (PrimaryIdx >= 0) {
+    ClassType *Primary = Bases[0].Base;
+    Bases[0].Offset = 0;
+    // Inherit all of the primary base's vtable groups at their offsets.
+    VTables = Primary->VTables;
+    Cursor = Primary->classSize();
+    Align = std::max(Align, Primary->classAlign());
+    HavePrimaryVTable = true;
+  } else if (!DeclaredVirtuals.empty()) {
+    // This class introduces the vtable: reserve the vptr at offset 0.
+    VTables.push_back(VTableGroup{0, {}});
+    Cursor = 8;
+    Align = std::max<uint64_t>(Align, 8);
+    HavePrimaryVTable = true;
+  }
+
+  // Remaining bases at aligned offsets, carrying their vtable groups along
+  // (shifted): these become the object's secondary vtable groups.
+  for (size_t I = (PrimaryIdx >= 0 ? 1 : 0); I < Bases.size(); ++I) {
+    ClassType *Base = Bases[I].Base;
+    Cursor = alignUp(Cursor, Base->classAlign());
+    Bases[I].Offset = Cursor;
+    for (const VTableGroup &G : Base->VTables) {
+      VTableGroup Shifted = G;
+      Shifted.Offset += Cursor;
+      VTables.push_back(std::move(Shifted));
+    }
+    Cursor += Base->classSize();
+    Align = std::max(Align, Base->classAlign());
+  }
+
+  // Fields.
+  for (FieldInfo &F : Fields) {
+    uint64_t A = F.Ty->alignInBytes();
+    Cursor = alignUp(Cursor, A);
+    F.Offset = Cursor;
+    Cursor += F.Ty->sizeInBytes();
+    Align = std::max(Align, A);
+  }
+
+  // Place this class's virtual methods: overrides reuse the slot they
+  // override (in every group that declares it); new virtuals append to the
+  // primary group.
+  for (const DeclaredVirtual &DV : DeclaredVirtuals) {
+    bool Overrides = false;
+    for (VTableGroup &G : VTables) {
+      for (VTableSlot &S : G.Slots) {
+        if (S.Name == DV.Name && sameSignature(S.Signature, DV.Signature)) {
+          Overrides = true;
+          // Impl is filled in by IR generation (possibly with a thunk for
+          // non-zero group offsets).
+          S.Impl = nullptr;
+        }
+      }
+    }
+    if (!Overrides) {
+      assert(HavePrimaryVTable && "virtual method without a vtable");
+      VTables.front().Slots.push_back({DV.Name, DV.Signature, nullptr});
+    }
+  }
+  (void)HavePrimaryVTable;
+
+  Size = std::max<uint64_t>(1, alignUp(Cursor, Align));
+  LaidOut = true;
+}
+
+const FieldInfo *ClassType::findOwnField(const std::string &FieldName) const {
+  for (const FieldInfo &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+const FieldInfo *ClassType::findField(const std::string &FieldName,
+                                      uint64_t *TotalOffset) const {
+  if (const FieldInfo *F = findOwnField(FieldName)) {
+    *TotalOffset = F->Offset;
+    return F;
+  }
+  for (const BaseInfo &B : Bases) {
+    uint64_t Inner = 0;
+    if (const FieldInfo *F = B.Base->findField(FieldName, &Inner)) {
+      *TotalOffset = B.Offset + Inner;
+      return F;
+    }
+  }
+  return nullptr;
+}
+
+bool ClassType::offsetOfBase(const ClassType *Base, uint64_t *Offset) const {
+  if (Base == this) {
+    *Offset = 0;
+    return true;
+  }
+  for (const BaseInfo &B : Bases) {
+    uint64_t Inner = 0;
+    if (B.Base->offsetOfBase(Base, &Inner)) {
+      *Offset = B.Offset + Inner;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ClassType::isBaseOrSelf(const ClassType *Other) const {
+  uint64_t Ignored = 0;
+  return offsetOfBase(Other, &Ignored);
+}
+
+bool ClassType::findVirtualSlot(const std::string &MethodName,
+                                const FunctionType *Signature,
+                                unsigned *GroupIndex,
+                                unsigned *SlotIndex) const {
+  for (unsigned G = 0; G < VTables.size(); ++G) {
+    const VTableGroup &Group = VTables[G];
+    for (unsigned S = 0; S < Group.Slots.size(); ++S) {
+      const VTableSlot &Slot = Group.Slots[S];
+      if (Slot.Name == MethodName && sameSignature(Slot.Signature, Signature)) {
+        *GroupIndex = G;
+        *SlotIndex = S;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// TypeContext
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Concrete scalar type (no extra payload beyond the kind).
+class ScalarType : public Type {
+public:
+  ScalarType(TypeKind Kind, TypeContext &Ctx) : Type(Kind, Ctx) {}
+};
+} // namespace
+
+TypeContext::TypeContext() {
+  Scalars.resize(size_t(TypeKind::Float32) + 1, nullptr);
+  for (size_t K = 0; K <= size_t(TypeKind::Float32); ++K) {
+    auto T = std::make_unique<ScalarType>(TypeKind(K), *this);
+    Scalars[K] = T.get();
+    Owned.push_back(std::move(T));
+  }
+}
+
+PointerType *TypeContext::pointerTo(Type *Pointee) {
+  auto It = PointerTypes.find(Pointee);
+  if (It != PointerTypes.end())
+    return It->second;
+  auto *PT = new PointerType(Pointee, *this);
+  Owned.emplace_back(PT);
+  PointerTypes.emplace(Pointee, PT);
+  return PT;
+}
+
+ArrayType *TypeContext::arrayOf(Type *Element, uint64_t Length) {
+  auto Key = std::make_pair(Element, Length);
+  auto It = ArrayTypes.find(Key);
+  if (It != ArrayTypes.end())
+    return It->second;
+  auto *AT = new ArrayType(Element, Length, *this);
+  Owned.emplace_back(AT);
+  ArrayTypes.emplace(Key, AT);
+  return AT;
+}
+
+FunctionType *TypeContext::functionTy(Type *Return,
+                                      std::vector<Type *> Params) {
+  for (FunctionType *FT : FunctionTypes)
+    if (FT->returnType() == Return && FT->params() == Params)
+      return FT;
+  auto *FT = new FunctionType(Return, std::move(Params), *this);
+  Owned.emplace_back(FT);
+  FunctionTypes.push_back(FT);
+  return FT;
+}
+
+ClassType *TypeContext::createClass(std::string Name) {
+  assert(!ClassMap.count(Name) && "duplicate class name");
+  auto *CT = new ClassType(Name, *this);
+  Owned.emplace_back(CT);
+  ClassMap.emplace(std::move(Name), CT);
+  ClassList.push_back(CT);
+  return CT;
+}
+
+ClassType *TypeContext::findClass(const std::string &Name) const {
+  auto It = ClassMap.find(Name);
+  return It == ClassMap.end() ? nullptr : It->second;
+}

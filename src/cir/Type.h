@@ -1,0 +1,307 @@
+//===- Type.h - Concord IR type system -------------------------*- C++ -*-===//
+///
+/// \file
+/// Types for Concord IR (CIR), the intermediate representation the Concord
+/// kernel compiler lowers device code into. Types are uniqued and owned by a
+/// TypeContext, so type equality is pointer equality.
+///
+/// ClassType carries full C++-style object layout: non-virtual bases at
+/// computed offsets (including multiple inheritance), fields, and one or
+/// more vtable groups. A vtable group is a (subobject offset, slot list)
+/// pair; a class has a primary group at offset 0 shared with its primary
+/// base chain, plus one group per vtable-carrying non-primary base. This is
+/// the layout the paper's section 3.2 lowers virtual calls against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CIR_TYPE_H
+#define CONCORD_CIR_TYPE_H
+
+#include "support/Casting.h"
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace cir {
+
+class Function;
+class TypeContext;
+
+enum class TypeKind {
+  Void,
+  Bool,
+  Int8,
+  Int16,
+  Int32,
+  Int64,
+  UInt8,
+  UInt16,
+  UInt32,
+  UInt64,
+  Float32,
+  Pointer,
+  Array,
+  Class,
+  Function,
+};
+
+/// Base of all CIR types.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isFloat() const { return Kind == TypeKind::Float32; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isClass() const { return Kind == TypeKind::Class; }
+  bool isFunction() const { return Kind == TypeKind::Function; }
+
+  bool isInteger() const {
+    return Kind >= TypeKind::Bool && Kind <= TypeKind::UInt64;
+  }
+  bool isSignedInteger() const {
+    return Kind >= TypeKind::Int8 && Kind <= TypeKind::Int64;
+  }
+  bool isUnsignedInteger() const {
+    return Kind >= TypeKind::UInt8 && Kind <= TypeKind::UInt64;
+  }
+  /// Any type a CIR virtual register can hold (scalar or pointer).
+  bool isScalar() const {
+    return isInteger() || isFloat() || isPointer();
+  }
+
+  /// Size of a value of this type in bytes (asserts on void/function).
+  uint64_t sizeInBytes() const;
+  /// Natural alignment in bytes.
+  uint64_t alignInBytes() const;
+
+  /// Short printable name ("i32", "float", "Node*", ...).
+  std::string str() const;
+
+  virtual ~Type() = default;
+
+protected:
+  Type(TypeKind Kind, TypeContext &Ctx) : Kind(Kind), Ctx(&Ctx) {}
+  TypeContext *context() const { return Ctx; }
+
+private:
+  TypeKind Kind;
+  TypeContext *Ctx;
+};
+
+/// Pointer to a pointee type. CIR pointers are 64-bit CPU virtual addresses;
+/// whether a given SSA value currently holds the CPU or the GPU
+/// representation of an address is tracked by the SVM lowering pass, not by
+/// the type system (both representations are 64-bit integers with the same
+/// pointee).
+class PointerType : public Type {
+public:
+  Type *pointee() const { return Pointee; }
+
+  static bool classof(const Type *T) { return T->isPointer(); }
+
+private:
+  friend class TypeContext;
+  PointerType(Type *Pointee, TypeContext &Ctx)
+      : Type(TypeKind::Pointer, Ctx), Pointee(Pointee) {}
+  Type *Pointee;
+};
+
+/// Fixed-length array type (used for fields like `Node *forward[8]` and
+/// local scratch arrays).
+class ArrayType : public Type {
+public:
+  Type *element() const { return Element; }
+  uint64_t length() const { return Length; }
+
+  static bool classof(const Type *T) { return T->isArray(); }
+
+private:
+  friend class TypeContext;
+  ArrayType(Type *Element, uint64_t Length, TypeContext &Ctx)
+      : Type(TypeKind::Array, Ctx), Element(Element), Length(Length) {}
+  Type *Element;
+  uint64_t Length;
+};
+
+/// Function signature type.
+class FunctionType : public Type {
+public:
+  Type *returnType() const { return Return; }
+  const std::vector<Type *> &params() const { return Params; }
+
+  static bool classof(const Type *T) { return T->isFunction(); }
+
+private:
+  friend class TypeContext;
+  FunctionType(Type *Return, std::vector<Type *> Params, TypeContext &Ctx)
+      : Type(TypeKind::Function, Ctx), Return(Return),
+        Params(std::move(Params)) {}
+  Type *Return;
+  std::vector<Type *> Params;
+};
+
+/// A field of a class.
+struct FieldInfo {
+  std::string Name;
+  Type *Ty = nullptr;
+  uint64_t Offset = 0;
+};
+
+/// A direct base class at a layout offset.
+struct BaseInfo {
+  class ClassType *Base = nullptr;
+  uint64_t Offset = 0;
+};
+
+/// One virtual-method slot in a vtable group.
+struct VTableSlot {
+  std::string Name;          ///< Unqualified method name.
+  FunctionType *Signature;   ///< Signature *without* the this parameter.
+  Function *Impl = nullptr;  ///< Final implementation (may be a thunk).
+};
+
+/// A vtable-carrying subobject: the group's offset inside the complete
+/// object and its slot list.
+struct VTableGroup {
+  uint64_t Offset = 0;
+  std::vector<VTableSlot> Slots;
+};
+
+/// A C++-like class/struct with layout.
+///
+/// Layout algorithm (finalizeLayout): the primary base (first
+/// vtable-carrying direct base, else first base) is placed at offset 0 so
+/// the primary vtable pointer is shared; remaining bases follow at aligned
+/// offsets; then fields. If the class has virtual methods but no
+/// vtable-carrying primary base, an 8-byte vptr is placed at offset 0.
+class ClassType : public Type {
+public:
+  const std::string &name() const { return Name; }
+
+  /// Adds a direct base class. Must precede addField/finalizeLayout.
+  void addBase(ClassType *Base);
+
+  /// Adds a field; offset is assigned by finalizeLayout.
+  void addField(std::string FieldName, Type *FieldTy);
+
+  /// Declares a virtual method introduced or overridden by this class.
+  /// Slot assignment and thunk creation happen in finalizeLayout /
+  /// setSlotImpl.
+  void addVirtualMethod(std::string MethodName, FunctionType *Signature);
+
+  /// Computes base offsets, field offsets, vtable groups, size, alignment.
+  void finalizeLayout();
+  bool isLaidOut() const { return LaidOut; }
+
+  const std::vector<BaseInfo> &bases() const { return Bases; }
+  const std::vector<FieldInfo> &fields() const { return Fields; }
+
+  /// Field lookup in this class only (no bases); returns null if absent.
+  const FieldInfo *findOwnField(const std::string &FieldName) const;
+
+  /// Field lookup including bases. On success returns the field and sets
+  /// \p TotalOffset to its offset from the start of this class.
+  const FieldInfo *findField(const std::string &FieldName,
+                             uint64_t *TotalOffset) const;
+
+  /// Offset of base class \p Base within this class, walking transitively.
+  /// Returns false if \p Base is not a (transitive) base.
+  bool offsetOfBase(const ClassType *Base, uint64_t *Offset) const;
+
+  /// True if \p Other is this class or a transitive base of it.
+  bool isBaseOrSelf(const ClassType *Other) const;
+
+  bool hasVTable() const { return !VTables.empty(); }
+  const std::vector<VTableGroup> &vtables() const { return VTables; }
+  std::vector<VTableGroup> &vtablesMutable() { return VTables; }
+
+  /// Finds the vtable group + slot for method \p MethodName with signature
+  /// \p Signature. Returns false if no such virtual slot exists.
+  bool findVirtualSlot(const std::string &MethodName,
+                       const FunctionType *Signature, unsigned *GroupIndex,
+                       unsigned *SlotIndex) const;
+
+  uint64_t classSize() const {
+    assert(LaidOut);
+    return Size;
+  }
+  uint64_t classAlign() const {
+    assert(LaidOut);
+    return Align;
+  }
+
+  static bool classof(const Type *T) { return T->isClass(); }
+
+private:
+  friend class TypeContext;
+  ClassType(std::string Name, TypeContext &Ctx)
+      : Type(TypeKind::Class, Ctx), Name(std::move(Name)) {}
+
+  struct DeclaredVirtual {
+    std::string Name;
+    FunctionType *Signature;
+  };
+
+  std::string Name;
+  std::vector<BaseInfo> Bases;
+  std::vector<FieldInfo> Fields;
+  std::vector<DeclaredVirtual> DeclaredVirtuals;
+  std::vector<VTableGroup> VTables;
+  uint64_t Size = 0;
+  uint64_t Align = 1;
+  bool LaidOut = false;
+};
+
+/// Owns and uniques all types of a module.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  Type *voidTy() { return Scalars[size_t(TypeKind::Void)]; }
+  Type *boolTy() { return Scalars[size_t(TypeKind::Bool)]; }
+  Type *int8Ty() { return Scalars[size_t(TypeKind::Int8)]; }
+  Type *int16Ty() { return Scalars[size_t(TypeKind::Int16)]; }
+  Type *int32Ty() { return Scalars[size_t(TypeKind::Int32)]; }
+  Type *int64Ty() { return Scalars[size_t(TypeKind::Int64)]; }
+  Type *uint8Ty() { return Scalars[size_t(TypeKind::UInt8)]; }
+  Type *uint16Ty() { return Scalars[size_t(TypeKind::UInt16)]; }
+  Type *uint32Ty() { return Scalars[size_t(TypeKind::UInt32)]; }
+  Type *uint64Ty() { return Scalars[size_t(TypeKind::UInt64)]; }
+  Type *floatTy() { return Scalars[size_t(TypeKind::Float32)]; }
+  Type *scalar(TypeKind Kind) {
+    assert(size_t(Kind) < Scalars.size() && Scalars[size_t(Kind)]);
+    return Scalars[size_t(Kind)];
+  }
+
+  PointerType *pointerTo(Type *Pointee);
+  ArrayType *arrayOf(Type *Element, uint64_t Length);
+  FunctionType *functionTy(Type *Return, std::vector<Type *> Params);
+
+  /// Creates a named class type. Names are unique within a context.
+  ClassType *createClass(std::string Name);
+  ClassType *findClass(const std::string &Name) const;
+  const std::vector<ClassType *> &classes() const { return ClassList; }
+
+private:
+  std::vector<std::unique_ptr<Type>> Owned;
+  std::vector<Type *> Scalars;
+  std::map<Type *, PointerType *> PointerTypes;
+  std::map<std::pair<Type *, uint64_t>, ArrayType *> ArrayTypes;
+  std::vector<FunctionType *> FunctionTypes;
+  std::map<std::string, ClassType *> ClassMap;
+  std::vector<ClassType *> ClassList;
+};
+
+} // namespace cir
+} // namespace concord
+
+#endif // CONCORD_CIR_TYPE_H

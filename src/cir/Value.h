@@ -1,0 +1,154 @@
+//===- Value.h - Concord IR values ------------------------------*- C++ -*-===//
+///
+/// \file
+/// Value is the base of everything an instruction can reference: arguments,
+/// constants, function symbols, and other instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CIR_VALUE_H
+#define CONCORD_CIR_VALUE_H
+
+#include "cir/Type.h"
+#include "support/Casting.h"
+#include <cstdint>
+#include <string>
+
+namespace concord {
+namespace cir {
+
+class Function;
+
+enum class ValueKind {
+  Argument,
+  ConstantInt,
+  ConstantFloat,
+  ConstantNull,
+  FunctionSymbol,
+  Instruction,
+};
+
+class Value {
+public:
+  ValueKind valueKind() const { return VKind; }
+  Type *type() const { return Ty; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  bool isConstant() const {
+    return VKind == ValueKind::ConstantInt ||
+           VKind == ValueKind::ConstantFloat ||
+           VKind == ValueKind::ConstantNull ||
+           VKind == ValueKind::FunctionSymbol;
+  }
+
+  virtual ~Value() = default;
+
+protected:
+  Value(ValueKind VKind, Type *Ty) : VKind(VKind), Ty(Ty) {}
+
+private:
+  ValueKind VKind;
+  Type *Ty;
+  std::string Name;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, unsigned Index, Function *Parent)
+      : Value(ValueKind::Argument, Ty), Index(Index), Parent(Parent) {}
+
+  unsigned index() const { return Index; }
+  Function *parent() const { return Parent; }
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned Index;
+  Function *Parent;
+};
+
+/// Integer (or bool) constant. The bit pattern is stored zero-extended to
+/// 64 bits; signedness comes from the type.
+class ConstantInt : public Value {
+public:
+  ConstantInt(Type *Ty, uint64_t Bits)
+      : Value(ValueKind::ConstantInt, Ty), Bits(Bits) {
+    assert(Ty->isInteger() && "integer constant needs an integer type");
+  }
+
+  uint64_t zext() const { return Bits; }
+  int64_t sext() const {
+    unsigned Width = unsigned(type()->sizeInBytes()) * 8;
+    if (Width >= 64)
+      return static_cast<int64_t>(Bits);
+    uint64_t SignBit = 1ull << (Width - 1);
+    return static_cast<int64_t>((Bits ^ SignBit) - SignBit);
+  }
+  bool isZero() const { return Bits == 0; }
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == ValueKind::ConstantInt;
+  }
+
+private:
+  uint64_t Bits;
+};
+
+/// 32-bit float constant.
+class ConstantFloat : public Value {
+public:
+  ConstantFloat(Type *Ty, float V)
+      : Value(ValueKind::ConstantFloat, Ty), Val(V) {
+    assert(Ty->isFloat());
+  }
+
+  float value() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == ValueKind::ConstantFloat;
+  }
+
+private:
+  float Val;
+};
+
+/// Typed null pointer constant.
+class ConstantNull : public Value {
+public:
+  explicit ConstantNull(PointerType *Ty)
+      : Value(ValueKind::ConstantNull, Ty) {}
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == ValueKind::ConstantNull;
+  }
+};
+
+/// The address-like symbol of a function, as stored in vtable slots in the
+/// shared region and compared against by devirtualized call sequences
+/// (paper section 3.2: "global symbols of relevant virtual functions").
+/// The concrete 64-bit symbol value is assigned when the module is linked
+/// into the runtime.
+class FunctionSymbol : public Value {
+public:
+  FunctionSymbol(Type *U64Ty, Function *F)
+      : Value(ValueKind::FunctionSymbol, U64Ty), F(F) {}
+
+  Function *function() const { return F; }
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == ValueKind::FunctionSymbol;
+  }
+
+private:
+  Function *F;
+};
+
+} // namespace cir
+} // namespace concord
+
+#endif // CONCORD_CIR_VALUE_H

@@ -1,0 +1,163 @@
+//===- Verifier.cpp -------------------------------------------------------===//
+
+#include "cir/Verifier.h"
+
+#include "cir/Module.h"
+#include "support/StringUtils.h"
+
+#include <map>
+#include <set>
+
+using namespace concord;
+using namespace concord::cir;
+
+std::vector<std::string> concord::cir::verifyFunction(const Function &F) {
+  std::vector<std::string> Errors;
+  auto Err = [&](const std::string &Msg) {
+    Errors.push_back("@" + F.name() + ": " + Msg);
+  };
+
+  if (F.empty()) {
+    Err("function has no body");
+    return Errors;
+  }
+
+  // Collect all instructions and block membership.
+  std::set<const Instruction *> AllInstrs;
+  std::set<const BasicBlock *> AllBlocks;
+  for (BasicBlock *BB : F) {
+    AllBlocks.insert(BB);
+    for (Instruction *I : *BB)
+      AllInstrs.insert(I);
+  }
+
+  // Predecessor map for phi checking.
+  std::map<const BasicBlock *, std::set<const BasicBlock *>> Preds;
+  for (BasicBlock *BB : F)
+    for (BasicBlock *Succ : BB->successors())
+      Preds[Succ].insert(BB);
+
+  for (BasicBlock *BB : F) {
+    if (BB->empty()) {
+      Err("block '" + BB->name() + "' is empty");
+      continue;
+    }
+    if (!BB->terminator())
+      Err("block '" + BB->name() + "' lacks a terminator");
+
+    bool SeenNonPhi = false;
+    for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+      const Instruction *I = BB->instr(Idx);
+      if (I->isTerminator() && Idx + 1 != BB->size())
+        Err("terminator in the middle of block '" + BB->name() + "'");
+      if (I->isPhi()) {
+        if (SeenNonPhi)
+          Err("phi after non-phi in block '" + BB->name() + "'");
+      } else {
+        SeenNonPhi = true;
+      }
+      if (I->parent() != BB)
+        Err("instruction parent link broken in '" + BB->name() + "'");
+
+      // Operand sanity.
+      for (unsigned Op = 0; Op < I->numOperands(); ++Op) {
+        const Value *V = I->operand(Op);
+        if (!V) {
+          Err("null operand in " + std::string(opcodeName(I->opcode())));
+          continue;
+        }
+        if (auto *OpI = dyn_cast<Instruction>(V))
+          if (!AllInstrs.count(OpI))
+            Err("operand instruction from another function in '" +
+                BB->name() + "'");
+        if (auto *Arg = dyn_cast<Argument>(V))
+          if (Arg->parent() != &F)
+            Err("argument of another function used in '" + BB->name() + "'");
+      }
+      for (unsigned B = 0; B < I->numBlocks(); ++B)
+        if (!AllBlocks.count(I->block(B)))
+          Err("reference to a block of another function");
+
+      // Per-opcode checks.
+      switch (I->opcode()) {
+      case Opcode::Load:
+        if (!I->operand(0)->type()->isPointer() &&
+            !I->operand(0)->type()->isUnsignedInteger())
+          Err("load address is neither pointer nor integer");
+        break;
+      case Opcode::Store:
+        if (I->numOperands() != 2)
+          Err("store needs exactly two operands");
+        break;
+      case Opcode::Phi:
+        if (I->numOperands() != I->numBlocks())
+          Err("phi value/block count mismatch");
+        else {
+          const auto &P = Preds[BB];
+          if (I->numBlocks() != P.size())
+            Err("phi incoming count differs from predecessor count in '" +
+                BB->name() + "'");
+          for (unsigned K = 0; K < I->numBlocks(); ++K) {
+            if (!P.count(I->incomingBlock(K)))
+              Err("phi incoming block is not a predecessor of '" +
+                  BB->name() + "'");
+            if (I->incomingValue(K)->type() != I->type())
+              Err("phi incoming value type mismatch in '" + BB->name() + "'");
+          }
+        }
+        break;
+      case Opcode::CondBr:
+        if (I->numBlocks() != 2)
+          Err("condbr needs two successor blocks");
+        if (I->numOperands() != 1 || !I->operand(0)->type()->isBool())
+          Err("condbr condition must be bool");
+        break;
+      case Opcode::Br:
+        if (I->numBlocks() != 1)
+          Err("br needs one successor block");
+        break;
+      case Opcode::Ret: {
+        bool WantsValue = !F.returnType()->isVoid();
+        if (WantsValue && I->numOperands() != 1)
+          Err("ret must carry a value in a non-void function");
+        if (!WantsValue && I->numOperands() != 0)
+          Err("ret carries a value in a void function");
+        if (WantsValue && I->numOperands() == 1 &&
+            I->operand(0)->type() != F.returnType())
+          Err("ret value type differs from function return type");
+        break;
+      }
+      case Opcode::Call: {
+        if (!I->callee()) {
+          Err("call without a callee");
+          break;
+        }
+        const FunctionType *FT = I->callee()->functionType();
+        if (FT->params().size() != I->numOperands())
+          Err("call argument count mismatch to @" + I->callee()->name());
+        break;
+      }
+      case Opcode::VCall:
+        if (I->numOperands() < 1)
+          Err("vcall needs at least the object operand");
+        if (!I->vcallClass())
+          Err("vcall without a static class");
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return Errors;
+}
+
+std::vector<std::string> concord::cir::verifyModule(const Module &M) {
+  std::vector<std::string> Errors;
+  for (const auto &F : M.functions()) {
+    if (F->empty())
+      continue; // Declaration only (e.g. a pure virtual method).
+    auto FE = verifyFunction(*F);
+    Errors.insert(Errors.end(), FE.begin(), FE.end());
+  }
+  return Errors;
+}

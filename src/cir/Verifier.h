@@ -1,0 +1,28 @@
+//===- Verifier.h - Structural IR checks ------------------------*- C++ -*-===//
+///
+/// \file
+/// Verifies structural invariants of Concord IR. Returns a list of
+/// violation messages (empty means the IR is well-formed). Run after IR
+/// generation and after every transform in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CIR_VERIFIER_H
+#define CONCORD_CIR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace cir {
+
+class Function;
+class Module;
+
+std::vector<std::string> verifyFunction(const Function &F);
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace cir
+} // namespace concord
+
+#endif // CONCORD_CIR_VERIFIER_H

@@ -1,0 +1,141 @@
+//===- Bytecode.h - GEN-lite kernel bytecode --------------------*- C++ -*-===//
+///
+/// \file
+/// The compiled form of a Concord kernel: a register-based bytecode
+/// ("GEN-lite") executed by the SIMT interpreter in gpusim. This stands in
+/// for the Intel GEN ISA the vendor OpenCL JIT produced in the paper's
+/// system (section 3.4).
+///
+/// Registers are 64-bit lanes-per-work-item slots holding canonicalized
+/// values: integers sign- or zero-extended to 64 bits according to their
+/// IR type, floats as IEEE bits in the low 32. Conditional branches carry
+/// the immediate-post-dominator reconvergence PC used by the SIMT
+/// divergence stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CODEGEN_BYTECODE_H
+#define CONCORD_CODEGEN_BYTECODE_H
+
+#include "cir/Type.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace codegen {
+
+enum class BOp : uint8_t {
+  MovImm, ///< Dst = Imm.
+  Mov,    ///< Dst = A.
+
+  // Integer/float arithmetic; TypeK gives the result width semantics.
+  Add, Sub, Mul, SDiv, SRem, UDiv, URem,
+  And, Or, Xor, Shl, AShr, LShr,
+  FAdd, FSub, FMul, FDiv,
+  Neg, FNeg, Not,
+
+  ICmp, ///< Imm = ICmpPred.
+  FCmp, ///< Imm = FCmpPred.
+  Select,
+  Cast, ///< Imm = CastKind; Aux = source TypeKind.
+
+  FieldAddr, ///< Dst = A + Imm.
+  IndexAddr, ///< Dst = A + B * Imm(elem size).
+
+  Load,  ///< Dst = mem[A]; TypeK gives width/signedness/floatness.
+  Store, ///< mem[B] = A.
+  Memcpy, ///< copy Imm bytes from mem[B] to mem[A].
+
+  Intrinsic, ///< Imm = IntrinsicId; operands A, B.
+
+  CpuToGpu, ///< Dst = A + svm_const.
+  GpuToCpu, ///< Dst = A - svm_const.
+
+  GlobalId, LocalId, GroupId, GroupSize, NumCores,
+  AllocaAddr, ///< Dst = private base + frame offset (Imm).
+
+  Barrier,
+  Br,     ///< Target.
+  CondBr, ///< A; Target (true), Target2 (false); Reconverge = IPDOM pc.
+  Ret,
+  Trap,
+};
+
+const char *bopName(BOp Op);
+
+struct BInst {
+  BOp Op;
+  cir::TypeKind TypeK = cir::TypeKind::Int64;
+  uint16_t Dst = 0;
+  uint16_t A = 0;
+  uint16_t B = 0;
+  uint64_t Imm = 0;
+  uint32_t Aux = 0;
+  int32_t Target = -1;
+  int32_t Target2 = -1;
+  int32_t Reconverge = -1;
+};
+
+/// Static operation-mix statistics of a compiled kernel, the quantity
+/// Figure 6 of the paper reports.
+struct OpMixStats {
+  uint64_t Total = 0;
+  uint64_t ControlFlow = 0; ///< Branches / traps / barriers / ret.
+  uint64_t Memory = 0;      ///< Loads and stores (and memcpy).
+
+  double controlPercent() const {
+    return Total ? 100.0 * double(ControlFlow) / double(Total) : 0.0;
+  }
+  double memoryPercent() const {
+    return Total ? 100.0 * double(Memory) / double(Total) : 0.0;
+  }
+};
+
+/// One compiled kernel entry (gpu_function_t equivalent): straight bytecode
+/// with no calls (the pipeline fully inlines kernels).
+struct BKernel {
+  std::string Name;
+  std::vector<BInst> Code;
+  unsigned NumRegs = 0;
+  unsigned NumArgs = 0;      ///< Arguments arrive in registers [0, NumArgs).
+  uint64_t FrameBytes = 0;   ///< Private (stack) memory per work-item.
+  bool UsesBarrier = false;
+  OpMixStats StaticStats;
+};
+
+/// One vtable group image to materialize in the shared region before
+/// launch: slot values are the 64-bit function symbols compared against by
+/// devirtualized call sequences.
+struct VTableGroupImage {
+  uint64_t ObjectOffset = 0; ///< Where the group's vptr lives in an object.
+  std::vector<uint64_t> SlotSymbols;
+};
+
+struct VTableImage {
+  std::string ClassName;
+  uint64_t ClassSize = 0;
+  std::vector<VTableGroupImage> Groups;
+};
+
+/// A fully compiled kernel program (gpu_program_t equivalent).
+struct KernelProgram {
+  std::vector<BKernel> Kernels;
+  std::vector<VTableImage> VTables;
+
+  const BKernel *findKernel(const std::string &Name) const {
+    for (const BKernel &K : Kernels)
+      if (K.Name == Name)
+        return &K;
+    return nullptr;
+  }
+};
+
+/// Stable 64-bit symbol value of a function name, used both by codegen
+/// (compare immediates) and the runtime (vtable slot contents).
+uint64_t functionSymbolValue(const std::string &FnName);
+
+} // namespace codegen
+} // namespace concord
+
+#endif // CONCORD_CODEGEN_BYTECODE_H

@@ -1,0 +1,485 @@
+//===- CodeGen.cpp --------------------------------------------------------===//
+
+#include "codegen/CodeGen.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "support/StringUtils.h"
+
+#include <bit>
+#include <map>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::codegen;
+
+uint64_t concord::codegen::functionSymbolValue(const std::string &FnName) {
+  uint64_t H = hashString(FnName);
+  return H ? H : 0x5ebdeadbeef5ull;
+}
+
+const char *concord::codegen::bopName(BOp Op) {
+  switch (Op) {
+  case BOp::MovImm: return "movimm";
+  case BOp::Mov: return "mov";
+  case BOp::Add: return "add";
+  case BOp::Sub: return "sub";
+  case BOp::Mul: return "mul";
+  case BOp::SDiv: return "sdiv";
+  case BOp::SRem: return "srem";
+  case BOp::UDiv: return "udiv";
+  case BOp::URem: return "urem";
+  case BOp::And: return "and";
+  case BOp::Or: return "or";
+  case BOp::Xor: return "xor";
+  case BOp::Shl: return "shl";
+  case BOp::AShr: return "ashr";
+  case BOp::LShr: return "lshr";
+  case BOp::FAdd: return "fadd";
+  case BOp::FSub: return "fsub";
+  case BOp::FMul: return "fmul";
+  case BOp::FDiv: return "fdiv";
+  case BOp::Neg: return "neg";
+  case BOp::FNeg: return "fneg";
+  case BOp::Not: return "not";
+  case BOp::ICmp: return "icmp";
+  case BOp::FCmp: return "fcmp";
+  case BOp::Select: return "select";
+  case BOp::Cast: return "cast";
+  case BOp::FieldAddr: return "fieldaddr";
+  case BOp::IndexAddr: return "indexaddr";
+  case BOp::Load: return "load";
+  case BOp::Store: return "store";
+  case BOp::Memcpy: return "memcpy";
+  case BOp::Intrinsic: return "intrinsic";
+  case BOp::CpuToGpu: return "cpu2gpu";
+  case BOp::GpuToCpu: return "gpu2cpu";
+  case BOp::GlobalId: return "globalid";
+  case BOp::LocalId: return "localid";
+  case BOp::GroupId: return "groupid";
+  case BOp::GroupSize: return "groupsize";
+  case BOp::NumCores: return "numcores";
+  case BOp::AllocaAddr: return "allocaaddr";
+  case BOp::Barrier: return "barrier";
+  case BOp::Br: return "br";
+  case BOp::CondBr: return "condbr";
+  case BOp::Ret: return "ret";
+  case BOp::Trap: return "trap";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Maps a CIR opcode straight onto a bytecode opcode where 1:1.
+BOp directBOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add: return BOp::Add;
+  case Opcode::Sub: return BOp::Sub;
+  case Opcode::Mul: return BOp::Mul;
+  case Opcode::SDiv: return BOp::SDiv;
+  case Opcode::SRem: return BOp::SRem;
+  case Opcode::UDiv: return BOp::UDiv;
+  case Opcode::URem: return BOp::URem;
+  case Opcode::And: return BOp::And;
+  case Opcode::Or: return BOp::Or;
+  case Opcode::Xor: return BOp::Xor;
+  case Opcode::Shl: return BOp::Shl;
+  case Opcode::AShr: return BOp::AShr;
+  case Opcode::LShr: return BOp::LShr;
+  case Opcode::FAdd: return BOp::FAdd;
+  case Opcode::FSub: return BOp::FSub;
+  case Opcode::FMul: return BOp::FMul;
+  case Opcode::FDiv: return BOp::FDiv;
+  case Opcode::Neg: return BOp::Neg;
+  case Opcode::FNeg: return BOp::FNeg;
+  case Opcode::Not: return BOp::Not;
+  default:
+    assert(false && "not a direct opcode");
+    return BOp::Trap;
+  }
+}
+
+class KernelEmitter {
+public:
+  KernelEmitter(Function &F, std::string *Error) : F(F), Error(Error) {}
+
+  bool emit(BKernel &Out);
+
+private:
+  uint16_t freshReg() {
+    assert(NextReg < 0xFFFF && "register file exhausted");
+    return NextReg++;
+  }
+
+  /// Register holding \p V, materializing constants at first use.
+  uint16_t regOf(Value *V);
+
+  void fail(const std::string &Msg) {
+    if (Error && Error->empty())
+      *Error = "@" + F.name() + ": " + Msg;
+  }
+
+  static TypeKind typeKindOf(Type *T) {
+    if (T->isPointer())
+      return TypeKind::UInt64;
+    return T->kind();
+  }
+
+  Function &F;
+  std::string *Error;
+  std::vector<BInst> Code;
+  std::map<Value *, uint16_t> Regs;
+  std::map<BasicBlock *, int32_t> BlockPc;
+  uint16_t NextReg = 0;
+  uint64_t FrameBytes = 0;
+};
+
+uint16_t KernelEmitter::regOf(Value *V) {
+  auto It = Regs.find(V);
+  if (It != Regs.end())
+    return It->second;
+
+  // Constants materialize via MovImm at the point of request. Since every
+  // request happens before the use is emitted, dominance is preserved; the
+  // register is then reused within the block... to stay simple and correct
+  // across blocks, constants are re-materialized per use site.
+  uint64_t Imm = 0;
+  if (auto *CI = dyn_cast<ConstantInt>(V)) {
+    Imm = CI->type()->isSignedInteger() ? uint64_t(CI->sext()) : CI->zext();
+  } else if (auto *CF = dyn_cast<ConstantFloat>(V)) {
+    Imm = std::bit_cast<uint32_t>(CF->value());
+  } else if (isa<ConstantNull>(V)) {
+    Imm = 0;
+  } else if (auto *FS = dyn_cast<FunctionSymbol>(V)) {
+    Imm = functionSymbolValue(FS->function()->name());
+  } else {
+    fail("use of a value with no register (" + V->name() + ")");
+    return 0;
+  }
+  BInst MI;
+  MI.Op = BOp::MovImm;
+  MI.TypeK = typeKindOf(V->type());
+  MI.Dst = freshReg();
+  MI.Imm = Imm;
+  Code.push_back(MI);
+  return MI.Dst;
+}
+
+bool KernelEmitter::emit(BKernel &Out) {
+  // Critical edges must be split so phi copies have a home.
+  {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      auto Preds = analysis::computePredecessors(F);
+      for (BasicBlock *BB : F) {
+        auto Succs = BB->successors();
+        if (Succs.size() < 2)
+          continue;
+        for (BasicBlock *S : Succs) {
+          if (Preds[S].size() < 2 || S->phis().empty())
+            continue;
+          analysis::splitEdge(F, BB, S);
+          Changed = true;
+          break;
+        }
+        if (Changed)
+          break;
+      }
+    }
+  }
+
+  analysis::PostDominatorTree PDT(F);
+
+  // Arguments occupy the first registers.
+  for (unsigned A = 0; A < F.numArgs(); ++A)
+    Regs[F.arg(A)] = freshReg();
+  Out.NumArgs = F.numArgs();
+
+  // Pre-assign result registers (so forward references - phis over back
+  // edges - resolve) and frame offsets for allocas.
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      if (!I->type()->isVoid())
+        Regs[I] = freshReg();
+      if (I->opcode() == Opcode::Alloca) {
+        uint64_t Align = I->auxType()->alignInBytes();
+        FrameBytes = (FrameBytes + Align - 1) & ~(Align - 1);
+        I->setAttr(FrameBytes); // Stash the offset in the attr.
+        FrameBytes += I->auxType()->sizeInBytes();
+      }
+    }
+  }
+
+  struct PendingBranch {
+    size_t CodeIdx;
+    BasicBlock *Target;
+    BasicBlock *Target2;
+    BasicBlock *Reconv;
+  };
+  std::vector<PendingBranch> Fixups;
+
+  for (BasicBlock *BB : F) {
+    BlockPc[BB] = int32_t(Code.size());
+    for (Instruction *I : *BB) {
+      if (I->isPhi())
+        continue; // Filled by predecessor edge copies.
+
+      // Phi copies go right before the terminator.
+      if (I->isTerminator()) {
+        std::vector<std::pair<uint16_t, uint16_t>> Copies; // dst <- src
+        for (BasicBlock *S : BB->successors()) {
+          for (Instruction *Phi : S->phis()) {
+            for (unsigned K = 0; K < Phi->numBlocks(); ++K) {
+              if (Phi->incomingBlock(K) != BB)
+                continue;
+              Copies.push_back({Regs[Phi], regOf(Phi->incomingValue(K))});
+            }
+          }
+        }
+        // Two-phase parallel copy through temporaries (swap-safe).
+        std::vector<uint16_t> Tmps;
+        for (auto &[DstR, SrcR] : Copies) {
+          BInst MI;
+          MI.Op = BOp::Mov;
+          MI.Dst = freshReg();
+          MI.A = SrcR;
+          Tmps.push_back(MI.Dst);
+          Code.push_back(MI);
+        }
+        for (size_t C = 0; C < Copies.size(); ++C) {
+          BInst MI;
+          MI.Op = BOp::Mov;
+          MI.Dst = Copies[C].first;
+          MI.A = Tmps[C];
+          Code.push_back(MI);
+        }
+      }
+
+      BInst BI;
+      BI.TypeK = typeKindOf(I->type()->isVoid()
+                                ? F.parent()->types().int64Ty()
+                                : I->type());
+
+      switch (I->opcode()) {
+      case Opcode::Alloca:
+        BI.Op = BOp::AllocaAddr;
+        BI.Dst = Regs[I];
+        BI.Imm = I->attr();
+        break;
+      case Opcode::Load: {
+        BI.Op = BOp::Load;
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        BI.TypeK = typeKindOf(I->type());
+        break;
+      }
+      case Opcode::Store:
+        BI.Op = BOp::Store;
+        BI.A = regOf(I->operand(0));
+        BI.B = regOf(I->operand(1));
+        BI.TypeK = typeKindOf(I->operand(0)->type());
+        break;
+      case Opcode::Memcpy:
+        BI.Op = BOp::Memcpy;
+        BI.A = regOf(I->operand(0));
+        BI.B = regOf(I->operand(1));
+        BI.Imm = I->attr();
+        break;
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::SDiv: case Opcode::SRem: case Opcode::UDiv:
+      case Opcode::URem: case Opcode::And: case Opcode::Or:
+      case Opcode::Xor: case Opcode::Shl: case Opcode::AShr:
+      case Opcode::LShr: case Opcode::FAdd: case Opcode::FSub:
+      case Opcode::FMul: case Opcode::FDiv:
+        BI.Op = directBOp(I->opcode());
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        BI.B = regOf(I->operand(1));
+        break;
+      case Opcode::Neg: case Opcode::FNeg: case Opcode::Not:
+        BI.Op = directBOp(I->opcode());
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        break;
+      case Opcode::ICmp:
+        BI.Op = BOp::ICmp;
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        BI.B = regOf(I->operand(1));
+        BI.Imm = I->attr();
+        break;
+      case Opcode::FCmp:
+        BI.Op = BOp::FCmp;
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        BI.B = regOf(I->operand(1));
+        BI.Imm = I->attr();
+        break;
+      case Opcode::Select:
+        BI.Op = BOp::Select;
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(1));
+        BI.B = regOf(I->operand(2));
+        BI.Aux = regOf(I->operand(0));
+        break;
+      case Opcode::Cast:
+        BI.Op = BOp::Cast;
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        BI.Imm = I->attr();
+        BI.Aux = uint32_t(typeKindOf(I->operand(0)->type()));
+        break;
+      case Opcode::FieldAddr:
+        BI.Op = BOp::FieldAddr;
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        BI.Imm = I->attr();
+        break;
+      case Opcode::IndexAddr: {
+        BI.Op = BOp::IndexAddr;
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        BI.B = regOf(I->operand(1));
+        BI.Imm = cast<PointerType>(I->type())->pointee()->sizeInBytes();
+        break;
+      }
+      case Opcode::Intrinsic:
+        BI.Op = BOp::Intrinsic;
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        if (I->numOperands() > 1)
+          BI.B = regOf(I->operand(1));
+        BI.Imm = I->attr();
+        break;
+      case Opcode::CpuToGpu:
+        BI.Op = BOp::CpuToGpu;
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        break;
+      case Opcode::GpuToCpu:
+        BI.Op = BOp::GpuToCpu;
+        BI.Dst = Regs[I];
+        BI.A = regOf(I->operand(0));
+        break;
+      case Opcode::GlobalId:
+        BI.Op = BOp::GlobalId;
+        BI.Dst = Regs[I];
+        break;
+      case Opcode::LocalId:
+        BI.Op = BOp::LocalId;
+        BI.Dst = Regs[I];
+        break;
+      case Opcode::GroupId:
+        BI.Op = BOp::GroupId;
+        BI.Dst = Regs[I];
+        break;
+      case Opcode::GroupSize:
+        BI.Op = BOp::GroupSize;
+        BI.Dst = Regs[I];
+        break;
+      case Opcode::NumCores:
+        BI.Op = BOp::NumCores;
+        BI.Dst = Regs[I];
+        break;
+      case Opcode::Barrier:
+        BI.Op = BOp::Barrier;
+        Out.UsesBarrier = true;
+        break;
+      case Opcode::Br:
+        BI.Op = BOp::Br;
+        Fixups.push_back({Code.size(), I->block(0), nullptr, nullptr});
+        break;
+      case Opcode::CondBr:
+        BI.Op = BOp::CondBr;
+        BI.A = regOf(I->operand(0));
+        Fixups.push_back(
+            {Code.size(), I->block(0), I->block(1), PDT.ipdom(BB)});
+        break;
+      case Opcode::Ret:
+        BI.Op = BOp::Ret;
+        break;
+      case Opcode::Trap:
+        BI.Op = BOp::Trap;
+        break;
+      case Opcode::Call:
+      case Opcode::VCall:
+        fail("call survived inlining; cannot emit kernel bytecode");
+        return false;
+      case Opcode::LocalBase:
+      case Opcode::Phi:
+        fail("unexpected opcode in kernel emission");
+        return false;
+      }
+      Code.push_back(BI);
+    }
+  }
+
+  for (const PendingBranch &PB : Fixups) {
+    BInst &BI = Code[PB.CodeIdx];
+    BI.Target = BlockPc.at(PB.Target);
+    if (PB.Target2)
+      BI.Target2 = BlockPc.at(PB.Target2);
+    BI.Reconverge =
+        PB.Reconv && BlockPc.count(PB.Reconv) ? BlockPc.at(PB.Reconv) : -1;
+  }
+
+  // Static op-mix statistics (Figure 6). Mov/MovImm are codegen artifacts
+  // and excluded so the mix reflects the IR operation profile.
+  for (const BInst &BI : Code) {
+    if (BI.Op == BOp::Mov || BI.Op == BOp::MovImm)
+      continue;
+    ++Out.StaticStats.Total;
+    switch (BI.Op) {
+    case BOp::Br: case BOp::CondBr: case BOp::Ret: case BOp::Trap:
+    case BOp::Barrier:
+      ++Out.StaticStats.ControlFlow;
+      break;
+    case BOp::Load: case BOp::Store: case BOp::Memcpy:
+      ++Out.StaticStats.Memory;
+      break;
+    default:
+      break;
+    }
+  }
+
+  Out.Name = F.name();
+  Out.Code = std::move(Code);
+  Out.NumRegs = NextReg;
+  Out.FrameBytes = (FrameBytes + 15) & ~15ull;
+  return true;
+}
+
+} // namespace
+
+CodeGenResult concord::codegen::compileModule(Module &M) {
+  CodeGenResult R;
+  for (const auto &F : M.functions()) {
+    if (!F->isKernel() || F->empty())
+      continue;
+    BKernel K;
+    KernelEmitter E(*F, &R.Error);
+    if (!E.emit(K))
+      return R;
+    R.Program.Kernels.push_back(std::move(K));
+  }
+  // VTable images for every class with virtual methods.
+  for (const ClassType *C : M.types().classes()) {
+    if (!C->hasVTable())
+      continue;
+    VTableImage Img;
+    Img.ClassName = C->name();
+    Img.ClassSize = C->classSize();
+    for (const VTableGroup &G : C->vtables()) {
+      VTableGroupImage GI;
+      GI.ObjectOffset = G.Offset;
+      for (const VTableSlot &S : G.Slots)
+        GI.SlotSymbols.push_back(
+            S.Impl ? functionSymbolValue(S.Impl->name()) : 0);
+      Img.Groups.push_back(std::move(GI));
+    }
+    R.Program.VTables.push_back(std::move(Img));
+  }
+  return R;
+}

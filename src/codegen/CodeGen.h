@@ -1,0 +1,32 @@
+//===- CodeGen.h - CIR -> GEN-lite bytecode ---------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers the kernel functions of an optimized CIR module into the
+/// SIMT-interpretable bytecode, computing reconvergence points from
+/// post-dominators and laying out per-work-item private frames.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CODEGEN_CODEGEN_H
+#define CONCORD_CODEGEN_CODEGEN_H
+
+#include "cir/Module.h"
+#include "codegen/Bytecode.h"
+
+namespace concord {
+namespace codegen {
+
+struct CodeGenResult {
+  KernelProgram Program;
+  std::string Error; ///< Empty on success.
+  bool ok() const { return Error.empty(); }
+};
+
+/// Emits every kernel function of \p M (calls must already be fully
+/// inlined by the pipeline) plus the module's vtable images.
+CodeGenResult compileModule(cir::Module &M);
+
+} // namespace codegen
+} // namespace concord
+
+#endif // CONCORD_CODEGEN_CODEGEN_H

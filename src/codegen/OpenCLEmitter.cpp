@@ -1,0 +1,277 @@
+//===- OpenCLEmitter.cpp --------------------------------------------------===//
+
+#include "codegen/OpenCLEmitter.h"
+
+#include "support/StringUtils.h"
+
+#include <map>
+#include <sstream>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::codegen;
+
+namespace {
+
+class Emitter {
+public:
+  explicit Emitter(Function &F) : F(F) {}
+
+  std::string run() {
+    OS << "typedef unsigned long CpuPtr;\n";
+    OS << "// svm_const = gpu_base - cpu_base (runtime constant, computed "
+          "once)\n";
+    OS << "__kernel void " << sanitize(F.name()) << "(__global char *gpu_base,"
+       << " CpuPtr cpu_base";
+    for (unsigned A = 0; A < F.numArgs(); ++A)
+      OS << ", " << typeName(F.arg(A)->type()) << " " << nameOf(F.arg(A));
+    OS << ") {\n";
+    OS << "  CpuPtr svm_const = (CpuPtr)gpu_base - cpu_base;\n";
+    OS << "  uint gid = get_global_id(0);\n";
+
+    for (BasicBlock *BB : F) {
+      OS << blockName(BB) << ":;\n";
+      for (Instruction *I : *BB)
+        emitInstr(I);
+    }
+    OS << "}\n";
+    return OS.str();
+  }
+
+private:
+  static std::string sanitize(std::string Name) {
+    for (char &C : Name)
+      if (!isalnum(static_cast<unsigned char>(C)))
+        C = '_';
+    return Name;
+  }
+
+  std::string typeName(Type *T) {
+    switch (T->kind()) {
+    case TypeKind::Void: return "void";
+    case TypeKind::Bool: return "bool";
+    case TypeKind::Int8: return "char";
+    case TypeKind::UInt8: return "uchar";
+    case TypeKind::Int16: return "short";
+    case TypeKind::UInt16: return "ushort";
+    case TypeKind::Int32: return "int";
+    case TypeKind::UInt32: return "uint";
+    case TypeKind::Int64: return "long";
+    case TypeKind::UInt64: return "ulong";
+    case TypeKind::Float32: return "float";
+    case TypeKind::Pointer: return "CpuPtr"; // Addresses travel as ints.
+    default: return "ulong";
+    }
+  }
+
+  std::string nameOf(Value *V) {
+    if (auto *CI = dyn_cast<ConstantInt>(V))
+      return std::to_string(CI->sext());
+    if (auto *CF = dyn_cast<ConstantFloat>(V))
+      return formatString("%gf", double(CF->value()));
+    if (isa<ConstantNull>(V))
+      return "0";
+    if (auto *FS = dyn_cast<FunctionSymbol>(V))
+      return formatString("/*sym:%s*/0x%llxUL", FS->function()->name().c_str(),
+                          (unsigned long long)hashString(
+                              FS->function()->name()));
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    std::string Name = isa<Argument>(V)
+                           ? "arg" + std::to_string(cast<Argument>(V)->index())
+                           : "v" + std::to_string(Names.size());
+    Names.emplace(V, Name);
+    return Name;
+  }
+
+  std::string blockName(BasicBlock *BB) {
+    auto It = BlockNames.find(BB);
+    if (It != BlockNames.end())
+      return It->second;
+    std::string Name = "bb" + std::to_string(BlockNames.size());
+    BlockNames.emplace(BB, Name);
+    return Name;
+  }
+
+  void def(Instruction *I, const std::string &Rhs) {
+    OS << "  " << typeName(I->type()) << " " << nameOf(I) << " = " << Rhs
+       << ";\n";
+  }
+
+  void emitInstr(Instruction *I) {
+    auto Op = [&](unsigned K) { return nameOf(I->operand(K)); };
+    switch (I->opcode()) {
+    case Opcode::Alloca:
+      OS << "  __private char " << nameOf(I) << "_mem["
+         << I->auxType()->sizeInBytes() << "]; CpuPtr " << nameOf(I)
+         << " = (CpuPtr)" << nameOf(I) << "_mem;\n";
+      return;
+    case Opcode::Load:
+      def(I, formatString("*(__global %s *)(gpu_base + (%s - (CpuPtr)"
+                          "gpu_base))",
+                          typeName(I->type()).c_str(), Op(0).c_str()));
+      return;
+    case Opcode::Store:
+      OS << "  *(__global " << typeName(I->operand(0)->type()) << " *)"
+         << "(gpu_base + (" << Op(1) << " - (CpuPtr)gpu_base)) = " << Op(0)
+         << ";\n";
+      return;
+    case Opcode::Memcpy:
+      OS << "  for (int b = 0; b < " << I->attr() << "; b++) ((__global "
+         << "char*)" << Op(0) << ")[b] = ((__global char*)" << Op(1)
+         << ")[b];\n";
+      return;
+    case Opcode::Add: def(I, Op(0) + " + " + Op(1)); return;
+    case Opcode::Sub: def(I, Op(0) + " - " + Op(1)); return;
+    case Opcode::Mul: def(I, Op(0) + " * " + Op(1)); return;
+    case Opcode::SDiv: case Opcode::UDiv:
+      def(I, Op(0) + " / " + Op(1));
+      return;
+    case Opcode::SRem: case Opcode::URem:
+      def(I, Op(0) + " % " + Op(1));
+      return;
+    case Opcode::And: def(I, Op(0) + " & " + Op(1)); return;
+    case Opcode::Or: def(I, Op(0) + " | " + Op(1)); return;
+    case Opcode::Xor: def(I, Op(0) + " ^ " + Op(1)); return;
+    case Opcode::Shl: def(I, Op(0) + " << " + Op(1)); return;
+    case Opcode::AShr: case Opcode::LShr:
+      def(I, Op(0) + " >> " + Op(1));
+      return;
+    case Opcode::FAdd: def(I, Op(0) + " + " + Op(1)); return;
+    case Opcode::FSub: def(I, Op(0) + " - " + Op(1)); return;
+    case Opcode::FMul: def(I, Op(0) + " * " + Op(1)); return;
+    case Opcode::FDiv: def(I, Op(0) + " / " + Op(1)); return;
+    case Opcode::Neg: case Opcode::FNeg:
+      def(I, "-" + Op(0));
+      return;
+    case Opcode::Not: def(I, "!" + Op(0)); return;
+    case Opcode::ICmp: case Opcode::FCmp: {
+      const char *Pred = "==";
+      if (I->opcode() == Opcode::ICmp) {
+        switch (I->icmpPred()) {
+        case ICmpPred::EQ: Pred = "=="; break;
+        case ICmpPred::NE: Pred = "!="; break;
+        case ICmpPred::SLT: case ICmpPred::ULT: Pred = "<"; break;
+        case ICmpPred::SLE: case ICmpPred::ULE: Pred = "<="; break;
+        case ICmpPred::SGT: case ICmpPred::UGT: Pred = ">"; break;
+        case ICmpPred::SGE: case ICmpPred::UGE: Pred = ">="; break;
+        }
+      } else {
+        switch (I->fcmpPred()) {
+        case FCmpPred::OEQ: Pred = "=="; break;
+        case FCmpPred::ONE: Pred = "!="; break;
+        case FCmpPred::OLT: Pred = "<"; break;
+        case FCmpPred::OLE: Pred = "<="; break;
+        case FCmpPred::OGT: Pred = ">"; break;
+        case FCmpPred::OGE: Pred = ">="; break;
+        }
+      }
+      def(I, Op(0) + " " + Pred + " " + Op(1));
+      return;
+    }
+    case Opcode::Select:
+      def(I, Op(0) + " ? " + Op(1) + " : " + Op(2));
+      return;
+    case Opcode::Cast:
+      def(I, "(" + typeName(I->type()) + ")" + Op(0));
+      return;
+    case Opcode::FieldAddr:
+      def(I, Op(0) + " + " + std::to_string(I->attr()) + "UL");
+      return;
+    case Opcode::IndexAddr:
+      def(I, formatString("%s + (CpuPtr)%s * %lluUL", Op(0).c_str(),
+                          Op(1).c_str(),
+                          (unsigned long long)cast<PointerType>(I->type())
+                              ->pointee()
+                              ->sizeInBytes()));
+      return;
+    case Opcode::CpuToGpu:
+      def(I, "/*AS_GPU_PTR*/ " + Op(0) + " + svm_const");
+      return;
+    case Opcode::GpuToCpu:
+      def(I, "/*AS_CPU_PTR*/ " + Op(0) + " - svm_const");
+      return;
+    case Opcode::GlobalId:
+      def(I, "(int)gid");
+      return;
+    case Opcode::LocalId:
+      def(I, "(int)get_local_id(0)");
+      return;
+    case Opcode::GroupId:
+      def(I, "(int)get_group_id(0)");
+      return;
+    case Opcode::GroupSize:
+      def(I, "(int)get_local_size(0)");
+      return;
+    case Opcode::NumCores:
+      def(I, "CONCORD_NUM_CORES");
+      return;
+    case Opcode::Barrier:
+      OS << "  barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE);\n";
+      return;
+    case Opcode::Phi:
+      // Phis are rendered as pre-declared locals assigned on the incoming
+      // edges; declare here for readability of the straight-line dump.
+      OS << "  " << typeName(I->type()) << " " << nameOf(I)
+         << "; /* phi */\n";
+      return;
+    case Opcode::Br:
+      emitEdgeCopies(I->parent(), I->block(0));
+      OS << "  goto " << blockName(I->block(0)) << ";\n";
+      return;
+    case Opcode::CondBr:
+      OS << "  if (" << Op(0) << ") {";
+      emitEdgeCopiesInline(I->parent(), I->block(0));
+      OS << " goto " << blockName(I->block(0)) << "; } else {";
+      emitEdgeCopiesInline(I->parent(), I->block(1));
+      OS << " goto " << blockName(I->block(1)) << "; }\n";
+      return;
+    case Opcode::Ret:
+      OS << "  return;\n";
+      return;
+    case Opcode::Trap:
+      OS << "  /* trap: impossible virtual dispatch */ return;\n";
+      return;
+    case Opcode::Intrinsic: {
+      std::string Args = Op(0);
+      if (I->numOperands() > 1)
+        Args += ", " + Op(1);
+      def(I, std::string(intrinsicName(I->intrinsicId())) + "(" + Args + ")");
+      return;
+    }
+    case Opcode::Call:
+    case Opcode::VCall:
+    case Opcode::LocalBase:
+      OS << "  /* unlowered " << opcodeName(I->opcode()) << " */\n";
+      return;
+    }
+  }
+
+  void emitEdgeCopies(BasicBlock *From, BasicBlock *To) {
+    for (Instruction *Phi : To->phis())
+      for (unsigned K = 0; K < Phi->numBlocks(); ++K)
+        if (Phi->incomingBlock(K) == From)
+          OS << "  " << nameOf(Phi) << " = "
+             << nameOf(Phi->incomingValue(K)) << ";\n";
+  }
+
+  void emitEdgeCopiesInline(BasicBlock *From, BasicBlock *To) {
+    for (Instruction *Phi : To->phis())
+      for (unsigned K = 0; K < Phi->numBlocks(); ++K)
+        if (Phi->incomingBlock(K) == From)
+          OS << " " << nameOf(Phi) << " = " << nameOf(Phi->incomingValue(K))
+             << ";";
+  }
+
+  Function &F;
+  std::ostringstream OS;
+  std::map<Value *, std::string> Names;
+  std::map<BasicBlock *, std::string> BlockNames;
+};
+
+} // namespace
+
+std::string concord::codegen::emitOpenCL(Function &F) {
+  return Emitter(F).run();
+}

@@ -1,0 +1,29 @@
+//===- OpenCLEmitter.h - OpenCL-C rendering of compiled kernels -*- C++ -*-===//
+///
+/// \file
+/// Renders an optimized kernel function as OpenCL-C-like source, in the
+/// style of the paper's Figure 1 (right): the `svm_const` runtime
+/// constant, `AS_GPU_PTR`-style translations, and the kernel ABI taking
+/// (gpu_base, cpu_base, cpu_ptr). The real system JIT-compiled this text
+/// with the vendor OpenCL compiler; here it serves as documentation,
+/// debugging output, and golden-test material.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CODEGEN_OPENCLEMITTER_H
+#define CONCORD_CODEGEN_OPENCLEMITTER_H
+
+#include "cir/Function.h"
+#include <string>
+
+namespace concord {
+namespace codegen {
+
+/// Renders \p F (a post-pipeline kernel) as OpenCL-like C. Blocks become
+/// labels with gotos, SSA values become numbered locals.
+std::string emitOpenCL(cir::Function &F);
+
+} // namespace codegen
+} // namespace concord
+
+#endif // CONCORD_CODEGEN_OPENCLEMITTER_H

@@ -1,0 +1,102 @@
+//===- Concord.h - The Concord heterogeneous C++ API ------------*- C++ -*-===//
+///
+/// \file
+/// Public programming interface, modelled on the paper's section 2:
+///
+/// \code
+///   template <typename Body>
+///   LaunchReport parallel_for_hetero(int n, Body &b, bool on_cpu);
+///   template <typename Body>
+///   LaunchReport parallel_reduce_hetero(int n, Body &b, bool on_cpu);
+/// \endcode
+///
+/// A Body type provides:
+///  * `void operator()(int i)` - the loop body, executed natively on the
+///    host for the reference/fallback path;
+///  * `void join(Body &other)` - for reductions only;
+///  * `static const char *kernelSource()` - the CKL device code for the
+///    body class (the role Clang played in the paper's static compiler:
+///    here the kernel language compiler consumes this source at first
+///    launch and caches the JIT result, section 3.4);
+///  * `static const char *kernelClassName()` - the body class name in that
+///    source.
+///
+/// The host Body object must live in the shared region
+/// (`svm::SharedRegion::create<Body>(...)`) and its data layout must match
+/// the kernel class field-for-field (both sides use standard C++ layout
+/// rules; `tests/EquivalenceTests.cpp` asserts this with offsetof checks
+/// for every workload).
+///
+/// As in TBB (and the paper): iteration order is unspecified, reductions
+/// are not deterministic in floating point, and a freshly copied Body must
+/// behave as a reduction identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_CONCORD_H
+#define CONCORD_CONCORD_H
+
+#include "runtime/Runtime.h"
+
+namespace concord {
+
+using runtime::Device;
+using runtime::KernelSpec;
+using runtime::LaunchReport;
+using runtime::Runtime;
+
+namespace detail {
+
+template <typename Body> KernelSpec specOf() {
+  return KernelSpec{Body::kernelSource(), Body::kernelClassName()};
+}
+
+/// Native fallback: run the functor on the host thread pool (used when the
+/// kernel uses features outside the GPU subset, section 2.1).
+template <typename Body>
+void runNative(Runtime &RT, int N, Body &B) {
+  RT.pool().parallelFor(N, [&B](int64_t I) { B(int(I)); });
+}
+
+} // namespace detail
+
+/// Offloads `b(i)` for i in [0, n). With \p OnCpu the multicore CPU model
+/// executes instead. Memory is consistent before and after the call
+/// (section 2.3): the region is pinned for the launch and all effects are
+/// applied to the shared objects directly.
+template <typename Body>
+LaunchReport parallel_for_hetero(Runtime &RT, int N, Body &B,
+                                 bool OnCpu = false) {
+  LaunchReport Rep = RT.offload(detail::specOf<Body>(), N, &B, OnCpu);
+  if (Rep.FellBack)
+    detail::runNative(RT, N, B);
+  return Rep;
+}
+
+/// Offloads a reduction. Device work-groups tree-reduce private copies of
+/// \p B with `join` (section 3.3); the runtime then joins the per-group
+/// partials into \p B sequentially using the host `join`.
+template <typename Body>
+LaunchReport parallel_reduce_hetero(Runtime &RT, int N, Body &B,
+                                    bool OnCpu = false) {
+  runtime::HostJoinFn Join = [](void *Into, void *From) {
+    static_cast<Body *>(Into)->join(*static_cast<Body *>(From));
+  };
+  LaunchReport Rep = RT.offloadReduce(detail::specOf<Body>(), N, &B,
+                                      sizeof(Body), Join, OnCpu);
+  if (Rep.FellBack)
+    detail::runNative(RT, N, B); // Sequential semantics: B accumulates all.
+  return Rep;
+}
+
+/// Installs device vtable pointers into a polymorphic shared object of
+/// dynamic type \p ClassName (section 3.2). Host code calls this for every
+/// virtual-dispatch object it allocates in the shared region.
+template <typename Body>
+bool install_vptrs(Runtime &RT, void *Obj, const std::string &ClassName) {
+  return RT.installVPtrs(detail::specOf<Body>(), Obj, ClassName);
+}
+
+} // namespace concord
+
+#endif // CONCORD_CONCORD_H

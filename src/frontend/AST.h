@@ -1,0 +1,341 @@
+//===- AST.h - Concord Kernel Language abstract syntax tree ----*- C++ -*-===//
+///
+/// \file
+/// Untyped AST produced by the parser. Semantic analysis / IR generation
+/// resolves names, checks types against the CIR type system, and enforces
+/// Concord's GPU restrictions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_FRONTEND_AST_H
+#define CONCORD_FRONTEND_AST_H
+
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace frontend {
+
+//===----------------------------------------------------------------------===//
+// Type syntax
+//===----------------------------------------------------------------------===//
+
+enum class BuiltinKind {
+  Void, Bool, Char, UChar, Short, UShort, Int, UInt, Long, ULong, Float,
+  Named, ///< Class type; see TypeSyntax::Name.
+};
+
+/// The written form of a type: base + pointer depth + optional array length
+/// + optional reference (parameters only).
+struct TypeSyntax {
+  BuiltinKind Base = BuiltinKind::Void;
+  std::string Name;       ///< For BuiltinKind::Named (may be qualified).
+  unsigned PtrDepth = 0;  ///< Number of '*'s.
+  int64_t ArrayLen = -1;  ///< >= 0 for a fixed array of the base type.
+  bool IsRef = false;     ///< Reference (sugar for pointer + auto-deref).
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit, FloatLit, BoolLit, NullLit, This,
+  NameRef, Member, Index, Call, MethodCall,
+  Unary, Binary, Assign, Conditional, CastExpr,
+};
+
+struct Expr {
+  ExprKind Kind;
+  SourceLoc Loc;
+  virtual ~Expr() = default;
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  uint64_t Value;
+  IntLitExpr(uint64_t V, SourceLoc L) : Expr(ExprKind::IntLit, L), Value(V) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::IntLit; }
+};
+
+struct FloatLitExpr : Expr {
+  double Value;
+  FloatLitExpr(double V, SourceLoc L)
+      : Expr(ExprKind::FloatLit, L), Value(V) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::FloatLit; }
+};
+
+struct BoolLitExpr : Expr {
+  bool Value;
+  BoolLitExpr(bool V, SourceLoc L) : Expr(ExprKind::BoolLit, L), Value(V) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::BoolLit; }
+};
+
+struct NullLitExpr : Expr {
+  explicit NullLitExpr(SourceLoc L) : Expr(ExprKind::NullLit, L) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::NullLit; }
+};
+
+struct ThisExpr : Expr {
+  explicit ThisExpr(SourceLoc L) : Expr(ExprKind::This, L) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::This; }
+};
+
+/// A possibly-qualified name: "x", "ns::f", "Base::method".
+struct NameRefExpr : Expr {
+  std::vector<std::string> Path;
+  NameRefExpr(std::vector<std::string> Path, SourceLoc L)
+      : Expr(ExprKind::NameRef, L), Path(std::move(Path)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::NameRef; }
+};
+
+struct MemberExpr : Expr {
+  ExprPtr Base;
+  std::string Name;
+  bool IsArrow;
+  MemberExpr(ExprPtr Base, std::string Name, bool IsArrow, SourceLoc L)
+      : Expr(ExprKind::Member, L), Base(std::move(Base)),
+        Name(std::move(Name)), IsArrow(IsArrow) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Member; }
+};
+
+struct IndexExpr : Expr {
+  ExprPtr Base, Index;
+  IndexExpr(ExprPtr Base, ExprPtr Index, SourceLoc L)
+      : Expr(ExprKind::Index, L), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Index; }
+};
+
+/// Free function call `f(a, b)` or qualified `ns::f(a)`.
+struct CallExpr : Expr {
+  std::vector<std::string> CalleePath;
+  std::vector<ExprPtr> Args;
+  CallExpr(std::vector<std::string> CalleePath, std::vector<ExprPtr> Args,
+           SourceLoc L)
+      : Expr(ExprKind::Call, L), CalleePath(std::move(CalleePath)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Call; }
+};
+
+/// Method call `base.m(a)` / `base->m(a)` / `base(args)` (operator()).
+struct MethodCallExpr : Expr {
+  ExprPtr Base;
+  std::string Name; ///< "operator()" for functor application.
+  bool IsArrow;
+  /// Non-empty when the call is qualified (Base::m(...)): disables virtual
+  /// dispatch and names the class explicitly.
+  std::string QualifiedClass;
+  std::vector<ExprPtr> Args;
+  MethodCallExpr(ExprPtr Base, std::string Name, bool IsArrow,
+                 std::vector<ExprPtr> Args, SourceLoc L)
+      : Expr(ExprKind::MethodCall, L), Base(std::move(Base)),
+        Name(std::move(Name)), IsArrow(IsArrow), Args(std::move(Args)) {}
+  static bool classof(const Expr *E) {
+    return E->Kind == ExprKind::MethodCall;
+  }
+};
+
+enum class UnaryOp {
+  Neg, Not, BitNot, Deref, AddrOf, PreInc, PreDec, PostInc, PostDec
+};
+
+struct UnaryExpr : Expr {
+  UnaryOp Op;
+  ExprPtr Sub;
+  UnaryExpr(UnaryOp Op, ExprPtr Sub, SourceLoc L)
+      : Expr(ExprKind::Unary, L), Op(Op), Sub(std::move(Sub)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Unary; }
+};
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  LAnd, LOr,
+  LT, LE, GT, GE, EQ, NE,
+};
+
+struct BinaryExpr : Expr {
+  BinaryOp Op;
+  ExprPtr LHS, RHS;
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS, SourceLoc L)
+      : Expr(ExprKind::Binary, L), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Binary; }
+};
+
+/// `lhs = rhs` or compound `lhs op= rhs` (Op holds the compound operator;
+/// IsCompound false means plain assignment).
+struct AssignExpr : Expr {
+  bool IsCompound;
+  BinaryOp Op;
+  ExprPtr LHS, RHS;
+  AssignExpr(bool IsCompound, BinaryOp Op, ExprPtr LHS, ExprPtr RHS,
+             SourceLoc L)
+      : Expr(ExprKind::Assign, L), IsCompound(IsCompound), Op(Op),
+        LHS(std::move(LHS)), RHS(std::move(RHS)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Assign; }
+};
+
+struct ConditionalExpr : Expr {
+  ExprPtr Cond, TrueE, FalseE;
+  ConditionalExpr(ExprPtr C, ExprPtr T, ExprPtr F, SourceLoc L)
+      : Expr(ExprKind::Conditional, L), Cond(std::move(C)),
+        TrueE(std::move(T)), FalseE(std::move(F)) {}
+  static bool classof(const Expr *E) {
+    return E->Kind == ExprKind::Conditional;
+  }
+};
+
+struct CastExpr : Expr {
+  TypeSyntax Target;
+  ExprPtr Sub;
+  CastExpr(TypeSyntax Target, ExprPtr Sub, SourceLoc L)
+      : Expr(ExprKind::CastExpr, L), Target(std::move(Target)),
+        Sub(std::move(Sub)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::CastExpr; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Decl, Expr, Compound, If, While, For, Return, Break, Continue,
+};
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct DeclStmt : Stmt {
+  TypeSyntax Type;
+  std::string Name;
+  ExprPtr Init; ///< May be null.
+  DeclStmt(TypeSyntax Type, std::string Name, ExprPtr Init, SourceLoc L)
+      : Stmt(StmtKind::Decl, L), Type(std::move(Type)), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Decl; }
+};
+
+struct ExprStmt : Stmt {
+  ExprPtr E;
+  ExprStmt(ExprPtr E, SourceLoc L) : Stmt(StmtKind::Expr, L), E(std::move(E)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Expr; }
+};
+
+struct CompoundStmt : Stmt {
+  std::vector<StmtPtr> Body;
+  CompoundStmt(std::vector<StmtPtr> Body, SourceLoc L)
+      : Stmt(StmtKind::Compound, L), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Compound; }
+};
+
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Then, Else; ///< Else may be null.
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc L)
+      : Stmt(StmtKind::If, L), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::If; }
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Body;
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc L)
+      : Stmt(StmtKind::While, L), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::While; }
+};
+
+struct ForStmt : Stmt {
+  StmtPtr Init;  ///< DeclStmt or ExprStmt; may be null.
+  ExprPtr Cond;  ///< May be null (infinite).
+  ExprPtr Step;  ///< May be null.
+  StmtPtr Body;
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body, SourceLoc L)
+      : Stmt(StmtKind::For, L), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::For; }
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; ///< May be null.
+  ReturnStmt(ExprPtr Value, SourceLoc L)
+      : Stmt(StmtKind::Return, L), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Return; }
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc L) : Stmt(StmtKind::Break, L) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Break; }
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc L) : Stmt(StmtKind::Continue, L) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Continue; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  TypeSyntax Type;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+struct FunctionDecl {
+  std::string Name; ///< Unqualified; "operator()"/"operator+"/... allowed.
+  TypeSyntax ReturnType;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body; ///< Null for a declaration without a body.
+  bool IsVirtual = false;
+  bool IsPure = false; ///< Pure virtual (`= 0`).
+  SourceLoc Loc;
+};
+
+struct FieldDecl {
+  TypeSyntax Type;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+struct ClassDecl {
+  std::string Name; ///< Qualified with enclosing namespaces ("ns::C").
+  std::vector<std::string> BaseNames;
+  std::vector<FieldDecl> Fields;
+  std::vector<std::unique_ptr<FunctionDecl>> Methods;
+  SourceLoc Loc;
+};
+
+/// A whole CKL translation unit (namespaces are flattened into qualified
+/// names during parsing).
+struct TranslationUnit {
+  std::vector<std::unique_ptr<ClassDecl>> Classes;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+  /// Qualified names for free functions, parallel to Functions.
+  std::vector<std::string> FunctionQualNames;
+};
+
+} // namespace frontend
+} // namespace concord
+
+#endif // CONCORD_FRONTEND_AST_H

@@ -1,0 +1,49 @@
+//===- Compile.h - CKL -> Concord IR compilation entry points --*- C++ -*-===//
+///
+/// \file
+/// Public interface of the Concord kernel compiler frontend: compile a CKL
+/// translation unit to a CIR module, create kernel entry wrappers for body
+/// classes (the Figure 1 ABI), and run the section 2.1 restriction checks
+/// whose violations trigger CPU fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_FRONTEND_COMPILE_H
+#define CONCORD_FRONTEND_COMPILE_H
+
+#include "cir/Module.h"
+#include "support/Diagnostics.h"
+#include <memory>
+#include <string_view>
+
+namespace concord {
+namespace frontend {
+
+/// Compiles CKL source to a CIR module. All classes are laid out, methods
+/// and free functions lowered, vtable slots resolved (with this-adjusting
+/// thunks for secondary bases), and the no-recursion restriction checked.
+/// Returns null when \p Diags has errors afterwards; "unsupported feature"
+/// diagnostics do not fail the compile (callers fall back to the CPU).
+std::unique_ptr<cir::Module> compileProgram(std::string_view Source,
+                                            const std::string &ModuleName,
+                                            DiagnosticEngine &Diags);
+
+/// Finds the lowered function for \p ClassName::MethodName taking
+/// \p NumExplicitArgs arguments after `this` (ignoring sret lowering).
+/// Returns null when absent or ambiguous.
+cir::Function *findMethod(cir::Module &M, const std::string &ClassName,
+                          const std::string &MethodName,
+                          unsigned NumExplicitArgs);
+
+/// Creates the kernel entry wrapper for Body class \p ClassName following
+/// the paper's Figure 1 ABI: one u64 argument (the CPU virtual address of
+/// the Body object); the global work-item id becomes operator()'s index
+/// argument. Returns null (with a diagnostic) if the class or its
+/// operator()(int) is missing.
+cir::Function *createKernelEntry(cir::Module &M, const std::string &ClassName,
+                                 DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace concord
+
+#endif // CONCORD_FRONTEND_COMPILE_H

@@ -1,0 +1,2009 @@
+//===- IRGen.cpp - CKL semantic analysis and IR generation ---------------===//
+//
+// Single component performing name resolution, type checking, overload
+// resolution, class layout, vtable construction (including this-adjusting
+// thunks for multiple inheritance), and CIR emission.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compile.h"
+
+#include "analysis/CallGraph.h"
+#include "cir/IRBuilder.h"
+#include "frontend/Parser.h"
+#include "support/StringUtils.h"
+
+#include <map>
+#include <optional>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::frontend;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lowered signatures
+//===----------------------------------------------------------------------===//
+
+/// How a CKL function signature maps onto a CIR function: class-valued
+/// parameters and returns are lowered to pointers (byval copies / sret).
+struct FnLowering {
+  FunctionDecl *Decl = nullptr;
+  Function *Fn = nullptr;
+  ClassType *ThisClass = nullptr; ///< Null for free functions.
+  bool IsVirtual = false;
+  bool HasSRet = false;
+  Type *RetSem = nullptr; ///< Semantic return type (class for sret).
+  std::vector<Type *> ParamSem;
+  std::vector<bool> ParamIsRef;
+  std::vector<bool> ParamIsByValClass;
+  FunctionType *VirtualSig = nullptr; ///< Slot signature (no this/sret).
+};
+
+/// An expression result: scalar rvalue, or the address of an aggregate.
+struct ExprVal {
+  Value *V = nullptr;
+  Type *SemType = nullptr;
+  bool IsAddr = false; ///< V is the address of a SemType aggregate.
+
+  bool valid() const { return V != nullptr; }
+};
+
+struct LocalVar {
+  Value *Addr = nullptr; ///< Alloca (or pointer for reference params).
+  Type *SemType = nullptr;
+  bool IsAlloca = false; ///< True for genuine locals (the &local check).
+};
+
+class IRGenerator {
+public:
+  IRGenerator(TranslationUnit &Unit, Module &M, DiagnosticEngine &Diags)
+      : Unit(Unit), M(M), Diags(Diags), B(M) {}
+
+  bool run();
+
+private:
+  //===--- Declarations ---------------------------------------------------===//
+  bool registerClasses();
+  bool layoutClass(ClassDecl &CD);
+  bool createFunctions();
+  void finalizeVTables();
+  Function *createThunk(Function *Impl, ClassType *C, uint64_t Offset);
+  bool generateBodies();
+  void checkRecursion();
+
+  FnLowering lowerSignature(FunctionDecl &FD, ClassType *ThisClass);
+
+  //===--- Types ----------------------------------------------------------===//
+  Type *builtinType(BuiltinKind K);
+  ClassType *lookupClass(const std::string &Name, SourceLoc Loc,
+                         bool Required);
+  /// Resolves written type syntax. Sets \p IsRef when the syntax was a
+  /// reference. Returns null and diagnoses on failure.
+  Type *resolveType(const TypeSyntax &TS, bool *IsRef = nullptr);
+
+  //===--- Statements / expressions ---------------------------------------===//
+  void genStmt(Stmt &S);
+  void genCompound(CompoundStmt &S);
+  ExprVal genExpr(Expr &E);
+  /// Address of an lvalue expression; null + diagnostic when not an lvalue.
+  ExprVal genLValue(Expr &E);
+  Value *toBool(ExprVal EV, SourceLoc Loc);
+  /// Implicit conversion; null + diagnostic when impossible.
+  Value *convert(ExprVal EV, Type *To, SourceLoc Loc);
+  /// Conversion cost for overloading: 0 exact, >0 worse, -1 impossible.
+  int conversionCost(Type *From, Type *To) const;
+
+  ExprVal genBinary(BinaryExpr &E);
+  ExprVal genShortCircuit(BinaryExpr &E);
+  ExprVal genUnary(UnaryExpr &E);
+  ExprVal genAssign(AssignExpr &E);
+  ExprVal genConditional(ConditionalExpr &E);
+  ExprVal genNameRef(NameRefExpr &E);
+  ExprVal genMember(MemberExpr &E);
+  ExprVal genIndex(IndexExpr &E);
+  ExprVal genCallExpr(CallExpr &E);
+  ExprVal genMethodCall(MethodCallExpr &E);
+  ExprVal genCast(CastExpr &E);
+
+  /// Arithmetic conversion of two scalar operands to a common type.
+  bool unifyArithmetic(ExprVal &L, ExprVal &R, SourceLoc Loc);
+
+  std::optional<IntrinsicId> builtinFor(const std::string &Name,
+                                        size_t NumArgs) const;
+  ExprVal genIntrinsic(IntrinsicId Id, std::vector<ExprPtr> &Args,
+                       SourceLoc Loc);
+
+  /// Overload resolution over \p Candidates for semantic arg types; -1 on
+  /// failure. \p ArgTypes excludes `this`.
+  int resolveOverload(const std::vector<FnLowering *> &Candidates,
+                      const std::vector<Type *> &ArgTypes, SourceLoc Loc,
+                      const std::string &What);
+
+  /// Emits the call (direct or virtual) with lowering applied.
+  ExprVal emitCall(FnLowering &L, Value *ThisPtr,
+                   std::vector<ExprVal> &ArgVals, bool AllowVirtual,
+                   SourceLoc Loc);
+
+  /// Adjusts \p Ptr (pointer to From) to point at its To base subobject.
+  Value *upcastPointer(Value *Ptr, ClassType *From, const ClassType *To,
+                       SourceLoc Loc);
+
+  /// Decays array lvalues to element pointers; loads scalar fields; leaves
+  /// class aggregates as addresses.
+  ExprVal decay(ExprVal EV);
+
+  Value *ptrAdd(Value *Ptr, int64_t Bytes, Type *ResultPointee);
+
+  // Scopes.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  LocalVar *findLocal(const std::string &Name);
+  void defineLocal(const std::string &Name, LocalVar LV) {
+    Scopes.back()[Name] = LV;
+  }
+
+  BasicBlock *newBlock(const std::string &Name) {
+    return CurFn->createBlock(Name);
+  }
+  /// True when the current insertion block already has a terminator.
+  bool blockClosed() {
+    return B.insertBlock() && B.insertBlock()->terminator() != nullptr;
+  }
+
+  TranslationUnit &Unit;
+  Module &M;
+  DiagnosticEngine &Diags;
+  IRBuilder B;
+
+  std::map<std::string, ClassDecl *> ClassDeclByName;
+  std::map<const ClassDecl *, ClassType *> ClassTypeOf;
+  std::map<const ClassType *, ClassDecl *> DeclOfClass;
+
+  /// All lowered functions (methods, free functions, thunks).
+  std::vector<std::unique_ptr<FnLowering>> Lowerings;
+  std::map<Function *, FnLowering *> LoweringOf;
+  /// Methods per class, in declaration order.
+  std::map<const ClassType *, std::vector<FnLowering *>> MethodsOf;
+  /// Free functions by qualified name.
+  std::map<std::string, std::vector<FnLowering *>> FreeFns;
+
+  // Per-body state.
+  Function *CurFn = nullptr;
+  FnLowering *CurLowering = nullptr;
+  ClassType *CurClass = nullptr;
+  Value *CurThis = nullptr;
+  Value *CurSRet = nullptr;
+  std::vector<std::map<std::string, LocalVar>> Scopes;
+  struct LoopTargets {
+    BasicBlock *Continue;
+    BasicBlock *Break;
+  };
+  std::vector<LoopTargets> LoopStack;
+};
+
+//===----------------------------------------------------------------------===//
+// Declaration registration
+//===----------------------------------------------------------------------===//
+
+bool IRGenerator::run() {
+  if (!registerClasses())
+    return false;
+  if (!createFunctions())
+    return false;
+  finalizeVTables();
+  if (!generateBodies())
+    return false;
+  checkRecursion();
+  return !Diags.hasError();
+}
+
+bool IRGenerator::registerClasses() {
+  // Shell pass so pointers to later classes resolve.
+  for (auto &CD : Unit.Classes) {
+    if (ClassDeclByName.count(CD->Name)) {
+      Diags.error(CD->Loc, "duplicate class '" + CD->Name + "'");
+      continue;
+    }
+    ClassDeclByName[CD->Name] = CD.get();
+    ClassType *CT = M.types().createClass(CD->Name);
+    ClassTypeOf[CD.get()] = CT;
+    DeclOfClass[CT] = CD.get();
+  }
+  // Layout pass in declaration order (bases must precede derived classes).
+  for (auto &CD : Unit.Classes)
+    if (!layoutClass(*CD))
+      return false;
+  return !Diags.hasError();
+}
+
+bool IRGenerator::layoutClass(ClassDecl &CD) {
+  ClassType *CT = ClassTypeOf[&CD];
+
+  for (const std::string &BaseName : CD.BaseNames) {
+    ClassType *Base = lookupClass(BaseName, CD.Loc, /*Required=*/true);
+    if (!Base)
+      continue;
+    if (!Base->isLaidOut()) {
+      Diags.error(CD.Loc, "base class '" + BaseName +
+                              "' must be defined before '" + CD.Name + "'");
+      continue;
+    }
+    CT->addBase(Base);
+  }
+
+  // Virtual methods: explicitly `virtual` ones, plus implicit overrides of
+  // base-class virtual slots (C++ semantics).
+  for (auto &MD : CD.Methods) {
+    std::vector<Type *> ParamTys;
+    bool Bad = false;
+    for (ParamDecl &P : MD->Params) {
+      bool IsRef = false;
+      Type *T = resolveType(P.Type, &IsRef);
+      if (!T) {
+        Bad = true;
+        continue;
+      }
+      // Slot signatures use the *semantic* types so override matching works.
+      ParamTys.push_back(IsRef ? M.types().pointerTo(T) : T);
+    }
+    if (Bad)
+      continue;
+    Type *Ret = resolveType(MD->ReturnType);
+    if (!Ret)
+      continue;
+    FunctionType *Sig = M.types().functionTy(Ret, ParamTys);
+
+    bool IsVirtual = MD->IsVirtual || MD->IsPure;
+    if (!IsVirtual) {
+      for (const BaseInfo &BI : CT->bases()) {
+        unsigned G, S;
+        if (BI.Base->findVirtualSlot(MD->Name, Sig, &G, &S)) {
+          IsVirtual = true;
+          break;
+        }
+      }
+    }
+    MD->IsVirtual = IsVirtual;
+    if (IsVirtual)
+      CT->addVirtualMethod(MD->Name, Sig);
+  }
+
+  for (FieldDecl &FD : CD.Fields) {
+    bool IsRef = false;
+    Type *T = resolveType(FD.Type, &IsRef);
+    if (!T)
+      continue;
+    if (IsRef) {
+      Diags.error(FD.Loc, "reference fields are not supported");
+      continue;
+    }
+    if (FD.Type.ArrayLen >= 0)
+      T = M.types().arrayOf(T, uint64_t(FD.Type.ArrayLen));
+    if (auto *FieldClass = dyn_cast<ClassType>(T))
+      if (!FieldClass->isLaidOut()) {
+        Diags.error(FD.Loc, "class '" + FieldClass->name() +
+                                "' used by value before its definition");
+        continue;
+      }
+    CT->addField(FD.Name, T);
+  }
+
+  CT->finalizeLayout();
+  return true;
+}
+
+FnLowering IRGenerator::lowerSignature(FunctionDecl &FD,
+                                       ClassType *ThisClass) {
+  FnLowering L;
+  L.Decl = &FD;
+  L.ThisClass = ThisClass;
+  L.IsVirtual = FD.IsVirtual;
+
+  L.RetSem = resolveType(FD.ReturnType);
+  if (!L.RetSem)
+    L.RetSem = M.types().voidTy();
+  L.HasSRet = L.RetSem->isClass();
+
+  std::vector<Type *> LoweredParams;
+  std::vector<Type *> SigParams;
+  if (ThisClass)
+    LoweredParams.push_back(M.types().pointerTo(ThisClass));
+  if (L.HasSRet)
+    LoweredParams.push_back(M.types().pointerTo(L.RetSem));
+
+  for (ParamDecl &P : FD.Params) {
+    bool IsRef = false;
+    Type *T = resolveType(P.Type, &IsRef);
+    if (!T)
+      T = M.types().int32Ty();
+    L.ParamSem.push_back(T);
+    L.ParamIsRef.push_back(IsRef);
+    bool ByVal = !IsRef && T->isClass();
+    L.ParamIsByValClass.push_back(ByVal);
+    Type *Lowered = (IsRef || ByVal) ? M.types().pointerTo(T) : T;
+    LoweredParams.push_back(Lowered);
+    SigParams.push_back(IsRef ? M.types().pointerTo(T) : T);
+  }
+
+  Type *LoweredRet = L.HasSRet ? M.types().voidTy() : L.RetSem;
+  FunctionType *FTy = M.types().functionTy(LoweredRet, LoweredParams);
+
+  std::string Mangled;
+  if (ThisClass)
+    Mangled = ThisClass->name() + "::" + FD.Name;
+  else
+    Mangled = FD.Name;
+  Mangled += "(";
+  for (size_t I = 0; I < L.ParamSem.size(); ++I) {
+    if (I)
+      Mangled += ",";
+    Mangled += L.ParamSem[I]->str();
+    if (L.ParamIsRef[I])
+      Mangled += "&";
+  }
+  Mangled += ")";
+
+  if (Function *Existing = M.findFunction(Mangled)) {
+    // Forward declaration + definition pair: bind the definition to the
+    // already-created function. Anything else is a redefinition.
+    FnLowering *Prev =
+        LoweringOf.count(Existing) ? LoweringOf[Existing] : nullptr;
+    if (Prev && !Prev->Decl->Body && FD.Body) {
+      Prev->Decl = &FD;
+      L.Fn = nullptr; // Merged into the previous lowering.
+      return L;
+    }
+    if (Prev && Prev->Decl->Body && !FD.Body) {
+      L.Fn = nullptr; // Redundant trailing declaration.
+      return L;
+    }
+    Diags.error(FD.Loc, "redefinition of '" + Mangled + "'");
+    Mangled += "$dup" + std::to_string(Lowerings.size());
+  }
+  L.Fn = M.createFunction(Mangled, FTy);
+  L.Fn->setMethodOf(ThisClass);
+  L.VirtualSig = M.types().functionTy(L.RetSem, SigParams);
+  return L;
+}
+
+bool IRGenerator::createFunctions() {
+  for (auto &CD : Unit.Classes) {
+    ClassType *CT = ClassTypeOf[CD.get()];
+    for (auto &MD : CD->Methods) {
+      auto L = std::make_unique<FnLowering>(lowerSignature(*MD, CT));
+      if (!L->Fn)
+        continue; // Declaration merged with its definition.
+      LoweringOf[L->Fn] = L.get();
+      MethodsOf[CT].push_back(L.get());
+      Lowerings.push_back(std::move(L));
+    }
+  }
+  for (size_t I = 0; I < Unit.Functions.size(); ++I) {
+    FunctionDecl &FD = *Unit.Functions[I];
+    // Free functions get their qualified name mangled in.
+    std::string Saved = FD.Name;
+    FD.Name = Unit.FunctionQualNames[I];
+    auto L = std::make_unique<FnLowering>(lowerSignature(FD, nullptr));
+    FD.Name = Saved;
+    if (!L->Fn)
+      continue; // Declaration merged with its definition.
+    LoweringOf[L->Fn] = L.get();
+    FreeFns[Unit.FunctionQualNames[I]].push_back(L.get());
+    Lowerings.push_back(std::move(L));
+  }
+  return !Diags.hasError();
+}
+
+void IRGenerator::finalizeVTables() {
+  // Declaration order guarantees base classes are finalized first.
+  for (auto &CD : Unit.Classes) {
+    ClassType *CT = ClassTypeOf[CD.get()];
+    for (VTableGroup &G : CT->vtablesMutable()) {
+      for (size_t S = 0; S < G.Slots.size(); ++S) {
+        VTableSlot &Slot = G.Slots[S];
+        // Own override?
+        FnLowering *Own = nullptr;
+        for (FnLowering *ML : MethodsOf[CT]) {
+          if (ML->Decl->Name == Slot.Name && ML->VirtualSig == Slot.Signature) {
+            Own = ML;
+            break;
+          }
+        }
+        if (Own) {
+          if (Own->Decl->IsPure) {
+            Slot.Impl = nullptr; // Abstract: no dispatch target here.
+            continue;
+          }
+          Slot.Impl = G.Offset == 0 ? Own->Fn
+                                    : createThunk(Own->Fn, CT, G.Offset);
+          continue;
+        }
+        // Inherit from the base subobject the group belongs to.
+        Function *Inherited = nullptr;
+        for (const BaseInfo &BI : CT->bases()) {
+          for (const VTableGroup &BG : BI.Base->vtables()) {
+            if (BI.Offset + BG.Offset != G.Offset || S >= BG.Slots.size())
+              continue;
+            const VTableSlot &BS = BG.Slots[S];
+            if (BS.Name == Slot.Name && BS.Signature == Slot.Signature)
+              Inherited = BS.Impl;
+          }
+        }
+        Slot.Impl = Inherited;
+      }
+    }
+  }
+}
+
+Function *IRGenerator::createThunk(Function *Impl, ClassType *C,
+                                   uint64_t Offset) {
+  std::string Name =
+      Impl->name() + "$thunk" + std::to_string(Offset);
+  if (Function *Existing = M.findFunction(Name))
+    return Existing;
+  Function *Thunk = M.createFunction(Name, Impl->functionType());
+  Thunk->setThunk(true);
+  Thunk->setMethodOf(C);
+
+  BasicBlock *Entry = Thunk->createBlock("entry");
+  IRBuilder TB(M);
+  TB.setInsertAtEnd(Entry);
+  // Adjust this from the secondary subobject back to the complete object.
+  Value *This = Thunk->arg(0);
+  Value *AsInt = TB.createCast(CastKind::PtrToInt, This,
+                               M.types().uint64Ty(), "this.int");
+  Value *Adj = TB.createBinOp(Opcode::Sub, AsInt, M.constU64(Offset),
+                              "this.adj");
+  Value *NewThis = TB.createCast(CastKind::IntToPtr, Adj, This->type(),
+                                 "this.fix");
+  std::vector<Value *> Args{NewThis};
+  for (unsigned I = 1; I < Thunk->numArgs(); ++I)
+    Args.push_back(Thunk->arg(I));
+  Instruction *CallI = TB.createCall(Impl, Args);
+  if (Impl->returnType()->isVoid())
+    TB.createRet();
+  else
+    TB.createRet(CallI);
+  return Thunk;
+}
+
+void IRGenerator::checkRecursion() {
+  analysis::CallGraph CG(M);
+  for (Function *F : CG.recursiveFunctions()) {
+    // Tail recursion is allowed; TailRecursionElim removes it.
+    bool SelfOnly = CG.callees(F).count(F) != 0;
+    if (SelfOnly && analysis::CallGraph::isSelfRecursionTailOnly(*F))
+      continue;
+    SourceLoc Loc;
+    if (FnLowering *L = LoweringOf.count(F) ? LoweringOf[F] : nullptr)
+      Loc = L->Decl->Loc;
+    Diags.unsupported(Loc, "recursion in kernel code ('" + F->name() +
+                               "'); only eliminable tail recursion is "
+                               "supported on the GPU");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+Type *IRGenerator::builtinType(BuiltinKind K) {
+  TypeContext &T = M.types();
+  switch (K) {
+  case BuiltinKind::Void: return T.voidTy();
+  case BuiltinKind::Bool: return T.boolTy();
+  case BuiltinKind::Char: return T.int8Ty();
+  case BuiltinKind::UChar: return T.uint8Ty();
+  case BuiltinKind::Short: return T.int16Ty();
+  case BuiltinKind::UShort: return T.uint16Ty();
+  case BuiltinKind::Int: return T.int32Ty();
+  case BuiltinKind::UInt: return T.uint32Ty();
+  case BuiltinKind::Long: return T.int64Ty();
+  case BuiltinKind::ULong: return T.uint64Ty();
+  case BuiltinKind::Float: return T.floatTy();
+  case BuiltinKind::Named: break;
+  }
+  return nullptr;
+}
+
+ClassType *IRGenerator::lookupClass(const std::string &Name, SourceLoc Loc,
+                                    bool Required) {
+  if (ClassType *CT = M.types().findClass(Name))
+    return CT;
+  // Unique-suffix match lets unqualified names find namespaced classes.
+  ClassType *Found = nullptr;
+  for (ClassType *CT : M.types().classes()) {
+    const std::string &Full = CT->name();
+    if (Full.size() > Name.size() + 2 &&
+        Full.compare(Full.size() - Name.size(), Name.size(), Name) == 0 &&
+        Full[Full.size() - Name.size() - 1] == ':') {
+      if (Found) {
+        Diags.error(Loc, "ambiguous class name '" + Name + "'");
+        return nullptr;
+      }
+      Found = CT;
+    }
+  }
+  if (!Found && Required)
+    Diags.error(Loc, "unknown class '" + Name + "'");
+  return Found;
+}
+
+Type *IRGenerator::resolveType(const TypeSyntax &TS, bool *IsRef) {
+  if (IsRef)
+    *IsRef = TS.IsRef;
+  Type *T = nullptr;
+  if (TS.Base == BuiltinKind::Named)
+    T = lookupClass(TS.Name, TS.Loc, /*Required=*/true);
+  else
+    T = builtinType(TS.Base);
+  if (!T)
+    return nullptr;
+  if (T->isVoid() && TS.PtrDepth > 0) {
+    Diags.error(TS.Loc, "void* is not supported; use ulong");
+    return nullptr;
+  }
+  for (unsigned I = 0; I < TS.PtrDepth; ++I)
+    T = M.types().pointerTo(T);
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Bodies
+//===----------------------------------------------------------------------===//
+
+bool IRGenerator::generateBodies() {
+  for (auto &L : Lowerings) {
+    if (!L->Decl->Body) {
+      if (!L->Fn->isThunk() && !L->Decl->IsPure)
+        Diags.error(L->Decl->Loc,
+                    "function '" + L->Fn->name() + "' has no body");
+      continue;
+    }
+    CurFn = L->Fn;
+    CurLowering = L.get();
+    CurClass = L->ThisClass;
+    CurThis = nullptr;
+    CurSRet = nullptr;
+
+    BasicBlock *Entry = CurFn->createBlock("entry");
+    B.setInsertAtEnd(Entry);
+    pushScope();
+
+    unsigned ArgIdx = 0;
+    if (CurClass)
+      CurThis = CurFn->arg(ArgIdx++);
+    if (L->HasSRet)
+      CurSRet = CurFn->arg(ArgIdx++);
+
+    for (size_t P = 0; P < L->Decl->Params.size(); ++P, ++ArgIdx) {
+      ParamDecl &PD = L->Decl->Params[P];
+      Argument *Arg = CurFn->arg(ArgIdx);
+      LocalVar LV;
+      LV.SemType = L->ParamSem[P];
+      if (L->ParamIsRef[P] || L->ParamIsByValClass[P]) {
+        // The argument is already an address of the semantic object.
+        LV.Addr = Arg;
+        LV.IsAlloca = false;
+      } else {
+        Instruction *Slot = B.createAlloca(LV.SemType, PD.Name + ".addr");
+        B.createStore(Arg, Slot);
+        LV.Addr = Slot;
+        LV.IsAlloca = false; // Parameters may have their address taken.
+      }
+      if (!PD.Name.empty())
+        defineLocal(PD.Name, LV);
+    }
+
+    genStmt(*L->Decl->Body);
+
+    // Implicit return at the end of a void function (or missing return).
+    if (!blockClosed()) {
+      if (L->HasSRet || L->RetSem->isVoid())
+        B.createRet();
+      else if (L->RetSem->isScalar())
+        B.createRet(L->RetSem->isFloat()
+                        ? static_cast<Value *>(M.constFloat(0.0f))
+                        : L->RetSem->isPointer()
+                              ? static_cast<Value *>(M.nullPtr(
+                                    cast<PointerType>(L->RetSem)))
+                              : static_cast<Value *>(M.constInt(L->RetSem, 0)));
+      else
+        B.createRet();
+    }
+    popScope();
+    assert(Scopes.empty() && "scope imbalance");
+  }
+  return !Diags.hasError();
+}
+
+LocalVar *IRGenerator::findLocal(const std::string &Name) {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+void IRGenerator::genStmt(Stmt &S) {
+  if (blockClosed()) {
+    // Unreachable code after return/break: emit into a fresh dead block so
+    // IR stays well-formed; DCE removes it.
+    BasicBlock *Dead = newBlock("dead");
+    B.setInsertAtEnd(Dead);
+  }
+  switch (S.Kind) {
+  case StmtKind::Compound:
+    genCompound(*cast<CompoundStmt>(&S));
+    return;
+  case StmtKind::Expr:
+    genExpr(*cast<ExprStmt>(&S)->E);
+    return;
+  case StmtKind::Decl: {
+    auto *DS = cast<DeclStmt>(&S);
+    bool IsRef = false;
+    Type *T = resolveType(DS->Type, &IsRef);
+    if (!T)
+      return;
+    if (IsRef) {
+      Diags.error(DS->Loc, "local references are not supported");
+      return;
+    }
+    Type *StoreTy = T;
+    if (DS->Type.ArrayLen >= 0)
+      StoreTy = M.types().arrayOf(T, uint64_t(DS->Type.ArrayLen));
+    Instruction *Slot = B.createAlloca(StoreTy, DS->Name);
+    LocalVar LV{Slot, StoreTy, /*IsAlloca=*/true};
+    defineLocal(DS->Name, LV);
+    if (DS->Init) {
+      ExprVal Init = genExpr(*DS->Init);
+      if (!Init.valid())
+        return;
+      if (StoreTy->isClass()) {
+        if (!Init.IsAddr || Init.SemType != StoreTy) {
+          Diags.error(DS->Loc, "cannot initialize '" + StoreTy->str() +
+                                   "' from '" +
+                                   (Init.SemType ? Init.SemType->str() : "?") +
+                                   "'");
+          return;
+        }
+        B.createMemcpy(Slot, Init.V, StoreTy->sizeInBytes());
+      } else {
+        if (Value *V = convert(Init, T, DS->Loc))
+          B.createStore(V, Slot);
+      }
+    }
+    return;
+  }
+  case StmtKind::If: {
+    auto *IS = cast<IfStmt>(&S);
+    Value *Cond = toBool(genExpr(*IS->Cond), IS->Loc);
+    if (!Cond)
+      return;
+    BasicBlock *ThenBB = newBlock("if.then");
+    BasicBlock *ElseBB = IS->Else ? newBlock("if.else") : nullptr;
+    BasicBlock *EndBB = newBlock("if.end");
+    B.createCondBr(Cond, ThenBB, ElseBB ? ElseBB : EndBB);
+    B.setInsertAtEnd(ThenBB);
+    genStmt(*IS->Then);
+    if (!blockClosed())
+      B.createBr(EndBB);
+    if (ElseBB) {
+      B.setInsertAtEnd(ElseBB);
+      genStmt(*IS->Else);
+      if (!blockClosed())
+        B.createBr(EndBB);
+    }
+    B.setInsertAtEnd(EndBB);
+    return;
+  }
+  case StmtKind::While: {
+    auto *WS = cast<WhileStmt>(&S);
+    BasicBlock *HeaderBB = newBlock("while.cond");
+    BasicBlock *BodyBB = newBlock("while.body");
+    BasicBlock *EndBB = newBlock("while.end");
+    B.createBr(HeaderBB);
+    B.setInsertAtEnd(HeaderBB);
+    Value *Cond = toBool(genExpr(*WS->Cond), WS->Loc);
+    if (!Cond)
+      return;
+    B.createCondBr(Cond, BodyBB, EndBB);
+    B.setInsertAtEnd(BodyBB);
+    LoopStack.push_back({HeaderBB, EndBB});
+    genStmt(*WS->Body);
+    LoopStack.pop_back();
+    if (!blockClosed())
+      B.createBr(HeaderBB);
+    B.setInsertAtEnd(EndBB);
+    return;
+  }
+  case StmtKind::For: {
+    auto *FS = cast<ForStmt>(&S);
+    pushScope();
+    if (FS->Init)
+      genStmt(*FS->Init);
+    BasicBlock *HeaderBB = newBlock("for.cond");
+    BasicBlock *BodyBB = newBlock("for.body");
+    BasicBlock *StepBB = newBlock("for.step");
+    BasicBlock *EndBB = newBlock("for.end");
+    B.createBr(HeaderBB);
+    B.setInsertAtEnd(HeaderBB);
+    if (FS->Cond) {
+      Value *Cond = toBool(genExpr(*FS->Cond), FS->Loc);
+      if (!Cond) {
+        popScope();
+        return;
+      }
+      B.createCondBr(Cond, BodyBB, EndBB);
+    } else {
+      B.createBr(BodyBB);
+    }
+    B.setInsertAtEnd(BodyBB);
+    LoopStack.push_back({StepBB, EndBB});
+    genStmt(*FS->Body);
+    LoopStack.pop_back();
+    if (!blockClosed())
+      B.createBr(StepBB);
+    B.setInsertAtEnd(StepBB);
+    if (FS->Step)
+      genExpr(*FS->Step);
+    B.createBr(HeaderBB);
+    B.setInsertAtEnd(EndBB);
+    popScope();
+    return;
+  }
+  case StmtKind::Return: {
+    auto *RS = cast<ReturnStmt>(&S);
+    if (CurLowering->HasSRet) {
+      if (!RS->Value) {
+        Diags.error(RS->Loc, "return without a value");
+        return;
+      }
+      ExprVal V = genExpr(*RS->Value);
+      if (!V.valid())
+        return;
+      if (!V.IsAddr || V.SemType != CurLowering->RetSem) {
+        Diags.error(RS->Loc, "return type mismatch");
+        return;
+      }
+      B.createMemcpy(CurSRet, V.V, CurLowering->RetSem->sizeInBytes());
+      B.createRet();
+      return;
+    }
+    if (CurLowering->RetSem->isVoid()) {
+      if (RS->Value)
+        Diags.error(RS->Loc, "void function returning a value");
+      B.createRet();
+      return;
+    }
+    if (!RS->Value) {
+      Diags.error(RS->Loc, "return without a value");
+      return;
+    }
+    ExprVal V = genExpr(*RS->Value);
+    if (!V.valid())
+      return;
+    if (Value *Conv = convert(V, CurLowering->RetSem, RS->Loc))
+      B.createRet(Conv);
+    return;
+  }
+  case StmtKind::Break:
+    if (LoopStack.empty())
+      Diags.error(S.Loc, "'break' outside of a loop");
+    else
+      B.createBr(LoopStack.back().Break);
+    return;
+  case StmtKind::Continue:
+    if (LoopStack.empty())
+      Diags.error(S.Loc, "'continue' outside of a loop");
+    else
+      B.createBr(LoopStack.back().Continue);
+    return;
+  }
+}
+
+void IRGenerator::genCompound(CompoundStmt &S) {
+  pushScope();
+  for (StmtPtr &Sub : S.Body)
+    genStmt(*Sub);
+  popScope();
+}
+
+//===----------------------------------------------------------------------===//
+// Conversions
+//===----------------------------------------------------------------------===//
+
+Value *IRGenerator::toBool(ExprVal EV, SourceLoc Loc) {
+  if (!EV.valid())
+    return nullptr;
+  EV = decay(EV);
+  Type *T = EV.SemType;
+  if (T->isBool())
+    return EV.V;
+  B.setLoc(Loc);
+  if (T->isInteger())
+    return B.createICmp(ICmpPred::NE, EV.V, M.constInt(T, 0));
+  if (T->isFloat())
+    return B.createFCmp(FCmpPred::ONE, EV.V, M.constFloat(0.0f));
+  if (T->isPointer())
+    return B.createICmp(ICmpPred::NE, EV.V,
+                        M.nullPtr(cast<PointerType>(T)));
+  Diags.error(Loc, "value of type '" + T->str() + "' is not a condition");
+  return nullptr;
+}
+
+int IRGenerator::conversionCost(Type *From, Type *To) const {
+  if (From == To)
+    return 0;
+  if (From->isInteger() && To->isInteger()) {
+    if (From->isBool())
+      return 1;
+    uint64_t FW = From->sizeInBytes(), TW = To->sizeInBytes();
+    if (TW > FW)
+      return 1; // Widening.
+    if (TW == FW)
+      return 2; // Sign reinterpretation.
+    return 3;   // Narrowing (implicit, as in C++).
+  }
+  if (From->isInteger() && To->isFloat())
+    return 2;
+  if (From->isPointer() && To->isPointer()) {
+    auto *FP = cast<PointerType>(From)->pointee();
+    auto *TP = cast<PointerType>(To)->pointee();
+    if (auto *FC = dyn_cast<ClassType>(FP))
+      if (auto *TC = dyn_cast<ClassType>(TP))
+        if (FC->isBaseOrSelf(TC))
+          return 1; // Derived* -> Base*.
+    return -1;
+  }
+  return -1;
+}
+
+Value *IRGenerator::convert(ExprVal EV, Type *To, SourceLoc Loc) {
+  if (!EV.valid())
+    return nullptr;
+  EV = decay(EV);
+  Type *From = EV.SemType;
+  if (From == To)
+    return EV.V;
+  B.setLoc(Loc);
+
+  // Null literal.
+  if (isa<ConstantNull>(EV.V) && To->isPointer())
+    return M.nullPtr(cast<PointerType>(To));
+
+  if (From->isInteger() && To->isInteger()) {
+    uint64_t FW = From->sizeInBytes(), TW = To->sizeInBytes();
+    if (auto *CI = dyn_cast<ConstantInt>(EV.V))
+      return M.constInt(To, uint64_t(CI->sext()));
+    if (TW > FW)
+      return B.createCast(From->isSignedInteger() ? CastKind::SExt
+                                                  : CastKind::ZExt,
+                          EV.V, To);
+    if (TW < FW)
+      return B.createCast(CastKind::Trunc, EV.V, To);
+    return B.createCast(CastKind::BitCast, EV.V, To);
+  }
+  if (From->isInteger() && To->isFloat()) {
+    if (auto *CI = dyn_cast<ConstantInt>(EV.V))
+      return M.constFloat(float(CI->sext()));
+    return B.createCast(From->isUnsignedInteger() ? CastKind::UIToFP
+                                                  : CastKind::SIToFP,
+                        EV.V, To);
+  }
+  if (From->isPointer() && To->isPointer()) {
+    auto *FC = dyn_cast<ClassType>(cast<PointerType>(From)->pointee());
+    auto *TC = dyn_cast<ClassType>(cast<PointerType>(To)->pointee());
+    if (FC && TC && FC->isBaseOrSelf(TC))
+      return upcastPointer(EV.V, FC, TC, Loc);
+  }
+  Diags.error(Loc, "no implicit conversion from '" + From->str() + "' to '" +
+                       To->str() + "'");
+  return nullptr;
+}
+
+Value *IRGenerator::upcastPointer(Value *Ptr, ClassType *From,
+                                  const ClassType *To, SourceLoc Loc) {
+  uint64_t Off = 0;
+  bool OK = From->offsetOfBase(To, &Off);
+  assert(OK && "upcast to a non-base");
+  (void)OK;
+  Type *ToPtr = M.types().pointerTo(const_cast<ClassType *>(To));
+  B.setLoc(Loc);
+  if (Off == 0)
+    return B.createCast(CastKind::BitCast, Ptr, ToPtr);
+  return ptrAdd(Ptr, int64_t(Off),
+                const_cast<ClassType *>(To));
+}
+
+Value *IRGenerator::ptrAdd(Value *Ptr, int64_t Bytes, Type *ResultPointee) {
+  // FieldAddr with a byte offset reinterprets the pointee.
+  return B.createFieldAddr(Ptr, uint64_t(Bytes), ResultPointee);
+}
+
+ExprVal IRGenerator::decay(ExprVal EV) {
+  if (!EV.valid() || !EV.IsAddr)
+    return EV;
+  if (auto *AT = dyn_cast<ArrayType>(EV.SemType)) {
+    // Array-to-pointer decay.
+    Value *ElemPtr = B.createCast(CastKind::BitCast, EV.V,
+                                  M.types().pointerTo(AT->element()));
+    return {ElemPtr, M.types().pointerTo(AT->element()), false};
+  }
+  if (EV.SemType->isClass())
+    return EV; // Aggregates stay as addresses.
+  Value *Loaded = B.createLoad(EV.V);
+  return {Loaded, EV.SemType, false};
+}
+
+bool IRGenerator::unifyArithmetic(ExprVal &L, ExprVal &R, SourceLoc Loc) {
+  L = decay(L);
+  R = decay(R);
+  if (!L.valid() || !R.valid())
+    return false;
+  Type *LT = L.SemType, *RT = R.SemType;
+  if (!LT->isScalar() || !RT->isScalar()) {
+    Diags.error(Loc, "invalid operands to arithmetic");
+    return false;
+  }
+  Type *Common = nullptr;
+  if (LT == RT)
+    return true;
+  if (LT->isFloat() || RT->isFloat())
+    Common = M.types().floatTy();
+  else if (LT->isInteger() && RT->isInteger()) {
+    uint64_t W = std::max(LT->sizeInBytes(), RT->sizeInBytes());
+    W = std::max<uint64_t>(W, 4); // Integer promotion to at least 32 bits.
+    bool Unsigned = (LT->isUnsignedInteger() && LT->sizeInBytes() >= W) ||
+                    (RT->isUnsignedInteger() && RT->sizeInBytes() >= W);
+    TypeContext &T = M.types();
+    Common = W == 4 ? (Unsigned ? T.uint32Ty() : T.int32Ty())
+                    : (Unsigned ? T.uint64Ty() : T.int64Ty());
+  } else {
+    Diags.error(Loc, "invalid operand types '" + LT->str() + "' and '" +
+                         RT->str() + "'");
+    return false;
+  }
+  Value *LV = convert(L, Common, Loc);
+  Value *RV = convert(R, Common, Loc);
+  if (!LV || !RV)
+    return false;
+  L = {LV, Common, false};
+  R = {RV, Common, false};
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprVal IRGenerator::genExpr(Expr &E) {
+  B.setLoc(E.Loc);
+  switch (E.Kind) {
+  case ExprKind::IntLit: {
+    auto *IL = cast<IntLitExpr>(&E);
+    Type *T = IL->Value > 0x7fffffffull ? M.types().int64Ty()
+                                        : M.types().int32Ty();
+    return {M.constInt(T, IL->Value), T, false};
+  }
+  case ExprKind::FloatLit:
+    return {M.constFloat(float(cast<FloatLitExpr>(&E)->Value)),
+            M.types().floatTy(), false};
+  case ExprKind::BoolLit:
+    return {M.constBool(cast<BoolLitExpr>(&E)->Value), M.types().boolTy(),
+            false};
+  case ExprKind::NullLit: {
+    PointerType *PT = M.types().pointerTo(M.types().int8Ty());
+    return {M.nullPtr(PT), PT, false};
+  }
+  case ExprKind::This: {
+    if (!CurThis) {
+      Diags.error(E.Loc, "'this' outside of a method");
+      return {};
+    }
+    return {CurThis, CurThis->type(), false};
+  }
+  case ExprKind::NameRef:
+    return decay(genNameRef(*cast<NameRefExpr>(&E)));
+  case ExprKind::Member:
+    return decay(genMember(*cast<MemberExpr>(&E)));
+  case ExprKind::Index:
+    return decay(genIndex(*cast<IndexExpr>(&E)));
+  case ExprKind::Call:
+    return genCallExpr(*cast<CallExpr>(&E));
+  case ExprKind::MethodCall:
+    return genMethodCall(*cast<MethodCallExpr>(&E));
+  case ExprKind::Unary:
+    return genUnary(*cast<UnaryExpr>(&E));
+  case ExprKind::Binary:
+    return genBinary(*cast<BinaryExpr>(&E));
+  case ExprKind::Assign:
+    return genAssign(*cast<AssignExpr>(&E));
+  case ExprKind::Conditional:
+    return genConditional(*cast<ConditionalExpr>(&E));
+  case ExprKind::CastExpr:
+    return genCast(*cast<CastExpr>(&E));
+  }
+  return {};
+}
+
+ExprVal IRGenerator::genLValue(Expr &E) {
+  B.setLoc(E.Loc);
+  switch (E.Kind) {
+  case ExprKind::NameRef:
+    return genNameRef(*cast<NameRefExpr>(&E));
+  case ExprKind::Member:
+    return genMember(*cast<MemberExpr>(&E));
+  case ExprKind::Index:
+    return genIndex(*cast<IndexExpr>(&E));
+  case ExprKind::Unary: {
+    auto *UE = cast<UnaryExpr>(&E);
+    if (UE->Op == UnaryOp::Deref) {
+      ExprVal P = genExpr(*UE->Sub);
+      if (!P.valid())
+        return {};
+      if (!P.SemType->isPointer()) {
+        Diags.error(E.Loc, "dereferencing a non-pointer");
+        return {};
+      }
+      return {P.V, cast<PointerType>(P.SemType)->pointee(), true};
+    }
+    break;
+  }
+  case ExprKind::MethodCall: {
+    // Calls returning class values produce addressable temporaries.
+    ExprVal R = genMethodCall(*cast<MethodCallExpr>(&E));
+    if (R.valid() && R.IsAddr)
+      return R;
+    break;
+  }
+  case ExprKind::Call: {
+    ExprVal R = genCallExpr(*cast<CallExpr>(&E));
+    if (R.valid() && R.IsAddr)
+      return R;
+    break;
+  }
+  default:
+    break;
+  }
+  Diags.error(E.Loc, "expression is not assignable");
+  return {};
+}
+
+ExprVal IRGenerator::genNameRef(NameRefExpr &E) {
+  if (E.Path.size() == 1) {
+    if (LocalVar *LV = findLocal(E.Path[0]))
+      return {LV->Addr, LV->SemType, true};
+    // Implicit this->field.
+    if (CurClass) {
+      uint64_t Off = 0;
+      if (const FieldInfo *F = CurClass->findField(E.Path[0], &Off)) {
+        Value *Addr = ptrAdd(CurThis, int64_t(Off), F->Ty);
+        return {Addr, F->Ty, true};
+      }
+    }
+  }
+  // A bare function name: Concord does not support function pointers.
+  std::string Joined;
+  for (size_t I = 0; I < E.Path.size(); ++I)
+    Joined += (I ? "::" : "") + E.Path[I];
+  if (FreeFns.count(Joined)) {
+    Diags.unsupported(E.Loc,
+                      "taking the address of function '" + Joined +
+                          "' (function pointers are not supported on GPU)");
+    return {};
+  }
+  Diags.error(E.Loc, "unknown name '" + Joined + "'");
+  return {};
+}
+
+ExprVal IRGenerator::genMember(MemberExpr &E) {
+  ExprVal Base;
+  ClassType *Class = nullptr;
+  Value *ObjPtr = nullptr;
+  if (E.IsArrow) {
+    Base = genExpr(*E.Base);
+    if (!Base.valid())
+      return {};
+    auto *PT = dyn_cast<PointerType>(Base.SemType);
+    if (!PT || !PT->pointee()->isClass()) {
+      Diags.error(E.Loc, "'->' on a non-class-pointer");
+      return {};
+    }
+    Class = cast<ClassType>(PT->pointee());
+    ObjPtr = Base.V;
+  } else {
+    Base = genLValue(*E.Base);
+    if (!Base.valid())
+      return {};
+    if (!Base.SemType->isClass()) {
+      Diags.error(E.Loc, "'.' on a non-class value");
+      return {};
+    }
+    Class = cast<ClassType>(Base.SemType);
+    ObjPtr = Base.V;
+  }
+  uint64_t Off = 0;
+  const FieldInfo *F = Class->findField(E.Name, &Off);
+  if (!F) {
+    Diags.error(E.Loc,
+                "class '" + Class->name() + "' has no field '" + E.Name + "'");
+    return {};
+  }
+  Value *Addr = ptrAdd(ObjPtr, int64_t(Off), F->Ty);
+  return {Addr, F->Ty, true};
+}
+
+ExprVal IRGenerator::genIndex(IndexExpr &E) {
+  ExprVal Base = genExpr(*E.Base); // decay() turns arrays into pointers.
+  if (!Base.valid())
+    return {};
+  if (!Base.SemType->isPointer()) {
+    Diags.error(E.Loc, "subscript on a non-pointer");
+    return {};
+  }
+  ExprVal Idx = genExpr(*E.Index);
+  Value *IdxV = convert(Idx, M.types().int64Ty(), E.Loc);
+  if (!IdxV)
+    return {};
+  Value *Addr = B.createIndexAddr(Base.V, IdxV);
+  return {Addr, cast<PointerType>(Base.SemType)->pointee(), true};
+}
+
+ExprVal IRGenerator::genUnary(UnaryExpr &E) {
+  switch (E.Op) {
+  case UnaryOp::Neg: {
+    ExprVal V = decay(genExpr(*E.Sub));
+    if (!V.valid())
+      return {};
+    if (V.SemType->isFloat())
+      return {B.createUnOp(Opcode::FNeg, V.V), V.SemType, false};
+    if (V.SemType->isInteger()) {
+      Type *T = V.SemType->sizeInBytes() < 4 ? M.types().int32Ty() : V.SemType;
+      Value *C = convert(V, T, E.Loc);
+      return {B.createUnOp(Opcode::Neg, C), T, false};
+    }
+    Diags.error(E.Loc, "invalid operand to unary '-'");
+    return {};
+  }
+  case UnaryOp::Not: {
+    Value *C = toBool(genExpr(*E.Sub), E.Loc);
+    if (!C)
+      return {};
+    return {B.createUnOp(Opcode::Not, C), M.types().boolTy(), false};
+  }
+  case UnaryOp::BitNot: {
+    ExprVal V = decay(genExpr(*E.Sub));
+    if (!V.valid() || !V.SemType->isInteger()) {
+      Diags.error(E.Loc, "invalid operand to '~'");
+      return {};
+    }
+    Value *AllOnes = M.constInt(V.SemType, ~0ull);
+    return {B.createBinOp(Opcode::Xor, V.V, AllOnes), V.SemType, false};
+  }
+  case UnaryOp::Deref: {
+    ExprVal P = genExpr(*E.Sub);
+    if (!P.valid())
+      return {};
+    if (!P.SemType->isPointer()) {
+      Diags.error(E.Loc, "dereferencing a non-pointer");
+      return {};
+    }
+    ExprVal LV{P.V, cast<PointerType>(P.SemType)->pointee(), true};
+    return decay(LV);
+  }
+  case UnaryOp::AddrOf: {
+    // Paper restriction (section 2.1): no address of a local variable.
+    if (auto *NR = dyn_cast<NameRefExpr>(E.Sub.get()))
+      if (NR->Path.size() == 1) {
+        if (LocalVar *LV = findLocal(NR->Path[0]); LV && LV->IsAlloca) {
+          Diags.unsupported(E.Loc, "taking the address of local variable '" +
+                                       NR->Path[0] + "'");
+          return {};
+        }
+      }
+    ExprVal LV = genLValue(*E.Sub);
+    if (!LV.valid())
+      return {};
+    Type *PT = M.types().pointerTo(LV.SemType);
+    // The address computation already has pointer type with the right
+    // pointee for FieldAddr/IndexAddr; re-type via bitcast when needed.
+    Value *Addr = LV.V;
+    if (Addr->type() != PT)
+      Addr = B.createCast(CastKind::BitCast, Addr, PT);
+    return {Addr, PT, false};
+  }
+  case UnaryOp::PreInc:
+  case UnaryOp::PreDec:
+  case UnaryOp::PostInc:
+  case UnaryOp::PostDec: {
+    ExprVal LV = genLValue(*E.Sub);
+    if (!LV.valid())
+      return {};
+    bool IsInc = E.Op == UnaryOp::PreInc || E.Op == UnaryOp::PostInc;
+    bool IsPre = E.Op == UnaryOp::PreInc || E.Op == UnaryOp::PreDec;
+    Value *Old = B.createLoad(LV.V);
+    Value *New = nullptr;
+    if (LV.SemType->isInteger()) {
+      New = B.createBinOp(IsInc ? Opcode::Add : Opcode::Sub, Old,
+                          M.constInt(LV.SemType, 1));
+    } else if (LV.SemType->isFloat()) {
+      New = B.createBinOp(IsInc ? Opcode::FAdd : Opcode::FSub, Old,
+                          M.constFloat(1.0f));
+    } else if (LV.SemType->isPointer()) {
+      Value *Step = M.constInt(M.types().int64Ty(), IsInc ? 1 : uint64_t(-1));
+      New = B.createIndexAddr(Old, Step);
+    } else {
+      Diags.error(E.Loc, "invalid operand to ++/--");
+      return {};
+    }
+    B.createStore(New, LV.V);
+    return {IsPre ? New : Old, LV.SemType, false};
+  }
+  }
+  return {};
+}
+
+ExprVal IRGenerator::genBinary(BinaryExpr &E) {
+  if (E.Op == BinaryOp::LAnd || E.Op == BinaryOp::LOr)
+    return genShortCircuit(E);
+
+  ExprVal L = genExpr(*E.LHS);
+  ExprVal R = genExpr(*E.RHS);
+  if (!L.valid() || !R.valid())
+    return {};
+  B.setLoc(E.Loc);
+
+  // Operator overloading on class operands: a + b => a.operator+(b).
+  if ((L.IsAddr && L.SemType->isClass()) ||
+      (R.IsAddr && R.SemType->isClass())) {
+    static const std::map<BinaryOp, std::string> OpNames = {
+        {BinaryOp::Add, "operator+"}, {BinaryOp::Sub, "operator-"},
+        {BinaryOp::Mul, "operator*"}, {BinaryOp::Div, "operator/"},
+        {BinaryOp::EQ, "operator=="}, {BinaryOp::NE, "operator!="},
+        {BinaryOp::LT, "operator<"},  {BinaryOp::GT, "operator>"},
+    };
+    auto It = OpNames.find(E.Op);
+    if (It != OpNames.end() && L.IsAddr && L.SemType->isClass()) {
+      auto *Class = cast<ClassType>(L.SemType);
+      std::vector<FnLowering *> Candidates;
+      for (FnLowering *ML : MethodsOf[Class])
+        if (ML->Decl->Name == It->second)
+          Candidates.push_back(ML);
+      if (!Candidates.empty()) {
+        std::vector<Type *> ArgTypes{R.SemType};
+        int Best = resolveOverload(Candidates, ArgTypes, E.Loc, It->second);
+        if (Best < 0)
+          return {};
+        std::vector<ExprVal> Args{R};
+        return emitCall(*Candidates[size_t(Best)], L.V, Args,
+                        /*AllowVirtual=*/true, E.Loc);
+      }
+    }
+    Diags.error(E.Loc, "no matching operator overload");
+    return {};
+  }
+
+  // Pointer arithmetic and comparisons.
+  if (L.SemType->isPointer() || R.SemType->isPointer()) {
+    switch (E.Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub: {
+      ExprVal P = L.SemType->isPointer() ? L : R;
+      ExprVal I = L.SemType->isPointer() ? R : L;
+      Value *Idx = convert(I, M.types().int64Ty(), E.Loc);
+      if (!Idx)
+        return {};
+      if (E.Op == BinaryOp::Sub)
+        Idx = B.createUnOp(Opcode::Neg, Idx);
+      return {B.createIndexAddr(P.V, Idx), P.SemType, false};
+    }
+    case BinaryOp::EQ:
+    case BinaryOp::NE:
+    case BinaryOp::LT:
+    case BinaryOp::LE:
+    case BinaryOp::GT:
+    case BinaryOp::GE: {
+      // Unify null literals to the pointer type.
+      Type *PT = L.SemType->isPointer() ? L.SemType : R.SemType;
+      Value *LV = convert(L, PT, E.Loc);
+      Value *RV = convert(R, PT, E.Loc);
+      if (!LV || !RV)
+        return {};
+      static const std::map<BinaryOp, ICmpPred> Preds = {
+          {BinaryOp::EQ, ICmpPred::EQ}, {BinaryOp::NE, ICmpPred::NE},
+          {BinaryOp::LT, ICmpPred::ULT}, {BinaryOp::LE, ICmpPred::ULE},
+          {BinaryOp::GT, ICmpPred::UGT}, {BinaryOp::GE, ICmpPred::UGE}};
+      return {B.createICmp(Preds.at(E.Op), LV, RV), M.types().boolTy(),
+              false};
+    }
+    default:
+      Diags.error(E.Loc, "invalid pointer operation");
+      return {};
+    }
+  }
+
+  if (!unifyArithmetic(L, R, E.Loc))
+    return {};
+  Type *T = L.SemType;
+  bool IsFloat = T->isFloat();
+  bool IsUnsigned = T->isUnsignedInteger();
+
+  auto Cmp = [&](ICmpPred SPred, ICmpPred UPred, FCmpPred FPred) -> ExprVal {
+    if (IsFloat)
+      return {B.createFCmp(FPred, L.V, R.V), M.types().boolTy(), false};
+    return {B.createICmp(IsUnsigned ? UPred : SPred, L.V, R.V),
+            M.types().boolTy(), false};
+  };
+
+  switch (E.Op) {
+  case BinaryOp::Add:
+    return {B.createBinOp(IsFloat ? Opcode::FAdd : Opcode::Add, L.V, R.V), T,
+            false};
+  case BinaryOp::Sub:
+    return {B.createBinOp(IsFloat ? Opcode::FSub : Opcode::Sub, L.V, R.V), T,
+            false};
+  case BinaryOp::Mul:
+    return {B.createBinOp(IsFloat ? Opcode::FMul : Opcode::Mul, L.V, R.V), T,
+            false};
+  case BinaryOp::Div:
+    return {B.createBinOp(IsFloat  ? Opcode::FDiv
+                          : IsUnsigned ? Opcode::UDiv
+                                       : Opcode::SDiv,
+                          L.V, R.V),
+            T, false};
+  case BinaryOp::Rem:
+    if (IsFloat) {
+      Diags.error(E.Loc, "'%' on floating point");
+      return {};
+    }
+    return {B.createBinOp(IsUnsigned ? Opcode::URem : Opcode::SRem, L.V, R.V),
+            T, false};
+  case BinaryOp::And:
+    return {B.createBinOp(Opcode::And, L.V, R.V), T, false};
+  case BinaryOp::Or:
+    return {B.createBinOp(Opcode::Or, L.V, R.V), T, false};
+  case BinaryOp::Xor:
+    return {B.createBinOp(Opcode::Xor, L.V, R.V), T, false};
+  case BinaryOp::Shl:
+    return {B.createBinOp(Opcode::Shl, L.V, R.V), T, false};
+  case BinaryOp::Shr:
+    return {B.createBinOp(IsUnsigned ? Opcode::LShr : Opcode::AShr, L.V, R.V),
+            T, false};
+  case BinaryOp::LT:
+    return Cmp(ICmpPred::SLT, ICmpPred::ULT, FCmpPred::OLT);
+  case BinaryOp::LE:
+    return Cmp(ICmpPred::SLE, ICmpPred::ULE, FCmpPred::OLE);
+  case BinaryOp::GT:
+    return Cmp(ICmpPred::SGT, ICmpPred::UGT, FCmpPred::OGT);
+  case BinaryOp::GE:
+    return Cmp(ICmpPred::SGE, ICmpPred::UGE, FCmpPred::OGE);
+  case BinaryOp::EQ:
+    return Cmp(ICmpPred::EQ, ICmpPred::EQ, FCmpPred::OEQ);
+  case BinaryOp::NE:
+    return Cmp(ICmpPred::NE, ICmpPred::NE, FCmpPred::ONE);
+  case BinaryOp::LAnd:
+  case BinaryOp::LOr:
+    break;
+  }
+  return {};
+}
+
+ExprVal IRGenerator::genShortCircuit(BinaryExpr &E) {
+  bool IsAnd = E.Op == BinaryOp::LAnd;
+  Value *L = toBool(genExpr(*E.LHS), E.Loc);
+  if (!L)
+    return {};
+  BasicBlock *FromBB = B.insertBlock();
+  BasicBlock *RhsBB = newBlock(IsAnd ? "land.rhs" : "lor.rhs");
+  BasicBlock *EndBB = newBlock(IsAnd ? "land.end" : "lor.end");
+  if (IsAnd)
+    B.createCondBr(L, RhsBB, EndBB);
+  else
+    B.createCondBr(L, EndBB, RhsBB);
+  B.setInsertAtEnd(RhsBB);
+  Value *R = toBool(genExpr(*E.RHS), E.Loc);
+  if (!R)
+    return {};
+  BasicBlock *RhsEndBB = B.insertBlock();
+  B.createBr(EndBB);
+  B.setInsertAtEnd(EndBB);
+  Instruction *Phi = B.createPhi(M.types().boolTy());
+  Phi->addIncoming(M.constBool(!IsAnd), FromBB);
+  Phi->addIncoming(R, RhsEndBB);
+  return {Phi, M.types().boolTy(), false};
+}
+
+ExprVal IRGenerator::genAssign(AssignExpr &E) {
+  ExprVal LV = genLValue(*E.LHS);
+  if (!LV.valid())
+    return {};
+  if (LV.SemType->isClass()) {
+    if (E.IsCompound) {
+      Diags.error(E.Loc, "compound assignment on class values");
+      return {};
+    }
+    ExprVal RV = genExpr(*E.RHS);
+    if (!RV.valid())
+      return {};
+    if (!RV.IsAddr || RV.SemType != LV.SemType) {
+      Diags.error(E.Loc, "class assignment type mismatch");
+      return {};
+    }
+    B.createMemcpy(LV.V, RV.V, LV.SemType->sizeInBytes());
+    return LV;
+  }
+
+  Value *NewVal = nullptr;
+  if (E.IsCompound) {
+    ExprVal Old = decay(ExprVal{LV.V, LV.SemType, true});
+    // Build the binary operation Old <op> RHS at the unified type, then
+    // convert back to the destination type.
+    BinaryExpr Synth(E.Op, nullptr, nullptr, E.Loc);
+    ExprVal R = genExpr(*E.RHS);
+    if (!R.valid())
+      return {};
+    ExprVal L = Old;
+    if (LV.SemType->isPointer()) {
+      if (E.Op != BinaryOp::Add && E.Op != BinaryOp::Sub) {
+        Diags.error(E.Loc, "invalid pointer compound assignment");
+        return {};
+      }
+      Value *Idx = convert(R, M.types().int64Ty(), E.Loc);
+      if (!Idx)
+        return {};
+      if (E.Op == BinaryOp::Sub)
+        Idx = B.createUnOp(Opcode::Neg, Idx);
+      NewVal = B.createIndexAddr(L.V, Idx);
+    } else {
+      if (!unifyArithmetic(L, R, E.Loc))
+        return {};
+      Opcode Op;
+      bool IsFloat = L.SemType->isFloat();
+      bool IsUnsigned = L.SemType->isUnsignedInteger();
+      switch (E.Op) {
+      case BinaryOp::Add: Op = IsFloat ? Opcode::FAdd : Opcode::Add; break;
+      case BinaryOp::Sub: Op = IsFloat ? Opcode::FSub : Opcode::Sub; break;
+      case BinaryOp::Mul: Op = IsFloat ? Opcode::FMul : Opcode::Mul; break;
+      case BinaryOp::Div:
+        Op = IsFloat ? Opcode::FDiv : IsUnsigned ? Opcode::UDiv : Opcode::SDiv;
+        break;
+      case BinaryOp::Rem:
+        Op = IsUnsigned ? Opcode::URem : Opcode::SRem;
+        break;
+      case BinaryOp::And: Op = Opcode::And; break;
+      case BinaryOp::Or: Op = Opcode::Or; break;
+      case BinaryOp::Xor: Op = Opcode::Xor; break;
+      case BinaryOp::Shl: Op = Opcode::Shl; break;
+      case BinaryOp::Shr: Op = IsUnsigned ? Opcode::LShr : Opcode::AShr; break;
+      default:
+        Diags.error(E.Loc, "invalid compound assignment");
+        return {};
+      }
+      Value *Res = B.createBinOp(Op, L.V, R.V);
+      NewVal = convert(ExprVal{Res, L.SemType, false}, LV.SemType, E.Loc);
+    }
+    (void)Synth;
+  } else {
+    ExprVal RV = genExpr(*E.RHS);
+    NewVal = convert(RV, LV.SemType, E.Loc);
+  }
+  if (!NewVal)
+    return {};
+  B.createStore(NewVal, LV.V);
+  return {NewVal, LV.SemType, false};
+}
+
+ExprVal IRGenerator::genConditional(ConditionalExpr &E) {
+  Value *Cond = toBool(genExpr(*E.Cond), E.Loc);
+  if (!Cond)
+    return {};
+  BasicBlock *TrueBB = newBlock("cond.true");
+  BasicBlock *FalseBB = newBlock("cond.false");
+  BasicBlock *EndBB = newBlock("cond.end");
+  B.createCondBr(Cond, TrueBB, FalseBB);
+
+  B.setInsertAtEnd(TrueBB);
+  ExprVal TV = decay(genExpr(*E.TrueE));
+  BasicBlock *TrueEnd = B.insertBlock();
+
+  B.setInsertAtEnd(FalseBB);
+  ExprVal FV = decay(genExpr(*E.FalseE));
+  BasicBlock *FalseEnd = B.insertBlock();
+  if (!TV.valid() || !FV.valid())
+    return {};
+
+  // Unify arm types.
+  Type *T = TV.SemType;
+  if (TV.SemType != FV.SemType) {
+    if (TV.SemType->isScalar() && FV.SemType->isScalar()) {
+      B.setInsertAtEnd(TrueEnd);
+      ExprVal TV2 = TV, FVDummy = FV;
+      // Compute common type without emitting into the wrong block.
+      if (TV.SemType->isFloat() || FV.SemType->isFloat())
+        T = M.types().floatTy();
+      else if (TV.SemType->isPointer())
+        T = TV.SemType;
+      else if (FV.SemType->isPointer())
+        T = FV.SemType;
+      else
+        T = TV.SemType->sizeInBytes() >= FV.SemType->sizeInBytes()
+                ? TV.SemType
+                : FV.SemType;
+      B.setInsertAtEnd(TrueEnd);
+      Value *TC = convert(TV, T, E.Loc);
+      B.setInsertAtEnd(FalseEnd);
+      Value *FC = convert(FV, T, E.Loc);
+      if (!TC || !FC)
+        return {};
+      TV = {TC, T, false};
+      FV = {FC, T, false};
+      (void)TV2;
+      (void)FVDummy;
+    } else {
+      Diags.error(E.Loc, "incompatible conditional arms");
+      return {};
+    }
+  }
+  B.setInsertAtEnd(TrueEnd);
+  B.createBr(EndBB);
+  B.setInsertAtEnd(FalseEnd);
+  B.createBr(EndBB);
+  B.setInsertAtEnd(EndBB);
+  Instruction *Phi = B.createPhi(T);
+  Phi->addIncoming(TV.V, TrueEnd);
+  Phi->addIncoming(FV.V, FalseEnd);
+  return {Phi, T, false};
+}
+
+ExprVal IRGenerator::genCast(CastExpr &E) {
+  Type *To = resolveType(E.Target);
+  if (!To)
+    return {};
+  ExprVal V = decay(genExpr(*E.Sub));
+  if (!V.valid())
+    return {};
+  Type *From = V.SemType;
+  B.setLoc(E.Loc);
+  if (From == To)
+    return V;
+  if (To->isPointer() && From->isPointer())
+    return {B.createCast(CastKind::BitCast, V.V, To), To, false};
+  if (To->isPointer() && From->isInteger()) {
+    Value *W = convert(V, M.types().uint64Ty(), E.Loc);
+    return {B.createCast(CastKind::IntToPtr, W, To), To, false};
+  }
+  if (To->isInteger() && From->isPointer()) {
+    Value *I = B.createCast(CastKind::PtrToInt, V.V, M.types().uint64Ty());
+    return {convert(ExprVal{I, M.types().uint64Ty(), false}, To, E.Loc), To,
+            false};
+  }
+  if (To->isInteger() && From->isFloat()) {
+    Value *I = B.createCast(To->isUnsignedInteger() ? CastKind::FPToUI
+                                                    : CastKind::FPToSI,
+                            V.V, To);
+    return {I, To, false};
+  }
+  if (To->isFloat() && From->isInteger())
+    return {convert(V, To, E.Loc), To, false};
+  if (To->isInteger() && From->isInteger())
+    return {convert(V, To, E.Loc), To, false};
+  if (To->isFloat() && From->isFloat())
+    return V;
+  Diags.error(E.Loc,
+              "invalid cast from '" + From->str() + "' to '" + To->str() + "'");
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+std::optional<IntrinsicId> IRGenerator::builtinFor(const std::string &Name,
+                                                   size_t NumArgs) const {
+  static const std::map<std::string, std::pair<IntrinsicId, size_t>> Table = {
+      {"sqrtf", {IntrinsicId::Sqrt, 1}},   {"rsqrtf", {IntrinsicId::Rsqrt, 1}},
+      {"fabsf", {IntrinsicId::Fabs, 1}},   {"fminf", {IntrinsicId::Fmin, 2}},
+      {"fmaxf", {IntrinsicId::Fmax, 2}},   {"powf", {IntrinsicId::Pow, 2}},
+      {"expf", {IntrinsicId::Exp, 1}},     {"logf", {IntrinsicId::Log, 1}},
+      {"sinf", {IntrinsicId::Sin, 1}},     {"cosf", {IntrinsicId::Cos, 1}},
+      {"floorf", {IntrinsicId::Floor, 1}}, {"min", {IntrinsicId::IMin, 2}},
+      {"max", {IntrinsicId::IMax, 2}},     {"abs", {IntrinsicId::IAbs, 1}},
+  };
+  auto It = Table.find(Name);
+  if (It == Table.end() || It->second.second != NumArgs)
+    return std::nullopt;
+  return It->second.first;
+}
+
+ExprVal IRGenerator::genIntrinsic(IntrinsicId Id, std::vector<ExprPtr> &Args,
+                                  SourceLoc Loc) {
+  bool IsFloatIntr = Id != IntrinsicId::IMin && Id != IntrinsicId::IMax &&
+                     Id != IntrinsicId::IAbs;
+  Type *T = IsFloatIntr ? M.types().floatTy() : M.types().int32Ty();
+  std::vector<Value *> Vals;
+  for (ExprPtr &A : Args) {
+    Value *V = convert(genExpr(*A), T, Loc);
+    if (!V)
+      return {};
+    Vals.push_back(V);
+  }
+  B.setLoc(Loc);
+  return {B.createIntrinsic(Id, T, Vals), T, false};
+}
+
+int IRGenerator::resolveOverload(const std::vector<FnLowering *> &Candidates,
+                                 const std::vector<Type *> &ArgTypes,
+                                 SourceLoc Loc, const std::string &What) {
+  int Best = -1;
+  int BestCost = INT32_MAX;
+  bool Ambiguous = false;
+  for (size_t C = 0; C < Candidates.size(); ++C) {
+    FnLowering *L = Candidates[C];
+    if (L->ParamSem.size() != ArgTypes.size())
+      continue;
+    int Total = 0;
+    bool Viable = true;
+    for (size_t A = 0; A < ArgTypes.size(); ++A) {
+      Type *To = L->ParamSem[A];
+      Type *From = ArgTypes[A];
+      int Cost;
+      if (L->ParamIsRef[A] || To->isClass()) {
+        // References / byval classes bind to the same class or a derived
+        // class lvalue.
+        auto *FromC = dyn_cast<ClassType>(From);
+        auto *ToC = dyn_cast<ClassType>(To);
+        if (FromC && ToC && FromC->isBaseOrSelf(ToC))
+          Cost = FromC == ToC ? 0 : 1;
+        else if (L->ParamIsRef[A] && From == To)
+          Cost = 0;
+        else
+          Cost = -1;
+      } else {
+        Cost = conversionCost(From, To);
+      }
+      if (Cost < 0) {
+        Viable = false;
+        break;
+      }
+      Total += Cost;
+    }
+    if (!Viable)
+      continue;
+    if (Total < BestCost) {
+      BestCost = Total;
+      Best = int(C);
+      Ambiguous = false;
+    } else if (Total == BestCost) {
+      Ambiguous = true;
+    }
+  }
+  if (Best < 0) {
+    Diags.error(Loc, "no matching overload for '" + What + "'");
+    return -1;
+  }
+  if (Ambiguous) {
+    Diags.error(Loc, "ambiguous call to '" + What + "'");
+    return -1;
+  }
+  return Best;
+}
+
+ExprVal IRGenerator::emitCall(FnLowering &L, Value *ThisPtr,
+                              std::vector<ExprVal> &ArgVals,
+                              bool AllowVirtual, SourceLoc Loc) {
+  B.setLoc(Loc);
+  std::vector<Value *> Lowered;
+  if (L.ThisClass) {
+    assert(ThisPtr && "method call without this");
+    Lowered.push_back(ThisPtr);
+  }
+  Value *SRetSlot = nullptr;
+  if (L.HasSRet) {
+    SRetSlot = B.createAlloca(L.RetSem, "ret.tmp");
+    Lowered.push_back(SRetSlot);
+  }
+  for (size_t A = 0; A < ArgVals.size(); ++A) {
+    ExprVal &AV = ArgVals[A];
+    Type *Sem = L.ParamSem[A];
+    if (L.ParamIsByValClass[A]) {
+      if (!AV.IsAddr) {
+        Diags.error(Loc, "expected a class value argument");
+        return {};
+      }
+      Value *Src = AV.V;
+      if (AV.SemType != Sem)
+        Src = upcastPointer(Src, cast<ClassType>(AV.SemType),
+                            cast<ClassType>(Sem), Loc);
+      Value *Copy = B.createAlloca(Sem, "byval.tmp");
+      B.createMemcpy(Copy, Src, Sem->sizeInBytes());
+      Lowered.push_back(Copy);
+    } else if (L.ParamIsRef[A]) {
+      if (AV.IsAddr) {
+        Value *Addr = AV.V;
+        if (AV.SemType != Sem && AV.SemType->isClass() && Sem->isClass())
+          Addr = upcastPointer(Addr, cast<ClassType>(AV.SemType),
+                               cast<ClassType>(Sem), Loc);
+        Lowered.push_back(Addr);
+      } else if (AV.SemType->isPointer() &&
+                 Sem == cast<PointerType>(AV.SemType)->pointee()) {
+        // A pointer rvalue can bind to a reference of the pointee... it
+        // cannot in C++; reject.
+        Diags.error(Loc, "reference argument must be an lvalue");
+        return {};
+      } else {
+        Diags.error(Loc, "reference argument must be an lvalue");
+        return {};
+      }
+    } else {
+      Value *V = convert(AV, Sem, Loc);
+      if (!V)
+        return {};
+      Lowered.push_back(V);
+    }
+  }
+
+  Instruction *CallI = nullptr;
+  bool Virtual = AllowVirtual && L.IsVirtual && L.ThisClass;
+  if (Virtual) {
+    unsigned Group = 0, Slot = 0;
+    bool Found =
+        L.ThisClass->findVirtualSlot(L.Decl->Name, L.VirtualSig, &Group, &Slot);
+    assert(Found && "virtual method without a slot");
+    (void)Found;
+    // Dispatch uses the vptr of the group's subobject.
+    uint64_t GroupOff = L.ThisClass->vtables()[Group].Offset;
+    Value *Obj = Lowered[0];
+    if (GroupOff != 0)
+      Obj = ptrAdd(Obj, int64_t(GroupOff), M.types().uint8Ty());
+    std::vector<Value *> Rest(Lowered.begin() + 1, Lowered.end());
+    Type *RetTy = L.Fn->returnType();
+    CallI = B.createVCall(L.ThisClass, Group, Slot, RetTy, Obj, Rest);
+  } else {
+    CallI = B.createCall(L.Fn, Lowered);
+  }
+
+  if (L.HasSRet)
+    return {SRetSlot, L.RetSem, true};
+  if (L.RetSem->isVoid())
+    return {CallI, M.types().voidTy(), false};
+  return {CallI, L.RetSem, false};
+}
+
+ExprVal IRGenerator::genCallExpr(CallExpr &E) {
+  std::string Joined;
+  for (size_t I = 0; I < E.CalleePath.size(); ++I)
+    Joined += (I ? "::" : "") + E.CalleePath[I];
+
+  // Builtin math functions.
+  if (E.CalleePath.size() == 1)
+    if (auto Id = builtinFor(Joined, E.Args.size()))
+      return genIntrinsic(*Id, E.Args, E.Loc);
+
+  // Evaluate arguments once.
+  std::vector<ExprVal> ArgVals;
+  std::vector<Type *> ArgTypes;
+  for (ExprPtr &A : E.Args) {
+    ExprVal V = genExpr(*A);
+    if (!V.valid())
+      return {};
+    ArgVals.push_back(V);
+    ArgTypes.push_back(V.SemType);
+  }
+
+  // Free functions: exact qualified name, then unique suffix match.
+  std::vector<FnLowering *> Candidates;
+  auto It = FreeFns.find(Joined);
+  if (It != FreeFns.end()) {
+    Candidates = It->second;
+  } else {
+    for (auto &[QualName, Fns] : FreeFns) {
+      if (QualName.size() > Joined.size() + 2 &&
+          QualName.compare(QualName.size() - Joined.size(), Joined.size(),
+                           Joined) == 0 &&
+          QualName[QualName.size() - Joined.size() - 1] == ':')
+        Candidates.insert(Candidates.end(), Fns.begin(), Fns.end());
+    }
+  }
+  if (!Candidates.empty()) {
+    int Best = resolveOverload(Candidates, ArgTypes, E.Loc, Joined);
+    if (Best < 0)
+      return {};
+    return emitCall(*Candidates[size_t(Best)], nullptr, ArgVals, false,
+                    E.Loc);
+  }
+
+  // Implicit method call on this.
+  if (CurClass && E.CalleePath.size() == 1) {
+    ClassType *Search = CurClass;
+    std::vector<FnLowering *> MethodCands;
+    std::vector<ClassType *> Chain{Search};
+    // Collect this class's and bases' methods with the name.
+    size_t Head = 0;
+    while (Head < Chain.size()) {
+      ClassType *C = Chain[Head++];
+      for (FnLowering *ML : MethodsOf[C])
+        if (ML->Decl->Name == Joined)
+          MethodCands.push_back(ML);
+      if (MethodCands.empty())
+        for (const BaseInfo &BI : C->bases())
+          Chain.push_back(BI.Base);
+    }
+    if (!MethodCands.empty()) {
+      int Best = resolveOverload(MethodCands, ArgTypes, E.Loc, Joined);
+      if (Best < 0)
+        return {};
+      FnLowering *L = MethodCands[size_t(Best)];
+      Value *This = CurThis;
+      if (L->ThisClass != CurClass)
+        This = upcastPointer(This, CurClass, L->ThisClass, E.Loc);
+      return emitCall(*L, This, ArgVals, /*AllowVirtual=*/true, E.Loc);
+    }
+  }
+
+  Diags.error(E.Loc, "unknown function '" + Joined + "'");
+  return {};
+}
+
+ExprVal IRGenerator::genMethodCall(MethodCallExpr &E) {
+  // Receiver.
+  ClassType *Class = nullptr;
+  Value *ObjPtr = nullptr;
+  if (E.IsArrow) {
+    ExprVal Base = genExpr(*E.Base);
+    if (!Base.valid())
+      return {};
+    auto *PT = dyn_cast<PointerType>(Base.SemType);
+    if (!PT || !PT->pointee()->isClass()) {
+      Diags.error(E.Loc, "'->' call on a non-class-pointer");
+      return {};
+    }
+    Class = cast<ClassType>(PT->pointee());
+    ObjPtr = Base.V;
+  } else {
+    ExprVal Base = genLValue(*E.Base);
+    if (!Base.valid())
+      return {};
+    if (!Base.SemType->isClass()) {
+      Diags.error(E.Loc, "'.' call on a non-class value");
+      return {};
+    }
+    Class = cast<ClassType>(Base.SemType);
+    ObjPtr = Base.V;
+  }
+
+  std::vector<ExprVal> ArgVals;
+  std::vector<Type *> ArgTypes;
+  for (ExprPtr &A : E.Args) {
+    ExprVal V = genExpr(*A);
+    if (!V.valid())
+      return {};
+    ArgVals.push_back(V);
+    ArgTypes.push_back(V.SemType);
+  }
+
+  // Qualified calls (obj.Base::m()) disable virtual dispatch and search the
+  // named class.
+  ClassType *SearchRoot = Class;
+  bool AllowVirtual = true;
+  if (!E.QualifiedClass.empty()) {
+    SearchRoot = lookupClass(E.QualifiedClass, E.Loc, /*Required=*/true);
+    if (!SearchRoot)
+      return {};
+    AllowVirtual = false;
+  }
+
+  // Search the class, then bases (name hiding: stop at the first class that
+  // declares the name).
+  std::vector<FnLowering *> Candidates;
+  std::vector<ClassType *> Frontier{SearchRoot};
+  while (Candidates.empty() && !Frontier.empty()) {
+    std::vector<ClassType *> Next;
+    for (ClassType *C : Frontier) {
+      for (FnLowering *ML : MethodsOf[C])
+        if (ML->Decl->Name == E.Name)
+          Candidates.push_back(ML);
+      for (const BaseInfo &BI : C->bases())
+        Next.push_back(BI.Base);
+    }
+    Frontier = std::move(Next);
+  }
+  if (Candidates.empty()) {
+    Diags.error(E.Loc, "class '" + SearchRoot->name() + "' has no method '" +
+                           E.Name + "'");
+    return {};
+  }
+  int Best = resolveOverload(Candidates, ArgTypes, E.Loc, E.Name);
+  if (Best < 0)
+    return {};
+  FnLowering *L = Candidates[size_t(Best)];
+  Value *This = ObjPtr;
+  if (L->ThisClass != Class)
+    This = upcastPointer(This, Class, L->ThisClass, E.Loc);
+  return emitCall(*L, This, ArgVals, AllowVirtual, E.Loc);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Module>
+concord::frontend::compileProgram(std::string_view Source,
+                                  const std::string &ModuleName,
+                                  DiagnosticEngine &Diags) {
+  TranslationUnit Unit = parse(Source, Diags);
+  if (Diags.hasError())
+    return nullptr;
+  auto M = std::make_unique<Module>(ModuleName);
+  IRGenerator Gen(Unit, *M, Diags);
+  if (!Gen.run())
+    return nullptr;
+  return M;
+}
+
+cir::Function *concord::frontend::findMethod(Module &M,
+                                             const std::string &ClassName,
+                                             const std::string &MethodName,
+                                             unsigned NumExplicitArgs) {
+  std::string Prefix = ClassName + "::" + MethodName + "(";
+  Function *Found = nullptr;
+  for (const auto &F : M.functions()) {
+    const std::string &N = F->name();
+    if (N.compare(0, Prefix.size(), Prefix) != 0)
+      continue;
+    ClassType *C = F->methodOf();
+    if (!C || C->name() != ClassName)
+      continue;
+    // Count lowered args minus this (and minus sret if return is void with
+    // an extra pointer). We rely on declaration arity instead: lowered
+    // params = 1 (this) [+1 sret] + explicit.
+    unsigned Lowered = F->numArgs();
+    if (Lowered == NumExplicitArgs + 1 || Lowered == NumExplicitArgs + 2) {
+      if (Found)
+        return nullptr; // Ambiguous overload set.
+      Found = F.get();
+    }
+  }
+  return Found;
+}
+
+cir::Function *
+concord::frontend::createKernelEntry(Module &M, const std::string &ClassName,
+                                     DiagnosticEngine &Diags) {
+  ClassType *Body = M.types().findClass(ClassName);
+  if (!Body) {
+    Diags.error(SourceLoc(), "kernel body class '" + ClassName +
+                                 "' not found in kernel source");
+    return nullptr;
+  }
+  Function *Op = findMethod(M, ClassName, "operator()", 1);
+  if (!Op) {
+    Diags.error(SourceLoc(),
+                "class '" + ClassName + "' has no operator()(int)");
+    return nullptr;
+  }
+
+  std::string Name = "kernel$" + ClassName;
+  if (Function *Existing = M.findFunction(Name))
+    return Existing;
+
+  FunctionType *KTy = M.types().functionTy(M.types().voidTy(),
+                                           {M.types().uint64Ty()});
+  Function *K = M.createFunction(Name, KTy);
+  K->setKernel(true);
+
+  BasicBlock *Entry = K->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertAtEnd(Entry);
+  Instruction *Gid = B.createDeviceQuery(Opcode::GlobalId, "i");
+  Value *This = B.createCast(CastKind::IntToPtr, K->arg(0),
+                             M.types().pointerTo(Body), "body");
+  B.createCall(Op, {This, Gid});
+  B.createRet();
+  return K;
+}

@@ -1,0 +1,276 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace concord;
+using namespace concord::frontend;
+
+static const std::map<std::string, TokKind> &keywordMap() {
+  static const std::map<std::string, TokKind> Map = {
+      {"class", TokKind::KwClass},       {"struct", TokKind::KwStruct},
+      {"public", TokKind::KwPublic},     {"private", TokKind::KwPrivate},
+      {"protected", TokKind::KwProtected},
+      {"virtual", TokKind::KwVirtual},   {"namespace", TokKind::KwNamespace},
+      {"if", TokKind::KwIf},             {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},       {"for", TokKind::KwFor},
+      {"do", TokKind::KwDo},             {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},       {"continue", TokKind::KwContinue},
+      {"true", TokKind::KwTrue},         {"false", TokKind::KwFalse},
+      {"nullptr", TokKind::KwNullptr},   {"this", TokKind::KwThis},
+      {"operator", TokKind::KwOperator}, {"const", TokKind::KwConst},
+      {"void", TokKind::KwVoid},         {"bool", TokKind::KwBool},
+      {"char", TokKind::KwChar},         {"uchar", TokKind::KwUChar},
+      {"short", TokKind::KwShort},       {"ushort", TokKind::KwUShort},
+      {"int", TokKind::KwInt},           {"uint", TokKind::KwUInt},
+      {"long", TokKind::KwLong},         {"ulong", TokKind::KwULong},
+      {"float", TokKind::KwFloat},       {"new", TokKind::KwNew},
+      {"delete", TokKind::KwDelete},     {"throw", TokKind::KwThrow},
+      {"try", TokKind::KwTry},           {"catch", TokKind::KwCatch},
+      {"goto", TokKind::KwGoto},         {"switch", TokKind::KwSwitch},
+      {"static", TokKind::KwStatic},
+  };
+  return Map;
+}
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, DiagnosticEngine &Diags)
+      : Src(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      skipTrivia();
+      Token T = next();
+      Tokens.push_back(T);
+      if (T.Kind == TokKind::End)
+        return Tokens;
+    }
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  void skipTrivia() {
+    while (true) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (peek() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start = loc();
+        advance();
+        advance();
+        while (peek() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (!peek())
+          Diags.error(Start, "unterminated block comment");
+        else {
+          advance();
+          advance();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokKind Kind, SourceLoc L) {
+    Token T;
+    T.Kind = Kind;
+    T.Loc = L;
+    return T;
+  }
+
+  Token next() {
+    SourceLoc L = loc();
+    char C = peek();
+    if (!C)
+      return make(TokKind::End, L);
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return identifier(L);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return number(L);
+
+    advance();
+    switch (C) {
+    case '(': return make(TokKind::LParen, L);
+    case ')': return make(TokKind::RParen, L);
+    case '{': return make(TokKind::LBrace, L);
+    case '}': return make(TokKind::RBrace, L);
+    case '[': return make(TokKind::LBracket, L);
+    case ']': return make(TokKind::RBracket, L);
+    case ';': return make(TokKind::Semicolon, L);
+    case ',': return make(TokKind::Comma, L);
+    case '?': return make(TokKind::Question, L);
+    case '~': return make(TokKind::Tilde, L);
+    case ':':
+      return make(match(':') ? TokKind::ColonColon : TokKind::Colon, L);
+    case '.': return make(TokKind::Dot, L);
+    case '+':
+      if (match('+'))
+        return make(TokKind::PlusPlus, L);
+      return make(match('=') ? TokKind::PlusAssign : TokKind::Plus, L);
+    case '-':
+      if (match('-'))
+        return make(TokKind::MinusMinus, L);
+      if (match('>'))
+        return make(TokKind::Arrow, L);
+      return make(match('=') ? TokKind::MinusAssign : TokKind::Minus, L);
+    case '*':
+      return make(match('=') ? TokKind::StarAssign : TokKind::Star, L);
+    case '/':
+      return make(match('=') ? TokKind::SlashAssign : TokKind::Slash, L);
+    case '%':
+      return make(match('=') ? TokKind::PercentAssign : TokKind::Percent, L);
+    case '&':
+      if (match('&'))
+        return make(TokKind::AmpAmp, L);
+      return make(match('=') ? TokKind::AmpAssign : TokKind::Amp, L);
+    case '|':
+      if (match('|'))
+        return make(TokKind::PipePipe, L);
+      return make(match('=') ? TokKind::PipeAssign : TokKind::Pipe, L);
+    case '^':
+      return make(match('=') ? TokKind::CaretAssign : TokKind::Caret, L);
+    case '!':
+      return make(match('=') ? TokKind::BangEqual : TokKind::Bang, L);
+    case '=':
+      return make(match('=') ? TokKind::EqualEqual : TokKind::Assign, L);
+    case '<':
+      if (match('<'))
+        return make(match('=') ? TokKind::ShlAssign : TokKind::Shl, L);
+      return make(match('=') ? TokKind::LessEqual : TokKind::Less, L);
+    case '>':
+      if (match('>'))
+        return make(match('=') ? TokKind::ShrAssign : TokKind::Shr, L);
+      return make(match('=') ? TokKind::GreaterEqual : TokKind::Greater, L);
+    default:
+      Diags.error(L, std::string("unexpected character '") + C + "'");
+      return next();
+    }
+  }
+
+  Token identifier(SourceLoc L) {
+    std::string Text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text += advance();
+    auto It = keywordMap().find(Text);
+    if (It != keywordMap().end())
+      return make(It->second, L);
+    Token T = make(TokKind::Identifier, L);
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  Token number(SourceLoc L) {
+    std::string Text;
+    bool IsFloat = false;
+    bool IsHex = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      IsHex = true;
+      Text += advance();
+      Text += advance();
+      while (std::isxdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        IsFloat = true;
+        Text += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Text += advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        IsFloat = true;
+        Text += advance();
+        if (peek() == '+' || peek() == '-')
+          Text += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Text += advance();
+      }
+    }
+    // Suffixes: f => float, u/l ignored for value purposes.
+    if (peek() == 'f' || peek() == 'F') {
+      advance();
+      IsFloat = true;
+    } else {
+      while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')
+        advance();
+    }
+    Token T = make(IsFloat ? TokKind::FloatLiteral : TokKind::IntLiteral, L);
+    if (IsFloat)
+      T.FloatVal = std::strtod(Text.c_str(), nullptr);
+    else
+      T.IntVal = std::strtoull(Text.c_str(), nullptr, IsHex ? 16 : 10);
+    return T;
+  }
+
+  std::string_view Src;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace
+
+std::vector<Token> concord::frontend::lex(std::string_view Source,
+                                          DiagnosticEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}
+
+const char *concord::frontend::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::End: return "end of input";
+  case TokKind::Identifier: return "identifier";
+  case TokKind::IntLiteral: return "integer literal";
+  case TokKind::FloatLiteral: return "float literal";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBrace: return "'{'";
+  case TokKind::RBrace: return "'}'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Semicolon: return "';'";
+  case TokKind::Comma: return "','";
+  case TokKind::Colon: return "':'";
+  case TokKind::ColonColon: return "'::'";
+  case TokKind::Assign: return "'='";
+  default: return "token";
+  }
+}

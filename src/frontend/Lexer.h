@@ -1,0 +1,71 @@
+//===- Lexer.h - Concord Kernel Language lexer ------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the Concord Kernel Language (CKL), the C++ subset accepted
+/// for device code: classes with single and multiple inheritance, virtual
+/// functions, function and operator overloading, namespaces, pointers, and
+/// fixed-size arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_FRONTEND_LEXER_H
+#define CONCORD_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace frontend {
+
+enum class TokKind {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+
+  // Keywords.
+  KwClass, KwStruct, KwPublic, KwPrivate, KwProtected, KwVirtual,
+  KwNamespace, KwIf, KwElse, KwWhile, KwFor, KwDo, KwReturn, KwBreak,
+  KwContinue, KwTrue, KwFalse, KwNullptr, KwThis, KwOperator, KwConst,
+  KwVoid, KwBool, KwChar, KwUChar, KwShort, KwUShort, KwInt, KwUInt,
+  KwLong, KwULong, KwFloat,
+  // Recognized only to produce "unsupported feature" diagnostics.
+  KwNew, KwDelete, KwThrow, KwTry, KwCatch, KwGoto, KwSwitch, KwStatic,
+
+  // Punctuation / operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semicolon, Comma, Colon, ColonColon, Question,
+  Dot, Arrow,
+  Plus, Minus, Star, Slash, Percent,
+  PlusPlus, MinusMinus,
+  Amp, Pipe, Caret, Tilde, Bang,
+  AmpAmp, PipePipe,
+  Shl, Shr,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  Less, LessEqual, Greater, GreaterEqual, EqualEqual, BangEqual,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  SourceLoc Loc;
+  std::string Text;   ///< Identifier spelling.
+  uint64_t IntVal = 0;
+  double FloatVal = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Tokenizes an entire buffer. Lexical errors go to \p Diags and produce a
+/// best-effort token stream terminated by an End token.
+std::vector<Token> lex(std::string_view Source, DiagnosticEngine &Diags);
+
+/// Printable token kind name for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+} // namespace frontend
+} // namespace concord
+
+#endif // CONCORD_FRONTEND_LEXER_H

@@ -1,0 +1,751 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace concord;
+using namespace concord::frontend;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  TranslationUnit run() {
+    TranslationUnit Unit;
+    parseDecls(Unit, /*NsPrefix=*/"");
+    return Unit;
+  }
+
+private:
+  //===--- Token plumbing -------------------------------------------------===//
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() {
+    const Token &T = peek();
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TokKind K) const { return peek().is(K); }
+  bool match(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  const Token &expect(TokKind K, const char *What) {
+    if (!check(K)) {
+      Diags.error(peek().Loc, std::string("expected ") + What);
+      return peek();
+    }
+    return advance();
+  }
+  SourceLoc loc() const { return peek().Loc; }
+
+  /// Skips tokens until a likely recovery point.
+  void recoverTo(TokKind K) {
+    while (!check(TokKind::End) && !check(K))
+      advance();
+    match(K);
+  }
+
+  //===--- Types ----------------------------------------------------------===//
+
+  static bool isBuiltinTypeTok(TokKind K) {
+    switch (K) {
+    case TokKind::KwVoid:
+    case TokKind::KwBool:
+    case TokKind::KwChar:
+    case TokKind::KwUChar:
+    case TokKind::KwShort:
+    case TokKind::KwUShort:
+    case TokKind::KwInt:
+    case TokKind::KwUInt:
+    case TokKind::KwLong:
+    case TokKind::KwULong:
+    case TokKind::KwFloat:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static BuiltinKind builtinKindFor(TokKind K) {
+    switch (K) {
+    case TokKind::KwVoid: return BuiltinKind::Void;
+    case TokKind::KwBool: return BuiltinKind::Bool;
+    case TokKind::KwChar: return BuiltinKind::Char;
+    case TokKind::KwUChar: return BuiltinKind::UChar;
+    case TokKind::KwShort: return BuiltinKind::Short;
+    case TokKind::KwUShort: return BuiltinKind::UShort;
+    case TokKind::KwInt: return BuiltinKind::Int;
+    case TokKind::KwUInt: return BuiltinKind::UInt;
+    case TokKind::KwLong: return BuiltinKind::Long;
+    case TokKind::KwULong: return BuiltinKind::ULong;
+    case TokKind::KwFloat: return BuiltinKind::Float;
+    default:
+      assert(false && "not a builtin type token");
+      return BuiltinKind::Void;
+    }
+  }
+
+  /// True when the upcoming tokens start a type (used for decl-vs-expr
+  /// disambiguation and for casts).
+  bool startsType(size_t Ahead = 0) const {
+    TokKind K = peek(Ahead).Kind;
+    if (K == TokKind::KwConst)
+      return startsType(Ahead + 1);
+    return isBuiltinTypeTok(K) || K == TokKind::Identifier;
+  }
+
+  /// Parses: const? base ('::' ident)* '*'* '&'?
+  TypeSyntax parseType() {
+    TypeSyntax T;
+    T.Loc = loc();
+    match(TokKind::KwConst);
+    if (isBuiltinTypeTok(peek().Kind)) {
+      T.Base = builtinKindFor(advance().Kind);
+    } else if (check(TokKind::Identifier)) {
+      T.Base = BuiltinKind::Named;
+      T.Name = advance().Text;
+      while (check(TokKind::ColonColon) &&
+             peek(1).is(TokKind::Identifier)) {
+        advance();
+        T.Name += "::" + advance().Text;
+      }
+    } else {
+      Diags.error(loc(), "expected a type");
+      advance();
+    }
+    match(TokKind::KwConst);
+    while (match(TokKind::Star)) {
+      ++T.PtrDepth;
+      match(TokKind::KwConst);
+    }
+    if (match(TokKind::Amp))
+      T.IsRef = true;
+    return T;
+  }
+
+  //===--- Declarations ---------------------------------------------------===//
+
+  void parseDecls(TranslationUnit &Unit, const std::string &NsPrefix) {
+    while (!check(TokKind::End) && !check(TokKind::RBrace)) {
+      if (match(TokKind::KwNamespace)) {
+        std::string Name = expect(TokKind::Identifier, "namespace name").Text;
+        expect(TokKind::LBrace, "'{'");
+        parseDecls(Unit, NsPrefix.empty() ? Name : NsPrefix + "::" + Name);
+        expect(TokKind::RBrace, "'}'");
+        continue;
+      }
+      if (check(TokKind::KwClass) || check(TokKind::KwStruct)) {
+        bool DefaultPublic = peek().is(TokKind::KwStruct);
+        advance();
+        parseClass(Unit, NsPrefix, DefaultPublic);
+        continue;
+      }
+      if (check(TokKind::KwStatic)) {
+        Diags.unsupported(loc(), "static storage in kernel code");
+        advance();
+        continue;
+      }
+      // Free function: type name(params) body.
+      if (startsType()) {
+        parseFreeFunction(Unit, NsPrefix);
+        continue;
+      }
+      Diags.error(loc(), "expected a declaration");
+      advance();
+    }
+  }
+
+  void parseClass(TranslationUnit &Unit, const std::string &NsPrefix,
+                  bool DefaultPublic) {
+    auto Class = std::make_unique<ClassDecl>();
+    Class->Loc = loc();
+    std::string Name = expect(TokKind::Identifier, "class name").Text;
+    Class->Name = NsPrefix.empty() ? Name : NsPrefix + "::" + Name;
+
+    if (match(TokKind::Colon)) {
+      do {
+        // Ignore access specifiers on bases.
+        if (check(TokKind::KwPublic) || check(TokKind::KwPrivate) ||
+            check(TokKind::KwProtected))
+          advance();
+        if (match(TokKind::KwVirtual))
+          Diags.unsupported(loc(), "virtual base classes");
+        std::string BaseName =
+            expect(TokKind::Identifier, "base class name").Text;
+        while (check(TokKind::ColonColon) &&
+               peek(1).is(TokKind::Identifier)) {
+          advance();
+          BaseName += "::" + advance().Text;
+        }
+        Class->BaseNames.push_back(std::move(BaseName));
+      } while (match(TokKind::Comma));
+    }
+
+    expect(TokKind::LBrace, "'{'");
+    (void)DefaultPublic; // Access control is parsed but not enforced.
+    while (!check(TokKind::RBrace) && !check(TokKind::End)) {
+      if ((check(TokKind::KwPublic) || check(TokKind::KwPrivate) ||
+           check(TokKind::KwProtected)) &&
+          peek(1).is(TokKind::Colon)) {
+        advance();
+        advance();
+        continue;
+      }
+      parseMember(*Class);
+    }
+    expect(TokKind::RBrace, "'}'");
+    match(TokKind::Semicolon);
+    Unit.Classes.push_back(std::move(Class));
+  }
+
+  /// Parses "operator" followed by an operator symbol; returns the method
+  /// name, e.g. "operator()" or "operator+".
+  std::string parseOperatorName() {
+    SourceLoc L = loc();
+    if (match(TokKind::LParen)) {
+      expect(TokKind::RParen, "')' after 'operator('");
+      return "operator()";
+    }
+    if (match(TokKind::LBracket)) {
+      expect(TokKind::RBracket, "']' after 'operator['");
+      return "operator[]";
+    }
+    switch (advance().Kind) {
+    case TokKind::Plus: return "operator+";
+    case TokKind::Minus: return "operator-";
+    case TokKind::Star: return "operator*";
+    case TokKind::Slash: return "operator/";
+    case TokKind::EqualEqual: return "operator==";
+    case TokKind::BangEqual: return "operator!=";
+    case TokKind::Less: return "operator<";
+    case TokKind::Greater: return "operator>";
+    default:
+      Diags.error(L, "unsupported operator overload");
+      return "operator?";
+    }
+  }
+
+  void parseMember(ClassDecl &Class) {
+    bool IsVirtual = match(TokKind::KwVirtual);
+    if (check(TokKind::KwStatic)) {
+      Diags.unsupported(loc(), "static members in kernel code");
+      advance();
+    }
+    TypeSyntax Type = parseType();
+
+    std::string Name;
+    if (match(TokKind::KwOperator))
+      Name = parseOperatorName();
+    else
+      Name = expect(TokKind::Identifier, "member name").Text;
+
+    if (check(TokKind::LParen)) {
+      auto Fn = parseFunctionRest(std::move(Name), std::move(Type));
+      Fn->IsVirtual = IsVirtual;
+      Class.Methods.push_back(std::move(Fn));
+      return;
+    }
+
+    if (IsVirtual)
+      Diags.error(loc(), "'virtual' on a data member");
+    FieldDecl Field;
+    Field.Loc = loc();
+    Field.Type = std::move(Type);
+    Field.Name = std::move(Name);
+    if (match(TokKind::LBracket)) {
+      Field.Type.ArrayLen =
+          int64_t(expect(TokKind::IntLiteral, "array length").IntVal);
+      expect(TokKind::RBracket, "']'");
+    }
+    expect(TokKind::Semicolon, "';' after field");
+    Class.Fields.push_back(std::move(Field));
+  }
+
+  void parseFreeFunction(TranslationUnit &Unit, const std::string &NsPrefix) {
+    TypeSyntax Ret = parseType();
+    std::string Name = expect(TokKind::Identifier, "function name").Text;
+    auto Fn = parseFunctionRest(Name, std::move(Ret));
+    Unit.FunctionQualNames.push_back(
+        NsPrefix.empty() ? Name : NsPrefix + "::" + Name);
+    Unit.Functions.push_back(std::move(Fn));
+  }
+
+  std::unique_ptr<FunctionDecl> parseFunctionRest(std::string Name,
+                                                  TypeSyntax Ret) {
+    auto Fn = std::make_unique<FunctionDecl>();
+    Fn->Loc = loc();
+    Fn->Name = std::move(Name);
+    Fn->ReturnType = std::move(Ret);
+    expect(TokKind::LParen, "'('");
+    if (!check(TokKind::RParen)) {
+      do {
+        ParamDecl P;
+        P.Loc = loc();
+        P.Type = parseType();
+        if (check(TokKind::Identifier))
+          P.Name = advance().Text;
+        Fn->Params.push_back(std::move(P));
+      } while (match(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "')'");
+    match(TokKind::KwConst); // const methods accepted, ignored.
+    if (match(TokKind::Assign)) {
+      // Pure virtual: `= 0;`.
+      const Token &Zero = expect(TokKind::IntLiteral, "'0'");
+      if (Zero.IntVal != 0)
+        Diags.error(Zero.Loc, "expected '= 0' for a pure virtual method");
+      Fn->IsPure = true;
+      expect(TokKind::Semicolon, "';'");
+      return Fn;
+    }
+    if (match(TokKind::Semicolon))
+      return Fn; // Declaration only.
+    Fn->Body = parseCompound();
+    return Fn;
+  }
+
+  //===--- Statements -----------------------------------------------------===//
+
+  StmtPtr parseCompound() {
+    SourceLoc L = loc();
+    expect(TokKind::LBrace, "'{'");
+    std::vector<StmtPtr> Body;
+    while (!check(TokKind::RBrace) && !check(TokKind::End))
+      Body.push_back(parseStmt());
+    expect(TokKind::RBrace, "'}'");
+    return std::make_unique<CompoundStmt>(std::move(Body), L);
+  }
+
+  /// True when the statement starting here is a declaration. For an
+  /// identifier head this requires the shape `Name ('::' Name)* '*'* Ident`
+  /// (so `a * b;` parses as a declaration, matching C++'s resolution once
+  /// `a` names a type).
+  bool stmtIsDecl() const {
+    if (isBuiltinTypeTok(peek().Kind) || peek().is(TokKind::KwConst))
+      return true;
+    if (!peek().is(TokKind::Identifier))
+      return false;
+    size_t A = 1;
+    while (peek(A).is(TokKind::ColonColon) &&
+           peek(A + 1).is(TokKind::Identifier))
+      A += 2;
+    while (peek(A).is(TokKind::Star))
+      ++A;
+    if (!peek(A).is(TokKind::Identifier))
+      return false;
+    TokKind After = peek(A + 1).Kind;
+    return After == TokKind::Assign || After == TokKind::Semicolon ||
+           After == TokKind::LBracket || After == TokKind::Comma;
+  }
+
+  StmtPtr parseStmt() {
+    SourceLoc L = loc();
+    switch (peek().Kind) {
+    case TokKind::LBrace:
+      return parseCompound();
+    case TokKind::KwIf: {
+      advance();
+      expect(TokKind::LParen, "'('");
+      ExprPtr Cond = parseExpr();
+      expect(TokKind::RParen, "')'");
+      StmtPtr Then = parseStmt();
+      StmtPtr Else;
+      if (match(TokKind::KwElse))
+        Else = parseStmt();
+      return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                      std::move(Else), L);
+    }
+    case TokKind::KwWhile: {
+      advance();
+      expect(TokKind::LParen, "'('");
+      ExprPtr Cond = parseExpr();
+      expect(TokKind::RParen, "')'");
+      StmtPtr Body = parseStmt();
+      return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), L);
+    }
+    case TokKind::KwFor: {
+      advance();
+      expect(TokKind::LParen, "'('");
+      StmtPtr Init;
+      if (!match(TokKind::Semicolon)) {
+        if (stmtIsDecl())
+          Init = parseDeclStmt();
+        else {
+          Init = std::make_unique<ExprStmt>(parseExpr(), L);
+          expect(TokKind::Semicolon, "';'");
+        }
+      }
+      ExprPtr Cond;
+      if (!check(TokKind::Semicolon))
+        Cond = parseExpr();
+      expect(TokKind::Semicolon, "';'");
+      ExprPtr Step;
+      if (!check(TokKind::RParen))
+        Step = parseExpr();
+      expect(TokKind::RParen, "')'");
+      StmtPtr Body = parseStmt();
+      return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                       std::move(Step), std::move(Body), L);
+    }
+    case TokKind::KwDo: {
+      Diags.unsupported(L, "do-while loops");
+      advance();
+      parseStmt();
+      if (match(TokKind::KwWhile)) {
+        expect(TokKind::LParen, "'('");
+        parseExpr();
+        expect(TokKind::RParen, "')'");
+      }
+      match(TokKind::Semicolon);
+      return std::make_unique<BreakStmt>(L);
+    }
+    case TokKind::KwReturn: {
+      advance();
+      ExprPtr Value;
+      if (!check(TokKind::Semicolon))
+        Value = parseExpr();
+      expect(TokKind::Semicolon, "';'");
+      return std::make_unique<ReturnStmt>(std::move(Value), L);
+    }
+    case TokKind::KwBreak:
+      advance();
+      expect(TokKind::Semicolon, "';'");
+      return std::make_unique<BreakStmt>(L);
+    case TokKind::KwContinue:
+      advance();
+      expect(TokKind::Semicolon, "';'");
+      return std::make_unique<ContinueStmt>(L);
+    case TokKind::KwThrow:
+    case TokKind::KwTry:
+      Diags.unsupported(L, "exceptions in kernel code");
+      recoverTo(TokKind::Semicolon);
+      return std::make_unique<BreakStmt>(L);
+    case TokKind::KwGoto:
+      Diags.unsupported(L, "goto in kernel code");
+      recoverTo(TokKind::Semicolon);
+      return std::make_unique<BreakStmt>(L);
+    case TokKind::KwSwitch:
+      Diags.unsupported(L, "switch in kernel code (use if/else chains)");
+      recoverTo(TokKind::RBrace);
+      return std::make_unique<BreakStmt>(L);
+    case TokKind::KwDelete:
+      Diags.unsupported(L, "memory deallocation in kernel code");
+      recoverTo(TokKind::Semicolon);
+      return std::make_unique<BreakStmt>(L);
+    default:
+      break;
+    }
+    if (stmtIsDecl())
+      return parseDeclStmt();
+    ExprPtr E = parseExpr();
+    expect(TokKind::Semicolon, "';'");
+    return std::make_unique<ExprStmt>(std::move(E), L);
+  }
+
+  StmtPtr parseDeclStmt() {
+    SourceLoc L = loc();
+    TypeSyntax Type = parseType();
+    std::string Name = expect(TokKind::Identifier, "variable name").Text;
+    if (match(TokKind::LBracket)) {
+      Type.ArrayLen =
+          int64_t(expect(TokKind::IntLiteral, "array length").IntVal);
+      expect(TokKind::RBracket, "']'");
+    }
+    ExprPtr Init;
+    if (match(TokKind::Assign))
+      Init = parseAssign();
+    if (match(TokKind::Comma))
+      Diags.error(loc(), "multiple declarators per statement not supported");
+    expect(TokKind::Semicolon, "';'");
+    return std::make_unique<DeclStmt>(std::move(Type), std::move(Name),
+                                      std::move(Init), L);
+  }
+
+  //===--- Expressions ----------------------------------------------------===//
+
+  ExprPtr parseExpr() { return parseAssign(); }
+
+  ExprPtr parseAssign() {
+    ExprPtr LHS = parseConditional();
+    SourceLoc L = loc();
+    bool Compound = true;
+    BinaryOp Op = BinaryOp::Add;
+    switch (peek().Kind) {
+    case TokKind::Assign:
+      Compound = false;
+      break;
+    case TokKind::PlusAssign: Op = BinaryOp::Add; break;
+    case TokKind::MinusAssign: Op = BinaryOp::Sub; break;
+    case TokKind::StarAssign: Op = BinaryOp::Mul; break;
+    case TokKind::SlashAssign: Op = BinaryOp::Div; break;
+    case TokKind::PercentAssign: Op = BinaryOp::Rem; break;
+    case TokKind::AmpAssign: Op = BinaryOp::And; break;
+    case TokKind::PipeAssign: Op = BinaryOp::Or; break;
+    case TokKind::CaretAssign: Op = BinaryOp::Xor; break;
+    case TokKind::ShlAssign: Op = BinaryOp::Shl; break;
+    case TokKind::ShrAssign: Op = BinaryOp::Shr; break;
+    default:
+      return LHS;
+    }
+    advance();
+    ExprPtr RHS = parseAssign();
+    return std::make_unique<AssignExpr>(Compound, Op, std::move(LHS),
+                                        std::move(RHS), L);
+  }
+
+  ExprPtr parseConditional() {
+    ExprPtr Cond = parseBinary(0);
+    if (!check(TokKind::Question))
+      return Cond;
+    SourceLoc L = advance().Loc;
+    ExprPtr T = parseAssign();
+    expect(TokKind::Colon, "':'");
+    ExprPtr F = parseConditional();
+    return std::make_unique<ConditionalExpr>(std::move(Cond), std::move(T),
+                                             std::move(F), L);
+  }
+
+  /// Binary operator precedence; -1 when not a binary operator.
+  static int precedenceOf(TokKind K, BinaryOp *Op) {
+    switch (K) {
+    case TokKind::PipePipe: *Op = BinaryOp::LOr; return 1;
+    case TokKind::AmpAmp: *Op = BinaryOp::LAnd; return 2;
+    case TokKind::Pipe: *Op = BinaryOp::Or; return 3;
+    case TokKind::Caret: *Op = BinaryOp::Xor; return 4;
+    case TokKind::Amp: *Op = BinaryOp::And; return 5;
+    case TokKind::EqualEqual: *Op = BinaryOp::EQ; return 6;
+    case TokKind::BangEqual: *Op = BinaryOp::NE; return 6;
+    case TokKind::Less: *Op = BinaryOp::LT; return 7;
+    case TokKind::LessEqual: *Op = BinaryOp::LE; return 7;
+    case TokKind::Greater: *Op = BinaryOp::GT; return 7;
+    case TokKind::GreaterEqual: *Op = BinaryOp::GE; return 7;
+    case TokKind::Shl: *Op = BinaryOp::Shl; return 8;
+    case TokKind::Shr: *Op = BinaryOp::Shr; return 8;
+    case TokKind::Plus: *Op = BinaryOp::Add; return 9;
+    case TokKind::Minus: *Op = BinaryOp::Sub; return 9;
+    case TokKind::Star: *Op = BinaryOp::Mul; return 10;
+    case TokKind::Slash: *Op = BinaryOp::Div; return 10;
+    case TokKind::Percent: *Op = BinaryOp::Rem; return 10;
+    default:
+      return -1;
+    }
+  }
+
+  ExprPtr parseBinary(int MinPrec) {
+    ExprPtr LHS = parseUnary();
+    while (true) {
+      BinaryOp Op;
+      int Prec = precedenceOf(peek().Kind, &Op);
+      if (Prec < 0 || Prec < MinPrec)
+        return LHS;
+      SourceLoc L = advance().Loc;
+      ExprPtr RHS = parseBinary(Prec + 1);
+      LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS), L);
+    }
+  }
+
+  /// True when '(' at the current position begins a C-style cast. Casts to
+  /// named (class) types require at least one '*'.
+  bool isCastStart() const {
+    assert(peek().is(TokKind::LParen));
+    size_t A = 1;
+    if (peek(A).is(TokKind::KwConst))
+      ++A;
+    if (isBuiltinTypeTok(peek(A).Kind)) {
+      ++A;
+      while (peek(A).is(TokKind::Star))
+        ++A;
+      return peek(A).is(TokKind::RParen);
+    }
+    if (!peek(A).is(TokKind::Identifier))
+      return false;
+    ++A;
+    while (peek(A).is(TokKind::ColonColon) &&
+           peek(A + 1).is(TokKind::Identifier))
+      A += 2;
+    if (!peek(A).is(TokKind::Star))
+      return false;
+    while (peek(A).is(TokKind::Star))
+      ++A;
+    return peek(A).is(TokKind::RParen);
+  }
+
+  ExprPtr parseUnary() {
+    SourceLoc L = loc();
+    switch (peek().Kind) {
+    case TokKind::Minus:
+      advance();
+      return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary(), L);
+    case TokKind::Bang:
+      advance();
+      return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), L);
+    case TokKind::Tilde:
+      advance();
+      return std::make_unique<UnaryExpr>(UnaryOp::BitNot, parseUnary(), L);
+    case TokKind::Star:
+      advance();
+      return std::make_unique<UnaryExpr>(UnaryOp::Deref, parseUnary(), L);
+    case TokKind::Amp:
+      advance();
+      return std::make_unique<UnaryExpr>(UnaryOp::AddrOf, parseUnary(), L);
+    case TokKind::PlusPlus:
+      advance();
+      return std::make_unique<UnaryExpr>(UnaryOp::PreInc, parseUnary(), L);
+    case TokKind::MinusMinus:
+      advance();
+      return std::make_unique<UnaryExpr>(UnaryOp::PreDec, parseUnary(), L);
+    case TokKind::Plus:
+      advance();
+      return parseUnary();
+    case TokKind::KwNew: {
+      Diags.unsupported(L, "memory allocation in kernel code");
+      advance();
+      if (startsType())
+        parseType();
+      return std::make_unique<IntLitExpr>(0, L);
+    }
+    case TokKind::LParen:
+      if (isCastStart()) {
+        advance();
+        TypeSyntax Target = parseType();
+        expect(TokKind::RParen, "')'");
+        return std::make_unique<CastExpr>(std::move(Target), parseUnary(), L);
+      }
+      break;
+    default:
+      break;
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    while (true) {
+      SourceLoc L = loc();
+      if (match(TokKind::Dot) || (check(TokKind::Arrow) && (advance(), true))) {
+        bool IsArrow = Tokens[Pos - 1].is(TokKind::Arrow);
+        std::string Name;
+        std::string Qualifier;
+        if (match(TokKind::KwOperator))
+          Name = parseOperatorName();
+        else {
+          Name = expect(TokKind::Identifier, "member name").Text;
+          // Qualified call: obj.Base::m(...).
+          while (check(TokKind::ColonColon) &&
+                 peek(1).is(TokKind::Identifier)) {
+            advance();
+            Qualifier = Qualifier.empty() ? Name : Qualifier + "::" + Name;
+            Name = advance().Text;
+          }
+        }
+        if (check(TokKind::LParen)) {
+          std::vector<ExprPtr> Args = parseArgs();
+          auto MC = std::make_unique<MethodCallExpr>(
+              std::move(E), std::move(Name), IsArrow, std::move(Args), L);
+          MC->QualifiedClass = std::move(Qualifier);
+          E = std::move(MC);
+        } else {
+          E = std::make_unique<MemberExpr>(std::move(E), std::move(Name),
+                                           IsArrow, L);
+        }
+        continue;
+      }
+      if (check(TokKind::LBracket)) {
+        advance();
+        ExprPtr Index = parseExpr();
+        expect(TokKind::RBracket, "']'");
+        E = std::make_unique<IndexExpr>(std::move(E), std::move(Index), L);
+        continue;
+      }
+      if (match(TokKind::PlusPlus)) {
+        E = std::make_unique<UnaryExpr>(UnaryOp::PostInc, std::move(E), L);
+        continue;
+      }
+      if (match(TokKind::MinusMinus)) {
+        E = std::make_unique<UnaryExpr>(UnaryOp::PostDec, std::move(E), L);
+        continue;
+      }
+      return E;
+    }
+  }
+
+  std::vector<ExprPtr> parseArgs() {
+    expect(TokKind::LParen, "'('");
+    std::vector<ExprPtr> Args;
+    if (!check(TokKind::RParen)) {
+      do {
+        Args.push_back(parseAssign());
+      } while (match(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "')'");
+    return Args;
+  }
+
+  ExprPtr parsePrimary() {
+    SourceLoc L = loc();
+    switch (peek().Kind) {
+    case TokKind::IntLiteral:
+      return std::make_unique<IntLitExpr>(advance().IntVal, L);
+    case TokKind::FloatLiteral:
+      return std::make_unique<FloatLitExpr>(advance().FloatVal, L);
+    case TokKind::KwTrue:
+      advance();
+      return std::make_unique<BoolLitExpr>(true, L);
+    case TokKind::KwFalse:
+      advance();
+      return std::make_unique<BoolLitExpr>(false, L);
+    case TokKind::KwNullptr:
+      advance();
+      return std::make_unique<NullLitExpr>(L);
+    case TokKind::KwThis:
+      advance();
+      return std::make_unique<ThisExpr>(L);
+    case TokKind::LParen: {
+      advance();
+      ExprPtr E = parseExpr();
+      expect(TokKind::RParen, "')'");
+      return E;
+    }
+    case TokKind::Identifier: {
+      std::vector<std::string> Path{advance().Text};
+      while (check(TokKind::ColonColon) && peek(1).is(TokKind::Identifier)) {
+        advance();
+        Path.push_back(advance().Text);
+      }
+      if (check(TokKind::LParen)) {
+        std::vector<ExprPtr> Args = parseArgs();
+        return std::make_unique<CallExpr>(std::move(Path), std::move(Args),
+                                          L);
+      }
+      return std::make_unique<NameRefExpr>(std::move(Path), L);
+    }
+    default:
+      Diags.error(L, "expected an expression");
+      advance();
+      return std::make_unique<IntLitExpr>(0, L);
+    }
+  }
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+TranslationUnit concord::frontend::parse(std::string_view Source,
+                                         DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = lex(Source, Diags);
+  return Parser(std::move(Tokens), Diags).run();
+}

@@ -1,0 +1,27 @@
+//===- Parser.h - Concord Kernel Language parser ----------------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser producing the CKL AST. Constructs outside
+/// Concord's GPU subset (new/delete, throw/try, goto, switch) are reported
+/// as "unsupported feature" diagnostics so the runtime can fall back to CPU
+/// execution, as the paper specifies in section 2.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_FRONTEND_PARSER_H
+#define CONCORD_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Lexer.h"
+
+namespace concord {
+namespace frontend {
+
+/// Parses a CKL translation unit. Errors are reported to \p Diags; a
+/// best-effort unit is returned even on error.
+TranslationUnit parse(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace concord
+
+#endif // CONCORD_FRONTEND_PARSER_H

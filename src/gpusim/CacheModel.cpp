@@ -1,0 +1,37 @@
+//===- CacheModel.cpp -----------------------------------------------------===//
+
+#include "gpusim/CacheModel.h"
+
+#include <algorithm>
+
+using namespace concord::gpusim;
+
+CacheModel::CacheModel(const CacheConfig &Cfg) {
+  uint32_t Lines = std::max<uint32_t>(1, Cfg.SizeBytes / Cfg.LineBytes);
+  Assoc = std::max<uint32_t>(1, std::min(Cfg.Ways, Lines));
+  NumSets = std::max<uint32_t>(1, Lines / Assoc);
+  // Power-of-two set count for cheap indexing.
+  while (NumSets & (NumSets - 1))
+    --NumSets;
+  Ways.assign(size_t(NumSets) * Assoc, Way());
+}
+
+bool CacheModel::access(uint64_t LineAddr) {
+  ++Clock;
+  uint32_t Set = uint32_t(LineAddr) & (NumSets - 1);
+  Way *Base = &Ways[size_t(Set) * Assoc];
+  Way *Victim = Base;
+  for (uint32_t W = 0; W < Assoc; ++W) {
+    if (Base[W].Tag == LineAddr) {
+      Base[W].LastUse = Clock;
+      ++Hits;
+      return true;
+    }
+    if (Base[W].LastUse < Victim->LastUse)
+      Victim = &Base[W];
+  }
+  Victim->Tag = LineAddr;
+  Victim->LastUse = Clock;
+  ++Misses;
+  return false;
+}

@@ -1,0 +1,43 @@
+//===- CacheModel.h - Set-associative LRU cache model -----------*- C++ -*-===//
+
+#ifndef CONCORD_GPUSIM_CACHEMODEL_H
+#define CONCORD_GPUSIM_CACHEMODEL_H
+
+#include "gpusim/MachineConfig.h"
+#include <cstdint>
+#include <vector>
+
+namespace concord {
+namespace gpusim {
+
+/// A simple set-associative cache with LRU replacement, keyed by line
+/// address. Tracks hit/miss counts.
+class CacheModel {
+public:
+  explicit CacheModel(const CacheConfig &Cfg);
+
+  /// Touches the line containing \p LineAddr (already divided by line
+  /// size). Returns true on hit; misses fill the line.
+  bool access(uint64_t LineAddr);
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  void resetStats() { Hits = Misses = 0; }
+
+private:
+  struct Way {
+    uint64_t Tag = ~0ull;
+    uint64_t LastUse = 0;
+  };
+  std::vector<Way> Ways;
+  uint32_t NumSets = 1;
+  uint32_t Assoc = 1;
+  uint64_t Clock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace gpusim
+} // namespace concord
+
+#endif // CONCORD_GPUSIM_CACHEMODEL_H

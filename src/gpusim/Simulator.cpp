@@ -1,0 +1,860 @@
+//===- Simulator.cpp ------------------------------------------------------===//
+
+#include "gpusim/Simulator.h"
+
+#include "cir/Instruction.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+using namespace concord;
+using namespace concord::codegen;
+using namespace concord::gpusim;
+using cir::TypeKind;
+
+namespace {
+
+/// GPU virtual base of per-work-item private (stack) memory. Deliberately
+/// far from any bound surface so an SVM-translated private pointer faults.
+constexpr uint64_t PrivateBase = 0xF00000000000ull;
+
+uint64_t widthOf(TypeKind K) {
+  switch (K) {
+  case TypeKind::Bool:
+  case TypeKind::Int8:
+  case TypeKind::UInt8:
+    return 1;
+  case TypeKind::Int16:
+  case TypeKind::UInt16:
+    return 2;
+  case TypeKind::Int32:
+  case TypeKind::UInt32:
+  case TypeKind::Float32:
+    return 4;
+  default:
+    return 8;
+  }
+}
+
+bool isSignedKind(TypeKind K) {
+  return K == TypeKind::Int8 || K == TypeKind::Int16 ||
+         K == TypeKind::Int32 || K == TypeKind::Int64;
+}
+
+/// Canonical register form: ints sign/zero-extended per kind, floats as
+/// bits in the low 32, bool as 0/1.
+uint64_t canonicalize(TypeKind K, uint64_t Raw) {
+  switch (K) {
+  case TypeKind::Bool:
+    return Raw & 1;
+  case TypeKind::Int8:
+    return uint64_t(int64_t(int8_t(Raw)));
+  case TypeKind::Int16:
+    return uint64_t(int64_t(int16_t(Raw)));
+  case TypeKind::Int32:
+    return uint64_t(int64_t(int32_t(Raw)));
+  case TypeKind::UInt8:
+    return Raw & 0xFF;
+  case TypeKind::UInt16:
+    return Raw & 0xFFFF;
+  case TypeKind::UInt32:
+  case TypeKind::Float32:
+    return Raw & 0xFFFFFFFF;
+  default:
+    return Raw;
+  }
+}
+
+float asFloat(uint64_t V) { return std::bit_cast<float>(uint32_t(V)); }
+uint64_t fromFloat(float F) { return std::bit_cast<uint32_t>(F); }
+
+struct SimtEntry {
+  int32_t RPC; ///< Reconvergence PC (-1: none).
+  int32_t PC;
+  uint32_t Mask;
+};
+
+struct Warp {
+  std::vector<uint64_t> Regs; ///< NumRegs x SimdWidth, lane-major per reg.
+  std::vector<SimtEntry> Stack;
+  uint64_t FirstItem = 0; ///< Global id of lane 0.
+  unsigned LocalFirst = 0; ///< Local id of lane 0 within the group.
+  bool AtBarrier = false;
+
+  bool done() const { return Stack.empty(); }
+};
+
+struct Group {
+  uint64_t Id = 0;
+  std::vector<Warp> Warps;
+  std::vector<char> PrivateMem; ///< groupSize x FrameBytes.
+  unsigned Cursor = 0;          ///< Round-robin warp pick.
+};
+
+struct Core {
+  std::vector<uint64_t> PendingGroups;
+  size_t NextPending = 0;
+  std::unique_ptr<Group> Current;
+  double Cycles = 0;
+  std::unique_ptr<CacheModel> L1;
+  std::unordered_map<int32_t, bool> BranchHistory; ///< CPU predictor.
+};
+
+struct ContentionEntry {
+  uint64_t Round = 0;
+  uint64_t CoreMask = 0;
+};
+
+/// Small inline set of cache-line addresses (hot path: a warp touches at
+/// most SimdWidth lines per access; memcpy can touch a few more).
+struct LineSet {
+  static constexpr unsigned Cap = 160;
+  uint64_t Buf[Cap];
+  unsigned N = 0;
+  void insert(uint64_t Line) {
+    for (unsigned I = 0; I < N; ++I)
+      if (Buf[I] == Line)
+        return;
+    if (N < Cap)
+      Buf[N++] = Line;
+  }
+};
+
+} // namespace
+
+struct Simulator::Impl {
+  const DeviceConfig &Cfg;
+  svm::BindingTable &Bindings;
+  uint64_t SvmConst;
+
+  CacheModel LLC;
+  uint64_t MemClock = 0; ///< Global memory-access counter (contention).
+  /// Fixed-size hashed contention table (collisions merely add noise to a
+  /// stochastic model; bounded memory regardless of footprint).
+  std::vector<ContentionEntry> Contention =
+      std::vector<ContentionEntry>(1u << 16);
+  uint64_t Round = 0;
+  double DynEnergyNJ = 0;
+  SimResult R;
+
+  // Per-launch kernel state.
+  const BKernel *K = nullptr;
+  std::vector<uint64_t> Args;
+  uint64_t NumItems = 0;
+  unsigned GroupSize = 1;
+  unsigned WarpsPerGroup = 1;
+
+  Impl(const DeviceConfig &Cfg, svm::BindingTable &Bindings,
+       uint64_t SvmConst)
+      : Cfg(Cfg), Bindings(Bindings), SvmConst(SvmConst), LLC(Cfg.LLC) {}
+
+  void trap(const std::string &Msg) {
+    if (!R.Trapped) {
+      R.Trapped = true;
+      R.TrapMessage = Msg;
+    }
+  }
+
+  std::unique_ptr<Group> makeGroup(uint64_t GroupId) {
+    auto G = std::make_unique<Group>();
+    G->Id = GroupId;
+    if (K->FrameBytes)
+      G->PrivateMem.assign(size_t(GroupSize) * K->FrameBytes, 0);
+    for (unsigned W = 0; W < WarpsPerGroup; ++W) {
+      uint64_t First = GroupId * GroupSize + uint64_t(W) * Cfg.SimdWidth;
+      uint32_t Mask = 0;
+      for (unsigned L = 0; L < Cfg.SimdWidth; ++L)
+        if (First + L < NumItems ||
+            (K->UsesBarrier && First + L < roundUpItems()))
+          Mask |= 1u << L;
+      if (!Mask)
+        continue;
+      Warp Wp;
+      Wp.FirstItem = First;
+      Wp.LocalFirst = W * Cfg.SimdWidth;
+      Wp.Regs.assign(size_t(K->NumRegs) * Cfg.SimdWidth, 0);
+      for (unsigned A = 0; A < K->NumArgs && A < Args.size(); ++A)
+        for (unsigned L = 0; L < Cfg.SimdWidth; ++L)
+          Wp.Regs[size_t(A) * Cfg.SimdWidth + L] = Args[A];
+      Wp.Stack.push_back({-1, 0, Mask});
+      G->Warps.push_back(std::move(Wp));
+    }
+    return G;
+  }
+
+  /// Kernels with barriers keep all lanes of a group alive (they guard
+  /// out-of-range work themselves via the item-count argument).
+  uint64_t roundUpItems() const {
+    return (NumItems + GroupSize - 1) / GroupSize * GroupSize;
+  }
+
+  uint64_t &reg(Warp &W, uint16_t R, unsigned Lane) {
+    return W.Regs[size_t(R) * Cfg.SimdWidth + Lane];
+  }
+
+  /// Resolves an address for one lane. Returns null on fault.
+  void *resolve(Group &G, Warp &W, unsigned Lane, uint64_t Addr,
+                uint64_t Size, bool *IsPrivate, bool *IsLocal) {
+    *IsPrivate = false;
+    *IsLocal = false;
+    if (Addr >= PrivateBase && Addr - PrivateBase + Size <= K->FrameBytes) {
+      *IsPrivate = true;
+      size_t ItemInGroup = W.LocalFirst + Lane;
+      return G.PrivateMem.data() + ItemInGroup * K->FrameBytes +
+             (Addr - PrivateBase);
+    }
+    const svm::Surface *S = nullptr;
+    void *Host = Bindings.resolve(Addr, Size, &S);
+    if (Host && S->Kind == svm::SurfaceKind::LocalScratch)
+      *IsLocal = true;
+    return Host;
+  }
+
+  /// Timing + energy for one warp-level memory access over the lanes'
+  /// line sets.
+  double memoryCost(Core &C, unsigned CoreIdx, const LineSet &GlobalLines,
+                    unsigned LocalLines, unsigned PrivateLanes) {
+    double Cost = 0;
+    Cost += double(PrivateLanes) * 0.25 * Cfg.CacheHitCost;
+    Cost += double(LocalLines) * Cfg.LocalMemCost;
+    R.LocalAccesses += LocalLines;
+    for (unsigned LI = 0; LI < GlobalLines.N; ++LI) {
+      uint64_t Line = GlobalLines.Buf[LI];
+      Cost += Cfg.PerLineCost;
+      ++R.LinesTouched;
+      DynEnergyNJ += Cfg.DynEnergyMemNJ;
+      bool Hit = false;
+      if (Cfg.HasL1 && C.L1 && C.L1->access(Line)) {
+        Hit = true;
+        ++R.L1Hits;
+        Cost += Cfg.CacheHitCost;
+      } else if (LLC.access(Line)) {
+        Hit = true;
+        ++R.CacheHits;
+        Cost += Cfg.LLCHitCost;
+      }
+      if (!Hit) {
+        ++R.CacheMisses;
+        Cost += Cfg.CacheMissCost;
+        DynEnergyNJ += Cfg.DynEnergyMissNJ;
+      }
+      if (Cfg.ModelLineContention) {
+        // Clocked by global memory-access count (not instructions), so a
+        // kernel with fewer ALU ops is not spuriously penalized: the
+        // window approximates "the last ~ContentionWindow accesses per
+        // core happened concurrently".
+        ContentionEntry &E =
+            Contention[(Line * 0x9E3779B97F4A7C15ull) >> 48];
+        uint64_t Window =
+            uint64_t(Cfg.ContentionWindow) * Cfg.NumCores;
+        if (MemClock - E.Round <= Window) {
+          uint64_t Others = E.CoreMask & ~(1ull << (CoreIdx % 64));
+          if (Others) {
+            unsigned N = std::min(4u, unsigned(std::popcount(Others)));
+            Cost += Cfg.ContentionPenalty * N;
+            R.ContentionEvents += N;
+          }
+          E.CoreMask |= 1ull << (CoreIdx % 64);
+        } else {
+          E.CoreMask = 1ull << (CoreIdx % 64);
+        }
+        E.Round = MemClock;
+      }
+    }
+    return Cost;
+  }
+
+  /// Executes one instruction for the top SIMT entry of \p W.
+  double step(Core &C, unsigned CoreIdx, Group &G, Warp &W);
+
+  SimResult launch(const BKernel &Kernel, const std::vector<uint64_t> &A,
+                   uint64_t N, unsigned GroupSizeOverride);
+};
+
+double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
+  SimtEntry &E = W.Stack.back();
+  if (E.RPC >= 0 && E.PC == E.RPC) {
+    // Lanes rejoin the entry below.
+    uint32_t Mask = E.Mask;
+    int32_t PC = E.PC;
+    W.Stack.pop_back();
+    if (!W.Stack.empty() && W.Stack.back().PC == PC)
+      W.Stack.back().Mask |= Mask;
+    else if (!W.Stack.empty() && W.Stack.back().RPC == PC &&
+             W.Stack.back().PC == PC) {
+      W.Stack.back().Mask |= Mask;
+    }
+    return 0;
+  }
+
+  assert(E.PC >= 0 && size_t(E.PC) < K->Code.size() &&
+         "PC out of kernel bounds");
+  const BInst &I = K->Code[size_t(E.PC)];
+  uint32_t Mask = E.Mask;
+  unsigned Active = unsigned(std::popcount(Mask));
+  ++R.WarpInstructions;
+  R.LaneOps += Active;
+
+  double Cost = Cfg.AluCost;
+  switch (I.Op) {
+  case BOp::Add: case BOp::Sub: case BOp::And: case BOp::Or:
+  case BOp::Xor: case BOp::Shl: case BOp::AShr: case BOp::LShr:
+  case BOp::Neg: case BOp::ICmp: case BOp::Select:
+    if (widthOf(I.TypeK) == 8)
+      Cost *= Cfg.Alu64Factor;
+    break;
+  case BOp::FieldAddr: case BOp::IndexAddr: case BOp::CpuToGpu:
+  case BOp::GpuToCpu:
+    Cost *= Cfg.Alu64Factor; // Pointer-width arithmetic.
+    break;
+  default:
+    break;
+  }
+  DynEnergyNJ += Cfg.DynEnergyAluNJ * Active;
+  int32_t NextPC = E.PC + 1;
+
+  auto forLanes = [&](auto &&Fn) {
+    for (unsigned L = 0; L < Cfg.SimdWidth; ++L)
+      if (Mask & (1u << L))
+        Fn(L);
+  };
+
+  switch (I.Op) {
+  case BOp::MovImm:
+    forLanes([&](unsigned L) { reg(W, I.Dst, L) = I.Imm; });
+    break;
+  case BOp::Mov:
+    forLanes([&](unsigned L) { reg(W, I.Dst, L) = reg(W, I.A, L); });
+    break;
+
+  case BOp::Add: case BOp::Sub: case BOp::Mul: case BOp::And: case BOp::Or:
+  case BOp::Xor: case BOp::Shl: case BOp::AShr: case BOp::LShr: {
+    if (I.Op == BOp::Mul)
+      Cost = Cfg.MulCost;
+    unsigned WidthBits = unsigned(widthOf(I.TypeK)) * 8;
+    forLanes([&](unsigned L) {
+      uint64_t A = reg(W, I.A, L), B = reg(W, I.B, L), Res = 0;
+      switch (I.Op) {
+      case BOp::Add: Res = A + B; break;
+      case BOp::Sub: Res = A - B; break;
+      case BOp::Mul: Res = A * B; break;
+      case BOp::And: Res = A & B; break;
+      case BOp::Or: Res = A | B; break;
+      case BOp::Xor: Res = A ^ B; break;
+      case BOp::Shl: Res = A << (B & (WidthBits - 1)); break;
+      case BOp::AShr:
+        Res = uint64_t(int64_t(A) >> (B & (WidthBits - 1)));
+        break;
+      case BOp::LShr: {
+        uint64_t PatMask = WidthBits >= 64 ? ~0ull : (1ull << WidthBits) - 1;
+        Res = (A & PatMask) >> (B & (WidthBits - 1));
+        break;
+      }
+      default: break;
+      }
+      reg(W, I.Dst, L) = canonicalize(I.TypeK, Res);
+    });
+    break;
+  }
+  case BOp::SDiv: case BOp::SRem: case BOp::UDiv: case BOp::URem: {
+    Cost = Cfg.DivCost;
+    forLanes([&](unsigned L) {
+      uint64_t A = reg(W, I.A, L), B = reg(W, I.B, L), Res = 0;
+      if (B == 0) {
+        trap(formatString("division by zero at pc %d in %s", E.PC,
+                          K->Name.c_str()));
+        return;
+      }
+      switch (I.Op) {
+      case BOp::SDiv: Res = uint64_t(int64_t(A) / int64_t(B)); break;
+      case BOp::SRem: Res = uint64_t(int64_t(A) % int64_t(B)); break;
+      case BOp::UDiv: Res = A / B; break;
+      case BOp::URem: Res = A % B; break;
+      default: break;
+      }
+      reg(W, I.Dst, L) = canonicalize(I.TypeK, Res);
+    });
+    break;
+  }
+  case BOp::FAdd: case BOp::FSub: case BOp::FMul: case BOp::FDiv: {
+    if (I.Op == BOp::FMul)
+      Cost = Cfg.MulCost;
+    if (I.Op == BOp::FDiv)
+      Cost = Cfg.DivCost;
+    forLanes([&](unsigned L) {
+      float A = asFloat(reg(W, I.A, L)), B = asFloat(reg(W, I.B, L)), Res = 0;
+      switch (I.Op) {
+      case BOp::FAdd: Res = A + B; break;
+      case BOp::FSub: Res = A - B; break;
+      case BOp::FMul: Res = A * B; break;
+      case BOp::FDiv: Res = A / B; break;
+      default: break;
+      }
+      reg(W, I.Dst, L) = fromFloat(Res);
+    });
+    break;
+  }
+  case BOp::Neg:
+    forLanes([&](unsigned L) {
+      reg(W, I.Dst, L) =
+          canonicalize(I.TypeK, uint64_t(-int64_t(reg(W, I.A, L))));
+    });
+    break;
+  case BOp::FNeg:
+    forLanes([&](unsigned L) {
+      reg(W, I.Dst, L) = fromFloat(-asFloat(reg(W, I.A, L)));
+    });
+    break;
+  case BOp::Not:
+    forLanes([&](unsigned L) {
+      reg(W, I.Dst, L) = reg(W, I.A, L) ? 0 : 1;
+    });
+    break;
+
+  case BOp::ICmp: {
+    auto Pred = cir::ICmpPred(I.Imm);
+    forLanes([&](unsigned L) {
+      uint64_t A = reg(W, I.A, L), B = reg(W, I.B, L);
+      int64_t SA = int64_t(A), SB = int64_t(B);
+      bool Res = false;
+      switch (Pred) {
+      case cir::ICmpPred::EQ: Res = A == B; break;
+      case cir::ICmpPred::NE: Res = A != B; break;
+      case cir::ICmpPred::SLT: Res = SA < SB; break;
+      case cir::ICmpPred::SLE: Res = SA <= SB; break;
+      case cir::ICmpPred::SGT: Res = SA > SB; break;
+      case cir::ICmpPred::SGE: Res = SA >= SB; break;
+      case cir::ICmpPred::ULT: Res = A < B; break;
+      case cir::ICmpPred::ULE: Res = A <= B; break;
+      case cir::ICmpPred::UGT: Res = A > B; break;
+      case cir::ICmpPred::UGE: Res = A >= B; break;
+      }
+      reg(W, I.Dst, L) = Res;
+    });
+    break;
+  }
+  case BOp::FCmp: {
+    auto Pred = cir::FCmpPred(I.Imm);
+    forLanes([&](unsigned L) {
+      float A = asFloat(reg(W, I.A, L)), B = asFloat(reg(W, I.B, L));
+      bool Res = false;
+      switch (Pred) {
+      case cir::FCmpPred::OEQ: Res = A == B; break;
+      case cir::FCmpPred::ONE: Res = A != B; break;
+      case cir::FCmpPred::OLT: Res = A < B; break;
+      case cir::FCmpPred::OLE: Res = A <= B; break;
+      case cir::FCmpPred::OGT: Res = A > B; break;
+      case cir::FCmpPred::OGE: Res = A >= B; break;
+      }
+      reg(W, I.Dst, L) = Res;
+    });
+    break;
+  }
+  case BOp::Select:
+    forLanes([&](unsigned L) {
+      reg(W, I.Dst, L) =
+          reg(W, uint16_t(I.Aux), L) ? reg(W, I.A, L) : reg(W, I.B, L);
+    });
+    break;
+
+  case BOp::Cast: {
+    auto Kind = cir::CastKind(I.Imm);
+    TypeKind SrcK = TypeKind(I.Aux);
+    forLanes([&](unsigned L) {
+      uint64_t V = reg(W, I.A, L), Res = 0;
+      switch (Kind) {
+      case cir::CastKind::Trunc:
+      case cir::CastKind::BitCast:
+      case cir::CastKind::PtrToInt:
+      case cir::CastKind::IntToPtr:
+      case cir::CastKind::ZExt: {
+        uint64_t SrcW = widthOf(SrcK) * 8;
+        uint64_t Pat = SrcW >= 64 ? V : V & ((1ull << SrcW) - 1);
+        Res = canonicalize(I.TypeK, Pat);
+        break;
+      }
+      case cir::CastKind::SExt: {
+        // Source is canonical already (sign-extended if signed).
+        Res = canonicalize(
+            I.TypeK, isSignedKind(SrcK) ? V : canonicalize(SrcK, V));
+        break;
+      }
+      case cir::CastKind::SIToFP:
+        Res = fromFloat(float(int64_t(V)));
+        break;
+      case cir::CastKind::UIToFP:
+        Res = fromFloat(float(V));
+        break;
+      case cir::CastKind::FPToSI:
+        Res = canonicalize(I.TypeK, uint64_t(int64_t(asFloat(V))));
+        break;
+      case cir::CastKind::FPToUI:
+        Res = canonicalize(I.TypeK, uint64_t(asFloat(V)));
+        break;
+      }
+      reg(W, I.Dst, L) = Res;
+    });
+    break;
+  }
+
+  case BOp::FieldAddr:
+    forLanes([&](unsigned L) {
+      reg(W, I.Dst, L) = reg(W, I.A, L) + I.Imm;
+    });
+    break;
+  case BOp::IndexAddr:
+    forLanes([&](unsigned L) {
+      reg(W, I.Dst, L) =
+          reg(W, I.A, L) + uint64_t(int64_t(reg(W, I.B, L))) * I.Imm;
+    });
+    break;
+
+  case BOp::Load: {
+    ++R.MemAccesses;
+    ++MemClock;
+    uint64_t Size = widthOf(I.TypeK);
+    LineSet Lines;
+    LineSet LocalLines;
+    unsigned PrivateLanes = 0;
+    forLanes([&](unsigned L) {
+      uint64_t Addr = reg(W, I.A, L);
+      bool Priv = false, Local = false;
+      void *Host = resolve(G, W, L, Addr, Size, &Priv, &Local);
+      if (!Host) {
+        trap(formatString("invalid load address 0x%llx at pc %d in %s",
+                          (unsigned long long)Addr, E.PC, K->Name.c_str()));
+        return;
+      }
+      uint64_t Raw = 0;
+      std::memcpy(&Raw, Host, Size);
+      reg(W, I.Dst, L) = canonicalize(I.TypeK, Raw);
+      if (Priv)
+        ++PrivateLanes;
+      else if (Local)
+        LocalLines.insert(Addr / 64);
+      else
+        Lines.insert(Addr / Cfg.LLC.LineBytes);
+    });
+    Cost = memoryCost(C, CoreIdx, Lines, LocalLines.N, PrivateLanes);
+    break;
+  }
+  case BOp::Store: {
+    ++R.MemAccesses;
+    ++MemClock;
+    uint64_t Size = widthOf(I.TypeK);
+    LineSet Lines;
+    LineSet LocalLines;
+    unsigned PrivateLanes = 0;
+    forLanes([&](unsigned L) {
+      uint64_t Addr = reg(W, I.B, L);
+      bool Priv = false, Local = false;
+      void *Host = resolve(G, W, L, Addr, Size, &Priv, &Local);
+      if (!Host) {
+        trap(formatString("invalid store address 0x%llx at pc %d in %s",
+                          (unsigned long long)Addr, E.PC, K->Name.c_str()));
+        return;
+      }
+      uint64_t V = reg(W, I.A, L);
+      std::memcpy(Host, &V, Size);
+      if (Priv)
+        ++PrivateLanes;
+      else if (Local)
+        LocalLines.insert(Addr / 64);
+      else
+        Lines.insert(Addr / Cfg.LLC.LineBytes);
+    });
+    Cost = memoryCost(C, CoreIdx, Lines, LocalLines.N, PrivateLanes);
+    break;
+  }
+  case BOp::Memcpy: {
+    ++R.MemAccesses;
+    ++MemClock;
+    LineSet Lines;
+    LineSet LocalLines;
+    unsigned PrivateLanes = 0;
+    forLanes([&](unsigned L) {
+      uint64_t Dst = reg(W, I.A, L), Src = reg(W, I.B, L);
+      bool DP = false, DL = false, SP = false, SL = false;
+      void *DstH = resolve(G, W, L, Dst, I.Imm, &DP, &DL);
+      void *SrcH = resolve(G, W, L, Src, I.Imm, &SP, &SL);
+      if (!DstH || !SrcH) {
+        trap(formatString("invalid memcpy at pc %d in %s", E.PC,
+                          K->Name.c_str()));
+        return;
+      }
+      std::memmove(DstH, SrcH, I.Imm);
+      for (uint64_t Off = 0; Off < I.Imm; Off += Cfg.LLC.LineBytes) {
+        auto Classify = [&](uint64_t Base, bool Priv, bool Local) {
+          if (Priv)
+            ++PrivateLanes;
+          else if (Local)
+            LocalLines.insert((Base + Off) / 64);
+          else
+            Lines.insert((Base + Off) / Cfg.LLC.LineBytes);
+        };
+        Classify(Dst, DP, DL);
+        Classify(Src, SP, SL);
+      }
+    });
+    Cost = memoryCost(C, CoreIdx, Lines, LocalLines.N, PrivateLanes);
+    break;
+  }
+
+  case BOp::Intrinsic: {
+    Cost = Cfg.IntrinsicCost;
+    auto Id = cir::IntrinsicId(I.Imm);
+    forLanes([&](unsigned L) {
+      if (Id == cir::IntrinsicId::IMin || Id == cir::IntrinsicId::IMax ||
+          Id == cir::IntrinsicId::IAbs) {
+        int64_t A = int64_t(reg(W, I.A, L));
+        int64_t B = I.B ? int64_t(reg(W, I.B, L)) : 0;
+        int64_t Res = 0;
+        if (Id == cir::IntrinsicId::IMin)
+          Res = std::min(A, B);
+        else if (Id == cir::IntrinsicId::IMax)
+          Res = std::max(A, B);
+        else
+          Res = A < 0 ? -A : A;
+        reg(W, I.Dst, L) = canonicalize(I.TypeK, uint64_t(Res));
+        return;
+      }
+      float A = asFloat(reg(W, I.A, L));
+      float B = asFloat(reg(W, I.B, L));
+      float Res = 0;
+      switch (Id) {
+      case cir::IntrinsicId::Sqrt: Res = std::sqrt(A); break;
+      case cir::IntrinsicId::Rsqrt: Res = 1.0f / std::sqrt(A); break;
+      case cir::IntrinsicId::Fabs: Res = std::fabs(A); break;
+      case cir::IntrinsicId::Fmin: Res = std::fmin(A, B); break;
+      case cir::IntrinsicId::Fmax: Res = std::fmax(A, B); break;
+      case cir::IntrinsicId::Pow: Res = std::pow(A, B); break;
+      case cir::IntrinsicId::Exp: Res = std::exp(A); break;
+      case cir::IntrinsicId::Log: Res = std::log(A); break;
+      case cir::IntrinsicId::Sin: Res = std::sin(A); break;
+      case cir::IntrinsicId::Cos: Res = std::cos(A); break;
+      case cir::IntrinsicId::Floor: Res = std::floor(A); break;
+      default: break;
+      }
+      reg(W, I.Dst, L) = fromFloat(Res);
+    });
+    break;
+  }
+
+  case BOp::CpuToGpu:
+    forLanes([&](unsigned L) {
+      reg(W, I.Dst, L) = reg(W, I.A, L) + SvmConst;
+    });
+    break;
+  case BOp::GpuToCpu:
+    forLanes([&](unsigned L) {
+      reg(W, I.Dst, L) = reg(W, I.A, L) - SvmConst;
+    });
+    break;
+
+  case BOp::GlobalId:
+    forLanes([&](unsigned L) {
+      reg(W, I.Dst, L) =
+          canonicalize(TypeKind::Int32, W.FirstItem + L);
+    });
+    break;
+  case BOp::LocalId:
+    forLanes([&](unsigned L) {
+      reg(W, I.Dst, L) = W.LocalFirst + L;
+    });
+    break;
+  case BOp::GroupId:
+    forLanes([&](unsigned L) { reg(W, I.Dst, L) = G.Id; });
+    break;
+  case BOp::GroupSize:
+    forLanes([&](unsigned L) { reg(W, I.Dst, L) = GroupSize; });
+    break;
+  case BOp::NumCores:
+    forLanes([&](unsigned L) { reg(W, I.Dst, L) = Cfg.NumCores; });
+    break;
+  case BOp::AllocaAddr:
+    forLanes([&](unsigned L) { reg(W, I.Dst, L) = PrivateBase + I.Imm; });
+    break;
+
+  case BOp::Barrier:
+    Cost = Cfg.BarrierCost;
+    ++R.Barriers;
+    W.AtBarrier = true;
+    E.PC = NextPC;
+    return Cost;
+
+  case BOp::Br:
+    Cost = Cfg.BranchCost;
+    NextPC = I.Target;
+    break;
+
+  case BOp::CondBr: {
+    Cost = Cfg.BranchCost;
+    uint32_t MaskT = 0;
+    forLanes([&](unsigned L) {
+      if (reg(W, I.A, L))
+        MaskT |= 1u << L;
+    });
+    uint32_t MaskF = Mask & ~MaskT;
+    if (Cfg.MispredictPenalty > 0 && Cfg.SimdWidth == 1) {
+      bool Taken = MaskT != 0;
+      auto Hist = C.BranchHistory.find(E.PC);
+      if (Hist == C.BranchHistory.end())
+        C.BranchHistory[E.PC] = Taken;
+      else if (Hist->second != Taken) {
+        Cost += Cfg.MispredictPenalty;
+        Hist->second = Taken;
+      }
+    }
+    if (MaskT == 0) {
+      NextPC = I.Target2;
+    } else if (MaskF == 0) {
+      NextPC = I.Target;
+    } else {
+      // Divergence: push continuation, then both sides.
+      ++R.DivergentBranches;
+      Cost += Cfg.DivergencePenalty;
+      int32_t RPC = I.Reconverge;
+      int32_t OldRPC = E.RPC;
+      uint32_t FullMask = E.Mask;
+      W.Stack.pop_back();
+      if (RPC >= 0)
+        W.Stack.push_back({OldRPC, RPC, FullMask});
+      W.Stack.push_back({RPC, I.Target2, MaskF});
+      W.Stack.push_back({RPC, I.Target, MaskT});
+      return Cost;
+    }
+    break;
+  }
+
+  case BOp::Ret: {
+    // Lanes complete: strip them from the whole stack.
+    uint32_t DoneMask = Mask;
+    for (SimtEntry &SE : W.Stack)
+      SE.Mask &= ~DoneMask;
+    while (!W.Stack.empty() && W.Stack.back().Mask == 0)
+      W.Stack.pop_back();
+    return Cost;
+  }
+  case BOp::Trap:
+    trap(formatString("kernel trap at pc %d in %s (bad virtual dispatch?)",
+                      E.PC, K->Name.c_str()));
+    return Cost;
+  }
+
+  E.PC = NextPC;
+  return Cost;
+}
+
+SimResult Simulator::Impl::launch(const BKernel &Kernel,
+                                  const std::vector<uint64_t> &A, uint64_t N,
+                                  unsigned GroupSizeOverride) {
+  K = &Kernel;
+  Args = A;
+  NumItems = N;
+  R = SimResult();
+  DynEnergyNJ = 0;
+  std::fill(Contention.begin(), Contention.end(), ContentionEntry());
+  LLC.resetStats();
+
+  GroupSize = GroupSizeOverride ? GroupSizeOverride : Cfg.WorkGroupSize;
+  GroupSize = std::max(GroupSize, Cfg.SimdWidth == 0 ? 1u : 1u);
+  if (GroupSize % Cfg.SimdWidth != 0)
+    GroupSize = ((GroupSize / Cfg.SimdWidth) + 1) * Cfg.SimdWidth;
+  WarpsPerGroup = GroupSize / Cfg.SimdWidth;
+
+  if (K->FrameBytes > Cfg.PrivateBytesPerItem) {
+    R.Trapped = true;
+    R.TrapMessage = "kernel frame exceeds private memory";
+    return R;
+  }
+  if (N == 0) {
+    R.Seconds = Cfg.LaunchOverheadUs * 1e-6;
+    return R;
+  }
+
+  uint64_t NumGroups = (N + GroupSize - 1) / GroupSize;
+  std::vector<Core> Cores(Cfg.NumCores);
+  for (Core &C : Cores)
+    if (Cfg.HasL1)
+      C.L1 = std::make_unique<CacheModel>(Cfg.L1);
+
+  for (uint64_t G = 0; G < NumGroups; ++G) {
+    size_t CoreIdx;
+    if (Cfg.Schedule == SchedulePolicy::RoundRobin)
+      CoreIdx = size_t(G % Cfg.NumCores);
+    else
+      CoreIdx = size_t(G * Cfg.NumCores / NumGroups);
+    Cores[CoreIdx].PendingGroups.push_back(G);
+  }
+
+  bool Work = true;
+  while (Work && !R.Trapped) {
+    Work = false;
+    ++Round;
+    for (unsigned CI = 0; CI < Cores.size(); ++CI) {
+      Core &C = Cores[CI];
+      if (!C.Current) {
+        if (C.NextPending >= C.PendingGroups.size())
+          continue;
+        C.Current = makeGroup(C.PendingGroups[C.NextPending++]);
+      }
+      Group &G = *C.Current;
+
+      // Pick the next runnable warp round-robin.
+      Warp *Picked = nullptr;
+      bool AnyAlive = false;
+      for (size_t T = 0; T < G.Warps.size(); ++T) {
+        Warp &Cand = G.Warps[(G.Cursor + T) % G.Warps.size()];
+        if (Cand.done())
+          continue;
+        AnyAlive = true;
+        if (Cand.AtBarrier)
+          continue;
+        Picked = &Cand;
+        G.Cursor = unsigned((G.Cursor + T + 1) % G.Warps.size());
+        break;
+      }
+      if (!Picked) {
+        if (!AnyAlive) {
+          C.Current.reset(); // Group retired; next round picks another.
+          Work = true;
+          continue;
+        }
+        // Everyone alive is at the barrier: release it.
+        for (Warp &Wp : G.Warps)
+          Wp.AtBarrier = false;
+        Work = true;
+        continue;
+      }
+      C.Cycles += step(C, CI, G, *Picked);
+      Work = true;
+    }
+  }
+
+  double MaxCycles = 0;
+  for (Core &C : Cores)
+    MaxCycles = std::max(MaxCycles, C.Cycles);
+  R.Cycles = MaxCycles;
+  R.Seconds = MaxCycles / (Cfg.FreqGHz * 1e9) + Cfg.LaunchOverheadUs * 1e-6;
+  R.Joules = DynEnergyNJ * 1e-9 +
+             (Cfg.StaticPowerW + Cfg.CompanionIdlePowerW) * R.Seconds;
+  return R;
+}
+
+Simulator::Simulator(const DeviceConfig &Config, svm::BindingTable &Bindings,
+                     uint64_t SvmConst)
+    : P(std::make_unique<Impl>(Config, Bindings, SvmConst)) {}
+
+Simulator::~Simulator() = default;
+
+SimResult Simulator::run(const BKernel &Kernel,
+                         const std::vector<uint64_t> &Args, uint64_t NumItems,
+                         unsigned GroupSizeOverride) {
+  return P->launch(Kernel, Args, NumItems, GroupSizeOverride);
+}

@@ -1,0 +1,83 @@
+//===- Simulator.h - SIMT kernel interpreter with timing/energy -*- C++ -*-===//
+///
+/// \file
+/// Executes compiled kernel bytecode over an iteration space under a
+/// DeviceConfig machine model, performing the real memory operations
+/// against the shared SVM region (so results are functionally meaningful)
+/// while accounting cycles and energy:
+///
+///  * Work-groups are split into SIMD warps; divergence is handled with a
+///    reconvergence stack driven by the IPDOM PCs codegen embedded.
+///  * Cores execute in a global round-robin, one warp-instruction per
+///    round, which interleaves memory traffic realistically for the
+///    shared-L3 cache-line contention model (paper section 4.2).
+///  * The CPU model is the same interpreter with scalar warps, a branch
+///    predictor (mispredicts charged on direction change), and per-core
+///    L1s in front of the shared LLC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_GPUSIM_SIMULATOR_H
+#define CONCORD_GPUSIM_SIMULATOR_H
+
+#include "codegen/Bytecode.h"
+#include "gpusim/CacheModel.h"
+#include "gpusim/MachineConfig.h"
+#include "svm/BindingTable.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace gpusim {
+
+struct SimResult {
+  bool Trapped = false;
+  std::string TrapMessage;
+
+  double Cycles = 0;  ///< Busiest core's cycle count.
+  double Seconds = 0; ///< Cycles / frequency (launch overhead included).
+  double Joules = 0;  ///< Package energy: static + companion idle + dynamic.
+
+  uint64_t WarpInstructions = 0;
+  uint64_t LaneOps = 0;
+  uint64_t MemAccesses = 0;   ///< Warp-level memory instructions.
+  uint64_t LinesTouched = 0;  ///< Distinct global lines across accesses.
+  uint64_t CacheHits = 0;     ///< Shared LLC hits.
+  uint64_t CacheMisses = 0;
+  uint64_t L1Hits = 0;        ///< CPU per-core L1 hits.
+  uint64_t ContentionEvents = 0;
+  uint64_t DivergentBranches = 0;
+  uint64_t Barriers = 0;
+  uint64_t LocalAccesses = 0;
+
+  bool ok() const { return !Trapped; }
+};
+
+/// Executes kernels on one device model against one binding table.
+class Simulator {
+public:
+  /// \p SvmConst is the runtime constant gpu_base - cpu_base used by the
+  /// CpuToGpu/GpuToCpu bytecode ops.
+  Simulator(const DeviceConfig &Config, svm::BindingTable &Bindings,
+            uint64_t SvmConst);
+  ~Simulator();
+
+  /// Runs \p Kernel for NumItems work-items with the given scalar
+  /// arguments (loaded into registers 0..N-1 of every lane).
+  /// \p GroupSizeOverride overrides the device's default work-group size
+  /// (reduction kernels need groups larger than one warp).
+  SimResult run(const codegen::BKernel &Kernel,
+                const std::vector<uint64_t> &Args, uint64_t NumItems,
+                unsigned GroupSizeOverride = 0);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace gpusim
+} // namespace concord
+
+#endif // CONCORD_GPUSIM_SIMULATOR_H

@@ -1,0 +1,356 @@
+//===- Runtime.cpp --------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "codegen/CodeGen.h"
+#include "frontend/Compile.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstring>
+
+using namespace concord;
+using namespace concord::runtime;
+
+namespace {
+
+/// GPU virtual base of the transient reduction scratch surface.
+constexpr uint64_t GpuLocalScratchBase = 0x9000000000ull;
+/// Scratch base in the CPU device's address view.
+constexpr uint64_t CpuLocalScratchBase = 0xE00000000000ull;
+
+/// Work-group size for reduction kernels (4 warps on the GPU; the local
+/// tree depth). Must be a power of two.
+constexpr unsigned ReduceGroupSize = 64;
+
+uint64_t optionsFingerprint(const transforms::PipelineOptions &O) {
+  uint64_t F = uint64_t(O.Svm);
+  F = F * 131 + O.EnableL3Opt;
+  F = F * 131 + O.EnableUnroll;
+  F = F * 131 + O.CleanupAfterSvm;
+  F = F * 131 + O.NumRegisters;
+  F = F * 131 + O.UnrollMaxTrip;
+  return F;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+} // namespace
+
+/// One compiled (spec, construct, device-options) entry - gpu_function_t.
+struct Runtime::CachedProgram {
+  codegen::KernelProgram Program;
+  std::string KernelName;
+  transforms::PipelineStats Stats;
+  std::string Diagnostics;
+  bool Unsupported = false; ///< Must fall back to native CPU execution.
+  bool Failed = false;
+  double CompileSeconds = 0;
+};
+
+struct Runtime::Impl {
+  transforms::PipelineOptions GpuOptions;
+  transforms::PipelineOptions CpuOptions;
+
+  svm::BindingTable GpuBindings;
+  svm::BindingTable CpuBindings;
+
+  /// gpu_program_t / gpu_function_t caches.
+  std::map<uint64_t, std::unique_ptr<Runtime::CachedProgram>> Programs;
+
+  /// Materialized vtables per spec: class name -> per-group CPU addresses
+  /// of the u64 arrays living in the shared region.
+  std::map<uint64_t, std::map<std::string, std::vector<uint64_t>>> VTables;
+
+  Impl(svm::SharedRegion &Region, transforms::PipelineOptions GpuOpts)
+      : GpuOptions(GpuOpts),
+        GpuBindings(Region),
+        CpuBindings("svm-shared-region-cpu-view", Region.cpuBase(),
+                    Region.hostFromGpu(Region.gpuBase(), 0),
+                    Region.capacity()) {
+    // The CPU device executes untranslated kernels against CPU addresses.
+    CpuOptions = transforms::PipelineOptions();
+    CpuOptions.Svm = transforms::SvmMode::None;
+    CpuOptions.EnableL3Opt = false;
+  }
+};
+
+Runtime::Runtime(const gpusim::MachineConfig &Machine,
+                 svm::SharedRegion &Region,
+                 transforms::PipelineOptions GpuOptions)
+    : Machine(Machine), Region(Region),
+      Pool(Machine.Cpu.NumCores),
+      P(std::make_unique<Impl>(Region, GpuOptions)) {}
+
+Runtime::~Runtime() = default;
+
+void Runtime::setGpuOptions(const transforms::PipelineOptions &Options) {
+  P->GpuOptions = Options;
+}
+
+size_t Runtime::programCacheSize() const { return P->Programs.size(); }
+
+/// Compiles (or returns the cached) program for a spec + construct +
+/// device. Also materializes the vtables on first compile of a spec.
+static Runtime::CachedProgram *
+compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
+              const KernelSpec &Spec, Construct Kind, Device Dev,
+              const transforms::PipelineOptions &Opts,
+              std::map<uint64_t, std::unique_ptr<Runtime::CachedProgram>>
+                  &Programs,
+              std::map<uint64_t,
+                       std::map<std::string, std::vector<uint64_t>>> &VTables,
+              uint64_t *SpecKeyOut) {
+  uint64_t SpecKey =
+      hashString(Spec.Source) * 31 + hashString(Spec.BodyClass);
+  if (SpecKeyOut)
+    *SpecKeyOut = SpecKey;
+  uint64_t Key = SpecKey * 1315423911ull +
+                 uint64_t(Kind) * 7 + uint64_t(Dev) * 3 +
+                 optionsFingerprint(Opts);
+  auto It = Programs.find(Key);
+  if (It != Programs.end())
+    return It->second.get();
+
+  auto CP = std::make_unique<Runtime::CachedProgram>();
+  auto T0 = std::chrono::steady_clock::now();
+  DiagnosticEngine Diags;
+
+  auto Fail = [&](const std::string &Extra) -> Runtime::CachedProgram * {
+    CP->Failed = true;
+    CP->Diagnostics = Diags.str() + Extra;
+    CP->CompileSeconds = secondsSince(T0);
+    auto *Raw = CP.get();
+    Programs.emplace(Key, std::move(CP));
+    return Raw;
+  };
+
+  auto M = frontend::compileProgram(Spec.Source, Spec.BodyClass, Diags);
+  if (!M)
+    return Fail("\n(kernel source failed to compile)");
+
+  cir::Function *Entry =
+      Kind == Construct::ParallelFor
+          ? frontend::createKernelEntry(*M, Spec.BodyClass, Diags)
+          : transforms::createReduceKernel(*M, Spec.BodyClass, Diags);
+  if (!Entry)
+    return Fail("\n(kernel entry creation failed)");
+  CP->KernelName = Entry->name();
+
+  if (Diags.hasUnsupportedFeature()) {
+    // Section 2.1: compile-time warning + CPU fallback.
+    CP->Unsupported = true;
+    CP->Diagnostics = Diags.str();
+    CP->CompileSeconds = secondsSince(T0);
+    auto *Raw = CP.get();
+    Programs.emplace(Key, std::move(CP));
+    return Raw;
+  }
+
+  std::string VerifyError;
+  if (!transforms::runPipeline(*M, Opts, CP->Stats, &VerifyError))
+    return Fail("\npipeline verification failed: " + VerifyError);
+
+  codegen::CodeGenResult CG = codegen::compileModule(*M);
+  if (!CG.ok())
+    return Fail("\ncodegen failed: " + CG.Error);
+  CP->Program = std::move(CG.Program);
+  CP->Diagnostics = Diags.str();
+  CP->CompileSeconds = secondsSince(T0);
+
+  // Materialize the vtables in the shared region once per spec.
+  if (!VTables.count(SpecKey)) {
+    auto &Map = VTables[SpecKey];
+    for (const codegen::VTableImage &Img : CP->Program.VTables) {
+      std::vector<uint64_t> GroupAddrs;
+      for (const codegen::VTableGroupImage &G : Img.Groups) {
+        auto *Arr = Region.allocArray<uint64_t>(
+            std::max<size_t>(1, G.SlotSymbols.size()));
+        for (size_t S = 0; S < G.SlotSymbols.size(); ++S)
+          Arr[S] = G.SlotSymbols[S];
+        GroupAddrs.push_back(reinterpret_cast<uint64_t>(Arr));
+      }
+      Map.emplace(Img.ClassName, std::move(GroupAddrs));
+    }
+  }
+
+  auto *Raw = CP.get();
+  Programs.emplace(Key, std::move(CP));
+  return Raw;
+}
+
+LaunchReport Runtime::offload(const KernelSpec &Spec, int64_t N,
+                              void *BodyPtr, bool OnCpu) {
+  LaunchReport Rep;
+  Rep.Executed = OnCpu ? Device::CPU : Device::GPU;
+  const transforms::PipelineOptions &Opts =
+      OnCpu ? P->CpuOptions : P->GpuOptions;
+
+  size_t CacheBefore = P->Programs.size();
+  CachedProgram *CP = compileCached(
+      *P, Region, Spec, Construct::ParallelFor,
+      OnCpu ? Device::CPU : Device::GPU, Opts, P->Programs, P->VTables,
+      nullptr);
+  Rep.JitCached = P->Programs.size() == CacheBefore;
+  Rep.CompileSeconds = Rep.JitCached ? 0 : CP->CompileSeconds;
+  Rep.Diagnostics = CP->Diagnostics;
+  Rep.OptStats = CP->Stats;
+  if (CP->Failed)
+    return Rep;
+  if (CP->Unsupported) {
+    Rep.FellBack = true;
+    Rep.Executed = Device::CPU;
+    return Rep;
+  }
+  if (!Region.contains(BodyPtr)) {
+    Rep.Diagnostics += "\nBody object is not in the shared region";
+    return Rep;
+  }
+
+  const codegen::BKernel *K = CP->Program.findKernel(CP->KernelName);
+  assert(K && "compiled program lost its kernel");
+
+  const gpusim::DeviceConfig &Dev = OnCpu ? Machine.Cpu : Machine.Gpu;
+  svm::BindingTable &BT = OnCpu ? P->CpuBindings : P->GpuBindings;
+  uint64_t SvmConst = OnCpu ? 0 : Region.svmConst();
+
+  Region.pin();
+  gpusim::Simulator Sim(Dev, BT, SvmConst);
+  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
+  Rep.Sim = Sim.run(*K, {BodyAddr}, uint64_t(N));
+  Region.unpin();
+
+  Rep.Ok = Rep.Sim.ok();
+  if (!Rep.Ok)
+    Rep.Diagnostics += "\n" + Rep.Sim.TrapMessage;
+  return Rep;
+}
+
+LaunchReport Runtime::offloadReduce(const KernelSpec &Spec, int64_t N,
+                                    void *BodyPtr, size_t BodyBytes,
+                                    const HostJoinFn &Join, bool OnCpu) {
+  LaunchReport Rep;
+  Rep.Executed = OnCpu ? Device::CPU : Device::GPU;
+  const transforms::PipelineOptions &Opts =
+      OnCpu ? P->CpuOptions : P->GpuOptions;
+
+  size_t CacheBefore = P->Programs.size();
+  CachedProgram *CP = compileCached(
+      *P, Region, Spec, Construct::ParallelReduce,
+      OnCpu ? Device::CPU : Device::GPU, Opts, P->Programs, P->VTables,
+      nullptr);
+  Rep.JitCached = P->Programs.size() == CacheBefore;
+  Rep.CompileSeconds = Rep.JitCached ? 0 : CP->CompileSeconds;
+  Rep.Diagnostics = CP->Diagnostics;
+  Rep.OptStats = CP->Stats;
+  if (CP->Failed)
+    return Rep;
+  if (CP->Unsupported) {
+    Rep.FellBack = true;
+    Rep.Executed = Device::CPU;
+    return Rep;
+  }
+
+  const codegen::BKernel *K = CP->Program.findKernel(CP->KernelName);
+  assert(K && "compiled program lost its kernel");
+
+  const gpusim::DeviceConfig &Dev = OnCpu ? Machine.Cpu : Machine.Gpu;
+  svm::BindingTable &BT = OnCpu ? P->CpuBindings : P->GpuBindings;
+  uint64_t SvmConst = OnCpu ? 0 : Region.svmConst();
+
+  // Scratch surface: one Body slot per (rounded-up) work-item. Falls back
+  // to sequential CPU reduction when local scratch would be unreasonable
+  // (the paper's "if local memory is insufficient" case).
+  uint64_t Items = (uint64_t(N) + ReduceGroupSize - 1) / ReduceGroupSize *
+                   ReduceGroupSize;
+  size_t ScratchBytes = size_t(Items) * BodyBytes;
+  if (ScratchBytes > (256u << 20)) {
+    Rep.FellBack = true;
+    Rep.Executed = Device::CPU;
+    Rep.Diagnostics += "\nreduction scratch exceeds limit; CPU fallback";
+    return Rep;
+  }
+  std::vector<char> Scratch(ScratchBytes);
+  uint64_t ScratchBase = OnCpu ? CpuLocalScratchBase : GpuLocalScratchBase;
+  BT.bindSurface("reduce-scratch", svm::SurfaceKind::LocalScratch,
+                 ScratchBase, Scratch.data(), Scratch.size());
+  // The kernel receives the scratch pointer in the CPU representation so
+  // its SVM translation lands inside the scratch surface.
+  uint64_t ScratchCpuRepr = ScratchBase - SvmConst;
+
+  Region.pin();
+  gpusim::Simulator Sim(Dev, BT, SvmConst);
+  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
+  Rep.Sim = Sim.run(*K, {BodyAddr, ScratchCpuRepr, uint64_t(N)},
+                    Items, ReduceGroupSize);
+  Region.unpin();
+  BT.resetTransientSurfaces();
+
+  Rep.Ok = Rep.Sim.ok();
+  if (!Rep.Ok) {
+    Rep.Diagnostics += "\n" + Rep.Sim.TrapMessage;
+    return Rep;
+  }
+
+  // Host-side sequential join of the per-group partials (each group's
+  // result sits at its slot 0).
+  uint64_t NumGroups = Items / ReduceGroupSize;
+  std::memcpy(BodyPtr, Scratch.data(), BodyBytes); // Group 0 partial.
+  for (uint64_t G = 1; G < NumGroups; ++G)
+    Join(BodyPtr, Scratch.data() + size_t(G) * ReduceGroupSize * BodyBytes);
+  return Rep;
+}
+
+bool Runtime::installVPtrs(const KernelSpec &Spec, void *Obj,
+                           const std::string &ClassName) {
+  uint64_t SpecKey = 0;
+  CachedProgram *CP = compileCached(
+      *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
+      P->Programs, P->VTables, &SpecKey);
+  if (CP->Failed || CP->Unsupported)
+    return false;
+  auto SpecIt = P->VTables.find(SpecKey);
+  if (SpecIt == P->VTables.end())
+    return false;
+  auto ClassIt = SpecIt->second.find(ClassName);
+  if (ClassIt == SpecIt->second.end())
+    return false;
+  // Group offsets come from the program's vtable image.
+  const codegen::VTableImage *Img = nullptr;
+  for (const codegen::VTableImage &I : CP->Program.VTables)
+    if (I.ClassName == ClassName)
+      Img = &I;
+  if (!Img || Img->Groups.size() != ClassIt->second.size())
+    return false;
+  for (size_t G = 0; G < Img->Groups.size(); ++G) {
+    uint64_t VtAddr = ClassIt->second[G];
+    std::memcpy(static_cast<char *>(Obj) + Img->Groups[G].ObjectOffset,
+                &VtAddr, sizeof(uint64_t));
+  }
+  return true;
+}
+
+bool Runtime::staticStats(const KernelSpec &Spec, codegen::OpMixStats *Out,
+                          std::string *Error) {
+  CachedProgram *CP = compileCached(
+      *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
+      P->Programs, P->VTables, nullptr);
+  if (CP->Failed || CP->Unsupported) {
+    if (Error)
+      *Error = CP->Diagnostics;
+    return false;
+  }
+  const codegen::BKernel *K = CP->Program.findKernel(CP->KernelName);
+  *Out = K->StaticStats;
+  return true;
+}
+
+std::string Runtime::diagnosticsFor(const KernelSpec &Spec) {
+  CachedProgram *CP = compileCached(
+      *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
+      P->Programs, P->VTables, nullptr);
+  return CP->Diagnostics;
+}

@@ -1,0 +1,123 @@
+//===- Runtime.h - The Concord compute runtime ------------------*- C++ -*-===//
+///
+/// \file
+/// The runtime behind parallel_for_hetero / parallel_reduce_hetero
+/// (paper section 3.4):
+///
+///  * compiles kernel source on first use and caches the result, mirroring
+///    gpu_program_t (per-program) and gpu_function_t (per-kernel) caches;
+///  * maintains the SVM region's binding tables for the GPU and CPU device
+///    models and pins the region across launches (section 2.3);
+///  * materializes vtables and the global-symbol values in the shared
+///    region and installs object vptrs (section 3.2);
+///  * runs kernels under the machine's GPU or CPU timing model, or reports
+///    that the kernel must fall back to native CPU execution because it
+///    uses features outside Concord's GPU subset (section 2.1);
+///  * implements the reduction protocol of section 3.3: device-side
+///    work-group trees into a scratch surface, sequential host join of the
+///    per-group partials.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_RUNTIME_RUNTIME_H
+#define CONCORD_RUNTIME_RUNTIME_H
+
+#include "codegen/Bytecode.h"
+#include "gpusim/MachineConfig.h"
+#include "gpusim/Simulator.h"
+#include "runtime/ThreadPool.h"
+#include "svm/BindingTable.h"
+#include "svm/SharedRegion.h"
+#include "transforms/Passes.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace concord {
+namespace runtime {
+
+enum class Device { CPU, GPU };
+enum class Construct { ParallelFor, ParallelReduce };
+
+/// A kernel handle: CKL source plus the Body class to compile.
+struct KernelSpec {
+  std::string Source;
+  std::string BodyClass;
+};
+
+struct LaunchReport {
+  Device Executed = Device::CPU;
+  bool FellBack = false; ///< Unsupported on GPU; caller must run natively.
+  bool Ok = false;
+  std::string Diagnostics;
+  gpusim::SimResult Sim;
+  double CompileSeconds = 0; ///< Nonzero only on the JIT-compiling launch.
+  bool JitCached = false;
+  transforms::PipelineStats OptStats;
+};
+
+/// Host-side sequential join callback for reductions.
+using HostJoinFn = std::function<void(void *Into, void *From)>;
+
+class Runtime {
+public:
+  // Implementation types, public so the compile cache helpers in
+  // Runtime.cpp can name them.
+  struct CachedProgram;
+  struct Impl;
+
+  Runtime(const gpusim::MachineConfig &Machine, svm::SharedRegion &Region,
+          transforms::PipelineOptions GpuOptions =
+              transforms::PipelineOptions::gpuAll());
+  ~Runtime();
+
+  svm::SharedRegion &region() { return Region; }
+  const gpusim::MachineConfig &machine() const { return Machine; }
+  ThreadPool &pool() { return Pool; }
+
+  /// Changes the GPU optimization configuration (flushes the GPU side of
+  /// the program cache). Used by the benchmark harnesses to sweep the
+  /// paper's GPU / +PTROPT / +L3OPT / +ALL configurations.
+  void setGpuOptions(const transforms::PipelineOptions &Options);
+
+  /// parallel_for_hetero backend. \p BodyPtr must point into the shared
+  /// region. When \p OnCpu, the CPU machine model executes the kernel.
+  LaunchReport offload(const KernelSpec &Spec, int64_t N, void *BodyPtr,
+                       bool OnCpu);
+
+  /// parallel_reduce_hetero backend: device-side group trees + host join
+  /// of per-group partials into *BodyPtr.
+  LaunchReport offloadReduce(const KernelSpec &Spec, int64_t N,
+                             void *BodyPtr, size_t BodyBytes,
+                             const HostJoinFn &Join, bool OnCpu);
+
+  /// Writes the shared-region vtable pointers for \p ClassName into the
+  /// object at \p Obj (all vtable groups, including secondary bases). The
+  /// kernel for \p Spec must have been compiled (any offload does this);
+  /// compile happens on demand otherwise.
+  bool installVPtrs(const KernelSpec &Spec, void *Obj,
+                    const std::string &ClassName);
+
+  /// Static op-mix statistics of the compiled kernel (Figure 6).
+  bool staticStats(const KernelSpec &Spec, codegen::OpMixStats *Out,
+                   std::string *Error = nullptr);
+
+  /// Compilation diagnostics for a spec (forces compilation).
+  std::string diagnosticsFor(const KernelSpec &Spec);
+
+  /// Number of distinct programs compiled so far (JIT cache size).
+  size_t programCacheSize() const;
+
+private:
+  const gpusim::MachineConfig &Machine;
+  svm::SharedRegion &Region;
+  ThreadPool Pool;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace runtime
+} // namespace concord
+
+#endif // CONCORD_RUNTIME_RUNTIME_H

@@ -1,0 +1,67 @@
+//===- ThreadPool.h - Native CPU data-parallel execution --------*- C++ -*-===//
+///
+/// \file
+/// A TBB-like thread pool used for the *functional* CPU path: executing
+/// Body::operator() natively on host threads. Timing comparisons use the
+/// CPU machine model instead (so compiler effects cancel between devices);
+/// this pool provides reference results for correctness checks and the CPU
+/// fallback required when a kernel uses unsupported features (paper
+/// section 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_RUNTIME_THREADPOOL_H
+#define CONCORD_RUNTIME_THREADPOOL_H
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace concord {
+namespace runtime {
+
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned NumThreads = 0)
+      : NumThreads(NumThreads ? NumThreads
+                              : std::max(1u, std::thread::hardware_concurrency())) {}
+
+  unsigned numThreads() const { return NumThreads; }
+
+  /// Runs Fn(i) for i in [0, N) across the pool with dynamic chunking.
+  void parallelFor(int64_t N, const std::function<void(int64_t)> &Fn) const {
+    if (N <= 0)
+      return;
+    int64_t Chunk = std::max<int64_t>(1, N / (int64_t(NumThreads) * 8));
+    std::atomic<int64_t> Next{0};
+    auto Work = [&] {
+      while (true) {
+        int64_t Begin = Next.fetch_add(Chunk);
+        if (Begin >= N)
+          return;
+        int64_t End = std::min(Begin + Chunk, N);
+        for (int64_t I = Begin; I < End; ++I)
+          Fn(I);
+      }
+    };
+    if (NumThreads == 1 || N < Chunk * 2) {
+      Work();
+      return;
+    }
+    std::vector<std::thread> Threads;
+    for (unsigned T = 1; T < NumThreads; ++T)
+      Threads.emplace_back(Work);
+    Work();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+private:
+  unsigned NumThreads;
+};
+
+} // namespace runtime
+} // namespace concord
+
+#endif // CONCORD_RUNTIME_THREADPOOL_H

@@ -1,0 +1,52 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast helpers -------*- C++ -*-===//
+///
+/// \file
+/// Minimal reimplementation of LLVM's opt-in RTTI helpers. A class hierarchy
+/// participates by exposing `static bool classof(const Base *)` on each
+/// derived class, typically dispatching on a stored kind enumerator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_SUPPORT_CASTING_H
+#define CONCORD_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace concord {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the cast is valid.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast for const pointers.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast for const pointers.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null input (returns null).
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace concord
+
+#endif // CONCORD_SUPPORT_CASTING_H

@@ -1,0 +1,47 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace concord;
+
+const char *concord::diagKindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Note:
+    return "note";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::UnsupportedFeature:
+    return "unsupported";
+  case DiagKind::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(DiagKind Kind, SourceLoc Loc,
+                              std::string Message) {
+  if (Kind == DiagKind::Error)
+    ++NumErrors;
+  if (Kind == DiagKind::UnsupportedFeature)
+    ++NumUnsupported;
+  Diags.push_back({Kind, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.Loc.str();
+    Out += ": ";
+    Out += diagKindName(D.Kind);
+    Out += ": ";
+    Out += D.Message;
+    Out += '\n';
+  }
+  return Out;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+  NumUnsupported = 0;
+}

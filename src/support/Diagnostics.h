@@ -1,0 +1,77 @@
+//===- Diagnostics.h - Diagnostic engine for the Concord compiler --------===//
+///
+/// \file
+/// Collects diagnostics produced while compiling Concord kernels. Besides the
+/// usual error/warning severities there is a dedicated \c UnsupportedFeature
+/// kind: per the paper (section 2.1), violations of Concord's C++ subset are
+/// reported as compile-time warnings and force the parallel construct to run
+/// on the CPU instead of the GPU. The runtime queries
+/// \c hasUnsupportedFeature() to decide on that fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_SUPPORT_DIAGNOSTICS_H
+#define CONCORD_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+#include <string>
+#include <vector>
+
+namespace concord {
+
+enum class DiagKind {
+  Note,
+  Warning,
+  /// A C++ construct outside Concord's GPU subset (recursion, function
+  /// pointers, address of a local, GPU-side allocation, exceptions).
+  UnsupportedFeature,
+  Error,
+};
+
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one compilation.
+class DiagnosticEngine {
+public:
+  void report(DiagKind Kind, SourceLoc Loc, std::string Message);
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Note, Loc, std::move(Message));
+  }
+  void unsupported(SourceLoc Loc, std::string Message) {
+    report(DiagKind::UnsupportedFeature, Loc, std::move(Message));
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  bool hasError() const { return NumErrors != 0; }
+  bool hasUnsupportedFeature() const { return NumUnsupported != 0; }
+  unsigned errorCount() const { return NumErrors; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines.
+  std::string str() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumUnsupported = 0;
+};
+
+/// Human-readable name of a severity, as used in rendered diagnostics.
+const char *diagKindName(DiagKind Kind);
+
+} // namespace concord
+
+#endif // CONCORD_SUPPORT_DIAGNOSTICS_H

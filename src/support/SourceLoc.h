@@ -1,0 +1,39 @@
+//===- SourceLoc.h - Source locations for kernel-language code -*- C++ -*-===//
+///
+/// \file
+/// A lightweight (line, column) location into a Concord Kernel Language
+/// source buffer. Line and column are 1-based; a zero line means "unknown".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_SUPPORT_SOURCELOC_H
+#define CONCORD_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace concord {
+
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace concord
+
+#endif // CONCORD_SUPPORT_SOURCELOC_H

@@ -1,0 +1,59 @@
+//===- StringUtils.cpp ----------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace concord;
+
+std::string concord::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(static_cast<size_t>(Len) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, Args);
+    Out.resize(static_cast<size_t>(Len));
+  }
+  va_end(Args);
+  return Out;
+}
+
+std::vector<std::string> concord::splitString(std::string_view Text,
+                                              char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.emplace_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view concord::trimString(std::string_view Text) {
+  size_t B = 0, E = Text.size();
+  while (B < E && (Text[B] == ' ' || Text[B] == '\t' || Text[B] == '\n' ||
+                   Text[B] == '\r'))
+    ++B;
+  while (E > B && (Text[E - 1] == ' ' || Text[E - 1] == '\t' ||
+                   Text[E - 1] == '\n' || Text[E - 1] == '\r'))
+    --E;
+  return Text.substr(B, E - B);
+}
+
+uint64_t concord::hashString(std::string_view Text) {
+  uint64_t Hash = 1469598103934665603ull;
+  for (char C : Text) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}

@@ -1,0 +1,34 @@
+//===- StringUtils.h - Small string/format helpers ------------*- C++ -*-===//
+///
+/// \file
+/// printf-style formatting into std::string plus a few parsing helpers used
+/// across the compiler and benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_SUPPORT_STRINGUTILS_H
+#define CONCORD_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace concord {
+
+/// printf-style formatting returning a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits \p Text on \p Sep, keeping empty pieces.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Returns \p Text with leading and trailing whitespace removed.
+std::string_view trimString(std::string_view Text);
+
+/// FNV-1a hash of a byte string; used to key JIT program caches.
+uint64_t hashString(std::string_view Text);
+
+} // namespace concord
+
+#endif // CONCORD_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,66 @@
+//===- BindingTable.cpp ---------------------------------------------------===//
+
+#include "svm/BindingTable.h"
+#include "svm/SharedRegion.h"
+
+#include <cassert>
+
+using namespace concord;
+using namespace concord::svm;
+
+BindingTable::BindingTable(SharedRegion &Region) {
+  Surface S;
+  S.Name = "svm-shared-region";
+  S.Kind = SurfaceKind::Global;
+  S.GpuBase = Region.gpuBase();
+  S.HostBase = static_cast<char *>(Region.hostFromGpu(Region.gpuBase(), 0));
+  S.Size = Region.capacity();
+  Surfaces.push_back(std::move(S));
+}
+
+BindingTable::BindingTable(std::string Name, uint64_t Base, void *HostBase,
+                           size_t Size) {
+  Surface S;
+  S.Name = std::move(Name);
+  S.Kind = SurfaceKind::Global;
+  S.GpuBase = Base;
+  S.HostBase = static_cast<char *>(HostBase);
+  S.Size = Size;
+  Surfaces.push_back(std::move(S));
+}
+
+unsigned BindingTable::bindSurface(std::string Name, SurfaceKind Kind,
+                                   uint64_t GpuBase, void *HostBase,
+                                   size_t Size) {
+  assert(HostBase && "binding a surface with no backing memory");
+  Surface S;
+  S.Name = std::move(Name);
+  S.Kind = Kind;
+  S.GpuBase = GpuBase;
+  S.HostBase = static_cast<char *>(HostBase);
+  S.Size = Size;
+  Surfaces.push_back(std::move(S));
+  return Surfaces.size() - 1;
+}
+
+void BindingTable::resetTransientSurfaces() {
+  assert(!Surfaces.empty());
+  Surfaces.resize(1);
+}
+
+void *BindingTable::resolve(uint64_t GpuAddr, size_t AccessSize) const {
+  const Surface *Ignored = nullptr;
+  return resolve(GpuAddr, AccessSize, &Ignored);
+}
+
+void *BindingTable::resolve(uint64_t GpuAddr, size_t AccessSize,
+                            const Surface **MatchedSurface) const {
+  for (const Surface &S : Surfaces) {
+    if (S.containsGpu(GpuAddr, AccessSize)) {
+      *MatchedSurface = &S;
+      return S.HostBase + (GpuAddr - S.GpuBase);
+    }
+  }
+  *MatchedSurface = nullptr;
+  return nullptr;
+}

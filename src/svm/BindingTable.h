@@ -1,0 +1,85 @@
+//===- BindingTable.h - GPU surface binding table --------------*- C++ -*-===//
+///
+/// \file
+/// On the modelled processor the GPU's virtual address space is segmented
+/// into surfaces referenced by binding table entries (paper section 3.1). A
+/// GPU pointer is conceptually a binding table index plus an offset; Concord
+/// arranges for the entire shared region to be one surface whose entry is
+/// constant for the lifetime of the program, which is what makes the cheap
+/// add-a-constant pointer translation valid.
+///
+/// The simulator resolves every GPU memory access through this table, so an
+/// access outside any bound surface is caught deterministically (the
+/// simulated equivalent of a GPU page fault).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_SVM_BINDINGTABLE_H
+#define CONCORD_SVM_BINDINGTABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace svm {
+
+class SharedRegion;
+
+/// Kinds of memory a surface can back; the simulator charges different
+/// access costs per kind.
+enum class SurfaceKind {
+  Global,      ///< The shared SVM region (GPU L3 + DRAM behind it).
+  LocalScratch ///< Work-group local memory used by reductions.
+};
+
+struct Surface {
+  std::string Name;
+  SurfaceKind Kind;
+  uint64_t GpuBase = 0;
+  char *HostBase = nullptr;
+  size_t Size = 0;
+
+  bool containsGpu(uint64_t GpuAddr, size_t AccessSize) const {
+    return GpuAddr >= GpuBase && GpuAddr - GpuBase + AccessSize <= Size;
+  }
+};
+
+/// The simulated binding table: an ordered list of surfaces.
+class BindingTable {
+public:
+  /// Binds the shared region as surface index 0 (the constant entry).
+  explicit BindingTable(SharedRegion &Region);
+
+  /// Generic constructor: surface 0 at an arbitrary base. The CPU device
+  /// model uses this to view the shared region at its CPU virtual base
+  /// (untranslated addresses resolve directly).
+  BindingTable(std::string Name, uint64_t Base, void *HostBase, size_t Size);
+
+  /// Binds an additional surface; returns its binding index.
+  unsigned bindSurface(std::string Name, SurfaceKind Kind, uint64_t GpuBase,
+                       void *HostBase, size_t Size);
+
+  /// Removes all surfaces except the constant shared-region entry.
+  void resetTransientSurfaces();
+
+  /// Resolves a GPU virtual address to a host pointer, or null when the
+  /// access does not land fully inside any surface.
+  void *resolve(uint64_t GpuAddr, size_t AccessSize) const;
+
+  /// Like resolve(), additionally reporting which surface matched.
+  void *resolve(uint64_t GpuAddr, size_t AccessSize,
+                const Surface **MatchedSurface) const;
+
+  const Surface &surface(unsigned Index) const { return Surfaces[Index]; }
+  unsigned surfaceCount() const { return Surfaces.size(); }
+
+private:
+  std::vector<Surface> Surfaces;
+};
+
+} // namespace svm
+} // namespace concord
+
+#endif // CONCORD_SVM_BINDINGTABLE_H

@@ -1,0 +1,146 @@
+//===- SharedRegion.cpp ---------------------------------------------------===//
+
+#include "svm/SharedRegion.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+using namespace concord;
+using namespace concord::svm;
+
+static uint64_t alignUp(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+SharedRegion::SharedRegion(size_t CapacityBytes, uint64_t GpuBase) {
+  Capacity = alignUp(CapacityBytes, 4096);
+  Arena = static_cast<char *>(std::aligned_alloc(4096, Capacity));
+  assert(Arena && "failed to reserve shared region arena");
+  CpuBaseAddr = reinterpret_cast<uint64_t>(Arena);
+  GpuBaseAddr = GpuBase;
+  FreeBlocks.emplace(0, Capacity);
+}
+
+SharedRegion::~SharedRegion() {
+  assert(PinCount == 0 && "destroying a region pinned by a kernel launch");
+  std::free(Arena);
+}
+
+void *SharedRegion::allocate(size_t Size, size_t Align) {
+  assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+  if (Align < 16)
+    Align = 16;
+  if (Size == 0)
+    Size = 1;
+
+  // First fit: find a free block that can hold header + aligned payload.
+  for (auto It = FreeBlocks.begin(); It != FreeBlocks.end(); ++It) {
+    uint64_t BlockOff = It->first;
+    uint64_t BlockSize = It->second;
+    uint64_t PayloadOff =
+        alignUp(BlockOff + sizeof(AllocHeader), Align);
+    uint64_t End = PayloadOff + Size;
+    if (End > BlockOff + BlockSize)
+      continue;
+
+    FreeBlocks.erase(It);
+    // Return the unused tail to the free list if it is worth tracking.
+    uint64_t UsedEnd = alignUp(End, 16);
+    uint64_t BlockEnd = BlockOff + BlockSize;
+    uint64_t ConsumedSize = BlockSize;
+    if (BlockEnd - UsedEnd >= 64) {
+      FreeBlocks.emplace(UsedEnd, BlockEnd - UsedEnd);
+      ConsumedSize = UsedEnd - BlockOff;
+    }
+
+    auto *Header = reinterpret_cast<AllocHeader *>(
+        Arena + PayloadOff - sizeof(AllocHeader));
+    Header->BlockOff = BlockOff;
+    Header->BlockSize = ConsumedSize;
+    Header->Magic = HeaderMagic;
+
+    Stats.BytesAllocated += ConsumedSize;
+    if (Stats.BytesAllocated > Stats.PeakBytes)
+      Stats.PeakBytes = Stats.BytesAllocated;
+    ++Stats.NumAllocs;
+    return Arena + PayloadOff;
+  }
+
+  ++Stats.FailedAllocs;
+  return nullptr;
+}
+
+void SharedRegion::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  assert(contains(Ptr) && "freeing a pointer outside the shared region");
+  auto *Header = reinterpret_cast<AllocHeader *>(static_cast<char *>(Ptr) -
+                                                 sizeof(AllocHeader));
+  assert(Header->Magic == HeaderMagic && "corrupt or double-freed block");
+  Header->Magic = 0;
+
+  uint64_t BlockOff = Header->BlockOff;
+  uint64_t BlockSize = Header->BlockSize;
+  assert(Stats.BytesAllocated >= BlockSize && "allocator accounting broke");
+  Stats.BytesAllocated -= BlockSize;
+  ++Stats.NumFrees;
+
+  // Coalesce with the following block.
+  auto Next = FreeBlocks.lower_bound(BlockOff);
+  if (Next != FreeBlocks.end() && Next->first == BlockOff + BlockSize) {
+    BlockSize += Next->second;
+    Next = FreeBlocks.erase(Next);
+  }
+  // Coalesce with the preceding block.
+  if (Next != FreeBlocks.begin()) {
+    auto Prev = std::prev(Next);
+    if (Prev->first + Prev->second == BlockOff) {
+      BlockOff = Prev->first;
+      BlockSize += Prev->second;
+      FreeBlocks.erase(Prev);
+    }
+  }
+  FreeBlocks.emplace(BlockOff, BlockSize);
+}
+
+void *SharedRegion::hostFromGpu(uint64_t GpuAddr, size_t AccessSize) const {
+  if (GpuAddr < GpuBaseAddr)
+    return nullptr;
+  uint64_t Off = GpuAddr - GpuBaseAddr;
+  if (Off + AccessSize > Capacity)
+    return nullptr;
+  return Arena + Off;
+}
+
+void SharedRegion::unpin() {
+  assert(PinCount > 0 && "unbalanced unpin");
+  --PinCount;
+}
+
+size_t SharedRegion::freeBytes() const {
+  size_t Total = 0;
+  for (const auto &[Off, Size] : FreeBlocks)
+    Total += Size;
+  return Total;
+}
+
+static SharedRegion *GlobalDefaultRegion = nullptr;
+
+SharedRegion *concord::svm::setDefaultRegion(SharedRegion *Region) {
+  SharedRegion *Previous = GlobalDefaultRegion;
+  GlobalDefaultRegion = Region;
+  return Previous;
+}
+
+SharedRegion *concord::svm::defaultRegion() { return GlobalDefaultRegion; }
+
+void *concord::svm::svmMalloc(size_t Size) {
+  assert(GlobalDefaultRegion && "svmMalloc with no default shared region");
+  return GlobalDefaultRegion->allocate(Size);
+}
+
+void concord::svm::svmFree(void *Ptr) {
+  assert(GlobalDefaultRegion && "svmFree with no default shared region");
+  GlobalDefaultRegion->deallocate(Ptr);
+}

@@ -1,0 +1,173 @@
+//===- SharedRegion.h - Software shared virtual memory region -*- C++ -*-===//
+///
+/// \file
+/// The heart of Concord's software SVM (paper section 3.1). A SharedRegion is
+/// a single virtual memory range created at program startup that is shared
+/// between the CPU and the (simulated) GPU. Any pointer the GPU dereferences
+/// must point into this region; programs get that property by routing
+/// malloc/free to the region's allocator.
+///
+/// Shared pointers are plain CPU virtual addresses. The GPU sees the same
+/// physical bytes through a surface whose base is \c gpuBase(); translating a
+/// CPU pointer for GPU use is a single add of the runtime constant
+/// \c svmConst() = gpuBase - cpuBase, exactly the transformation the Concord
+/// compiler emits (Figure 3 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_SVM_SHAREDREGION_H
+#define CONCORD_SVM_SHAREDREGION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <new>
+#include <utility>
+
+namespace concord {
+namespace svm {
+
+/// Allocation statistics for a shared region.
+struct RegionStats {
+  uint64_t BytesAllocated = 0; ///< Currently live payload bytes.
+  uint64_t PeakBytes = 0;      ///< High-water mark of live bytes.
+  uint64_t NumAllocs = 0;      ///< Total successful allocations.
+  uint64_t NumFrees = 0;       ///< Total frees.
+  uint64_t FailedAllocs = 0;   ///< Allocations that returned null.
+};
+
+/// A pinned CPU/GPU-shared memory arena with a first-fit, coalescing
+/// free-list allocator.
+///
+/// The arena is ordinary host memory (all physical memory is shared between
+/// CPU and GPU on the modelled processor), so the CPU side manipulates
+/// objects in it directly with native loads and stores. The simulated GPU
+/// accesses it through a BindingTable surface.
+class SharedRegion {
+public:
+  /// Default synthetic GPU virtual base for the region's backing surface.
+  /// Deliberately different from the CPU base so that untranslated pointer
+  /// bugs fault instead of silently working.
+  static constexpr uint64_t DefaultGpuBase = 0x4000000000ull;
+
+  explicit SharedRegion(size_t CapacityBytes,
+                        uint64_t GpuBase = DefaultGpuBase);
+  ~SharedRegion();
+
+  SharedRegion(const SharedRegion &) = delete;
+  SharedRegion &operator=(const SharedRegion &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align (power of two). Returns
+  /// null when the region is exhausted.
+  void *allocate(size_t Size, size_t Align = 16);
+
+  /// Frees a pointer previously returned by allocate(). Null is ignored.
+  void deallocate(void *Ptr);
+
+  /// Typed array allocation (uninitialized).
+  template <typename T> T *allocArray(size_t N) {
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Allocate and construct a single object in the region.
+  template <typename T, typename... ArgTs> T *create(ArgTs &&...Args) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    if (!Mem)
+      return nullptr;
+    return new (Mem) T(std::forward<ArgTs>(Args)...);
+  }
+
+  /// Destroy and free an object created with create().
+  template <typename T> void destroy(T *Obj) {
+    if (!Obj)
+      return;
+    Obj->~T();
+    deallocate(Obj);
+  }
+
+  /// True if \p Ptr points into this region.
+  bool contains(const void *Ptr) const {
+    auto P = reinterpret_cast<uintptr_t>(Ptr);
+    return P >= CpuBaseAddr && P < CpuBaseAddr + Capacity;
+  }
+
+  /// CPU virtual address of the region base.
+  uint64_t cpuBase() const { return CpuBaseAddr; }
+  /// GPU virtual address of the backing surface base.
+  uint64_t gpuBase() const { return GpuBaseAddr; }
+  /// The runtime constant gpu_base - cpu_base added to translate a shared
+  /// CPU pointer to its GPU representation (computed once, section 3.1).
+  uint64_t svmConst() const { return GpuBaseAddr - CpuBaseAddr; }
+  size_t capacity() const { return Capacity; }
+
+  /// Translate a CPU virtual address into the GPU address space.
+  uint64_t gpuFromCpu(uint64_t CpuAddr) const { return CpuAddr + svmConst(); }
+  /// Translate a GPU virtual address back into the CPU address space.
+  uint64_t cpuFromGpu(uint64_t GpuAddr) const { return GpuAddr - svmConst(); }
+
+  /// Host pointer for a GPU virtual address, or null if out of bounds.
+  void *hostFromGpu(uint64_t GpuAddr, size_t AccessSize) const;
+
+  /// Pins the region for the duration of a GPU kernel launch. The region is
+  /// modelled as always resident; pinning is tracked so the runtime can
+  /// assert the consistency protocol (pin before launch, unpin after).
+  void pin() { ++PinCount; }
+  void unpin();
+  bool isPinned() const { return PinCount != 0; }
+
+  const RegionStats &stats() const { return Stats; }
+
+  /// Number of free bytes currently available (counting headers as used).
+  size_t freeBytes() const;
+
+  /// Number of blocks on the free list (fragmentation indicator).
+  size_t freeBlockCount() const { return FreeBlocks.size(); }
+
+private:
+  struct AllocHeader {
+    uint64_t BlockOff;  ///< Offset of the underlying block in the arena.
+    uint64_t BlockSize; ///< Total size of the underlying block.
+    uint64_t Magic;     ///< Guard value to catch stray frees.
+  };
+  static constexpr uint64_t HeaderMagic = 0xC0C07D5A11C0FFEEull;
+
+  char *Arena = nullptr;
+  size_t Capacity = 0;
+  uint64_t CpuBaseAddr = 0;
+  uint64_t GpuBaseAddr = 0;
+  unsigned PinCount = 0;
+  RegionStats Stats;
+
+  /// Free blocks keyed by arena offset -> block size. Adjacent blocks are
+  /// coalesced on free.
+  std::map<uint64_t, uint64_t> FreeBlocks;
+};
+
+/// Installs \p Region as the process-wide default used by svmMalloc/svmFree
+/// (the redirected malloc/free of section 3.1). Returns the previous one.
+SharedRegion *setDefaultRegion(SharedRegion *Region);
+
+/// The current default region, or null if none installed.
+SharedRegion *defaultRegion();
+
+/// Redirected malloc: allocates from the default shared region.
+void *svmMalloc(size_t Size);
+
+/// Redirected free.
+void svmFree(void *Ptr);
+
+/// RAII helper installing a region as the default for a scope.
+class DefaultRegionScope {
+public:
+  explicit DefaultRegionScope(SharedRegion &Region)
+      : Previous(setDefaultRegion(&Region)) {}
+  ~DefaultRegionScope() { setDefaultRegion(Previous); }
+
+private:
+  SharedRegion *Previous;
+};
+
+} // namespace svm
+} // namespace concord
+
+#endif // CONCORD_SVM_SHAREDREGION_H

@@ -1,0 +1,156 @@
+//===- BodyFieldPromotion.cpp - Register promotion of Body fields ---------===//
+//
+// Section 4 of the paper: "register promotion should be applied
+// aggressively to eliminate memory loads of the same location, in
+// particular, across loop iterations". The highest-value case is the Body
+// object itself: parallel_for_hetero takes `const Body &`, so its fields
+// cannot change during the offloaded loop. This pass hoists every load of
+// a Body field (an address rooted at the kernel's body-pointer argument
+// with a constant offset) to a single load in the entry block, turning
+// repeated this->field accesses inside loops into registers.
+//
+// Applied only when the kernel provably never stores through a
+// body-rooted address (reduction kernels mutate their private Body copy
+// through the scratch pointer, which is not argument-rooted, so they are
+// unaffected either way).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Passes.h"
+
+#include <map>
+#include <set>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+namespace {
+
+/// Computes the constant byte offset of \p Addr from the kernel body
+/// argument, walking IntToPtr/BitCast/FieldAddr chains. Returns false when
+/// the address is not a constant-offset body address.
+bool bodyOffsetOf(Value *Addr, Argument *BodyArg, uint64_t *Offset) {
+  uint64_t Acc = 0;
+  Value *Cur = Addr;
+  for (unsigned Depth = 0; Depth < 32; ++Depth) {
+    if (Cur == BodyArg) {
+      *Offset = Acc;
+      return true;
+    }
+    auto *I = dyn_cast<Instruction>(Cur);
+    if (!I)
+      return false;
+    switch (I->opcode()) {
+    case Opcode::FieldAddr:
+      Acc += I->attr();
+      Cur = I->operand(0);
+      break;
+    case Opcode::Cast:
+      if (I->castKind() != CastKind::IntToPtr &&
+          I->castKind() != CastKind::BitCast &&
+          I->castKind() != CastKind::PtrToInt)
+        return false;
+      Cur = I->operand(0);
+      break;
+    case Opcode::IndexAddr: {
+      auto *C = dyn_cast<ConstantInt>(I->operand(1));
+      if (!C)
+        return false;
+      Acc += uint64_t(C->sext()) *
+             cast<PointerType>(I->type())->pointee()->sizeInBytes();
+      Cur = I->operand(0);
+      break;
+    }
+    default:
+      return false;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool concord::transforms::promoteBodyFields(Function &F,
+                                            PipelineStats &Stats) {
+  if (!F.isKernel() || F.empty() || F.numArgs() == 0)
+    return false;
+  Argument *BodyArg = F.arg(0);
+  if (!BodyArg->type()->isInteger())
+    return false;
+
+  // Bail out if anything stores through a body-rooted address: the Body is
+  // then not used const-ly (outside the paper's programming model, but be
+  // safe).
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      uint64_t Off = 0;
+      if (I->opcode() == Opcode::Store &&
+          bodyOffsetOf(I->operand(1), BodyArg, &Off))
+        return false;
+      if (I->opcode() == Opcode::Memcpy &&
+          bodyOffsetOf(I->operand(0), BodyArg, &Off))
+        return false;
+    }
+  }
+
+  // Collect body-field loads.
+  struct Site {
+    Instruction *Load;
+    uint64_t Offset;
+  };
+  std::vector<Site> Sites;
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      uint64_t Off = 0;
+      if (I->opcode() == Opcode::Load &&
+          bodyOffsetOf(I->operand(0), BodyArg, &Off))
+        Sites.push_back({I, Off});
+    }
+  }
+  if (Sites.empty())
+    return false;
+
+  // Materialize one load per (offset, type) at the very top of the entry
+  // block: the function may have been flattened into a single block, so
+  // inserting before the terminator would not dominate the uses.
+  Module &M = *F.parent();
+  BasicBlock *Entry = F.entry();
+  std::map<std::pair<uint64_t, Type *>, Value *> Promoted;
+  size_t Cursor = 0;
+
+  for (Site &S : Sites) {
+    auto Key = std::make_pair(S.Offset, S.Load->type());
+    auto It = Promoted.find(Key);
+    if (It == Promoted.end()) {
+      size_t At = Cursor;
+      auto Ptr = std::make_unique<Instruction>(
+          Opcode::Cast, M.types().pointerTo(M.types().uint8Ty()));
+      Ptr->addOperand(BodyArg);
+      Ptr->setAttr(uint64_t(CastKind::IntToPtr));
+      Instruction *PtrI = Entry->insertAt(At++, std::move(Ptr));
+
+      auto Addr = std::make_unique<Instruction>(
+          Opcode::FieldAddr, M.types().pointerTo(S.Load->type()));
+      Addr->addOperand(PtrI);
+      Addr->setAttr(S.Offset);
+      Instruction *AddrI = Entry->insertAt(At++, std::move(Addr));
+
+      auto NewLoad =
+          std::make_unique<Instruction>(Opcode::Load, S.Load->type());
+      NewLoad->addOperand(AddrI);
+      NewLoad->setName("body.field");
+      Instruction *LoadI = Entry->insertAt(At++, std::move(NewLoad));
+      Cursor = At;
+      It = Promoted.emplace(Key, LoadI).first;
+    }
+    if (S.Load != It->second) {
+      F.replaceAllUsesWith(S.Load, It->second);
+      BasicBlock *BB = S.Load->parent();
+      BB->erase(BB->indexOf(S.Load));
+      ++Stats.InstructionsRemoved;
+    }
+  }
+  (void)Stats;
+  return true;
+}

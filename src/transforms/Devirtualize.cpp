@@ -1,0 +1,175 @@
+//===- Devirtualize.cpp - Lower virtual calls to inline test sequences ----===//
+//
+// Current integrated GPUs cannot do indirect calls, so Concord lowers every
+// virtual call into an inline sequence of tests of the loaded vtable entry
+// against the possible target function symbols, derived from class
+// hierarchy analysis (paper section 3.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ClassHierarchy.h"
+#include "transforms/Passes.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+/// Lowers the VCall at (BB, Idx). Returns the number of candidate targets.
+static unsigned lowerVCall(Module &M, Function &F, BasicBlock *BB,
+                           size_t Idx, const analysis::ClassHierarchy &CHA) {
+  Instruction *VC = BB->instr(Idx);
+  std::vector<Function *> Targets =
+      CHA.possibleTargets(VC->vcallClass(), VC->vcallGroup(), VC->vcallSlot());
+  assert(!Targets.empty() && "virtual call with no possible target");
+  TypeContext &T = M.types();
+
+  std::vector<Value *> CallArgs(VC->operands());
+
+  // Single possible target: true devirtualization, no vptr test needed.
+  if (Targets.size() == 1) {
+    auto Direct = std::make_unique<Instruction>(Opcode::Call, VC->type());
+    for (Value *Op : CallArgs)
+      Direct->addOperand(Op);
+    Direct->setCallee(Targets.front());
+    Instruction *D = BB->insertAt(Idx, std::move(Direct));
+    F.replaceAllUsesWith(VC, D);
+    BB->erase(Idx + 1);
+    return 1;
+  }
+
+  // Split the block after the vcall.
+  BasicBlock *Cont = F.createBlockAfter(BB, BB->name() + ".vc.cont");
+  while (BB->size() > Idx + 1)
+    Cont->append(BB->take(Idx + 1));
+  for (BasicBlock *S : Cont->successors())
+    for (Instruction *Phi : S->phis())
+      for (unsigned K = 0; K < Phi->numBlocks(); ++K)
+        if (Phi->incomingBlock(K) == BB)
+          Phi->setBlock(K, Cont);
+
+  // Load the function symbol from the object's vtable:
+  //   vptr  = load (u64*)obj          ; vtable CPU address
+  //   entry = load vptr[slot]         ; function symbol value
+  Value *Obj = CallArgs[0];
+  auto MakeIn = [&](BasicBlock *Where, std::unique_ptr<Instruction> I) {
+    return Where->append(std::move(I));
+  };
+  // Detach the vcall but keep it alive: its type/slot are still read below
+  // and its uses are rewired to the result phi at the end.
+  std::unique_ptr<Instruction> VCOwned = BB->take(Idx);
+
+  auto VptrAddr = std::make_unique<Instruction>(
+      Opcode::FieldAddr, T.pointerTo(T.uint64Ty()));
+  VptrAddr->addOperand(Obj);
+  VptrAddr->setAttr(0);
+  Instruction *VptrAddrI = MakeIn(BB, std::move(VptrAddr));
+
+  auto VptrLoad = std::make_unique<Instruction>(Opcode::Load, T.uint64Ty());
+  VptrLoad->addOperand(VptrAddrI);
+  Instruction *Vptr = MakeIn(BB, std::move(VptrLoad));
+
+  auto VtPtr = std::make_unique<Instruction>(Opcode::Cast,
+                                             T.pointerTo(T.uint64Ty()));
+  VtPtr->addOperand(Vptr);
+  VtPtr->setAttr(uint64_t(CastKind::IntToPtr));
+  Instruction *VtPtrI = MakeIn(BB, std::move(VtPtr));
+
+  auto EntryAddr = std::make_unique<Instruction>(Opcode::IndexAddr,
+                                                 T.pointerTo(T.uint64Ty()));
+  EntryAddr->addOperand(VtPtrI);
+  EntryAddr->addOperand(M.constInt(T.int64Ty(), VC->vcallSlot()));
+  Instruction *EntryAddrI = MakeIn(BB, std::move(EntryAddr));
+
+  auto EntryLoad = std::make_unique<Instruction>(Opcode::Load, T.uint64Ty());
+  EntryLoad->addOperand(EntryAddrI);
+  Instruction *FnSym = MakeIn(BB, std::move(EntryLoad));
+
+  // Build the compare chain.
+  std::vector<std::pair<Value *, BasicBlock *>> Results;
+  BasicBlock *TestBB = BB;
+  for (size_t K = 0; K < Targets.size(); ++K) {
+    Function *Target = Targets[K];
+    BasicBlock *CallBB =
+        F.createBlockAfter(TestBB, BB->name() + ".vc.call" +
+                                       std::to_string(K));
+    auto DirectCall = std::make_unique<Instruction>(Opcode::Call, VC->type());
+    for (Value *Op : CallArgs)
+      DirectCall->addOperand(Op);
+    DirectCall->setCallee(Target);
+    Instruction *CallI = MakeIn(CallBB, std::move(DirectCall));
+    auto BrCont = std::make_unique<Instruction>(Opcode::Br, T.voidTy());
+    BrCont->addBlock(Cont);
+    MakeIn(CallBB, std::move(BrCont));
+    Results.push_back({CallI, CallBB});
+
+    bool Last = K + 1 == Targets.size();
+    if (Last) {
+      // Last candidate: branch unconditionally (CHA is exhaustive) but keep
+      // a trap block for safety against corrupted vtables.
+      BasicBlock *TrapBB =
+          F.createBlockAfter(CallBB, BB->name() + ".vc.trap");
+      MakeIn(TrapBB, std::make_unique<Instruction>(Opcode::Trap, T.voidTy()));
+
+      auto Cmp = std::make_unique<Instruction>(Opcode::ICmp, T.boolTy());
+      Cmp->addOperand(FnSym);
+      Cmp->addOperand(M.functionSymbol(Target));
+      Cmp->setAttr(uint64_t(ICmpPred::EQ));
+      Instruction *CmpI = MakeIn(TestBB, std::move(Cmp));
+      auto CondBr = std::make_unique<Instruction>(Opcode::CondBr, T.voidTy());
+      CondBr->addOperand(CmpI);
+      CondBr->addBlock(CallBB);
+      CondBr->addBlock(TrapBB);
+      MakeIn(TestBB, std::move(CondBr));
+    } else {
+      BasicBlock *NextTest =
+          F.createBlockAfter(CallBB, BB->name() + ".vc.test" +
+                                         std::to_string(K + 1));
+      auto Cmp = std::make_unique<Instruction>(Opcode::ICmp, T.boolTy());
+      Cmp->addOperand(FnSym);
+      Cmp->addOperand(M.functionSymbol(Target));
+      Cmp->setAttr(uint64_t(ICmpPred::EQ));
+      Instruction *CmpI = MakeIn(TestBB, std::move(Cmp));
+      auto CondBr = std::make_unique<Instruction>(Opcode::CondBr, T.voidTy());
+      CondBr->addOperand(CmpI);
+      CondBr->addBlock(CallBB);
+      CondBr->addBlock(NextTest);
+      MakeIn(TestBB, std::move(CondBr));
+      TestBB = NextTest;
+    }
+  }
+
+  // Join the results.
+  if (!VC->type()->isVoid()) {
+    auto Phi = std::make_unique<Instruction>(Opcode::Phi, VC->type());
+    for (auto &[V, RB] : Results)
+      Phi->addIncoming(V, RB);
+    Instruction *P = Cont->insertAt(0, std::move(Phi));
+    F.replaceAllUsesWith(VC, P);
+  }
+  return unsigned(Targets.size());
+}
+
+bool concord::transforms::devirtualize(Module &M, PipelineStats &Stats) {
+  analysis::ClassHierarchy CHA(M);
+  bool Changed = false;
+  for (const auto &F : M.functions()) {
+    bool FoundOne = true;
+    while (FoundOne) {
+      FoundOne = false;
+      for (BasicBlock *BB : *F) {
+        for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+          if (BB->instr(Idx)->opcode() != Opcode::VCall)
+            continue;
+          lowerVCall(M, *F, BB, Idx, CHA);
+          ++Stats.VCallsDevirtualized;
+          Changed = true;
+          FoundOne = true;
+          break;
+        }
+        if (FoundOne)
+          break;
+      }
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,141 @@
+//===- Inliner.cpp - Exhaustive inlining of direct calls ------------------===//
+//
+// Concord kernels fully inline their (non-recursive) call trees: GPU
+// hardware has no call stack worth speaking of, and full inlining makes
+// pointer provenance visible to the SVM lowering pass, which must
+// distinguish private (stack-promoted) pointers from shared ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Passes.h"
+#include "transforms/Utils.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+/// Inlines the call at (BB, CallIdx) in F. Returns false when the site is
+/// not inlinable (no body / self call).
+static bool inlineOneCall(Module &M, Function &F, BasicBlock *BB,
+                          size_t CallIdx) {
+  Instruction *Call = BB->instr(CallIdx);
+  Function *Callee = Call->callee();
+  if (!Callee || Callee == &F || Callee->empty())
+    return false;
+
+  // Split: move everything after the call into a continuation block.
+  BasicBlock *Cont = F.createBlockAfter(BB, BB->name() + ".inl.cont");
+  while (BB->size() > CallIdx + 1)
+    Cont->append(BB->take(CallIdx + 1));
+  // Successor phis that named BB now receive control from Cont (the old
+  // terminator lives there).
+  for (BasicBlock *S : Cont->successors())
+    for (Instruction *Phi : S->phis())
+      for (unsigned K = 0; K < Phi->numBlocks(); ++K)
+        if (Phi->incomingBlock(K) == BB)
+          Phi->setBlock(K, Cont);
+
+  // Phase 1: clone callee blocks and instructions (operands unmapped).
+  std::map<Value *, Value *> ValueMap;
+  std::map<BasicBlock *, BasicBlock *> BlockMap;
+  for (unsigned A = 0; A < Callee->numArgs(); ++A)
+    ValueMap[Callee->arg(A)] = Call->operand(A);
+
+  BasicBlock *After = Cont;
+  std::vector<BasicBlock *> ClonedBlocks;
+  for (BasicBlock *CB : *Callee) {
+    BasicBlock *NB = F.createBlockAfter(After, Callee->name() + "." +
+                                                   CB->name());
+    After = NB;
+    BlockMap[CB] = NB;
+    ClonedBlocks.push_back(NB);
+    for (Instruction *I : *CB) {
+      auto Clone = cloneInstruction(I, {}, {});
+      ValueMap[I] = NB->append(std::move(Clone));
+    }
+  }
+
+  // Phase 2: remap operands and blocks; rewrite rets.
+  std::vector<std::pair<Value *, BasicBlock *>> RetValues;
+  Module &Mod = M;
+  for (BasicBlock *NB : ClonedBlocks) {
+    for (size_t Idx = 0; Idx < NB->size();) {
+      Instruction *I = NB->instr(Idx);
+      for (unsigned Op = 0; Op < I->numOperands(); ++Op) {
+        auto It = ValueMap.find(I->operand(Op));
+        if (It != ValueMap.end())
+          I->setOperand(Op, It->second);
+      }
+      for (unsigned K = 0; K < I->numBlocks(); ++K) {
+        auto It = BlockMap.find(I->block(K));
+        if (It != BlockMap.end())
+          I->setBlock(K, It->second);
+      }
+      if (I->opcode() == Opcode::Ret) {
+        Value *RV = I->numOperands() ? I->operand(0) : nullptr;
+        NB->erase(Idx);
+        auto Br = std::make_unique<Instruction>(Opcode::Br,
+                                                Mod.types().voidTy());
+        Br->addBlock(Cont);
+        NB->append(std::move(Br));
+        RetValues.push_back({RV, NB});
+        break; // Ret was the terminator.
+      }
+      ++Idx;
+    }
+  }
+
+  // Wire the call result.
+  if (!Call->type()->isVoid() && !RetValues.empty()) {
+    Value *Result = nullptr;
+    bool AllSame = true;
+    for (auto &[V, RB] : RetValues)
+      if (V != RetValues.front().first)
+        AllSame = false;
+    if (AllSame) {
+      Result = RetValues.front().first;
+    } else {
+      auto Phi = std::make_unique<Instruction>(Opcode::Phi, Call->type());
+      for (auto &[V, RB] : RetValues)
+        Phi->addIncoming(V, RB);
+      Result = Cont->insertAt(0, std::move(Phi));
+    }
+    F.replaceAllUsesWith(Call, Result);
+  }
+
+  // Replace the call with a branch to the cloned entry.
+  BB->erase(CallIdx);
+  auto Br = std::make_unique<Instruction>(Opcode::Br, Mod.types().voidTy());
+  Br->addBlock(BlockMap[Callee->entry()]);
+  BB->append(std::move(Br));
+  return true;
+}
+
+bool concord::transforms::inlineCalls(Module &M, Function &F,
+                                      PipelineStats &Stats) {
+  bool Changed = false;
+  unsigned Guard = 0;
+  bool FoundOne = true;
+  while (FoundOne && Guard < 10000) {
+    FoundOne = false;
+    for (BasicBlock *BB : F) {
+      for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+        Instruction *I = BB->instr(Idx);
+        if (I->opcode() != Opcode::Call)
+          continue;
+        if (!I->callee() || I->callee() == &F || I->callee()->empty())
+          continue;
+        if (inlineOneCall(M, F, BB, Idx)) {
+          ++Stats.CallsInlined;
+          ++Guard;
+          Changed = true;
+          FoundOne = true;
+          break; // Block structure changed; rescan.
+        }
+      }
+      if (FoundOne)
+        break;
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,158 @@
+//===- L3Opt.cpp - GPU cache-line contention reduction (section 4.2) ------===//
+//
+// The integrated GPU's L3 is shared by all EUs and is not banked, so
+// simultaneous accesses to the same cache line from different cores
+// serialize. When every work-item walks the same array in the same order
+// (Figure 5, left), all cores hit the same line at the same time. The
+// transformation staggers the starting offset per core:
+//
+//   int start = i / W;               // W = number of GPU cores
+//   for (j = 0; j < N; j++) {
+//     j_tmp = (j + start) % N;
+//     ... a[j_tmp] ...
+//   }
+//
+// applied to innermost counted loops that read memory at induction-
+// dependent addresses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+#include "transforms/Passes.h"
+#include "transforms/Utils.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+/// True when the loop contains a memory access whose address depends on
+/// the induction variable.
+static bool hasInductionDependentAccess(const analysis::Loop &L,
+                                        Instruction *Phi) {
+  for (BasicBlock *BB : L.Blocks) {
+    for (Instruction *I : *BB) {
+      if (I->opcode() == Opcode::Load && dependsOn(I->operand(0), Phi))
+        return true;
+      if (I->opcode() == Opcode::Store && dependsOn(I->operand(1), Phi))
+        return true;
+    }
+  }
+  return false;
+}
+
+bool concord::transforms::l3ContentionOpt(Function &F,
+                                          PipelineStats &Stats) {
+  if (F.empty())
+    return false;
+  analysis::DominatorTree DT(F);
+  analysis::LoopInfo LI(F, DT);
+  Module &M = *F.parent();
+  TypeContext &T = M.types();
+  bool Changed = false;
+
+  for (analysis::Loop *L : LI.innermostLoops()) {
+    analysis::InductionInfo II;
+    if (!analysis::LoopInfo::analyzeInduction(*L, &II))
+      continue;
+    // The modulo rotation is only valid for the canonical 0..N step-1 form.
+    auto *InitC = dyn_cast<ConstantInt>(II.Init);
+    if (!InitC || InitC->zext() != 0 || II.Step != 1)
+      continue;
+    if (!II.Phi->type()->isInteger() ||
+        II.Phi->type() != II.Bound->type())
+      continue;
+    if (!hasInductionDependentAccess(*L, II.Phi))
+      continue;
+    if (!L->Preheader || !L->Preheader->terminator())
+      continue;
+    // The rotation's per-iteration overhead only pays off for small
+    // streaming bodies (the Figure 5 pattern) where the shared-line
+    // accesses dominate; skip big bodies (e.g. inlined intersection
+    // routines) where the add/compare/select would outweigh the saved
+    // contention.
+    size_t BodyInstrs = 0;
+    for (BasicBlock *BB : L->Blocks)
+      BodyInstrs += BB->size();
+    if (BodyInstrs > 48)
+      continue;
+    // The rotation needs N in the preheader: the bound must be defined
+    // outside the loop in a block dominating the preheader.
+    if (auto *BoundI = dyn_cast<Instruction>(II.Bound))
+      if (L->contains(BoundI->parent()) ||
+          !DT.dominates(BoundI->parent(), L->Preheader))
+        continue;
+
+    // Preheader: start = (global_id / W) % N, reduced once so the
+    // per-iteration rotation strength-reduces to add/compare/subtract
+    // ((j + start) % N == (j + start % N) % N, and j + start%N < 2N).
+    BasicBlock *Pre = L->Preheader;
+    size_t At = Pre->indexOf(Pre->terminator());
+    auto Gid = std::make_unique<Instruction>(Opcode::GlobalId, T.int32Ty());
+    Gid->setName("l3.gid");
+    Instruction *GidI = Pre->insertAt(At++, std::move(Gid));
+    auto W = std::make_unique<Instruction>(Opcode::NumCores, T.int32Ty());
+    W->setName("l3.w");
+    Instruction *WI = Pre->insertAt(At++, std::move(W));
+    auto Div = std::make_unique<Instruction>(Opcode::SDiv, T.int32Ty());
+    Div->addOperand(GidI);
+    Div->addOperand(WI);
+    Div->setName("l3.start");
+    Instruction *StartI = Pre->insertAt(At++, std::move(Div));
+    Value *Start = StartI;
+    if (II.Phi->type() != T.int32Ty()) {
+      auto Ext = std::make_unique<Instruction>(Opcode::Cast, II.Phi->type());
+      Ext->addOperand(StartI);
+      Ext->setAttr(uint64_t(CastKind::SExt));
+      Start = Pre->insertAt(At++, std::move(Ext));
+    }
+    auto Red = std::make_unique<Instruction>(Opcode::SRem, II.Phi->type());
+    Red->addOperand(Start);
+    Red->addOperand(II.Bound);
+    Red->setName("l3.start.red");
+    Start = Pre->insertAt(At++, std::move(Red));
+
+    // Body head: t = j + start; j_tmp = t < N ? t : t - N.
+    BasicBlock *Body = II.Body;
+    size_t BodyAt = 0;
+    while (BodyAt < Body->size() && Body->instr(BodyAt)->isPhi())
+      ++BodyAt;
+    auto Sum = std::make_unique<Instruction>(Opcode::Add, II.Phi->type());
+    Sum->addOperand(II.Phi);
+    Sum->addOperand(Start);
+    Sum->setName("l3.sum");
+    Instruction *SumI = Body->insertAt(BodyAt++, std::move(Sum));
+    auto InRange = std::make_unique<Instruction>(Opcode::ICmp, T.boolTy());
+    InRange->addOperand(SumI);
+    InRange->addOperand(II.Bound);
+    InRange->setAttr(uint64_t(ICmpPred::SLT));
+    InRange->setName("l3.inrange");
+    Instruction *InRangeI = Body->insertAt(BodyAt++, std::move(InRange));
+    auto Wrapped = std::make_unique<Instruction>(Opcode::Sub, II.Phi->type());
+    Wrapped->addOperand(SumI);
+    Wrapped->addOperand(II.Bound);
+    Wrapped->setName("l3.wrap");
+    Instruction *WrappedI = Body->insertAt(BodyAt++, std::move(Wrapped));
+    auto Sel = std::make_unique<Instruction>(Opcode::Select, II.Phi->type());
+    Sel->addOperand(InRangeI);
+    Sel->addOperand(SumI);
+    Sel->addOperand(WrappedI);
+    Sel->setName("j.tmp");
+    Instruction *JTmp = Body->insertAt(BodyAt++, std::move(Sel));
+
+    // Replace uses of j inside blocks dominated by the body (the loop body
+    // proper), except the increment, the compare, and j_tmp itself.
+    for (BasicBlock *BB : L->Blocks) {
+      if (!DT.dominates(Body, BB))
+        continue;
+      for (Instruction *I : *BB) {
+        if (I == II.Next || I == II.Cmp || I == SumI || I == InRangeI ||
+            I == WrappedI || I == JTmp)
+          continue;
+        I->replaceUsesOfWith(II.Phi, JTmp);
+      }
+    }
+    ++Stats.LoopsStaggered;
+    Changed = true;
+  }
+  return Changed;
+}

@@ -1,0 +1,193 @@
+//===- LoopUnroll.cpp - Full unrolling of small counted loops -------------===//
+//
+// Section 4: "we perform unrolling and control the unroll-factor by
+// restricting max live to the available physical registers". This pass
+// fully unrolls innermost constant-trip-count loops of the canonical
+// single-body shape, bounded by the register budget via the max-live
+// estimate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "transforms/Passes.h"
+#include "transforms/Utils.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+namespace {
+
+struct UnrollShape {
+  analysis::InductionInfo II;
+  BasicBlock *Body = nullptr;  ///< Single body block.
+  BasicBlock *Latch = nullptr; ///< Step block branching to the header.
+  int64_t Trip = 0;
+};
+
+/// Matches the canonical shape produced by IRGen for `for` loops:
+/// preheader -> header(phis, cmp, condbr) -> body -> latch -> header.
+bool matchShape(const analysis::Loop &L, UnrollShape *Out) {
+  if (L.Latches.size() != 1 || !L.Preheader)
+    return false;
+  if (!analysis::LoopInfo::analyzeInduction(L, &Out->II))
+    return false;
+  auto *InitC = dyn_cast<ConstantInt>(Out->II.Init);
+  auto *BoundC = dyn_cast<ConstantInt>(Out->II.Bound);
+  if (!InitC || !BoundC || Out->II.Step == 0)
+    return false;
+  // Only strict < comparisons with the phi on the left are handled.
+  if (Out->II.Cmp->icmpPred() != ICmpPred::SLT ||
+      Out->II.Cmp->operand(0) != Out->II.Phi)
+    return false;
+  int64_t Init = InitC->sext(), Bound = BoundC->sext();
+  if (Out->II.Step < 0)
+    return false;
+  int64_t Trip = Init >= Bound
+                     ? 0
+                     : (Bound - Init + Out->II.Step - 1) / Out->II.Step;
+
+  BasicBlock *Latch = L.Latches.front();
+  BasicBlock *Body = Out->II.Body;
+  // Loop must be exactly {header, body, latch} (or {header, body==latch}).
+  if (Body == Latch) {
+    if (L.Blocks.size() != 2)
+      return false;
+  } else {
+    if (L.Blocks.size() != 3 || !L.Blocks.count(Body) ||
+        !L.Blocks.count(Latch))
+      return false;
+    Instruction *BT = Body->terminator();
+    if (!BT || BT->opcode() != Opcode::Br || BT->block(0) != Latch)
+      return false;
+  }
+  Out->Body = Body;
+  Out->Latch = Latch;
+  Out->Trip = Trip;
+  return true;
+}
+
+} // namespace
+
+bool concord::transforms::loopUnroll(Function &F,
+                                     const PipelineOptions &Opts,
+                                     PipelineStats &Stats) {
+  if (F.empty() || !Opts.EnableUnroll)
+    return false;
+  bool Changed = false;
+
+  // Re-discover loops after each unroll (block structure changes).
+  bool FoundOne = true;
+  while (FoundOne) {
+    FoundOne = false;
+    analysis::DominatorTree DT(F);
+    analysis::LoopInfo LI(F, DT);
+    analysis::Liveness LV(F);
+
+    for (analysis::Loop *L : LI.innermostLoops()) {
+      UnrollShape S;
+      if (!matchShape(*L, &S))
+        continue;
+      if (S.Trip < 0 || uint64_t(S.Trip) > Opts.UnrollMaxTrip)
+        continue;
+      size_t LoopInstrs = 0;
+      for (BasicBlock *BB : L->Blocks)
+        LoopInstrs += BB->size();
+      if (LoopInstrs * uint64_t(S.Trip) > 256)
+        continue;
+      // Register-budget bound (section 4): unrolling multiplies the number
+      // of simultaneously live values in the body.
+      if (LV.maxLive() * uint64_t(S.Trip) > Opts.NumRegisters && S.Trip > 1)
+        continue;
+
+      BasicBlock *Header = L->Header;
+      BasicBlock *Pre = L->Preheader;
+      BasicBlock *Exit = S.II.Exit;
+      Module &M = *F.parent();
+
+      // Current value of each header phi entering iteration k.
+      std::vector<Instruction *> Phis = Header->phis();
+      std::map<Instruction *, Value *> Cur;
+      std::map<Instruction *, Value *> FromLatch;
+      for (Instruction *Phi : Phis) {
+        for (unsigned K = 0; K < Phi->numBlocks(); ++K) {
+          if (Phi->incomingBlock(K) == Pre)
+            Cur[Phi] = Phi->incomingValue(K);
+          else if (Phi->incomingBlock(K) == S.Latch)
+            FromLatch[Phi] = Phi->incomingValue(K);
+        }
+        if (!Cur.count(Phi) || !FromLatch.count(Phi))
+          return Changed; // Malformed; bail out entirely.
+      }
+
+      // Emit Trip copies of body+latch into a straight-line chain.
+      BasicBlock *ChainEnd = Pre;
+      for (int64_t K = 0; K < S.Trip; ++K) {
+        BasicBlock *Iter = F.createBlockAfter(
+            ChainEnd, Header->name() + ".unroll" + std::to_string(K));
+        std::map<Value *, Value *> VMap;
+        for (Instruction *Phi : Phis)
+          VMap[Phi] = Cur[Phi];
+        auto CloneBlockInto = [&](BasicBlock *Src) {
+          for (Instruction *I : *Src) {
+            if (I->isPhi() || I->isTerminator())
+              continue;
+            auto C = cloneInstruction(I, VMap, {});
+            VMap[I] = Iter->append(std::move(C));
+          }
+        };
+        CloneBlockInto(S.Body);
+        if (S.Latch != S.Body)
+          CloneBlockInto(S.Latch);
+        // Terminator: fall through to the next iteration (wired below).
+        auto Br = std::make_unique<Instruction>(Opcode::Br,
+                                                M.types().voidTy());
+        Br->addBlock(Exit); // Placeholder; fixed when the next block exists.
+        Iter->append(std::move(Br));
+
+        // Advance the loop-carried values.
+        for (Instruction *Phi : Phis) {
+          Value *Next = FromLatch[Phi];
+          auto It = VMap.find(Next);
+          Cur[Phi] = It != VMap.end() ? It->second : Next;
+        }
+        // Wire the previous block to this one.
+        Instruction *PrevTerm = ChainEnd->terminator();
+        for (unsigned Blk = 0; Blk < PrevTerm->numBlocks(); ++Blk)
+          if (PrevTerm->block(Blk) == Header ||
+              (ChainEnd != Pre && PrevTerm->block(Blk) == Exit))
+            PrevTerm->setBlock(Blk, Iter);
+        ChainEnd = Iter;
+      }
+      if (S.Trip == 0) {
+        Instruction *PreTerm = Pre->terminator();
+        for (unsigned Blk = 0; Blk < PreTerm->numBlocks(); ++Blk)
+          if (PreTerm->block(Blk) == Header)
+            PreTerm->setBlock(Blk, Exit);
+      }
+
+      // Exit phis that came from the header now come from the chain end.
+      for (Instruction *Phi : Exit->phis())
+        for (unsigned K = 0; K < Phi->numBlocks(); ++K)
+          if (Phi->incomingBlock(K) == Header)
+            Phi->setBlock(K, ChainEnd);
+
+      // Values of the header phis after the final iteration flow to any
+      // outside users.
+      for (Instruction *Phi : Phis)
+        F.replaceAllUsesWith(Phi, Cur[Phi]);
+
+      // Delete the loop blocks (now unreachable).
+      PipelineStats Tmp;
+      simplifyCFG(F, Tmp);
+      Stats.InstructionsRemoved += Tmp.InstructionsRemoved;
+
+      ++Stats.LoopsUnrolled;
+      Changed = true;
+      FoundOne = true;
+      break;
+    }
+  }
+  return Changed;
+}

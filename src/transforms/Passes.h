@@ -1,0 +1,163 @@
+//===- Passes.h - Concord optimization passes -------------------*- C++ -*-===//
+///
+/// \file
+/// The Concord compiler's transformation passes and the pipelines that
+/// correspond to the paper's evaluated configurations:
+///
+///   GPU          - naive eager SVM translation, no cleanup of translations
+///   GPU+PTROPT   - hybrid dual-representation translation + DCE + hoisting
+///                  (section 4.1)
+///   GPU+L3OPT    - cache-line contention loop staggering (section 4.2)
+///   GPU+ALL      - both
+///
+/// All pipelines run the standard scalar optimizations (register promotion,
+/// CSE, constant folding, DCE, loop unrolling bounded by max-live) that
+/// section 4 lists as prerequisites for exploiting the GPU register file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_TRANSFORMS_PASSES_H
+#define CONCORD_TRANSFORMS_PASSES_H
+
+#include "cir/Module.h"
+#include "support/Diagnostics.h"
+#include <string>
+
+namespace concord {
+namespace transforms {
+
+/// SVM pointer-translation placement strategy (section 4.1).
+enum class SvmMode {
+  None,  ///< No translation inserted (CPU execution / tests).
+  Eager, ///< Translate at def; convert back before pointer stores.
+  Lazy,  ///< Translate immediately before every dereference.
+  /// PTROPT: keep CPU and GPU representations of every pointer, pick per
+  /// use, let DCE drop the unused ones and LICM hoist the rest.
+  Hybrid,
+};
+
+struct PipelineOptions {
+  SvmMode Svm = SvmMode::Hybrid;
+  bool EnableL3Opt = true;
+  /// Physical registers available per work-item; bounds unroll (section 4).
+  unsigned NumRegisters = 128;
+  /// Full-unroll threshold (constant-trip-count loops only).
+  unsigned UnrollMaxTrip = 8;
+  bool EnableUnroll = true;
+  /// Run cleanup (CSE/DCE/LICM) after SVM lowering; off reproduces the
+  /// naive "GPU" baseline configuration.
+  bool CleanupAfterSvm = true;
+
+  /// The paper's four evaluated configurations.
+  static PipelineOptions gpuBaseline() {
+    PipelineOptions O;
+    O.Svm = SvmMode::Eager;
+    O.EnableL3Opt = false;
+    O.CleanupAfterSvm = false;
+    return O;
+  }
+  static PipelineOptions gpuPtrOpt() {
+    PipelineOptions O;
+    O.Svm = SvmMode::Hybrid;
+    O.EnableL3Opt = false;
+    O.CleanupAfterSvm = true;
+    return O;
+  }
+  static PipelineOptions gpuL3Opt() {
+    PipelineOptions O;
+    O.Svm = SvmMode::Eager;
+    O.EnableL3Opt = true;
+    O.CleanupAfterSvm = false;
+    return O;
+  }
+  static PipelineOptions gpuAll() {
+    PipelineOptions O;
+    O.Svm = SvmMode::Hybrid;
+    O.EnableL3Opt = true;
+    O.CleanupAfterSvm = true;
+    return O;
+  }
+};
+
+/// Statistics from one pipeline run (also feeds the Figure 6 harness).
+struct PipelineStats {
+  unsigned TranslationsInserted = 0;
+  unsigned TranslationsRemoved = 0;
+  unsigned VCallsDevirtualized = 0;
+  unsigned CallsInlined = 0;
+  unsigned LoopsStaggered = 0;
+  unsigned LoopsUnrolled = 0;
+  unsigned AllocasPromoted = 0;
+  unsigned TailCallsEliminated = 0;
+  unsigned InstructionsRemoved = 0;
+};
+
+//===--- Individual passes (exposed for unit testing) --------------------===//
+
+/// Eliminates self tail recursion by looping back to the entry.
+bool tailRecursionElim(cir::Function &F, PipelineStats &Stats);
+
+/// Lowers every VCall to an inline sequence of symbol tests and direct
+/// calls, using class hierarchy analysis (section 3.2).
+bool devirtualize(cir::Module &M, PipelineStats &Stats);
+
+/// Inlines all direct calls into \p F (callees must be non-recursive).
+bool inlineCalls(cir::Module &M, cir::Function &F, PipelineStats &Stats);
+
+/// Removes unreachable blocks, folds constant branches, merges blocks.
+bool simplifyCFG(cir::Function &F, PipelineStats &Stats);
+
+/// Promotes scalar allocas to SSA values (register promotion).
+bool mem2reg(cir::Function &F, PipelineStats &Stats);
+
+/// Hoists loads of `const Body` fields to single entry-block loads
+/// (the aggressive register promotion of section 4). Kernel-only; skipped
+/// when the kernel stores through body-rooted addresses.
+bool promoteBodyFields(cir::Function &F, PipelineStats &Stats);
+
+/// Constant folding and algebraic simplification.
+bool constantFold(cir::Function &F, PipelineStats &Stats);
+
+/// Dominator-scoped common subexpression elimination of pure instructions.
+bool cse(cir::Function &F, PipelineStats &Stats);
+
+/// Deletes pure instructions with no uses.
+bool dce(cir::Function &F, PipelineStats &Stats);
+
+/// Hoists loop-invariant pure instructions (incl. pointer translations,
+/// the "optimal code motion" placement of section 4.1) to preheaders.
+bool licm(cir::Function &F, PipelineStats &Stats);
+
+/// Fully unrolls constant-trip-count innermost loops, bounded by
+/// NumRegisters via max-live (section 4).
+bool loopUnroll(cir::Function &F, const PipelineOptions &Opts,
+                PipelineStats &Stats);
+
+/// The section 4.2 transformation: staggers innermost-loop array traversal
+/// per GPU core: j_tmp = (j + global_id / W) % N.
+bool l3ContentionOpt(cir::Function &F, PipelineStats &Stats);
+
+/// Inserts SVM pointer translations per \p Mode (sections 3.1 / 4.1).
+bool svmLowering(cir::Function &F, SvmMode Mode, PipelineStats &Stats);
+
+/// Builds the hierarchical-reduction kernel (section 3.3) for a Body class
+/// with operator()(int) and join(Body&). The generated kernel takes
+/// (bodyPtr, scratchPtr, numItems); each work-item runs operator() on its
+/// private copy in \p scratch, then the work-group tree-reduces via join,
+/// leaving one partial result per group at the group's slot 0.
+cir::Function *createReduceKernel(cir::Module &M,
+                                  const std::string &ClassName,
+                                  DiagnosticEngine &Diags);
+
+//===--- Pipeline ----------------------------------------------------------//
+
+/// Runs the full GPU compilation pipeline on a module whose kernels have
+/// been created (kernel$... / kernel_reduce$... functions). Returns false
+/// if verification fails afterwards.
+bool runPipeline(cir::Module &M, const PipelineOptions &Opts,
+                 PipelineStats &Stats, std::string *VerifyError = nullptr);
+
+} // namespace transforms
+} // namespace concord
+
+#endif // CONCORD_TRANSFORMS_PASSES_H

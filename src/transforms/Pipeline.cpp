@@ -1,0 +1,66 @@
+//===- Pipeline.cpp - The Concord GPU compilation pipeline ----------------===//
+
+#include "cir/Verifier.h"
+#include "transforms/Passes.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+bool concord::transforms::runPipeline(Module &M, const PipelineOptions &Opts,
+                                      PipelineStats &Stats,
+                                      std::string *VerifyError) {
+  // Tail recursion first: it unlocks inlining of self-tail-recursive
+  // helpers (the one form of recursion Concord permits, section 2.1).
+  for (const auto &F : M.functions())
+    if (!F->empty())
+      tailRecursionElim(*F, Stats);
+
+  // Virtual calls become inline test sequences of direct calls (3.2)...
+  devirtualize(M, Stats);
+
+  // ...which the inliner then flattens into the kernels, making pointer
+  // provenance (private vs shared) visible to the SVM lowering.
+  // Only kernels execute on the device; after exhaustive inlining the
+  // other functions are dead weight that code generation skips.
+  for (const auto &F : M.functions()) {
+    if (F->empty() || !F->isKernel())
+      continue;
+    inlineCalls(M, *F, Stats);
+    simplifyCFG(*F, Stats);
+    mem2reg(*F, Stats);
+    constantFold(*F, Stats);
+    cse(*F, Stats);
+    dce(*F, Stats);
+    simplifyCFG(*F, Stats);
+
+    promoteBodyFields(*F, Stats);
+    cse(*F, Stats);
+    dce(*F, Stats);
+
+    loopUnroll(*F, Opts, Stats);
+    constantFold(*F, Stats);
+    dce(*F, Stats);
+
+    if (Opts.EnableL3Opt)
+      l3ContentionOpt(*F, Stats);
+
+    svmLowering(*F, Opts.Svm, Stats);
+
+    if (Opts.CleanupAfterSvm) {
+      licm(*F, Stats);
+      cse(*F, Stats);
+      constantFold(*F, Stats);
+      dce(*F, Stats);
+      simplifyCFG(*F, Stats);
+    }
+  }
+
+  auto Errors = verifyModule(M);
+  if (!Errors.empty()) {
+    if (VerifyError)
+      *VerifyError = Errors.front();
+    return false;
+  }
+  return true;
+}

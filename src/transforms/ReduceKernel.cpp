@@ -1,0 +1,122 @@
+//===- ReduceKernel.cpp - Hierarchical reduction lowering (section 3.3) ---===//
+//
+// Generates the wrapper kernel for parallel_reduce_hetero: every work-item
+// gets a private copy of the Body object in the reduction scratch surface,
+// runs operator() on it, and the work-group tree-reduces the copies with
+// join() using barriers, leaving one partial Body per work-group at the
+// group's slot 0. The runtime then joins the per-group partials
+// sequentially on the CPU (the paper likewise hands the runtime the
+// sequential join for the final combine).
+//
+// TBB-style precondition: a freshly copied Body must act as a reduction
+// identity, since inactive lanes (gid >= n) contribute untouched copies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cir/IRBuilder.h"
+#include "frontend/Compile.h"
+#include "transforms/Passes.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+cir::Function *
+concord::transforms::createReduceKernel(Module &M,
+                                        const std::string &ClassName,
+                                        DiagnosticEngine &Diags) {
+  ClassType *Body = M.types().findClass(ClassName);
+  if (!Body) {
+    Diags.error(SourceLoc(), "reduction body class '" + ClassName +
+                                 "' not found in kernel source");
+    return nullptr;
+  }
+  Function *Op = frontend::findMethod(M, ClassName, "operator()", 1);
+  Function *Join = frontend::findMethod(M, ClassName, "join", 1);
+  if (!Op || !Join) {
+    Diags.error(SourceLoc(), "class '" + ClassName +
+                                 "' needs operator()(int) and join(" +
+                                 ClassName + "&) for parallel_reduce");
+    return nullptr;
+  }
+
+  std::string Name = "kernel_reduce$" + ClassName;
+  if (Function *Existing = M.findFunction(Name))
+    return Existing;
+
+  TypeContext &T = M.types();
+  // Args: body CPU address, scratch CPU address, item count.
+  FunctionType *KTy = T.functionTy(
+      T.voidTy(), {T.uint64Ty(), T.uint64Ty(), T.uint64Ty()});
+  Function *K = M.createFunction(Name, KTy);
+  K->setKernel(true);
+
+  BasicBlock *Entry = K->createBlock("entry");
+  BasicBlock *Run = K->createBlock("run");
+  BasicBlock *Ran = K->createBlock("ran");
+  BasicBlock *LoopHead = K->createBlock("tree.head");
+  BasicBlock *LoopBody = K->createBlock("tree.body");
+  BasicBlock *DoJoin = K->createBlock("tree.join");
+  BasicBlock *JoinDone = K->createBlock("tree.next");
+  BasicBlock *Done = K->createBlock("done");
+
+  IRBuilder B(M);
+  uint64_t BodySize = Body->classSize();
+  PointerType *BodyPtrTy = T.pointerTo(Body);
+
+  B.setInsertAtEnd(Entry);
+  Instruction *Lid = B.createDeviceQuery(Opcode::LocalId, "lid");
+  Instruction *Gid = B.createDeviceQuery(Opcode::GlobalId, "gid");
+  Instruction *Gsz = B.createDeviceQuery(Opcode::GroupSize, "gsz");
+  Instruction *Grp = B.createDeviceQuery(Opcode::GroupId, "grp");
+  Value *BodyPtr = B.createCast(CastKind::IntToPtr, K->arg(0), BodyPtrTy,
+                                "body");
+  Value *Scratch = B.createCast(CastKind::IntToPtr, K->arg(1), BodyPtrTy,
+                                "scratch");
+  Value *GrpBase = B.createBinOp(Opcode::Mul, Grp, Gsz, "grp.base");
+  Value *SlotIdx32 = B.createBinOp(Opcode::Add, GrpBase, Lid, "slot");
+  Value *SlotIdx = B.createCast(CastKind::SExt, SlotIdx32, T.int64Ty());
+  Value *MySlot = B.createIndexAddr(Scratch, SlotIdx, "my.slot");
+  B.createMemcpy(MySlot, BodyPtr, BodySize);
+  Value *Gid64 = B.createCast(CastKind::SExt, Gid, T.int64Ty());
+  Value *GidU = B.createCast(CastKind::BitCast, Gid64, T.uint64Ty());
+  Value *InBounds = B.createICmp(ICmpPred::ULT, GidU, K->arg(2), "in");
+  B.createCondBr(InBounds, Run, Ran);
+
+  B.setInsertAtEnd(Run);
+  B.createCall(Op, {MySlot, Gid});
+  B.createBr(Ran);
+
+  B.setInsertAtEnd(Ran);
+  B.createBarrier();
+  Value *SInit = B.createBinOp(Opcode::AShr, Gsz, M.constI32(1), "s.init");
+  B.createBr(LoopHead);
+
+  B.setInsertAtEnd(LoopHead);
+  Instruction *S = B.createPhi(T.int32Ty(), "s");
+  Value *Cont = B.createICmp(ICmpPred::SGT, S, M.constI32(0));
+  B.createCondBr(Cont, LoopBody, Done);
+
+  B.setInsertAtEnd(LoopBody);
+  Value *Active = B.createICmp(ICmpPred::SLT, Lid, S, "active");
+  B.createCondBr(Active, DoJoin, JoinDone);
+
+  B.setInsertAtEnd(DoJoin);
+  Value *S64 = B.createCast(CastKind::SExt, S, T.int64Ty());
+  Value *OtherIdx = B.createBinOp(Opcode::Add, SlotIdx, S64, "other.idx");
+  Value *Other = B.createIndexAddr(Scratch, OtherIdx, "other");
+  B.createCall(Join, {MySlot, Other});
+  B.createBr(JoinDone);
+
+  B.setInsertAtEnd(JoinDone);
+  B.createBarrier();
+  Value *SNext = B.createBinOp(Opcode::AShr, S, M.constI32(1), "s.next");
+  B.createBr(LoopHead);
+
+  S->addIncoming(SInit, Ran);
+  S->addIncoming(SNext, JoinDone);
+
+  B.setInsertAtEnd(Done);
+  B.createRet();
+  return K;
+}

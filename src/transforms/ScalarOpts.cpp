@@ -1,0 +1,722 @@
+//===- ScalarOpts.cpp - SimplifyCFG, Mem2Reg, ConstFold, CSE, DCE, LICM ---===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "cir/IRBuilder.h"
+#include "transforms/Passes.h"
+#include "transforms/Utils.h"
+
+#include <bit>
+#include <cmath>
+#include <set>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+//===----------------------------------------------------------------------===//
+// SimplifyCFG
+//===----------------------------------------------------------------------===//
+
+/// Drops phi-incoming entries from \p BB for edges arriving from \p Pred.
+static void removePhiIncoming(BasicBlock *BB, BasicBlock *Pred) {
+  for (Instruction *Phi : BB->phis()) {
+    for (unsigned K = 0; K < Phi->numBlocks();) {
+      if (Phi->incomingBlock(K) == Pred)
+        Phi->removeIncoming(K);
+      else
+        ++K;
+    }
+  }
+}
+
+/// Replaces single-entry phis with their value.
+static bool foldTrivialPhis(Function &F) {
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    for (size_t Idx = 0; Idx < BB->size();) {
+      Instruction *I = BB->instr(Idx);
+      if (!I->isPhi())
+        break;
+      bool AllSame = I->numOperands() >= 1;
+      for (unsigned K = 1; K < I->numOperands(); ++K)
+        if (I->operand(K) != I->operand(0) && I->operand(K) != I)
+          AllSame = false;
+      if (AllSame && I->numOperands() >= 1 && I->operand(0) != I) {
+        F.replaceAllUsesWith(I, I->operand(0));
+        BB->erase(Idx);
+        Changed = true;
+        continue;
+      }
+      ++Idx;
+    }
+  }
+  return Changed;
+}
+
+bool concord::transforms::simplifyCFG(Function &F, PipelineStats &Stats) {
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // 1. Fold constant conditional branches.
+    for (BasicBlock *BB : F) {
+      Instruction *T = BB->terminator();
+      if (!T || T->opcode() != Opcode::CondBr)
+        continue;
+      auto *C = dyn_cast<ConstantInt>(T->operand(0));
+      if (!C)
+        continue;
+      BasicBlock *Taken = C->zext() ? T->block(0) : T->block(1);
+      BasicBlock *Dead = C->zext() ? T->block(1) : T->block(0);
+      if (Dead != Taken)
+        removePhiIncoming(Dead, BB);
+      size_t TIdx = BB->indexOf(T);
+      BB->erase(TIdx);
+      auto Br = std::make_unique<Instruction>(
+          Opcode::Br, F.parent()->types().voidTy());
+      Br->addBlock(Taken);
+      BB->append(std::move(Br));
+      Changed = true;
+      ++Stats.InstructionsRemoved;
+    }
+
+    // 2. Remove unreachable blocks.
+    std::set<BasicBlock *> Reachable;
+    std::vector<BasicBlock *> Work{F.entry()};
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!Reachable.insert(BB).second)
+        continue;
+      for (BasicBlock *S : BB->successors())
+        Work.push_back(S);
+    }
+    std::vector<BasicBlock *> ToErase;
+    for (BasicBlock *BB : F)
+      if (!Reachable.count(BB))
+        ToErase.push_back(BB);
+    for (BasicBlock *BB : ToErase) {
+      for (BasicBlock *S : BB->successors())
+        if (Reachable.count(S))
+          removePhiIncoming(S, BB);
+      F.eraseBlock(BB);
+      Changed = true;
+    }
+
+    // 3. Merge single-pred / single-succ straight-line pairs.
+    auto Preds = analysis::computePredecessors(F);
+    for (BasicBlock *A : F) {
+      Instruction *T = A->terminator();
+      if (!T || T->opcode() != Opcode::Br)
+        continue;
+      BasicBlock *B = T->block(0);
+      if (B == A || B == F.entry())
+        continue;
+      if (Preds[B].size() != 1 || !B->phis().empty())
+        continue;
+      // Splice B into A.
+      A->erase(A->indexOf(T));
+      while (!B->empty()) {
+        std::unique_ptr<Instruction> I = B->take(0);
+        A->append(std::move(I));
+      }
+      // B's former successors' phis now come from A.
+      for (BasicBlock *S : A->successors())
+        for (Instruction *Phi : S->phis())
+          for (unsigned K = 0; K < Phi->numBlocks(); ++K)
+            if (Phi->incomingBlock(K) == B)
+              Phi->setBlock(K, A);
+      F.eraseBlock(B);
+      Changed = true;
+      break; // Preds map is stale; restart.
+    }
+
+    Changed |= foldTrivialPhis(F);
+    EverChanged |= Changed;
+  }
+  return EverChanged;
+}
+
+//===----------------------------------------------------------------------===//
+// Mem2Reg
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct PromotableAlloca {
+  Instruction *Alloca;
+  std::set<BasicBlock *> DefBlocks;
+};
+
+} // namespace
+
+bool concord::transforms::mem2reg(Function &F, PipelineStats &Stats) {
+  // Find promotable allocas: scalar, used only as load/store address.
+  std::vector<PromotableAlloca> Allocas;
+  std::map<Instruction *, size_t> AllocaIndex;
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      if (I->opcode() != Opcode::Alloca || !I->auxType()->isScalar())
+        continue;
+      bool Promotable = true;
+      for (BasicBlock *UB : F) {
+        for (Instruction *U : *UB) {
+          for (unsigned Op = 0; Op < U->numOperands(); ++Op) {
+            if (U->operand(Op) != I)
+              continue;
+            bool OK = (U->opcode() == Opcode::Load && Op == 0) ||
+                      (U->opcode() == Opcode::Store && Op == 1);
+            if (!OK)
+              Promotable = false;
+          }
+        }
+      }
+      if (!Promotable)
+        continue;
+      AllocaIndex[I] = Allocas.size();
+      Allocas.push_back({I, {}});
+    }
+  }
+  if (Allocas.empty())
+    return false;
+
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (I->opcode() == Opcode::Store)
+        if (auto *A = dyn_cast<Instruction>(I->operand(1)))
+          if (AllocaIndex.count(A))
+            Allocas[AllocaIndex[A]].DefBlocks.insert(BB);
+
+  analysis::DominatorTree DT(F);
+
+  // Phi insertion at iterated dominance frontiers.
+  Module &M = *F.parent();
+  std::map<Instruction *, size_t> PhiForAlloca; // phi -> alloca index.
+  for (size_t AI = 0; AI < Allocas.size(); ++AI) {
+    std::set<BasicBlock *> HasPhi;
+    std::vector<BasicBlock *> Work(Allocas[AI].DefBlocks.begin(),
+                                   Allocas[AI].DefBlocks.end());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      for (BasicBlock *DF : DT.dominanceFrontier(BB)) {
+        if (!HasPhi.insert(DF).second)
+          continue;
+        auto Phi = std::make_unique<Instruction>(
+            Opcode::Phi, Allocas[AI].Alloca->auxType());
+        Phi->setName(Allocas[AI].Alloca->name() + ".phi");
+        Instruction *P = DF->insertAt(0, std::move(Phi));
+        PhiForAlloca[P] = AI;
+        Work.push_back(DF);
+      }
+    }
+  }
+
+  // Renaming via DFS over the dominator tree.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> DomChildren;
+  for (BasicBlock *BB : DT.order())
+    if (BasicBlock *ID = DT.idom(BB))
+      DomChildren[ID].push_back(BB);
+
+  auto ZeroOf = [&](Type *T) -> Value * {
+    if (T->isFloat())
+      return M.constFloat(0.0f);
+    if (T->isPointer())
+      return M.nullPtr(cast<PointerType>(T));
+    return M.constInt(T, 0);
+  };
+
+  struct Frame {
+    BasicBlock *BB;
+    std::vector<Value *> Incoming;
+  };
+  std::vector<Frame> Stack;
+  {
+    std::vector<Value *> Init(Allocas.size(), nullptr);
+    Stack.push_back({F.entry(), std::move(Init)});
+  }
+  std::set<BasicBlock *> Visited;
+
+  while (!Stack.empty()) {
+    Frame Fr = std::move(Stack.back());
+    Stack.pop_back();
+    if (!Visited.insert(Fr.BB).second)
+      continue;
+    std::vector<Value *> Cur = Fr.Incoming;
+
+    for (size_t Idx = 0; Idx < Fr.BB->size();) {
+      Instruction *I = Fr.BB->instr(Idx);
+      if (I->isPhi() && PhiForAlloca.count(I)) {
+        Cur[PhiForAlloca[I]] = I;
+        ++Idx;
+        continue;
+      }
+      if (I->opcode() == Opcode::Load) {
+        if (auto *A = dyn_cast<Instruction>(I->operand(0))) {
+          auto It = AllocaIndex.find(A);
+          if (It != AllocaIndex.end()) {
+            Value *V = Cur[It->second];
+            if (!V)
+              V = ZeroOf(A->auxType());
+            F.replaceAllUsesWith(I, V);
+            // Phi operands elsewhere may also reference this load.
+            Fr.BB->erase(Idx);
+            continue;
+          }
+        }
+      }
+      if (I->opcode() == Opcode::Store) {
+        if (auto *A = dyn_cast<Instruction>(I->operand(1))) {
+          auto It = AllocaIndex.find(A);
+          if (It != AllocaIndex.end()) {
+            Cur[It->second] = I->operand(0);
+            Fr.BB->erase(Idx);
+            continue;
+          }
+        }
+      }
+      ++Idx;
+    }
+
+    // Feed successor phis.
+    for (BasicBlock *S : Fr.BB->successors()) {
+      for (Instruction *Phi : S->phis()) {
+        auto It = PhiForAlloca.find(Phi);
+        if (It == PhiForAlloca.end())
+          continue;
+        Value *V = Cur[It->second];
+        if (!V)
+          V = ZeroOf(Allocas[It->second].Alloca->auxType());
+        Phi->addIncoming(V, Fr.BB);
+      }
+    }
+
+    for (BasicBlock *Child : DomChildren[Fr.BB])
+      Stack.push_back({Child, Cur});
+  }
+
+  // Remove the allocas themselves.
+  for (auto &PA : Allocas) {
+    BasicBlock *BB = PA.Alloca->parent();
+    BB->erase(BB->indexOf(PA.Alloca));
+    ++Stats.AllocasPromoted;
+  }
+
+  // Phis in unreached blocks or with missing predecessors are cleaned by
+  // simplifyCFG; fold the trivial ones now.
+  foldTrivialPhis(F);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+static Value *foldInstruction(Module &M, Instruction *I) {
+  // Algebraic identities first.
+  auto IsZero = [](Value *V) {
+    auto *C = dyn_cast<ConstantInt>(V);
+    return C && C->zext() == 0;
+  };
+  auto IsOne = [](Value *V) {
+    auto *C = dyn_cast<ConstantInt>(V);
+    return C && C->zext() == 1;
+  };
+  switch (I->opcode()) {
+  case Opcode::Add:
+    if (IsZero(I->operand(1)))
+      return I->operand(0);
+    if (IsZero(I->operand(0)))
+      return I->operand(1);
+    break;
+  case Opcode::Sub:
+  case Opcode::Shl:
+  case Opcode::AShr:
+  case Opcode::LShr:
+  case Opcode::Or:
+  case Opcode::Xor:
+    if (IsZero(I->operand(1)))
+      return I->operand(0);
+    break;
+  case Opcode::Mul:
+    if (IsOne(I->operand(1)))
+      return I->operand(0);
+    if (IsOne(I->operand(0)))
+      return I->operand(1);
+    if (IsZero(I->operand(0)) || IsZero(I->operand(1)))
+      return M.constInt(I->type(), 0);
+    break;
+  case Opcode::And:
+    if (IsZero(I->operand(0)) || IsZero(I->operand(1)))
+      return M.constInt(I->type(), 0);
+    break;
+  case Opcode::Select:
+    if (auto *C = dyn_cast<ConstantInt>(I->operand(0)))
+      return C->zext() ? I->operand(1) : I->operand(2);
+    if (I->operand(1) == I->operand(2))
+      return I->operand(1);
+    break;
+  default:
+    break;
+  }
+
+  // Full constant evaluation.
+  for (Value *Op : I->operands())
+    if (!Op->isConstant())
+      return nullptr;
+
+  auto CI = [&](unsigned K) { return dyn_cast<ConstantInt>(I->operand(K)); };
+  auto CF = [&](unsigned K) { return dyn_cast<ConstantFloat>(I->operand(K)); };
+
+  switch (I->opcode()) {
+  case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::SDiv:
+  case Opcode::SRem: case Opcode::UDiv: case Opcode::URem: case Opcode::And:
+  case Opcode::Or: case Opcode::Xor: case Opcode::Shl: case Opcode::AShr:
+  case Opcode::LShr: {
+    ConstantInt *A = CI(0), *B = CI(1);
+    if (!A || !B)
+      return nullptr;
+    uint64_t X = A->zext(), Y = B->zext();
+    int64_t SX = A->sext(), SY = B->sext();
+    unsigned Bits = unsigned(I->type()->sizeInBytes()) * 8;
+    uint64_t R = 0;
+    switch (I->opcode()) {
+    case Opcode::Add: R = X + Y; break;
+    case Opcode::Sub: R = X - Y; break;
+    case Opcode::Mul: R = X * Y; break;
+    case Opcode::SDiv:
+      if (SY == 0)
+        return nullptr;
+      R = uint64_t(SX / SY);
+      break;
+    case Opcode::SRem:
+      if (SY == 0)
+        return nullptr;
+      R = uint64_t(SX % SY);
+      break;
+    case Opcode::UDiv:
+      if (Y == 0)
+        return nullptr;
+      R = X / Y;
+      break;
+    case Opcode::URem:
+      if (Y == 0)
+        return nullptr;
+      R = X % Y;
+      break;
+    case Opcode::And: R = X & Y; break;
+    case Opcode::Or: R = X | Y; break;
+    case Opcode::Xor: R = X ^ Y; break;
+    case Opcode::Shl: R = Y >= Bits ? 0 : X << Y; break;
+    case Opcode::LShr: R = Y >= Bits ? 0 : X >> Y; break;
+    case Opcode::AShr: R = Y >= 63 ? uint64_t(SX < 0 ? -1 : 0)
+                                   : uint64_t(SX >> SY); break;
+    default: return nullptr;
+    }
+    return M.constInt(I->type(), R);
+  }
+  case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul: case Opcode::FDiv: {
+    ConstantFloat *A = CF(0), *B = CF(1);
+    if (!A || !B)
+      return nullptr;
+    float X = A->value(), Y = B->value(), R = 0;
+    switch (I->opcode()) {
+    case Opcode::FAdd: R = X + Y; break;
+    case Opcode::FSub: R = X - Y; break;
+    case Opcode::FMul: R = X * Y; break;
+    case Opcode::FDiv: R = X / Y; break;
+    default: return nullptr;
+    }
+    return M.constFloat(R);
+  }
+  case Opcode::Neg:
+    if (ConstantInt *A = CI(0))
+      return M.constInt(I->type(), uint64_t(-A->sext()));
+    return nullptr;
+  case Opcode::FNeg:
+    if (ConstantFloat *A = CF(0))
+      return M.constFloat(-A->value());
+    return nullptr;
+  case Opcode::Not:
+    if (ConstantInt *A = CI(0))
+      return M.constInt(I->type(), A->zext() ? 0 : 1);
+    return nullptr;
+  case Opcode::ICmp: {
+    ConstantInt *A = CI(0), *B = CI(1);
+    if (!A || !B)
+      return nullptr;
+    bool R = false;
+    switch (I->icmpPred()) {
+    case ICmpPred::EQ: R = A->zext() == B->zext(); break;
+    case ICmpPred::NE: R = A->zext() != B->zext(); break;
+    case ICmpPred::SLT: R = A->sext() < B->sext(); break;
+    case ICmpPred::SLE: R = A->sext() <= B->sext(); break;
+    case ICmpPred::SGT: R = A->sext() > B->sext(); break;
+    case ICmpPred::SGE: R = A->sext() >= B->sext(); break;
+    case ICmpPred::ULT: R = A->zext() < B->zext(); break;
+    case ICmpPred::ULE: R = A->zext() <= B->zext(); break;
+    case ICmpPred::UGT: R = A->zext() > B->zext(); break;
+    case ICmpPred::UGE: R = A->zext() >= B->zext(); break;
+    }
+    return M.constBool(R);
+  }
+  case Opcode::FCmp: {
+    ConstantFloat *A = CF(0), *B = CF(1);
+    if (!A || !B)
+      return nullptr;
+    bool R = false;
+    switch (I->fcmpPred()) {
+    case FCmpPred::OEQ: R = A->value() == B->value(); break;
+    case FCmpPred::ONE: R = A->value() != B->value(); break;
+    case FCmpPred::OLT: R = A->value() < B->value(); break;
+    case FCmpPred::OLE: R = A->value() <= B->value(); break;
+    case FCmpPred::OGT: R = A->value() > B->value(); break;
+    case FCmpPred::OGE: R = A->value() >= B->value(); break;
+    }
+    return M.constBool(R);
+  }
+  case Opcode::Cast: {
+    if (ConstantInt *A = CI(0)) {
+      switch (I->castKind()) {
+      case CastKind::Trunc:
+      case CastKind::ZExt:
+      case CastKind::BitCast:
+      case CastKind::PtrToInt:
+      case CastKind::IntToPtr:
+        if (I->type()->isInteger())
+          return M.constInt(I->type(), A->zext());
+        return nullptr;
+      case CastKind::SExt:
+        return M.constInt(I->type(), uint64_t(A->sext()));
+      case CastKind::SIToFP:
+        return M.constFloat(float(A->sext()));
+      case CastKind::UIToFP:
+        return M.constFloat(float(A->zext()));
+      default:
+        return nullptr;
+      }
+    }
+    if (ConstantFloat *A = CF(0)) {
+      switch (I->castKind()) {
+      case CastKind::FPToSI:
+        return M.constInt(I->type(), uint64_t(int64_t(A->value())));
+      case CastKind::FPToUI:
+        return M.constInt(I->type(), uint64_t(A->value()));
+      default:
+        return nullptr;
+      }
+    }
+    return nullptr;
+  }
+  case Opcode::Intrinsic: {
+    // Fold single-float intrinsics.
+    if (I->numOperands() == 1) {
+      ConstantFloat *A = CF(0);
+      if (!A)
+        return nullptr;
+      float X = A->value();
+      switch (I->intrinsicId()) {
+      case IntrinsicId::Sqrt: return M.constFloat(std::sqrt(X));
+      case IntrinsicId::Fabs: return M.constFloat(std::fabs(X));
+      case IntrinsicId::Floor: return M.constFloat(std::floor(X));
+      default: return nullptr;
+      }
+    }
+    return nullptr;
+  }
+  default:
+    return nullptr;
+  }
+}
+
+bool concord::transforms::constantFold(Function &F, PipelineStats &Stats) {
+  Module &M = *F.parent();
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      for (size_t Idx = 0; Idx < BB->size();) {
+        Instruction *I = BB->instr(Idx);
+        if (!I->isPure() && I->opcode() != Opcode::Select) {
+          ++Idx;
+          continue;
+        }
+        Value *R = foldInstruction(M, I);
+        if (R && R != I) {
+          F.replaceAllUsesWith(I, R);
+          BB->erase(Idx);
+          Changed = true;
+          ++Stats.InstructionsRemoved;
+          continue;
+        }
+        ++Idx;
+      }
+    }
+    EverChanged |= Changed;
+  }
+  return EverChanged;
+}
+
+//===----------------------------------------------------------------------===//
+// CSE
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct CseKey {
+  Opcode Op;
+  uint64_t Attr;
+  Type *Ty;
+  std::vector<Value *> Ops;
+  bool operator<(const CseKey &O) const {
+    if (Op != O.Op)
+      return Op < O.Op;
+    if (Attr != O.Attr)
+      return Attr < O.Attr;
+    if (Ty != O.Ty)
+      return Ty < O.Ty;
+    return Ops < O.Ops;
+  }
+};
+} // namespace
+
+static void cseBlock(Function &F, BasicBlock *BB,
+                     std::map<CseKey, Instruction *> Available,
+                     const std::map<BasicBlock *, std::vector<BasicBlock *>>
+                         &DomChildren,
+                     PipelineStats &Stats, bool &Changed) {
+  for (size_t Idx = 0; Idx < BB->size();) {
+    Instruction *I = BB->instr(Idx);
+    if (!I->isPure() || I->isPhi()) {
+      ++Idx;
+      continue;
+    }
+    // Device queries without operands are uniform per work-item: CSE-able.
+    CseKey Key{I->opcode(), I->attr(), I->type(), I->operands()};
+    auto It = Available.find(Key);
+    if (It != Available.end()) {
+      F.replaceAllUsesWith(I, It->second);
+      BB->erase(Idx);
+      Changed = true;
+      ++Stats.InstructionsRemoved;
+      continue;
+    }
+    Available.emplace(std::move(Key), I);
+    ++Idx;
+  }
+  auto It = DomChildren.find(BB);
+  if (It == DomChildren.end())
+    return;
+  for (BasicBlock *Child : It->second)
+    cseBlock(F, Child, Available, DomChildren, Stats, Changed);
+}
+
+bool concord::transforms::cse(Function &F, PipelineStats &Stats) {
+  analysis::DominatorTree DT(F);
+  std::map<BasicBlock *, std::vector<BasicBlock *>> DomChildren;
+  for (BasicBlock *BB : DT.order())
+    if (BasicBlock *ID = DT.idom(BB))
+      DomChildren[ID].push_back(BB);
+  bool Changed = false;
+  cseBlock(F, F.entry(), {}, DomChildren, Stats, Changed);
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+bool concord::transforms::dce(Function &F, PipelineStats &Stats) {
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    auto Uses = countUses(F);
+    for (BasicBlock *BB : F) {
+      for (size_t Idx = BB->size(); Idx-- > 0;) {
+        Instruction *I = BB->instr(Idx);
+        if (I->isTerminator() || I->type()->isVoid())
+          continue;
+        bool Removable = I->isPure() || I->isPhi() ||
+                         I->opcode() == Opcode::Alloca;
+        if (!Removable)
+          continue;
+        unsigned N = Uses.count(I) ? Uses[I] : 0;
+        // A phi used only by itself is dead.
+        if (I->isPhi() && N > 0) {
+          unsigned SelfUses = 0;
+          for (Value *Op : I->operands())
+            if (Op == I)
+              ++SelfUses;
+          if (SelfUses == N)
+            N = 0;
+        }
+        if (N == 0) {
+          if (I->isAddressTranslate())
+            ++Stats.TranslationsRemoved;
+          BB->erase(Idx);
+          Changed = true;
+          ++Stats.InstructionsRemoved;
+        }
+      }
+    }
+    EverChanged |= Changed;
+  }
+  return EverChanged;
+}
+
+//===----------------------------------------------------------------------===//
+// LICM
+//===----------------------------------------------------------------------===//
+
+bool concord::transforms::licm(Function &F, PipelineStats &Stats) {
+  analysis::DominatorTree DT(F);
+  analysis::LoopInfo LI(F, DT);
+  bool EverChanged = false;
+
+  for (const auto &L : LI.loops()) {
+    if (!L->Preheader)
+      continue;
+    Instruction *PreTerm = L->Preheader->terminator();
+    if (!PreTerm)
+      continue;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BasicBlock *BB : L->Blocks) {
+        for (size_t Idx = 0; Idx < BB->size();) {
+          Instruction *I = BB->instr(Idx);
+          bool Hoistable = I->isPure() && !I->isPhi() &&
+                           I->opcode() != Opcode::GlobalId &&
+                           I->opcode() != Opcode::LocalId &&
+                           I->numBlocks() == 0;
+          // All operands must be defined outside the loop.
+          if (Hoistable) {
+            for (Value *Op : I->operands()) {
+              if (auto *OpI = dyn_cast<Instruction>(Op))
+                if (L->contains(OpI->parent()))
+                  Hoistable = false;
+            }
+          }
+          if (!Hoistable) {
+            ++Idx;
+            continue;
+          }
+          // Move to the preheader, before its terminator.
+          std::unique_ptr<Instruction> Taken = BB->take(Idx);
+          Instruction *Raw = Taken.get();
+          size_t TermIdx = L->Preheader->indexOf(L->Preheader->terminator());
+          L->Preheader->insertAt(TermIdx, std::move(Taken));
+          (void)Raw;
+          Changed = true;
+          EverChanged = true;
+        }
+      }
+    }
+  }
+  (void)Stats;
+  return EverChanged;
+}

@@ -1,0 +1,332 @@
+//===- SvmLowering.cpp - Software SVM pointer translation (PTROPT) --------===//
+//
+// Implements the paper's sections 3.1 and 4.1. Shared pointers hold CPU
+// virtual addresses; dereferencing on the GPU requires adding the runtime
+// constant svm_const = gpu_base - cpu_base. This pass decides where those
+// translations go:
+//
+//   Eager  - translate at each def; convert back (GpuToCpu) before storing
+//            a pointer to memory. This is the naive baseline and wastes
+//            work when pointers are copied but never dereferenced.
+//   Lazy   - translate immediately before each dereference; wastes work
+//            when the same pointer is dereferenced repeatedly (in loops).
+//   Hybrid - PTROPT: keep BOTH representations of every pointer. Address
+//            computations (field/index arithmetic, phis, selects) are
+//            mirrored in GPU space, dereferences use the GPU
+//            representation, pointer-valued stores use the CPU one, and
+//            the subsequent DCE/CSE/LICM cleanup removes whichever copies
+//            are unused and hoists loop-invariant translations.
+//
+// Pointers that provably derive from allocas (private memory, i.e. the
+// stack objects the compiler promotes to private memory per section 4) are
+// never translated: private memory is per-work-item and not shared.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "transforms/Passes.h"
+
+#include <map>
+#include <set>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+namespace {
+
+enum class Provenance { Unknown, Private, Shared };
+
+Provenance meet(Provenance A, Provenance B) {
+  if (A == Provenance::Unknown)
+    return B;
+  if (B == Provenance::Unknown)
+    return A;
+  return A == B ? A : Provenance::Shared;
+}
+
+/// True for values whose representation the pass tracks (pointers).
+bool isPointerValue(const Value *V) { return V->type()->isPointer(); }
+
+class SvmLoweringPass {
+public:
+  SvmLoweringPass(Function &F, SvmMode Mode, PipelineStats &Stats)
+      : F(F), M(*F.parent()), Mode(Mode), Stats(Stats) {}
+
+  bool run();
+
+private:
+  void computeProvenance();
+  bool isShared(Value *V) const {
+    if (!isPointerValue(V))
+      return false;
+    auto It = Prov.find(V);
+    // Constants (null) and anything unseen default to shared.
+    return It == Prov.end() || It->second != Provenance::Private;
+  }
+
+  /// GPU representation of \p V, creating the mirror chain on demand.
+  Value *gpuRepr(Value *V);
+
+  Instruction *insertAfterDef(Value *V, std::unique_ptr<Instruction> I);
+
+  Function &F;
+  Module &M;
+  SvmMode Mode;
+  PipelineStats &Stats;
+  std::map<Value *, Provenance> Prov;
+  std::map<Value *, Value *> GpuOf;
+};
+
+void SvmLoweringPass::computeProvenance() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      for (Instruction *I : *BB) {
+        if (!isPointerValue(I))
+          continue;
+        Provenance P = Provenance::Unknown;
+        switch (I->opcode()) {
+        case Opcode::Alloca:
+          P = Provenance::Private;
+          break;
+        case Opcode::Load:
+        case Opcode::Call:
+        case Opcode::VCall:
+          P = Provenance::Shared;
+          break;
+        case Opcode::Cast:
+          if (I->castKind() == CastKind::BitCast &&
+              isPointerValue(I->operand(0))) {
+            auto It = Prov.find(I->operand(0));
+            P = It == Prov.end() ? Provenance::Unknown : It->second;
+          } else {
+            P = Provenance::Shared; // IntToPtr etc.
+          }
+          break;
+        case Opcode::FieldAddr:
+        case Opcode::IndexAddr: {
+          auto It = Prov.find(I->operand(0));
+          P = It == Prov.end() ? Provenance::Unknown : It->second;
+          break;
+        }
+        case Opcode::Phi:
+        case Opcode::Select: {
+          unsigned First = I->opcode() == Opcode::Select ? 1 : 0;
+          for (unsigned K = First; K < I->numOperands(); ++K) {
+            Value *Op = I->operand(K);
+            if (Op == I)
+              continue;
+            if (Op->isConstant()) {
+              P = meet(P, Provenance::Shared);
+              continue;
+            }
+            auto It = Prov.find(Op);
+            if (It != Prov.end())
+              P = meet(P, It->second);
+            else if (isa<Argument>(Op))
+              P = meet(P, Provenance::Shared);
+          }
+          break;
+        }
+        default:
+          P = Provenance::Shared;
+          break;
+        }
+        auto It = Prov.find(I);
+        Provenance Old = It == Prov.end() ? Provenance::Unknown : It->second;
+        if (P != Old) {
+          Prov[I] = P;
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+Instruction *SvmLoweringPass::insertAfterDef(Value *V,
+                                             std::unique_ptr<Instruction> I) {
+  if (auto *DefI = dyn_cast<Instruction>(V)) {
+    BasicBlock *BB = DefI->parent();
+    size_t Idx = BB->indexOf(DefI);
+    if (DefI->isPhi()) {
+      // Keep the phi cluster intact: insert after the last phi.
+      while (Idx < BB->size() && BB->instr(Idx)->isPhi())
+        ++Idx;
+      return BB->insertAt(Idx, std::move(I));
+    }
+    return BB->insertAt(Idx + 1, std::move(I));
+  }
+  // Arguments and constants: at the top of the entry block.
+  return F.entry()->insertAt(0, std::move(I));
+}
+
+Value *SvmLoweringPass::gpuRepr(Value *V) {
+  auto It = GpuOf.find(V);
+  if (It != GpuOf.end())
+    return It->second;
+
+  TypeContext &T = M.types();
+  auto *I = dyn_cast<Instruction>(V);
+
+  // Mirror address arithmetic so derived pointers stay translated (the
+  // "both representations" strategy of section 4.1).
+  if (I && (I->opcode() == Opcode::FieldAddr ||
+            I->opcode() == Opcode::IndexAddr ||
+            (I->opcode() == Opcode::Cast &&
+             I->castKind() == CastKind::BitCast &&
+             isPointerValue(I->operand(0))))) {
+    auto Mirror = std::make_unique<Instruction>(I->opcode(), I->type());
+    Mirror->setAttr(I->attr());
+    Mirror->setName(I->name().empty() ? "g" : I->name() + ".g");
+    Instruction *MirrorI = insertAfterDef(V, std::move(Mirror));
+    GpuOf[V] = MirrorI; // Break cycles before recursing.
+    MirrorI->addOperand(gpuRepr(I->operand(0)));
+    for (unsigned K = 1; K < I->numOperands(); ++K)
+      MirrorI->addOperand(I->operand(K));
+    return MirrorI;
+  }
+  if (I && I->opcode() == Opcode::Phi) {
+    auto Mirror = std::make_unique<Instruction>(Opcode::Phi, I->type());
+    Mirror->setName("phi.g");
+    Instruction *MirrorI = I->parent()->insertAt(0, std::move(Mirror));
+    GpuOf[V] = MirrorI;
+    for (unsigned K = 0; K < I->numOperands(); ++K) {
+      Value *In = I->incomingValue(K);
+      Value *GIn = In == I ? MirrorI
+                   : isShared(In) || In->isConstant() ? gpuRepr(In)
+                                                      : In;
+      MirrorI->addIncoming(GIn, I->incomingBlock(K));
+    }
+    return MirrorI;
+  }
+  if (I && I->opcode() == Opcode::Select) {
+    auto Mirror = std::make_unique<Instruction>(Opcode::Select, I->type());
+    Mirror->setName("sel.g");
+    Instruction *MirrorI = insertAfterDef(V, std::move(Mirror));
+    GpuOf[V] = MirrorI;
+    MirrorI->addOperand(I->operand(0));
+    MirrorI->addOperand(gpuRepr(I->operand(1)));
+    MirrorI->addOperand(gpuRepr(I->operand(2)));
+    return MirrorI;
+  }
+
+  // Root: a real translation instruction.
+  auto Xlate = std::make_unique<Instruction>(Opcode::CpuToGpu, V->type());
+  Xlate->addOperand(V);
+  Xlate->setName("gpu");
+  Instruction *XI = insertAfterDef(V, std::move(Xlate));
+  ++Stats.TranslationsInserted;
+  GpuOf[V] = XI;
+  (void)T;
+  return XI;
+}
+
+bool SvmLoweringPass::run() {
+  if (F.empty() || Mode == SvmMode::None)
+    return false;
+  computeProvenance();
+
+  bool Changed = false;
+  TypeContext &T = M.types();
+
+  if (Mode == SvmMode::Lazy) {
+    // Translate right before every dereference of a shared pointer.
+    for (BasicBlock *BB : F) {
+      for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+        Instruction *I = BB->instr(Idx);
+        auto LazyXlate = [&](unsigned OpIdx) {
+          Value *Addr = I->operand(OpIdx);
+          if (!isShared(Addr))
+            return;
+          auto X = std::make_unique<Instruction>(Opcode::CpuToGpu,
+                                                 Addr->type());
+          X->addOperand(Addr);
+          Instruction *XI = BB->insertAt(Idx, std::move(X));
+          ++Idx;
+          I->setOperand(OpIdx, XI);
+          ++Stats.TranslationsInserted;
+          Changed = true;
+        };
+        switch (I->opcode()) {
+        case Opcode::Load:
+          LazyXlate(0);
+          break;
+        case Opcode::Store:
+          LazyXlate(1);
+          break;
+        case Opcode::Memcpy:
+          LazyXlate(0);
+          LazyXlate(1);
+          break;
+        default:
+          break;
+        }
+      }
+    }
+    return Changed;
+  }
+
+  // Eager / Hybrid: collect dereference sites first (the mirror creation
+  // below inserts instructions and would invalidate in-place iteration).
+  struct Deref {
+    Instruction *I;
+    unsigned OpIdx;
+  };
+  std::vector<Deref> Derefs;
+  std::vector<Deref> PointerStores; // Store instructions storing a pointer.
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      switch (I->opcode()) {
+      case Opcode::Load:
+        if (isShared(I->operand(0)))
+          Derefs.push_back({I, 0});
+        break;
+      case Opcode::Store:
+        if (isShared(I->operand(1)))
+          Derefs.push_back({I, 1});
+        if (Mode == SvmMode::Eager && isPointerValue(I->operand(0)) &&
+            isShared(I->operand(0)))
+          PointerStores.push_back({I, 0});
+        break;
+      case Opcode::Memcpy:
+        if (isShared(I->operand(0)))
+          Derefs.push_back({I, 0});
+        if (isShared(I->operand(1)))
+          Derefs.push_back({I, 1});
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  for (Deref &D : Derefs) {
+    D.I->setOperand(D.OpIdx, gpuRepr(D.I->operand(D.OpIdx)));
+    Changed = true;
+  }
+
+  // Eager mode converts stored pointers back to the CPU representation,
+  // the "wasted work" pattern of Figure 4 that PTROPT avoids.
+  for (Deref &D : PointerStores) {
+    Value *V = D.I->operand(D.OpIdx);
+    Value *G = gpuRepr(V);
+    auto Back = std::make_unique<Instruction>(Opcode::GpuToCpu, V->type());
+    Back->addOperand(G);
+    BasicBlock *BB = D.I->parent();
+    Instruction *BackI = BB->insertAt(BB->indexOf(D.I), std::move(Back));
+    D.I->setOperand(D.OpIdx, BackI);
+    ++Stats.TranslationsInserted;
+    Changed = true;
+  }
+  (void)T;
+  return Changed;
+}
+
+} // namespace
+
+bool concord::transforms::svmLowering(Function &F, SvmMode Mode,
+                                      PipelineStats &Stats) {
+  return SvmLoweringPass(F, Mode, Stats).run();
+}

@@ -1,0 +1,142 @@
+//===- TailRecursionElim.cpp - Eliminate self tail calls ------------------===//
+//
+// Concord forbids recursion on the GPU except tail recursion eliminable at
+// compile time (paper section 2.1). This pass rewrites self tail calls into
+// a branch back to a header placed after the parameter prologue.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Passes.h"
+#include "transforms/Utils.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+bool concord::transforms::tailRecursionElim(Function &F,
+                                            PipelineStats &Stats) {
+  if (F.empty())
+    return false;
+
+  // Find self tail calls: call @F immediately followed by ret (of the call
+  // result, or bare ret in void functions).
+  struct Site {
+    BasicBlock *BB;
+    size_t CallIdx;
+  };
+  std::vector<Site> Sites;
+  for (BasicBlock *BB : F) {
+    for (size_t Idx = 0; Idx + 1 < BB->size(); ++Idx) {
+      Instruction *I = BB->instr(Idx);
+      if (I->opcode() != Opcode::Call || I->callee() != &F)
+        continue;
+      Instruction *Next = BB->instr(Idx + 1);
+      if (Next->opcode() != Opcode::Ret)
+        continue;
+      if (Next->numOperands() == 1 && Next->operand(0) != I)
+        continue;
+      Sites.push_back({BB, Idx});
+    }
+  }
+  if (Sites.empty())
+    return false;
+
+  // The IRGen prologue stores each scalar argument into an alloca at the
+  // top of the entry block. Identify those slots.
+  BasicBlock *Entry = F.entry();
+  std::map<Argument *, Instruction *> SlotOf;
+  std::map<Instruction *, bool> IsPrologueAlloca;
+  size_t PrologueEnd = 0;
+  for (; PrologueEnd < Entry->size(); ++PrologueEnd) {
+    Instruction *I = Entry->instr(PrologueEnd);
+    if (I->opcode() == Opcode::Alloca) {
+      IsPrologueAlloca[I] = true;
+      continue;
+    }
+    if (I->opcode() == Opcode::Store) {
+      auto *Arg = dyn_cast<Argument>(I->operand(0));
+      auto *Slot = dyn_cast<Instruction>(I->operand(1));
+      if (Arg && Slot && IsPrologueAlloca.count(Slot) && !SlotOf.count(Arg)) {
+        SlotOf[Arg] = Slot;
+        continue;
+      }
+    }
+    break;
+  }
+
+  // Every argument must be rebindable: either it has a slot, or its only
+  // use is the prologue store (checked via use counting).
+  auto Uses = countUses(F);
+  for (unsigned A = 0; A < F.numArgs(); ++A) {
+    Argument *Arg = F.arg(A);
+    unsigned N = Uses.count(Arg) ? Uses[Arg] : 0;
+    bool HasSlot = SlotOf.count(Arg) != 0;
+    if ((HasSlot && N != 1) || (!HasSlot && N != 0))
+      return false; // Argument used directly; cannot rebind.
+  }
+
+  // Split the entry: everything after the prologue moves into the header.
+  BasicBlock *Header = F.createBlockAfter(Entry, "tre.header");
+  while (Entry->size() > PrologueEnd)
+    Header->append(Entry->take(PrologueEnd));
+  {
+    auto Br = std::make_unique<Instruction>(Opcode::Br,
+                                            F.parent()->types().voidTy());
+    Br->addBlock(Header);
+    Entry->append(std::move(Br));
+  }
+  // Phis naming Entry as predecessor now come from Header... Entry had the
+  // original terminator moved into Header, so successors' phis referencing
+  // Entry must point at Header instead.
+  for (BasicBlock *S : Header->successors())
+    for (Instruction *Phi : S->phis())
+      for (unsigned K = 0; K < Phi->numBlocks(); ++K)
+        if (Phi->incomingBlock(K) == Entry)
+          Phi->setBlock(K, Header);
+
+  // Re-scan sites: the split moved instructions out of the entry block, so
+  // the indices collected above are stale.
+  Sites.clear();
+  for (BasicBlock *BB : F) {
+    for (size_t Idx = 0; Idx + 1 < BB->size(); ++Idx) {
+      Instruction *I = BB->instr(Idx);
+      if (I->opcode() != Opcode::Call || I->callee() != &F)
+        continue;
+      Instruction *Next = BB->instr(Idx + 1);
+      if (Next->opcode() != Opcode::Ret)
+        continue;
+      if (Next->numOperands() == 1 && Next->operand(0) != I)
+        continue;
+      Sites.push_back({BB, Idx});
+    }
+  }
+
+  // Rewrite each site: store new argument values into the slots, branch to
+  // the header. Sites are rewritten back-to-front so indices stay valid
+  // when a block contains several.
+  for (auto It = Sites.rbegin(); It != Sites.rend(); ++It) {
+    Site &S = *It;
+    Instruction *Call = S.BB->instr(S.CallIdx);
+    // Drop the ret first, then the call.
+    S.BB->erase(S.CallIdx + 1);
+    std::vector<Value *> NewArgs(Call->operands());
+    S.BB->erase(S.CallIdx);
+    size_t InsertIdx = S.CallIdx;
+    for (unsigned A = 0; A < F.numArgs(); ++A) {
+      auto It = SlotOf.find(F.arg(A));
+      if (It == SlotOf.end())
+        continue;
+      auto St = std::make_unique<Instruction>(Opcode::Store,
+                                              F.parent()->types().voidTy());
+      St->addOperand(NewArgs[A]);
+      St->addOperand(It->second);
+      S.BB->insertAt(InsertIdx++, std::move(St));
+    }
+    auto Br = std::make_unique<Instruction>(Opcode::Br,
+                                            F.parent()->types().voidTy());
+    Br->addBlock(Header);
+    S.BB->insertAt(InsertIdx, std::move(Br));
+    ++Stats.TailCallsEliminated;
+  }
+  return true;
+}

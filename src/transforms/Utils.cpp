@@ -1,0 +1,51 @@
+//===- Utils.cpp ----------------------------------------------------------===//
+
+#include "transforms/Utils.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+std::unique_ptr<Instruction> concord::transforms::cloneInstruction(
+    const Instruction *I, const std::map<Value *, Value *> &ValueMap,
+    const std::map<BasicBlock *, BasicBlock *> &BlockMap) {
+  auto C = std::make_unique<Instruction>(I->opcode(), I->type());
+  C->setAttr(I->attr());
+  C->setAuxType(I->auxType());
+  C->setCallee(I->callee());
+  C->setLoc(I->loc());
+  if (I->opcode() == Opcode::VCall)
+    C->setVCallTarget(I->vcallClass(), I->vcallGroup(), I->vcallSlot());
+  for (Value *Op : I->operands()) {
+    auto It = ValueMap.find(Op);
+    C->addOperand(It == ValueMap.end() ? Op : It->second);
+  }
+  for (BasicBlock *BB : I->blocks()) {
+    auto It = BlockMap.find(BB);
+    C->addBlock(It == BlockMap.end() ? BB : It->second);
+  }
+  return C;
+}
+
+std::map<Value *, unsigned> concord::transforms::countUses(Function &F) {
+  std::map<Value *, unsigned> Uses;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      for (Value *Op : I->operands())
+        ++Uses[Op];
+  return Uses;
+}
+
+bool concord::transforms::dependsOn(Value *V, Value *Root, unsigned Depth) {
+  if (V == Root)
+    return true;
+  if (Depth == 0)
+    return false;
+  auto *I = dyn_cast<Instruction>(V);
+  if (!I || I->isPhi())
+    return false;
+  for (Value *Op : I->operands())
+    if (dependsOn(Op, Root, Depth - 1))
+      return true;
+  return false;
+}

@@ -1,0 +1,30 @@
+//===- Utils.h - Shared transform utilities ---------------------*- C++ -*-===//
+
+#ifndef CONCORD_TRANSFORMS_UTILS_H
+#define CONCORD_TRANSFORMS_UTILS_H
+
+#include "cir/Function.h"
+#include <map>
+#include <memory>
+
+namespace concord {
+namespace transforms {
+
+/// Clones \p I with operands/blocks remapped through \p ValueMap /
+/// \p BlockMap (identity when a key is absent).
+std::unique_ptr<cir::Instruction>
+cloneInstruction(const cir::Instruction *I,
+                 const std::map<cir::Value *, cir::Value *> &ValueMap,
+                 const std::map<cir::BasicBlock *, cir::BasicBlock *> &BlockMap);
+
+/// Counts uses of every instruction/argument in \p F.
+std::map<cir::Value *, unsigned> countUses(cir::Function &F);
+
+/// True when \p V transitively depends on \p Root through pure
+/// instructions (used by L3OPT to find induction-dependent addresses).
+bool dependsOn(cir::Value *V, cir::Value *Root, unsigned Depth = 16);
+
+} // namespace transforms
+} // namespace concord
+
+#endif // CONCORD_TRANSFORMS_UTILS_H

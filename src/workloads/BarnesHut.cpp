@@ -1,0 +1,329 @@
+//===- BarnesHut.cpp - N-body force calculation over an octree ------------===//
+//
+// The in-house BarnesHut workload: bodies are partitioned into an octree
+// so near forces are exact and far cells are approximated through their
+// center of mass. The offloaded phase is the force calculation (as in the
+// paper); the octree is built on the host inside the shared region. The
+// traversal is highly irregular: an explicit stack of node pointers, with
+// per-body divergent opening decisions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cmath>
+#include <array>
+#include <cstddef>
+#include <random>
+
+using namespace concord;
+using namespace concord::workloads;
+
+namespace {
+
+struct BHNode {
+  float X, Y, Z;   ///< Body position / cell center of mass.
+  float Mass;
+  int32_t IsLeaf;
+  float HalfSize;
+  BHNode *Children[8];
+};
+
+constexpr float Theta = 0.6f;
+constexpr float Soften = 0.05f;
+
+class BarnesHutWorkload final : public Workload {
+public:
+  const char *name() const override { return "BarnesHut"; }
+  const char *origin() const override { return "In-house"; }
+  const char *dataStructure() const override { return "tree"; }
+  const char *parallelConstruct() const override {
+    return "parallel_for_hetero";
+  }
+  std::string inputDescription() const override {
+    return formatString("%zu bodies, octree with %zu cells", NumBodies,
+                        NumCells);
+  }
+
+  runtime::KernelSpec kernelSpec() const override {
+    return {R"(
+      class BHNode {
+      public:
+        float x; float y; float z;
+        float mass;
+        int isLeaf;
+        float halfSize;
+        BHNode* children[8];
+      };
+      class BHForce {
+      public:
+        BHNode* root;
+        BHNode** bodies;
+        float* ax; float* ay; float* az;
+        float theta2;
+        void operator()(int i) {
+          BHNode* body = bodies[i];
+          float px = body->x;
+          float py = body->y;
+          float pz = body->z;
+          float fx = 0.0f; float fy = 0.0f; float fz = 0.0f;
+          BHNode* stack[192];
+          int top = 1;
+          stack[0] = root;
+          while (top > 0) {
+            top = top - 1;
+            BHNode* n = stack[top];
+            if (n == body)
+              continue;
+            float dx = n->x - px;
+            float dy = n->y - py;
+            float dz = n->z - pz;
+            float d2 = dx*dx + dy*dy + dz*dz + 0.0025f;
+            float s = n->halfSize * 2.0f;
+            if (n->isLeaf == 1 || s * s < theta2 * d2) {
+              float inv = rsqrtf(d2);
+              float f = n->mass * inv * inv * inv;
+              fx += dx * f;
+              fy += dy * f;
+              fz += dz * f;
+            } else {
+              for (int c = 0; c < 8; c++) {
+                BHNode* ch = n->children[c];
+                if (ch != nullptr) {
+                  stack[top] = ch;
+                  top = top + 1;
+                }
+              }
+            }
+          }
+          ax[i] = fx;
+          ay[i] = fy;
+          az[i] = fz;
+        }
+      };
+    )",
+            "BHForce"};
+  }
+
+  bool setup(svm::SharedRegion &Region, unsigned Scale) override {
+    static_assert(offsetof(BHNode, Children) == 24,
+                  "host/kernel BHNode layout divergence");
+    NumBodies = size_t(4000) * Scale;
+    std::mt19937_64 Rng(3);
+    // Plummer-ish clustered distribution: clusters produce the deep,
+    // unbalanced subtrees that make the traversal irregular.
+    std::uniform_real_distribution<float> U(-1.0f, 1.0f);
+    std::normal_distribution<float> Cluster(0.0f, 0.08f);
+
+    Bodies = Region.allocArray<BHNode *>(NumBodies);
+    Ax = Region.allocArray<float>(NumBodies);
+    Ay = Region.allocArray<float>(NumBodies);
+    Az = Region.allocArray<float>(NumBodies);
+    BodyMem = Region.allocate(128);
+    if (!Bodies || !Ax || !Ay || !Az || !BodyMem)
+      return false;
+
+    std::vector<std::array<float, 3>> Pos(NumBodies);
+    for (size_t I = 0; I < NumBodies; ++I) {
+      if (I % 4 == 0) {
+        Pos[I] = {U(Rng), U(Rng), U(Rng)};
+      } else {
+        size_t C = (I / 4) % 5;
+        float Cx = -0.8f + 0.4f * float(C);
+        Pos[I] = {Cx + Cluster(Rng), Cluster(Rng) * 2.0f, Cluster(Rng)};
+      }
+    }
+
+    // Build the octree by insertion.
+    Root = newCell(Region, 0, 0, 0, 2.0f);
+    if (!Root)
+      return false;
+    for (size_t I = 0; I < NumBodies; ++I) {
+      auto *B = Region.create<BHNode>();
+      if (!B)
+        return false;
+      *B = {};
+      B->X = Pos[I][0];
+      B->Y = Pos[I][1];
+      B->Z = Pos[I][2];
+      B->Mass = 1.0f + float(I % 3);
+      B->IsLeaf = 1;
+      Bodies[I] = B;
+      if (!insert(Region, Root, B, 0, 0, 0, 2.0f))
+        return false;
+    }
+    summarize(Root);
+
+    // Native reference forces.
+    ExpectedAx.resize(NumBodies);
+    ExpectedAy.resize(NumBodies);
+    ExpectedAz.resize(NumBodies);
+    for (size_t I = 0; I < NumBodies; ++I)
+      referenceForce(I);
+    return true;
+  }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
+    std::fill(Ax, Ax + NumBodies, 0.0f);
+    std::fill(Ay, Ay + NumBodies, 0.0f);
+    std::fill(Az, Az + NumBodies, 0.0f);
+    struct BodyBits {
+      BHNode *Root;
+      BHNode **Bodies;
+      float *Ax, *Ay, *Az;
+      float Theta2;
+    };
+    *static_cast<BodyBits *>(BodyMem) = {Root, Bodies, Ax, Ay, Az,
+                                         Theta * Theta};
+    LaunchReport Rep =
+        RT.offload(kernelSpec(), int64_t(NumBodies), BodyMem, OnCpu);
+    Run.Ok = accumulate(Run, Rep);
+    return Run;
+  }
+
+  bool verify(std::string *Error) const override {
+    for (size_t I = 0; I < NumBodies; ++I) {
+      float Scale = std::fabs(ExpectedAx[I]) + std::fabs(ExpectedAy[I]) +
+                    std::fabs(ExpectedAz[I]) + 1.0f;
+      if (std::fabs(Ax[I] - ExpectedAx[I]) > 1e-2f * Scale ||
+          std::fabs(Ay[I] - ExpectedAy[I]) > 1e-2f * Scale ||
+          std::fabs(Az[I] - ExpectedAz[I]) > 1e-2f * Scale) {
+        if (Error)
+          *Error = formatString(
+              "BarnesHut: body %zu force (%g,%g,%g) expected (%g,%g,%g)", I,
+              Ax[I], Ay[I], Az[I], ExpectedAx[I], ExpectedAy[I],
+              ExpectedAz[I]);
+        return false;
+      }
+    }
+    return true;
+  }
+
+private:
+  BHNode *newCell(svm::SharedRegion &Region, float X, float Y, float Z,
+                  float HalfSize) {
+    auto *N = Region.create<BHNode>();
+    if (!N)
+      return nullptr;
+    *N = {};
+    N->X = X;
+    N->Y = Y;
+    N->Z = Z;
+    N->HalfSize = HalfSize;
+    ++NumCells;
+    return N;
+  }
+
+  static int octantOf(const BHNode *Cell, float CX, float CY, float CZ,
+                      const BHNode *B) {
+    return (B->X >= CX ? 1 : 0) | (B->Y >= CY ? 2 : 0) |
+           (B->Z >= CZ ? 4 : 0);
+  }
+
+  bool insert(svm::SharedRegion &Region, BHNode *Cell, BHNode *B, float CX,
+              float CY, float CZ, float HalfSize) {
+    int Oct = octantOf(Cell, CX, CY, CZ, B);
+    float H2 = HalfSize / 2;
+    float NX = CX + (Oct & 1 ? H2 : -H2);
+    float NY = CY + (Oct & 2 ? H2 : -H2);
+    float NZ = CZ + (Oct & 4 ? H2 : -H2);
+    BHNode *Child = Cell->Children[Oct];
+    if (!Child) {
+      Cell->Children[Oct] = B;
+      return true;
+    }
+    if (Child->IsLeaf) {
+      // Split: replace the leaf with a cell holding both bodies.
+      if (HalfSize < 1e-5f) {
+        // Degenerate coincident points: nudge.
+        B->X += 1e-4f;
+        Cell->Children[Oct] = B; // Drop the old one into the new slot...
+        Cell->Children[Oct] = Child;
+        return true;
+      }
+      BHNode *NewCell = newCell(Region, NX, NY, NZ, H2);
+      if (!NewCell)
+        return false;
+      Cell->Children[Oct] = NewCell;
+      if (!insert(Region, NewCell, Child, NX, NY, NZ, H2))
+        return false;
+      return insert(Region, NewCell, B, NX, NY, NZ, H2);
+    }
+    return insert(Region, Child, B, NX, NY, NZ, H2);
+  }
+
+  /// Bottom-up center-of-mass computation for internal cells.
+  void summarize(BHNode *N) {
+    if (N->IsLeaf)
+      return;
+    float M = 0, X = 0, Y = 0, Z = 0;
+    for (BHNode *C : N->Children) {
+      if (!C)
+        continue;
+      summarize(C);
+      M += C->Mass;
+      X += C->X * C->Mass;
+      Y += C->Y * C->Mass;
+      Z += C->Z * C->Mass;
+    }
+    N->Mass = M;
+    if (M > 0) {
+      N->X = X / M;
+      N->Y = Y / M;
+      N->Z = Z / M;
+    }
+  }
+
+  /// Native reference: mirrors the kernel's traversal exactly.
+  void referenceForce(size_t I) {
+    const BHNode *Body = Bodies[I];
+    float PX = Body->X, PY = Body->Y, PZ = Body->Z;
+    float FX = 0, FY = 0, FZ = 0;
+    const BHNode *Stack[192];
+    int Top = 1;
+    Stack[0] = Root;
+    float Theta2 = Theta * Theta;
+    while (Top > 0) {
+      const BHNode *N = Stack[--Top];
+      if (N == Body)
+        continue;
+      float DX = N->X - PX, DY = N->Y - PY, DZ = N->Z - PZ;
+      float D2 = DX * DX + DY * DY + DZ * DZ + 0.0025f;
+      float S = N->HalfSize * 2.0f;
+      if (N->IsLeaf == 1 || S * S < Theta2 * D2) {
+        float Inv = 1.0f / std::sqrt(D2);
+        float F = N->Mass * Inv * Inv * Inv;
+        FX += DX * F;
+        FY += DY * F;
+        FZ += DZ * F;
+      } else {
+        for (const BHNode *C : N->Children)
+          if (C) {
+            assert(Top < 192 && "reference traversal stack overflow");
+            Stack[Top++] = C;
+          }
+      }
+    }
+    ExpectedAx[I] = FX;
+    ExpectedAy[I] = FY;
+    ExpectedAz[I] = FZ;
+  }
+
+  size_t NumBodies = 0;
+  size_t NumCells = 0;
+  BHNode *Root = nullptr;
+  BHNode **Bodies = nullptr;
+  float *Ax = nullptr, *Ay = nullptr, *Az = nullptr;
+  void *BodyMem = nullptr;
+  std::vector<float> ExpectedAx, ExpectedAy, ExpectedAz;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> concord::workloads::makeBarnesHut() {
+  return std::make_unique<BarnesHutWorkload>();
+}

@@ -1,0 +1,308 @@
+//===- ClothPhysics.cpp - Soft-body cloth simulation (parallel_reduce) ----===//
+//
+// Stand-in for Intel's ClothPhysics sample (Table 1): the cloth is a graph
+// of mass points joined by springs (structural + shear), stored in CSR
+// form inside the shared region. Each step computes per-node spring
+// forces from the neighbors, integrates velocity and position, and
+// *reduces* the total kinetic energy across nodes - this is the paper's
+// one parallel_reduce_hetero workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace concord;
+using namespace concord::workloads;
+
+namespace {
+
+constexpr float Dt = 0.008f;
+constexpr float Stiffness = 40.0f;
+constexpr float Damping = 0.995f;
+constexpr float Gravity = -9.8f;
+constexpr unsigned TimeSteps = 4;
+
+class ClothWorkload final : public Workload {
+public:
+  const char *name() const override { return "ClothPhysics"; }
+  const char *origin() const override { return "Intel"; }
+  const char *dataStructure() const override { return "graph"; }
+  const char *parallelConstruct() const override {
+    return "parallel_reduce_hetero";
+  }
+  std::string inputDescription() const override {
+    return formatString("%ux%u cloth, %zu springs, %u steps", Width, Height,
+                        NumSprings, TimeSteps);
+  }
+
+  runtime::KernelSpec kernelSpec() const override {
+    return {R"(
+      class ClothBody {
+      public:
+        float* px; float* py; float* pz;
+        float* vx; float* vy; float* vz;
+        float* nx; float* ny; float* nz;
+        int* rowStart;
+        int* nbr;
+        float* restLen;
+        int* pinned;
+        float energy;
+        void operator()(int i) {
+          float xi = px[i];
+          float yi = py[i];
+          float zi = pz[i];
+          if (pinned[i] == 1) {
+            nx[i] = xi; ny[i] = yi; nz[i] = zi;
+            vx[i] = 0.0f; vy[i] = 0.0f; vz[i] = 0.0f;
+            return;
+          }
+          float fx = 0.0f;
+          float fy = -9.8f;
+          float fz = 0.0f;
+          int end = rowStart[i + 1];
+          for (int e = rowStart[i]; e < end; e++) {
+            int j = nbr[e];
+            float dx = px[j] - xi;
+            float dy = py[j] - yi;
+            float dz = pz[j] - zi;
+            float len = sqrtf(dx*dx + dy*dy + dz*dz) + 0.000001f;
+            float f = 40.0f * (len - restLen[e]) / len;
+            fx += f * dx;
+            fy += f * dy;
+            fz += f * dz;
+          }
+          float nvx = (vx[i] + fx * 0.008f) * 0.995f;
+          float nvy = (vy[i] + fy * 0.008f) * 0.995f;
+          float nvz = (vz[i] + fz * 0.008f) * 0.995f;
+          vx[i] = nvx; vy[i] = nvy; vz[i] = nvz;
+          nx[i] = xi + nvx * 0.008f;
+          ny[i] = yi + nvy * 0.008f;
+          nz[i] = zi + nvz * 0.008f;
+          energy += nvx*nvx + nvy*nvy + nvz*nvz;
+        }
+        void join(ClothBody& other) {
+          energy += other.energy;
+        }
+      };
+    )",
+            "ClothBody"};
+  }
+
+  bool setup(svm::SharedRegion &Region, unsigned Scale) override {
+    Width = 60 * Scale;
+    Height = 60 * Scale;
+    size_t N = size_t(Width) * Height;
+
+    auto AllocF = [&](float *&P) {
+      P = Region.allocArray<float>(N);
+      return P != nullptr;
+    };
+    if (!AllocF(Px) || !AllocF(Py) || !AllocF(Pz) || !AllocF(Vx) ||
+        !AllocF(Vy) || !AllocF(Vz) || !AllocF(Nx) || !AllocF(Ny) ||
+        !AllocF(Nz))
+      return false;
+    Pinned = Region.allocArray<int32_t>(N);
+    RowStart = Region.allocArray<int32_t>(N + 1);
+    BodyMem = Region.allocate(256);
+    if (!Pinned || !RowStart || !BodyMem)
+      return false;
+
+    // Springs: structural (4-neighborhood) + shear (diagonals).
+    std::vector<std::vector<size_t>> Adj(N);
+    auto Link = [&](size_t A, size_t B) {
+      Adj[A].push_back(B);
+      Adj[B].push_back(A);
+    };
+    auto Id = [&](unsigned X, unsigned Y) { return size_t(Y) * Width + X; };
+    for (unsigned Y = 0; Y < Height; ++Y)
+      for (unsigned X = 0; X < Width; ++X) {
+        if (X + 1 < Width)
+          Link(Id(X, Y), Id(X + 1, Y));
+        if (Y + 1 < Height)
+          Link(Id(X, Y), Id(X, Y + 1));
+        if (X + 1 < Width && Y + 1 < Height) {
+          Link(Id(X, Y), Id(X + 1, Y + 1));
+          Link(Id(X + 1, Y), Id(X, Y + 1));
+        }
+      }
+    NumSprings = 0;
+    for (auto &A : Adj)
+      NumSprings += A.size();
+    Nbr = Region.allocArray<int32_t>(NumSprings);
+    RestLen = Region.allocArray<float>(NumSprings);
+    if (!Nbr || !RestLen)
+      return false;
+
+    // Initial pose: flat sheet in XZ hanging from the pinned top row.
+    InitPx.resize(N);
+    InitPy.resize(N);
+    InitPz.resize(N);
+    const float Spacing = 0.05f;
+    for (unsigned Y = 0; Y < Height; ++Y)
+      for (unsigned X = 0; X < Width; ++X) {
+        size_t I = Id(X, Y);
+        InitPx[I] = float(X) * Spacing;
+        InitPy[I] = 0.0f;
+        InitPz[I] = float(Y) * Spacing;
+        Pinned[I] = (Y == 0) ? 1 : 0;
+      }
+
+    RowStart[0] = 0;
+    size_t E = 0;
+    for (size_t I = 0; I < N; ++I) {
+      for (size_t J : Adj[I]) {
+        Nbr[E] = int32_t(J);
+        float DX = InitPx[I] - InitPx[J];
+        float DY = InitPy[I] - InitPy[J];
+        float DZ = InitPz[I] - InitPz[J];
+        RestLen[E] = std::sqrt(DX * DX + DY * DY + DZ * DZ) * 0.95f;
+        ++E;
+      }
+      RowStart[I + 1] = int32_t(E);
+    }
+
+    computeReference();
+    return true;
+  }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
+    size_t N = size_t(Width) * Height;
+    std::copy(InitPx.begin(), InitPx.end(), Px);
+    std::copy(InitPy.begin(), InitPy.end(), Py);
+    std::copy(InitPz.begin(), InitPz.end(), Pz);
+    std::fill(Vx, Vx + N, 0.0f);
+    std::fill(Vy, Vy + N, 0.0f);
+    std::fill(Vz, Vz + N, 0.0f);
+
+    struct BodyBits {
+      float *Px, *Py, *Pz, *Vx, *Vy, *Vz, *Nx, *Ny, *Nz;
+      int32_t *RowStart;
+      int32_t *Nbr;
+      float *RestLen;
+      int32_t *Pinned;
+      float Energy;
+    };
+    auto *B = static_cast<BodyBits *>(BodyMem);
+    runtime::HostJoinFn Join = [](void *Into, void *From) {
+      static_cast<BodyBits *>(Into)->Energy +=
+          static_cast<BodyBits *>(From)->Energy;
+    };
+
+    LastEnergy = 0;
+    float *CurX = Px, *CurY = Py, *CurZ = Pz;
+    float *NewX = Nx, *NewY = Ny, *NewZ = Nz;
+    for (unsigned Step = 0; Step < TimeSteps; ++Step) {
+      *B = {CurX, CurY, CurZ, Vx,  Vy,      Vz,    NewX,  NewY, NewZ,
+            RowStart, Nbr,  RestLen, Pinned, 0.0f};
+      LaunchReport Rep = RT.offloadReduce(kernelSpec(), int64_t(N), B,
+                                          sizeof(BodyBits), Join, OnCpu);
+      if (!accumulate(Run, Rep))
+        return Run;
+      LastEnergy = B->Energy;
+      std::swap(CurX, NewX);
+      std::swap(CurY, NewY);
+      std::swap(CurZ, NewZ);
+    }
+    FinalX = CurX;
+    FinalY = CurY;
+    FinalZ = CurZ;
+    Run.Ok = true;
+    return Run;
+  }
+
+  bool verify(std::string *Error) const override {
+    size_t N = size_t(Width) * Height;
+    for (size_t I = 0; I < N; ++I) {
+      float Tol = 1e-3f;
+      if (std::fabs(FinalX[I] - RefX[I]) > Tol ||
+          std::fabs(FinalY[I] - RefY[I]) > Tol ||
+          std::fabs(FinalZ[I] - RefZ[I]) > Tol) {
+        if (Error)
+          *Error = formatString(
+              "ClothPhysics: node %zu at (%g,%g,%g), expected (%g,%g,%g)",
+              I, FinalX[I], FinalY[I], FinalZ[I], RefX[I], RefY[I], RefZ[I]);
+        return false;
+      }
+    }
+    if (std::fabs(LastEnergy - RefEnergy) >
+        0.01f * (std::fabs(RefEnergy) + 1.0f)) {
+      if (Error)
+        *Error = formatString("ClothPhysics: energy %g, expected %g",
+                              LastEnergy, RefEnergy);
+      return false;
+    }
+    return true;
+  }
+
+private:
+  void computeReference() {
+    size_t N = size_t(Width) * Height;
+    RefX = InitPx;
+    RefY = InitPy;
+    RefZ = InitPz;
+    std::vector<float> RVx(N, 0), RVy(N, 0), RVz(N, 0);
+    std::vector<float> NXv(N), NYv(N), NZv(N);
+    for (unsigned Step = 0; Step < TimeSteps; ++Step) {
+      RefEnergy = 0;
+      for (size_t I = 0; I < N; ++I) {
+        if (Pinned[I]) {
+          NXv[I] = RefX[I];
+          NYv[I] = RefY[I];
+          NZv[I] = RefZ[I];
+          RVx[I] = RVy[I] = RVz[I] = 0;
+          continue;
+        }
+        float FX = 0, FY = Gravity, FZ = 0;
+        for (int32_t E = RowStart[I]; E < RowStart[I + 1]; ++E) {
+          int32_t J = Nbr[E];
+          float DX = RefX[size_t(J)] - RefX[I];
+          float DY = RefY[size_t(J)] - RefY[I];
+          float DZ = RefZ[size_t(J)] - RefZ[I];
+          float Len = std::sqrt(DX * DX + DY * DY + DZ * DZ) + 1e-6f;
+          float F = Stiffness * (Len - RestLen[E]) / Len;
+          FX += F * DX;
+          FY += F * DY;
+          FZ += F * DZ;
+        }
+        RVx[I] = (RVx[I] + FX * Dt) * Damping;
+        RVy[I] = (RVy[I] + FY * Dt) * Damping;
+        RVz[I] = (RVz[I] + FZ * Dt) * Damping;
+        NXv[I] = RefX[I] + RVx[I] * Dt;
+        NYv[I] = RefY[I] + RVy[I] * Dt;
+        NZv[I] = RefZ[I] + RVz[I] * Dt;
+        RefEnergy += RVx[I] * RVx[I] + RVy[I] * RVy[I] + RVz[I] * RVz[I];
+      }
+      RefX = NXv;
+      RefY = NYv;
+      RefZ = NZv;
+    }
+  }
+
+  unsigned Width = 0, Height = 0;
+  size_t NumSprings = 0;
+  float *Px = nullptr, *Py = nullptr, *Pz = nullptr;
+  float *Vx = nullptr, *Vy = nullptr, *Vz = nullptr;
+  float *Nx = nullptr, *Ny = nullptr, *Nz = nullptr;
+  float *FinalX = nullptr, *FinalY = nullptr, *FinalZ = nullptr;
+  int32_t *Pinned = nullptr;
+  int32_t *RowStart = nullptr;
+  int32_t *Nbr = nullptr;
+  float *RestLen = nullptr;
+  void *BodyMem = nullptr;
+  std::vector<float> InitPx, InitPy, InitPz;
+  std::vector<float> RefX, RefY, RefZ;
+  float RefEnergy = 0;
+  float LastEnergy = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> concord::workloads::makeClothPhysics() {
+  return std::make_unique<ClothWorkload>();
+}

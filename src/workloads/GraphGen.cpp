@@ -1,0 +1,72 @@
+//===- GraphGen.cpp -------------------------------------------------------===//
+
+#include "workloads/GraphGen.h"
+
+#include <algorithm>
+#include <random>
+
+using namespace concord::workloads;
+
+CsrGraph concord::workloads::makeRoadNetwork(int32_t Side,
+                                             int32_t ShortcutPerMille,
+                                             int32_t MaxWeight,
+                                             uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  int32_t N = Side * Side;
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> Adj;
+  Adj.resize(size_t(N));
+
+  // Random node numbering: decorrelates node ids from grid topology so
+  // iterative algorithms' convergence does not depend on the device's
+  // iteration order (sequential sweeps would otherwise propagate labels
+  // across a whole row in one round).
+  std::vector<int32_t> Perm(static_cast<size_t>(N));
+  for (int32_t I = 0; I < N; ++I)
+    Perm[size_t(I)] = I;
+  std::shuffle(Perm.begin(), Perm.end(), Rng);
+
+  auto AddEdge = [&](int32_t U, int32_t V, int32_t W) {
+    U = Perm[size_t(U)];
+    V = Perm[size_t(V)];
+    Adj[size_t(U)].push_back({V, W});
+    Adj[size_t(V)].push_back({U, W});
+  };
+
+  std::uniform_int_distribution<int32_t> WeightDist(1, MaxWeight);
+  for (int32_t Y = 0; Y < Side; ++Y) {
+    for (int32_t X = 0; X < Side; ++X) {
+      int32_t U = Y * Side + X;
+      if (X + 1 < Side)
+        AddEdge(U, U + 1, WeightDist(Rng));
+      if (Y + 1 < Side)
+        AddEdge(U, U + Side, WeightDist(Rng));
+    }
+  }
+  // Long-range shortcuts (highways): keep the diameter manageable while
+  // preserving the low-degree irregular structure.
+  int64_t NumShortcuts = int64_t(N) * ShortcutPerMille / 1000;
+  std::uniform_int_distribution<int32_t> NodeDist(0, N - 1);
+  for (int64_t S = 0; S < NumShortcuts; ++S) {
+    int32_t U = NodeDist(Rng);
+    int32_t V = NodeDist(Rng);
+    if (U != V)
+      AddEdge(U, V, WeightDist(Rng));
+  }
+
+  CsrGraph G;
+  G.NumNodes = N;
+  G.RowStart.resize(size_t(N) + 1, 0);
+  for (int32_t U = 0; U < N; ++U)
+    G.RowStart[size_t(U) + 1] =
+        G.RowStart[size_t(U)] + int32_t(Adj[size_t(U)].size());
+  G.NumEdges = G.RowStart[size_t(N)];
+  G.Dest.reserve(size_t(G.NumEdges));
+  G.Weight.reserve(size_t(G.NumEdges));
+  for (int32_t U = 0; U < N; ++U) {
+    for (auto &[V, W] : Adj[size_t(U)]) {
+      G.Dest.push_back(V);
+      G.Weight.push_back(W);
+    }
+  }
+  return G;
+}

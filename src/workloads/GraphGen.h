@@ -1,0 +1,39 @@
+//===- GraphGen.h - Synthetic irregular graph generator ---------*- C++ -*-===//
+///
+/// \file
+/// Generates road-network-like graphs in compressed-row (CSR) form as the
+/// stand-in for the paper's Western-USA input (|V|=6.2M there; scaled down
+/// here): a 2D grid backbone (low degree, strong locality) with a sparse
+/// set of long-range shortcut edges that keep the diameter small enough
+/// for iterative algorithms to converge in tens of rounds at benchmark
+/// scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_WORKLOADS_GRAPHGEN_H
+#define CONCORD_WORKLOADS_GRAPHGEN_H
+
+#include <cstdint>
+#include <vector>
+
+namespace concord {
+namespace workloads {
+
+struct CsrGraph {
+  int32_t NumNodes = 0;
+  int32_t NumEdges = 0;
+  std::vector<int32_t> RowStart; ///< NumNodes + 1 offsets.
+  std::vector<int32_t> Dest;     ///< NumEdges destinations.
+  std::vector<int32_t> Weight;   ///< NumEdges positive weights.
+};
+
+/// Builds a Side x Side grid graph with bidirectional edges, plus
+/// ShortcutPerMille randomly placed long-range edges per thousand nodes.
+/// Weights are in [1, MaxWeight]. Deterministic for a given seed.
+CsrGraph makeRoadNetwork(int32_t Side, int32_t ShortcutPerMille = 20,
+                         int32_t MaxWeight = 10, uint64_t Seed = 12345);
+
+} // namespace workloads
+} // namespace concord
+
+#endif // CONCORD_WORKLOADS_GRAPHGEN_H

@@ -1,0 +1,316 @@
+//===- GraphWorkloads.cpp - BFS, SSSP, ConnectedComponent -----------------===//
+//
+// The three Galois-derived graph workloads (Table 1). All operate on the
+// synthetic road network in CSR form and iterate a topology-driven
+// relaxation kernel until a shared `changed` flag stays clear - the same
+// benign-race pattern the originals use (updates are monotonic minima, so
+// unsynchronized writes only delay convergence, never break it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/GraphGen.h"
+#include "workloads/Workload.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <limits>
+
+using namespace concord;
+using namespace concord::workloads;
+
+namespace {
+
+constexpr int32_t Inf = 1073741823;
+
+/// Shared machinery for the three iterative graph workloads.
+class GraphWorkloadBase : public Workload {
+public:
+  bool setup(svm::SharedRegion &Region, unsigned Scale) override {
+    int32_t Side = int32_t(80 * Scale);
+    Graph = makeRoadNetwork(Side);
+
+    RowStart = Region.allocArray<int32_t>(size_t(Graph.NumNodes) + 1);
+    Dest = Region.allocArray<int32_t>(size_t(Graph.NumEdges));
+    Weight = Region.allocArray<int32_t>(size_t(Graph.NumEdges));
+    NodeVal = Region.allocArray<int32_t>(size_t(Graph.NumNodes));
+    Changed = Region.allocArray<int32_t>(1);
+    BodyMem = Region.allocate(256);
+    if (!RowStart || !Dest || !Weight || !NodeVal || !Changed || !BodyMem)
+      return false;
+
+    std::copy(Graph.RowStart.begin(), Graph.RowStart.end(), RowStart);
+    std::copy(Graph.Dest.begin(), Graph.Dest.end(), Dest);
+    std::copy(Graph.Weight.begin(), Graph.Weight.end(), Weight);
+    computeReference();
+    return true;
+  }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
+    initNodeValues();
+    runtime::KernelSpec Spec = kernelSpec();
+
+    // Body layout: four/five pointers, written directly into SVM.
+    struct BodyBits {
+      int32_t *RowStart;
+      int32_t *Dest;
+      int32_t *Weight;
+      int32_t *NodeVal;
+      int32_t *Changed;
+    };
+    auto *B = static_cast<BodyBits *>(BodyMem);
+    *B = {RowStart, Dest, Weight, NodeVal, Changed};
+
+    for (unsigned Iter = 0; Iter < 100000; ++Iter) {
+      Changed[0] = 0;
+      LaunchReport Rep = RT.offload(Spec, Graph.NumNodes, BodyMem, OnCpu);
+      if (!accumulate(Run, Rep))
+        return Run;
+      if (!Changed[0])
+        break;
+    }
+    Run.Ok = true;
+    return Run;
+  }
+
+  bool verify(std::string *Error) const override {
+    for (int32_t U = 0; U < Graph.NumNodes; ++U) {
+      if (NodeVal[size_t(U)] != Expected[size_t(U)]) {
+        if (Error)
+          *Error = formatString("%s: node %d has %d, expected %d", name(),
+                                U, NodeVal[size_t(U)], Expected[size_t(U)]);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string inputDescription() const override {
+    return formatString("synthetic road network |V|=%d |E|=%d",
+                        Graph.NumNodes, Graph.NumEdges);
+  }
+  const char *origin() const override { return "Galois"; }
+  const char *dataStructure() const override { return "graph"; }
+  const char *parallelConstruct() const override {
+    return "parallel_for_hetero";
+  }
+
+protected:
+  virtual void initNodeValues() = 0;
+  virtual void computeReference() = 0;
+
+  CsrGraph Graph;
+  int32_t *RowStart = nullptr;
+  int32_t *Dest = nullptr;
+  int32_t *Weight = nullptr;
+  int32_t *NodeVal = nullptr;
+  int32_t *Changed = nullptr;
+  void *BodyMem = nullptr;
+  std::vector<int32_t> Expected;
+};
+
+//===----------------------------------------------------------------------===//
+// BFS
+//===----------------------------------------------------------------------===//
+
+class BFSWorkload final : public GraphWorkloadBase {
+public:
+  const char *name() const override { return "BFS"; }
+
+  runtime::KernelSpec kernelSpec() const override {
+    return {R"(
+      class BFSBody {
+      public:
+        int* rowStart;
+        int* dest;
+        int* weight;
+        int* dist;
+        int* changed;
+        void operator()(int u) {
+          int du = dist[u];
+          if (du == 1073741823)
+            return;
+          int end = rowStart[u + 1];
+          for (int e = rowStart[u]; e < end; e++) {
+            int v = dest[e];
+            int nd = du + 1;
+            if (nd < dist[v]) {
+              dist[v] = nd;
+              changed[0] = 1;
+            }
+          }
+        }
+      };
+    )",
+            "BFSBody"};
+  }
+
+protected:
+  void initNodeValues() override {
+    std::fill(NodeVal, NodeVal + Graph.NumNodes, Inf);
+    NodeVal[0] = 0;
+  }
+  void computeReference() override {
+    Expected.assign(size_t(Graph.NumNodes), Inf);
+    Expected[0] = 0;
+    std::deque<int32_t> Queue{0};
+    while (!Queue.empty()) {
+      int32_t U = Queue.front();
+      Queue.pop_front();
+      for (int32_t E = Graph.RowStart[size_t(U)];
+           E < Graph.RowStart[size_t(U) + 1]; ++E) {
+        int32_t V = Graph.Dest[size_t(E)];
+        if (Expected[size_t(U)] + 1 < Expected[size_t(V)]) {
+          Expected[size_t(V)] = Expected[size_t(U)] + 1;
+          Queue.push_back(V);
+        }
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// SSSP (Bellman-Ford)
+//===----------------------------------------------------------------------===//
+
+class SSSPWorkload final : public GraphWorkloadBase {
+public:
+  const char *name() const override { return "SSSP"; }
+
+  runtime::KernelSpec kernelSpec() const override {
+    return {R"(
+      class SSSPBody {
+      public:
+        int* rowStart;
+        int* dest;
+        int* weight;
+        int* dist;
+        int* changed;
+        void operator()(int u) {
+          int du = dist[u];
+          if (du == 1073741823)
+            return;
+          int end = rowStart[u + 1];
+          for (int e = rowStart[u]; e < end; e++) {
+            int v = dest[e];
+            int nd = du + weight[e];
+            if (nd < dist[v]) {
+              dist[v] = nd;
+              changed[0] = 1;
+            }
+          }
+        }
+      };
+    )",
+            "SSSPBody"};
+  }
+
+protected:
+  void initNodeValues() override {
+    std::fill(NodeVal, NodeVal + Graph.NumNodes, Inf);
+    NodeVal[0] = 0;
+  }
+  void computeReference() override {
+    // Bellman-Ford to a fixpoint (matches the kernel's semantics).
+    Expected.assign(size_t(Graph.NumNodes), Inf);
+    Expected[0] = 0;
+    bool Any = true;
+    while (Any) {
+      Any = false;
+      for (int32_t U = 0; U < Graph.NumNodes; ++U) {
+        if (Expected[size_t(U)] == Inf)
+          continue;
+        for (int32_t E = Graph.RowStart[size_t(U)];
+             E < Graph.RowStart[size_t(U) + 1]; ++E) {
+          int32_t V = Graph.Dest[size_t(E)];
+          int32_t ND = Expected[size_t(U)] + Graph.Weight[size_t(E)];
+          if (ND < Expected[size_t(V)]) {
+            Expected[size_t(V)] = ND;
+            Any = true;
+          }
+        }
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// ConnectedComponent (label propagation)
+//===----------------------------------------------------------------------===//
+
+class CCWorkload final : public GraphWorkloadBase {
+public:
+  const char *name() const override { return "ConnectedComponent"; }
+
+  runtime::KernelSpec kernelSpec() const override {
+    return {R"(
+      class CCBody {
+      public:
+        int* rowStart;
+        int* dest;
+        int* weight;
+        int* comp;
+        int* changed;
+        void operator()(int u) {
+          int cu = comp[u];
+          int end = rowStart[u + 1];
+          for (int e = rowStart[u]; e < end; e++) {
+            int v = dest[e];
+            int cv = comp[v];
+            if (cv < cu)
+              cu = cv;
+          }
+          if (cu < comp[u]) {
+            comp[u] = cu;
+            changed[0] = 1;
+          }
+        }
+      };
+    )",
+            "CCBody"};
+  }
+
+protected:
+  void initNodeValues() override {
+    for (int32_t U = 0; U < Graph.NumNodes; ++U)
+      NodeVal[size_t(U)] = U;
+  }
+  void computeReference() override {
+    // Union-find reference; component label = minimum node id inside.
+    std::vector<int32_t> Parent(size_t(Graph.NumNodes));
+    for (int32_t U = 0; U < Graph.NumNodes; ++U)
+      Parent[size_t(U)] = U;
+    std::function<int32_t(int32_t)> Find = [&](int32_t X) {
+      while (Parent[size_t(X)] != X) {
+        Parent[size_t(X)] = Parent[size_t(Parent[size_t(X)])];
+        X = Parent[size_t(X)];
+      }
+      return X;
+    };
+    for (int32_t U = 0; U < Graph.NumNodes; ++U)
+      for (int32_t E = Graph.RowStart[size_t(U)];
+           E < Graph.RowStart[size_t(U) + 1]; ++E) {
+        int32_t A = Find(U), B = Find(Graph.Dest[size_t(E)]);
+        if (A != B)
+          Parent[size_t(std::max(A, B))] = std::min(A, B);
+      }
+    Expected.resize(size_t(Graph.NumNodes));
+    for (int32_t U = 0; U < Graph.NumNodes; ++U)
+      Expected[size_t(U)] = Find(U);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> concord::workloads::makeBFS() {
+  return std::make_unique<BFSWorkload>();
+}
+std::unique_ptr<Workload> concord::workloads::makeSSSP() {
+  return std::make_unique<SSSPWorkload>();
+}
+std::unique_ptr<Workload> concord::workloads::makeConnectedComponent() {
+  return std::make_unique<CCWorkload>();
+}

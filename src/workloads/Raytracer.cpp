@@ -1,0 +1,395 @@
+//===- Raytracer.cpp - Whitted-style raytracer with virtual dispatch ------===//
+//
+// The in-house raytracer (Table 1): a scene graph of shapes referenced
+// through base-class pointers, intersected via *virtual function
+// dispatch* on the GPU (the paper calls this workload out as its virtual-
+// function showcase, section 5.1). Each pixel traces a primary ray
+// against every object, then shadow rays toward each light. This is the
+// paper's least irregular workload and its best GPU performer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <random>
+
+using namespace concord;
+using namespace concord::workloads;
+
+namespace {
+
+/// Host mirror of the kernel's Shape layout: vptr + 6 floats + material.
+struct HostShape {
+  uint64_t VPtr;
+  float Cx, Cy, Cz; ///< Sphere center / plane point.
+  float P0, P1, P2; ///< (radius, -, -) or plane normal.
+  int32_t Material; ///< 0 = matte, 1 = shiny, 2 = checker.
+};
+
+enum class ShapeKind { Sphere, Plane };
+
+class RaytracerWorkload final : public Workload {
+public:
+  const char *name() const override { return "Raytracer"; }
+  const char *origin() const override { return "In-house (alg. in [1])"; }
+  const char *dataStructure() const override { return "graph"; }
+  const char *parallelConstruct() const override {
+    return "parallel_for_hetero";
+  }
+  std::string inputDescription() const override {
+    return formatString("%ux%u image, %zu shapes, %u lights, 3 materials",
+                        Width, Height, Shapes.size(), NumLights);
+  }
+
+  runtime::KernelSpec kernelSpec() const override {
+    return {R"(
+      class Shape {
+      public:
+        float cx; float cy; float cz;
+        float p0; float p1; float p2;
+        int material;
+        virtual float intersect(float ox, float oy, float oz,
+                                float dx, float dy, float dz) = 0;
+        virtual float normalX(float hx, float hy, float hz) = 0;
+        virtual float normalY(float hx, float hy, float hz) = 0;
+        virtual float normalZ(float hx, float hy, float hz) = 0;
+      };
+      class Sphere : public Shape {
+      public:
+        virtual float intersect(float ox, float oy, float oz,
+                                float dx, float dy, float dz) {
+          float mx = cx - ox;
+          float my = cy - oy;
+          float mz = cz - oz;
+          float b = mx*dx + my*dy + mz*dz;
+          float c = mx*mx + my*my + mz*mz - p0*p0;
+          float disc = b*b - c;
+          if (disc < 0.0f)
+            return -1.0f;
+          float sq = sqrtf(disc);
+          float t = b - sq;
+          if (t > 0.001f)
+            return t;
+          return b + sq;
+        }
+        virtual float normalX(float hx, float hy, float hz) {
+          return (hx - cx) / p0;
+        }
+        virtual float normalY(float hx, float hy, float hz) {
+          return (hy - cy) / p0;
+        }
+        virtual float normalZ(float hx, float hy, float hz) {
+          return (hz - cz) / p0;
+        }
+      };
+      class Plane : public Shape {
+      public:
+        virtual float intersect(float ox, float oy, float oz,
+                                float dx, float dy, float dz) {
+          float denom = p0*dx + p1*dy + p2*dz;
+          if (fabsf(denom) < 0.0001f)
+            return -1.0f;
+          float t = ((cx - ox)*p0 + (cy - oy)*p1 + (cz - oz)*p2) / denom;
+          return t;
+        }
+        virtual float normalX(float hx, float hy, float hz) { return p0; }
+        virtual float normalY(float hx, float hy, float hz) { return p1; }
+        virtual float normalZ(float hx, float hy, float hz) { return p2; }
+      };
+      class RayBody {
+      public:
+        Shape** objects;
+        float* lx; float* ly; float* lz; float* lpow;
+        float* image;
+        int numObjects;
+        int numLights;
+        int width;
+        void operator()(int i) {
+          int pxX = i % width;
+          int pxY = i / width;
+          float ox = 0.0f; float oy = 0.6f; float oz = -3.0f;
+          float dx = ((float)pxX / (float)width - 0.5f) * 1.4f;
+          float dy = ((float)pxY / (float)width - 0.35f) * 1.4f;
+          float dz = 1.0f;
+          float invLen = rsqrtf(dx*dx + dy*dy + dz*dz);
+          dx *= invLen; dy *= invLen; dz *= invLen;
+
+          float best = 1000000000.0f;
+          Shape* hit = nullptr;
+          for (int o = 0; o < numObjects; o++) {
+            float t = objects[o]->intersect(ox, oy, oz, dx, dy, dz);
+            if (t > 0.001f && t < best) {
+              best = t;
+              hit = objects[o];
+            }
+          }
+          float color = 0.05f;
+          if (hit != nullptr) {
+            float hx = ox + dx * best;
+            float hy = oy + dy * best;
+            float hz = oz + dz * best;
+            float nx = hit->normalX(hx, hy, hz);
+            float ny = hit->normalY(hx, hy, hz);
+            float nz = hit->normalZ(hx, hy, hz);
+            for (int l = 0; l < numLights; l++) {
+              float tlx = lx[l] - hx;
+              float tly = ly[l] - hy;
+              float tlz = lz[l] - hz;
+              float dist2 = tlx*tlx + tly*tly + tlz*tlz;
+              float invD = rsqrtf(dist2);
+              tlx *= invD; tly *= invD; tlz *= invD;
+              int blocked = 0;
+              for (int o = 0; o < numObjects; o++) {
+                if (objects[o] == hit)
+                  continue;
+                float t = objects[o]->intersect(hx, hy, hz, tlx, tly, tlz);
+                if (t > 0.001f && t * t < dist2) {
+                  blocked = 1;
+                  break;
+                }
+              }
+              if (blocked == 0) {
+                float diff = nx*tlx + ny*tly + nz*tlz;
+                if (diff > 0.0f) {
+                  color += lpow[l] * diff / dist2;
+                  if (hit->material == 1) {
+                    float rdotv = diff * 2.0f;
+                    color += lpow[l] * powf(rdotv * 0.5f, 16.0f) / dist2;
+                  }
+                }
+              }
+            }
+            if (hit->material == 2) {
+              int cx2 = (int)(fabsf(hx) * 4.0f) + (int)(fabsf(hz) * 4.0f);
+              if (cx2 % 2 == 0)
+                color *= 0.35f;
+            }
+          }
+          image[i] = color;
+        }
+      };
+    )",
+            "RayBody"};
+  }
+
+  bool setup(svm::SharedRegion &Region, unsigned Scale) override {
+    static_assert(sizeof(HostShape) == 40,
+                  "host/kernel Shape layout divergence");
+    Width = 96 * Scale;
+    Height = 72 * Scale;
+    NumLights = 4;
+    std::mt19937_64 Rng(17);
+    std::uniform_real_distribution<float> U(-1.0f, 1.0f);
+
+    // Scene: a checkerboard floor plane, a shiny back wall, and spheres.
+    auto AddShape = [&](ShapeKind Kind, HostShape Init) -> bool {
+      auto *S = Region.create<HostShape>(Init);
+      if (!S)
+        return false;
+      Shapes.push_back(S);
+      Kinds.push_back(Kind);
+      return true;
+    };
+    if (!AddShape(ShapeKind::Plane,
+                  {0, 0.f, -1.0f, 0.f, 0.f, 1.f, 0.f, 2}))
+      return false;
+    if (!AddShape(ShapeKind::Plane,
+                  {0, 0.f, 0.f, 6.0f, 0.f, 0.f, -1.f, 0}))
+      return false;
+    for (int I = 0; I < 40; ++I) {
+      float R = 0.12f + 0.1f * float(I % 3);
+      HostShape S{0,
+                  U(Rng) * 2.0f,
+                  -1.0f + R + (U(Rng) + 1.0f) * 0.8f,
+                  1.5f + U(Rng) * 2.0f,
+                  R,
+                  0,
+                  0,
+                  I % 3 == 0 ? 1 : 0};
+      if (!AddShape(ShapeKind::Sphere, S))
+        return false;
+    }
+
+    Objects = Region.allocArray<HostShape *>(Shapes.size());
+    Lx = Region.allocArray<float>(NumLights);
+    Ly = Region.allocArray<float>(NumLights);
+    Lz = Region.allocArray<float>(NumLights);
+    Lpow = Region.allocArray<float>(NumLights);
+    Image = Region.allocArray<float>(size_t(Width) * Height);
+    BodyMem = Region.allocate(128);
+    if (!Objects || !Lx || !Ly || !Lz || !Lpow || !Image || !BodyMem)
+      return false;
+    std::copy(Shapes.begin(), Shapes.end(), Objects);
+    for (unsigned L = 0; L < NumLights; ++L) {
+      Lx[L] = U(Rng) * 3.0f;
+      Ly[L] = 2.0f + U(Rng);
+      Lz[L] = -1.0f + U(Rng) * 2.0f;
+      Lpow[L] = 2.0f + U(Rng);
+    }
+
+    computeReference();
+    return true;
+  }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
+    // Install device vtable pointers (idempotent; the vtables live in the
+    // shared region, section 3.2).
+    runtime::KernelSpec Spec = kernelSpec();
+    for (size_t I = 0; I < Shapes.size(); ++I) {
+      if (!RT.installVPtrs(Spec, Shapes[I],
+                           Kinds[I] == ShapeKind::Sphere ? "Sphere"
+                                                         : "Plane")) {
+        Run.Error = "vtable installation failed: " +
+                    RT.diagnosticsFor(Spec);
+        return Run;
+      }
+    }
+
+    size_t N = size_t(Width) * Height;
+    std::fill(Image, Image + N, -1.0f);
+    struct BodyBits {
+      HostShape **Objects;
+      float *Lx, *Ly, *Lz, *Lpow;
+      float *Image;
+      int32_t NumObjects;
+      int32_t NumLights;
+      int32_t W;
+    };
+    *static_cast<BodyBits *>(BodyMem) = {
+        Objects, Lx, Ly, Lz, Lpow, Image, int32_t(Shapes.size()),
+        int32_t(NumLights), int32_t(Width)};
+    LaunchReport Rep = RT.offload(Spec, int64_t(N), BodyMem, OnCpu);
+    Run.Ok = accumulate(Run, Rep);
+    return Run;
+  }
+
+  bool verify(std::string *Error) const override {
+    size_t N = size_t(Width) * Height;
+    for (size_t I = 0; I < N; ++I) {
+      if (std::fabs(Image[I] - Reference[I]) >
+          1e-3f * (std::fabs(Reference[I]) + 1.0f)) {
+        if (Error)
+          *Error = formatString("Raytracer: pixel %zu = %g, expected %g", I,
+                                Image[I], Reference[I]);
+        return false;
+      }
+    }
+    return true;
+  }
+
+private:
+  float intersectRef(size_t O, float OX, float OY, float OZ, float DX,
+                     float DY, float DZ) const {
+    const HostShape &S = *Shapes[O];
+    if (Kinds[O] == ShapeKind::Sphere) {
+      float MX = S.Cx - OX, MY = S.Cy - OY, MZ = S.Cz - OZ;
+      float B = MX * DX + MY * DY + MZ * DZ;
+      float C = MX * MX + MY * MY + MZ * MZ - S.P0 * S.P0;
+      float Disc = B * B - C;
+      if (Disc < 0.0f)
+        return -1.0f;
+      float Sq = std::sqrt(Disc);
+      float T = B - Sq;
+      if (T > 0.001f)
+        return T;
+      return B + Sq;
+    }
+    float Denom = S.P0 * DX + S.P1 * DY + S.P2 * DZ;
+    if (std::fabs(Denom) < 0.0001f)
+      return -1.0f;
+    return ((S.Cx - OX) * S.P0 + (S.Cy - OY) * S.P1 + (S.Cz - OZ) * S.P2) /
+           Denom;
+  }
+
+  void computeReference() {
+    size_t N = size_t(Width) * Height;
+    Reference.resize(N);
+    for (size_t I = 0; I < N; ++I) {
+      int PX = int(I % Width), PY = int(I / Width);
+      float OX = 0.0f, OY = 0.6f, OZ = -3.0f;
+      float DX = (float(PX) / float(Width) - 0.5f) * 1.4f;
+      float DY = (float(PY) / float(Width) - 0.35f) * 1.4f;
+      float DZ = 1.0f;
+      float Inv = 1.0f / std::sqrt(DX * DX + DY * DY + DZ * DZ);
+      DX *= Inv;
+      DY *= Inv;
+      DZ *= Inv;
+
+      float Best = 1e9f;
+      int Hit = -1;
+      for (size_t O = 0; O < Shapes.size(); ++O) {
+        float T = intersectRef(O, OX, OY, OZ, DX, DY, DZ);
+        if (T > 0.001f && T < Best) {
+          Best = T;
+          Hit = int(O);
+        }
+      }
+      float Color = 0.05f;
+      if (Hit >= 0) {
+        const HostShape &S = *Shapes[size_t(Hit)];
+        float HX = OX + DX * Best, HY = OY + DY * Best, HZ = OZ + DZ * Best;
+        float NX, NY, NZ;
+        if (Kinds[size_t(Hit)] == ShapeKind::Sphere) {
+          NX = (HX - S.Cx) / S.P0;
+          NY = (HY - S.Cy) / S.P0;
+          NZ = (HZ - S.Cz) / S.P0;
+        } else {
+          NX = S.P0;
+          NY = S.P1;
+          NZ = S.P2;
+        }
+        for (unsigned L = 0; L < NumLights; ++L) {
+          float TLX = Lx[L] - HX, TLY = Ly[L] - HY, TLZ = Lz[L] - HZ;
+          float Dist2 = TLX * TLX + TLY * TLY + TLZ * TLZ;
+          float InvD = 1.0f / std::sqrt(Dist2);
+          TLX *= InvD;
+          TLY *= InvD;
+          TLZ *= InvD;
+          bool Blocked = false;
+          for (size_t O = 0; O < Shapes.size(); ++O) {
+            if (int(O) == Hit)
+              continue;
+            float T = intersectRef(O, HX, HY, HZ, TLX, TLY, TLZ);
+            if (T > 0.001f && T * T < Dist2) {
+              Blocked = true;
+              break;
+            }
+          }
+          if (!Blocked) {
+            float Diff = NX * TLX + NY * TLY + NZ * TLZ;
+            if (Diff > 0.0f) {
+              Color += Lpow[L] * Diff / Dist2;
+              if (S.Material == 1)
+                Color += Lpow[L] * std::pow(Diff, 16.0f) / Dist2;
+            }
+          }
+        }
+        if (S.Material == 2) {
+          int CX2 = int(std::fabs(HX) * 4.0f) + int(std::fabs(HZ) * 4.0f);
+          if (CX2 % 2 == 0)
+            Color *= 0.35f;
+        }
+      }
+      Reference[I] = Color;
+    }
+  }
+
+  unsigned Width = 0, Height = 0, NumLights = 0;
+  std::vector<HostShape *> Shapes;
+  std::vector<ShapeKind> Kinds;
+  HostShape **Objects = nullptr;
+  float *Lx = nullptr, *Ly = nullptr, *Lz = nullptr, *Lpow = nullptr;
+  float *Image = nullptr;
+  void *BodyMem = nullptr;
+  std::vector<float> Reference;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> concord::workloads::makeRaytracer() {
+  return std::make_unique<RaytracerWorkload>();
+}

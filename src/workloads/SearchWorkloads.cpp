@@ -1,0 +1,348 @@
+//===- SearchWorkloads.cpp - BTree and SkipList ---------------------------===//
+//
+// Two pointer-chasing search workloads (Table 1): the Rodinia-style BTree
+// (an n-ary search tree with records at the leaves) and the in-house skip
+// list. Both offload a batch of key lookups; irregularity comes from
+// data-dependent pointer chains and divergent search depths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <random>
+
+using namespace concord;
+using namespace concord::workloads;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// BTree
+//===----------------------------------------------------------------------===//
+
+constexpr int BTreeOrder = 8; ///< Max keys per node.
+
+struct BTreeNode {
+  int32_t NumKeys;
+  int32_t IsLeaf;
+  int32_t Keys[BTreeOrder];
+  BTreeNode *Children[BTreeOrder + 1];
+  int32_t Values[BTreeOrder];
+};
+
+class BTreeWorkload final : public Workload {
+public:
+  const char *name() const override { return "BTree"; }
+  const char *origin() const override { return "Rodinia"; }
+  const char *dataStructure() const override { return "tree"; }
+  const char *parallelConstruct() const override {
+    return "parallel_for_hetero";
+  }
+  std::string inputDescription() const override {
+    return formatString("synthetic command stream: %zu keys, %zu queries",
+                        Keys.size(), NumQueries);
+  }
+
+  runtime::KernelSpec kernelSpec() const override {
+    return {R"(
+      class BTreeNode {
+      public:
+        int numKeys;
+        int isLeaf;
+        int keys[8];
+        BTreeNode* children[9];
+        int values[8];
+      };
+      class BTreeBody {
+      public:
+        BTreeNode* root;
+        int* queries;
+        int* results;
+        void operator()(int i) {
+          int key = queries[i];
+          BTreeNode* n = root;
+          while (n->isLeaf == 0) {
+            int k = 0;
+            while (k < n->numKeys && key >= n->keys[k])
+              k = k + 1;
+            n = n->children[k];
+          }
+          int res = -1;
+          for (int k = 0; k < n->numKeys; k++)
+            if (n->keys[k] == key)
+              res = n->values[k];
+          results[i] = res;
+        }
+      };
+    )",
+            "BTreeBody"};
+  }
+
+  bool setup(svm::SharedRegion &Region, unsigned Scale) override {
+    static_assert(offsetof(BTreeNode, Children) == 40,
+                  "host/kernel BTreeNode layout divergence");
+    static_assert(sizeof(BTreeNode) == 144,
+                  "host/kernel BTreeNode layout divergence");
+    size_t NumKeys = size_t(20000) * Scale;
+    NumQueries = size_t(30000) * Scale;
+    std::mt19937_64 Rng(7);
+
+    // Unique keys: even numbers, so odd queries miss.
+    Keys.resize(NumKeys);
+    for (size_t I = 0; I < NumKeys; ++I)
+      Keys[I] = int32_t(I) * 2;
+
+    // Bulk-load leaves with 4..7 keys each (uneven fill = uneven depth
+    // boundaries, the "unbalanced search" of the paper's description).
+    std::vector<BTreeNode *> Level;
+    std::uniform_int_distribution<int> Fill(4, 7);
+    size_t Pos = 0;
+    while (Pos < NumKeys) {
+      int Take = std::min<size_t>(Fill(Rng), NumKeys - Pos);
+      auto *Leaf = Region.create<BTreeNode>();
+      if (!Leaf)
+        return false;
+      *Leaf = {};
+      Leaf->IsLeaf = 1;
+      Leaf->NumKeys = Take;
+      for (int K = 0; K < Take; ++K) {
+        Leaf->Keys[K] = Keys[Pos + size_t(K)];
+        Leaf->Values[K] = Leaf->Keys[K] * 3 + 1;
+      }
+      Pos += size_t(Take);
+      Level.push_back(Leaf);
+    }
+    // Build internal levels; separator = first key of the right subtree.
+    FirstKeyOf.clear();
+    for (BTreeNode *L : Level)
+      FirstKeyOf.push_back(L->Keys[0]);
+    while (Level.size() > 1) {
+      std::vector<BTreeNode *> Upper;
+      std::vector<int32_t> UpperFirst;
+      size_t I = 0;
+      while (I < Level.size()) {
+        size_t Take = std::min<size_t>(size_t(BTreeOrder) + 1,
+                                       Level.size() - I);
+        if (Level.size() - I - Take == 1)
+          --Take; // Avoid a dangling single-child node.
+        auto *Node = Region.create<BTreeNode>();
+        if (!Node)
+          return false;
+        *Node = {};
+        Node->IsLeaf = 0;
+        Node->NumKeys = int32_t(Take) - 1;
+        for (size_t C = 0; C < Take; ++C)
+          Node->Children[C] = Level[I + C];
+        for (size_t K = 1; K < Take; ++K)
+          Node->Keys[K - 1] = FirstKeyOf[I + K];
+        Upper.push_back(Node);
+        UpperFirst.push_back(FirstKeyOf[I]);
+        I += Take;
+      }
+      Level = std::move(Upper);
+      FirstKeyOf = std::move(UpperFirst);
+    }
+    Root = Level.front();
+
+    Queries = Region.allocArray<int32_t>(NumQueries);
+    Results = Region.allocArray<int32_t>(NumQueries);
+    BodyMem = Region.allocate(64);
+    if (!Queries || !Results || !BodyMem)
+      return false;
+    std::uniform_int_distribution<int32_t> QDist(0,
+                                                 int32_t(NumKeys) * 2 - 1);
+    Expected.resize(NumQueries);
+    for (size_t Q = 0; Q < NumQueries; ++Q) {
+      Queries[Q] = QDist(Rng);
+      // Present keys are even and in range: value = key*3+1.
+      Expected[Q] = Queries[Q] % 2 == 0 ? Queries[Q] * 3 + 1 : -1;
+    }
+    return true;
+  }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
+    std::fill(Results, Results + NumQueries, -2);
+    struct BodyBits {
+      BTreeNode *Root;
+      int32_t *Queries;
+      int32_t *Results;
+    };
+    *static_cast<BodyBits *>(BodyMem) = {Root, Queries, Results};
+    LaunchReport Rep =
+        RT.offload(kernelSpec(), int64_t(NumQueries), BodyMem, OnCpu);
+    Run.Ok = accumulate(Run, Rep);
+    return Run;
+  }
+
+  bool verify(std::string *Error) const override {
+    for (size_t Q = 0; Q < NumQueries; ++Q)
+      if (Results[Q] != Expected[Q]) {
+        if (Error)
+          *Error = formatString("BTree: query %zu -> %d, expected %d", Q,
+                                Results[Q], Expected[Q]);
+        return false;
+      }
+    return true;
+  }
+
+private:
+  std::vector<int32_t> Keys;
+  std::vector<int32_t> FirstKeyOf;
+  std::vector<int32_t> Expected;
+  size_t NumQueries = 0;
+  BTreeNode *Root = nullptr;
+  int32_t *Queries = nullptr;
+  int32_t *Results = nullptr;
+  void *BodyMem = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// SkipList
+//===----------------------------------------------------------------------===//
+
+constexpr int SkipMaxLevel = 8;
+
+struct SkipNode {
+  int32_t Key;
+  int32_t Value;
+  SkipNode *Forward[SkipMaxLevel];
+};
+
+class SkipListWorkload final : public Workload {
+public:
+  const char *name() const override { return "SkipList"; }
+  const char *origin() const override { return "In-house"; }
+  const char *dataStructure() const override { return "linked-list"; }
+  const char *parallelConstruct() const override {
+    return "parallel_for_hetero";
+  }
+  std::string inputDescription() const override {
+    return formatString("%zu keys, %zu lookups, max level %d", NumKeys,
+                        NumQueries, SkipMaxLevel);
+  }
+
+  runtime::KernelSpec kernelSpec() const override {
+    return {R"(
+      class SkipNode {
+      public:
+        int key;
+        int value;
+        SkipNode* forward[8];
+      };
+      class SkipBody {
+      public:
+        SkipNode* head;
+        int* queries;
+        int* results;
+        void operator()(int i) {
+          int key = queries[i];
+          SkipNode* n = head;
+          for (int level = 7; level >= 0; level--) {
+            while (n->forward[level] != nullptr &&
+                   n->forward[level]->key < key)
+              n = n->forward[level];
+          }
+          n = n->forward[0];
+          int res = -1;
+          if (n != nullptr && n->key == key)
+            res = n->value;
+          results[i] = res;
+        }
+      };
+    )",
+            "SkipBody"};
+  }
+
+  bool setup(svm::SharedRegion &Region, unsigned Scale) override {
+    static_assert(offsetof(SkipNode, Forward) == 8,
+                  "host/kernel SkipNode layout divergence");
+    NumKeys = size_t(25000) * Scale;
+    NumQueries = size_t(25000) * Scale;
+    std::mt19937_64 Rng(11);
+
+    Head = Region.create<SkipNode>();
+    if (!Head)
+      return false;
+    *Head = {};
+    Head->Key = INT32_MIN;
+
+    // Keys are multiples of 3; build in sorted order with random levels.
+    std::vector<SkipNode *> Last(SkipMaxLevel, Head);
+    std::geometric_distribution<int> LevelDist(0.5);
+    for (size_t I = 0; I < NumKeys; ++I) {
+      auto *N = Region.create<SkipNode>();
+      if (!N)
+        return false;
+      *N = {};
+      N->Key = int32_t(I) * 3;
+      N->Value = N->Key + 7;
+      int Levels = std::min(SkipMaxLevel, 1 + LevelDist(Rng));
+      for (int L = 0; L < Levels; ++L) {
+        Last[size_t(L)]->Forward[L] = N;
+        Last[size_t(L)] = N;
+      }
+    }
+
+    Queries = Region.allocArray<int32_t>(NumQueries);
+    Results = Region.allocArray<int32_t>(NumQueries);
+    BodyMem = Region.allocate(64);
+    if (!Queries || !Results || !BodyMem)
+      return false;
+    std::uniform_int_distribution<int32_t> QDist(0,
+                                                 int32_t(NumKeys) * 3 - 1);
+    Expected.resize(NumQueries);
+    for (size_t Q = 0; Q < NumQueries; ++Q) {
+      Queries[Q] = QDist(Rng);
+      Expected[Q] = Queries[Q] % 3 == 0 ? Queries[Q] + 7 : -1;
+    }
+    return true;
+  }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
+    std::fill(Results, Results + NumQueries, -2);
+    struct BodyBits {
+      SkipNode *Head;
+      int32_t *Queries;
+      int32_t *Results;
+    };
+    *static_cast<BodyBits *>(BodyMem) = {Head, Queries, Results};
+    LaunchReport Rep =
+        RT.offload(kernelSpec(), int64_t(NumQueries), BodyMem, OnCpu);
+    Run.Ok = accumulate(Run, Rep);
+    return Run;
+  }
+
+  bool verify(std::string *Error) const override {
+    for (size_t Q = 0; Q < NumQueries; ++Q)
+      if (Results[Q] != Expected[Q]) {
+        if (Error)
+          *Error = formatString("SkipList: query %zu -> %d, expected %d", Q,
+                                Results[Q], Expected[Q]);
+        return false;
+      }
+    return true;
+  }
+
+private:
+  size_t NumKeys = 0;
+  size_t NumQueries = 0;
+  SkipNode *Head = nullptr;
+  int32_t *Queries = nullptr;
+  int32_t *Results = nullptr;
+  void *BodyMem = nullptr;
+  std::vector<int32_t> Expected;
+};
+
+} // namespace
+
+std::unique_ptr<Workload> concord::workloads::makeBTree() {
+  return std::make_unique<BTreeWorkload>();
+}
+std::unique_ptr<Workload> concord::workloads::makeSkipList() {
+  return std::make_unique<SkipListWorkload>();
+}

@@ -1,0 +1,37 @@
+//===- Workload.cpp - Registry and shared helpers -------------------------===//
+
+#include "workloads/Workload.h"
+
+using namespace concord;
+using namespace concord::workloads;
+
+bool concord::workloads::accumulate(WorkloadRun &Run,
+                                    const LaunchReport &Rep) {
+  ++Run.Launches;
+  Run.CompileSeconds += Rep.CompileSeconds;
+  if (!Rep.Ok || Rep.FellBack) {
+    Run.Ok = false;
+    Run.Error = Rep.FellBack ? "fell back to CPU: " + Rep.Diagnostics
+                             : Rep.Diagnostics;
+    return false;
+  }
+  Run.Seconds += Rep.Sim.Seconds;
+  Run.Joules += Rep.Sim.Joules;
+  Run.LastSim = Rep.Sim;
+  Run.OptStats = Rep.OptStats;
+  return true;
+}
+
+std::vector<std::unique_ptr<Workload>> concord::workloads::allWorkloads() {
+  std::vector<std::unique_ptr<Workload>> All;
+  All.push_back(makeBarnesHut());
+  All.push_back(makeBFS());
+  All.push_back(makeBTree());
+  All.push_back(makeClothPhysics());
+  All.push_back(makeConnectedComponent());
+  All.push_back(makeFaceDetect());
+  All.push_back(makeRaytracer());
+  All.push_back(makeSkipList());
+  All.push_back(makeSSSP());
+  return All;
+}

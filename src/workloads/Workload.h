@@ -1,0 +1,95 @@
+//===- Workload.h - The nine irregular benchmark workloads -----*- C++ -*-===//
+///
+/// \file
+/// Common interface for the paper's nine irregular, pointer-intensive C++
+/// workloads (Table 1): BarnesHut, BFS, BTree, ClothPhysics,
+/// ConnectedComponent, FaceDetect, Raytracer, SkipList, SSSP.
+///
+/// Each workload
+///  * builds its pointer-based data structures inside the shared region,
+///  * computes a native reference result at setup time,
+///  * offloads via parallel_for_hetero / parallel_reduce_hetero (possibly
+///    several launches for iterative algorithms), and
+///  * verifies the device-produced memory against the reference.
+///
+/// Inputs are synthetic, scaled-down substitutes for the paper's inputs
+/// (see DESIGN.md): a road-network-like graph stands in for Western USA,
+/// a synthetic Haar cascade for OpenCV's, a generated scene for the
+/// raytracer, and so on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_WORKLOADS_WORKLOAD_H
+#define CONCORD_WORKLOADS_WORKLOAD_H
+
+#include "concord/Concord.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace workloads {
+
+/// Aggregated result of one full workload execution (all launches).
+struct WorkloadRun {
+  bool Ok = false;
+  std::string Error;
+  unsigned Launches = 0;
+  double Seconds = 0;       ///< Modelled device seconds, summed.
+  double Joules = 0;        ///< Modelled package energy, summed.
+  double CompileSeconds = 0;///< One-time JIT cost (first GPU launch).
+  gpusim::SimResult LastSim;///< Stats of the final launch.
+  transforms::PipelineStats OptStats; ///< Compiler stats for the kernel.
+};
+
+class Workload {
+public:
+  virtual ~Workload() = default;
+
+  // Table 1 metadata.
+  virtual const char *name() const = 0;
+  virtual const char *origin() const = 0;
+  virtual const char *dataStructure() const = 0;
+  virtual const char *parallelConstruct() const = 0;
+  virtual std::string inputDescription() const = 0;
+
+  virtual runtime::KernelSpec kernelSpec() const = 0;
+
+  /// Builds inputs in \p Region at the given problem scale (1 = the
+  /// default benchmark size; tests use smaller scales). Also computes the
+  /// native reference. Returns false on allocation failure.
+  virtual bool setup(svm::SharedRegion &Region, unsigned Scale) = 0;
+
+  /// Runs the full algorithm on the selected device model, starting from
+  /// pristine input state (run() is repeatable).
+  virtual WorkloadRun run(Runtime &RT, bool OnCpu) = 0;
+
+  /// Checks device results against the native reference.
+  virtual bool verify(std::string *Error) const = 0;
+};
+
+/// Instantiates all nine workloads in the paper's Table 1 order
+/// (alphabetical: BarnesHut, BFS, BTree, ClothPhysics,
+/// ConnectedComponent, FaceDetect, Raytracer, SkipList, SSSP).
+std::vector<std::unique_ptr<Workload>> allWorkloads();
+
+/// Factory functions for individual workloads.
+std::unique_ptr<Workload> makeBarnesHut();
+std::unique_ptr<Workload> makeBFS();
+std::unique_ptr<Workload> makeBTree();
+std::unique_ptr<Workload> makeClothPhysics();
+std::unique_ptr<Workload> makeConnectedComponent();
+std::unique_ptr<Workload> makeFaceDetect();
+std::unique_ptr<Workload> makeRaytracer();
+std::unique_ptr<Workload> makeSkipList();
+std::unique_ptr<Workload> makeSSSP();
+
+/// Folds a LaunchReport into a WorkloadRun (returns false on failure so
+/// callers can early-exit).
+bool accumulate(WorkloadRun &Run, const LaunchReport &Rep);
+
+} // namespace workloads
+} // namespace concord
+
+#endif // CONCORD_WORKLOADS_WORKLOAD_H

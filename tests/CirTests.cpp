@@ -1,0 +1,316 @@
+//===- CirTests.cpp - Unit tests for Concord IR ---------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/CallGraph.h"
+#include "analysis/ClassHierarchy.h"
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "cir/IRBuilder.h"
+#include "cir/Printer.h"
+#include "cir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace concord;
+using namespace concord::cir;
+
+namespace {
+
+TEST(Types, ScalarSizes) {
+  TypeContext T;
+  EXPECT_EQ(T.boolTy()->sizeInBytes(), 1u);
+  EXPECT_EQ(T.int8Ty()->sizeInBytes(), 1u);
+  EXPECT_EQ(T.int16Ty()->sizeInBytes(), 2u);
+  EXPECT_EQ(T.int32Ty()->sizeInBytes(), 4u);
+  EXPECT_EQ(T.int64Ty()->sizeInBytes(), 8u);
+  EXPECT_EQ(T.floatTy()->sizeInBytes(), 4u);
+  EXPECT_EQ(T.pointerTo(T.int32Ty())->sizeInBytes(), 8u);
+}
+
+TEST(Types, Uniquing) {
+  TypeContext T;
+  EXPECT_EQ(T.pointerTo(T.int32Ty()), T.pointerTo(T.int32Ty()));
+  EXPECT_EQ(T.arrayOf(T.floatTy(), 8), T.arrayOf(T.floatTy(), 8));
+  EXPECT_NE(T.arrayOf(T.floatTy(), 8), T.arrayOf(T.floatTy(), 9));
+  EXPECT_EQ(T.functionTy(T.voidTy(), {T.int32Ty()}),
+            T.functionTy(T.voidTy(), {T.int32Ty()}));
+}
+
+TEST(Types, ClassLayoutPlain) {
+  TypeContext T;
+  ClassType *C = T.createClass("Node");
+  C->addField("value", T.int32Ty());
+  C->addField("next", T.pointerTo(C));
+  C->finalizeLayout();
+  EXPECT_EQ(C->fields()[0].Offset, 0u);
+  EXPECT_EQ(C->fields()[1].Offset, 8u); // Pointer aligned to 8.
+  EXPECT_EQ(C->classSize(), 16u);
+  EXPECT_EQ(C->classAlign(), 8u);
+  uint64_t Off = 0;
+  ASSERT_NE(C->findField("next", &Off), nullptr);
+  EXPECT_EQ(Off, 8u);
+}
+
+TEST(Types, ClassLayoutWithVTable) {
+  TypeContext T;
+  ClassType *Shape = T.createClass("Shape");
+  FunctionType *Sig = T.functionTy(T.floatTy(), {T.floatTy()});
+  Shape->addVirtualMethod("intersect", Sig);
+  Shape->addField("id", T.int32Ty());
+  Shape->finalizeLayout();
+  ASSERT_TRUE(Shape->hasVTable());
+  EXPECT_EQ(Shape->vtables().size(), 1u);
+  EXPECT_EQ(Shape->vtables()[0].Offset, 0u);
+  EXPECT_EQ(Shape->fields()[0].Offset, 8u); // After the vptr.
+  unsigned G = 9, S = 9;
+  EXPECT_TRUE(Shape->findVirtualSlot("intersect", Sig, &G, &S));
+  EXPECT_EQ(G, 0u);
+  EXPECT_EQ(S, 0u);
+}
+
+TEST(Types, DerivedExtendsPrimaryVTable) {
+  TypeContext T;
+  FunctionType *Sig = T.functionTy(T.floatTy(), {T.floatTy()});
+  FunctionType *Sig2 = T.functionTy(T.voidTy(), {});
+  ClassType *Base = T.createClass("Base");
+  Base->addVirtualMethod("f", Sig);
+  Base->addField("b", T.int32Ty());
+  Base->finalizeLayout();
+
+  ClassType *Derived = T.createClass("Derived");
+  Derived->addBase(Base);
+  Derived->addVirtualMethod("f", Sig);  // Override: same slot.
+  Derived->addVirtualMethod("g", Sig2); // New slot appended.
+  Derived->addField("d", T.floatTy());
+  Derived->finalizeLayout();
+
+  ASSERT_EQ(Derived->vtables().size(), 1u);
+  EXPECT_EQ(Derived->vtables()[0].Slots.size(), 2u);
+  unsigned G, S;
+  ASSERT_TRUE(Derived->findVirtualSlot("g", Sig2, &G, &S));
+  EXPECT_EQ(S, 1u);
+  EXPECT_TRUE(Derived->isBaseOrSelf(Base));
+  EXPECT_FALSE(Base->isBaseOrSelf(Derived));
+  uint64_t Off = 1234;
+  EXPECT_TRUE(Derived->offsetOfBase(Base, &Off));
+  EXPECT_EQ(Off, 0u);
+}
+
+TEST(Types, MultipleInheritanceSecondaryGroups) {
+  TypeContext T;
+  FunctionType *SigA = T.functionTy(T.int32Ty(), {});
+  FunctionType *SigB = T.functionTy(T.floatTy(), {});
+  ClassType *A = T.createClass("A");
+  A->addVirtualMethod("fa", SigA);
+  A->addField("a", T.int32Ty());
+  A->finalizeLayout();
+  ClassType *B = T.createClass("B");
+  B->addVirtualMethod("fb", SigB);
+  B->addField("b", T.int32Ty());
+  B->finalizeLayout();
+
+  ClassType *C = T.createClass("C");
+  C->addBase(A);
+  C->addBase(B);
+  C->addVirtualMethod("fb", SigB); // Overrides B's method.
+  C->addField("c", T.floatTy());
+  C->finalizeLayout();
+
+  // A is primary at 0; B is a secondary base with its own vtable group.
+  ASSERT_EQ(C->bases().size(), 2u);
+  EXPECT_EQ(C->bases()[0].Offset, 0u);
+  uint64_t BOff = 0;
+  ASSERT_TRUE(C->offsetOfBase(B, &BOff));
+  EXPECT_GT(BOff, 0u);
+  ASSERT_EQ(C->vtables().size(), 2u);
+  EXPECT_EQ(C->vtables()[1].Offset, BOff);
+  // Field lookup through both bases.
+  uint64_t FOff = 0;
+  ASSERT_NE(C->findField("b", &FOff), nullptr);
+  EXPECT_EQ(FOff, BOff + B->findOwnField("b")->Offset);
+}
+
+/// Builds: void f(i32 n) { i32 s = 0; for (i = 0; i < n; i++) s += i; }
+/// in SSA form directly, returning the function.
+static Function *buildCountedLoop(Module &M) {
+  TypeContext &T = M.types();
+  auto *FTy = T.functionTy(T.voidTy(), {T.int32Ty()});
+  Function *F = M.createFunction("loop", FTy);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  IRBuilder B(M);
+  B.setInsertAtEnd(Entry);
+  B.createBr(Header);
+
+  B.setInsertAtEnd(Header);
+  Instruction *Phi = B.createPhi(T.int32Ty(), "i");
+  Instruction *Cmp = B.createICmp(ICmpPred::SLT, Phi, F->arg(0), "cmp");
+  B.createCondBr(Cmp, Body, Exit);
+
+  B.setInsertAtEnd(Body);
+  Instruction *Next = B.createBinOp(Opcode::Add, Phi, M.constI32(1), "i.next");
+  B.createBr(Header);
+
+  Phi->addIncoming(M.constI32(0), Entry);
+  Phi->addIncoming(Next, Body);
+
+  B.setInsertAtEnd(Exit);
+  B.createRet();
+  return F;
+}
+
+TEST(Verifier, AcceptsWellFormed) {
+  Module M("m");
+  Function *F = buildCountedLoop(M);
+  auto Errors = verifyFunction(*F);
+  EXPECT_TRUE(Errors.empty()) << (Errors.empty() ? "" : Errors.front());
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Module M("m");
+  auto *FTy = M.types().functionTy(M.types().voidTy(), {});
+  Function *F = M.createFunction("bad", FTy);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertAtEnd(BB);
+  B.createBinOp(Opcode::Add, M.constI32(1), M.constI32(2));
+  auto Errors = verifyFunction(*F);
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(Verifier, CatchesPhiIncomingMismatch) {
+  Module M("m");
+  auto *FTy = M.types().functionTy(M.types().voidTy(), {});
+  Function *F = M.createFunction("badphi", FTy);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  IRBuilder B(M);
+  B.setInsertAtEnd(Entry);
+  B.createBr(Next);
+  B.setInsertAtEnd(Next);
+  Instruction *Phi = B.createPhi(M.types().int32Ty());
+  Phi->addIncoming(M.constI32(0), Entry);
+  Phi->addIncoming(M.constI32(1), Next); // Next is not a predecessor twice.
+  B.createRet();
+  auto Errors = verifyFunction(*F);
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(Dominators, StraightLineAndBranch) {
+  Module M("m");
+  Function *F = buildCountedLoop(M);
+  analysis::DominatorTree DT(*F);
+  BasicBlock *Entry = F->blockAt(0);
+  BasicBlock *Header = F->blockAt(1);
+  BasicBlock *Body = F->blockAt(2);
+  BasicBlock *Exit = F->blockAt(3);
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+  EXPECT_EQ(DT.idom(Header), Entry);
+  EXPECT_EQ(DT.idom(Body), Header);
+  EXPECT_EQ(DT.idom(Exit), Header);
+  EXPECT_TRUE(DT.dominates(Entry, Exit));
+  EXPECT_TRUE(DT.dominates(Header, Body));
+  EXPECT_FALSE(DT.dominates(Body, Exit));
+  // Back edge target has itself in the frontier of the latch.
+  auto &DF = DT.dominanceFrontier(Body);
+  EXPECT_NE(std::find(DF.begin(), DF.end(), Header), DF.end());
+}
+
+TEST(PostDominators, BranchReconvergence) {
+  Module M("m");
+  TypeContext &T = M.types();
+  auto *FTy = T.functionTy(T.voidTy(), {T.boolTy()});
+  Function *F = M.createFunction("diamond", FTy);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+  IRBuilder B(M);
+  B.setInsertAtEnd(Entry);
+  B.createCondBr(F->arg(0), Then, Else);
+  B.setInsertAtEnd(Then);
+  B.createBr(Join);
+  B.setInsertAtEnd(Else);
+  B.createBr(Join);
+  B.setInsertAtEnd(Join);
+  B.createRet();
+  analysis::PostDominatorTree PDT(*F);
+  EXPECT_EQ(PDT.ipdom(Entry), Join); // Reconvergence point of the branch.
+  EXPECT_EQ(PDT.ipdom(Then), Join);
+  EXPECT_EQ(PDT.ipdom(Join), nullptr); // Virtual exit.
+}
+
+TEST(LoopInfoTest, RecognizesCountedLoop) {
+  Module M("m");
+  Function *F = buildCountedLoop(M);
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const analysis::Loop &L = *LI.loops().front();
+  EXPECT_EQ(L.Header->name(), "header");
+  EXPECT_TRUE(L.isInnermost());
+  ASSERT_NE(L.Preheader, nullptr);
+  EXPECT_EQ(L.Preheader->name(), "entry");
+
+  analysis::InductionInfo II;
+  ASSERT_TRUE(analysis::LoopInfo::analyzeInduction(L, &II));
+  EXPECT_EQ(II.Step, 1);
+  EXPECT_EQ(II.Bound, F->arg(0));
+  EXPECT_EQ(II.Exit->name(), "exit");
+}
+
+TEST(LivenessTest, LoopCarriedValueLiveThroughBody) {
+  Module M("m");
+  Function *F = buildCountedLoop(M);
+  analysis::Liveness LV(*F);
+  BasicBlock *Body = F->blockAt(2);
+  // The argument n is live through the body (used by the header compare).
+  EXPECT_TRUE(LV.liveIn(Body).count(F->arg(0)));
+  EXPECT_GE(LV.maxLive(), 2u);
+}
+
+TEST(PrinterTest, ContainsStructure) {
+  Module M("m");
+  buildCountedLoop(M);
+  std::string S = printModule(M);
+  EXPECT_NE(S.find("func @loop"), std::string::npos);
+  EXPECT_NE(S.find("phi"), std::string::npos);
+  EXPECT_NE(S.find("icmp.slt"), std::string::npos);
+  EXPECT_NE(S.find("condbr"), std::string::npos);
+}
+
+TEST(CFGTest, SplitEdgeFixesPhis) {
+  Module M("m");
+  Function *F = buildCountedLoop(M);
+  BasicBlock *Header = F->blockAt(1);
+  BasicBlock *Body = F->blockAt(2);
+  analysis::splitEdge(*F, Body, Header);
+  auto Errors = verifyFunction(*F);
+  EXPECT_TRUE(Errors.empty()) << (Errors.empty() ? "" : Errors.front());
+}
+
+TEST(ModuleTest, ConstantUniquing) {
+  Module M("m");
+  EXPECT_EQ(M.constI32(42), M.constI32(42));
+  EXPECT_NE(M.constI32(42), M.constI32(43));
+  EXPECT_EQ(M.constFloat(1.5f), M.constFloat(1.5f));
+  EXPECT_EQ(M.constInt(M.types().int8Ty(), 0x1FF),
+            M.constInt(M.types().int8Ty(), 0xFF)); // Canonicalized width.
+  auto *PT = M.types().pointerTo(M.types().int32Ty());
+  EXPECT_EQ(M.nullPtr(PT), M.nullPtr(PT));
+}
+
+TEST(ModuleTest, ConstantSext) {
+  Module M("m");
+  ConstantInt *C = M.constInt(M.types().int8Ty(), 0xFF);
+  EXPECT_EQ(C->sext(), -1);
+  EXPECT_EQ(C->zext(), 0xFFu);
+  ConstantInt *U = M.constInt(M.types().uint32Ty(), 0xFFFFFFFFull);
+  EXPECT_EQ(U->zext(), 0xFFFFFFFFull);
+}
+
+} // namespace

@@ -1,0 +1,337 @@
+//===- CodegenSimTests.cpp - Bytecode, emitter, and simulator tests -------===//
+
+#include "codegen/CodeGen.h"
+#include "codegen/OpenCLEmitter.h"
+#include "concord/Concord.h"
+#include "frontend/Compile.h"
+#include "gpusim/CacheModel.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace concord;
+
+namespace {
+
+/// Compiles a full pipeline and returns the program.
+codegen::KernelProgram compileToProgram(const char *Src,
+                                        const char *BodyClass) {
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(Src, "t", Diags);
+  EXPECT_TRUE(M) << Diags.str();
+  EXPECT_TRUE(frontend::createKernelEntry(*M, BodyClass, Diags))
+      << Diags.str();
+  transforms::PipelineStats S;
+  std::string Err;
+  EXPECT_TRUE(transforms::runPipeline(
+      *M, transforms::PipelineOptions::gpuAll(), S, &Err))
+      << Err;
+  auto CG = codegen::compileModule(*M);
+  EXPECT_TRUE(CG.ok()) << CG.Error;
+  return std::move(CG.Program);
+}
+
+const char *Fig1Src = R"(
+  class Node { public: int value; Node* next; };
+  class LoopBody {
+  public:
+    Node* nodes;
+    void operator()(int i) { nodes[i].next = &(nodes[i+1]); }
+  };
+)";
+
+TEST(Codegen, Figure1Bytecode) {
+  auto Program = compileToProgram(Fig1Src, "LoopBody");
+  const codegen::BKernel *K = Program.findKernel("kernel$LoopBody");
+  ASSERT_NE(K, nullptr);
+  EXPECT_GT(K->NumRegs, 0u);
+  EXPECT_EQ(K->NumArgs, 1u);
+  bool HasTranslate = false, HasStore = false;
+  for (const codegen::BInst &I : K->Code) {
+    HasTranslate |= I.Op == codegen::BOp::CpuToGpu;
+    HasStore |= I.Op == codegen::BOp::Store;
+    if (I.Op == codegen::BOp::Br || I.Op == codegen::BOp::CondBr) {
+      EXPECT_GE(I.Target, 0);
+      EXPECT_LT(size_t(I.Target), K->Code.size());
+    }
+  }
+  EXPECT_TRUE(HasTranslate);
+  EXPECT_TRUE(HasStore);
+}
+
+TEST(Codegen, ReconvergencePointsWithinBounds) {
+  auto Program = compileToProgram(R"(
+    class K {
+    public:
+      int* data;
+      int n;
+      void operator()(int i) {
+        int acc = 0;
+        for (int j = 0; j < n; j++)
+          if (data[j] > 0)
+            acc += data[j];
+        data[i] = acc;
+      }
+    };
+  )",
+                                  "K");
+  const codegen::BKernel *K = Program.findKernel("kernel$K");
+  ASSERT_NE(K, nullptr);
+  unsigned CondBrs = 0;
+  for (const codegen::BInst &I : K->Code) {
+    if (I.Op != codegen::BOp::CondBr)
+      continue;
+    ++CondBrs;
+    EXPECT_GE(I.Target2, 0);
+    if (I.Reconverge >= 0) {
+      EXPECT_LT(size_t(I.Reconverge), K->Code.size());
+    }
+  }
+  EXPECT_GE(CondBrs, 2u);
+}
+
+TEST(Codegen, FunctionSymbolsStableAndDistinct) {
+  EXPECT_EQ(codegen::functionSymbolValue("A::f(i32)"),
+            codegen::functionSymbolValue("A::f(i32)"));
+  EXPECT_NE(codegen::functionSymbolValue("A::f(i32)"),
+            codegen::functionSymbolValue("B::f(i32)"));
+  EXPECT_NE(codegen::functionSymbolValue("x"), 0u);
+}
+
+TEST(OpenCLEmitter, Figure1Shape) {
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(Fig1Src, "t", Diags);
+  ASSERT_TRUE(M);
+  ASSERT_TRUE(frontend::createKernelEntry(*M, "LoopBody", Diags));
+  transforms::PipelineStats S;
+  std::string Err;
+  ASSERT_TRUE(transforms::runPipeline(
+      *M, transforms::PipelineOptions::gpuAll(), S, &Err));
+  std::string CL = codegen::emitOpenCL(*M->findFunction("kernel$LoopBody"));
+  // The Figure 1 (right) essentials: kernel ABI, the runtime constant, and
+  // the pointer translation.
+  EXPECT_NE(CL.find("__kernel"), std::string::npos);
+  EXPECT_NE(CL.find("gpu_base"), std::string::npos);
+  EXPECT_NE(CL.find("cpu_base"), std::string::npos);
+  EXPECT_NE(CL.find("svm_const"), std::string::npos);
+  EXPECT_NE(CL.find("AS_GPU_PTR"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic property sweep: kernel results must equal host semantics.
+//===----------------------------------------------------------------------===//
+
+struct ArithCase {
+  int32_t A, B;
+};
+
+class ArithProperty : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(ArithProperty, IntOpsMatchHost) {
+  ArithCase C = GetParam();
+  svm::SharedRegion Region(8 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+
+  struct Bits {
+    int32_t A, B;
+    int32_t *Out;
+  };
+  const char *Src = R"(
+    class Arith {
+    public:
+      int a;
+      int b;
+      int* out;
+      void operator()(int i) {
+        if (i == 0) out[0] = a + b;
+        if (i == 1) out[1] = a - b;
+        if (i == 2) out[2] = a * b;
+        if (i == 3) out[3] = b != 0 ? a / b : -7;
+        if (i == 4) out[4] = b != 0 ? a % b : -7;
+        if (i == 5) out[5] = a & b;
+        if (i == 6) out[6] = a | b;
+        if (i == 7) out[7] = a ^ b;
+        if (i == 8) out[8] = a << (b & 31);
+        if (i == 9) out[9] = a >> (b & 31);
+        if (i == 10) out[10] = a < b ? 1 : 0;
+        if (i == 11) out[11] = (uint)a < (uint)b ? 1 : 0;
+        if (i == 12) out[12] = -a;
+        if (i == 13) out[13] = (int)(char)a;
+        if (i == 14) out[14] = (int)(short)a;
+        if (i == 15) out[15] = abs(a);
+      }
+    };
+  )";
+  auto *Out = Region.allocArray<int32_t>(16);
+  auto *Body = Region.create<Bits>();
+  *Body = {C.A, C.B, Out};
+  LaunchReport Rep = RT.offload({Src, "Arith"}, 16, Body, false);
+  ASSERT_TRUE(Rep.Ok) << Rep.Diagnostics;
+
+  int32_t A = C.A, B = C.B;
+  int32_t Want[16] = {
+      int32_t(A + B),
+      int32_t(A - B),
+      int32_t(A * B),
+      B != 0 ? int32_t(A / B) : -7,
+      B != 0 ? int32_t(A % B) : -7,
+      A & B,
+      A | B,
+      A ^ B,
+      int32_t(uint32_t(A) << (B & 31)),
+      int32_t(A >> (B & 31)),
+      A < B ? 1 : 0,
+      uint32_t(A) < uint32_t(B) ? 1 : 0,
+      int32_t(-A),
+      int32_t(int8_t(A)),
+      int32_t(int16_t(A)),
+      A == INT32_MIN ? INT32_MIN : (A < 0 ? -A : A),
+  };
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Out[I], Want[I]) << "op " << I << " a=" << A << " b=" << B;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ArithProperty,
+    ::testing::Values(ArithCase{0, 0}, ArithCase{1, 2}, ArithCase{-1, 3},
+                      ArithCase{-7, -3}, ArithCase{123456, 789},
+                      ArithCase{-123456, 789}, ArithCase{INT32_MAX, 2},
+                      ArithCase{INT32_MIN + 1, 5}, ArithCase{255, -255},
+                      ArithCase{0x7FFF, 0x10001}));
+
+//===----------------------------------------------------------------------===//
+// Simulator behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(Sim, DeterministicTiming) {
+  svm::SharedRegion Region(8 << 20);
+  auto Machine = gpusim::MachineConfig::desktop();
+  Runtime RT(Machine, Region);
+  const char *Src = R"(
+    class K {
+    public:
+      float* v;
+      void operator()(int i) { v[i] = sqrtf((float)i) + v[i]; }
+    };
+  )";
+  auto *V = Region.allocArray<float>(4096);
+  struct Bits {
+    float *V;
+  };
+  auto *Body = Region.create<Bits>();
+  Body->V = V;
+  LaunchReport R1 = RT.offload({Src, "K"}, 4096, Body, false);
+  LaunchReport R2 = RT.offload({Src, "K"}, 4096, Body, false);
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_DOUBLE_EQ(R1.Sim.Cycles, R2.Sim.Cycles);
+  EXPECT_EQ(R1.Sim.WarpInstructions, R2.Sim.WarpInstructions);
+}
+
+TEST(Sim, InvalidPointerTraps) {
+  svm::SharedRegion Region(8 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  const char *Src = R"(
+    class K {
+    public:
+      int* p;
+      void operator()(int i) { p[i] = 1; }
+    };
+  )";
+  struct Bits {
+    int32_t *P;
+  };
+  auto *Body = Region.create<Bits>();
+  Body->P = reinterpret_cast<int32_t *>(uintptr_t(0x1234)); // Garbage.
+  LaunchReport Rep = RT.offload({Src, "K"}, 16, Body, false);
+  EXPECT_FALSE(Rep.Ok);
+  EXPECT_NE(Rep.Diagnostics.find("invalid"), std::string::npos)
+      << Rep.Diagnostics;
+}
+
+TEST(Sim, GpuSlowerWhenDivergent) {
+  // The same total work, once convergent (all lanes same trip count) and
+  // once divergent (trip count varies per lane): divergence must cost.
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  struct Bits {
+    int32_t *Trip;
+    int32_t *Out;
+  };
+  const char *Src = R"(
+    class K {
+    public:
+      int* trip;
+      int* out;
+      void operator()(int i) {
+        int acc = 0;
+        int n = trip[i];
+        for (int j = 0; j < n; j++)
+          acc += j * j;
+        out[i] = acc;
+      }
+    };
+  )";
+  constexpr int N = 4096;
+  auto *Trip = Region.allocArray<int32_t>(N);
+  auto *Out = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<Bits>();
+  *Body = {Trip, Out};
+
+  // Convergent: everyone runs 64 iterations.
+  std::fill(Trip, Trip + N, 64);
+  LaunchReport Conv = RT.offload({Src, "K"}, N, Body, false);
+  // Divergent: same average (64), but spread 0..128 within each warp.
+  for (int I = 0; I < N; ++I)
+    Trip[I] = (I % 16) * 128 / 15;
+  LaunchReport Div = RT.offload({Src, "K"}, N, Body, false);
+  ASSERT_TRUE(Conv.Ok && Div.Ok);
+  // Compare core cycles (Seconds also includes the fixed launch overhead,
+  // which dilutes the ratio at this small problem size).
+  EXPECT_GT(Div.Sim.Cycles, Conv.Sim.Cycles * 1.5)
+      << "divergence must be significantly slower: conv warpInst="
+      << Conv.Sim.WarpInstructions
+      << " div warpInst=" << Div.Sim.WarpInstructions;
+  EXPECT_GT(Div.Sim.DivergentBranches, Conv.Sim.DivergentBranches);
+}
+
+TEST(CacheModelTest, HitsWhenWorkingSetFits) {
+  gpusim::CacheModel Cache({64 << 10, 64, 8});
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (uint64_t Line = 0; Line < 512; ++Line)
+      Cache.access(Line);
+  // Second pass must be all hits: 512 lines = 32 KB < 64 KB.
+  EXPECT_EQ(Cache.misses(), 512u);
+  EXPECT_EQ(Cache.hits(), 512u);
+}
+
+TEST(CacheModelTest, ThrashesWhenWorkingSetExceeds) {
+  gpusim::CacheModel Cache({4 << 10, 64, 4}); // 64 lines.
+  for (int Pass = 0; Pass < 3; ++Pass)
+    for (uint64_t Line = 0; Line < 1024; ++Line)
+      Cache.access(Line);
+  // Sequential sweep over 16x the capacity: essentially everything misses.
+  EXPECT_GT(Cache.misses(), Cache.hits() * 10);
+}
+
+TEST(CacheModelTest, LruKeepsHotLine) {
+  gpusim::CacheModel Cache({4 << 10, 64, 4});
+  for (uint64_t I = 0; I < 10000; ++I) {
+    Cache.access(0);            // Hot line.
+    Cache.access(64 + I % 32);  // Cold churn in other sets mostly.
+  }
+  // The hot line must stay resident: ~half of the accesses hit line 0.
+  EXPECT_GT(Cache.hits(), 9000u);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  runtime::ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Counts(10000);
+  Pool.parallelFor(10000, [&](int64_t I) { Counts[size_t(I)]++; });
+  for (auto &C : Counts)
+    EXPECT_EQ(C.load(), 1);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+//===- DiagnosticsTests.cpp - Section 2.1 restriction coverage ------------===//
+//
+// Parameterized sweep over Concord's C++ restrictions: each construct
+// outside the GPU subset must produce an "unsupported feature" diagnostic
+// (triggering CPU fallback), never a crash or silent acceptance; genuine
+// type errors must produce hard errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compile.h"
+
+#include <gtest/gtest.h>
+
+using namespace concord;
+using namespace concord::frontend;
+
+namespace {
+
+struct DiagCase {
+  const char *Name;
+  const char *Source;
+  bool ExpectUnsupported; ///< Else: expect a hard error.
+};
+
+class RestrictionTest : public ::testing::TestWithParam<DiagCase> {};
+
+TEST_P(RestrictionTest, DiagnosedAsExpected) {
+  DiagnosticEngine Diags;
+  auto M = compileProgram(GetParam().Source, "t", Diags);
+  (void)M;
+  if (GetParam().ExpectUnsupported) {
+    EXPECT_TRUE(Diags.hasUnsupportedFeature())
+        << "expected 'unsupported' for " << GetParam().Name << "\n"
+        << Diags.str();
+  } else {
+    EXPECT_TRUE(Diags.hasError())
+        << "expected an error for " << GetParam().Name << "\n" << Diags.str();
+  }
+}
+
+const DiagCase Cases[] = {
+    // Section 2.1: unsupported constructs -> warning + CPU fallback.
+    {"gpu_allocation",
+     "class K { public: long out; void operator()(int i) {"
+     " int* p = new int; out = (long)p; } };",
+     true},
+    {"exceptions_throw",
+     "class K { public: void operator()(int i) { throw; } };", true},
+    {"exceptions_try",
+     "class K { public: void operator()(int i) { try; } };", true},
+    {"goto_stmt",
+     "class K { public: void operator()(int i) { goto done; } };", true},
+    {"switch_stmt",
+     "class K { public: int* d; void operator()(int i) {"
+     " switch (i) { } } };",
+     true},
+    {"do_while",
+     "class K { public: int* d; void operator()(int i) {"
+     " do { d[i] = 1; } while (i < 0); } };",
+     true},
+    {"address_of_local",
+     "class K { public: long out; void operator()(int i) {"
+     " int x = i; int* p = &x; out = (long)*p; } };",
+     true},
+    {"function_pointer",
+     "int f(int x) { return x; }\n"
+     "class K { public: long out; void operator()(int i) { out = (long)f; } "
+     "};",
+     true},
+    {"general_recursion",
+     "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n"
+     "class K { public: int out; void operator()(int i) { out = fib(i); } "
+     "};",
+     true},
+    {"mutual_recursion",
+     "int odd(int n);\n"
+     "int even(int n) { if (n == 0) return 1; return odd(n - 1); }\n"
+     "int odd(int n) { if (n == 0) return 0; return even(n - 1); }\n"
+     "class K { public: int out; void operator()(int i) { out = even(i); } "
+     "};",
+     true},
+    {"virtual_base_class",
+     "class A { public: int a; };\n"
+     "class B : virtual A { public: int b; };\n"
+     "class K { public: B* p; void operator()(int i) { p->b = i; } };",
+     true},
+    {"static_member",
+     "class K { public: static int s; void operator()(int i) { } };", true},
+
+    // Hard errors: genuinely broken programs.
+    {"unknown_name",
+     "class K { public: void operator()(int i) { nope = 1; } };", false},
+    {"unknown_field",
+     "class P { public: int x; };\n"
+     "class K { public: P* p; void operator()(int i) { p->y = 1; } };",
+     false},
+    {"unknown_function",
+     "class K { public: int o; void operator()(int i) { o = zap(i); } };",
+     false},
+    {"arity_mismatch",
+     "int f(int a, int b) { return a + b; }\n"
+     "class K { public: int o; void operator()(int i) { o = f(i); } };",
+     false},
+    {"void_pointer",
+     "class K { public: void* p; void operator()(int i) { } };", false},
+    {"reference_field",
+     "class K { public: int& r; void operator()(int i) { } };", false},
+    {"base_after_derived",
+     "class D : public B { public: int d; };\n"
+     "class B { public: int b; };\n"
+     "class K { public: D* p; void operator()(int i) { p->d = i; } };",
+     false},
+    {"class_value_before_definition",
+     "class K { public: P p; void operator()(int i) { } };\n"
+     "class P { public: int x; };",
+     false},
+    {"non_bool_condition_class",
+     "class P { public: int x; };\n"
+     "class K { public: P v; void operator()(int i) { if (v) { } } };",
+     false},
+    {"ambiguous_overload",
+     "int f(int a, float b) { return a; }\n"
+     "int f(float a, int b) { return b; }\n"
+     "class K { public: int o; void operator()(int i) { o = f(i, i); } };",
+     false},
+    {"missing_return_value",
+     "int f(int a) { return; }\n"
+     "class K { public: int o; void operator()(int i) { o = f(i); } };",
+     false},
+};
+
+INSTANTIATE_TEST_SUITE_P(Restrictions, RestrictionTest,
+                         ::testing::ValuesIn(Cases),
+                         [](const ::testing::TestParamInfo<DiagCase> &I) {
+                           return std::string(I.param.Name);
+                         });
+
+TEST(Diag, TailRecursionIsNotFlagged) {
+  DiagnosticEngine Diags;
+  compileProgram(R"(
+    int countdown(int n, int acc) {
+      if (n == 0) return acc;
+      return countdown(n - 1, acc + n);
+    }
+    class K {
+    public:
+      int out;
+      void operator()(int i) { out = countdown(i, 0); }
+    };
+  )",
+                 "t", Diags);
+  EXPECT_FALSE(Diags.hasError()) << Diags.str();
+  EXPECT_FALSE(Diags.hasUnsupportedFeature()) << Diags.str();
+}
+
+} // namespace

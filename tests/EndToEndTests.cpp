@@ -1,0 +1,436 @@
+//===- EndToEndTests.cpp - Whole-stack integration tests ------------------===//
+//
+// Each test compiles CKL kernel source through the full pipeline, runs it
+// on a simulated device against real shared-region memory, and checks the
+// memory effects against natively computed expectations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concord/Concord.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+using namespace concord;
+
+namespace {
+
+struct Fixture {
+  svm::SharedRegion Region;
+  gpusim::MachineConfig Machine;
+  Runtime RT;
+
+  Fixture()
+      : Region(64 << 20), Machine(gpusim::MachineConfig::ultrabook()),
+        RT(Machine, Region) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Figure 1: convert an array of nodes into a linked list on the GPU.
+//===----------------------------------------------------------------------===//
+
+struct FigNode {
+  int Value;
+  FigNode *Next;
+};
+
+struct Fig1Body {
+  FigNode *Nodes;
+
+  void operator()(int I) { Nodes[I].Next = &Nodes[I + 1]; }
+
+  static const char *kernelSource() {
+    return R"(
+      class Node {
+      public:
+        int value;
+        Node* next;
+      };
+      class LoopBody {
+      public:
+        Node* nodes;
+        void operator()(int i) {
+          nodes[i].next = &(nodes[i+1]);
+        }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "LoopBody"; }
+};
+
+TEST(EndToEnd, Figure1LinkedListOnGpu) {
+  Fixture F;
+  constexpr int N = 1000;
+  auto *Nodes = F.Region.allocArray<FigNode>(N + 1);
+  for (int I = 0; I <= N; ++I)
+    Nodes[I] = {I, nullptr};
+  auto *Body = F.Region.create<Fig1Body>();
+  Body->Nodes = Nodes;
+
+  LaunchReport Rep = parallel_for_hetero(F.RT, N, *Body, /*OnCpu=*/false);
+  ASSERT_TRUE(Rep.Ok) << Rep.Diagnostics;
+  EXPECT_EQ(Rep.Executed, Device::GPU);
+  EXPECT_FALSE(Rep.FellBack);
+
+  // The GPU stored real CPU virtual addresses through software SVM.
+  for (int I = 0; I < N; ++I)
+    EXPECT_EQ(Nodes[I].Next, &Nodes[I + 1]) << "node " << I;
+  EXPECT_EQ(Nodes[N].Next, nullptr);
+  EXPECT_GT(Rep.Sim.Seconds, 0.0);
+  EXPECT_GT(Rep.Sim.Joules, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// CPU-vs-GPU functional equivalence with control flow and floats.
+//===----------------------------------------------------------------------===//
+
+struct MathBody {
+  float *In;
+  float *Out;
+  int N;
+
+  void operator()(int I) {
+    float V = In[I];
+    float Acc = 0.0f;
+    for (int J = 0; J < 8; ++J) {
+      if (V > 0.5f)
+        Acc += std::sqrt(V) * float(J);
+      else
+        Acc -= V * float(J);
+      V = V * 0.7f + 0.1f;
+    }
+    Out[I] = Acc;
+  }
+
+  static const char *kernelSource() {
+    return R"(
+      class MathBody {
+      public:
+        float* in;
+        float* out;
+        int n;
+        void operator()(int i) {
+          float v = in[i];
+          float acc = 0.0f;
+          for (int j = 0; j < 8; j++) {
+            if (v > 0.5f)
+              acc += sqrtf(v) * (float)j;
+            else
+              acc -= v * (float)j;
+            v = v * 0.7f + 0.1f;
+          }
+          out[i] = acc;
+        }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "MathBody"; }
+};
+
+TEST(EndToEnd, GpuMatchesNativeFloatMath) {
+  Fixture F;
+  constexpr int N = 2048;
+  auto *In = F.Region.allocArray<float>(N);
+  auto *OutGpu = F.Region.allocArray<float>(N);
+  std::vector<float> Expected(N);
+  for (int I = 0; I < N; ++I)
+    In[I] = float(I % 37) / 17.0f;
+
+  // Native reference.
+  {
+    MathBody Ref{In, Expected.data(), N};
+    for (int I = 0; I < N; ++I)
+      Ref(I);
+  }
+
+  auto *Body = F.Region.create<MathBody>();
+  Body->In = In;
+  Body->Out = OutGpu;
+  Body->N = N;
+  LaunchReport Rep = parallel_for_hetero(F.RT, N, *Body, /*OnCpu=*/false);
+  ASSERT_TRUE(Rep.Ok) << Rep.Diagnostics;
+  for (int I = 0; I < N; ++I)
+    ASSERT_NEAR(OutGpu[I], Expected[I], 1e-4f) << "item " << I;
+}
+
+TEST(EndToEnd, CpuDeviceModelMatchesToo) {
+  Fixture F;
+  constexpr int N = 512;
+  auto *In = F.Region.allocArray<float>(N);
+  auto *Out = F.Region.allocArray<float>(N);
+  for (int I = 0; I < N; ++I)
+    In[I] = float(I) / 100.0f;
+  auto *Body = F.Region.create<MathBody>();
+  Body->In = In;
+  Body->Out = Out;
+  Body->N = N;
+  LaunchReport Rep = parallel_for_hetero(F.RT, N, *Body, /*OnCpu=*/true);
+  ASSERT_TRUE(Rep.Ok) << Rep.Diagnostics;
+  EXPECT_EQ(Rep.Executed, Device::CPU);
+  std::vector<float> Expected(N);
+  MathBody Ref{In, Expected.data(), N};
+  for (int I = 0; I < N; ++I) {
+    Ref(I);
+    ASSERT_NEAR(Out[I], Expected[I], 1e-4f);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Virtual dispatch through SVM vtables on the device.
+//===----------------------------------------------------------------------===//
+
+struct ShapeBase {
+  uint64_t VPtr; ///< Written by install_vptrs.
+  float Param;
+};
+
+struct VirtBody {
+  ShapeBase **Shapes; ///< Mixed Circle/Square objects.
+  float *Out;
+
+  void operator()(int) {} // Native path unused in this test.
+
+  static const char *kernelSource() {
+    return R"(
+      class Shape {
+      public:
+        float param;
+        virtual float area() { return 0.0f; }
+      };
+      class Circle : public Shape {
+      public:
+        virtual float area() { return 3.14159f * param * param; }
+      };
+      class Square : public Shape {
+      public:
+        virtual float area() { return param * param; }
+      };
+      class VirtBody {
+      public:
+        Shape** shapes;
+        float* out;
+        void operator()(int i) {
+          out[i] = shapes[i]->area();
+        }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "VirtBody"; }
+};
+
+TEST(EndToEnd, VirtualFunctionsOnGpu) {
+  Fixture F;
+  constexpr int N = 256;
+  auto *Shapes = F.Region.allocArray<ShapeBase *>(N);
+  auto *Out = F.Region.allocArray<float>(N);
+  KernelSpec Spec{VirtBody::kernelSource(), VirtBody::kernelClassName()};
+
+  for (int I = 0; I < N; ++I) {
+    auto *S = F.Region.create<ShapeBase>();
+    S->Param = float(I % 10) + 1.0f;
+    bool IsCircle = I % 2 == 0;
+    ASSERT_TRUE(
+        F.RT.installVPtrs(Spec, S, IsCircle ? "Circle" : "Square"));
+    Shapes[I] = S;
+    Out[I] = -1.0f;
+  }
+
+  auto *Body = F.Region.create<VirtBody>();
+  Body->Shapes = Shapes;
+  Body->Out = Out;
+  LaunchReport Rep = parallel_for_hetero(F.RT, N, *Body, /*OnCpu=*/false);
+  ASSERT_TRUE(Rep.Ok) << Rep.Diagnostics;
+
+  for (int I = 0; I < N; ++I) {
+    float P = float(I % 10) + 1.0f;
+    float Expected = (I % 2 == 0) ? 3.14159f * P * P : P * P;
+    ASSERT_NEAR(Out[I], Expected, 1e-3f) << "shape " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reductions (section 3.3).
+//===----------------------------------------------------------------------===//
+
+struct SumBody {
+  float *Data;
+  float Acc;
+
+  void operator()(int I) { Acc += Data[I]; }
+  void join(SumBody &Other) { Acc += Other.Acc; }
+
+  static const char *kernelSource() {
+    return R"(
+      class SumBody {
+      public:
+        float* data;
+        float acc;
+        void operator()(int i) { acc += data[i]; }
+        void join(SumBody& other) { acc += other.acc; }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "SumBody"; }
+};
+
+TEST(EndToEnd, ReductionSumOnGpu) {
+  Fixture F;
+  constexpr int N = 10000;
+  auto *Data = F.Region.allocArray<float>(N);
+  double Expected = 0;
+  for (int I = 0; I < N; ++I) {
+    Data[I] = float((I % 13) - 6);
+    Expected += Data[I];
+  }
+  auto *Body = F.Region.create<SumBody>();
+  Body->Data = Data;
+  Body->Acc = 0.0f;
+  LaunchReport Rep = parallel_reduce_hetero(F.RT, N, *Body, /*OnCpu=*/false);
+  ASSERT_TRUE(Rep.Ok) << Rep.Diagnostics;
+  EXPECT_NEAR(Body->Acc, float(Expected), 1.0f);
+  EXPECT_GT(Rep.Sim.Barriers, 0u);
+}
+
+TEST(EndToEnd, ReductionSumOnCpuModel) {
+  Fixture F;
+  constexpr int N = 3000;
+  auto *Data = F.Region.allocArray<float>(N);
+  double Expected = 0;
+  for (int I = 0; I < N; ++I) {
+    Data[I] = float(I % 7);
+    Expected += Data[I];
+  }
+  auto *Body = F.Region.create<SumBody>();
+  Body->Data = Data;
+  Body->Acc = 0.0f;
+  LaunchReport Rep = parallel_reduce_hetero(F.RT, N, *Body, /*OnCpu=*/true);
+  ASSERT_TRUE(Rep.Ok) << Rep.Diagnostics;
+  EXPECT_NEAR(Body->Acc, float(Expected), 1.0f);
+}
+
+//===----------------------------------------------------------------------===//
+// The four optimization configurations agree functionally.
+//===----------------------------------------------------------------------===//
+
+TEST(EndToEnd, AllOptConfigsAgree) {
+  using transforms::PipelineOptions;
+  constexpr int N = 1024;
+  std::vector<float> Results[4];
+  const PipelineOptions Configs[4] = {
+      PipelineOptions::gpuBaseline(), PipelineOptions::gpuPtrOpt(),
+      PipelineOptions::gpuL3Opt(), PipelineOptions::gpuAll()};
+  for (int C = 0; C < 4; ++C) {
+    Fixture F;
+    F.RT.setGpuOptions(Configs[C]);
+    auto *In = F.Region.allocArray<float>(N);
+    auto *Out = F.Region.allocArray<float>(N);
+    for (int I = 0; I < N; ++I)
+      In[I] = float(I % 101) / 7.0f;
+    auto *Body = F.Region.create<MathBody>();
+    Body->In = In;
+    Body->Out = Out;
+    Body->N = N;
+    LaunchReport Rep = parallel_for_hetero(F.RT, N, *Body, false);
+    ASSERT_TRUE(Rep.Ok) << "config " << C << ": " << Rep.Diagnostics;
+    Results[C].assign(Out, Out + N);
+  }
+  for (int C = 1; C < 4; ++C)
+    EXPECT_EQ(Results[0], Results[C]) << "config " << C;
+}
+
+//===----------------------------------------------------------------------===//
+// Fallback for unsupported kernels (section 2.1).
+//===----------------------------------------------------------------------===//
+
+struct RecursiveBody {
+  int *Out;
+
+  // Native path: the reference semantics of the recursive kernel.
+  int fib(int N) { return N < 2 ? N : fib(N - 1) + fib(N - 2); }
+  void operator()(int I) { Out[I] = fib(I % 12); }
+
+  static const char *kernelSource() {
+    return R"(
+      int fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+      }
+      class RecursiveBody {
+      public:
+        int* out;
+        void operator()(int i) { out[i] = fib(i % 12); }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "RecursiveBody"; }
+};
+
+TEST(EndToEnd, UnsupportedKernelFallsBackToCpu) {
+  Fixture F;
+  constexpr int N = 64;
+  auto *Out = F.Region.allocArray<int>(N);
+  auto *Body = F.Region.create<RecursiveBody>();
+  Body->Out = Out;
+  LaunchReport Rep = parallel_for_hetero(F.RT, N, *Body, /*OnCpu=*/false);
+  EXPECT_TRUE(Rep.FellBack);
+  EXPECT_EQ(Rep.Executed, Device::CPU);
+  EXPECT_NE(Rep.Diagnostics.find("recursion"), std::string::npos)
+      << Rep.Diagnostics;
+  // The native fallback still computed the right answer.
+  RecursiveBody Ref{nullptr};
+  for (int I = 0; I < N; ++I)
+    EXPECT_EQ(Out[I], Ref.fib(I % 12));
+}
+
+//===----------------------------------------------------------------------===//
+// JIT caching (section 3.4).
+//===----------------------------------------------------------------------===//
+
+TEST(EndToEnd, SecondLaunchUsesJitCache) {
+  Fixture F;
+  constexpr int N = 128;
+  auto *In = F.Region.allocArray<float>(N);
+  auto *Out = F.Region.allocArray<float>(N);
+  for (int I = 0; I < N; ++I)
+    In[I] = 1.0f;
+  auto *Body = F.Region.create<MathBody>();
+  Body->In = In;
+  Body->Out = Out;
+  Body->N = N;
+  LaunchReport First = parallel_for_hetero(F.RT, N, *Body, false);
+  ASSERT_TRUE(First.Ok);
+  EXPECT_GT(First.CompileSeconds, 0.0);
+  size_t CacheAfterFirst = F.RT.programCacheSize();
+  LaunchReport Second = parallel_for_hetero(F.RT, N, *Body, false);
+  ASSERT_TRUE(Second.Ok);
+  EXPECT_TRUE(Second.JitCached);
+  EXPECT_EQ(F.RT.programCacheSize(), CacheAfterFirst);
+}
+
+//===----------------------------------------------------------------------===//
+// Timing model sanity: the wide Ultrabook GPU beats its weak dual-core
+// CPU on a regular compute kernel.
+//===----------------------------------------------------------------------===//
+
+TEST(EndToEnd, UltrabookGpuFasterOnRegularCompute) {
+  Fixture F;
+  constexpr int N = 16384;
+  auto *In = F.Region.allocArray<float>(N);
+  auto *Out = F.Region.allocArray<float>(N);
+  for (int I = 0; I < N; ++I)
+    In[I] = float(I % 97) / 10.0f + 1.0f;
+  auto *Body = F.Region.create<MathBody>();
+  Body->In = In;
+  Body->Out = Out;
+  Body->N = N;
+
+  LaunchReport Cpu = parallel_for_hetero(F.RT, N, *Body, /*OnCpu=*/true);
+  LaunchReport Gpu = parallel_for_hetero(F.RT, N, *Body, /*OnCpu=*/false);
+  ASSERT_TRUE(Cpu.Ok && Gpu.Ok) << Cpu.Diagnostics << Gpu.Diagnostics;
+  EXPECT_GT(Cpu.Sim.Seconds / Gpu.Sim.Seconds, 1.5)
+      << "CPU " << Cpu.Sim.Seconds << "s vs GPU " << Gpu.Sim.Seconds << "s";
+}
+
+} // namespace

@@ -1,0 +1,492 @@
+//===- FrontendTests.cpp - CKL frontend unit tests ------------------------===//
+
+#include "cir/Printer.h"
+#include "cir/Verifier.h"
+#include "frontend/Compile.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::frontend;
+
+namespace {
+
+std::unique_ptr<Module> compileOK(const char *Src) {
+  DiagnosticEngine Diags;
+  auto M = compileProgram(Src, "test", Diags);
+  EXPECT_TRUE(M != nullptr) << Diags.str();
+  if (M) {
+    auto Errors = verifyModule(*M);
+    EXPECT_TRUE(Errors.empty())
+        << (Errors.empty() ? "" : Errors.front()) << "\n"
+        << printModule(*M);
+  }
+  return M;
+}
+
+TEST(Lexer, TokenKinds) {
+  DiagnosticEngine D;
+  auto Toks = lex("class X { int a; float b; } // comment\n x->y", D);
+  EXPECT_FALSE(D.hasError());
+  ASSERT_GE(Toks.size(), 10u);
+  EXPECT_TRUE(Toks[0].is(TokKind::KwClass));
+  EXPECT_TRUE(Toks[1].is(TokKind::Identifier));
+  EXPECT_EQ(Toks[1].Text, "X");
+  EXPECT_TRUE(Toks.back().is(TokKind::End));
+}
+
+TEST(Lexer, Numbers) {
+  DiagnosticEngine D;
+  auto Toks = lex("42 0x1F 3.5 1e3 2.5f 7u", D);
+  EXPECT_EQ(Toks[0].IntVal, 42u);
+  EXPECT_EQ(Toks[1].IntVal, 0x1Fu);
+  EXPECT_TRUE(Toks[2].is(TokKind::FloatLiteral));
+  EXPECT_DOUBLE_EQ(Toks[2].FloatVal, 3.5);
+  EXPECT_DOUBLE_EQ(Toks[3].FloatVal, 1000.0);
+  EXPECT_TRUE(Toks[4].is(TokKind::FloatLiteral));
+  EXPECT_TRUE(Toks[5].is(TokKind::IntLiteral));
+}
+
+TEST(Lexer, OperatorsAndComments) {
+  DiagnosticEngine D;
+  auto Toks = lex("a += b << 2; /* block\ncomment */ c && d", D);
+  EXPECT_FALSE(D.hasError());
+  EXPECT_TRUE(Toks[1].is(TokKind::PlusAssign));
+  EXPECT_TRUE(Toks[3].is(TokKind::Shl));
+  bool FoundAmpAmp = false;
+  for (auto &T : Toks)
+    FoundAmpAmp |= T.is(TokKind::AmpAmp);
+  EXPECT_TRUE(FoundAmpAmp);
+}
+
+TEST(Parser, ClassWithMethodAndField) {
+  DiagnosticEngine D;
+  TranslationUnit U = parse(R"(
+    class Node {
+      int value;
+      Node* next;
+      int get() { return value; }
+    };
+  )",
+                            D);
+  EXPECT_FALSE(D.hasError()) << D.str();
+  ASSERT_EQ(U.Classes.size(), 1u);
+  EXPECT_EQ(U.Classes[0]->Name, "Node");
+  EXPECT_EQ(U.Classes[0]->Fields.size(), 2u);
+  EXPECT_EQ(U.Classes[0]->Methods.size(), 1u);
+}
+
+TEST(Parser, NamespaceQualifiesNames) {
+  DiagnosticEngine D;
+  TranslationUnit U = parse(R"(
+    namespace geo {
+      class Vec { float x; };
+      float len(float x) { return x; }
+    }
+  )",
+                            D);
+  EXPECT_FALSE(D.hasError()) << D.str();
+  ASSERT_EQ(U.Classes.size(), 1u);
+  EXPECT_EQ(U.Classes[0]->Name, "geo::Vec");
+  ASSERT_EQ(U.FunctionQualNames.size(), 1u);
+  EXPECT_EQ(U.FunctionQualNames[0], "geo::len");
+}
+
+TEST(Parser, UnsupportedConstructsReported) {
+  DiagnosticEngine D;
+  parse(R"(
+    class K {
+      void operator()(int i) {
+        int* p = new int;
+      }
+    };
+  )",
+        D);
+  EXPECT_TRUE(D.hasUnsupportedFeature());
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program compilation
+//===----------------------------------------------------------------------===//
+
+TEST(Compile, Figure1LinkedListKernel) {
+  // The exact running example from the paper (Figure 1, left).
+  auto M = compileOK(R"(
+    class Node {
+    public:
+      int value;
+      Node* next;
+    };
+    class LoopBody {
+      Node* nodes;
+    public:
+      void operator()(int i) {
+        nodes[i].next = &(nodes[i+1]);
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  ClassType *Body = M->types().findClass("LoopBody");
+  ASSERT_NE(Body, nullptr);
+  EXPECT_EQ(Body->classSize(), 8u);
+  Function *Op = findMethod(*M, "LoopBody", "operator()", 1);
+  ASSERT_NE(Op, nullptr);
+
+  DiagnosticEngine D;
+  Function *K = createKernelEntry(*M, "LoopBody", D);
+  ASSERT_NE(K, nullptr) << D.str();
+  EXPECT_TRUE(K->isKernel());
+  EXPECT_EQ(K->numArgs(), 1u);
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+TEST(Compile, VirtualDispatchProducesVCall) {
+  auto M = compileOK(R"(
+    class Shape {
+    public:
+      int id;
+      virtual float area() { return 0.0f; }
+    };
+    class Circle : public Shape {
+    public:
+      float r;
+      virtual float area() { return 3.14159f * r * r; }
+    };
+    class K {
+    public:
+      Shape* s;
+      float out;
+      void operator()(int i) {
+        out = s->area();
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  // The operator() body must contain a VCall.
+  Function *Op = findMethod(*M, "K", "operator()", 1);
+  ASSERT_NE(Op, nullptr);
+  bool HasVCall = false;
+  for (BasicBlock *BB : *Op)
+    for (Instruction *I : *BB)
+      HasVCall |= I->opcode() == Opcode::VCall;
+  EXPECT_TRUE(HasVCall);
+
+  // Vtable slots resolved for both classes.
+  ClassType *Shape = M->types().findClass("Shape");
+  ClassType *Circle = M->types().findClass("Circle");
+  ASSERT_TRUE(Shape && Circle);
+  ASSERT_TRUE(Shape->hasVTable());
+  ASSERT_TRUE(Circle->hasVTable());
+  EXPECT_NE(Shape->vtables()[0].Slots[0].Impl, nullptr);
+  EXPECT_NE(Circle->vtables()[0].Slots[0].Impl, nullptr);
+  EXPECT_NE(Shape->vtables()[0].Slots[0].Impl,
+            Circle->vtables()[0].Slots[0].Impl);
+}
+
+TEST(Compile, MultipleInheritanceWithThunk) {
+  auto M = compileOK(R"(
+    class A {
+    public:
+      int a;
+      virtual int fa() { return 1; }
+    };
+    class B {
+    public:
+      int b;
+      virtual int fb() { return 2; }
+    };
+    class C : public A, public B {
+    public:
+      int c;
+      virtual int fb() { return 20; }
+    };
+    class K {
+    public:
+      B* p;
+      int out;
+      void operator()(int i) { out = p->fb(); }
+    };
+  )");
+  ASSERT_TRUE(M);
+  ClassType *C = M->types().findClass("C");
+  ASSERT_NE(C, nullptr);
+  ASSERT_EQ(C->vtables().size(), 2u);
+  // The secondary group's override must be a thunk.
+  Function *Impl = C->vtables()[1].Slots[0].Impl;
+  ASSERT_NE(Impl, nullptr);
+  EXPECT_TRUE(Impl->isThunk());
+}
+
+TEST(Compile, PureVirtualMethods) {
+  auto M = compileOK(R"(
+    class Shape {
+    public:
+      float r;
+      virtual float area() = 0;
+    };
+    class Circle : public Shape {
+    public:
+      virtual float area() { return 3.14f * r * r; }
+    };
+    class K {
+    public:
+      Shape* s;
+      float out;
+      void operator()(int i) { out = s->area(); }
+    };
+  )");
+  ASSERT_TRUE(M);
+  ClassType *Shape = M->types().findClass("Shape");
+  ASSERT_TRUE(Shape && Shape->hasVTable());
+  // The abstract base's slot stays empty; the derived one is filled.
+  EXPECT_EQ(Shape->vtables()[0].Slots[0].Impl, nullptr);
+  ClassType *Circle = M->types().findClass("Circle");
+  EXPECT_NE(Circle->vtables()[0].Slots[0].Impl, nullptr);
+}
+
+TEST(Compile, FunctionOverloading) {
+  auto M = compileOK(R"(
+    int pick(int a) { return a; }
+    float pick(float a) { return a; }
+    class K {
+    public:
+      int x;
+      float y;
+      void operator()(int i) {
+        x = pick(3);
+        y = pick(2.5f);
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_NE(M->findFunction("pick(i32)"), nullptr);
+  EXPECT_NE(M->findFunction("pick(float)"), nullptr);
+}
+
+TEST(Compile, OperatorOverloadingOnValueClasses) {
+  auto M = compileOK(R"(
+    class Vec2 {
+    public:
+      float x;
+      float y;
+      Vec2 operator+(Vec2 o) {
+        Vec2 r;
+        r.x = x + o.x;
+        r.y = y + o.y;
+        return r;
+      }
+      float dot(Vec2 o) { return x * o.x + y * o.y; }
+    };
+    class K {
+    public:
+      Vec2 a;
+      Vec2 b;
+      float out;
+      void operator()(int i) {
+        Vec2 s = a + b;
+        out = s.dot(a);
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+}
+
+TEST(Compile, NamespacesResolve) {
+  auto M = compileOK(R"(
+    namespace math {
+      int twice(int v) { return v * 2; }
+    }
+    class K {
+    public:
+      int out;
+      void operator()(int i) {
+        out = math::twice(i) + twice(i);
+      }
+    };
+    int twice(int v) { return v + v; }
+  )");
+  ASSERT_TRUE(M);
+}
+
+TEST(Compile, RecursionUnsupported) {
+  DiagnosticEngine D;
+  auto M = compileProgram(R"(
+    int fib(int n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+    class K {
+    public:
+      int out;
+      void operator()(int i) { out = fib(i); }
+    };
+  )",
+                          "test", D);
+  ASSERT_TRUE(M) << D.str();
+  EXPECT_TRUE(D.hasUnsupportedFeature());
+}
+
+TEST(Compile, TailRecursionAllowed) {
+  DiagnosticEngine D;
+  auto M = compileProgram(R"(
+    int gcd(int a, int b) {
+      if (b == 0) return a;
+      return gcd(b, a % b);
+    }
+    class K {
+    public:
+      int out;
+      void operator()(int i) { out = gcd(i, 12); }
+    };
+  )",
+                          "test", D);
+  ASSERT_TRUE(M) << D.str();
+  EXPECT_FALSE(D.hasUnsupportedFeature()) << D.str();
+}
+
+TEST(Compile, AddressOfLocalUnsupported) {
+  DiagnosticEngine D;
+  compileProgram(R"(
+    class K {
+    public:
+      long out;
+      void operator()(int i) {
+        int local = i;
+        int* p = &local;
+        out = (long)*p;
+      }
+    };
+  )",
+                 "test", D);
+  EXPECT_TRUE(D.hasUnsupportedFeature());
+}
+
+TEST(Compile, AddressOfSharedElementAllowed) {
+  // &nodes[i+1] (Figure 1) must NOT trip the address-of-local check.
+  DiagnosticEngine D;
+  auto M = compileProgram(R"(
+    class Node { public: Node* next; };
+    class K {
+    public:
+      Node* nodes;
+      void operator()(int i) {
+        nodes[i].next = &(nodes[i+1]);
+      }
+    };
+  )",
+                          "test", D);
+  ASSERT_TRUE(M) << D.str();
+  EXPECT_FALSE(D.hasUnsupportedFeature()) << D.str();
+}
+
+TEST(Compile, ControlFlowLowering) {
+  auto M = compileOK(R"(
+    class K {
+    public:
+      int* data;
+      int n;
+      void operator()(int i) {
+        int sum = 0;
+        for (int j = 0; j < n; j++) {
+          if (data[j] > 0)
+            sum += data[j];
+          else if (data[j] < -100)
+            break;
+          else
+            continue;
+        }
+        while (sum > 1000)
+          sum /= 2;
+        data[i] = sum > 0 ? sum : -sum;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+}
+
+TEST(Compile, LocalArraysAndStacks) {
+  auto M = compileOK(R"(
+    class K {
+    public:
+      int* out;
+      void operator()(int i) {
+        int stack[16];
+        int top = 0;
+        stack[top] = i;
+        top = top + 1;
+        int total = 0;
+        while (top > 0) {
+          top = top - 1;
+          total += stack[top];
+        }
+        out[i] = total;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+}
+
+TEST(Compile, BuiltinMathFunctions) {
+  auto M = compileOK(R"(
+    class K {
+    public:
+      float* v;
+      void operator()(int i) {
+        v[i] = sqrtf(fabsf(v[i])) + fminf(v[i], 1.0f) + powf(v[i], 2.0f);
+        v[i] = (float)max(i, 3) + (float)min(i, 7) + (float)abs(i - 5);
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+}
+
+TEST(Compile, ReduceBodyWithJoin) {
+  auto M = compileOK(R"(
+    class SumBody {
+    public:
+      float* data;
+      float acc;
+      void operator()(int i) {
+        acc += data[i];
+      }
+      void join(SumBody& other) {
+        acc += other.acc;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  EXPECT_NE(findMethod(*M, "SumBody", "join", 1), nullptr);
+}
+
+TEST(Compile, ErrorsOnUnknownNames) {
+  DiagnosticEngine D;
+  auto M = compileProgram(R"(
+    class K {
+    public:
+      void operator()(int i) { undeclared = 3; }
+    };
+  )",
+                          "test", D);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_TRUE(D.hasError());
+}
+
+TEST(Compile, ErrorsOnBadFieldAccess) {
+  DiagnosticEngine D;
+  auto M = compileProgram(R"(
+    class P { public: int x; };
+    class K {
+    public:
+      P* p;
+      void operator()(int i) { p->y = 1; }
+    };
+  )",
+                          "test", D);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_TRUE(D.hasError());
+}
+
+} // namespace

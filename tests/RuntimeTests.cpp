@@ -1,0 +1,249 @@
+//===- RuntimeTests.cpp - Runtime-layer unit tests ------------------------===//
+
+#include "concord/Concord.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+using namespace concord;
+
+namespace {
+
+const char *TinySrc = R"(
+  class Tiny {
+  public:
+    int* data;
+    void operator()(int i) { data[i] = i * 3; }
+  };
+)";
+
+TEST(RuntimeCache, SeparateEntriesPerDeviceAndOptions) {
+  svm::SharedRegion Region(8 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  auto *Data = Region.allocArray<int32_t>(64);
+  struct Bits {
+    int32_t *Data;
+  };
+  auto *Body = Region.create<Bits>();
+  Body->Data = Data;
+
+  runtime::KernelSpec Spec{TinySrc, "Tiny"};
+  EXPECT_EQ(RT.programCacheSize(), 0u);
+  RT.offload(Spec, 64, Body, /*OnCpu=*/false);
+  EXPECT_EQ(RT.programCacheSize(), 1u);
+  RT.offload(Spec, 64, Body, /*OnCpu=*/true); // CPU variant compiles anew.
+  EXPECT_EQ(RT.programCacheSize(), 2u);
+  RT.setGpuOptions(transforms::PipelineOptions::gpuBaseline());
+  RT.offload(Spec, 64, Body, false); // Different GPU options: new entry.
+  EXPECT_EQ(RT.programCacheSize(), 3u);
+  RT.offload(Spec, 64, Body, false); // Cached.
+  EXPECT_EQ(RT.programCacheSize(), 3u);
+}
+
+TEST(RuntimeCache, FailedProgramsAreCachedToo) {
+  svm::SharedRegion Region(4 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  runtime::KernelSpec Bad{"class K { public: void operator()(int i) { "
+                          "undeclared = 1; } };",
+                          "K"};
+  char Dummy[8];
+  void *Body = Region.allocate(8);
+  (void)Dummy;
+  LaunchReport R1 = RT.offload(Bad, 4, Body, false);
+  EXPECT_FALSE(R1.Ok);
+  size_t After = RT.programCacheSize();
+  LaunchReport R2 = RT.offload(Bad, 4, Body, false);
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_EQ(RT.programCacheSize(), After); // No recompilation storm.
+  EXPECT_TRUE(R2.JitCached);
+}
+
+TEST(RuntimeVTables, SlotsMaterializedInSharedRegion) {
+  svm::SharedRegion Region(8 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  const char *Src = R"(
+    class Base {
+    public:
+      int x;
+      virtual int f() { return 1; }
+      virtual int g() { return 2; }
+    };
+    class Derived : public Base {
+    public:
+      virtual int g() { return 20; }
+    };
+    class K {
+    public:
+      Base* b;
+      int* out;
+      void operator()(int i) { out[i] = b->f() + b->g(); }
+    };
+  )";
+  runtime::KernelSpec Spec{Src, "K"};
+
+  struct HostBase {
+    uint64_t VPtr;
+    int32_t X;
+  };
+  auto *Obj = Region.create<HostBase>();
+  ASSERT_TRUE(RT.installVPtrs(Spec, Obj, "Derived"));
+  // The vptr must point into the shared region, at a two-slot table whose
+  // entries are the function symbols the devirtualized code compares to.
+  ASSERT_TRUE(Region.contains(reinterpret_cast<void *>(Obj->VPtr)));
+  auto *Slots = reinterpret_cast<uint64_t *>(Obj->VPtr);
+  EXPECT_NE(Slots[0], 0u); // Base::f (inherited).
+  EXPECT_NE(Slots[1], 0u); // Derived::g (override).
+  EXPECT_NE(Slots[0], Slots[1]);
+
+  // And dispatch through it computes 1 + 20.
+  auto *Out = Region.allocArray<int32_t>(4);
+  struct Bits {
+    HostBase *B;
+    int32_t *Out;
+  };
+  auto *Body = Region.create<Bits>();
+  *Body = {Obj, Out};
+  LaunchReport Rep = RT.offload(Spec, 4, Body, false);
+  ASSERT_TRUE(Rep.Ok) << Rep.Diagnostics;
+  EXPECT_EQ(Out[0], 21);
+}
+
+TEST(RuntimeVTables, InstallFailsForUnknownClass) {
+  svm::SharedRegion Region(4 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  runtime::KernelSpec Spec{TinySrc, "Tiny"};
+  char Obj[16] = {};
+  EXPECT_FALSE(RT.installVPtrs(Spec, Obj, "NoSuchClass"));
+}
+
+TEST(RuntimeReduce, HugeScratchFallsBackToCpu) {
+  svm::SharedRegion Region(8 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  const char *Src = R"(
+    class Big {
+    public:
+      float pad[2048];
+      float acc;
+      void operator()(int i) { acc += (float)i; }
+      void join(Big& o) { acc += o.acc; }
+    };
+  )";
+  // 8 KB body x 64k items would need a ~0.5 GB scratch: must fall back.
+  struct BigHost {
+    float Pad[2048];
+    float Acc;
+  };
+  auto *Body = Region.create<BigHost>();
+  Body->Acc = 0;
+  runtime::HostJoinFn Join = [](void *A, void *B) {
+    static_cast<BigHost *>(A)->Acc += static_cast<BigHost *>(B)->Acc;
+  };
+  LaunchReport Rep = RT.offloadReduce({Src, "Big"}, 64 << 10, Body,
+                                      sizeof(BigHost), Join, false);
+  EXPECT_TRUE(Rep.FellBack);
+  EXPECT_EQ(Rep.Executed, runtime::Device::CPU);
+}
+
+TEST(RuntimeLaunch, BodyOutsideRegionRejected) {
+  svm::SharedRegion Region(4 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  struct Bits {
+    int32_t *Data;
+  } StackBody{nullptr}; // Not in the shared region.
+  LaunchReport Rep = RT.offload({TinySrc, "Tiny"}, 4, &StackBody, false);
+  EXPECT_FALSE(Rep.Ok);
+  EXPECT_NE(Rep.Diagnostics.find("shared region"), std::string::npos);
+}
+
+TEST(RuntimeLaunch, RegionUnpinnedAfterLaunch) {
+  svm::SharedRegion Region(8 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  auto *Data = Region.allocArray<int32_t>(64);
+  struct Bits {
+    int32_t *Data;
+  };
+  auto *Body = Region.create<Bits>();
+  Body->Data = Data;
+  EXPECT_FALSE(Region.isPinned());
+  RT.offload({TinySrc, "Tiny"}, 64, Body, false);
+  EXPECT_FALSE(Region.isPinned()); // Pin/unpin balanced (section 2.3).
+}
+
+TEST(RuntimeLaunch, ZeroItemsIsANoop) {
+  svm::SharedRegion Region(4 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  auto *Data = Region.allocArray<int32_t>(4);
+  Data[0] = 42;
+  struct Bits {
+    int32_t *Data;
+  };
+  auto *Body = Region.create<Bits>();
+  Body->Data = Data;
+  LaunchReport Rep = RT.offload({TinySrc, "Tiny"}, 0, Body, false);
+  EXPECT_TRUE(Rep.Ok) << Rep.Diagnostics;
+  EXPECT_EQ(Data[0], 42); // Untouched.
+}
+
+//===----------------------------------------------------------------------===//
+// SVM allocator property sweep: random alloc/free traffic must never
+// corrupt accounting, and full free must fully coalesce.
+//===----------------------------------------------------------------------===//
+
+class AllocatorFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AllocatorFuzz, RandomTrafficStaysConsistent) {
+  std::mt19937_64 Rng(GetParam());
+  svm::SharedRegion Region(8 << 20);
+  struct Block {
+    void *Ptr;
+    size_t Size;
+    unsigned char Tag;
+  };
+  std::vector<Block> Live;
+  std::uniform_int_distribution<size_t> SizeDist(1, 8192);
+
+  for (int Step = 0; Step < 4000; ++Step) {
+    bool DoAlloc = Live.empty() || (Rng() % 100) < 60;
+    if (DoAlloc) {
+      size_t Size = SizeDist(Rng);
+      size_t Align = size_t(16) << (Rng() % 4);
+      void *P = Region.allocate(Size, Align);
+      if (!P)
+        continue; // Exhaustion is legal under fragmentation.
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u);
+      unsigned char Tag = static_cast<unsigned char>(Rng());
+      std::memset(P, Tag, Size);
+      Live.push_back({P, Size, Tag});
+    } else {
+      size_t Pick = Rng() % Live.size();
+      // The block's bytes must be exactly as written (no overlap between
+      // allocations).
+      auto *Bytes = static_cast<unsigned char *>(Live[Pick].Ptr);
+      for (size_t B = 0; B < Live[Pick].Size; B += 97)
+        ASSERT_EQ(Bytes[B], Live[Pick].Tag);
+      Region.deallocate(Live[Pick].Ptr);
+      Live[Pick] = Live.back();
+      Live.pop_back();
+    }
+  }
+  for (Block &L : Live)
+    Region.deallocate(L.Ptr);
+  EXPECT_EQ(Region.stats().BytesAllocated, 0u);
+  EXPECT_EQ(Region.freeBlockCount(), 1u); // Fully coalesced.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzz,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+} // namespace

@@ -1,0 +1,104 @@
+//===- SupportTests.cpp - Unit tests for the support library -------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace concord;
+
+namespace {
+
+struct Base {
+  enum Kind { K_A, K_B } TheKind;
+  explicit Base(Kind K) : TheKind(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(K_A) {}
+  static bool classof(const Base *B) { return B->TheKind == K_A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(K_B) {}
+  static bool classof(const Base *B) { return B->TheKind == K_B; }
+};
+
+TEST(Casting, IsaAndDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+}
+
+TEST(Casting, DynCastOrNull) {
+  Base *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<DerivedA>(Null), nullptr);
+  DerivedB BObj;
+  Base *B = &BObj;
+  EXPECT_EQ(dyn_cast_or_null<DerivedB>(B), &BObj);
+}
+
+TEST(Diagnostics, CountsBySeverity) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasError());
+  D.warning(SourceLoc(1, 2), "w");
+  EXPECT_FALSE(D.hasError());
+  EXPECT_FALSE(D.hasUnsupportedFeature());
+  D.unsupported(SourceLoc(3, 4), "recursion");
+  EXPECT_TRUE(D.hasUnsupportedFeature());
+  EXPECT_FALSE(D.hasError());
+  D.error(SourceLoc(5, 6), "boom");
+  EXPECT_TRUE(D.hasError());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, Rendering) {
+  DiagnosticEngine D;
+  D.error(SourceLoc(7, 3), "bad thing");
+  std::string S = D.str();
+  EXPECT_NE(S.find("7:3"), std::string::npos);
+  EXPECT_NE(S.find("error"), std::string::npos);
+  EXPECT_NE(S.find("bad thing"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine D;
+  D.error(SourceLoc(), "x");
+  D.clear();
+  EXPECT_FALSE(D.hasError());
+  EXPECT_TRUE(D.diagnostics().empty());
+}
+
+TEST(StringUtils, FormatString) {
+  EXPECT_EQ(formatString("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(formatString("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(StringUtils, SplitString) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+  EXPECT_EQ(splitString("", ',').size(), 1u);
+}
+
+TEST(StringUtils, TrimString) {
+  EXPECT_EQ(trimString("  hi \n"), "hi");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("x"), "x");
+  EXPECT_EQ(trimString(" \t\r\n "), "");
+}
+
+TEST(StringUtils, HashIsStableAndSpreads) {
+  EXPECT_EQ(hashString("kernel"), hashString("kernel"));
+  EXPECT_NE(hashString("kernel-a"), hashString("kernel-b"));
+  EXPECT_NE(hashString(""), hashString("x"));
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+//===- SvmTests.cpp - Unit tests for the software SVM layer --------------===//
+
+#include "svm/BindingTable.h"
+#include "svm/SharedRegion.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+using namespace concord::svm;
+
+namespace {
+
+TEST(SharedRegion, BasicAllocation) {
+  SharedRegion R(1 << 20);
+  void *P = R.allocate(64);
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(R.contains(P));
+  std::memset(P, 0xAB, 64);
+  R.deallocate(P);
+  EXPECT_EQ(R.stats().NumAllocs, 1u);
+  EXPECT_EQ(R.stats().NumFrees, 1u);
+  EXPECT_EQ(R.stats().BytesAllocated, 0u);
+}
+
+TEST(SharedRegion, AlignmentHonored) {
+  SharedRegion R(1 << 20);
+  for (size_t Align : {16ul, 32ul, 64ul, 256ul, 4096ul}) {
+    void *P = R.allocate(10, Align);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u)
+        << "align " << Align;
+  }
+}
+
+TEST(SharedRegion, ExhaustionReturnsNull) {
+  SharedRegion R(64 << 10);
+  void *P = R.allocate(1 << 20);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_EQ(R.stats().FailedAllocs, 1u);
+}
+
+TEST(SharedRegion, CoalescingReassemblesArena) {
+  SharedRegion R(1 << 20);
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 64; ++I)
+    Ptrs.push_back(R.allocate(1024));
+  // Free in a scattered order; coalescing should merge everything back.
+  std::mt19937 Rng(42);
+  std::shuffle(Ptrs.begin(), Ptrs.end(), Rng);
+  for (void *P : Ptrs)
+    R.deallocate(P);
+  EXPECT_EQ(R.freeBlockCount(), 1u);
+  EXPECT_EQ(R.stats().BytesAllocated, 0u);
+  // And a huge allocation fits again.
+  EXPECT_NE(R.allocate((1 << 20) - 4096), nullptr);
+}
+
+TEST(SharedRegion, TranslationRoundTrip) {
+  SharedRegion R(1 << 20);
+  void *P = R.allocate(128);
+  uint64_t Cpu = reinterpret_cast<uint64_t>(P);
+  uint64_t Gpu = R.gpuFromCpu(Cpu);
+  EXPECT_EQ(Gpu, Cpu + R.svmConst());
+  EXPECT_EQ(R.cpuFromGpu(Gpu), Cpu);
+  // hostFromGpu must resolve to the same bytes.
+  void *Host = R.hostFromGpu(Gpu, 128);
+  EXPECT_EQ(Host, P);
+}
+
+TEST(SharedRegion, HostFromGpuBoundsChecked) {
+  SharedRegion R(1 << 16);
+  EXPECT_EQ(R.hostFromGpu(R.gpuBase() - 1, 1), nullptr);
+  EXPECT_EQ(R.hostFromGpu(R.gpuBase() + (1 << 16), 1), nullptr);
+  EXPECT_EQ(R.hostFromGpu(R.gpuBase() + (1 << 16) - 4, 8), nullptr);
+  EXPECT_NE(R.hostFromGpu(R.gpuBase(), 8), nullptr);
+}
+
+TEST(SharedRegion, PointerContainingStructures) {
+  // The Figure 1 scenario: build a linked list inside the region; pointers
+  // stored in memory are CPU virtual addresses.
+  struct Node {
+    int Value;
+    Node *Next;
+  };
+  SharedRegion R(1 << 20);
+  Node *Arr = R.allocArray<Node>(100);
+  ASSERT_NE(Arr, nullptr);
+  for (int I = 0; I < 100; ++I) {
+    Arr[I].Value = I;
+    Arr[I].Next = I + 1 < 100 ? &Arr[I + 1] : nullptr;
+  }
+  // Walk via GPU-space translation as the device would.
+  uint64_t GpuAddr = R.gpuFromCpu(reinterpret_cast<uint64_t>(&Arr[0]));
+  int Count = 0;
+  while (GpuAddr) {
+    auto *N = static_cast<Node *>(R.hostFromGpu(GpuAddr, sizeof(Node)));
+    ASSERT_NE(N, nullptr);
+    EXPECT_EQ(N->Value, Count);
+    ++Count;
+    GpuAddr = N->Next ? R.gpuFromCpu(reinterpret_cast<uint64_t>(N->Next)) : 0;
+  }
+  EXPECT_EQ(Count, 100);
+}
+
+TEST(SharedRegion, CreateDestroy) {
+  SharedRegion R(1 << 20);
+  struct Widget {
+    int A;
+    float B;
+    Widget(int A, float B) : A(A), B(B) {}
+  };
+  Widget *W = R.create<Widget>(7, 2.5f);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->A, 7);
+  EXPECT_FLOAT_EQ(W->B, 2.5f);
+  R.destroy(W);
+  EXPECT_EQ(R.stats().BytesAllocated, 0u);
+}
+
+TEST(SharedRegion, PinTracking) {
+  SharedRegion R(1 << 16);
+  EXPECT_FALSE(R.isPinned());
+  R.pin();
+  EXPECT_TRUE(R.isPinned());
+  R.pin();
+  R.unpin();
+  EXPECT_TRUE(R.isPinned());
+  R.unpin();
+  EXPECT_FALSE(R.isPinned());
+}
+
+TEST(SharedRegion, DefaultRegionRedirection) {
+  SharedRegion R(1 << 20);
+  DefaultRegionScope Scope(R);
+  void *P = svmMalloc(256);
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(R.contains(P));
+  svmFree(P);
+  EXPECT_EQ(R.stats().NumFrees, 1u);
+}
+
+TEST(SharedRegion, PeakTracksHighWater) {
+  SharedRegion R(1 << 20);
+  void *A = R.allocate(1000);
+  void *B = R.allocate(2000);
+  uint64_t Peak = R.stats().PeakBytes;
+  R.deallocate(A);
+  R.deallocate(B);
+  EXPECT_GE(Peak, 3000u);
+  EXPECT_EQ(R.stats().PeakBytes, Peak);
+}
+
+TEST(BindingTable, SharedRegionIsSurfaceZero) {
+  SharedRegion R(1 << 20);
+  BindingTable BT(R);
+  ASSERT_EQ(BT.surfaceCount(), 1u);
+  EXPECT_EQ(BT.surface(0).GpuBase, R.gpuBase());
+  EXPECT_EQ(BT.surface(0).Kind, SurfaceKind::Global);
+}
+
+TEST(BindingTable, ResolveInsideAndOutside) {
+  SharedRegion R(1 << 20);
+  BindingTable BT(R);
+  void *P = R.allocate(64);
+  uint64_t Gpu = R.gpuFromCpu(reinterpret_cast<uint64_t>(P));
+  EXPECT_EQ(BT.resolve(Gpu, 64), P);
+  EXPECT_EQ(BT.resolve(0x10, 4), nullptr);
+  EXPECT_EQ(BT.resolve(R.gpuBase() + R.capacity(), 1), nullptr);
+}
+
+TEST(BindingTable, TransientSurfaces) {
+  SharedRegion R(1 << 20);
+  BindingTable BT(R);
+  std::vector<char> Local(4096);
+  unsigned Idx = BT.bindSurface("wg-local", SurfaceKind::LocalScratch,
+                                0x9000000000ull, Local.data(), Local.size());
+  EXPECT_EQ(Idx, 1u);
+  const Surface *S = nullptr;
+  void *Host = BT.resolve(0x9000000000ull + 16, 4, &S);
+  EXPECT_EQ(Host, Local.data() + 16);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Kind, SurfaceKind::LocalScratch);
+  BT.resetTransientSurfaces();
+  EXPECT_EQ(BT.surfaceCount(), 1u);
+  EXPECT_EQ(BT.resolve(0x9000000000ull + 16, 4), nullptr);
+}
+
+} // namespace

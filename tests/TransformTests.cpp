@@ -1,0 +1,569 @@
+//===- TransformTests.cpp - Optimization pass unit tests ------------------===//
+
+#include "cir/Printer.h"
+#include "cir/Verifier.h"
+#include "frontend/Compile.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+namespace {
+
+/// Compiles CKL, creates the kernel entry for \p BodyClass, and returns
+/// the module (verified).
+std::unique_ptr<Module> compileKernel(const char *Src,
+                                      const char *BodyClass = "K") {
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(Src, "t", Diags);
+  EXPECT_TRUE(M != nullptr) << Diags.str();
+  if (!M)
+    return nullptr;
+  EXPECT_NE(frontend::createKernelEntry(*M, BodyClass, Diags), nullptr)
+      << Diags.str();
+  EXPECT_TRUE(verifyModule(*M).empty());
+  return M;
+}
+
+size_t countOps(Function &F, Opcode Op) {
+  size_t N = 0;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      N += I->opcode() == Op;
+  return N;
+}
+
+size_t countAllOps(Module &M, Opcode Op) {
+  size_t N = 0;
+  for (const auto &F : M.functions())
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        N += I->opcode() == Op;
+  return N;
+}
+
+void expectVerified(Module &M) {
+  auto Errors = verifyModule(M);
+  EXPECT_TRUE(Errors.empty())
+      << (Errors.empty() ? "" : Errors.front()) << "\n" << printModule(M);
+}
+
+TEST(Mem2Reg, PromotesScalarLocals) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* data;
+      void operator()(int i) {
+        int x = i * 2;
+        int y = x + 1;
+        data[i] = y;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  Function *Op = frontend::findMethod(*M, "K", "operator()", 1);
+  ASSERT_TRUE(Op);
+  PipelineStats S;
+  EXPECT_TRUE(mem2reg(*Op, S));
+  EXPECT_GE(S.AllocasPromoted, 3u); // x, y, and the i parameter slot.
+  EXPECT_EQ(countOps(*Op, Opcode::Alloca), 0u);
+  expectVerified(*M);
+}
+
+TEST(Mem2Reg, LoopVariableBecomesPhi) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* data;
+      int n;
+      void operator()(int i) {
+        int sum = 0;
+        for (int j = 0; j < n; j++)
+          sum += data[j];
+        data[i] = sum;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  Function *Op = frontend::findMethod(*M, "K", "operator()", 1);
+  PipelineStats S;
+  mem2reg(*Op, S);
+  EXPECT_GE(countOps(*Op, Opcode::Phi), 2u); // j and sum.
+  expectVerified(*M);
+}
+
+TEST(Mem2Reg, SkipsEscapingAllocas) {
+  auto M = compileKernel(R"(
+    class V { public: float x; float y; };
+    class K {
+    public:
+      float* out;
+      void operator()(int i) {
+        V v;
+        v.x = 1.0f;
+        v.y = 2.0f;
+        out[i] = v.x + v.y;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  Function *Op = frontend::findMethod(*M, "K", "operator()", 1);
+  PipelineStats S;
+  mem2reg(*Op, S);
+  // The aggregate local stays (only scalar allocas are promoted).
+  EXPECT_GE(countOps(*Op, Opcode::Alloca), 1u);
+  expectVerified(*M);
+}
+
+TEST(ConstFoldTest, FoldsArithmetic) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* data;
+      void operator()(int i) {
+        data[i] = 3 * 4 + 2;
+      }
+    };
+  )");
+  Function *Op = frontend::findMethod(*M, "K", "operator()", 1);
+  PipelineStats S;
+  mem2reg(*Op, S);
+  constantFold(*Op, S);
+  dce(*Op, S);
+  EXPECT_EQ(countOps(*Op, Opcode::Mul), 0u);
+  EXPECT_EQ(countOps(*Op, Opcode::Add), 0u);
+  expectVerified(*M);
+}
+
+TEST(CseTest, RemovesRepeatedFieldLoads) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* a;
+      int* b;
+      void operator()(int i) {
+        b[i] = a[i] + a[i];
+      }
+    };
+  )");
+  Function *Op = frontend::findMethod(*M, "K", "operator()", 1);
+  PipelineStats S;
+  mem2reg(*Op, S);
+  // The two a[i] reads produce two identical &this->a computations; CSE
+  // unifies them (the loads themselves are not CSE'd: memory may change).
+  size_t Before = countOps(*Op, Opcode::FieldAddr);
+  cse(*Op, S);
+  dce(*Op, S);
+  EXPECT_LT(countOps(*Op, Opcode::FieldAddr), Before);
+  expectVerified(*M);
+}
+
+TEST(DceTest, RemovesDeadCode) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* data;
+      void operator()(int i) {
+        int unused = i * 37 + 5;
+        data[i] = i;
+      }
+    };
+  )");
+  Function *Op = frontend::findMethod(*M, "K", "operator()", 1);
+  PipelineStats S;
+  mem2reg(*Op, S);
+  dce(*Op, S);
+  EXPECT_EQ(countOps(*Op, Opcode::Mul), 0u);
+  expectVerified(*M);
+}
+
+TEST(SimplifyCfgTest, FoldsConstantBranches) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* data;
+      void operator()(int i) {
+        if (1 < 2)
+          data[i] = 7;
+        else
+          data[i] = 9;
+      }
+    };
+  )");
+  Function *Op = frontend::findMethod(*M, "K", "operator()", 1);
+  PipelineStats S;
+  mem2reg(*Op, S);
+  constantFold(*Op, S);
+  simplifyCFG(*Op, S);
+  EXPECT_EQ(countOps(*Op, Opcode::CondBr), 0u);
+  EXPECT_EQ(Op->numBlocks(), 1u);
+  expectVerified(*M);
+}
+
+TEST(TailRecursion, EliminatesGcd) {
+  auto M = compileKernel(R"(
+    int gcd(int a, int b) {
+      if (b == 0) return a;
+      return gcd(b, a % b);
+    }
+    class K {
+    public:
+      int* data;
+      void operator()(int i) { data[i] = gcd(data[i], 24); }
+    };
+  )");
+  ASSERT_TRUE(M);
+  Function *Gcd = M->findFunction("gcd(i32,i32)");
+  ASSERT_TRUE(Gcd);
+  PipelineStats S;
+  EXPECT_TRUE(tailRecursionElim(*Gcd, S));
+  EXPECT_EQ(S.TailCallsEliminated, 1u);
+  EXPECT_EQ(countOps(*Gcd, Opcode::Call), 0u);
+  expectVerified(*M);
+}
+
+TEST(InlinerTest, FlattensCallTree) {
+  auto M = compileKernel(R"(
+    int square(int x) { return x * x; }
+    int sumsq(int a, int b) { return square(a) + square(b); }
+    class K {
+    public:
+      int* data;
+      void operator()(int i) { data[i] = sumsq(i, i + 1); }
+    };
+  )");
+  ASSERT_TRUE(M);
+  Function *Kernel = M->findFunction("kernel$K");
+  ASSERT_TRUE(Kernel);
+  PipelineStats S;
+  inlineCalls(*M, *Kernel, S);
+  EXPECT_EQ(countOps(*Kernel, Opcode::Call), 0u);
+  EXPECT_GE(S.CallsInlined, 2u);
+  expectVerified(*M);
+}
+
+TEST(DevirtTest, SingleImplBecomesDirectCall) {
+  auto M = compileKernel(R"(
+    class Shape {
+    public:
+      int pad;
+      virtual float area() { return 1.0f; }
+    };
+    class K {
+    public:
+      Shape* s;
+      float* out;
+      void operator()(int i) { out[i] = s->area(); }
+    };
+  )");
+  ASSERT_TRUE(M);
+  PipelineStats S;
+  devirtualize(*M, S);
+  EXPECT_EQ(countAllOps(*M, Opcode::VCall), 0u);
+  Function *Op = frontend::findMethod(*M, "K", "operator()", 1);
+  // Exactly one candidate: no compare chain, just a direct call.
+  EXPECT_EQ(countOps(*Op, Opcode::Call), 1u);
+  EXPECT_EQ(countOps(*Op, Opcode::CondBr), 0u);
+  expectVerified(*M);
+}
+
+TEST(DevirtTest, MultipleImplsGetTestChain) {
+  auto M = compileKernel(R"(
+    class Shape {
+    public:
+      int pad;
+      virtual float area() { return 0.0f; }
+    };
+    class Circle : public Shape {
+    public:
+      float r;
+      virtual float area() { return 3.14f * r * r; }
+    };
+    class Square : public Shape {
+    public:
+      float s;
+      virtual float area() { return s * s; }
+    };
+    class K {
+    public:
+      Shape* shape;
+      float* out;
+      void operator()(int i) { out[i] = shape->area(); }
+    };
+  )");
+  ASSERT_TRUE(M);
+  PipelineStats S;
+  devirtualize(*M, S);
+  EXPECT_EQ(countAllOps(*M, Opcode::VCall), 0u);
+  Function *Op = frontend::findMethod(*M, "K", "operator()", 1);
+  // Three candidates -> a chain of symbol compares and direct calls.
+  EXPECT_EQ(countOps(*Op, Opcode::Call), 3u);
+  EXPECT_GE(countOps(*Op, Opcode::ICmp), 3u);
+  EXPECT_EQ(countOps(*Op, Opcode::Trap), 1u);
+  expectVerified(*M);
+}
+
+TEST(L3OptTest, StaggersInnermostLoop) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      float* a;
+      float* out;
+      int n;
+      void operator()(int i) {
+        float acc = 0.0f;
+        for (int j = 0; j < n; j++)
+          acc += a[j];
+        out[i] = acc;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  Function *Kernel = M->findFunction("kernel$K");
+  PipelineStats S;
+  inlineCalls(*M, *Kernel, S);
+  mem2reg(*Kernel, S);
+  // The loop bound (this->n) must be available in the preheader: body
+  // field promotion hoists it, exactly as the pipeline does.
+  promoteBodyFields(*Kernel, S);
+  EXPECT_TRUE(l3ContentionOpt(*Kernel, S));
+  EXPECT_EQ(S.LoopsStaggered, 1u);
+  EXPECT_EQ(countOps(*Kernel, Opcode::NumCores), 1u);
+  // The rotation is strength-reduced: one srem in the preheader, and a
+  // compare/subtract/select rotation in the loop body.
+  EXPECT_EQ(countOps(*Kernel, Opcode::SRem), 1u);
+  EXPECT_GE(countOps(*Kernel, Opcode::Select), 1u);
+  expectVerified(*M);
+}
+
+TEST(L3OptTest, SkipsLoopsWithoutMemoryAccess) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* out;
+      int n;
+      void operator()(int i) {
+        int acc = 0;
+        for (int j = 0; j < n; j++)
+          acc += j;
+        out[i] = acc;
+      }
+    };
+  )");
+  Function *Kernel = M->findFunction("kernel$K");
+  PipelineStats S;
+  inlineCalls(*M, *Kernel, S);
+  mem2reg(*Kernel, S);
+  EXPECT_FALSE(l3ContentionOpt(*Kernel, S));
+}
+
+TEST(UnrollTest, FullyUnrollsConstantTripLoop) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      float* a;
+      float* out;
+      void operator()(int i) {
+        float acc = 0.0f;
+        for (int j = 0; j < 4; j++)
+          acc += a[i * 4 + j];
+        out[i] = acc;
+      }
+    };
+  )");
+  Function *Kernel = M->findFunction("kernel$K");
+  PipelineStats S;
+  inlineCalls(*M, *Kernel, S);
+  PipelineStats S2;
+  mem2reg(*Kernel, S2);
+  simplifyCFG(*Kernel, S2);
+  PipelineOptions Opts;
+  EXPECT_TRUE(loopUnroll(*Kernel, Opts, S2));
+  EXPECT_EQ(S2.LoopsUnrolled, 1u);
+  EXPECT_EQ(countOps(*Kernel, Opcode::Phi), 0u);
+  expectVerified(*M);
+}
+
+TEST(SvmTest, HybridTranslatesDereferences) {
+  auto M = compileKernel(R"(
+    class Node { public: int v; Node* next; };
+    class K {
+    public:
+      Node* nodes;
+      int* out;
+      void operator()(int i) {
+        out[i] = nodes[i].v;
+      }
+    };
+  )");
+  Function *Kernel = M->findFunction("kernel$K");
+  PipelineStats S;
+  inlineCalls(*M, *Kernel, S);
+  mem2reg(*Kernel, S);
+  EXPECT_TRUE(svmLowering(*Kernel, SvmMode::Hybrid, S));
+  EXPECT_GT(S.TranslationsInserted, 0u);
+  // Every load/store address must now be a GPU-representation value.
+  EXPECT_GT(countOps(*Kernel, Opcode::CpuToGpu), 0u);
+  expectVerified(*M);
+}
+
+TEST(SvmTest, PrivateAllocasNotTranslated) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* out;
+      void operator()(int i) {
+        int stack[4];
+        stack[0] = i;
+        stack[1] = i + 1;
+        out[i] = stack[0] + stack[1];
+      }
+    };
+  )");
+  Function *Kernel = M->findFunction("kernel$K");
+  PipelineStats S;
+  inlineCalls(*M, *Kernel, S);
+  mem2reg(*Kernel, S);
+  svmLowering(*Kernel, SvmMode::Hybrid, S);
+  // The stack accesses stay untranslated; only `out` (2 uses of one base)
+  // needs translation.
+  for (BasicBlock *BB : *Kernel) {
+    for (Instruction *I : *BB) {
+      if (I->opcode() != Opcode::CpuToGpu)
+        continue;
+      // No translation of an alloca-derived pointer.
+      auto *Op = dyn_cast<Instruction>(I->operand(0));
+      if (Op) {
+        EXPECT_NE(Op->opcode(), Opcode::Alloca);
+      }
+    }
+  }
+  expectVerified(*M);
+}
+
+TEST(SvmTest, EagerInsertsMoreThanHybridAfterCleanup) {
+  const char *Src = R"(
+    class K {
+    public:
+      int** a;
+      int** b;
+      int n;
+      void operator()(int i) {
+        // Figure 4: pointers are loaded and stored but never dereferenced
+        // on the GPU; PTROPT should eliminate all their translations.
+        for (int j = 0; j < n; j++)
+          b[j] = a[j];
+      }
+    };
+  )";
+  auto CountXlates = [&](SvmMode Mode, bool Cleanup) -> size_t {
+    auto M = compileKernel(Src);
+    Function *Kernel = M->findFunction("kernel$K");
+    PipelineStats S;
+    inlineCalls(*M, *Kernel, S);
+    mem2reg(*Kernel, S);
+    svmLowering(*Kernel, Mode, S);
+    if (Cleanup) {
+      licm(*Kernel, S);
+      cse(*Kernel, S);
+      dce(*Kernel, S);
+    }
+    expectVerified(*M);
+    return countOps(*Kernel, Opcode::CpuToGpu) +
+           countOps(*Kernel, Opcode::GpuToCpu);
+  };
+  size_t Eager = CountXlates(SvmMode::Eager, false);
+  size_t Hybrid = CountXlates(SvmMode::Hybrid, true);
+  EXPECT_GT(Eager, Hybrid);
+}
+
+TEST(ReduceKernelTest, BuildsTreeReduction) {
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(R"(
+    class Sum {
+    public:
+      float* data;
+      float acc;
+      void operator()(int i) { acc += data[i]; }
+      void join(Sum& other) { acc += other.acc; }
+    };
+  )",
+                                    "t", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  Function *K = createReduceKernel(*M, "Sum", Diags);
+  ASSERT_NE(K, nullptr) << Diags.str();
+  EXPECT_TRUE(K->isKernel());
+  EXPECT_EQ(K->numArgs(), 3u);
+  EXPECT_GE(countOps(*K, Opcode::Barrier), 2u);
+  EXPECT_EQ(countOps(*K, Opcode::Memcpy), 1u);
+  expectVerified(*M);
+}
+
+TEST(PipelineTest, AllConfigurationsVerify) {
+  const char *Src = R"(
+    class Shape {
+    public:
+      int tag;
+      virtual float hit(float x) { return x; }
+    };
+    class Ball : public Shape {
+    public:
+      float r;
+      virtual float hit(float x) { return x * r; }
+    };
+    class K {
+    public:
+      Shape* shapes;
+      float* out;
+      int n;
+      void operator()(int i) {
+        float acc = 0.0f;
+        for (int j = 0; j < n; j++)
+          acc += out[j];
+        out[i] = acc + shapes->hit(1.5f);
+      }
+    };
+  )";
+  for (auto Opts :
+       {PipelineOptions::gpuBaseline(), PipelineOptions::gpuPtrOpt(),
+        PipelineOptions::gpuL3Opt(), PipelineOptions::gpuAll()}) {
+    auto M = compileKernel(Src);
+    ASSERT_TRUE(M);
+    PipelineStats S;
+    std::string Err;
+    EXPECT_TRUE(runPipeline(*M, Opts, S, &Err)) << Err;
+    // After the pipeline no calls or vcalls remain in the kernel.
+    Function *Kernel = M->findFunction("kernel$K");
+    EXPECT_EQ(countOps(*Kernel, Opcode::Call), 0u);
+    EXPECT_EQ(countOps(*Kernel, Opcode::VCall), 0u);
+  }
+}
+
+TEST(PipelineTest, StatsReportOptimizationActivity) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      float* a;
+      float* out;
+      int n;
+      void operator()(int i) {
+        float acc = 0.0f;
+        for (int j = 0; j < n; j++)
+          acc += a[j];
+        out[i] = acc;
+      }
+    };
+  )");
+  PipelineStats S;
+  std::string Err;
+  ASSERT_TRUE(runPipeline(*M, PipelineOptions::gpuAll(), S, &Err)) << Err;
+  EXPECT_GT(S.CallsInlined, 0u);
+  EXPECT_GT(S.AllocasPromoted, 0u);
+  EXPECT_GT(S.TranslationsInserted, 0u);
+  EXPECT_EQ(S.LoopsStaggered, 1u);
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- WorkloadTests.cpp - The nine paper workloads, verified -------------===//
+//
+// Parameterized over all nine Table-1 workloads: each is set up at reduced
+// scale, run on the simulated GPU and on the CPU model, and its memory
+// effects are verified against the natively computed reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace concord;
+using namespace concord::workloads;
+
+namespace {
+
+struct WorkloadCase {
+  const char *Name;
+  std::unique_ptr<Workload> (*Make)();
+};
+
+std::ostream &operator<<(std::ostream &OS, const WorkloadCase &C) {
+  return OS << C.Name;
+}
+
+class WorkloadParamTest : public ::testing::TestWithParam<WorkloadCase> {};
+
+constexpr unsigned TestScale = 1;
+
+TEST_P(WorkloadParamTest, GpuRunVerifies) {
+  svm::SharedRegion Region(256 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  auto W = GetParam().Make();
+  ASSERT_TRUE(W->setup(Region, TestScale));
+  WorkloadRun Run = W->run(RT, /*OnCpu=*/false);
+  ASSERT_TRUE(Run.Ok) << Run.Error;
+  std::string Error;
+  EXPECT_TRUE(W->verify(&Error)) << Error;
+  EXPECT_GT(Run.Seconds, 0.0);
+  EXPECT_GT(Run.Joules, 0.0);
+  EXPECT_GE(Run.Launches, 1u);
+}
+
+TEST_P(WorkloadParamTest, CpuModelRunVerifies) {
+  svm::SharedRegion Region(256 << 20);
+  auto Machine = gpusim::MachineConfig::desktop();
+  Runtime RT(Machine, Region);
+  auto W = GetParam().Make();
+  ASSERT_TRUE(W->setup(Region, TestScale));
+  WorkloadRun Run = W->run(RT, /*OnCpu=*/true);
+  ASSERT_TRUE(Run.Ok) << Run.Error;
+  std::string Error;
+  EXPECT_TRUE(W->verify(&Error)) << Error;
+}
+
+TEST_P(WorkloadParamTest, RunIsRepeatable) {
+  svm::SharedRegion Region(256 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  auto W = GetParam().Make();
+  ASSERT_TRUE(W->setup(Region, TestScale));
+  WorkloadRun First = W->run(RT, false);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  WorkloadRun Second = W->run(RT, false);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  std::string Error;
+  EXPECT_TRUE(W->verify(&Error)) << Error;
+  // Deterministic machine model: identical timing on identical input.
+  EXPECT_DOUBLE_EQ(First.Seconds, Second.Seconds);
+}
+
+TEST_P(WorkloadParamTest, AllGpuConfigsVerify) {
+  using transforms::PipelineOptions;
+  svm::SharedRegion Region(256 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  auto W = GetParam().Make();
+  ASSERT_TRUE(W->setup(Region, TestScale));
+  const PipelineOptions Configs[4] = {
+      PipelineOptions::gpuBaseline(), PipelineOptions::gpuPtrOpt(),
+      PipelineOptions::gpuL3Opt(), PipelineOptions::gpuAll()};
+  const char *Names[4] = {"GPU", "GPU+PTROPT", "GPU+L3OPT", "GPU+ALL"};
+  for (int C = 0; C < 4; ++C) {
+    RT.setGpuOptions(Configs[C]);
+    WorkloadRun Run = W->run(RT, false);
+    ASSERT_TRUE(Run.Ok) << Names[C] << ": " << Run.Error;
+    std::string Error;
+    EXPECT_TRUE(W->verify(&Error)) << Names[C] << ": " << Error;
+  }
+}
+
+const WorkloadCase Cases[] = {
+    {"BarnesHut", makeBarnesHut},
+    {"BFS", makeBFS},
+    {"BTree", makeBTree},
+    {"ClothPhysics", makeClothPhysics},
+    {"ConnectedComponent", makeConnectedComponent},
+    {"FaceDetect", makeFaceDetect},
+    {"Raytracer", makeRaytracer},
+    {"SkipList", makeSkipList},
+    {"SSSP", makeSSSP},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllNine, WorkloadParamTest,
+                         ::testing::ValuesIn(Cases),
+                         [](const ::testing::TestParamInfo<WorkloadCase> &I) {
+                           return std::string(I.param.Name);
+                         });
+
+TEST(WorkloadRegistry, AllNinePresent) {
+  auto All = allWorkloads();
+  ASSERT_EQ(All.size(), 9u);
+  // Table 1 order (alphabetical).
+  const char *Expected[] = {
+      "BarnesHut",     "BFS",        "BTree",
+      "ClothPhysics",  "ConnectedComponent", "FaceDetect",
+      "Raytracer",     "SkipList",   "SSSP"};
+  for (size_t I = 0; I < All.size(); ++I)
+    EXPECT_STREQ(All[I]->name(), Expected[I]);
+}
+
+TEST(WorkloadRegistry, MetadataMatchesTable1) {
+  for (auto &W : allWorkloads()) {
+    EXPECT_NE(std::string(W->origin()), "");
+    EXPECT_NE(std::string(W->dataStructure()), "");
+    std::string Construct = W->parallelConstruct();
+    if (std::string(W->name()) == "ClothPhysics")
+      EXPECT_EQ(Construct, "parallel_reduce_hetero");
+    else
+      EXPECT_EQ(Construct, "parallel_for_hetero");
+    EXPECT_FALSE(W->kernelSpec().Source.empty());
+  }
+}
+
+} // namespace
