@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l3opt.dir/ablation_l3opt.cpp.o"
+  "CMakeFiles/ablation_l3opt.dir/ablation_l3opt.cpp.o.d"
+  "ablation_l3opt"
+  "ablation_l3opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l3opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

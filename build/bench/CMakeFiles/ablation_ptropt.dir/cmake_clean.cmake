@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ptropt.dir/ablation_ptropt.cpp.o"
+  "CMakeFiles/ablation_ptropt.dir/ablation_ptropt.cpp.o.d"
+  "ablation_ptropt"
+  "ablation_ptropt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ptropt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/concord_bench_harness.dir/Harness.cpp.o.d"
+  "libconcord_bench_harness.a"
+  "libconcord_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_desktop_energy.dir/fig10_desktop_energy.cpp.o"
+  "CMakeFiles/fig10_desktop_energy.dir/fig10_desktop_energy.cpp.o.d"
+  "fig10_desktop_energy"
+  "fig10_desktop_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_desktop_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

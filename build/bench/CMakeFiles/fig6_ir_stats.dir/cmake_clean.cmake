@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ir_stats.dir/fig6_ir_stats.cpp.o"
+  "CMakeFiles/fig6_ir_stats.dir/fig6_ir_stats.cpp.o.d"
+  "fig6_ir_stats"
+  "fig6_ir_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ir_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

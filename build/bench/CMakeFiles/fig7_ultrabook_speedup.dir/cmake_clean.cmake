@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ultrabook_speedup.dir/fig7_ultrabook_speedup.cpp.o"
+  "CMakeFiles/fig7_ultrabook_speedup.dir/fig7_ultrabook_speedup.cpp.o.d"
+  "fig7_ultrabook_speedup"
+  "fig7_ultrabook_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ultrabook_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ultrabook_energy.dir/fig8_ultrabook_energy.cpp.o"
+  "CMakeFiles/fig8_ultrabook_energy.dir/fig8_ultrabook_energy.cpp.o.d"
+  "fig8_ultrabook_energy"
+  "fig8_ultrabook_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ultrabook_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_desktop_speedup.dir/fig9_desktop_speedup.cpp.o"
+  "CMakeFiles/fig9_desktop_speedup.dir/fig9_desktop_speedup.cpp.o.d"
+  "fig9_desktop_speedup"
+  "fig9_desktop_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_desktop_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_svm_overhead.dir/sec54_svm_overhead.cpp.o"
+  "CMakeFiles/sec54_svm_overhead.dir/sec54_svm_overhead.cpp.o.d"
+  "sec54_svm_overhead"
+  "sec54_svm_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_svm_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec54_svm_overhead.
+# This may be replaced when dependencies are built.

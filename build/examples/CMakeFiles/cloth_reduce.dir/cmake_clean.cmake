@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloth_reduce.dir/cloth_reduce.cpp.o"
+  "CMakeFiles/cloth_reduce.dir/cloth_reduce.cpp.o.d"
+  "cloth_reduce"
+  "cloth_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloth_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

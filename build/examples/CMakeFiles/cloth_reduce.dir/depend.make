@@ -1,0 +1,2 @@
+# Empty dependencies file for cloth_reduce.
+# This may be replaced when dependencies are built.

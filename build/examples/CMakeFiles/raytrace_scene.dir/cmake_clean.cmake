@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raytrace_scene.dir/raytrace_scene.cpp.o"
+  "CMakeFiles/raytrace_scene.dir/raytrace_scene.cpp.o.d"
+  "raytrace_scene"
+  "raytrace_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raytrace_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

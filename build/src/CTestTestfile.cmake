@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("svm")
+subdirs("cir")
+subdirs("analysis")
+subdirs("frontend")
+subdirs("transforms")
+subdirs("codegen")
+subdirs("gpusim")
+subdirs("runtime")
+subdirs("concord")
+subdirs("workloads")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFG.cpp" "src/analysis/CMakeFiles/concord_analysis.dir/CFG.cpp.o" "gcc" "src/analysis/CMakeFiles/concord_analysis.dir/CFG.cpp.o.d"
+  "/root/repo/src/analysis/CallGraph.cpp" "src/analysis/CMakeFiles/concord_analysis.dir/CallGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/concord_analysis.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/ClassHierarchy.cpp" "src/analysis/CMakeFiles/concord_analysis.dir/ClassHierarchy.cpp.o" "gcc" "src/analysis/CMakeFiles/concord_analysis.dir/ClassHierarchy.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/concord_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/concord_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/analysis/CMakeFiles/concord_analysis.dir/Liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/concord_analysis.dir/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/analysis/CMakeFiles/concord_analysis.dir/LoopInfo.cpp.o" "gcc" "src/analysis/CMakeFiles/concord_analysis.dir/LoopInfo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cir/CMakeFiles/concord_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/concord_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/concord_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/concord_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/concord_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/concord_analysis.dir/ClassHierarchy.cpp.o"
+  "CMakeFiles/concord_analysis.dir/ClassHierarchy.cpp.o.d"
+  "CMakeFiles/concord_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/concord_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/concord_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/concord_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/concord_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/concord_analysis.dir/LoopInfo.cpp.o.d"
+  "libconcord_analysis.a"
+  "libconcord_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

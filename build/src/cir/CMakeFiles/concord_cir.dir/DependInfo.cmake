@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cir/Function.cpp" "src/cir/CMakeFiles/concord_cir.dir/Function.cpp.o" "gcc" "src/cir/CMakeFiles/concord_cir.dir/Function.cpp.o.d"
+  "/root/repo/src/cir/Instruction.cpp" "src/cir/CMakeFiles/concord_cir.dir/Instruction.cpp.o" "gcc" "src/cir/CMakeFiles/concord_cir.dir/Instruction.cpp.o.d"
+  "/root/repo/src/cir/Module.cpp" "src/cir/CMakeFiles/concord_cir.dir/Module.cpp.o" "gcc" "src/cir/CMakeFiles/concord_cir.dir/Module.cpp.o.d"
+  "/root/repo/src/cir/Printer.cpp" "src/cir/CMakeFiles/concord_cir.dir/Printer.cpp.o" "gcc" "src/cir/CMakeFiles/concord_cir.dir/Printer.cpp.o.d"
+  "/root/repo/src/cir/Type.cpp" "src/cir/CMakeFiles/concord_cir.dir/Type.cpp.o" "gcc" "src/cir/CMakeFiles/concord_cir.dir/Type.cpp.o.d"
+  "/root/repo/src/cir/Verifier.cpp" "src/cir/CMakeFiles/concord_cir.dir/Verifier.cpp.o" "gcc" "src/cir/CMakeFiles/concord_cir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/concord_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_cir.dir/Function.cpp.o"
+  "CMakeFiles/concord_cir.dir/Function.cpp.o.d"
+  "CMakeFiles/concord_cir.dir/Instruction.cpp.o"
+  "CMakeFiles/concord_cir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/concord_cir.dir/Module.cpp.o"
+  "CMakeFiles/concord_cir.dir/Module.cpp.o.d"
+  "CMakeFiles/concord_cir.dir/Printer.cpp.o"
+  "CMakeFiles/concord_cir.dir/Printer.cpp.o.d"
+  "CMakeFiles/concord_cir.dir/Type.cpp.o"
+  "CMakeFiles/concord_cir.dir/Type.cpp.o.d"
+  "CMakeFiles/concord_cir.dir/Verifier.cpp.o"
+  "CMakeFiles/concord_cir.dir/Verifier.cpp.o.d"
+  "libconcord_cir.a"
+  "libconcord_cir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_cir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

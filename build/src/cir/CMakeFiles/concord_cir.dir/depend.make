@@ -1,0 +1,2 @@
+# Empty dependencies file for concord_cir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/CodeGen.cpp" "src/codegen/CMakeFiles/concord_codegen.dir/CodeGen.cpp.o" "gcc" "src/codegen/CMakeFiles/concord_codegen.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/codegen/OpenCLEmitter.cpp" "src/codegen/CMakeFiles/concord_codegen.dir/OpenCLEmitter.cpp.o" "gcc" "src/codegen/CMakeFiles/concord_codegen.dir/OpenCLEmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/concord_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/concord_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/concord_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

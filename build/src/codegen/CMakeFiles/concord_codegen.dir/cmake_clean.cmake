@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_codegen.dir/CodeGen.cpp.o"
+  "CMakeFiles/concord_codegen.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/concord_codegen.dir/OpenCLEmitter.cpp.o"
+  "CMakeFiles/concord_codegen.dir/OpenCLEmitter.cpp.o.d"
+  "libconcord_codegen.a"
+  "libconcord_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

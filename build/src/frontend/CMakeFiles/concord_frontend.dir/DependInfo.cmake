@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/IRGen.cpp" "src/frontend/CMakeFiles/concord_frontend.dir/IRGen.cpp.o" "gcc" "src/frontend/CMakeFiles/concord_frontend.dir/IRGen.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/frontend/CMakeFiles/concord_frontend.dir/Lexer.cpp.o" "gcc" "src/frontend/CMakeFiles/concord_frontend.dir/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/frontend/CMakeFiles/concord_frontend.dir/Parser.cpp.o" "gcc" "src/frontend/CMakeFiles/concord_frontend.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cir/CMakeFiles/concord_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/concord_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/concord_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_frontend.dir/IRGen.cpp.o"
+  "CMakeFiles/concord_frontend.dir/IRGen.cpp.o.d"
+  "CMakeFiles/concord_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/concord_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/concord_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/concord_frontend.dir/Parser.cpp.o.d"
+  "libconcord_frontend.a"
+  "libconcord_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

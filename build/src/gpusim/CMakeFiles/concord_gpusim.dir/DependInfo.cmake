@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/CacheModel.cpp" "src/gpusim/CMakeFiles/concord_gpusim.dir/CacheModel.cpp.o" "gcc" "src/gpusim/CMakeFiles/concord_gpusim.dir/CacheModel.cpp.o.d"
+  "/root/repo/src/gpusim/MachineConfig.cpp" "src/gpusim/CMakeFiles/concord_gpusim.dir/MachineConfig.cpp.o" "gcc" "src/gpusim/CMakeFiles/concord_gpusim.dir/MachineConfig.cpp.o.d"
+  "/root/repo/src/gpusim/Simulator.cpp" "src/gpusim/CMakeFiles/concord_gpusim.dir/Simulator.cpp.o" "gcc" "src/gpusim/CMakeFiles/concord_gpusim.dir/Simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/concord_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/concord_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/concord_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/concord_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/concord_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_gpusim.dir/CacheModel.cpp.o"
+  "CMakeFiles/concord_gpusim.dir/CacheModel.cpp.o.d"
+  "CMakeFiles/concord_gpusim.dir/MachineConfig.cpp.o"
+  "CMakeFiles/concord_gpusim.dir/MachineConfig.cpp.o.d"
+  "CMakeFiles/concord_gpusim.dir/Simulator.cpp.o"
+  "CMakeFiles/concord_gpusim.dir/Simulator.cpp.o.d"
+  "libconcord_gpusim.a"
+  "libconcord_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

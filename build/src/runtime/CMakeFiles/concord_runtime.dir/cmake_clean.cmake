@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_runtime.dir/Runtime.cpp.o"
+  "CMakeFiles/concord_runtime.dir/Runtime.cpp.o.d"
+  "libconcord_runtime.a"
+  "libconcord_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/concord_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/concord_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/concord_support.dir/StringUtils.cpp.o.d"
+  "libconcord_support.a"
+  "libconcord_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_svm.dir/BindingTable.cpp.o"
+  "CMakeFiles/concord_svm.dir/BindingTable.cpp.o.d"
+  "CMakeFiles/concord_svm.dir/SharedRegion.cpp.o"
+  "CMakeFiles/concord_svm.dir/SharedRegion.cpp.o.d"
+  "libconcord_svm.a"
+  "libconcord_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

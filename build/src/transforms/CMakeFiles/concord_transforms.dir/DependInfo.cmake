@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/BodyFieldPromotion.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/BodyFieldPromotion.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/BodyFieldPromotion.cpp.o.d"
+  "/root/repo/src/transforms/Devirtualize.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/Devirtualize.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/Devirtualize.cpp.o.d"
+  "/root/repo/src/transforms/Inliner.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/Inliner.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/Inliner.cpp.o.d"
+  "/root/repo/src/transforms/L3Opt.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/L3Opt.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/L3Opt.cpp.o.d"
+  "/root/repo/src/transforms/LoopUnroll.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/LoopUnroll.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/LoopUnroll.cpp.o.d"
+  "/root/repo/src/transforms/Pipeline.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/Pipeline.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/transforms/ReduceKernel.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/ReduceKernel.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/ReduceKernel.cpp.o.d"
+  "/root/repo/src/transforms/ScalarOpts.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/ScalarOpts.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/ScalarOpts.cpp.o.d"
+  "/root/repo/src/transforms/SvmLowering.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/SvmLowering.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/SvmLowering.cpp.o.d"
+  "/root/repo/src/transforms/TailRecursionElim.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/TailRecursionElim.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/TailRecursionElim.cpp.o.d"
+  "/root/repo/src/transforms/Utils.cpp" "src/transforms/CMakeFiles/concord_transforms.dir/Utils.cpp.o" "gcc" "src/transforms/CMakeFiles/concord_transforms.dir/Utils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/concord_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/concord_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/concord_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/concord_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_transforms.dir/BodyFieldPromotion.cpp.o"
+  "CMakeFiles/concord_transforms.dir/BodyFieldPromotion.cpp.o.d"
+  "CMakeFiles/concord_transforms.dir/Devirtualize.cpp.o"
+  "CMakeFiles/concord_transforms.dir/Devirtualize.cpp.o.d"
+  "CMakeFiles/concord_transforms.dir/Inliner.cpp.o"
+  "CMakeFiles/concord_transforms.dir/Inliner.cpp.o.d"
+  "CMakeFiles/concord_transforms.dir/L3Opt.cpp.o"
+  "CMakeFiles/concord_transforms.dir/L3Opt.cpp.o.d"
+  "CMakeFiles/concord_transforms.dir/LoopUnroll.cpp.o"
+  "CMakeFiles/concord_transforms.dir/LoopUnroll.cpp.o.d"
+  "CMakeFiles/concord_transforms.dir/Pipeline.cpp.o"
+  "CMakeFiles/concord_transforms.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/concord_transforms.dir/ReduceKernel.cpp.o"
+  "CMakeFiles/concord_transforms.dir/ReduceKernel.cpp.o.d"
+  "CMakeFiles/concord_transforms.dir/ScalarOpts.cpp.o"
+  "CMakeFiles/concord_transforms.dir/ScalarOpts.cpp.o.d"
+  "CMakeFiles/concord_transforms.dir/SvmLowering.cpp.o"
+  "CMakeFiles/concord_transforms.dir/SvmLowering.cpp.o.d"
+  "CMakeFiles/concord_transforms.dir/TailRecursionElim.cpp.o"
+  "CMakeFiles/concord_transforms.dir/TailRecursionElim.cpp.o.d"
+  "CMakeFiles/concord_transforms.dir/Utils.cpp.o"
+  "CMakeFiles/concord_transforms.dir/Utils.cpp.o.d"
+  "libconcord_transforms.a"
+  "libconcord_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconcord_transforms.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/BarnesHut.cpp" "src/workloads/CMakeFiles/concord_workloads.dir/BarnesHut.cpp.o" "gcc" "src/workloads/CMakeFiles/concord_workloads.dir/BarnesHut.cpp.o.d"
+  "/root/repo/src/workloads/ClothPhysics.cpp" "src/workloads/CMakeFiles/concord_workloads.dir/ClothPhysics.cpp.o" "gcc" "src/workloads/CMakeFiles/concord_workloads.dir/ClothPhysics.cpp.o.d"
+  "/root/repo/src/workloads/FaceDetect.cpp" "src/workloads/CMakeFiles/concord_workloads.dir/FaceDetect.cpp.o" "gcc" "src/workloads/CMakeFiles/concord_workloads.dir/FaceDetect.cpp.o.d"
+  "/root/repo/src/workloads/GraphGen.cpp" "src/workloads/CMakeFiles/concord_workloads.dir/GraphGen.cpp.o" "gcc" "src/workloads/CMakeFiles/concord_workloads.dir/GraphGen.cpp.o.d"
+  "/root/repo/src/workloads/GraphWorkloads.cpp" "src/workloads/CMakeFiles/concord_workloads.dir/GraphWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/concord_workloads.dir/GraphWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/Raytracer.cpp" "src/workloads/CMakeFiles/concord_workloads.dir/Raytracer.cpp.o" "gcc" "src/workloads/CMakeFiles/concord_workloads.dir/Raytracer.cpp.o.d"
+  "/root/repo/src/workloads/SearchWorkloads.cpp" "src/workloads/CMakeFiles/concord_workloads.dir/SearchWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/concord_workloads.dir/SearchWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/workloads/CMakeFiles/concord_workloads.dir/Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/concord_workloads.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/concord_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/concord_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/concord_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/concord_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/concord_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/concord_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/concord_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/concord_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/concord_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

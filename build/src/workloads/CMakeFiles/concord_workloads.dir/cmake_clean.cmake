@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concord_workloads.dir/BarnesHut.cpp.o"
+  "CMakeFiles/concord_workloads.dir/BarnesHut.cpp.o.d"
+  "CMakeFiles/concord_workloads.dir/ClothPhysics.cpp.o"
+  "CMakeFiles/concord_workloads.dir/ClothPhysics.cpp.o.d"
+  "CMakeFiles/concord_workloads.dir/FaceDetect.cpp.o"
+  "CMakeFiles/concord_workloads.dir/FaceDetect.cpp.o.d"
+  "CMakeFiles/concord_workloads.dir/GraphGen.cpp.o"
+  "CMakeFiles/concord_workloads.dir/GraphGen.cpp.o.d"
+  "CMakeFiles/concord_workloads.dir/GraphWorkloads.cpp.o"
+  "CMakeFiles/concord_workloads.dir/GraphWorkloads.cpp.o.d"
+  "CMakeFiles/concord_workloads.dir/Raytracer.cpp.o"
+  "CMakeFiles/concord_workloads.dir/Raytracer.cpp.o.d"
+  "CMakeFiles/concord_workloads.dir/SearchWorkloads.cpp.o"
+  "CMakeFiles/concord_workloads.dir/SearchWorkloads.cpp.o.d"
+  "CMakeFiles/concord_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/concord_workloads.dir/Workload.cpp.o.d"
+  "libconcord_workloads.a"
+  "libconcord_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concord_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

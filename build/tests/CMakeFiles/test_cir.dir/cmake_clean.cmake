@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cir.dir/CirTests.cpp.o"
+  "CMakeFiles/test_cir.dir/CirTests.cpp.o.d"
+  "test_cir"
+  "test_cir.pdb"
+  "test_cir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_sim.dir/CodegenSimTests.cpp.o"
+  "CMakeFiles/test_codegen_sim.dir/CodegenSimTests.cpp.o.d"
+  "test_codegen_sim"
+  "test_codegen_sim.pdb"
+  "test_codegen_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

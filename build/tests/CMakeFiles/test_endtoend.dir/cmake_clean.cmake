@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_endtoend.dir/EndToEndTests.cpp.o"
+  "CMakeFiles/test_endtoend.dir/EndToEndTests.cpp.o.d"
+  "test_endtoend"
+  "test_endtoend.pdb"
+  "test_endtoend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/SvmTests.cpp" "tests/CMakeFiles/test_svm.dir/SvmTests.cpp.o" "gcc" "tests/CMakeFiles/test_svm.dir/SvmTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/concord_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/concord_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/concord_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/concord_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/concord_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/concord_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/concord_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/concord_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/concord_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/concord_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svm.dir/SvmTests.cpp.o"
+  "CMakeFiles/test_svm.dir/SvmTests.cpp.o.d"
+  "test_svm"
+  "test_svm.pdb"
+  "test_svm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
