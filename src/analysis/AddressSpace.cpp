@@ -1,0 +1,176 @@
+//===- AddressSpace.cpp ---------------------------------------------------===//
+
+#include "analysis/AddressSpace.h"
+
+#include "analysis/CFG.h"
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+const char *concord::analysis::addrSpaceName(AddrSpace S) {
+  switch (S) {
+  case AddrSpace::Unknown: return "unknown";
+  case AddrSpace::Any:     return "any";
+  case AddrSpace::Cpu:     return "cpu";
+  case AddrSpace::Gpu:     return "gpu";
+  case AddrSpace::Private: return "private";
+  case AddrSpace::Mixed:   return "mixed";
+  }
+  return "?";
+}
+
+AddrSpace concord::analysis::meetAddrSpace(AddrSpace A, AddrSpace B) {
+  if (A == AddrSpace::Unknown)
+    return B;
+  if (B == AddrSpace::Unknown)
+    return A;
+  if (A == AddrSpace::Any)
+    return B;
+  if (B == AddrSpace::Any)
+    return A;
+  return A == B ? A : AddrSpace::Mixed;
+}
+
+AddressSpaceAnalysis::AddressSpaceAnalysis(Function &F) {
+  if (F.empty())
+    return;
+
+  // Roots with fixed spaces.
+  for (unsigned A = 0; A < F.numArgs(); ++A)
+    if (F.arg(A)->type()->isPointer())
+      Space[F.arg(A)] = AddrSpace::Cpu;
+
+  auto OperandSpace = [&](const Value *V) -> AddrSpace {
+    if (isa<ConstantNull>(V))
+      return AddrSpace::Any;
+    auto It = Space.find(V);
+    return It == Space.end() ? AddrSpace::Unknown : It->second;
+  };
+
+  // Iterate the transfer functions to a fixpoint. All transfers are
+  // monotone (values only descend the lattice), so this terminates.
+  std::vector<BasicBlock *> RPO = reversePostOrder(F);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      for (Instruction *I : *BB) {
+        if (!I->type()->isPointer())
+          continue;
+        AddrSpace S = AddrSpace::Unknown;
+        switch (I->opcode()) {
+        case Opcode::Alloca:
+          S = AddrSpace::Private;
+          break;
+        case Opcode::CpuToGpu:
+          S = AddrSpace::Gpu;
+          break;
+        case Opcode::GpuToCpu:
+          S = AddrSpace::Cpu;
+          break;
+        case Opcode::Load:
+        case Opcode::Call:
+        case Opcode::VCall:
+          // Pointers materialized from memory or returned from (not yet
+          // inlined) functions hold the CPU representation.
+          S = AddrSpace::Cpu;
+          break;
+        case Opcode::Cast:
+          if (I->castKind() == CastKind::BitCast &&
+              I->operand(0)->type()->isPointer())
+            S = OperandSpace(I->operand(0));
+          else if (I->castKind() == CastKind::IntToPtr)
+            S = AddrSpace::Cpu;
+          break;
+        case Opcode::FieldAddr:
+        case Opcode::IndexAddr:
+          S = OperandSpace(I->operand(0));
+          break;
+        case Opcode::Phi:
+          for (unsigned K = 0; K < I->numOperands(); ++K) {
+            Value *In = I->incomingValue(K);
+            if (In == I)
+              continue; // Self-loops contribute nothing new.
+            S = meetAddrSpace(S, OperandSpace(In));
+          }
+          break;
+        case Opcode::Select:
+          S = meetAddrSpace(OperandSpace(I->operand(1)),
+                            OperandSpace(I->operand(2)));
+          break;
+        default:
+          break;
+        }
+        auto It = Space.find(I);
+        AddrSpace Old = It == Space.end() ? AddrSpace::Unknown : It->second;
+        if (S != Old) {
+          Space[I] = S;
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+AddrSpace AddressSpaceAnalysis::spaceOf(const Value *V) const {
+  if (isa<ConstantNull>(V))
+    return AddrSpace::Any;
+  auto It = Space.find(V);
+  return It == Space.end() ? AddrSpace::Unknown : It->second;
+}
+
+std::vector<AddressSpaceViolation>
+concord::analysis::checkAddressSpaces(Function &F) {
+  std::vector<AddressSpaceViolation> Violations;
+  if (F.empty())
+    return Violations;
+  AddressSpaceAnalysis ASA(F);
+
+  auto Report = [&](const Instruction *I, std::string Msg) {
+    Violations.push_back({I, I->loc(), std::move(Msg)});
+  };
+  auto CheckDeref = [&](const Instruction *I, unsigned OpIdx,
+                        const char *What) {
+    const Value *Addr = I->operand(OpIdx);
+    if (!Addr->type()->isPointer())
+      return; // Integer addresses (vtable slots etc.) are untracked.
+    if (ASA.spaceOf(Addr) == AddrSpace::Cpu)
+      Report(I, std::string(What) +
+                    " address is an untranslated CPU-space pointer");
+  };
+
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      switch (I->opcode()) {
+      case Opcode::Load:
+        CheckDeref(I, 0, "load");
+        break;
+      case Opcode::Store:
+        CheckDeref(I, 1, "store");
+        if (I->operand(0)->type()->isPointer() &&
+            ASA.spaceOf(I->operand(0)) == AddrSpace::Gpu)
+          Report(I, "GPU-space pointer stored to memory; memory must hold "
+                    "the CPU representation");
+        break;
+      case Opcode::Memcpy:
+        CheckDeref(I, 0, "memcpy destination");
+        CheckDeref(I, 1, "memcpy source");
+        break;
+      case Opcode::CpuToGpu:
+        if (ASA.spaceOf(I->operand(0)) == AddrSpace::Gpu)
+          Report(I, "cpu_to_gpu applied to an already-translated pointer "
+                    "(double translation)");
+        break;
+      case Opcode::GpuToCpu:
+        if (ASA.spaceOf(I->operand(0)) == AddrSpace::Cpu)
+          Report(I, "gpu_to_cpu applied to a CPU-space pointer "
+                    "(double back-translation)");
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return Violations;
+}

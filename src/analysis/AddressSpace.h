@@ -1,0 +1,87 @@
+//===- AddressSpace.h - SVM address-space dataflow analysis ----*- C++ -*-===//
+///
+/// \file
+/// Forward dataflow analysis over pointer-typed SSA values that infers
+/// which address space each pointer lives in after SVM lowering (paper
+/// sections 3.1 / 4.1). The lowering maintains a dual-representation
+/// invariant: memory (the shared region) always holds CPU virtual
+/// addresses, while every dereference on the device must go through the
+/// translated GPU representation (cpu + svm_const). This analysis makes
+/// that invariant checkable: a Load/Store/Memcpy whose address is provably
+/// still in CPU space is a miscompile, as is a GPU-space pointer written
+/// back to shared memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_ADDRESSSPACE_H
+#define CONCORD_ANALYSIS_ADDRESSSPACE_H
+
+#include "cir/Function.h"
+#include <map>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace analysis {
+
+/// Abstract address space of a pointer-typed value. Ordered as a lattice:
+/// Unknown (top) > Any > {Cpu, Gpu, Private} > Mixed (bottom).
+enum class AddrSpace : uint8_t {
+  Unknown, ///< Top: untracked producer or not yet computed.
+  Any,     ///< Valid in every space (null pointer).
+  Cpu,     ///< Untranslated CPU virtual address (the in-memory form).
+  Gpu,     ///< Translated device address (cpu + svm_const).
+  Private, ///< Per-work-item private memory (alloca-derived).
+  Mixed,   ///< Bottom: conflicting spaces meet here.
+};
+
+const char *addrSpaceName(AddrSpace S);
+
+/// Lattice meet: Unknown and Any are identities, equal spaces are stable,
+/// and any conflict among {Cpu, Gpu, Private} collapses to Mixed.
+AddrSpace meetAddrSpace(AddrSpace A, AddrSpace B);
+
+/// Computes the address space of every pointer-typed value in \p F by
+/// iterating the transfer functions to a fixpoint:
+///
+///   Alloca              -> Private
+///   CpuToGpu            -> Gpu
+///   GpuToCpu            -> Cpu
+///   Load / IntToPtr     -> Cpu   (memory-resident pointers are CPU-space)
+///   Call / VCall        -> Cpu   (the kernel ABI passes CPU addresses)
+///   Argument            -> Cpu
+///   null constant       -> Any
+///   FieldAddr/IndexAddr/BitCast -> space of the base pointer
+///   Phi / Select        -> meet of the incoming pointers
+class AddressSpaceAnalysis {
+public:
+  explicit AddressSpaceAnalysis(cir::Function &F);
+
+  /// Space of \p V; Unknown for values the analysis does not track.
+  AddrSpace spaceOf(const cir::Value *V) const;
+
+private:
+  std::map<const cir::Value *, AddrSpace> Space;
+};
+
+/// One violation of the dual-representation invariant.
+struct AddressSpaceViolation {
+  const cir::Instruction *At = nullptr;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Validates the PTROPT invariant on a lowered function: every
+/// Load/Store/Memcpy address must be GPU-space (or private), every
+/// pointer value stored back to shared memory must be CPU-space, and
+/// translations must not be applied twice. Only *provable* violations are
+/// reported (values whose space is Unknown/Any/Mixed never fire), so the
+/// check is false-positive-free on correctly lowered kernels. Run it only
+/// after svmLowering in a GPU mode; untranslated (SvmMode::None) code
+/// fails it by construction.
+std::vector<AddressSpaceViolation> checkAddressSpaces(cir::Function &F);
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_ADDRESSSPACE_H

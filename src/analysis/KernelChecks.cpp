@@ -1,0 +1,77 @@
+//===- KernelChecks.cpp ---------------------------------------------------===//
+
+#include "analysis/KernelChecks.h"
+
+#include "analysis/CallGraph.h"
+
+#include <set>
+#include <vector>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+std::vector<LegalityIssue>
+concord::analysis::checkKernelLegality(const Module &M, Function &F,
+                                       const KernelLegalityOptions &Opts) {
+  std::vector<LegalityIssue> Issues;
+  if (F.empty())
+    return Issues;
+
+  CallGraph CG(M);
+  std::set<Function *> Recursive = CG.recursiveFunctions();
+
+  // Everything reachable from the kernel through residual direct calls.
+  std::set<Function *> Reachable{&F};
+  std::vector<Function *> Work{&F};
+  while (!Work.empty()) {
+    Function *Cur = Work.back();
+    Work.pop_back();
+    for (Function *Callee : CG.callees(Cur))
+      if (Callee && Reachable.insert(Callee).second)
+        Work.push_back(Callee);
+  }
+
+  for (Function *R : Reachable) {
+    if (Recursive.count(R))
+      Issues.push_back(
+          {SourceLoc(), "recursion cycle through '" + R->name() +
+                            "' is reachable from the kernel; only "
+                            "eliminable tail recursion runs on the GPU"});
+    if (R->empty())
+      continue;
+    for (BasicBlock *BB : *R)
+      for (Instruction *I : *BB)
+        if (I->opcode() == Opcode::VCall)
+          Issues.push_back(
+              {I->loc(), "virtual call in '" + R->name() +
+                             "' was not devirtualized; the GPU has no "
+                             "indirect calls"});
+  }
+
+  // Residual direct calls in the kernel body itself: the inliner must
+  // have flattened everything (codegen rejects kernels with calls).
+  // Recursive callees are already reported above with a better message.
+  uint64_t PrivateBytes = 0;
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      if (I->opcode() == Opcode::Call && I->callee() &&
+          !Recursive.count(I->callee()))
+        Issues.push_back(
+            {I->loc(), "call to '" + I->callee()->name() +
+                           "' survived inlining; the kernel cannot be "
+                           "emitted for the GPU"});
+      if (I->opcode() == Opcode::Alloca && I->auxType())
+        PrivateBytes += I->auxType()->sizeInBytes();
+    }
+  }
+
+  if (PrivateBytes > Opts.MaxPrivateBytes)
+    Issues.push_back(
+        {SourceLoc(), "kernel private frame of " +
+                          std::to_string(PrivateBytes) +
+                          " bytes exceeds the per-work-item budget of " +
+                          std::to_string(Opts.MaxPrivateBytes) + " bytes"});
+
+  return Issues;
+}

@@ -1,0 +1,55 @@
+//===- KernelChecks.h - GPU offload legality checks -------------*- C++ -*-===//
+///
+/// \file
+/// Decides whether a compiled kernel is legal to offload to the GPU, per
+/// the paper's section 2.1 device subset. The pipeline normally removes
+/// everything the device cannot execute (tail recursion is eliminated,
+/// virtual calls are devirtualized, direct calls are inlined), so after
+/// the pipeline a legal kernel contains no call instructions at all. When
+/// something slipped through - a recursion cycle the inliner refused to
+/// flatten, a virtual call with an open hierarchy, an oversized private
+/// frame - the runtime must degrade gracefully to native CPU execution
+/// instead of handing the device an un-executable kernel (or worse,
+/// aborting codegen).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_KERNELCHECKS_H
+#define CONCORD_ANALYSIS_KERNELCHECKS_H
+
+#include "cir/Module.h"
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace analysis {
+
+/// One reason a kernel cannot be offloaded.
+struct LegalityIssue {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+struct KernelLegalityOptions {
+  /// Private-memory (alloca frame) budget per work-item. Integrated GPUs
+  /// have small per-thread scratch; anything large must stay on the CPU.
+  uint64_t MaxPrivateBytes = 16 * 1024;
+};
+
+/// Checks GPU offload legality of kernel \p F (post-pipeline):
+///  * no call cycles reachable from the kernel (self- or mutual
+///    recursion; eliminable tail recursion is gone by now),
+///  * no residual virtual calls (devirtualization must have resolved
+///    every vcall reachable from the kernel),
+///  * no residual direct calls in the kernel body (exhaustive inlining
+///    is a codegen precondition),
+///  * the private frame (sum of alloca sizes) fits the device budget.
+/// Returns the empty vector when the kernel may be offloaded.
+std::vector<LegalityIssue>
+checkKernelLegality(const cir::Module &M, cir::Function &F,
+                    const KernelLegalityOptions &Opts = {});
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_KERNELCHECKS_H

@@ -1,0 +1,133 @@
+//===- Uniformity.cpp -----------------------------------------------------===//
+
+#include "analysis/Uniformity.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+
+#include <deque>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+UniformityAnalysis::UniformityAnalysis(Function &F) {
+  if (F.empty())
+    return;
+  std::vector<BasicBlock *> RPO = reversePostOrder(F);
+  PostDominatorTree PDT(F);
+
+  // Outer fixpoint: value divergence and control divergence feed each
+  // other (a sync-divergent phi can become a branch condition).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // Data dependences + sync dependence through control-divergent
+    // incoming edges.
+    bool ValueChanged = true;
+    while (ValueChanged) {
+      ValueChanged = false;
+      for (BasicBlock *BB : RPO) {
+        for (Instruction *I : *BB) {
+          if (Divergent.count(I))
+            continue;
+          bool D = false;
+          switch (I->opcode()) {
+          case Opcode::GlobalId:
+          case Opcode::LocalId:
+            D = true;
+            break;
+          case Opcode::Alloca:
+            // Private memory is physically distinct per work-item; treat
+            // its address as divergent so private stores never lint.
+            D = true;
+            break;
+          case Opcode::GroupId:
+          case Opcode::GroupSize:
+          case Opcode::NumCores:
+          case Opcode::LocalBase:
+            break;
+          case Opcode::Phi:
+            // Sync dependence: joining edges out of a divergent region
+            // merges per-work-item control decisions into a value.
+            for (unsigned K = 0; K < I->numBlocks() && !D; ++K)
+              if (DivergentBlocks.count(I->incomingBlock(K)))
+                D = true;
+            for (unsigned K = 0; K < I->numOperands() && !D; ++K)
+              if (Divergent.count(I->incomingValue(K)))
+                D = true;
+            break;
+          default:
+            for (const Value *Op : I->operands())
+              if (Divergent.count(Op)) {
+                D = true;
+                break;
+              }
+            break;
+          }
+          if (D) {
+            Divergent.insert(I);
+            ValueChanged = true;
+            Changed = true;
+          }
+        }
+      }
+    }
+
+    // Control divergence: the blocks between a divergent branch and its
+    // reconvergence point (immediate post-dominator) are executed by only
+    // a subset of the work-items.
+    for (BasicBlock *BB : RPO) {
+      Instruction *T = BB->terminator();
+      if (!T || T->opcode() != Opcode::CondBr ||
+          !Divergent.count(T->operand(0)))
+        continue;
+      BasicBlock *Reconv = PDT.ipdom(BB); // Null: reconverge at kernel end.
+      std::deque<BasicBlock *> Work(T->blocks().begin(), T->blocks().end());
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.front();
+        Work.pop_front();
+        if (Cur == Reconv || !DivergentBlocks.insert(Cur).second)
+          continue;
+        Changed = true;
+        for (BasicBlock *Succ : Cur->successors())
+          Work.push_back(Succ);
+      }
+    }
+  }
+}
+
+std::vector<RaceFinding>
+concord::analysis::lintUniformStores(Function &F) {
+  std::vector<RaceFinding> Findings;
+  if (F.empty())
+    return Findings;
+  UniformityAnalysis UA(F);
+
+  auto Lint = [&](Instruction *I, const Value *Addr, const char *What,
+                  bool SameValue) {
+    if (!UA.isUniform(Addr) || UA.isDivergentControl(I->parent()))
+      return;
+    std::string Msg =
+        std::string("probable work-item race: every work-item ") + What +
+        " the same address";
+    Msg += SameValue ? " (all write the same value; likely benign but "
+                       "unsynchronized)"
+                     : " (with differing values; the result depends on "
+                       "work-item scheduling)";
+    Findings.push_back({I, I->loc(), std::move(Msg)});
+  };
+
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      if (I->opcode() == Opcode::Store)
+        Lint(I, I->operand(1), "stores to",
+             UA.isUniform(I->operand(0)));
+      else if (I->opcode() == Opcode::Memcpy)
+        Lint(I, I->operand(0), "memcpys to",
+             UA.isUniform(I->operand(1)));
+    }
+  }
+  return Findings;
+}

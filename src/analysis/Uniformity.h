@@ -1,0 +1,66 @@
+//===- Uniformity.h - Work-item uniformity / divergence analysis -*- C++ -*-===//
+///
+/// \file
+/// Classifies every SSA value of a kernel as uniform (identical across all
+/// work-items of a launch) or divergent (may differ per work-item). Values
+/// are divergent when they derive from the work-item identity (GlobalId,
+/// LocalId, per-work-item private memory) either through data dependences
+/// or through sync dependences: a phi at the join of a branch whose
+/// condition is divergent merges different values per work-item even when
+/// every incoming value is uniform.
+///
+/// The headline client is the work-item race lint: a Store whose address
+/// is uniform and whose block every work-item reaches means all work-items
+/// write the same location concurrently - almost always an accidental race
+/// in a parallel_for body (the paper's workloads index by the global id
+/// precisely to avoid this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_UNIFORMITY_H
+#define CONCORD_ANALYSIS_UNIFORMITY_H
+
+#include "cir/Function.h"
+#include <set>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace analysis {
+
+class UniformityAnalysis {
+public:
+  explicit UniformityAnalysis(cir::Function &F);
+
+  /// True when \p V provably holds the same value in every work-item.
+  /// Constants, arguments, and group-level queries are uniform.
+  bool isUniform(const cir::Value *V) const { return !Divergent.count(V); }
+
+  /// True when reaching \p BB depends on a divergent branch, i.e. not all
+  /// work-items execute it.
+  bool isDivergentControl(const cir::BasicBlock *BB) const {
+    return DivergentBlocks.count(BB) != 0;
+  }
+
+private:
+  std::set<const cir::Value *> Divergent;
+  std::set<const cir::BasicBlock *> DivergentBlocks;
+};
+
+/// One probable work-item race.
+struct RaceFinding {
+  const cir::Instruction *At = nullptr;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Flags stores (and memcpys) executed by every work-item whose target
+/// address is uniform: all work-items write the same location. Stores
+/// under divergent control are skipped - a `if (i == 0)` guard is the
+/// idiomatic single-writer pattern.
+std::vector<RaceFinding> lintUniformStores(cir::Function &F);
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_UNIFORMITY_H

@@ -2,14 +2,76 @@
 
 #include "cir/Verifier.h"
 
+#include "analysis/Dominators.h"
 #include "cir/Module.h"
 #include "support/StringUtils.h"
 
+#include <functional>
 #include <map>
 #include <set>
 
 using namespace concord;
 using namespace concord::cir;
+
+namespace {
+
+/// SSA dominance: every operand must be defined at a point that dominates
+/// the use. Phi operands are uses on the incoming edge, so their defs must
+/// dominate the incoming block's exit rather than the phi itself. Only
+/// blocks reachable from the entry are checked (unreachable code cannot
+/// execute and simplifyCFG deletes it), but a reachable use of a value
+/// defined in unreachable code is still an error.
+void verifyDominance(analysis::DominatorTree &DT,
+                     const std::function<void(const std::string &)> &Err) {
+  std::map<const Instruction *, size_t> Position;
+  for (BasicBlock *BB : DT.order())
+    for (size_t Idx = 0; Idx < BB->size(); ++Idx)
+      Position[BB->instr(Idx)] = Idx;
+
+  auto DefDominatesEdge = [&](const Instruction *Def, BasicBlock *Incoming) {
+    // Reading on the edge out of Incoming: any position in Incoming (or a
+    // dominator of it) works.
+    return Def->parent() == Incoming ||
+           DT.dominates(Def->parent(), Incoming);
+  };
+
+  for (BasicBlock *BB : DT.order()) {
+    for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+      const Instruction *I = BB->instr(Idx);
+      if (I->isPhi()) {
+        for (unsigned K = 0; K < I->numOperands(); ++K) {
+          auto *Def = dyn_cast<Instruction>(I->incomingValue(K));
+          if (Def && !DefDominatesEdge(Def, I->incomingBlock(K)))
+            Err("phi operand '" + Def->name() + "' does not dominate the "
+                "incoming edge from '" + I->incomingBlock(K)->name() +
+                "' to '" + BB->name() + "'");
+        }
+        continue;
+      }
+      for (unsigned Op = 0; Op < I->numOperands(); ++Op) {
+        auto *Def = dyn_cast<Instruction>(I->operand(Op));
+        if (!Def)
+          continue;
+        auto DefPos = Position.find(Def);
+        if (DefPos == Position.end()) {
+          Err("operand '" + Def->name() + "' of " +
+              opcodeName(I->opcode()) + " in '" + BB->name() +
+              "' is defined in unreachable code");
+          continue;
+        }
+        bool Dominates = Def->parent() == BB
+                             ? DefPos->second < Idx
+                             : DT.dominates(Def->parent(), BB);
+        if (!Dominates)
+          Err("operand '" + Def->name() + "' of " +
+              opcodeName(I->opcode()) + " in '" + BB->name() +
+              "' does not dominate its use (use before def)");
+      }
+    }
+  }
+}
+
+} // namespace
 
 std::vector<std::string> concord::cir::verifyFunction(const Function &F) {
   std::vector<std::string> Errors;
@@ -147,6 +209,13 @@ std::vector<std::string> concord::cir::verifyFunction(const Function &F) {
         break;
       }
     }
+  }
+
+  // Dominance needs a structurally sound CFG; skip it when the structural
+  // checks above already failed.
+  if (Errors.empty()) {
+    analysis::DominatorTree DT(const_cast<Function &>(F));
+    verifyDominance(DT, Err);
   }
   return Errors;
 }

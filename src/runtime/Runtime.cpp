@@ -30,6 +30,8 @@ uint64_t optionsFingerprint(const transforms::PipelineOptions &O) {
   F = F * 131 + O.CleanupAfterSvm;
   F = F * 131 + O.NumRegisters;
   F = F * 131 + O.UnrollMaxTrip;
+  F = F * 131 + O.VerifyEachPass;
+  F = F * 131 + O.RunStaticChecks;
   return F;
 }
 
@@ -140,7 +142,7 @@ compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
     return Fail("\n(kernel entry creation failed)");
   CP->KernelName = Entry->name();
 
-  if (Diags.hasUnsupportedFeature()) {
+  auto FallBack = [&]() -> Runtime::CachedProgram * {
     // Section 2.1: compile-time warning + CPU fallback.
     CP->Unsupported = true;
     CP->Diagnostics = Diags.str();
@@ -148,11 +150,18 @@ compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
     auto *Raw = CP.get();
     Programs.emplace(Key, std::move(CP));
     return Raw;
-  }
+  };
+  if (Diags.hasUnsupportedFeature())
+    return FallBack();
 
   std::string VerifyError;
-  if (!transforms::runPipeline(*M, Opts, CP->Stats, &VerifyError))
+  if (!transforms::runPipeline(*M, Opts, CP->Stats, &VerifyError, &Diags))
     return Fail("\npipeline verification failed: " + VerifyError);
+  // The pipeline's offload-legality check rejects kernels the device
+  // cannot execute (residual recursion cycles, un-devirtualized vcalls,
+  // oversized private frames): degrade to native CPU execution.
+  if (Diags.hasUnsupportedFeature())
+    return FallBack();
 
   codegen::CodeGenResult CG = codegen::compileModule(*M);
   if (!CG.ok())

@@ -21,6 +21,7 @@
 
 #include "cir/Module.h"
 #include "support/Diagnostics.h"
+#include <functional>
 #include <string>
 
 namespace concord {
@@ -47,6 +48,20 @@ struct PipelineOptions {
   /// Run cleanup (CSE/DCE/LICM) after SVM lowering; off reproduces the
   /// naive "GPU" baseline configuration.
   bool CleanupAfterSvm = true;
+
+  /// Run the (dominance-strengthened) verifier after every pass and stop
+  /// at the first pass that breaks the IR, naming it in the error. Slower;
+  /// meant for debugging miscompiles and for tests.
+  bool VerifyEachPass = false;
+  /// Post-pipeline static checks: offload legality (reported as an
+  /// unsupported-feature diagnostic so the runtime degrades to native CPU
+  /// execution), SVM address-space soundness (a verification failure), and
+  /// the work-item race lint (warnings).
+  bool RunStaticChecks = true;
+  /// Instrumentation hook invoked after every pass with the pass name.
+  /// Tests use it to inject IR corruption and check that VerifyEachPass
+  /// attributes the breakage to the right pass.
+  std::function<void(cir::Module &, const char *)> AfterPassHook;
 
   /// The paper's four evaluated configurations.
   static PipelineOptions gpuBaseline() {
@@ -153,9 +168,15 @@ cir::Function *createReduceKernel(cir::Module &M,
 
 /// Runs the full GPU compilation pipeline on a module whose kernels have
 /// been created (kernel$... / kernel_reduce$... functions). Returns false
-/// if verification fails afterwards.
+/// if verification (per-pass under VerifyEachPass, always at the end) or
+/// the address-space soundness check fails; every error is reported in
+/// \p VerifyError, one per line. Offload-legality failures and race-lint
+/// findings are reported through \p Diags (as unsupported-feature and
+/// warning diagnostics respectively) and do not fail the pipeline: the
+/// runtime reacts to the former by falling back to native CPU execution.
 bool runPipeline(cir::Module &M, const PipelineOptions &Opts,
-                 PipelineStats &Stats, std::string *VerifyError = nullptr);
+                 PipelineStats &Stats, std::string *VerifyError = nullptr,
+                 DiagnosticEngine *Diags = nullptr);
 
 } // namespace transforms
 } // namespace concord

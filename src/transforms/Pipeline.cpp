@@ -1,5 +1,8 @@
 //===- Pipeline.cpp - The Concord GPU compilation pipeline ----------------===//
 
+#include "analysis/AddressSpace.h"
+#include "analysis/KernelChecks.h"
+#include "analysis/Uniformity.h"
 #include "cir/Verifier.h"
 #include "transforms/Passes.h"
 
@@ -7,17 +10,111 @@ using namespace concord;
 using namespace concord::cir;
 using namespace concord::transforms;
 
+namespace {
+
+/// Runs passes and, under VerifyEachPass, verifies the module after each
+/// one so a miscompiling pass is caught at its own boundary (and named)
+/// instead of surfacing as a wrong benchmark number nine passes later.
+class PassRunner {
+public:
+  PassRunner(Module &M, const PipelineOptions &Opts,
+             std::vector<std::string> &Errors)
+      : M(M), Opts(Opts), Errors(Errors) {}
+
+  /// Runs \p Pass; returns false when post-pass verification failed, in
+  /// which case the pipeline must stop (later passes would consume broken
+  /// IR and mask the real culprit).
+  template <typename Fn> bool run(const char *PassName, Fn &&Pass) {
+    Pass();
+    if (Opts.AfterPassHook)
+      Opts.AfterPassHook(M, PassName);
+    if (!Opts.VerifyEachPass)
+      return true;
+    std::vector<std::string> E = verifyModule(M);
+    for (const std::string &Msg : E)
+      Errors.push_back("after pass '" + std::string(PassName) +
+                       "': " + Msg);
+    return E.empty();
+  }
+
+private:
+  Module &M;
+  const PipelineOptions &Opts;
+  std::vector<std::string> &Errors;
+};
+
+/// Post-pipeline static checks (tentpole of the analysis layer): offload
+/// legality with graceful CPU fallback, the PTROPT address-space
+/// invariant, and the work-item race lint.
+void runStaticChecks(Module &M, const PipelineOptions &Opts,
+                     std::vector<std::string> &Errors,
+                     DiagnosticEngine *Diags) {
+  for (const auto &F : M.functions()) {
+    if (F->empty() || !F->isKernel())
+      continue;
+
+    auto Legality = analysis::checkKernelLegality(M, *F);
+    if (!Legality.empty()) {
+      // Illegal kernels are not miscompiles: report them as unsupported
+      // features (section 2.1 semantics) so the runtime runs the
+      // construct natively instead, and skip the soundness checks that
+      // assume a fully lowered kernel.
+      if (Diags)
+        for (const analysis::LegalityIssue &Issue : Legality)
+          Diags->unsupported(Issue.Loc, "@" + F->name() + ": " +
+                                            Issue.Message);
+      continue;
+    }
+
+    if (Opts.Svm != SvmMode::None)
+      for (const analysis::AddressSpaceViolation &V :
+           analysis::checkAddressSpaces(*F))
+        Errors.push_back("address-space check: @" + F->name() +
+                         (V.Loc.isValid() ? " (" + V.Loc.str() + ")" : "") +
+                         ": " + V.Message);
+
+    if (Diags)
+      for (const analysis::RaceFinding &R : analysis::lintUniformStores(*F))
+        Diags->warning(R.Loc, "@" + F->name() + ": " + R.Message);
+  }
+}
+
+std::string joinErrors(const std::vector<std::string> &Errors) {
+  std::string Joined;
+  for (const std::string &E : Errors) {
+    if (!Joined.empty())
+      Joined += "\n";
+    Joined += E;
+  }
+  return Joined;
+}
+
+} // namespace
+
 bool concord::transforms::runPipeline(Module &M, const PipelineOptions &Opts,
                                       PipelineStats &Stats,
-                                      std::string *VerifyError) {
+                                      std::string *VerifyError,
+                                      DiagnosticEngine *Diags) {
+  std::vector<std::string> Errors;
+  auto Fail = [&]() {
+    if (VerifyError)
+      *VerifyError = joinErrors(Errors);
+    return false;
+  };
+  PassRunner R(M, Opts, Errors);
+
   // Tail recursion first: it unlocks inlining of self-tail-recursive
   // helpers (the one form of recursion Concord permits, section 2.1).
-  for (const auto &F : M.functions())
-    if (!F->empty())
-      tailRecursionElim(*F, Stats);
+  if (!R.run("tailRecursionElim", [&] {
+        for (const auto &F : M.functions())
+          if (!F->empty())
+            tailRecursionElim(*F, Stats);
+      }))
+    return Fail();
 
   // Virtual calls become inline test sequences of direct calls (3.2)...
-  devirtualize(M, Stats);
+  if (!R.run("devirtualize", [&] { devirtualize(M, Stats); }))
+    return Fail();
 
   // ...which the inliner then flattens into the kernels, making pointer
   // provenance (private vs shared) visible to the SVM lowering.
@@ -26,41 +123,58 @@ bool concord::transforms::runPipeline(Module &M, const PipelineOptions &Opts,
   for (const auto &F : M.functions()) {
     if (F->empty() || !F->isKernel())
       continue;
-    inlineCalls(M, *F, Stats);
-    simplifyCFG(*F, Stats);
-    mem2reg(*F, Stats);
-    constantFold(*F, Stats);
-    cse(*F, Stats);
-    dce(*F, Stats);
-    simplifyCFG(*F, Stats);
+    auto OnKernel = [&](const char *Name, auto Pass) {
+      return R.run(Name, [&] { Pass(*F, Stats); });
+    };
+    bool Ok =
+        OnKernel("inlineCalls",
+                 [&](Function &K, PipelineStats &S) { inlineCalls(M, K, S); }) &&
+        OnKernel("simplifyCFG", simplifyCFG) &&
+        OnKernel("mem2reg", mem2reg) &&
+        OnKernel("constantFold", constantFold) &&
+        OnKernel("cse", cse) &&
+        OnKernel("dce", dce) &&
+        OnKernel("simplifyCFG", simplifyCFG) &&
+        OnKernel("promoteBodyFields", promoteBodyFields) &&
+        OnKernel("cse", cse) &&
+        OnKernel("dce", dce) &&
+        OnKernel("loopUnroll",
+                 [&](Function &K, PipelineStats &S) {
+                   loopUnroll(K, Opts, S);
+                 }) &&
+        OnKernel("constantFold", constantFold) &&
+        OnKernel("dce", dce);
+    if (!Ok)
+      return Fail();
 
-    promoteBodyFields(*F, Stats);
-    cse(*F, Stats);
-    dce(*F, Stats);
+    if (Opts.EnableL3Opt && !OnKernel("l3ContentionOpt", l3ContentionOpt))
+      return Fail();
 
-    loopUnroll(*F, Opts, Stats);
-    constantFold(*F, Stats);
-    dce(*F, Stats);
-
-    if (Opts.EnableL3Opt)
-      l3ContentionOpt(*F, Stats);
-
-    svmLowering(*F, Opts.Svm, Stats);
+    if (!OnKernel("svmLowering", [&](Function &K, PipelineStats &S) {
+          svmLowering(K, Opts.Svm, S);
+        }))
+      return Fail();
 
     if (Opts.CleanupAfterSvm) {
-      licm(*F, Stats);
-      cse(*F, Stats);
-      constantFold(*F, Stats);
-      dce(*F, Stats);
-      simplifyCFG(*F, Stats);
+      bool CleanOk = OnKernel("licm", licm) && OnKernel("cse", cse) &&
+                     OnKernel("constantFold", constantFold) &&
+                     OnKernel("dce", dce) &&
+                     OnKernel("simplifyCFG", simplifyCFG);
+      if (!CleanOk)
+        return Fail();
     }
   }
 
-  auto Errors = verifyModule(M);
-  if (!Errors.empty()) {
-    if (VerifyError)
-      *VerifyError = Errors.front();
-    return false;
+  // Final whole-module verification, independent of VerifyEachPass.
+  std::vector<std::string> FinalErrors = verifyModule(M);
+  Errors.insert(Errors.end(), FinalErrors.begin(), FinalErrors.end());
+  if (!Errors.empty())
+    return Fail();
+
+  if (Opts.RunStaticChecks) {
+    runStaticChecks(M, Opts, Errors, Diags);
+    if (!Errors.empty())
+      return Fail();
   }
   return true;
 }

@@ -1,0 +1,821 @@
+//===- AnalysisTests.cpp - Static-analysis suite unit tests ---------------===//
+//
+// Covers the analysis layer: dominators/liveness/loop info/call graph on
+// hand-built IR, the dominance-strengthened verifier, the SVM address-space
+// soundness check, the uniformity analysis and work-item race lint, the
+// kernel offload-legality check, and the VerifyEachPass pipeline mode that
+// attributes IR breakage to the pass that introduced it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AddressSpace.h"
+#include "analysis/CallGraph.h"
+#include "analysis/Dominators.h"
+#include "analysis/KernelChecks.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Uniformity.h"
+#include "cir/IRBuilder.h"
+#include "cir/Printer.h"
+#include "cir/Verifier.h"
+#include "frontend/Compile.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::transforms;
+
+namespace {
+
+/// Compiles CKL, creates the kernel entry for \p BodyClass, and returns
+/// the module (verified).
+std::unique_ptr<Module> compileKernel(const char *Src,
+                                      const char *BodyClass = "K") {
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(Src, "t", Diags);
+  EXPECT_TRUE(M != nullptr) << Diags.str();
+  if (!M)
+    return nullptr;
+  EXPECT_NE(frontend::createKernelEntry(*M, BodyClass, Diags), nullptr)
+      << Diags.str();
+  EXPECT_TRUE(verifyModule(*M).empty());
+  return M;
+}
+
+Function *findKernel(Module &M) {
+  for (const auto &F : M.functions())
+    if (F->isKernel() && !F->empty())
+      return F.get();
+  return nullptr;
+}
+
+std::string joined(const std::vector<std::string> &V) {
+  std::string S;
+  for (const auto &E : V)
+    S += E + "\n";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Classic analyses on hand-built IR: dominators, liveness, loops, calls.
+//===----------------------------------------------------------------------===//
+
+/// entry -> header <-> body, header -> exit; counted loop on arg(0).
+Function *buildLoop(Module &M) {
+  TypeContext &T = M.types();
+  auto *FTy = T.functionTy(T.voidTy(), {T.int32Ty()});
+  Function *F = M.createFunction("loop", FTy);
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M);
+  B.setInsertAtEnd(Entry);
+  B.createBr(Header);
+  B.setInsertAtEnd(Header);
+  Instruction *Phi = B.createPhi(T.int32Ty(), "i");
+  Instruction *Cmp = B.createICmp(ICmpPred::SLT, Phi, F->arg(0), "cmp");
+  B.createCondBr(Cmp, Body, Exit);
+  B.setInsertAtEnd(Body);
+  Instruction *Next = B.createBinOp(Opcode::Add, Phi, M.constI32(1), "i.next");
+  B.createBr(Header);
+  Phi->addIncoming(M.constI32(0), Entry);
+  Phi->addIncoming(Next, Body);
+  B.setInsertAtEnd(Exit);
+  B.createRet();
+  return F;
+}
+
+TEST(DominatorsSuite, LoopIdomsFrontiersAndOrder) {
+  Module M("m");
+  Function *F = buildLoop(M);
+  analysis::DominatorTree DT(*F);
+  BasicBlock *Entry = F->blockAt(0), *Header = F->blockAt(1);
+  BasicBlock *Body = F->blockAt(2), *Exit = F->blockAt(3);
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+  EXPECT_EQ(DT.idom(Body), Header);
+  EXPECT_EQ(DT.idom(Exit), Header);
+  EXPECT_TRUE(DT.dominates(Header, Header)); // Reflexive.
+  EXPECT_TRUE(DT.dominates(Entry, Exit));
+  EXPECT_FALSE(DT.dominates(Body, Exit));
+  auto &DF = DT.dominanceFrontier(Body);
+  EXPECT_NE(std::find(DF.begin(), DF.end(), Header), DF.end());
+  // RPO starts at the entry and covers every reachable block.
+  ASSERT_EQ(DT.order().size(), 4u);
+  EXPECT_EQ(DT.order().front(), Entry);
+}
+
+TEST(LivenessSuite, LoopCarriedAndBoundLiveThroughBody) {
+  Module M("m");
+  Function *F = buildLoop(M);
+  analysis::Liveness LV(*F);
+  BasicBlock *Body = F->blockAt(2);
+  // Both the bound (arg 0) and the induction phi are live through the body.
+  EXPECT_TRUE(LV.liveIn(Body).count(F->arg(0)));
+  EXPECT_GE(LV.maxLive(), 2u);
+}
+
+TEST(LoopInfoSuite, CountedLoopInduction) {
+  Module M("m");
+  Function *F = buildLoop(M);
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const analysis::Loop &L = *LI.loops().front();
+  EXPECT_EQ(L.Header->name(), "header");
+  EXPECT_TRUE(L.isInnermost());
+  analysis::InductionInfo II;
+  ASSERT_TRUE(analysis::LoopInfo::analyzeInduction(L, &II));
+  EXPECT_EQ(II.Step, 1);
+  EXPECT_EQ(II.Bound, F->arg(0));
+}
+
+TEST(CallGraphSuite, MutualRecursionDetected) {
+  Module M("m");
+  TypeContext &T = M.types();
+  auto *FTy = T.functionTy(T.voidTy(), {});
+  Function *A = M.createFunction("a", FTy);
+  Function *B = M.createFunction("b", FTy);
+  Function *C = M.createFunction("c", FTy);
+  IRBuilder IB(M);
+  auto Emit = [&](Function *F, Function *Callee) {
+    IB.setInsertAtEnd(F->createBlock("entry"));
+    IB.createCall(Callee, {});
+    IB.createRet();
+  };
+  Emit(A, B); // a -> b
+  Emit(B, A); // b -> a: mutual cycle
+  Emit(C, A); // c -> a: calls into the cycle but is not itself recursive
+  analysis::CallGraph CG(M);
+  auto Rec = CG.recursiveFunctions();
+  EXPECT_TRUE(Rec.count(A));
+  EXPECT_TRUE(Rec.count(B));
+  EXPECT_FALSE(Rec.count(C));
+  EXPECT_TRUE(CG.callees(C).count(A));
+}
+
+TEST(CallGraphSuite, TailOnlySelfRecursion) {
+  Module M("m");
+  TypeContext &T = M.types();
+  auto *FTy = T.functionTy(T.int32Ty(), {T.int32Ty()});
+  IRBuilder B(M);
+
+  Function *Tail = M.createFunction("tail", FTy);
+  B.setInsertAtEnd(Tail->createBlock("entry"));
+  Instruction *TC = B.createCall(Tail, {Tail->arg(0)}, "r");
+  B.createRet(TC);
+  EXPECT_TRUE(analysis::CallGraph::isSelfRecursionTailOnly(*Tail));
+
+  Function *NonTail = M.createFunction("nontail", FTy);
+  B.setInsertAtEnd(NonTail->createBlock("entry"));
+  Instruction *NC = B.createCall(NonTail, {NonTail->arg(0)}, "r");
+  Instruction *Sum = B.createBinOp(Opcode::Add, NC, M.constI32(1), "s");
+  B.createRet(Sum);
+  EXPECT_FALSE(analysis::CallGraph::isSelfRecursionTailOnly(*NonTail));
+}
+
+//===----------------------------------------------------------------------===//
+// Dominance-strengthened verifier (SSA well-formedness).
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierDominance, RejectsUseBeforeDefInBlock) {
+  Module M("m");
+  TypeContext &T = M.types();
+  Function *F = M.createFunction("ubd", T.functionTy(T.voidTy(), {}));
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertAtEnd(BB);
+  Instruction *D = B.createBinOp(Opcode::Add, M.constI32(1), M.constI32(2), "d");
+  B.createRet();
+  // Insert a user of d *above* its definition.
+  B.setInsertAt(BB, 0);
+  B.createBinOp(Opcode::Add, D, D, "u");
+  auto Errors = verifyFunction(*F);
+  ASSERT_FALSE(Errors.empty()) << printFunction(*F);
+  EXPECT_NE(joined(Errors).find("use before def"), std::string::npos)
+      << joined(Errors);
+}
+
+/// entry --cond--> then/else --> join diamond skeleton (no join contents).
+struct Diamond {
+  Function *F;
+  BasicBlock *Entry, *Then, *Else, *Join;
+};
+
+Diamond buildDiamond(Module &M) {
+  TypeContext &T = M.types();
+  Function *F =
+      M.createFunction("diamond", T.functionTy(T.voidTy(), {T.boolTy()}));
+  Diamond D;
+  D.F = F;
+  D.Entry = F->createBlock("entry");
+  D.Then = F->createBlock("then");
+  D.Else = F->createBlock("else");
+  D.Join = F->createBlock("join");
+  IRBuilder B(M);
+  B.setInsertAtEnd(D.Entry);
+  B.createCondBr(F->arg(0), D.Then, D.Else);
+  return D;
+}
+
+TEST(VerifierDominance, RejectsUseInNonDominatedBlock) {
+  Module M("m");
+  Diamond D = buildDiamond(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(D.Then);
+  Instruction *V = B.createBinOp(Opcode::Add, M.constI32(1), M.constI32(2), "v");
+  B.createBr(D.Join);
+  B.setInsertAtEnd(D.Else);
+  B.createBr(D.Join);
+  B.setInsertAtEnd(D.Join);
+  B.createBinOp(Opcode::Add, V, V, "u"); // then does not dominate join.
+  B.createRet();
+  auto Errors = verifyFunction(*D.F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(joined(Errors).find("does not dominate its use"),
+            std::string::npos)
+      << joined(Errors);
+}
+
+TEST(VerifierDominance, RejectsPhiOperandOnWrongEdge) {
+  Module M("m");
+  Diamond D = buildDiamond(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(D.Then);
+  Instruction *V = B.createBinOp(Opcode::Add, M.constI32(1), M.constI32(2), "v");
+  B.createBr(D.Join);
+  B.setInsertAtEnd(D.Else);
+  B.createBr(D.Join);
+  B.setInsertAtEnd(D.Join);
+  Instruction *Phi = B.createPhi(M.types().int32Ty(), "p");
+  // Wrong way round: v flows in along the edge from 'else', where it is
+  // not available.
+  Phi->addIncoming(M.constI32(0), D.Then);
+  Phi->addIncoming(V, D.Else);
+  B.createRet();
+  auto Errors = verifyFunction(*D.F);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(joined(Errors).find("does not dominate the incoming edge"),
+            std::string::npos)
+      << joined(Errors);
+}
+
+TEST(VerifierDominance, AcceptsPhiMergingBranchValues) {
+  Module M("m");
+  Diamond D = buildDiamond(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(D.Then);
+  Instruction *V = B.createBinOp(Opcode::Add, M.constI32(1), M.constI32(2), "v");
+  B.createBr(D.Join);
+  B.setInsertAtEnd(D.Else);
+  B.createBr(D.Join);
+  B.setInsertAtEnd(D.Join);
+  Instruction *Phi = B.createPhi(M.types().int32Ty(), "p");
+  Phi->addIncoming(V, D.Then);
+  Phi->addIncoming(M.constI32(0), D.Else);
+  B.createRet();
+  auto Errors = verifyFunction(*D.F);
+  EXPECT_TRUE(Errors.empty()) << joined(Errors);
+}
+
+//===----------------------------------------------------------------------===//
+// SVM address-space soundness (sections 3.1 / 4.1).
+//===----------------------------------------------------------------------===//
+
+TEST(AddressSpaceSuite, MeetLattice) {
+  using analysis::AddrSpace;
+  using analysis::meetAddrSpace;
+  EXPECT_EQ(meetAddrSpace(AddrSpace::Unknown, AddrSpace::Gpu), AddrSpace::Gpu);
+  EXPECT_EQ(meetAddrSpace(AddrSpace::Any, AddrSpace::Cpu), AddrSpace::Cpu);
+  EXPECT_EQ(meetAddrSpace(AddrSpace::Gpu, AddrSpace::Gpu), AddrSpace::Gpu);
+  EXPECT_EQ(meetAddrSpace(AddrSpace::Cpu, AddrSpace::Gpu), AddrSpace::Mixed);
+  EXPECT_EQ(meetAddrSpace(AddrSpace::Mixed, AddrSpace::Gpu), AddrSpace::Mixed);
+}
+
+/// Kernel skeleton following the Figure 1 ABI: one u64 arg carrying the
+/// CPU virtual address of the body object.
+struct BareKernel {
+  Function *K;
+  BasicBlock *Entry;
+};
+
+BareKernel makeBareKernel(Module &M, const char *Name = "kernel$t") {
+  TypeContext &T = M.types();
+  Function *K = M.createFunction(Name, T.functionTy(T.voidTy(), {T.uint64Ty()}));
+  K->setKernel(true);
+  return {K, K->createBlock("entry")};
+}
+
+TEST(AddressSpaceSuite, RejectsUntranslatedCpuDereference) {
+  Module M("m");
+  TypeContext &T = M.types();
+  BareKernel BK = makeBareKernel(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(BK.Entry);
+  // The body address arrives as a CPU virtual address; dereferencing it
+  // without cpu_to_gpu is the exact miscompile the check exists for.
+  Instruction *P =
+      B.createCast(CastKind::IntToPtr, BK.K->arg(0), T.pointerTo(T.int32Ty()), "p");
+  B.createLoad(P, "v");
+  B.createRet();
+  ASSERT_TRUE(verifyFunction(*BK.K).empty());
+
+  analysis::AddressSpaceAnalysis ASA(*BK.K);
+  EXPECT_EQ(ASA.spaceOf(P), analysis::AddrSpace::Cpu);
+  auto Violations = analysis::checkAddressSpaces(*BK.K);
+  ASSERT_EQ(Violations.size(), 1u) << printFunction(*BK.K);
+  EXPECT_NE(Violations[0].Message.find("untranslated CPU-space pointer"),
+            std::string::npos)
+      << Violations[0].Message;
+}
+
+TEST(AddressSpaceSuite, AcceptsTranslatedDereference) {
+  Module M("m");
+  TypeContext &T = M.types();
+  BareKernel BK = makeBareKernel(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(BK.Entry);
+  Instruction *P =
+      B.createCast(CastKind::IntToPtr, BK.K->arg(0), T.pointerTo(T.int32Ty()), "p");
+  Instruction *G = B.createCpuToGpu(P, "g");
+  B.createLoad(G, "v");
+  Instruction *A = B.createAlloca(T.int32Ty(), "scratch");
+  B.createStore(M.constI32(0), A); // Private memory needs no translation.
+  B.createRet();
+
+  analysis::AddressSpaceAnalysis ASA(*BK.K);
+  EXPECT_EQ(ASA.spaceOf(P), analysis::AddrSpace::Cpu);
+  EXPECT_EQ(ASA.spaceOf(G), analysis::AddrSpace::Gpu);
+  EXPECT_EQ(ASA.spaceOf(A), analysis::AddrSpace::Private);
+  EXPECT_TRUE(analysis::checkAddressSpaces(*BK.K).empty());
+}
+
+TEST(AddressSpaceSuite, RejectsGpuPointerStoredToMemory) {
+  Module M("m");
+  TypeContext &T = M.types();
+  auto *I32Ptr = T.pointerTo(T.int32Ty());
+  BareKernel BK = makeBareKernel(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(BK.Entry);
+  Instruction *P = B.createCast(CastKind::IntToPtr, BK.K->arg(0), I32Ptr, "p");
+  Instruction *G = B.createCpuToGpu(P, "g");
+  Instruction *Q =
+      B.createCast(CastKind::IntToPtr, BK.K->arg(0), T.pointerTo(I32Ptr), "q");
+  Instruction *QG = B.createCpuToGpu(Q, "qg");
+  // Writing the *translated* pointer into shared memory leaks a device
+  // address to the CPU side; memory must hold CPU representations.
+  B.createStore(G, QG);
+  B.createRet();
+  auto Violations = analysis::checkAddressSpaces(*BK.K);
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_NE(Violations[0].Message.find("GPU-space pointer stored to memory"),
+            std::string::npos)
+      << Violations[0].Message;
+}
+
+TEST(AddressSpaceSuite, RejectsDoubleTranslation) {
+  Module M("m");
+  TypeContext &T = M.types();
+  BareKernel BK = makeBareKernel(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(BK.Entry);
+  Instruction *P =
+      B.createCast(CastKind::IntToPtr, BK.K->arg(0), T.pointerTo(T.int32Ty()), "p");
+  Instruction *G = B.createCpuToGpu(P, "g");
+  Instruction *GG = B.createCpuToGpu(G, "gg");
+  B.createLoad(GG, "v");
+  B.createRet();
+  auto Violations = analysis::checkAddressSpaces(*BK.K);
+  ASSERT_FALSE(Violations.empty());
+  EXPECT_NE(Violations[0].Message.find("double translation"), std::string::npos)
+      << Violations[0].Message;
+}
+
+TEST(AddressSpaceSuite, PhiOfConsistentSpacesStaysClean) {
+  Module M("m");
+  TypeContext &T = M.types();
+  auto *I32Ptr = T.pointerTo(T.int32Ty());
+  BareKernel BK = makeBareKernel(M);
+  Function *K = BK.K;
+  BasicBlock *Then = K->createBlock("then");
+  BasicBlock *Else = K->createBlock("else");
+  BasicBlock *Join = K->createBlock("join");
+  IRBuilder B(M);
+  B.setInsertAtEnd(BK.Entry);
+  Instruction *P = B.createCast(CastKind::IntToPtr, K->arg(0), I32Ptr, "p");
+  Instruction *Gid = B.createDeviceQuery(Opcode::GlobalId, "gid");
+  Instruction *C = B.createICmp(ICmpPred::SLT, Gid, M.constI32(4), "c");
+  B.createCondBr(C, Then, Else);
+  B.setInsertAtEnd(Then);
+  Instruction *G1 = B.createCpuToGpu(P, "g1");
+  B.createBr(Join);
+  B.setInsertAtEnd(Else);
+  Instruction *P2 = B.createIndexAddr(P, Gid, "p2");
+  Instruction *G2 = B.createCpuToGpu(P2, "g2");
+  B.createBr(Join);
+  B.setInsertAtEnd(Join);
+  Instruction *Phi = B.createPhi(I32Ptr, "gp");
+  Phi->addIncoming(G1, Then);
+  Phi->addIncoming(G2, Else);
+  B.createLoad(Phi, "v");
+  B.createRet();
+  ASSERT_TRUE(verifyFunction(*K).empty());
+
+  analysis::AddressSpaceAnalysis ASA(*K);
+  EXPECT_EQ(ASA.spaceOf(Phi), analysis::AddrSpace::Gpu);
+  EXPECT_TRUE(analysis::checkAddressSpaces(*K).empty());
+}
+
+/// A pointer-chasing kernel exercising field/index addressing, stores of
+/// pointers, and a data-dependent loop: representative of the paper's
+/// irregular workloads.
+const char *IrregularSrc = R"(
+  class Node {
+  public:
+    int value;
+    Node* next;
+  };
+  class K {
+  public:
+    Node* nodes;
+    int n;
+    void operator()(int i) {
+      nodes[i].next = &(nodes[i+1]);
+      int s = 0;
+      for (int j = 0; j < n; j++)
+        s += nodes[j].value;
+      nodes[i].value = s;
+    }
+  };
+)";
+
+TEST(AddressSpaceSuite, CleanOnAllFourPipelineConfigs) {
+  const struct {
+    const char *Name;
+    PipelineOptions Opts;
+  } Configs[] = {
+      {"gpuBaseline", PipelineOptions::gpuBaseline()},
+      {"gpuPtrOpt", PipelineOptions::gpuPtrOpt()},
+      {"gpuL3Opt", PipelineOptions::gpuL3Opt()},
+      {"gpuAll", PipelineOptions::gpuAll()},
+  };
+  for (const auto &C : Configs) {
+    auto M = compileKernel(IrregularSrc);
+    ASSERT_TRUE(M);
+    PipelineStats S;
+    std::string Err;
+    DiagnosticEngine Diags;
+    // RunStaticChecks defaults on: a failing address-space check would
+    // fail the pipeline here.
+    EXPECT_TRUE(runPipeline(*M, C.Opts, S, &Err, &Diags))
+        << C.Name << ": " << Err;
+    Function *K = findKernel(*M);
+    ASSERT_NE(K, nullptr) << C.Name;
+    EXPECT_TRUE(analysis::checkAddressSpaces(*K).empty()) << C.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Uniformity analysis and the work-item race lint.
+//===----------------------------------------------------------------------===//
+
+TEST(UniformitySuite, DataDependenceOnWorkItemId) {
+  Module M("m");
+  BareKernel BK = makeBareKernel(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(BK.Entry);
+  Instruction *Gid = B.createDeviceQuery(Opcode::GlobalId, "gid");
+  Instruction *Gsz = B.createDeviceQuery(Opcode::GroupSize, "gsz");
+  Instruction *D = B.createBinOp(Opcode::Add, Gid, M.constI32(1), "d");
+  Instruction *U = B.createBinOp(Opcode::Mul, Gsz, M.constI32(2), "u");
+  B.createRet();
+  analysis::UniformityAnalysis UA(*BK.K);
+  EXPECT_FALSE(UA.isUniform(Gid));
+  EXPECT_FALSE(UA.isUniform(D));
+  EXPECT_TRUE(UA.isUniform(Gsz));
+  EXPECT_TRUE(UA.isUniform(U));
+  EXPECT_TRUE(UA.isUniform(BK.K->arg(0))); // Same body pointer everywhere.
+}
+
+TEST(UniformitySuite, SyncDependenceThroughDivergentBranch) {
+  Module M("m");
+  BareKernel BK = makeBareKernel(M);
+  Function *K = BK.K;
+  BasicBlock *Then = K->createBlock("then");
+  BasicBlock *Else = K->createBlock("else");
+  BasicBlock *Join = K->createBlock("join");
+  IRBuilder B(M);
+  B.setInsertAtEnd(BK.Entry);
+  Instruction *Gid = B.createDeviceQuery(Opcode::GlobalId, "gid");
+  Instruction *C = B.createICmp(ICmpPred::SLT, Gid, M.constI32(5), "c");
+  B.createCondBr(C, Then, Else);
+  B.setInsertAtEnd(Then);
+  B.createBr(Join);
+  B.setInsertAtEnd(Else);
+  B.createBr(Join);
+  B.setInsertAtEnd(Join);
+  Instruction *Phi = B.createPhi(M.types().int32Ty(), "p");
+  Phi->addIncoming(M.constI32(0), Then);
+  Phi->addIncoming(M.constI32(1), Else);
+  B.createRet();
+  analysis::UniformityAnalysis UA(*K);
+  // Both incoming values are constants, yet which one a work-item sees
+  // depends on the divergent branch: the phi is divergent.
+  EXPECT_FALSE(UA.isUniform(Phi));
+  EXPECT_TRUE(UA.isDivergentControl(Then));
+  EXPECT_TRUE(UA.isDivergentControl(Else));
+  // Everybody reconverges at the join.
+  EXPECT_FALSE(UA.isDivergentControl(Join));
+  EXPECT_FALSE(UA.isDivergentControl(BK.Entry));
+}
+
+/// Runs the GPU pipeline with static checks off (so the lint result can be
+/// inspected directly) and returns the kernel entry.
+Function *pipelineForLint(Module &M) {
+  PipelineOptions Opts = PipelineOptions::gpuPtrOpt();
+  Opts.RunStaticChecks = false;
+  PipelineStats S;
+  std::string Err;
+  EXPECT_TRUE(runPipeline(M, Opts, S, &Err)) << Err;
+  return findKernel(M);
+}
+
+TEST(RaceLintSuite, FlagsUniformStoreByAllWorkItems) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* flag;
+      void operator()(int i) {
+        flag[0] = i;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  Function *K = pipelineForLint(*M);
+  ASSERT_NE(K, nullptr);
+  auto Findings = analysis::lintUniformStores(*K);
+  ASSERT_EQ(Findings.size(), 1u) << printFunction(*K);
+  EXPECT_NE(Findings[0].Message.find("probable work-item race"),
+            std::string::npos)
+      << Findings[0].Message;
+  // Every work-item writes its own id: the outcome is schedule-dependent.
+  EXPECT_NE(Findings[0].Message.find("differing values"), std::string::npos)
+      << Findings[0].Message;
+}
+
+TEST(RaceLintSuite, GuardedSingleWriterIsIdiomatic) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* flag;
+      void operator()(int i) {
+        if (i == 0)
+          flag[0] = 1;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  Function *K = pipelineForLint(*M);
+  ASSERT_NE(K, nullptr);
+  // The store only happens in work-item 0: divergent control, no race.
+  EXPECT_TRUE(analysis::lintUniformStores(*K).empty()) << printFunction(*K);
+}
+
+TEST(RaceLintSuite, PerWorkItemStoreIsClean) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* data;
+      void operator()(int i) {
+        data[i] = i * 2;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  Function *K = pipelineForLint(*M);
+  ASSERT_NE(K, nullptr);
+  EXPECT_TRUE(analysis::lintUniformStores(*K).empty()) << printFunction(*K);
+}
+
+TEST(RaceLintSuite, ReportedAsWarningThroughPipeline) {
+  auto M = compileKernel(R"(
+    class K {
+    public:
+      int* flag;
+      void operator()(int i) {
+        flag[0] = i;
+      }
+    };
+  )");
+  ASSERT_TRUE(M);
+  PipelineStats S;
+  std::string Err;
+  DiagnosticEngine Diags;
+  // Lint findings are warnings: the pipeline still succeeds and the
+  // kernel still offloads.
+  EXPECT_TRUE(runPipeline(*M, PipelineOptions::gpuAll(), S, &Err, &Diags))
+      << Err;
+  EXPECT_FALSE(Diags.hasUnsupportedFeature());
+  EXPECT_NE(Diags.str().find("probable work-item race"), std::string::npos)
+      << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel offload legality (section 2.1 device subset).
+//===----------------------------------------------------------------------===//
+
+TEST(KernelLegalitySuite, RejectsReachableRecursionCycle) {
+  Module M("m");
+  TypeContext &T = M.types();
+  auto *FTy = T.functionTy(T.voidTy(), {});
+  Function *F = M.createFunction("f", FTy);
+  Function *G = M.createFunction("g", FTy);
+  IRBuilder B(M);
+  B.setInsertAtEnd(F->createBlock("entry"));
+  B.createCall(G, {});
+  B.createRet();
+  B.setInsertAtEnd(G->createBlock("entry"));
+  B.createCall(F, {});
+  B.createRet();
+
+  BareKernel BK = makeBareKernel(M);
+  B.setInsertAtEnd(BK.Entry);
+  B.createCall(F, {});
+  B.createRet();
+
+  auto Issues = analysis::checkKernelLegality(M, *BK.K);
+  ASSERT_FALSE(Issues.empty());
+  bool SawCycle = false;
+  for (const auto &I : Issues)
+    SawCycle |= I.Message.find("recursion cycle") != std::string::npos;
+  EXPECT_TRUE(SawCycle) << Issues[0].Message;
+}
+
+TEST(KernelLegalitySuite, RejectsResidualDirectCall) {
+  Module M("m");
+  TypeContext &T = M.types();
+  Function *Leaf = M.createFunction("leaf", T.functionTy(T.voidTy(), {}));
+  IRBuilder B(M);
+  B.setInsertAtEnd(Leaf->createBlock("entry"));
+  B.createRet();
+
+  BareKernel BK = makeBareKernel(M);
+  B.setInsertAtEnd(BK.Entry);
+  B.createCall(Leaf, {});
+  B.createRet();
+
+  auto Issues = analysis::checkKernelLegality(M, *BK.K);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("survived inlining"), std::string::npos)
+      << Issues[0].Message;
+}
+
+TEST(KernelLegalitySuite, RejectsResidualVirtualCall) {
+  Module M("m");
+  TypeContext &T = M.types();
+  ClassType *C = T.createClass("Shape");
+  FunctionType *Sig = T.functionTy(T.voidTy(), {});
+  C->addVirtualMethod("draw", Sig);
+  C->finalizeLayout();
+
+  BareKernel BK = makeBareKernel(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(BK.Entry);
+  Value *Obj = M.nullPtr(T.pointerTo(C));
+  B.createVCall(C, 0, 0, T.voidTy(), Obj, {});
+  B.createRet();
+
+  auto Issues = analysis::checkKernelLegality(M, *BK.K);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("not devirtualized"), std::string::npos)
+      << Issues[0].Message;
+}
+
+TEST(KernelLegalitySuite, RejectsOversizedPrivateFrame) {
+  Module M("m");
+  TypeContext &T = M.types();
+  BareKernel BK = makeBareKernel(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(BK.Entry);
+  // 8192 floats = 32 KB of per-work-item scratch, over the 16 KB budget.
+  B.createAlloca(T.arrayOf(T.floatTy(), 8192), "buf");
+  B.createRet();
+  auto Issues = analysis::checkKernelLegality(M, *BK.K);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("private frame"), std::string::npos)
+      << Issues[0].Message;
+
+  // A custom budget makes the same kernel legal.
+  analysis::KernelLegalityOptions Opts;
+  Opts.MaxPrivateBytes = 64 * 1024;
+  EXPECT_TRUE(analysis::checkKernelLegality(M, *BK.K, Opts).empty());
+}
+
+TEST(KernelLegalitySuite, AcceptsFullyLoweredKernel) {
+  Module M("m");
+  TypeContext &T = M.types();
+  BareKernel BK = makeBareKernel(M);
+  IRBuilder B(M);
+  B.setInsertAtEnd(BK.Entry);
+  Instruction *P =
+      B.createCast(CastKind::IntToPtr, BK.K->arg(0), T.pointerTo(T.int32Ty()), "p");
+  Instruction *G = B.createCpuToGpu(P, "g");
+  Instruction *Gid = B.createDeviceQuery(Opcode::GlobalId, "gid");
+  Instruction *Slot = B.createIndexAddr(G, Gid, "slot");
+  B.createStore(Gid, Slot);
+  B.createRet();
+  EXPECT_TRUE(analysis::checkKernelLegality(M, *BK.K).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// VerifyEachPass: a broken pass is caught at its own boundary and named.
+//===----------------------------------------------------------------------===//
+
+const char *LoopKernelSrc = R"(
+  class K {
+  public:
+    int* data;
+    int n;
+    void operator()(int i) {
+      int s = 0;
+      for (int j = 0; j < n; j++)
+        s += data[j];
+      data[i] = s;
+    }
+  };
+)";
+
+TEST(VerifyEachPassSuite, NamesTheOffendingPass) {
+  auto M = compileKernel(LoopKernelSrc);
+  ASSERT_TRUE(M);
+  PipelineOptions Opts = PipelineOptions::gpuAll();
+  Opts.VerifyEachPass = true;
+  bool Injected = false;
+  // Simulate a miscompiling mem2reg: break the IR right after it runs.
+  Opts.AfterPassHook = [&Injected](Module &Mod, const char *Pass) {
+    if (Injected || std::string(Pass) != "mem2reg")
+      return;
+    for (const auto &F : Mod.functions()) {
+      if (!F->isKernel() || F->empty())
+        continue;
+      IRBuilder B(Mod);
+      B.setInsertAtEnd(F->entry()); // After the terminator: invalid IR.
+      B.createBinOp(Opcode::Add, Mod.constI32(1), Mod.constI32(2));
+      Injected = true;
+      return;
+    }
+  };
+  PipelineStats S;
+  std::string Err;
+  EXPECT_FALSE(runPipeline(*M, Opts, S, &Err));
+  EXPECT_TRUE(Injected);
+  EXPECT_NE(Err.find("after pass 'mem2reg'"), std::string::npos) << Err;
+}
+
+TEST(VerifyEachPassSuite, WithoutInjectionPipelineIsClean) {
+  auto M = compileKernel(LoopKernelSrc);
+  ASSERT_TRUE(M);
+  PipelineOptions Opts = PipelineOptions::gpuAll();
+  Opts.VerifyEachPass = true;
+  PipelineStats S;
+  std::string Err;
+  EXPECT_TRUE(runPipeline(*M, Opts, S, &Err)) << Err;
+}
+
+TEST(VerifyEachPassSuite, ReportsEveryErrorNotJustTheFirst) {
+  auto M = compileKernel(LoopKernelSrc);
+  ASSERT_TRUE(M);
+  PipelineOptions Opts = PipelineOptions::gpuAll();
+  Opts.VerifyEachPass = true;
+  bool Injected = false;
+  // Corrupt two blocks at once: both errors must survive into the report
+  // (the old pipeline dropped everything after the first).
+  Opts.AfterPassHook = [&Injected](Module &Mod, const char *Pass) {
+    if (Injected || std::string(Pass) != "mem2reg")
+      return;
+    for (const auto &F : Mod.functions()) {
+      if (!F->isKernel() || F->empty() || F->numBlocks() < 2)
+        continue;
+      IRBuilder B(Mod);
+      for (size_t I = 0; I < 2; ++I) {
+        B.setInsertAtEnd(F->blockAt(I));
+        B.createBinOp(Opcode::Add, Mod.constI32(1), Mod.constI32(2));
+      }
+      Injected = true;
+      return;
+    }
+  };
+  PipelineStats S;
+  std::string Err;
+  EXPECT_FALSE(runPipeline(*M, Opts, S, &Err));
+  ASSERT_TRUE(Injected);
+  size_t First = Err.find("terminator in the middle");
+  ASSERT_NE(First, std::string::npos) << Err;
+  EXPECT_NE(Err.find("terminator in the middle", First + 1),
+            std::string::npos)
+      << Err;
+}
+
+} // namespace

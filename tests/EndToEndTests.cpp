@@ -384,6 +384,97 @@ TEST(EndToEnd, UnsupportedKernelFallsBackToCpu) {
     EXPECT_EQ(Out[I], Ref.fib(I % 12));
 }
 
+struct MutualRecursionBody {
+  int *Out;
+
+  int even(int N) { return N == 0 ? 1 : odd(N - 1); }
+  int odd(int N) { return N == 0 ? 0 : even(N - 1); }
+  void operator()(int I) { Out[I] = even(I % 9); }
+
+  static const char *kernelSource() {
+    return R"(
+      class MutualRecursionBody {
+      public:
+        int* out;
+        int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+        int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+        void operator()(int i) { out[i] = even(i % 9); }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "MutualRecursionBody"; }
+};
+
+TEST(EndToEnd, MutualRecursionFallsBackToCpu) {
+  Fixture F;
+  constexpr int N = 96;
+  auto *Out = F.Region.allocArray<int>(N);
+  auto *Body = F.Region.create<MutualRecursionBody>();
+  Body->Out = Out;
+  LaunchReport Rep = parallel_for_hetero(F.RT, N, *Body, /*OnCpu=*/false);
+  EXPECT_TRUE(Rep.FellBack);
+  EXPECT_EQ(Rep.Executed, Device::CPU);
+  EXPECT_NE(Rep.Diagnostics.find("recursion"), std::string::npos)
+      << Rep.Diagnostics;
+  for (int I = 0; I < N; ++I)
+    EXPECT_EQ(Out[I], (I % 9) % 2 == 0 ? 1 : 0) << "item " << I;
+}
+
+// An oversized private frame is only discovered *after* the pipeline by
+// the offload-legality check (the frontend has no objection to a big
+// local array). The runtime must still degrade to native execution.
+struct BigFrameBody {
+  float *Out;
+
+  void operator()(int I) {
+    float Buf[8192];
+    for (int J = 0; J < 32; ++J)
+      Buf[J] = float(I + J);
+    float S = 0.0f;
+    for (int J = 0; J < 32; ++J)
+      S += Buf[J];
+    Out[I] = S;
+  }
+
+  static const char *kernelSource() {
+    return R"(
+      class BigFrameBody {
+      public:
+        float* out;
+        void operator()(int i) {
+          float buf[8192];
+          for (int j = 0; j < 32; j++)
+            buf[j] = (float)(i + j);
+          float s = 0.0f;
+          for (int j = 0; j < 32; j++)
+            s += buf[j];
+          out[i] = s;
+        }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "BigFrameBody"; }
+};
+
+TEST(EndToEnd, OversizedPrivateFrameFallsBackToCpu) {
+  Fixture F;
+  constexpr int N = 64;
+  auto *Out = F.Region.allocArray<float>(N);
+  auto *Body = F.Region.create<BigFrameBody>();
+  Body->Out = Out;
+  LaunchReport Rep = parallel_for_hetero(F.RT, N, *Body, /*OnCpu=*/false);
+  EXPECT_TRUE(Rep.FellBack);
+  EXPECT_EQ(Rep.Executed, Device::CPU);
+  EXPECT_NE(Rep.Diagnostics.find("private frame"), std::string::npos)
+      << Rep.Diagnostics;
+  for (int I = 0; I < N; ++I) {
+    float Want = 0.0f;
+    for (int J = 0; J < 32; ++J)
+      Want += float(I + J);
+    EXPECT_EQ(Out[I], Want) << "item " << I;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // JIT caching (section 3.4).
 //===----------------------------------------------------------------------===//
