@@ -2,8 +2,12 @@
 
 #include "bench/Harness.h"
 
+#include "runtime/ThreadPool.h"
+
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace concord;
 using namespace concord::bench;
@@ -25,20 +29,24 @@ transforms::PipelineOptions concord::bench::gpuConfig(unsigned Index) {
   }
 }
 
-std::vector<WorkloadRow>
-concord::bench::runMatrix(const gpusim::MachineConfig &Machine,
-                          unsigned Scale, bool Verbose) {
+/// Legacy serial matrix: one region + runtime per workload row, shared by
+/// the CPU run and the four GPU runs (run() is repeatable, so reusing the
+/// region is safe and avoids re-running setup()).
+static std::vector<WorkloadRow>
+runMatrixSerial(const gpusim::MachineConfig &Machine,
+                const MatrixOptions &MO) {
   std::vector<WorkloadRow> Rows;
   for (auto &W : allWorkloads()) {
     WorkloadRow Row;
     Row.Name = W->name();
-    if (Verbose)
+    if (MO.Verbose)
       std::fprintf(stderr, "  [%s] %s ...\n", Machine.Name.c_str(),
                    W->name());
 
     svm::SharedRegion Region(256 << 20);
     Runtime RT(Machine, Region);
-    if (!W->setup(Region, Scale)) {
+    RT.setSimOptions(MO.Sim);
+    if (!W->setup(Region, MO.Scale)) {
       Row.Error = "setup failed (out of shared memory?)";
       Rows.push_back(Row);
       continue;
@@ -69,6 +77,236 @@ concord::bench::runMatrix(const gpusim::MachineConfig &Machine,
     Rows.push_back(std::move(Row));
   }
   return Rows;
+}
+
+/// Cell-parallel matrix: every (workload, device-config) pair is an
+/// independent task with its own shared region, runtime, and freshly
+/// set-up workload instance. setup() is deterministic and the region
+/// starts from the same state in every cell, so each cell reproduces
+/// exactly the launch the serial loop would have performed.
+static std::vector<WorkloadRow>
+runMatrixParallel(const gpusim::MachineConfig &Machine,
+                  const MatrixOptions &MO) {
+  const unsigned Cols = NumGpuConfigs + 1; // Column 0 is the CPU run.
+  const size_t NumW = allWorkloads().size();
+
+  struct Cell {
+    bool Ok = false;
+    std::string Error;
+    double Seconds = 0, Joules = 0;
+  };
+  std::vector<Cell> Cells(NumW * Cols);
+
+  runtime::ThreadPool Pool(MO.Jobs);
+  Pool.parallelFor(int64_t(NumW * Cols), [&](int64_t Ix) {
+    const size_t WIx = size_t(Ix) / Cols;
+    const unsigned C = unsigned(Ix % Cols);
+    Cell &Out = Cells[size_t(Ix)];
+
+    // Workloads keep per-run state, so each cell instantiates its own.
+    auto Ws = allWorkloads();
+    Workload &W = *Ws[WIx];
+    if (MO.Verbose)
+      std::fprintf(stderr, "  [%s] %s / %s ...\n", Machine.Name.c_str(),
+                   W.name(), C == 0 ? "CPU" : GpuConfigNames[C - 1]);
+
+    svm::SharedRegion Region(256 << 20);
+    Runtime RT(Machine, Region);
+    RT.setSimOptions(MO.Sim);
+    if (!W.setup(Region, MO.Scale)) {
+      Out.Error = "setup failed (out of shared memory?)";
+      return;
+    }
+    if (C > 0)
+      RT.setGpuOptions(gpuConfig(C - 1));
+    WorkloadRun Run = W.run(RT, /*OnCpu=*/C == 0);
+    if (!Run.Ok) {
+      Out.Error = Run.Error;
+      return;
+    }
+    std::string VerifyError;
+    if (!W.verify(&VerifyError)) {
+      Out.Error = VerifyError;
+      return;
+    }
+    Out.Ok = true;
+    Out.Seconds = Run.Seconds;
+    Out.Joules = Run.Joules;
+  });
+
+  // Deterministic row assembly in workload order.
+  auto Names = allWorkloads();
+  std::vector<WorkloadRow> Rows;
+  for (size_t WIx = 0; WIx < NumW; ++WIx) {
+    WorkloadRow Row;
+    Row.Name = Names[WIx]->name();
+    Row.Ok = true;
+    for (unsigned C = 0; C < Cols; ++C) {
+      const Cell &In = Cells[WIx * Cols + C];
+      if (!In.Ok) {
+        Row.Ok = false;
+        if (Row.Error.empty())
+          Row.Error = In.Error;
+        continue;
+      }
+      if (C == 0) {
+        Row.CpuSeconds = In.Seconds;
+        Row.CpuJoules = In.Joules;
+      } else {
+        Row.GpuSeconds[C - 1] = In.Seconds;
+        Row.GpuJoules[C - 1] = In.Joules;
+      }
+    }
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+std::vector<WorkloadRow>
+concord::bench::runMatrix(const gpusim::MachineConfig &Machine,
+                          const MatrixOptions &Options) {
+  return Options.Jobs > 1 ? runMatrixParallel(Machine, Options)
+                          : runMatrixSerial(Machine, Options);
+}
+
+std::vector<WorkloadRow>
+concord::bench::runMatrix(const gpusim::MachineConfig &Machine,
+                          unsigned Scale, bool Verbose) {
+  MatrixOptions MO;
+  MO.Scale = Scale;
+  MO.Verbose = Verbose;
+  return runMatrix(Machine, MO);
+}
+
+BenchOptions concord::bench::parseBenchArgs(int argc, char **argv) {
+  BenchOptions BO;
+  auto Fail = [&](const std::string &Msg) {
+    BO.Ok = false;
+    BO.Error = Msg;
+    return BO;
+  };
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextUnsigned = [&](unsigned *Out) {
+      if (I + 1 >= argc)
+        return false;
+      *Out = unsigned(std::strtoul(argv[++I], nullptr, 10));
+      return true;
+    };
+    if (Arg == "--json") {
+      if (I + 1 >= argc)
+        return Fail("--json requires a path");
+      BO.JsonPath = argv[++I];
+    } else if (Arg == "--jobs") {
+      if (!NextUnsigned(&BO.Matrix.Jobs) || BO.Matrix.Jobs == 0)
+        return Fail("--jobs requires a positive count");
+    } else if (Arg == "--scale") {
+      if (!NextUnsigned(&BO.Matrix.Scale) || BO.Matrix.Scale == 0)
+        return Fail("--scale requires a positive factor");
+    } else if (Arg == "--serial") {
+      BO.Matrix.Sim.SerialExecution = true;
+    } else if (Arg == "--no-scalar") {
+      BO.Matrix.Sim.ScalarFastPaths = false;
+    } else if (Arg == "--sim-threads") {
+      if (!NextUnsigned(&BO.Matrix.Sim.NumThreads))
+        return Fail("--sim-threads requires a count");
+    } else if (Arg == "--quantum") {
+      if (!NextUnsigned(&BO.Matrix.Sim.EpochQuantum) ||
+          BO.Matrix.Sim.EpochQuantum == 0)
+        return Fail("--quantum requires a positive round count");
+    } else if (Arg == "--quiet") {
+      BO.Matrix.Verbose = false;
+    } else {
+      return Fail("unknown option: " + Arg +
+                  " (see bench/Harness.h for the flag list)");
+    }
+  }
+  return BO;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char Ch : S) {
+    if (Ch == '"' || Ch == '\\') {
+      Out += '\\';
+      Out += Ch;
+    } else if (static_cast<unsigned char>(Ch) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+      Out += Buf;
+    } else {
+      Out += Ch;
+    }
+  }
+  return Out;
+}
+
+bool concord::bench::writeMatrixJson(const std::string &Path,
+                                     const std::string &Bench,
+                                     const gpusim::MachineConfig &Machine,
+                                     const std::vector<WorkloadRow> &Rows,
+                                     const MatrixOptions &Options,
+                                     double WallSeconds) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "{\n");
+  std::fprintf(F, "  \"benchmark\": \"%s\",\n", jsonEscape(Bench).c_str());
+  std::fprintf(F, "  \"machine\": \"%s\",\n",
+               jsonEscape(Machine.Name).c_str());
+  std::fprintf(F, "  \"wall_seconds\": %.3f,\n", WallSeconds);
+  std::fprintf(F, "  \"host_threads\": %u,\n",
+               std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(F, "  \"matrix_jobs\": %u,\n", Options.Jobs);
+  std::fprintf(F, "  \"scale\": %u,\n", Options.Scale);
+  std::fprintf(F,
+               "  \"sim\": {\"serial\": %s, \"scalar_fast_paths\": %s, "
+               "\"threads\": %u, \"epoch_quantum\": %u},\n",
+               Options.Sim.SerialExecution ? "true" : "false",
+               Options.Sim.ScalarFastPaths ? "true" : "false",
+               Options.Sim.NumThreads, Options.Sim.EpochQuantum);
+  std::fprintf(F, "  \"configs\": [");
+  for (unsigned C = 0; C < NumGpuConfigs; ++C)
+    std::fprintf(F, "%s\"%s\"", C ? ", " : "", GpuConfigNames[C]);
+  std::fprintf(F, "],\n");
+  std::fprintf(F, "  \"workloads\": [\n");
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    const WorkloadRow &Row = Rows[R];
+    std::fprintf(F, "    {\"name\": \"%s\", \"ok\": %s",
+                 jsonEscape(Row.Name).c_str(), Row.Ok ? "true" : "false");
+    if (!Row.Ok) {
+      std::fprintf(F, ", \"error\": \"%s\"}%s\n",
+                   jsonEscape(Row.Error).c_str(),
+                   R + 1 < Rows.size() ? "," : "");
+      continue;
+    }
+    std::fprintf(F, ",\n     \"cpu\": {\"seconds\": %.9g, \"joules\": %.9g}",
+                 Row.CpuSeconds, Row.CpuJoules);
+    for (unsigned C = 0; C < NumGpuConfigs; ++C)
+      std::fprintf(F,
+                   ",\n     \"%s\": {\"seconds\": %.9g, \"joules\": %.9g, "
+                   "\"speedup\": %.4f, \"energy_saving\": %.4f}",
+                   GpuConfigNames[C], Row.GpuSeconds[C], Row.GpuJoules[C],
+                   Row.speedup(C), Row.energySaving(C));
+    std::fprintf(F, "}%s\n", R + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"geomean\": {");
+  for (unsigned C = 0; C < NumGpuConfigs; ++C) {
+    std::vector<double> Speed, Energy;
+    for (const WorkloadRow &Row : Rows)
+      if (Row.Ok) {
+        Speed.push_back(Row.speedup(C));
+        Energy.push_back(Row.energySaving(C));
+      }
+    std::fprintf(F, "%s\"%s\": {\"speedup\": %.4f, \"energy_saving\": %.4f}",
+                 C ? ", " : "", GpuConfigNames[C], geomean(Speed),
+                 geomean(Energy));
+  }
+  std::fprintf(F, "}\n}\n");
+  std::fclose(F);
+  return true;
 }
 
 double concord::bench::geomean(const std::vector<double> &Values) {

@@ -42,11 +42,55 @@ struct WorkloadRow {
   }
 };
 
+/// Knobs for a matrix run. None of them change the modelled numbers:
+/// the table a parallel run produces is identical to the serial one.
+struct MatrixOptions {
+  unsigned Scale = 1;
+  bool Verbose = true;
+  /// Host threads running matrix cells concurrently (1 = the legacy
+  /// serial loop, sharing one region per workload row).
+  unsigned Jobs = 1;
+  /// Simulator execution options applied to every launch.
+  gpusim::SimOptions Sim;
+};
+
 /// Runs CPU + all four GPU configurations for every workload on
 /// \p Machine. Verifies results after every run; failures are reported in
-/// the row. \p Scale scales problem sizes.
+/// the row. With Jobs > 1 each (workload, device-config) cell runs on its
+/// own shared region + runtime, so cells are independent and execute
+/// concurrently; rows are assembled in workload order regardless of
+/// completion order.
+std::vector<WorkloadRow> runMatrix(const gpusim::MachineConfig &Machine,
+                                   const MatrixOptions &Options);
+
+/// Legacy entry point: serial matrix with default simulator options.
 std::vector<WorkloadRow> runMatrix(const gpusim::MachineConfig &Machine,
                                    unsigned Scale = 1, bool Verbose = true);
+
+/// Command-line options shared by the figure/ablation harnesses:
+///   --json <path>   write machine-readable results (plus wall-clock and
+///                   host-thread count) to <path>
+///   --jobs N        run N matrix cells concurrently
+///   --scale N       scale workload problem sizes
+///   --serial        force the simulator's legacy serial engine
+///   --no-scalar     disable the simulator's uniform-instruction fast path
+///   --sim-threads N host threads per simulated launch (0 = hardware)
+///   --quantum N     rounds per parallel simulation epoch
+struct BenchOptions {
+  MatrixOptions Matrix;
+  std::string JsonPath;
+  bool Ok = true;      ///< False on a bad command line (Error says why).
+  std::string Error;
+};
+BenchOptions parseBenchArgs(int argc, char **argv);
+
+/// Writes rows plus run metadata (benchmark name, machine, wall-clock
+/// seconds, host-thread counts) as JSON. Returns false if the file could
+/// not be written.
+bool writeMatrixJson(const std::string &Path, const std::string &Bench,
+                     const gpusim::MachineConfig &Machine,
+                     const std::vector<WorkloadRow> &Rows,
+                     const MatrixOptions &Options, double WallSeconds);
 
 /// Prints the Figure 7/9-style speedup table (one row per workload, one
 /// column per GPU configuration) plus the geometric mean row.

@@ -6,15 +6,35 @@
 // workloads under each placement policy and reports device time plus the
 // number of translation operations the compiler inserted/removed.
 //
+// Accepts the shared harness flags (bench/Harness.h); --json <path>
+// dumps the policy rows plus wall-clock and host-thread metadata.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
+
+#include <chrono>
+#include <thread>
 
 using namespace concord;
 using namespace concord::bench;
 using namespace concord::workloads;
 
-int main() {
+namespace {
+struct PolicyRow {
+  std::string Workload;
+  std::string Policy;
+  double DeviceMs;
+  unsigned XlatesIn, XlatesRm;
+};
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchOptions BO = parseBenchArgs(argc, argv);
+  if (!BO.Ok) {
+    std::fprintf(stderr, "%s\n", BO.Error.c_str());
+    return 2;
+  }
   struct Policy {
     const char *Name;
     transforms::PipelineOptions Opts;
@@ -32,6 +52,8 @@ int main() {
               "device-ms", "xlates-in", "xlates-rm");
   std::printf("%s\n", std::string(76, '-').c_str());
 
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<PolicyRow> Table;
   bool AllOk = true;
   for (auto &W : allWorkloads()) {
     std::string Name = W->name();
@@ -40,6 +62,7 @@ int main() {
     svm::SharedRegion Region(256 << 20);
     auto Machine = gpusim::MachineConfig::ultrabook();
     Runtime RT(Machine, Region);
+    RT.setSimOptions(BO.Matrix.Sim);
     if (!W->setup(Region, 1))
       return 1;
     for (const Policy &P : Policies) {
@@ -52,13 +75,42 @@ int main() {
         AllOk = false;
         continue;
       }
+      Table.push_back({W->name(), P.Name, Run.Seconds * 1e3,
+                       Run.OptStats.TranslationsInserted,
+                       Run.OptStats.TranslationsRemoved});
       std::printf("%-20s %-16s %12.3f %12u %12u\n", W->name(), P.Name,
                   Run.Seconds * 1e3, Run.OptStats.TranslationsInserted,
                   Run.OptStats.TranslationsRemoved);
     }
   }
+  double Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
   std::printf("\nexpected: hybrid fastest on every workload (the paper's "
               "GPU+PTROPT wins: Raytracer 1.21x, SkipList 1.13x on the "
               "Ultrabook)\n");
+  if (!BO.JsonPath.empty()) {
+    std::FILE *F = std::fopen(BO.JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", BO.JsonPath.c_str());
+      return 2;
+    }
+    std::fprintf(F, "{\n  \"benchmark\": \"ablation_ptropt\",\n");
+    std::fprintf(F, "  \"wall_seconds\": %.3f,\n", Wall);
+    std::fprintf(F, "  \"host_threads\": %u,\n",
+                 std::max(1u, std::thread::hardware_concurrency()));
+    std::fprintf(F, "  \"rows\": [\n");
+    for (size_t I = 0; I < Table.size(); ++I) {
+      const PolicyRow &R = Table[I];
+      std::fprintf(F,
+                   "    {\"workload\": \"%s\", \"policy\": \"%s\", "
+                   "\"device_ms\": %.6f, \"xlates_inserted\": %u, "
+                   "\"xlates_removed\": %u}%s\n",
+                   R.Workload.c_str(), R.Policy.c_str(), R.DeviceMs,
+                   R.XlatesIn, R.XlatesRm, I + 1 < Table.size() ? "," : "");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+  }
   return AllOk ? 0 : 1;
 }

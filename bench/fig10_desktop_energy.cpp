@@ -9,20 +9,41 @@
 // FaceDetect again below 1; BarnesHut 48% more energy-efficient while
 // being 47% slower.
 //
+// Accepts the shared harness flags (bench/Harness.h): --jobs, --json, ...
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
 
+#include <chrono>
+
 using namespace concord;
 using namespace concord::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions BO = parseBenchArgs(argc, argv);
+  if (!BO.Ok) {
+    std::fprintf(stderr, "%s\n", BO.Error.c_str());
+    return 2;
+  }
   auto Machine = gpusim::MachineConfig::desktop();
-  auto Rows = runMatrix(Machine);
+  auto T0 = std::chrono::steady_clock::now();
+  auto Rows = runMatrix(Machine, BO.Matrix);
+  double Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
   printEnergyTable(Rows, "Figure 10: Desktop (84 W TDP) package-energy "
                          "savings");
   std::printf("\npaper (GPU+ALL): avg 1.69x; BFS 2.94x, Raytracer 3.52x, "
               "SkipList 2.27x, BTree 2.43x; FaceDetect < 1\n");
+  std::fprintf(stderr, "wall-clock %.1fs with %u matrix jobs\n", Wall,
+               BO.Matrix.Jobs);
+  if (!BO.JsonPath.empty() &&
+      !writeMatrixJson(BO.JsonPath, "fig10_desktop_energy", Machine, Rows,
+                       BO.Matrix, Wall)) {
+    std::fprintf(stderr, "cannot write %s\n", BO.JsonPath.c_str());
+    return 2;
+  }
   for (const WorkloadRow &Row : Rows)
     if (!Row.Ok)
       return 1;

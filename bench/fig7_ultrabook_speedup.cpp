@@ -7,21 +7,44 @@
 // Paper results (GPU+ALL): speedups 1.11x..9.88x, average 2.5x; Raytracer
 // best (9.88x) as the least irregular workload.
 //
+// Accepts the shared harness flags (bench/Harness.h): --jobs N runs
+// matrix cells on N host threads, --json <path> dumps results + wall
+// clock. The printed table is identical regardless of --jobs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
 
+#include <chrono>
+
 using namespace concord;
 using namespace concord::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions BO = parseBenchArgs(argc, argv);
+  if (!BO.Ok) {
+    std::fprintf(stderr, "%s\n", BO.Error.c_str());
+    return 2;
+  }
   auto Machine = gpusim::MachineConfig::ultrabook();
-  auto Rows = runMatrix(Machine);
+  auto T0 = std::chrono::steady_clock::now();
+  auto Rows = runMatrix(Machine, BO.Matrix);
+  double Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
   printSpeedupTable(Rows,
                     "Figure 7: Ultrabook (2C i7-4650U vs 40-EU HD 5000) "
                     "runtime speedup");
   std::printf("\npaper (GPU+ALL): range 1.11x-9.88x, avg 2.5x, Raytracer "
               "best\n");
+  std::fprintf(stderr, "wall-clock %.1fs with %u matrix jobs\n", Wall,
+               BO.Matrix.Jobs);
+  if (!BO.JsonPath.empty() &&
+      !writeMatrixJson(BO.JsonPath, "fig7_ultrabook_speedup", Machine, Rows,
+                       BO.Matrix, Wall)) {
+    std::fprintf(stderr, "cannot write %s\n", BO.JsonPath.c_str());
+    return 2;
+  }
   for (const WorkloadRow &Row : Rows)
     if (!Row.Ok)
       return 1;

@@ -7,20 +7,41 @@
 // is the only workload below 1 (its per-window cascade early-exits
 // diverge badly on SIMD); Raytracer best (6.04x).
 //
+// Accepts the shared harness flags (bench/Harness.h): --jobs, --json, ...
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
 
+#include <chrono>
+
 using namespace concord;
 using namespace concord::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions BO = parseBenchArgs(argc, argv);
+  if (!BO.Ok) {
+    std::fprintf(stderr, "%s\n", BO.Error.c_str());
+    return 2;
+  }
   auto Machine = gpusim::MachineConfig::ultrabook();
-  auto Rows = runMatrix(Machine);
+  auto T0 = std::chrono::steady_clock::now();
+  auto Rows = runMatrix(Machine, BO.Matrix);
+  double Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
   printEnergyTable(Rows,
                    "Figure 8: Ultrabook (15 W TDP) package-energy savings");
   std::printf("\npaper (GPU+ALL): range 0.93x-6.04x, avg 2.04x; FaceDetect "
               "< 1, Raytracer best\n");
+  std::fprintf(stderr, "wall-clock %.1fs with %u matrix jobs\n", Wall,
+               BO.Matrix.Jobs);
+  if (!BO.JsonPath.empty() &&
+      !writeMatrixJson(BO.JsonPath, "fig8_ultrabook_energy", Machine, Rows,
+                       BO.Matrix, Wall)) {
+    std::fprintf(stderr, "cannot write %s\n", BO.JsonPath.c_str());
+    return 2;
+  }
   for (const WorkloadRow &Row : Rows)
     if (!Row.Ok)
       return 1;

@@ -8,21 +8,42 @@
 // branch prediction); BarnesHut is 47% *slower* on the GPU; PTROPT gains
 // 1.09x average, both optimizations together 1.12x.
 //
+// Accepts the shared harness flags (bench/Harness.h): --jobs, --json, ...
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
 
+#include <chrono>
+
 using namespace concord;
 using namespace concord::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions BO = parseBenchArgs(argc, argv);
+  if (!BO.Ok) {
+    std::fprintf(stderr, "%s\n", BO.Error.c_str());
+    return 2;
+  }
   auto Machine = gpusim::MachineConfig::desktop();
-  auto Rows = runMatrix(Machine);
+  auto T0 = std::chrono::steady_clock::now();
+  auto Rows = runMatrix(Machine, BO.Matrix);
+  double Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
   printSpeedupTable(Rows,
                     "Figure 9: Desktop (4C i7-4770 vs 20-EU HD 4600) "
                     "runtime speedup");
   std::printf("\npaper (GPU+ALL): average ~1.01x; BarnesHut 0.53x; "
               "+PTROPT avg 1.09x, +ALL avg 1.12x over GPU\n");
+  std::fprintf(stderr, "wall-clock %.1fs with %u matrix jobs\n", Wall,
+               BO.Matrix.Jobs);
+  if (!BO.JsonPath.empty() &&
+      !writeMatrixJson(BO.JsonPath, "fig9_desktop_speedup", Machine, Rows,
+                       BO.Matrix, Wall)) {
+    std::fprintf(stderr, "cannot write %s\n", BO.JsonPath.c_str());
+    return 2;
+  }
   for (const WorkloadRow &Row : Rows)
     if (!Row.Ok)
       return 1;

@@ -1,0 +1,49 @@
+//===- Interference.h - Cross-work-item interference analysis --*- C++ -*-===//
+///
+/// \file
+/// Decides whether a kernel's shared-memory side effects are independent of
+/// the order in which work-items execute. The simulator uses the result to
+/// run simulated cores concurrently on host threads: a schedule-free kernel
+/// produces bit-identical memory under any core interleaving, so the
+/// functional execution can be parallelized while the timing model replays
+/// deterministically.
+///
+/// A kernel is schedule-free when every shared-memory write lands in a
+/// "self slot": an address chain rooted at a kernel argument whose only
+/// divergent index step is the work-item's own global id (e.g.
+/// `out[i] = ...` or `nodes[i].next = ...`). Distinct work-items then write
+/// disjoint bytes. Additionally, no slot written this way may be read
+/// through a non-self index (a neighbour read of a written array makes the
+/// result depend on execution order — the paper's benign-race pattern in
+/// BFS/SSSP/CC, which must keep the serial interleaving).
+///
+/// Aliasing assumption (documented in DESIGN.md): address chains with
+/// distinct root/field paths do not alias, and pointers loaded through
+/// divergent chains (e.g. tree nodes reached from a traversal stack) do not
+/// alias arrays written via self slots. This holds for Concord's body-class
+/// kernels, where each field points at a separately allocated structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_INTERFERENCE_H
+#define CONCORD_ANALYSIS_INTERFERENCE_H
+
+#include <string>
+
+namespace concord {
+namespace cir {
+class Function;
+}
+namespace analysis {
+
+/// Returns true when the kernel's shared-memory writes are provably
+/// schedule-independent (see file comment). Kernels with barriers, calls,
+/// or any write that is not a self-slot store are conservatively reported
+/// as schedule-coupled. \p WhyNot, when non-null, receives a short reason
+/// for the first coupling found.
+bool isScheduleFree(cir::Function &F, std::string *WhyNot = nullptr);
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_INTERFERENCE_H

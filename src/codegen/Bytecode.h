@@ -64,9 +64,19 @@ enum class BOp : uint8_t {
 
 const char *bopName(BOp Op);
 
+/// Per-instruction flags attached by codegen from the analysis layer.
+enum BInstFlags : uint8_t {
+  /// All active lanes of a warp are guaranteed to compute the same value
+  /// (for CondBr: the condition agrees across lanes). The interpreter may
+  /// execute the instruction once and broadcast the result; the modelled
+  /// cost is unaffected.
+  BInstUniform = 1u << 0,
+};
+
 struct BInst {
   BOp Op;
   cir::TypeKind TypeK = cir::TypeKind::Int64;
+  uint8_t Flags = 0; ///< Mask of BInstFlags.
   uint16_t Dst = 0;
   uint16_t A = 0;
   uint16_t B = 0;
@@ -101,6 +111,10 @@ struct BKernel {
   unsigned NumArgs = 0;      ///< Arguments arrive in registers [0, NumArgs).
   uint64_t FrameBytes = 0;   ///< Private (stack) memory per work-item.
   bool UsesBarrier = false;
+  /// Shared-memory side effects are provably independent of work-item
+  /// scheduling (analysis/Interference): the simulator may execute cores
+  /// concurrently without changing functional results.
+  bool ScheduleFree = false;
   OpMixStats StaticStats;
 };
 

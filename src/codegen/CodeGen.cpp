@@ -4,6 +4,8 @@
 
 #include "analysis/CFG.h"
 #include "analysis/Dominators.h"
+#include "analysis/Interference.h"
+#include "analysis/Uniformity.h"
 #include "support/StringUtils.h"
 
 #include <bit>
@@ -128,6 +130,7 @@ private:
 
   Function &F;
   std::string *Error;
+  const analysis::UniformityAnalysis *UA = nullptr;
   std::vector<BInst> Code;
   std::map<Value *, uint16_t> Regs;
   std::map<BasicBlock *, int32_t> BlockPc;
@@ -160,6 +163,7 @@ uint16_t KernelEmitter::regOf(Value *V) {
   BInst MI;
   MI.Op = BOp::MovImm;
   MI.TypeK = typeKindOf(V->type());
+  MI.Flags = BInstUniform; // Immediates are the same in every lane.
   MI.Dst = freshReg();
   MI.Imm = Imm;
   Code.push_back(MI);
@@ -191,6 +195,13 @@ bool KernelEmitter::emit(BKernel &Out) {
   }
 
   analysis::PostDominatorTree PDT(F);
+
+  // Lane-uniformity drives the interpreter's scalarized fast paths; the
+  // interference result lets the simulator run cores concurrently. Both run
+  // after edge splitting so they see the CFG the bytecode is emitted from.
+  analysis::UniformityAnalysis Uniformity(F);
+  UA = &Uniformity;
+  Out.ScheduleFree = analysis::isScheduleFree(F);
 
   // Arguments occupy the first registers.
   for (unsigned A = 0; A < F.numArgs(); ++A)
@@ -228,30 +239,42 @@ bool KernelEmitter::emit(BKernel &Out) {
 
       // Phi copies go right before the terminator.
       if (I->isTerminator()) {
-        std::vector<std::pair<uint16_t, uint16_t>> Copies; // dst <- src
+        struct PhiCopy {
+          uint16_t DstR, SrcR;
+          bool SrcUni, PhiUni;
+        };
+        std::vector<PhiCopy> Copies;
         for (BasicBlock *S : BB->successors()) {
           for (Instruction *Phi : S->phis()) {
             for (unsigned K = 0; K < Phi->numBlocks(); ++K) {
               if (Phi->incomingBlock(K) != BB)
                 continue;
-              Copies.push_back({Regs[Phi], regOf(Phi->incomingValue(K))});
+              Value *In = Phi->incomingValue(K);
+              Copies.push_back(
+                  {Regs[Phi], regOf(In), UA->isUniform(In), UA->isUniform(Phi)});
             }
           }
         }
         // Two-phase parallel copy through temporaries (swap-safe).
         std::vector<uint16_t> Tmps;
-        for (auto &[DstR, SrcR] : Copies) {
+        for (const PhiCopy &C : Copies) {
           BInst MI;
           MI.Op = BOp::Mov;
+          if (C.SrcUni)
+            MI.Flags |= BInstUniform;
           MI.Dst = freshReg();
-          MI.A = SrcR;
+          MI.A = C.SrcR;
           Tmps.push_back(MI.Dst);
           Code.push_back(MI);
         }
         for (size_t C = 0; C < Copies.size(); ++C) {
           BInst MI;
           MI.Op = BOp::Mov;
-          MI.Dst = Copies[C].first;
+          // The phi register is only warp-uniform if the phi itself is (all
+          // incoming paths agree) AND this edge's value is.
+          if (Copies[C].PhiUni && Copies[C].SrcUni)
+            MI.Flags |= BInstUniform;
+          MI.Dst = Copies[C].DstR;
           MI.A = Tmps[C];
           Code.push_back(MI);
         }
@@ -411,6 +434,27 @@ bool KernelEmitter::emit(BKernel &Out) {
       case Opcode::Phi:
         fail("unexpected opcode in kernel emission");
         return false;
+      }
+
+      switch (I->opcode()) {
+      case Opcode::Store: case Opcode::Memcpy: case Opcode::Barrier:
+      case Opcode::Br: case Opcode::Ret: case Opcode::Trap:
+        break; // No result register to scalarize.
+      case Opcode::CondBr:
+        // A uniform condition means the warp can never diverge here.
+        if (UA->isUniform(I->operand(0)))
+          BI.Flags |= BInstUniform;
+        break;
+      case Opcode::Alloca:
+        // Private frames are lane-addressed at resolve time; the register
+        // value (private base + frame offset) is identical in every lane
+        // even though the alloca's *memory* is per-work-item.
+        BI.Flags |= BInstUniform;
+        break;
+      default:
+        if (!I->type()->isVoid() && UA->isUniform(I))
+          BI.Flags |= BInstUniform;
+        break;
       }
       Code.push_back(BI);
     }

@@ -1,16 +1,45 @@
 //===- Simulator.cpp ------------------------------------------------------===//
+//
+// Execution engine layout:
+//
+//  * One CoreState per simulated core. A core's behaviour on its turn
+//    (group pickup, warp round-robin, barrier release, instruction step)
+//    depends only on core-local state, so cores can be simulated
+//    independently; the only cross-core coupling is shared accounting
+//    (LLC, contention table, result counters, energy accumulation).
+//
+//  * Every executed warp instruction produces one WarpEvent stamped with
+//    the core's round number. Shared accounting is applied exclusively by
+//    applyEvent() in (round, core) lexicographic order — exactly the order
+//    the legacy global round-robin loop produced — so cycle, energy and
+//    counter results are bit-identical no matter how execution is driven.
+//
+//  * runDirect() interleaves cores one turn at a time and applies each
+//    event immediately: this IS the legacy schedule, used for kernels
+//    whose memory side effects depend on work-item ordering (the paper's
+//    benign-race workloads), and under SimOptions::SerialExecution.
+//
+//  * runEpochs() advances every core EpochQuantum rounds on a host thread
+//    pool, then replays the logged events single-threaded in (round, core)
+//    order. Only kernels the interference analysis proved schedule-free
+//    (BKernel::ScheduleFree) take this path, so the functional memory
+//    results are also identical. On a trap, stats are cut at the trap
+//    round exactly as the legacy loop stopped; cores may have run their
+//    private state up to one epoch further (documented in DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
 
 #include "gpusim/Simulator.h"
 
 #include "cir/Instruction.h"
+#include "runtime/ThreadPool.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstring>
-#include <map>
-#include <set>
+#include <thread>
 #include <unordered_map>
 
 using namespace concord;
@@ -97,33 +126,88 @@ struct Group {
   unsigned Cursor = 0;          ///< Round-robin warp pick.
 };
 
-struct Core {
+struct ContentionEntry {
+  uint64_t Round = 0;
+  uint64_t CoreMask = 0;
+};
+
+/// Insertion-ordered set of cache-line addresses (hot path: a warp touches
+/// at most SimdWidth lines per access; memcpy can touch a few more).
+/// Membership is O(1) via a generation-stamped open-addressed table;
+/// clear() just bumps the generation. Iteration stays in insertion order:
+/// the LLC is LRU and the per-line cost additions are floating point, so
+/// visit order is observable.
+struct LineSet {
+  static constexpr unsigned Cap = 160;     ///< Extra lines drop (legacy).
+  static constexpr unsigned TblSize = 512; ///< > Cap: probing terminates.
+  uint64_t Buf[Cap];
+  unsigned N = 0;
+  uint64_t Gen = 1;
+  uint64_t TblGen[TblSize] = {};
+  uint16_t Slot[TblSize];
+
+  void clear() {
+    N = 0;
+    ++Gen;
+  }
+  void insert(uint64_t Line) {
+    if (N >= Cap)
+      return;
+    size_t H = size_t((Line * 0x9E3779B97F4A7C15ull) >> 55);
+    while (TblGen[H] == Gen) {
+      if (Buf[Slot[H]] == Line)
+        return;
+      H = (H + 1) & (TblSize - 1);
+    }
+    TblGen[H] = Gen;
+    Slot[H] = uint16_t(N);
+    Buf[N++] = Line;
+  }
+};
+
+enum EventKind : uint8_t {
+  EvAlu, ///< Cost precomputed core-locally; no shared-cache interaction.
+  EvMem, ///< Cost derives from LLC/L1/contention state at apply time.
+};
+
+enum EventFlags : uint8_t {
+  EvDivergent = 1u << 0,
+  EvBarrier = 1u << 1,
+};
+
+/// One executed warp instruction, logged core-locally and replayed against
+/// the shared accounting state in deterministic (round, core) order.
+struct WarpEvent {
+  uint64_t Round;
+  double Cost;           ///< EvAlu only; EvMem cost is computed at apply.
+  uint32_t LineOff;      ///< First global line in CoreState::LineBuf.
+  uint32_t PrivateLanes; ///< Per-lane private touches (memcpy can exceed a warp).
+  uint16_t LineCount;    ///< Global lines, in insertion order.
+  uint16_t LocalLines;   ///< Distinct local-scratch lines.
+  uint8_t Active;        ///< popcount of the execution mask.
+  uint8_t Kind;          ///< EventKind.
+  uint8_t Flags;         ///< EventFlags.
+};
+
+struct CoreState {
+  unsigned Idx = 0;
   std::vector<uint64_t> PendingGroups;
   size_t NextPending = 0;
   std::unique_ptr<Group> Current;
   double Cycles = 0;
   std::unique_ptr<CacheModel> L1;
   std::unordered_map<int32_t, bool> BranchHistory; ///< CPU predictor.
-};
 
-struct ContentionEntry {
-  uint64_t Round = 0;
-  uint64_t CoreMask = 0;
-};
+  uint64_t LocalRound = 0; ///< This core's turn counter == global round.
+  bool OutOfWork = false;
+  bool Trapped = false;
+  uint64_t TrapRound = 0;
+  std::string TrapMessage;
 
-/// Small inline set of cache-line addresses (hot path: a warp touches at
-/// most SimdWidth lines per access; memcpy can touch a few more).
-struct LineSet {
-  static constexpr unsigned Cap = 160;
-  uint64_t Buf[Cap];
-  unsigned N = 0;
-  void insert(uint64_t Line) {
-    for (unsigned I = 0; I < N; ++I)
-      if (Buf[I] == Line)
-        return;
-    if (N < Cap)
-      Buf[N++] = Line;
-  }
+  std::vector<WarpEvent> Events;
+  std::vector<uint64_t> LineBuf; ///< Global-line storage for events.
+  LineSet GLines, LLines;        ///< Scratch, reset per memory access.
+  const svm::Surface *LastSurf = nullptr; ///< resolve() memo, per launch.
 };
 
 } // namespace
@@ -132,6 +216,7 @@ struct Simulator::Impl {
   const DeviceConfig &Cfg;
   svm::BindingTable &Bindings;
   uint64_t SvmConst;
+  SimOptions Opts;
 
   CacheModel LLC;
   uint64_t MemClock = 0; ///< Global memory-access counter (contention).
@@ -139,7 +224,6 @@ struct Simulator::Impl {
   /// stochastic model; bounded memory regardless of footprint).
   std::vector<ContentionEntry> Contention =
       std::vector<ContentionEntry>(1u << 16);
-  uint64_t Round = 0;
   double DynEnergyNJ = 0;
   SimResult R;
 
@@ -149,15 +233,24 @@ struct Simulator::Impl {
   uint64_t NumItems = 0;
   unsigned GroupSize = 1;
   unsigned WarpsPerGroup = 1;
+  uint32_t FullMask = 1;
+  bool Inline = true; ///< Direct schedule: account in step, skip the log.
+  /// Scalar fast paths pay off only when a warp is wider than one lane
+  /// (the CPU model's scalar warps would just add dispatch overhead).
+  bool ScalarEnabled = false;
 
   Impl(const DeviceConfig &Cfg, svm::BindingTable &Bindings,
-       uint64_t SvmConst)
-      : Cfg(Cfg), Bindings(Bindings), SvmConst(SvmConst), LLC(Cfg.LLC) {}
+       uint64_t SvmConst, const SimOptions &Opts)
+      : Cfg(Cfg), Bindings(Bindings), SvmConst(SvmConst), Opts(Opts),
+        LLC(Cfg.LLC) {}
 
-  void trap(const std::string &Msg) {
-    if (!R.Trapped) {
-      R.Trapped = true;
-      R.TrapMessage = Msg;
+  /// Records a core-local trap; merged into the result by the driver in
+  /// the same (round, core) order the legacy loop observed traps.
+  static void trap(CoreState &CS, std::string Msg) {
+    if (!CS.Trapped) {
+      CS.Trapped = true;
+      CS.TrapRound = CS.LocalRound;
+      CS.TrapMessage = std::move(Msg);
     }
   }
 
@@ -194,13 +287,12 @@ struct Simulator::Impl {
     return (NumItems + GroupSize - 1) / GroupSize * GroupSize;
   }
 
-  uint64_t &reg(Warp &W, uint16_t R, unsigned Lane) {
-    return W.Regs[size_t(R) * Cfg.SimdWidth + Lane];
-  }
-
-  /// Resolves an address for one lane. Returns null on fault.
-  void *resolve(Group &G, Warp &W, unsigned Lane, uint64_t Addr,
-                uint64_t Size, bool *IsPrivate, bool *IsLocal) {
+  /// Resolves an address for one lane. Returns null on fault. The last
+  /// matched surface is memoized per core: the table is immutable during a
+  /// launch and nearly every access lands in the shared-region surface.
+  void *resolve(CoreState &CS, Group &G, Warp &W, unsigned Lane,
+                uint64_t Addr, uint64_t Size, bool *IsPrivate,
+                bool *IsLocal) {
     *IsPrivate = false;
     *IsLocal = false;
     if (Addr >= PrivateBase && Addr - PrivateBase + Size <= K->FrameBytes) {
@@ -209,28 +301,34 @@ struct Simulator::Impl {
       return G.PrivateMem.data() + ItemInGroup * K->FrameBytes +
              (Addr - PrivateBase);
     }
+    if (CS.LastSurf && CS.LastSurf->containsGpu(Addr, Size)) {
+      *IsLocal = CS.LastSurf->Kind == svm::SurfaceKind::LocalScratch;
+      return CS.LastSurf->HostBase + (Addr - CS.LastSurf->GpuBase);
+    }
     const svm::Surface *S = nullptr;
     void *Host = Bindings.resolve(Addr, Size, &S);
-    if (Host && S->Kind == svm::SurfaceKind::LocalScratch)
-      *IsLocal = true;
+    if (Host) {
+      CS.LastSurf = S;
+      *IsLocal = S->Kind == svm::SurfaceKind::LocalScratch;
+    }
     return Host;
   }
 
-  /// Timing + energy for one warp-level memory access over the lanes'
-  /// line sets.
-  double memoryCost(Core &C, unsigned CoreIdx, const LineSet &GlobalLines,
+  /// Timing + energy for one warp-level memory access over its line lists.
+  /// Touches the shared caches and counters: apply-side only.
+  double memoryCost(CoreState &CS, const uint64_t *Lines, unsigned NLines,
                     unsigned LocalLines, unsigned PrivateLanes) {
     double Cost = 0;
     Cost += double(PrivateLanes) * 0.25 * Cfg.CacheHitCost;
     Cost += double(LocalLines) * Cfg.LocalMemCost;
     R.LocalAccesses += LocalLines;
-    for (unsigned LI = 0; LI < GlobalLines.N; ++LI) {
-      uint64_t Line = GlobalLines.Buf[LI];
+    for (unsigned LI = 0; LI < NLines; ++LI) {
+      uint64_t Line = Lines[LI];
       Cost += Cfg.PerLineCost;
       ++R.LinesTouched;
       DynEnergyNJ += Cfg.DynEnergyMemNJ;
       bool Hit = false;
-      if (Cfg.HasL1 && C.L1 && C.L1->access(Line)) {
+      if (Cfg.HasL1 && CS.L1 && CS.L1->access(Line)) {
         Hit = true;
         ++R.L1Hits;
         Cost += Cfg.CacheHitCost;
@@ -254,15 +352,15 @@ struct Simulator::Impl {
         uint64_t Window =
             uint64_t(Cfg.ContentionWindow) * Cfg.NumCores;
         if (MemClock - E.Round <= Window) {
-          uint64_t Others = E.CoreMask & ~(1ull << (CoreIdx % 64));
+          uint64_t Others = E.CoreMask & ~(1ull << (CS.Idx % 64));
           if (Others) {
             unsigned N = std::min(4u, unsigned(std::popcount(Others)));
             Cost += Cfg.ContentionPenalty * N;
             R.ContentionEvents += N;
           }
-          E.CoreMask |= 1ull << (CoreIdx % 64);
+          E.CoreMask |= 1ull << (CS.Idx % 64);
         } else {
-          E.CoreMask = 1ull << (CoreIdx % 64);
+          E.CoreMask = 1ull << (CS.Idx % 64);
         }
         E.Round = MemClock;
       }
@@ -270,27 +368,108 @@ struct Simulator::Impl {
     return Cost;
   }
 
-  /// Executes one instruction for the top SIMT entry of \p W.
-  double step(Core &C, unsigned CoreIdx, Group &G, Warp &W);
+  /// Applies one instruction's accounting to the shared state. The field
+  /// update order replicates the legacy inline accounting exactly (warp
+  /// counters, then ALU energy, then the per-op counters and the memory
+  /// walk), keeping every floating-point sum in the same order. \p Lines
+  /// points at the event's global-line list (EvMem only).
+  void account(CoreState &CS, const WarpEvent &E, const uint64_t *Lines) {
+    ++R.WarpInstructions;
+    R.LaneOps += E.Active;
+    DynEnergyNJ += Cfg.DynEnergyAluNJ * E.Active;
+    if (E.Flags & EvDivergent)
+      ++R.DivergentBranches;
+    if (E.Flags & EvBarrier)
+      ++R.Barriers;
+    double Cost = E.Cost;
+    if (E.Kind == EvMem) {
+      ++R.MemAccesses;
+      ++MemClock;
+      Cost = memoryCost(CS, Lines, E.LineCount, E.LocalLines,
+                        E.PrivateLanes);
+    }
+    CS.Cycles += Cost;
+  }
+
+  void applyEvent(CoreState &CS, const WarpEvent &E) {
+    account(CS, E, CS.LineBuf.data() + E.LineOff);
+  }
+
+  /// Executes one instruction for the top SIMT entry of \p W, logging one
+  /// WarpEvent into \p CS (reconvergence pops log nothing, as the legacy
+  /// loop charged nothing for them).
+  void step(CoreState &CS, Group &G, Warp &W);
+
+  /// One legacy scheduler turn for a core: pick up a group, release a
+  /// barrier, retire a group, or step one warp. Returns false when the
+  /// core has no work left (permanently: cores never regain work).
+  /// Force-inlined: it runs once per simulated round per core (billions
+  /// of calls), and the legacy engine had this loop inline in launch().
+#if defined(__GNUC__)
+  __attribute__((always_inline))
+#endif
+  inline bool turn(CoreState &CS) {
+    if (!CS.Current) {
+      if (CS.NextPending >= CS.PendingGroups.size())
+        return false;
+      CS.Current = makeGroup(CS.PendingGroups[CS.NextPending++]);
+    }
+    Group &G = *CS.Current;
+
+    // Pick the next runnable warp round-robin.
+    Warp *Picked = nullptr;
+    bool AnyAlive = false;
+    for (size_t T = 0; T < G.Warps.size(); ++T) {
+      Warp &Cand = G.Warps[(G.Cursor + T) % G.Warps.size()];
+      if (Cand.done())
+        continue;
+      AnyAlive = true;
+      if (Cand.AtBarrier)
+        continue;
+      Picked = &Cand;
+      G.Cursor = unsigned((G.Cursor + T + 1) % G.Warps.size());
+      break;
+    }
+    if (!Picked) {
+      if (!AnyAlive) {
+        CS.Current.reset(); // Group retired; next round picks another.
+        return true;
+      }
+      // Everyone alive is at the barrier: release it.
+      for (Warp &Wp : G.Warps)
+        Wp.AtBarrier = false;
+      return true;
+    }
+    step(CS, G, *Picked);
+    return true;
+  }
+
+  void runDirect(std::vector<CoreState> &Cores);
+  void runEpochs(std::vector<CoreState> &Cores, unsigned Threads);
 
   SimResult launch(const BKernel &Kernel, const std::vector<uint64_t> &A,
                    uint64_t N, unsigned GroupSizeOverride);
 };
 
-double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
+#if defined(__GNUC__)
+// The scalar/full-mask dispatch wrapper instantiates each per-lane lambda
+// more than once, which pushes this (already huge) function past the
+// compiler's default inlining growth budget and outlines the hottest lane
+// bodies into real calls. Force everything flat like the pre-wrapper code.
+__attribute__((flatten))
+#endif
+void Simulator::Impl::step(CoreState &CS, Group &G, Warp &W) {
   SimtEntry &E = W.Stack.back();
   if (E.RPC >= 0 && E.PC == E.RPC) {
-    // Lanes rejoin the entry below.
+    // Lanes reached the reconvergence point: fold them into the
+    // continuation entry below (pushed with PC == this reconvergence PC
+    // at the divergence point).
     uint32_t Mask = E.Mask;
     int32_t PC = E.PC;
     W.Stack.pop_back();
     if (!W.Stack.empty() && W.Stack.back().PC == PC)
       W.Stack.back().Mask |= Mask;
-    else if (!W.Stack.empty() && W.Stack.back().RPC == PC &&
-             W.Stack.back().PC == PC) {
-      W.Stack.back().Mask |= Mask;
-    }
-    return 0;
+    return;
   }
 
   assert(E.PC >= 0 && size_t(E.PC) < K->Code.size() &&
@@ -298,8 +477,11 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
   const BInst &I = K->Code[size_t(E.PC)];
   uint32_t Mask = E.Mask;
   unsigned Active = unsigned(std::popcount(Mask));
-  ++R.WarpInstructions;
-  R.LaneOps += Active;
+  uint64_t *RG = W.Regs.data();
+  const unsigned SW = Cfg.SimdWidth;
+  auto reg = [&](uint16_t Rr, unsigned L) -> uint64_t & {
+    return RG[size_t(Rr) * SW + L];
+  };
 
   double Cost = Cfg.AluCost;
   switch (I.Op) {
@@ -316,21 +498,87 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
   default:
     break;
   }
-  DynEnergyNJ += Cfg.DynEnergyAluNJ * Active;
   int32_t NextPC = E.PC + 1;
 
+  auto emit = [&](uint8_t Flags, double EvCost) {
+    WarpEvent Ev;
+    Ev.Round = CS.LocalRound;
+    Ev.Cost = EvCost;
+    Ev.LineOff = 0;
+    Ev.PrivateLanes = 0;
+    Ev.LineCount = 0;
+    Ev.LocalLines = 0;
+    Ev.Active = uint8_t(Active);
+    Ev.Kind = EvAlu;
+    Ev.Flags = Flags;
+    if (Inline)
+      account(CS, Ev, nullptr);
+    else
+      CS.Events.push_back(Ev);
+  };
+  auto emitMem = [&](unsigned PrivateLanes) {
+    WarpEvent Ev;
+    Ev.Round = CS.LocalRound;
+    Ev.Cost = 0;
+    Ev.LineOff = uint32_t(CS.LineBuf.size());
+    Ev.PrivateLanes = PrivateLanes;
+    Ev.LineCount = uint16_t(CS.GLines.N);
+    Ev.LocalLines = uint16_t(CS.LLines.N);
+    Ev.Active = uint8_t(Active);
+    Ev.Kind = EvMem;
+    Ev.Flags = 0;
+    if (Inline) {
+      account(CS, Ev, CS.GLines.Buf);
+      return;
+    }
+    CS.LineBuf.insert(CS.LineBuf.end(), CS.GLines.Buf,
+                      CS.GLines.Buf + CS.GLines.N);
+    CS.Events.push_back(Ev);
+  };
+
+  // Plain lane loop for effect-only ops (stores, branch probes). When the
+  // whole warp is active — the common case for regular kernels — skip the
+  // per-lane mask test.
   auto forLanes = [&](auto &&Fn) {
-    for (unsigned L = 0; L < Cfg.SimdWidth; ++L)
+    if (Mask == FullMask) {
+      for (unsigned L = 0; L < SW; ++L)
+        Fn(L);
+      return;
+    }
+    for (unsigned L = 0; L < SW; ++L)
       if (Mask & (1u << L))
         Fn(L);
   };
 
+  // Dispatch for result-producing ops. Provably-uniform instructions run
+  // once on the first active lane and broadcast the destination register —
+  // unless the lane trapped, in which case no lane would have written its
+  // result either. Timing and energy depend only on the mask, never on
+  // how many lanes the host actually evaluated.
+  const bool Scalar =
+      ScalarEnabled && (I.Flags & BInstUniform) != 0 && Mask != 0;
+  auto exec = [&](auto &&Fn) {
+    if (Scalar) {
+      unsigned L0 = unsigned(std::countr_zero(Mask));
+      bool WasTrapped = CS.Trapped;
+      Fn(L0);
+      if (CS.Trapped && !WasTrapped)
+        return;
+      uint64_t V = reg(I.Dst, L0);
+      for (unsigned L = L0 + 1; L < SW; ++L)
+        if (Mask & (1u << L))
+          reg(I.Dst, L) = V;
+      return;
+    }
+    forLanes(Fn);
+  };
+
   switch (I.Op) {
   case BOp::MovImm:
-    forLanes([&](unsigned L) { reg(W, I.Dst, L) = I.Imm; });
+    exec([&](unsigned L) { reg(I.Dst, L) = I.Imm; });
     break;
   case BOp::Mov:
-    forLanes([&](unsigned L) { reg(W, I.Dst, L) = reg(W, I.A, L); });
+    exec([&](unsigned L) { reg(I.Dst, L) = reg(I.A, L); });
     break;
 
   case BOp::Add: case BOp::Sub: case BOp::Mul: case BOp::And: case BOp::Or:
@@ -338,8 +586,8 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
     if (I.Op == BOp::Mul)
       Cost = Cfg.MulCost;
     unsigned WidthBits = unsigned(widthOf(I.TypeK)) * 8;
-    forLanes([&](unsigned L) {
-      uint64_t A = reg(W, I.A, L), B = reg(W, I.B, L), Res = 0;
+    exec([&](unsigned L) {
+      uint64_t A = reg(I.A, L), B = reg(I.B, L), Res = 0;
       switch (I.Op) {
       case BOp::Add: Res = A + B; break;
       case BOp::Sub: Res = A - B; break;
@@ -358,17 +606,17 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
       }
       default: break;
       }
-      reg(W, I.Dst, L) = canonicalize(I.TypeK, Res);
+      reg(I.Dst, L) = canonicalize(I.TypeK, Res);
     });
     break;
   }
   case BOp::SDiv: case BOp::SRem: case BOp::UDiv: case BOp::URem: {
     Cost = Cfg.DivCost;
-    forLanes([&](unsigned L) {
-      uint64_t A = reg(W, I.A, L), B = reg(W, I.B, L), Res = 0;
+    exec([&](unsigned L) {
+      uint64_t A = reg(I.A, L), B = reg(I.B, L), Res = 0;
       if (B == 0) {
-        trap(formatString("division by zero at pc %d in %s", E.PC,
-                          K->Name.c_str()));
+        trap(CS, formatString("division by zero at pc %d in %s", E.PC,
+                              K->Name.c_str()));
         return;
       }
       switch (I.Op) {
@@ -378,7 +626,7 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
       case BOp::URem: Res = A % B; break;
       default: break;
       }
-      reg(W, I.Dst, L) = canonicalize(I.TypeK, Res);
+      reg(I.Dst, L) = canonicalize(I.TypeK, Res);
     });
     break;
   }
@@ -387,8 +635,8 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
       Cost = Cfg.MulCost;
     if (I.Op == BOp::FDiv)
       Cost = Cfg.DivCost;
-    forLanes([&](unsigned L) {
-      float A = asFloat(reg(W, I.A, L)), B = asFloat(reg(W, I.B, L)), Res = 0;
+    exec([&](unsigned L) {
+      float A = asFloat(reg(I.A, L)), B = asFloat(reg(I.B, L)), Res = 0;
       switch (I.Op) {
       case BOp::FAdd: Res = A + B; break;
       case BOp::FSub: Res = A - B; break;
@@ -396,31 +644,31 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
       case BOp::FDiv: Res = A / B; break;
       default: break;
       }
-      reg(W, I.Dst, L) = fromFloat(Res);
+      reg(I.Dst, L) = fromFloat(Res);
     });
     break;
   }
   case BOp::Neg:
-    forLanes([&](unsigned L) {
-      reg(W, I.Dst, L) =
-          canonicalize(I.TypeK, uint64_t(-int64_t(reg(W, I.A, L))));
+    exec([&](unsigned L) {
+      reg(I.Dst, L) =
+          canonicalize(I.TypeK, uint64_t(-int64_t(reg(I.A, L))));
     });
     break;
   case BOp::FNeg:
-    forLanes([&](unsigned L) {
-      reg(W, I.Dst, L) = fromFloat(-asFloat(reg(W, I.A, L)));
+    exec([&](unsigned L) {
+      reg(I.Dst, L) = fromFloat(-asFloat(reg(I.A, L)));
     });
     break;
   case BOp::Not:
-    forLanes([&](unsigned L) {
-      reg(W, I.Dst, L) = reg(W, I.A, L) ? 0 : 1;
+    exec([&](unsigned L) {
+      reg(I.Dst, L) = reg(I.A, L) ? 0 : 1;
     });
     break;
 
   case BOp::ICmp: {
     auto Pred = cir::ICmpPred(I.Imm);
-    forLanes([&](unsigned L) {
-      uint64_t A = reg(W, I.A, L), B = reg(W, I.B, L);
+    exec([&](unsigned L) {
+      uint64_t A = reg(I.A, L), B = reg(I.B, L);
       int64_t SA = int64_t(A), SB = int64_t(B);
       bool Res = false;
       switch (Pred) {
@@ -435,14 +683,14 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
       case cir::ICmpPred::UGT: Res = A > B; break;
       case cir::ICmpPred::UGE: Res = A >= B; break;
       }
-      reg(W, I.Dst, L) = Res;
+      reg(I.Dst, L) = Res;
     });
     break;
   }
   case BOp::FCmp: {
     auto Pred = cir::FCmpPred(I.Imm);
-    forLanes([&](unsigned L) {
-      float A = asFloat(reg(W, I.A, L)), B = asFloat(reg(W, I.B, L));
+    exec([&](unsigned L) {
+      float A = asFloat(reg(I.A, L)), B = asFloat(reg(I.B, L));
       bool Res = false;
       switch (Pred) {
       case cir::FCmpPred::OEQ: Res = A == B; break;
@@ -452,22 +700,22 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
       case cir::FCmpPred::OGT: Res = A > B; break;
       case cir::FCmpPred::OGE: Res = A >= B; break;
       }
-      reg(W, I.Dst, L) = Res;
+      reg(I.Dst, L) = Res;
     });
     break;
   }
   case BOp::Select:
-    forLanes([&](unsigned L) {
-      reg(W, I.Dst, L) =
-          reg(W, uint16_t(I.Aux), L) ? reg(W, I.A, L) : reg(W, I.B, L);
+    exec([&](unsigned L) {
+      reg(I.Dst, L) =
+          reg(uint16_t(I.Aux), L) ? reg(I.A, L) : reg(I.B, L);
     });
     break;
 
   case BOp::Cast: {
     auto Kind = cir::CastKind(I.Imm);
     TypeKind SrcK = TypeKind(I.Aux);
-    forLanes([&](unsigned L) {
-      uint64_t V = reg(W, I.A, L), Res = 0;
+    exec([&](unsigned L) {
+      uint64_t V = reg(I.A, L), Res = 0;
       switch (Kind) {
       case cir::CastKind::Trunc:
       case cir::CastKind::BitCast:
@@ -498,94 +746,95 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
         Res = canonicalize(I.TypeK, uint64_t(asFloat(V)));
         break;
       }
-      reg(W, I.Dst, L) = Res;
+      reg(I.Dst, L) = Res;
     });
     break;
   }
 
   case BOp::FieldAddr:
-    forLanes([&](unsigned L) {
-      reg(W, I.Dst, L) = reg(W, I.A, L) + I.Imm;
+    exec([&](unsigned L) {
+      reg(I.Dst, L) = reg(I.A, L) + I.Imm;
     });
     break;
   case BOp::IndexAddr:
-    forLanes([&](unsigned L) {
-      reg(W, I.Dst, L) =
-          reg(W, I.A, L) + uint64_t(int64_t(reg(W, I.B, L))) * I.Imm;
+    exec([&](unsigned L) {
+      reg(I.Dst, L) =
+          reg(I.A, L) + uint64_t(int64_t(reg(I.B, L))) * I.Imm;
     });
     break;
 
   case BOp::Load: {
-    ++R.MemAccesses;
-    ++MemClock;
     uint64_t Size = widthOf(I.TypeK);
-    LineSet Lines;
-    LineSet LocalLines;
+    CS.GLines.clear();
+    CS.LLines.clear();
     unsigned PrivateLanes = 0;
-    forLanes([&](unsigned L) {
-      uint64_t Addr = reg(W, I.A, L);
+    // Uniform loads are scalarizable: every lane reads the same address
+    // (never private — alloca chains are divergent), so one read plus a
+    // broadcast produces identical registers AND an identical line set.
+    exec([&](unsigned L) {
+      uint64_t Addr = reg(I.A, L);
       bool Priv = false, Local = false;
-      void *Host = resolve(G, W, L, Addr, Size, &Priv, &Local);
+      void *Host = resolve(CS, G, W, L, Addr, Size, &Priv, &Local);
       if (!Host) {
-        trap(formatString("invalid load address 0x%llx at pc %d in %s",
+        trap(CS,
+             formatString("invalid load address 0x%llx at pc %d in %s",
                           (unsigned long long)Addr, E.PC, K->Name.c_str()));
         return;
       }
       uint64_t Raw = 0;
       std::memcpy(&Raw, Host, Size);
-      reg(W, I.Dst, L) = canonicalize(I.TypeK, Raw);
+      reg(I.Dst, L) = canonicalize(I.TypeK, Raw);
       if (Priv)
         ++PrivateLanes;
       else if (Local)
-        LocalLines.insert(Addr / 64);
+        CS.LLines.insert(Addr / 64);
       else
-        Lines.insert(Addr / Cfg.LLC.LineBytes);
+        CS.GLines.insert(Addr / Cfg.LLC.LineBytes);
     });
-    Cost = memoryCost(C, CoreIdx, Lines, LocalLines.N, PrivateLanes);
-    break;
+    emitMem(PrivateLanes);
+    E.PC = NextPC;
+    return;
   }
   case BOp::Store: {
-    ++R.MemAccesses;
-    ++MemClock;
     uint64_t Size = widthOf(I.TypeK);
-    LineSet Lines;
-    LineSet LocalLines;
+    CS.GLines.clear();
+    CS.LLines.clear();
     unsigned PrivateLanes = 0;
     forLanes([&](unsigned L) {
-      uint64_t Addr = reg(W, I.B, L);
+      uint64_t Addr = reg(I.B, L);
       bool Priv = false, Local = false;
-      void *Host = resolve(G, W, L, Addr, Size, &Priv, &Local);
+      void *Host = resolve(CS, G, W, L, Addr, Size, &Priv, &Local);
       if (!Host) {
-        trap(formatString("invalid store address 0x%llx at pc %d in %s",
+        trap(CS,
+             formatString("invalid store address 0x%llx at pc %d in %s",
                           (unsigned long long)Addr, E.PC, K->Name.c_str()));
         return;
       }
-      uint64_t V = reg(W, I.A, L);
+      uint64_t V = reg(I.A, L);
       std::memcpy(Host, &V, Size);
       if (Priv)
         ++PrivateLanes;
       else if (Local)
-        LocalLines.insert(Addr / 64);
+        CS.LLines.insert(Addr / 64);
       else
-        Lines.insert(Addr / Cfg.LLC.LineBytes);
+        CS.GLines.insert(Addr / Cfg.LLC.LineBytes);
     });
-    Cost = memoryCost(C, CoreIdx, Lines, LocalLines.N, PrivateLanes);
-    break;
+    emitMem(PrivateLanes);
+    E.PC = NextPC;
+    return;
   }
   case BOp::Memcpy: {
-    ++R.MemAccesses;
-    ++MemClock;
-    LineSet Lines;
-    LineSet LocalLines;
+    CS.GLines.clear();
+    CS.LLines.clear();
     unsigned PrivateLanes = 0;
     forLanes([&](unsigned L) {
-      uint64_t Dst = reg(W, I.A, L), Src = reg(W, I.B, L);
+      uint64_t Dst = reg(I.A, L), Src = reg(I.B, L);
       bool DP = false, DL = false, SP = false, SL = false;
-      void *DstH = resolve(G, W, L, Dst, I.Imm, &DP, &DL);
-      void *SrcH = resolve(G, W, L, Src, I.Imm, &SP, &SL);
+      void *DstH = resolve(CS, G, W, L, Dst, I.Imm, &DP, &DL);
+      void *SrcH = resolve(CS, G, W, L, Src, I.Imm, &SP, &SL);
       if (!DstH || !SrcH) {
-        trap(formatString("invalid memcpy at pc %d in %s", E.PC,
-                          K->Name.c_str()));
+        trap(CS, formatString("invalid memcpy at pc %d in %s", E.PC,
+                              K->Name.c_str()));
         return;
       }
       std::memmove(DstH, SrcH, I.Imm);
@@ -594,26 +843,27 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
           if (Priv)
             ++PrivateLanes;
           else if (Local)
-            LocalLines.insert((Base + Off) / 64);
+            CS.LLines.insert((Base + Off) / 64);
           else
-            Lines.insert((Base + Off) / Cfg.LLC.LineBytes);
+            CS.GLines.insert((Base + Off) / Cfg.LLC.LineBytes);
         };
         Classify(Dst, DP, DL);
         Classify(Src, SP, SL);
       }
     });
-    Cost = memoryCost(C, CoreIdx, Lines, LocalLines.N, PrivateLanes);
-    break;
+    emitMem(PrivateLanes);
+    E.PC = NextPC;
+    return;
   }
 
   case BOp::Intrinsic: {
     Cost = Cfg.IntrinsicCost;
     auto Id = cir::IntrinsicId(I.Imm);
-    forLanes([&](unsigned L) {
+    exec([&](unsigned L) {
       if (Id == cir::IntrinsicId::IMin || Id == cir::IntrinsicId::IMax ||
           Id == cir::IntrinsicId::IAbs) {
-        int64_t A = int64_t(reg(W, I.A, L));
-        int64_t B = I.B ? int64_t(reg(W, I.B, L)) : 0;
+        int64_t A = int64_t(reg(I.A, L));
+        int64_t B = I.B ? int64_t(reg(I.B, L)) : 0;
         int64_t Res = 0;
         if (Id == cir::IntrinsicId::IMin)
           Res = std::min(A, B);
@@ -621,11 +871,11 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
           Res = std::max(A, B);
         else
           Res = A < 0 ? -A : A;
-        reg(W, I.Dst, L) = canonicalize(I.TypeK, uint64_t(Res));
+        reg(I.Dst, L) = canonicalize(I.TypeK, uint64_t(Res));
         return;
       }
-      float A = asFloat(reg(W, I.A, L));
-      float B = asFloat(reg(W, I.B, L));
+      float A = asFloat(reg(I.A, L));
+      float B = asFloat(reg(I.B, L));
       float Res = 0;
       switch (Id) {
       case cir::IntrinsicId::Sqrt: Res = std::sqrt(A); break;
@@ -641,52 +891,52 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
       case cir::IntrinsicId::Floor: Res = std::floor(A); break;
       default: break;
       }
-      reg(W, I.Dst, L) = fromFloat(Res);
+      reg(I.Dst, L) = fromFloat(Res);
     });
     break;
   }
 
   case BOp::CpuToGpu:
-    forLanes([&](unsigned L) {
-      reg(W, I.Dst, L) = reg(W, I.A, L) + SvmConst;
+    exec([&](unsigned L) {
+      reg(I.Dst, L) = reg(I.A, L) + SvmConst;
     });
     break;
   case BOp::GpuToCpu:
-    forLanes([&](unsigned L) {
-      reg(W, I.Dst, L) = reg(W, I.A, L) - SvmConst;
+    exec([&](unsigned L) {
+      reg(I.Dst, L) = reg(I.A, L) - SvmConst;
     });
     break;
 
   case BOp::GlobalId:
     forLanes([&](unsigned L) {
-      reg(W, I.Dst, L) =
+      reg(I.Dst, L) =
           canonicalize(TypeKind::Int32, W.FirstItem + L);
     });
     break;
   case BOp::LocalId:
     forLanes([&](unsigned L) {
-      reg(W, I.Dst, L) = W.LocalFirst + L;
+      reg(I.Dst, L) = W.LocalFirst + L;
     });
     break;
   case BOp::GroupId:
-    forLanes([&](unsigned L) { reg(W, I.Dst, L) = G.Id; });
+    exec([&](unsigned L) { reg(I.Dst, L) = G.Id; });
     break;
   case BOp::GroupSize:
-    forLanes([&](unsigned L) { reg(W, I.Dst, L) = GroupSize; });
+    exec([&](unsigned L) { reg(I.Dst, L) = GroupSize; });
     break;
   case BOp::NumCores:
-    forLanes([&](unsigned L) { reg(W, I.Dst, L) = Cfg.NumCores; });
+    exec([&](unsigned L) { reg(I.Dst, L) = Cfg.NumCores; });
     break;
   case BOp::AllocaAddr:
-    forLanes([&](unsigned L) { reg(W, I.Dst, L) = PrivateBase + I.Imm; });
+    exec([&](unsigned L) { reg(I.Dst, L) = PrivateBase + I.Imm; });
     break;
 
   case BOp::Barrier:
     Cost = Cfg.BarrierCost;
-    ++R.Barriers;
     W.AtBarrier = true;
     E.PC = NextPC;
-    return Cost;
+    emit(EvBarrier, Cost);
+    return;
 
   case BOp::Br:
     Cost = Cfg.BranchCost;
@@ -696,16 +946,21 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
   case BOp::CondBr: {
     Cost = Cfg.BranchCost;
     uint32_t MaskT = 0;
-    forLanes([&](unsigned L) {
-      if (reg(W, I.A, L))
-        MaskT |= 1u << L;
-    });
+    if (Scalar) {
+      // Uniform condition: the warp cannot diverge; probe one lane.
+      MaskT = reg(I.A, unsigned(std::countr_zero(Mask))) ? Mask : 0;
+    } else {
+      forLanes([&](unsigned L) {
+        if (reg(I.A, L))
+          MaskT |= 1u << L;
+      });
+    }
     uint32_t MaskF = Mask & ~MaskT;
     if (Cfg.MispredictPenalty > 0 && Cfg.SimdWidth == 1) {
       bool Taken = MaskT != 0;
-      auto Hist = C.BranchHistory.find(E.PC);
-      if (Hist == C.BranchHistory.end())
-        C.BranchHistory[E.PC] = Taken;
+      auto Hist = CS.BranchHistory.find(E.PC);
+      if (Hist == CS.BranchHistory.end())
+        CS.BranchHistory[E.PC] = Taken;
       else if (Hist->second != Taken) {
         Cost += Cfg.MispredictPenalty;
         Hist->second = Taken;
@@ -717,17 +972,17 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
       NextPC = I.Target;
     } else {
       // Divergence: push continuation, then both sides.
-      ++R.DivergentBranches;
       Cost += Cfg.DivergencePenalty;
       int32_t RPC = I.Reconverge;
       int32_t OldRPC = E.RPC;
-      uint32_t FullMask = E.Mask;
+      uint32_t FullEntryMask = E.Mask;
       W.Stack.pop_back();
       if (RPC >= 0)
-        W.Stack.push_back({OldRPC, RPC, FullMask});
+        W.Stack.push_back({OldRPC, RPC, FullEntryMask});
       W.Stack.push_back({RPC, I.Target2, MaskF});
       W.Stack.push_back({RPC, I.Target, MaskT});
-      return Cost;
+      emit(EvDivergent, Cost);
+      return;
     }
     break;
   }
@@ -739,16 +994,100 @@ double Simulator::Impl::step(Core &C, unsigned CoreIdx, Group &G, Warp &W) {
       SE.Mask &= ~DoneMask;
     while (!W.Stack.empty() && W.Stack.back().Mask == 0)
       W.Stack.pop_back();
-    return Cost;
+    emit(0, Cost);
+    return;
   }
   case BOp::Trap:
-    trap(formatString("kernel trap at pc %d in %s (bad virtual dispatch?)",
+    trap(CS,
+         formatString("kernel trap at pc %d in %s (bad virtual dispatch?)",
                       E.PC, K->Name.c_str()));
-    return Cost;
+    emit(0, Cost);
+    return;
   }
 
   E.PC = NextPC;
-  return Cost;
+  emit(0, Cost);
+}
+
+/// The legacy single-threaded schedule: every core takes one turn per
+/// global round, accounting applied inline. Bit-for-bit the pre-parallel
+/// engine, including its trap semantics (the round a trap occurs in
+/// completes; the next round never starts).
+void Simulator::Impl::runDirect(std::vector<CoreState> &Cores) {
+  Inline = true;
+  bool Work = true;
+  while (Work && !R.Trapped) {
+    Work = false;
+    for (CoreState &CS : Cores) {
+      ++CS.LocalRound;
+      if (!turn(CS))
+        continue;
+      Work = true;
+      if (CS.Trapped && !R.Trapped) {
+        R.Trapped = true;
+        R.TrapMessage = CS.TrapMessage;
+      }
+    }
+  }
+}
+
+/// Parallel schedule for schedule-free kernels: cores advance a fixed
+/// round quantum concurrently (functional execution + event logging are
+/// core-local), then the logged events replay single-threaded in
+/// (round, core) order — the exact order runDirect would have produced.
+void Simulator::Impl::runEpochs(std::vector<CoreState> &Cores,
+                                unsigned Threads) {
+  Inline = false;
+  runtime::ThreadPool Pool(Threads);
+  uint64_t EpochStart = 0;
+  for (;;) {
+    const uint64_t EpochEnd = EpochStart + Opts.EpochQuantum;
+    Pool.parallelFor(int64_t(Cores.size()), [&](int64_t CI) {
+      CoreState &CS = Cores[size_t(CI)];
+      while (!CS.OutOfWork && !CS.Trapped && CS.LocalRound < EpochEnd) {
+        ++CS.LocalRound;
+        if (!turn(CS))
+          CS.OutOfWork = true;
+      }
+    });
+
+    // A trap cuts the simulation at its round, matching the legacy loop:
+    // that round completes on every core, later rounds are discarded.
+    // (Cores may have advanced functional state past the cut within this
+    // epoch; schedule-free writes make that benign for surviving items.)
+    const CoreState *Trapper = nullptr;
+    for (const CoreState &CS : Cores)
+      if (CS.Trapped && (!Trapper || CS.TrapRound < Trapper->TrapRound))
+        Trapper = &CS;
+    const uint64_t CutRound = Trapper ? Trapper->TrapRound : EpochEnd;
+
+    std::vector<size_t> Next(Cores.size(), 0);
+    for (uint64_t Rd = EpochStart + 1; Rd <= CutRound; ++Rd)
+      for (CoreState &CS : Cores) {
+        size_t &Ix = Next[CS.Idx];
+        if (Ix < CS.Events.size() && CS.Events[Ix].Round == Rd)
+          applyEvent(CS, CS.Events[Ix++]);
+      }
+    for (CoreState &CS : Cores) {
+      CS.Events.clear();
+      CS.LineBuf.clear();
+    }
+
+    if (Trapper) {
+      R.Trapped = true;
+      R.TrapMessage = Trapper->TrapMessage;
+      return;
+    }
+    bool AllDone = true;
+    for (const CoreState &CS : Cores)
+      if (!CS.OutOfWork) {
+        AllDone = false;
+        break;
+      }
+    if (AllDone)
+      return;
+    EpochStart = EpochEnd;
+  }
 }
 
 SimResult Simulator::Impl::launch(const BKernel &Kernel,
@@ -767,6 +1106,8 @@ SimResult Simulator::Impl::launch(const BKernel &Kernel,
   if (GroupSize % Cfg.SimdWidth != 0)
     GroupSize = ((GroupSize / Cfg.SimdWidth) + 1) * Cfg.SimdWidth;
   WarpsPerGroup = GroupSize / Cfg.SimdWidth;
+  FullMask = Cfg.SimdWidth >= 32 ? 0xFFFFFFFFu : (1u << Cfg.SimdWidth) - 1;
+  ScalarEnabled = Opts.ScalarFastPaths && Cfg.SimdWidth > 1;
 
   if (K->FrameBytes > Cfg.PrivateBytesPerItem) {
     R.Trapped = true;
@@ -779,10 +1120,12 @@ SimResult Simulator::Impl::launch(const BKernel &Kernel,
   }
 
   uint64_t NumGroups = (N + GroupSize - 1) / GroupSize;
-  std::vector<Core> Cores(Cfg.NumCores);
-  for (Core &C : Cores)
+  std::vector<CoreState> Cores(Cfg.NumCores);
+  for (unsigned CI = 0; CI < Cfg.NumCores; ++CI) {
+    Cores[CI].Idx = CI;
     if (Cfg.HasL1)
-      C.L1 = std::make_unique<CacheModel>(Cfg.L1);
+      Cores[CI].L1 = std::make_unique<CacheModel>(Cfg.L1);
+  }
 
   for (uint64_t G = 0; G < NumGroups; ++G) {
     size_t CoreIdx;
@@ -793,53 +1136,19 @@ SimResult Simulator::Impl::launch(const BKernel &Kernel,
     Cores[CoreIdx].PendingGroups.push_back(G);
   }
 
-  bool Work = true;
-  while (Work && !R.Trapped) {
-    Work = false;
-    ++Round;
-    for (unsigned CI = 0; CI < Cores.size(); ++CI) {
-      Core &C = Cores[CI];
-      if (!C.Current) {
-        if (C.NextPending >= C.PendingGroups.size())
-          continue;
-        C.Current = makeGroup(C.PendingGroups[C.NextPending++]);
-      }
-      Group &G = *C.Current;
-
-      // Pick the next runnable warp round-robin.
-      Warp *Picked = nullptr;
-      bool AnyAlive = false;
-      for (size_t T = 0; T < G.Warps.size(); ++T) {
-        Warp &Cand = G.Warps[(G.Cursor + T) % G.Warps.size()];
-        if (Cand.done())
-          continue;
-        AnyAlive = true;
-        if (Cand.AtBarrier)
-          continue;
-        Picked = &Cand;
-        G.Cursor = unsigned((G.Cursor + T + 1) % G.Warps.size());
-        break;
-      }
-      if (!Picked) {
-        if (!AnyAlive) {
-          C.Current.reset(); // Group retired; next round picks another.
-          Work = true;
-          continue;
-        }
-        // Everyone alive is at the barrier: release it.
-        for (Warp &Wp : G.Warps)
-          Wp.AtBarrier = false;
-        Work = true;
-        continue;
-      }
-      C.Cycles += step(C, CI, G, *Picked);
-      Work = true;
-    }
-  }
+  unsigned Threads = Opts.NumThreads
+                         ? Opts.NumThreads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  bool Parallel = !Opts.SerialExecution && K->ScheduleFree && Threads > 1 &&
+                  Cfg.NumCores > 1 && Opts.EpochQuantum > 0;
+  if (Parallel)
+    runEpochs(Cores, Threads);
+  else
+    runDirect(Cores);
 
   double MaxCycles = 0;
-  for (Core &C : Cores)
-    MaxCycles = std::max(MaxCycles, C.Cycles);
+  for (CoreState &CS : Cores)
+    MaxCycles = std::max(MaxCycles, CS.Cycles);
   R.Cycles = MaxCycles;
   R.Seconds = MaxCycles / (Cfg.FreqGHz * 1e9) + Cfg.LaunchOverheadUs * 1e-6;
   R.Joules = DynEnergyNJ * 1e-9 +
@@ -849,7 +1158,11 @@ SimResult Simulator::Impl::launch(const BKernel &Kernel,
 
 Simulator::Simulator(const DeviceConfig &Config, svm::BindingTable &Bindings,
                      uint64_t SvmConst)
-    : P(std::make_unique<Impl>(Config, Bindings, SvmConst)) {}
+    : P(std::make_unique<Impl>(Config, Bindings, SvmConst, SimOptions())) {}
+
+Simulator::Simulator(const DeviceConfig &Config, svm::BindingTable &Bindings,
+                     uint64_t SvmConst, const SimOptions &Opts)
+    : P(std::make_unique<Impl>(Config, Bindings, SvmConst, Opts)) {}
 
 Simulator::~Simulator() = default;
 

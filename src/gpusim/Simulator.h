@@ -32,6 +32,23 @@
 namespace concord {
 namespace gpusim {
 
+/// Host-side execution knobs. None of these change modelled timing or
+/// energy: a launch produces bit-identical SimResult numbers whether it
+/// runs serially, on N host threads, or with scalar fast paths disabled.
+struct SimOptions {
+  /// Force the legacy single-threaded round-robin loop even for kernels
+  /// the interference analysis proved schedule-free.
+  bool SerialExecution = false;
+  /// Execute provably-uniform instructions once per warp and broadcast.
+  bool ScalarFastPaths = true;
+  /// Host worker threads for parallel core simulation (0 = one per
+  /// hardware thread).
+  unsigned NumThreads = 0;
+  /// Simulated rounds each core advances per parallel epoch before the
+  /// deterministic accounting merge.
+  unsigned EpochQuantum = 8192;
+};
+
 struct SimResult {
   bool Trapped = false;
   std::string TrapMessage;
@@ -62,6 +79,8 @@ public:
   /// CpuToGpu/GpuToCpu bytecode ops.
   Simulator(const DeviceConfig &Config, svm::BindingTable &Bindings,
             uint64_t SvmConst);
+  Simulator(const DeviceConfig &Config, svm::BindingTable &Bindings,
+            uint64_t SvmConst, const SimOptions &Opts);
   ~Simulator();
 
   /// Runs \p Kernel for NumItems work-items with the given scalar

@@ -56,6 +56,7 @@ struct Runtime::CachedProgram {
 struct Runtime::Impl {
   transforms::PipelineOptions GpuOptions;
   transforms::PipelineOptions CpuOptions;
+  gpusim::SimOptions SimOpts;
 
   svm::BindingTable GpuBindings;
   svm::BindingTable CpuBindings;
@@ -92,6 +93,12 @@ Runtime::~Runtime() = default;
 void Runtime::setGpuOptions(const transforms::PipelineOptions &Options) {
   P->GpuOptions = Options;
 }
+
+void Runtime::setSimOptions(const gpusim::SimOptions &Options) {
+  P->SimOpts = Options;
+}
+
+const gpusim::SimOptions &Runtime::simOptions() const { return P->SimOpts; }
 
 size_t Runtime::programCacheSize() const { return P->Programs.size(); }
 
@@ -227,7 +234,7 @@ LaunchReport Runtime::offload(const KernelSpec &Spec, int64_t N,
   uint64_t SvmConst = OnCpu ? 0 : Region.svmConst();
 
   Region.pin();
-  gpusim::Simulator Sim(Dev, BT, SvmConst);
+  gpusim::Simulator Sim(Dev, BT, SvmConst, P->SimOpts);
   uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
   Rep.Sim = Sim.run(*K, {BodyAddr}, uint64_t(N));
   Region.unpin();
@@ -291,7 +298,7 @@ LaunchReport Runtime::offloadReduce(const KernelSpec &Spec, int64_t N,
   uint64_t ScratchCpuRepr = ScratchBase - SvmConst;
 
   Region.pin();
-  gpusim::Simulator Sim(Dev, BT, SvmConst);
+  gpusim::Simulator Sim(Dev, BT, SvmConst, P->SimOpts);
   uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
   Rep.Sim = Sim.run(*K, {BodyAddr, ScratchCpuRepr, uint64_t(N)},
                     Items, ReduceGroupSize);

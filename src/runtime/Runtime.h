@@ -82,6 +82,12 @@ public:
   /// paper's GPU / +PTROPT / +L3OPT / +ALL configurations.
   void setGpuOptions(const transforms::PipelineOptions &Options);
 
+  /// Changes the simulator execution options for subsequent launches
+  /// (host-side only: parallel core simulation, scalar fast paths). Does
+  /// not affect modelled timing or energy.
+  void setSimOptions(const gpusim::SimOptions &Options);
+  const gpusim::SimOptions &simOptions() const;
+
   /// parallel_for_hetero backend. \p BodyPtr must point into the shared
   /// region. When \p OnCpu, the CPU machine model executes the kernel.
   LaunchReport offload(const KernelSpec &Spec, int64_t N, void *BodyPtr,

@@ -1,0 +1,539 @@
+//===- ParallelSimTests.cpp - Parallel engine & scalarization tests -------===//
+//
+// The parallel simulation engine and the uniform-instruction fast paths
+// are host-side execution strategies: every test here pins down that they
+// change *nothing* observable - SimResult timing/energy/counters and the
+// shared-memory state are bit-identical to the legacy serial engine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Interference.h"
+#include "codegen/CodeGen.h"
+#include "concord/Concord.h"
+#include "frontend/Compile.h"
+#include "transforms/Passes.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+using namespace concord;
+using codegen::BInst;
+using codegen::BKernel;
+using codegen::BOp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Hand-assembled kernels: precise control over the SIMT stack and the
+// memory ops, independent of the compiler pipeline.
+//===----------------------------------------------------------------------===//
+
+BInst movImm(uint16_t Dst, uint64_t Imm) {
+  BInst I;
+  I.Op = BOp::MovImm;
+  I.Dst = Dst;
+  I.Imm = Imm;
+  return I;
+}
+
+BInst binary(BOp Op, uint16_t Dst, uint16_t A, uint16_t B) {
+  BInst I;
+  I.Op = Op;
+  I.Dst = Dst;
+  I.A = A;
+  I.B = B;
+  return I;
+}
+
+BInst icmp(cir::ICmpPred Pred, uint16_t Dst, uint16_t A, uint16_t B) {
+  BInst I = binary(BOp::ICmp, Dst, A, B);
+  I.Imm = uint64_t(Pred);
+  return I;
+}
+
+BInst globalId(uint16_t Dst) {
+  BInst I;
+  I.Op = BOp::GlobalId;
+  I.Dst = Dst;
+  return I;
+}
+
+BInst indexAddr(uint16_t Dst, uint16_t Base, uint16_t Index,
+                uint64_t ElemSize) {
+  BInst I = binary(BOp::IndexAddr, Dst, Base, Index);
+  I.Imm = ElemSize;
+  return I;
+}
+
+BInst store32(uint16_t Val, uint16_t Addr) {
+  BInst I;
+  I.Op = BOp::Store;
+  I.TypeK = cir::TypeKind::Int32;
+  I.A = Val;
+  I.B = Addr;
+  return I;
+}
+
+BInst memcpyOp(uint16_t DstAddr, uint16_t SrcAddr, uint64_t Bytes) {
+  BInst I;
+  I.Op = BOp::Memcpy;
+  I.A = DstAddr;
+  I.B = SrcAddr;
+  I.Imm = Bytes;
+  return I;
+}
+
+BInst br(int32_t Target) {
+  BInst I;
+  I.Op = BOp::Br;
+  I.Target = Target;
+  return I;
+}
+
+BInst condBr(uint16_t Cond, int32_t True, int32_t False,
+             int32_t Reconverge) {
+  BInst I;
+  I.Op = BOp::CondBr;
+  I.A = Cond;
+  I.Target = True;
+  I.Target2 = False;
+  I.Reconverge = Reconverge;
+  return I;
+}
+
+BInst ret() {
+  BInst I;
+  I.Op = BOp::Ret;
+  return I;
+}
+
+/// Every counter and every modelled number, compared exactly (the
+/// parallel engine and the scalar fast paths promise bit-identical
+/// results, not approximately-equal ones).
+void expectIdentical(const gpusim::SimResult &A, const gpusim::SimResult &B) {
+  EXPECT_EQ(A.Trapped, B.Trapped);
+  EXPECT_EQ(A.TrapMessage, B.TrapMessage);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.Seconds, B.Seconds);
+  EXPECT_EQ(A.Joules, B.Joules);
+  EXPECT_EQ(A.WarpInstructions, B.WarpInstructions);
+  EXPECT_EQ(A.LaneOps, B.LaneOps);
+  EXPECT_EQ(A.MemAccesses, B.MemAccesses);
+  EXPECT_EQ(A.LinesTouched, B.LinesTouched);
+  EXPECT_EQ(A.CacheHits, B.CacheHits);
+  EXPECT_EQ(A.CacheMisses, B.CacheMisses);
+  EXPECT_EQ(A.L1Hits, B.L1Hits);
+  EXPECT_EQ(A.ContentionEvents, B.ContentionEvents);
+  EXPECT_EQ(A.DivergentBranches, B.DivergentBranches);
+  EXPECT_EQ(A.Barriers, B.Barriers);
+  EXPECT_EQ(A.LocalAccesses, B.LocalAccesses);
+}
+
+TEST(SimtStack, DivergeAndReconvergeCountsExactly) {
+  // Lanes with gid < 4 take the true side; both sides are two
+  // instructions; the tail after the reconvergence point runs ONCE for
+  // the full warp. 12 warp-instructions total - if the stack merged
+  // wrongly the tail would execute per side (16) or lanes would be lost.
+  svm::SharedRegion Region(4 << 20);
+  auto Dev = gpusim::MachineConfig::ultrabook().Gpu;
+  const unsigned SW = Dev.SimdWidth;
+  ASSERT_GE(SW, 8u);
+
+  auto *Out = Region.allocArray<int32_t>(SW);
+  BKernel K;
+  K.Name = "simt_stack_test";
+  K.NumRegs = 7;
+  K.NumArgs = 1;
+  K.Code = {
+      globalId(1),                          // 0
+      movImm(2, 4),                         // 1
+      icmp(cir::ICmpPred::SLT, 3, 1, 2),    // 2
+      condBr(3, 4, 6, /*Reconverge=*/8),    // 3
+      movImm(4, 10),                        // 4  true side
+      br(8),                                // 5
+      movImm(4, 20),                        // 6  false side
+      br(8),                                // 7
+      binary(BOp::Add, 5, 1, 4),            // 8  reconverged tail
+      indexAddr(6, 0, 1, 4),                // 9
+      store32(5, 6),                        // 10
+      ret(),                                // 11
+  };
+
+  svm::BindingTable BT(Region);
+  gpusim::Simulator Sim(Dev, BT, Region.svmConst());
+  uint64_t OutGpu = Region.gpuFromCpu(reinterpret_cast<uint64_t>(Out));
+  gpusim::SimResult R = Sim.run(K, {OutGpu}, SW, /*GroupSizeOverride=*/SW);
+
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.WarpInstructions, 12u);
+  EXPECT_EQ(R.DivergentBranches, 1u);
+  // 4 full-warp ops before the branch, 2 on each side (4 and SW-4 lanes),
+  // 4 full-warp ops after reconvergence.
+  EXPECT_EQ(R.LaneOps, 4 * SW + 2 * 4 + 2 * (SW - 4) + 4 * SW);
+  EXPECT_EQ(R.MemAccesses, 1u);
+  for (unsigned I = 0; I < SW; ++I)
+    EXPECT_EQ(Out[I], int32_t(I + (I < 4 ? 10u : 20u))) << "lane " << I;
+}
+
+TEST(SimtStack, UniformBranchNeverDiverges) {
+  // The condition is warp-uniform (compares a broadcast immediate), so
+  // the scalar fast path probes one lane; with it disabled every lane
+  // votes. Both must report zero divergent branches and identical
+  // numbers.
+  svm::SharedRegion Region(4 << 20);
+  auto Dev = gpusim::MachineConfig::ultrabook().Gpu;
+  const unsigned SW = Dev.SimdWidth;
+
+  auto *Out = Region.allocArray<int32_t>(SW);
+  BKernel K;
+  K.Name = "uniform_branch_test";
+  K.NumRegs = 7;
+  K.NumArgs = 1;
+  K.Code = {
+      movImm(1, 3),                       // 0
+      movImm(2, 4),                       // 1
+      icmp(cir::ICmpPred::SLT, 3, 1, 2),  // 2  uniformly true
+      condBr(3, 4, 4, /*Reconverge=*/-1), // 3
+      globalId(4),                        // 4
+      indexAddr(5, 0, 4, 4),              // 5
+      store32(4, 5),                      // 6
+      ret(),                              // 7
+  };
+  K.Code[3].Flags |= codegen::BInstUniform;
+
+  uint64_t OutGpu = Region.gpuFromCpu(reinterpret_cast<uint64_t>(Out));
+  gpusim::SimResult Results[2];
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    gpusim::SimOptions Opts;
+    Opts.ScalarFastPaths = Pass == 0;
+    svm::BindingTable BT(Region);
+    gpusim::Simulator Sim(Dev, BT, Region.svmConst(), Opts);
+    Results[Pass] = Sim.run(K, {OutGpu}, SW, SW);
+    ASSERT_TRUE(Results[Pass].ok()) << Results[Pass].TrapMessage;
+    EXPECT_EQ(Results[Pass].DivergentBranches, 0u);
+    for (unsigned I = 0; I < SW; ++I)
+      EXPECT_EQ(Out[I], int32_t(I));
+  }
+  expectIdentical(Results[0], Results[1]);
+}
+
+TEST(LineSetTest, MemcpyCountsDistinctLinesExactly) {
+  // One work-item memcpy spanning several cache lines: LinesTouched must
+  // equal the number of distinct lines of both ranges, computed the same
+  // way the simulator steps through them.
+  svm::SharedRegion Region(4 << 20);
+  auto Dev = gpusim::MachineConfig::ultrabook().Gpu;
+  const uint64_t LB = Dev.LLC.LineBytes;
+  constexpr uint64_t Bytes = 256;
+
+  auto *Src = Region.allocArray<uint8_t>(Bytes + 64);
+  auto *Dst = Region.allocArray<uint8_t>(Bytes + 64);
+  for (uint64_t I = 0; I < Bytes; ++I)
+    Src[I] = uint8_t(I * 7 + 3);
+  std::memset(Dst, 0, Bytes);
+
+  BKernel K;
+  K.Name = "memcpy_lines_test";
+  K.NumRegs = 2;
+  K.NumArgs = 2;
+  K.Code = {memcpyOp(0, 1, Bytes), ret()};
+
+  uint64_t DstGpu = Region.gpuFromCpu(reinterpret_cast<uint64_t>(Dst));
+  uint64_t SrcGpu = Region.gpuFromCpu(reinterpret_cast<uint64_t>(Src));
+
+  // Expected lines: the simulator walks both ranges in LineBytes strides
+  // from the (possibly unaligned) base address.
+  std::set<uint64_t> Lines;
+  for (uint64_t Off = 0; Off < Bytes; Off += LB) {
+    Lines.insert((DstGpu + Off) / LB);
+    Lines.insert((SrcGpu + Off) / LB);
+  }
+
+  svm::BindingTable BT(Region);
+  gpusim::Simulator Sim(Dev, BT, Region.svmConst());
+  gpusim::SimResult R = Sim.run(K, {DstGpu, SrcGpu}, 1, 1);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.MemAccesses, 1u);
+  EXPECT_EQ(R.LinesTouched, Lines.size());
+  EXPECT_EQ(std::memcmp(Dst, Src, Bytes), 0);
+}
+
+TEST(LineSetTest, LineTrackingCapsAt160) {
+  // A single giant memcpy touches far more distinct lines than the
+  // tracker's capacity: the count saturates at 160 (the legacy engine's
+  // fixed buffer), it must not overflow or grow.
+  svm::SharedRegion Region(8 << 20);
+  auto Dev = gpusim::MachineConfig::ultrabook().Gpu;
+  constexpr uint64_t Bytes = 16384; // 256 src + 256 dst lines at 64 B.
+
+  auto *Src = Region.allocArray<uint8_t>(Bytes + 64);
+  auto *Dst = Region.allocArray<uint8_t>(Bytes + 64);
+  for (uint64_t I = 0; I < Bytes; ++I)
+    Src[I] = uint8_t(I);
+
+  BKernel K;
+  K.Name = "memcpy_cap_test";
+  K.NumRegs = 2;
+  K.NumArgs = 2;
+  K.Code = {memcpyOp(0, 1, Bytes), ret()};
+
+  uint64_t DstGpu = Region.gpuFromCpu(reinterpret_cast<uint64_t>(Dst));
+  uint64_t SrcGpu = Region.gpuFromCpu(reinterpret_cast<uint64_t>(Src));
+  svm::BindingTable BT(Region);
+  gpusim::Simulator Sim(Dev, BT, Region.svmConst());
+  gpusim::SimResult R = Sim.run(K, {DstGpu, SrcGpu}, 1, 1);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.LinesTouched, 160u);
+  EXPECT_EQ(std::memcmp(Dst, Src, Bytes), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel engine: determinism and serial equivalence on a hand-built
+// schedule-free kernel (forced through the epoch path).
+//===----------------------------------------------------------------------===//
+
+BKernel scheduleFreeKernel() {
+  BKernel K;
+  K.Name = "self_slot_test";
+  K.NumRegs = 5;
+  K.NumArgs = 1;
+  K.ScheduleFree = true; // out[i] = 3*i writes only the item's own slot.
+  K.Code = {
+      globalId(1),
+      movImm(2, 3),
+      binary(BOp::Mul, 3, 1, 2),
+      indexAddr(4, 0, 1, 4),
+      store32(3, 4),
+      ret(),
+  };
+  return K;
+}
+
+TEST(ParallelSim, EpochEngineMatchesSerialAndIsDeterministic) {
+  constexpr uint64_t N = 4096;
+  svm::SharedRegion Region(16 << 20);
+  auto Dev = gpusim::MachineConfig::ultrabook().Gpu;
+  ASSERT_GT(Dev.NumCores, 1u);
+
+  auto *Out = Region.allocArray<int32_t>(N);
+  BKernel K = scheduleFreeKernel();
+  uint64_t OutGpu = Region.gpuFromCpu(reinterpret_cast<uint64_t>(Out));
+
+  auto RunWith = [&](const gpusim::SimOptions &Opts,
+                     std::vector<int32_t> *Memory) {
+    std::memset(Out, 0xAB, N * sizeof(int32_t));
+    svm::BindingTable BT(Region);
+    gpusim::Simulator Sim(Dev, BT, Region.svmConst(), Opts);
+    gpusim::SimResult R = Sim.run(K, {OutGpu}, N);
+    Memory->assign(Out, Out + N);
+    return R;
+  };
+
+  gpusim::SimOptions Serial;
+  Serial.SerialExecution = true;
+  gpusim::SimOptions Par;
+  Par.NumThreads = 4;
+  Par.EpochQuantum = 8; // Tiny quantum: forces many merge epochs.
+
+  std::vector<int32_t> MemSerial, MemPar1, MemPar2;
+  gpusim::SimResult RS = RunWith(Serial, &MemSerial);
+  gpusim::SimResult RP1 = RunWith(Par, &MemPar1);
+  gpusim::SimResult RP2 = RunWith(Par, &MemPar2);
+
+  ASSERT_TRUE(RS.ok()) << RS.TrapMessage;
+  for (uint64_t I = 0; I < N; ++I)
+    ASSERT_EQ(MemSerial[I], int32_t(3 * I)) << "item " << I;
+
+  expectIdentical(RS, RP1); // Parallel == serial, bit for bit.
+  expectIdentical(RP1, RP2); // And deterministic across runs.
+  EXPECT_EQ(MemSerial, MemPar1);
+  EXPECT_EQ(MemPar1, MemPar2);
+}
+
+TEST(ParallelSim, TrapIsDeterministicUnderParallelExecution) {
+  // Work-item 1000 stores through a garbage pointer. The parallel engine
+  // must report the same trap, message, and accounted numbers as the
+  // serial schedule (the lexicographically first (round, core) trap
+  // wins, and accounting replays only up to that round).
+  constexpr uint64_t N = 4096;
+  svm::SharedRegion Region(16 << 20);
+  auto Dev = gpusim::MachineConfig::ultrabook().Gpu;
+
+  auto *Out = Region.allocArray<int32_t>(N);
+  BKernel K;
+  K.Name = "trap_test";
+  K.NumRegs = 6;
+  K.NumArgs = 1;
+  K.ScheduleFree = true;
+  K.Code = {
+      globalId(1),                         // 0
+      movImm(2, 1000),                     // 1
+      icmp(cir::ICmpPred::EQ, 3, 1, 2),    // 2
+      condBr(3, 4, 6, /*Reconverge=*/7),   // 3
+      movImm(4, 0x1234),                   // 4  garbage address
+      br(7),                               // 5
+      indexAddr(4, 0, 1, 4),               // 6  own slot
+      store32(1, 4),                       // 7  reconverged store
+      ret(),                               // 8
+  };
+  uint64_t OutGpu = Region.gpuFromCpu(reinterpret_cast<uint64_t>(Out));
+
+  auto RunWith = [&](const gpusim::SimOptions &Opts) {
+    std::memset(Out, 0, N * sizeof(int32_t));
+    svm::BindingTable BT(Region);
+    gpusim::Simulator Sim(Dev, BT, Region.svmConst(), Opts);
+    return Sim.run(K, {OutGpu}, N);
+  };
+
+  gpusim::SimOptions Serial;
+  Serial.SerialExecution = true;
+  gpusim::SimOptions Par;
+  Par.NumThreads = 4;
+  Par.EpochQuantum = 8;
+
+  gpusim::SimResult RS = RunWith(Serial);
+  gpusim::SimResult RP1 = RunWith(Par);
+  gpusim::SimResult RP2 = RunWith(Par);
+
+  ASSERT_TRUE(RS.Trapped);
+  EXPECT_NE(RS.TrapMessage.find("invalid store"), std::string::npos)
+      << RS.TrapMessage;
+  expectIdentical(RS, RP1);
+  expectIdentical(RP1, RP2);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-workload equivalence: all nine paper workloads, GPU+ALL config.
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSim, AllWorkloadsSerialParallelAndScalarEquivalent) {
+  using namespace concord::workloads;
+  gpusim::SimOptions Serial;
+  Serial.SerialExecution = true;
+  gpusim::SimOptions NoScalar = Serial;
+  NoScalar.ScalarFastPaths = false;
+  gpusim::SimOptions Par;
+  Par.NumThreads = 4;
+  Par.EpochQuantum = 1024;
+
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  for (auto &W : allWorkloads()) {
+    SCOPED_TRACE(W->name());
+    svm::SharedRegion Region(256 << 20);
+    Runtime RT(Machine, Region);
+    ASSERT_TRUE(W->setup(Region, 1));
+
+    auto RunWith = [&](const gpusim::SimOptions &Opts) {
+      RT.setSimOptions(Opts);
+      WorkloadRun Run = W->run(RT, /*OnCpu=*/false);
+      EXPECT_TRUE(Run.Ok) << Run.Error;
+      std::string VerifyError;
+      EXPECT_TRUE(W->verify(&VerifyError)) << VerifyError;
+      return Run;
+    };
+
+    WorkloadRun Base = RunWith(Serial);
+    WorkloadRun Scalar = RunWith(NoScalar);
+    WorkloadRun Parallel = RunWith(Par);
+
+    // Modelled time/energy (summed over launches) and the final launch's
+    // full counter set must agree exactly.
+    EXPECT_EQ(Base.Seconds, Scalar.Seconds);
+    EXPECT_EQ(Base.Joules, Scalar.Joules);
+    EXPECT_EQ(Base.Launches, Scalar.Launches);
+    expectIdentical(Base.LastSim, Scalar.LastSim);
+
+    EXPECT_EQ(Base.Seconds, Parallel.Seconds);
+    EXPECT_EQ(Base.Joules, Parallel.Joules);
+    EXPECT_EQ(Base.Launches, Parallel.Launches);
+    expectIdentical(Base.LastSim, Parallel.LastSim);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interference analysis: which compiled kernels are schedule-free.
+//===----------------------------------------------------------------------===//
+
+TEST(Interference, WorkloadKernelClassification) {
+  // The four read-heavy pointer-chasing kernels write only their own
+  // output slot and must be proven schedule-free (so the parallel engine
+  // engages for them); the relaxation-style kernels write neighbor slots
+  // and must stay coupled.
+  using namespace concord::workloads;
+  const std::set<std::string> ExpectFree = {"BarnesHut", "BTree",
+                                            "Raytracer", "SkipList"};
+  for (auto &W : allWorkloads()) {
+    SCOPED_TRACE(W->name());
+    runtime::KernelSpec Spec = W->kernelSpec();
+    DiagnosticEngine Diags;
+    auto M = frontend::compileProgram(Spec.Source, Spec.BodyClass, Diags);
+    ASSERT_TRUE(M) << Diags.str();
+    ASSERT_TRUE(frontend::createKernelEntry(*M, Spec.BodyClass, Diags));
+    transforms::PipelineStats S;
+    std::string Err;
+    ASSERT_TRUE(transforms::runPipeline(
+        *M, transforms::PipelineOptions::gpuAll(), S, &Err))
+        << Err;
+    auto CG = codegen::compileModule(*M);
+    ASSERT_TRUE(CG.ok()) << CG.Error;
+    ASSERT_GE(CG.Program.Kernels.size(), 1u);
+    EXPECT_EQ(CG.Program.Kernels[0].ScheduleFree,
+              ExpectFree.count(W->name()) != 0);
+  }
+}
+
+TEST(Interference, SelfSlotKernelIsScheduleFree) {
+  const char *Src = R"(
+    class K {
+    public:
+      int* out;
+      int* in;
+      void operator()(int i) { out[i] = in[i] * 2 + 1; }
+    };
+  )";
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(Src, "t", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  ASSERT_TRUE(frontend::createKernelEntry(*M, "K", Diags));
+  transforms::PipelineStats S;
+  std::string Err;
+  ASSERT_TRUE(transforms::runPipeline(
+      *M, transforms::PipelineOptions::gpuAll(), S, &Err))
+      << Err;
+  auto CG = codegen::compileModule(*M);
+  ASSERT_TRUE(CG.ok()) << CG.Error;
+  ASSERT_EQ(CG.Program.Kernels.size(), 1u);
+  EXPECT_TRUE(CG.Program.Kernels[0].ScheduleFree);
+}
+
+TEST(Interference, NeighborWriteKernelIsCoupled) {
+  // Writes out[i+1]: another work-item's slot, so execution order across
+  // cores could matter - must NOT be marked schedule-free.
+  const char *Src = R"(
+    class K {
+    public:
+      int* out;
+      int n;
+      void operator()(int i) { if (i + 1 < n) out[i + 1] = i; }
+    };
+  )";
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(Src, "t", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  ASSERT_TRUE(frontend::createKernelEntry(*M, "K", Diags));
+  transforms::PipelineStats S;
+  std::string Err;
+  ASSERT_TRUE(transforms::runPipeline(
+      *M, transforms::PipelineOptions::gpuAll(), S, &Err))
+      << Err;
+  auto CG = codegen::compileModule(*M);
+  ASSERT_TRUE(CG.ok()) << CG.Error;
+  ASSERT_EQ(CG.Program.Kernels.size(), 1u);
+  EXPECT_FALSE(CG.Program.Kernels[0].ScheduleFree);
+}
+
+} // namespace
