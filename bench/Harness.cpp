@@ -4,6 +4,8 @@
 
 #include "runtime/ThreadPool.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +31,60 @@ transforms::PipelineOptions concord::bench::gpuConfig(unsigned Index) {
   }
 }
 
+namespace {
+/// Result of one matrix cell (possibly the median of several repeats).
+struct CellOut {
+  bool Ok = false;
+  std::string Error;
+  double Seconds = 0, Joules = 0;
+  CellTiming Timing;
+};
+} // namespace
+
+static double medianOf(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  return V.empty() ? 0 : V[V.size() / 2];
+}
+
+/// Runs one (workload, device-config) cell Repeat times and reports the
+/// median. Modelled seconds/joules are deterministic across repeats; the
+/// medians stabilize the host-timing breakdown. CompileSeconds keeps the
+/// maximum (only the JIT-compiling repeat pays it; later repeats hit the
+/// program cache). run() restarts from pristine input state each repeat
+/// and results are verified every time.
+static CellOut runCellRepeated(Workload &W, Runtime &RT, bool OnCpu,
+                               unsigned Repeat) {
+  CellOut Out;
+  std::vector<double> Sec, Joules, Exec;
+  double Compile = 0;
+  for (unsigned R = 0; R < std::max(1u, Repeat); ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    WorkloadRun Run = W.run(RT, OnCpu);
+    double Wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    if (!Run.Ok) {
+      Out.Error = Run.Error;
+      return Out;
+    }
+    std::string VerifyError;
+    if (!W.verify(&VerifyError)) {
+      Out.Error = VerifyError;
+      return Out;
+    }
+    Sec.push_back(Run.Seconds);
+    Joules.push_back(Run.Joules);
+    Exec.push_back(std::max(0.0, Wall - Run.CompileSeconds));
+    Compile = std::max(Compile, Run.CompileSeconds);
+  }
+  Out.Ok = true;
+  Out.Seconds = medianOf(Sec);
+  Out.Joules = medianOf(Joules);
+  Out.Timing.CompileSeconds = Compile;
+  Out.Timing.ExecuteSeconds = medianOf(Exec);
+  return Out;
+}
+
 /// Legacy serial matrix: one region + runtime per workload row, shared by
 /// the CPU run and the four GPU runs (run() is repeatable, so reusing the
 /// region is safe and avoids re-running setup()).
@@ -52,26 +108,25 @@ runMatrixSerial(const gpusim::MachineConfig &Machine,
       continue;
     }
 
-    auto RunOne = [&](bool OnCpu, double *Sec, double *Joules) {
-      WorkloadRun Run = W->run(RT, OnCpu);
-      if (!Run.Ok) {
-        Row.Error = Run.Error;
+    auto RunOne = [&](bool OnCpu, double *Sec, double *Joules,
+                      CellTiming *Timing) {
+      CellOut Out = runCellRepeated(*W, RT, OnCpu, MO.Repeat);
+      if (!Out.Ok) {
+        Row.Error = Out.Error;
         return false;
       }
-      std::string VerifyError;
-      if (!W->verify(&VerifyError)) {
-        Row.Error = VerifyError;
-        return false;
-      }
-      *Sec = Run.Seconds;
-      *Joules = Run.Joules;
+      *Sec = Out.Seconds;
+      *Joules = Out.Joules;
+      *Timing = Out.Timing;
       return true;
     };
 
-    bool Ok = RunOne(/*OnCpu=*/true, &Row.CpuSeconds, &Row.CpuJoules);
+    bool Ok = RunOne(/*OnCpu=*/true, &Row.CpuSeconds, &Row.CpuJoules,
+                     &Row.CpuTiming);
     for (unsigned C = 0; Ok && C < NumGpuConfigs; ++C) {
       RT.setGpuOptions(gpuConfig(C));
-      Ok = RunOne(false, &Row.GpuSeconds[C], &Row.GpuJoules[C]);
+      Ok = RunOne(false, &Row.GpuSeconds[C], &Row.GpuJoules[C],
+                  &Row.GpuTiming[C]);
     }
     Row.Ok = Ok;
     Rows.push_back(std::move(Row));
@@ -90,18 +145,13 @@ runMatrixParallel(const gpusim::MachineConfig &Machine,
   const unsigned Cols = NumGpuConfigs + 1; // Column 0 is the CPU run.
   const size_t NumW = allWorkloads().size();
 
-  struct Cell {
-    bool Ok = false;
-    std::string Error;
-    double Seconds = 0, Joules = 0;
-  };
-  std::vector<Cell> Cells(NumW * Cols);
+  std::vector<CellOut> Cells(NumW * Cols);
 
   runtime::ThreadPool Pool(MO.Jobs);
   Pool.parallelFor(int64_t(NumW * Cols), [&](int64_t Ix) {
     const size_t WIx = size_t(Ix) / Cols;
     const unsigned C = unsigned(Ix % Cols);
-    Cell &Out = Cells[size_t(Ix)];
+    CellOut &Out = Cells[size_t(Ix)];
 
     // Workloads keep per-run state, so each cell instantiates its own.
     auto Ws = allWorkloads();
@@ -119,19 +169,7 @@ runMatrixParallel(const gpusim::MachineConfig &Machine,
     }
     if (C > 0)
       RT.setGpuOptions(gpuConfig(C - 1));
-    WorkloadRun Run = W.run(RT, /*OnCpu=*/C == 0);
-    if (!Run.Ok) {
-      Out.Error = Run.Error;
-      return;
-    }
-    std::string VerifyError;
-    if (!W.verify(&VerifyError)) {
-      Out.Error = VerifyError;
-      return;
-    }
-    Out.Ok = true;
-    Out.Seconds = Run.Seconds;
-    Out.Joules = Run.Joules;
+    Out = runCellRepeated(W, RT, /*OnCpu=*/C == 0, MO.Repeat);
   });
 
   // Deterministic row assembly in workload order.
@@ -142,7 +180,7 @@ runMatrixParallel(const gpusim::MachineConfig &Machine,
     Row.Name = Names[WIx]->name();
     Row.Ok = true;
     for (unsigned C = 0; C < Cols; ++C) {
-      const Cell &In = Cells[WIx * Cols + C];
+      const CellOut &In = Cells[WIx * Cols + C];
       if (!In.Ok) {
         Row.Ok = false;
         if (Row.Error.empty())
@@ -152,9 +190,11 @@ runMatrixParallel(const gpusim::MachineConfig &Machine,
       if (C == 0) {
         Row.CpuSeconds = In.Seconds;
         Row.CpuJoules = In.Joules;
+        Row.CpuTiming = In.Timing;
       } else {
         Row.GpuSeconds[C - 1] = In.Seconds;
         Row.GpuJoules[C - 1] = In.Joules;
+        Row.GpuTiming[C - 1] = In.Timing;
       }
     }
     Rows.push_back(std::move(Row));
@@ -200,6 +240,9 @@ BenchOptions concord::bench::parseBenchArgs(int argc, char **argv) {
     } else if (Arg == "--jobs") {
       if (!NextUnsigned(&BO.Matrix.Jobs) || BO.Matrix.Jobs == 0)
         return Fail("--jobs requires a positive count");
+    } else if (Arg == "--repeat") {
+      if (!NextUnsigned(&BO.Matrix.Repeat) || BO.Matrix.Repeat == 0)
+        return Fail("--repeat requires a positive count");
     } else if (Arg == "--scale") {
       if (!NextUnsigned(&BO.Matrix.Scale) || BO.Matrix.Scale == 0)
         return Fail("--scale requires a positive factor");
@@ -260,6 +303,7 @@ bool concord::bench::writeMatrixJson(const std::string &Path,
                std::max(1u, std::thread::hardware_concurrency()));
   std::fprintf(F, "  \"matrix_jobs\": %u,\n", Options.Jobs);
   std::fprintf(F, "  \"scale\": %u,\n", Options.Scale);
+  std::fprintf(F, "  \"repeat\": %u,\n", Options.Repeat);
   std::fprintf(F,
                "  \"sim\": {\"serial\": %s, \"scalar_fast_paths\": %s, "
                "\"threads\": %u, \"epoch_quantum\": %u},\n",
@@ -281,14 +325,26 @@ bool concord::bench::writeMatrixJson(const std::string &Path,
                    R + 1 < Rows.size() ? "," : "");
       continue;
     }
-    std::fprintf(F, ",\n     \"cpu\": {\"seconds\": %.9g, \"joules\": %.9g}",
-                 Row.CpuSeconds, Row.CpuJoules);
+    auto TimingJson = [](const CellTiming &T) {
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf),
+                    "\"timing\": {\"queue_seconds\": %.9g, "
+                    "\"compile_seconds\": %.9g, \"execute_seconds\": %.9g}",
+                    T.QueueSeconds, T.CompileSeconds, T.ExecuteSeconds);
+      return std::string(Buf);
+    };
+    std::fprintf(F,
+                 ",\n     \"cpu\": {\"seconds\": %.9g, \"joules\": %.9g, "
+                 "%s}",
+                 Row.CpuSeconds, Row.CpuJoules,
+                 TimingJson(Row.CpuTiming).c_str());
     for (unsigned C = 0; C < NumGpuConfigs; ++C)
       std::fprintf(F,
                    ",\n     \"%s\": {\"seconds\": %.9g, \"joules\": %.9g, "
-                   "\"speedup\": %.4f, \"energy_saving\": %.4f}",
+                   "\"speedup\": %.4f, \"energy_saving\": %.4f, %s}",
                    GpuConfigNames[C], Row.GpuSeconds[C], Row.GpuJoules[C],
-                   Row.speedup(C), Row.energySaving(C));
+                   Row.speedup(C), Row.energySaving(C),
+                   TimingJson(Row.GpuTiming[C]).c_str());
     std::fprintf(F, "}%s\n", R + 1 < Rows.size() ? "," : "");
   }
   std::fprintf(F, "  ],\n");

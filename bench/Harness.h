@@ -26,6 +26,15 @@ extern const char *GpuConfigNames[NumGpuConfigs];
 
 transforms::PipelineOptions gpuConfig(unsigned Index);
 
+/// Host-side cost breakdown of one matrix cell (one workload on one
+/// device configuration). QueueSeconds is zero for direct matrix runs; the
+/// scheduler pipeline bench fills it from task queue waits.
+struct CellTiming {
+  double QueueSeconds = 0;
+  double CompileSeconds = 0; ///< JIT cost (the compiling repeat's value).
+  double ExecuteSeconds = 0; ///< Median host wall time, less JIT.
+};
+
 struct WorkloadRow {
   std::string Name;
   bool Ok = false;
@@ -33,6 +42,8 @@ struct WorkloadRow {
   double CpuSeconds = 0, CpuJoules = 0;
   double GpuSeconds[NumGpuConfigs] = {};
   double GpuJoules[NumGpuConfigs] = {};
+  CellTiming CpuTiming;
+  CellTiming GpuTiming[NumGpuConfigs];
 
   double speedup(unsigned C) const {
     return GpuSeconds[C] > 0 ? CpuSeconds / GpuSeconds[C] : 0;
@@ -47,6 +58,10 @@ struct WorkloadRow {
 struct MatrixOptions {
   unsigned Scale = 1;
   bool Verbose = true;
+  /// Repeats per matrix cell; reported values are the median run
+  /// (modelled numbers are deterministic, so this stabilizes only the
+  /// host-timing breakdown). Verification runs after every repeat.
+  unsigned Repeat = 1;
   /// Host threads running matrix cells concurrently (1 = the legacy
   /// serial loop, sharing one region per workload row).
   unsigned Jobs = 1;
@@ -71,6 +86,7 @@ std::vector<WorkloadRow> runMatrix(const gpusim::MachineConfig &Machine,
 ///   --json <path>   write machine-readable results (plus wall-clock and
 ///                   host-thread count) to <path>
 ///   --jobs N        run N matrix cells concurrently
+///   --repeat N      run every matrix cell N times, report the median
 ///   --scale N       scale workload problem sizes
 ///   --serial        force the simulator's legacy serial engine
 ///   --no-scalar     disable the simulator's uniform-instruction fast path

@@ -230,7 +230,8 @@ struct Simulator::Impl {
   // Per-launch kernel state.
   const BKernel *K = nullptr;
   std::vector<uint64_t> Args;
-  uint64_t NumItems = 0;
+  uint64_t ItemBase = 0; ///< Global id of the launch's first work-item.
+  uint64_t NumItems = 0; ///< Work-items in this launch (count, not end).
   unsigned GroupSize = 1;
   unsigned WarpsPerGroup = 1;
   uint32_t FullMask = 1;
@@ -260,11 +261,12 @@ struct Simulator::Impl {
     if (K->FrameBytes)
       G->PrivateMem.assign(size_t(GroupSize) * K->FrameBytes, 0);
     for (unsigned W = 0; W < WarpsPerGroup; ++W) {
-      uint64_t First = GroupId * GroupSize + uint64_t(W) * Cfg.SimdWidth;
+      uint64_t First =
+          ItemBase + GroupId * GroupSize + uint64_t(W) * Cfg.SimdWidth;
       uint32_t Mask = 0;
       for (unsigned L = 0; L < Cfg.SimdWidth; ++L)
-        if (First + L < NumItems ||
-            (K->UsesBarrier && First + L < roundUpItems()))
+        if (First + L < ItemBase + NumItems ||
+            (K->UsesBarrier && First + L < ItemBase + roundUpItems()))
           Mask |= 1u << L;
       if (!Mask)
         continue;
@@ -448,7 +450,7 @@ struct Simulator::Impl {
   void runEpochs(std::vector<CoreState> &Cores, unsigned Threads);
 
   SimResult launch(const BKernel &Kernel, const std::vector<uint64_t> &A,
-                   uint64_t N, unsigned GroupSizeOverride);
+                   uint64_t Base, uint64_t N, unsigned GroupSizeOverride);
 };
 
 #if defined(__GNUC__)
@@ -925,7 +927,9 @@ void Simulator::Impl::step(CoreState &CS, Group &G, Warp &W) {
     exec([&](unsigned L) { reg(I.Dst, L) = GroupSize; });
     break;
   case BOp::NumCores:
-    exec([&](unsigned L) { reg(I.Dst, L) = Cfg.NumCores; });
+    exec([&](unsigned L) {
+      reg(I.Dst, L) = Opts.NumCoresValue ? Opts.NumCoresValue : Cfg.NumCores;
+    });
     break;
   case BOp::AllocaAddr:
     exec([&](unsigned L) { reg(I.Dst, L) = PrivateBase + I.Imm; });
@@ -1091,10 +1095,12 @@ void Simulator::Impl::runEpochs(std::vector<CoreState> &Cores,
 }
 
 SimResult Simulator::Impl::launch(const BKernel &Kernel,
-                                  const std::vector<uint64_t> &A, uint64_t N,
+                                  const std::vector<uint64_t> &A,
+                                  uint64_t Base, uint64_t N,
                                   unsigned GroupSizeOverride) {
   K = &Kernel;
   Args = A;
+  ItemBase = Base;
   NumItems = N;
   R = SimResult();
   DynEnergyNJ = 0;
@@ -1169,5 +1175,12 @@ Simulator::~Simulator() = default;
 SimResult Simulator::run(const BKernel &Kernel,
                          const std::vector<uint64_t> &Args, uint64_t NumItems,
                          unsigned GroupSizeOverride) {
-  return P->launch(Kernel, Args, NumItems, GroupSizeOverride);
+  return P->launch(Kernel, Args, /*Base=*/0, NumItems, GroupSizeOverride);
+}
+
+SimResult Simulator::runRange(const BKernel &Kernel,
+                              const std::vector<uint64_t> &Args,
+                              uint64_t FirstItem, uint64_t NumItems,
+                              unsigned GroupSizeOverride) {
+  return P->launch(Kernel, Args, FirstItem, NumItems, GroupSizeOverride);
 }

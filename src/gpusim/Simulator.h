@@ -32,9 +32,10 @@
 namespace concord {
 namespace gpusim {
 
-/// Host-side execution knobs. None of these change modelled timing or
-/// energy: a launch produces bit-identical SimResult numbers whether it
-/// runs serially, on N host threads, or with scalar fast paths disabled.
+/// Host-side execution knobs. With the exception of NumCoresValue, none
+/// of these change modelled timing or energy: a launch produces
+/// bit-identical SimResult numbers whether it runs serially, on N host
+/// threads, or with scalar fast paths disabled.
 struct SimOptions {
   /// Force the legacy single-threaded round-robin loop even for kernels
   /// the interference analysis proved schedule-free.
@@ -47,6 +48,12 @@ struct SimOptions {
   /// Simulated rounds each core advances per parallel epoch before the
   /// deterministic accounting merge.
   unsigned EpochQuantum = 8192;
+  /// Value the NumCores bytecode op reports to kernels (0 = the executing
+  /// device's core count). Hybrid partitioning runs the GPU-compiled
+  /// program's high item range on the CPU machine model and pins this to
+  /// the GPU's core count, so both partitions execute identical per-item
+  /// instruction streams (the L3 stagger rotation depends on this value).
+  unsigned NumCoresValue = 0;
 };
 
 struct SimResult {
@@ -90,6 +97,14 @@ public:
   SimResult run(const codegen::BKernel &Kernel,
                 const std::vector<uint64_t> &Args, uint64_t NumItems,
                 unsigned GroupSizeOverride = 0);
+
+  /// Runs \p Kernel over the item sub-range [FirstItem, FirstItem +
+  /// NumItems): global ids start at \p FirstItem. The hybrid partitioner
+  /// uses this to execute the two halves of a split index space on
+  /// different device models.
+  SimResult runRange(const codegen::BKernel &Kernel,
+                     const std::vector<uint64_t> &Args, uint64_t FirstItem,
+                     uint64_t NumItems, unsigned GroupSizeOverride = 0);
 
 private:
   struct Impl;

@@ -6,8 +6,13 @@
 #include "frontend/Compile.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
 
 using namespace concord;
 using namespace concord::runtime;
@@ -57,9 +62,16 @@ struct Runtime::Impl {
   transforms::PipelineOptions GpuOptions;
   transforms::PipelineOptions CpuOptions;
   gpusim::SimOptions SimOpts;
+  ExecMode Mode = ExecMode::SingleDevice;
+  HybridOptions Hybrid;
 
   svm::BindingTable GpuBindings;
   svm::BindingTable CpuBindings;
+
+  /// Guards Programs and VTables. Scheduler workers offload concurrently:
+  /// lookups take the lock shared, a cache miss upgrades to exclusive and
+  /// re-checks, so each (spec, construct, options) compiles exactly once.
+  mutable std::shared_mutex CacheMutex;
 
   /// gpu_program_t / gpu_function_t caches.
   std::map<uint64_t, std::unique_ptr<Runtime::CachedProgram>> Programs;
@@ -67,6 +79,50 @@ struct Runtime::Impl {
   /// Materialized vtables per spec: class name -> per-group CPU addresses
   /// of the u64 arrays living in the shared region.
   std::map<uint64_t, std::map<std::string, std::vector<uint64_t>>> VTables;
+
+  /// Per-kernel history of modelled device throughput, used to steer the
+  /// hybrid split ratio (keyed by spec hash).
+  struct SplitProfile {
+    double GpuItemsPerSec = 0;
+    double CpuItemsPerSec = 0;
+    uint64_t HybridLaunches = 0;
+  };
+  mutable std::mutex ProfileMutex;
+  std::map<uint64_t, SplitProfile> Profiles;
+
+  /// Profile-guided GPU fraction for a kernel; InitialGpuFraction until
+  /// the first hybrid launch has recorded throughput history.
+  double fractionFor(uint64_t SpecKey) const {
+    std::lock_guard<std::mutex> Lock(ProfileMutex);
+    auto It = Profiles.find(SpecKey);
+    if (It == Profiles.end() || It->second.HybridLaunches == 0)
+      return Hybrid.InitialGpuFraction;
+    const SplitProfile &Pr = It->second;
+    double Total = Pr.GpuItemsPerSec + Pr.CpuItemsPerSec;
+    if (Total <= 0)
+      return Hybrid.InitialGpuFraction;
+    // Keep both devices in play: a starved device would stop producing
+    // fresh throughput samples and the ratio could never recover.
+    return std::clamp(Pr.GpuItemsPerSec / Total, 0.05, 0.95);
+  }
+
+  void recordHybridSample(uint64_t SpecKey, int64_t GpuItems,
+                          int64_t CpuItems, double GpuSeconds,
+                          double CpuSeconds) {
+    double GpuTp = double(GpuItems) / std::max(GpuSeconds, 1e-12);
+    double CpuTp = double(CpuItems) / std::max(CpuSeconds, 1e-12);
+    std::lock_guard<std::mutex> Lock(ProfileMutex);
+    SplitProfile &Pr = Profiles[SpecKey];
+    if (Pr.HybridLaunches == 0) {
+      Pr.GpuItemsPerSec = GpuTp;
+      Pr.CpuItemsPerSec = CpuTp;
+    } else {
+      double S = std::clamp(Hybrid.Smoothing, 0.0, 1.0);
+      Pr.GpuItemsPerSec = (1 - S) * Pr.GpuItemsPerSec + S * GpuTp;
+      Pr.CpuItemsPerSec = (1 - S) * Pr.CpuItemsPerSec + S * CpuTp;
+    }
+    ++Pr.HybridLaunches;
+  }
 
   Impl(svm::SharedRegion &Region, transforms::PipelineOptions GpuOpts)
       : GpuOptions(GpuOpts),
@@ -100,29 +156,52 @@ void Runtime::setSimOptions(const gpusim::SimOptions &Options) {
 
 const gpusim::SimOptions &Runtime::simOptions() const { return P->SimOpts; }
 
-size_t Runtime::programCacheSize() const { return P->Programs.size(); }
+size_t Runtime::programCacheSize() const {
+  std::shared_lock<std::shared_mutex> Lock(P->CacheMutex);
+  return P->Programs.size();
+}
+
+static uint64_t specKeyOf(const KernelSpec &Spec) {
+  return hashString(Spec.Source) * 31 + hashString(Spec.BodyClass);
+}
 
 /// Compiles (or returns the cached) program for a spec + construct +
 /// device. Also materializes the vtables on first compile of a spec.
+/// Thread-safe; \p DidCompile (optional) reports whether this call
+/// inserted a new cache entry (i.e. paid the JIT cost). Cached entries
+/// are immutable and never evicted, so the returned pointer stays valid
+/// and readable without the lock.
 static Runtime::CachedProgram *
 compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
               const KernelSpec &Spec, Construct Kind, Device Dev,
               const transforms::PipelineOptions &Opts,
-              std::map<uint64_t, std::unique_ptr<Runtime::CachedProgram>>
-                  &Programs,
-              std::map<uint64_t,
-                       std::map<std::string, std::vector<uint64_t>>> &VTables,
-              uint64_t *SpecKeyOut) {
-  uint64_t SpecKey =
-      hashString(Spec.Source) * 31 + hashString(Spec.BodyClass);
+              uint64_t *SpecKeyOut, bool *DidCompile = nullptr) {
+  uint64_t SpecKey = specKeyOf(Spec);
   if (SpecKeyOut)
     *SpecKeyOut = SpecKey;
+  if (DidCompile)
+    *DidCompile = false;
   uint64_t Key = SpecKey * 1315423911ull +
                  uint64_t(Kind) * 7 + uint64_t(Dev) * 3 +
                  optionsFingerprint(Opts);
+  {
+    std::shared_lock<std::shared_mutex> Lock(Impl.CacheMutex);
+    auto It = Impl.Programs.find(Key);
+    if (It != Impl.Programs.end())
+      return It->second.get();
+  }
+
+  // Compile under the exclusive lock (after re-checking: another worker
+  // may have won the race between the two lock acquisitions). Holding the
+  // lock across the compile keeps the compile-once guarantee.
+  std::unique_lock<std::shared_mutex> Lock(Impl.CacheMutex);
+  auto &Programs = Impl.Programs;
+  auto &VTables = Impl.VTables;
   auto It = Programs.find(Key);
   if (It != Programs.end())
     return It->second.get();
+  if (DidCompile)
+    *DidCompile = true;
 
   auto CP = std::make_unique<Runtime::CachedProgram>();
   auto T0 = std::chrono::steady_clock::now();
@@ -198,20 +277,37 @@ compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
   return Raw;
 }
 
+void Runtime::setExecMode(ExecMode Mode) { P->Mode = Mode; }
+
+ExecMode Runtime::execMode() const { return P->Mode; }
+
+void Runtime::setHybridOptions(const HybridOptions &Options) {
+  P->Hybrid = Options;
+}
+
+const HybridOptions &Runtime::hybridOptions() const { return P->Hybrid; }
+
 LaunchReport Runtime::offload(const KernelSpec &Spec, int64_t N,
                               void *BodyPtr, bool OnCpu) {
+  if (!OnCpu && P->Mode == ExecMode::Hybrid)
+    return offloadHybrid(Spec, N, BodyPtr);
+  return offloadRange(Spec, 0, N, BodyPtr, OnCpu);
+}
+
+LaunchReport Runtime::offloadRange(const KernelSpec &Spec, int64_t Base,
+                                   int64_t Count, void *BodyPtr,
+                                   bool OnCpu) {
   LaunchReport Rep;
   Rep.Executed = OnCpu ? Device::CPU : Device::GPU;
   const transforms::PipelineOptions &Opts =
       OnCpu ? P->CpuOptions : P->GpuOptions;
 
-  size_t CacheBefore = P->Programs.size();
+  bool DidCompile = false;
   CachedProgram *CP = compileCached(
       *P, Region, Spec, Construct::ParallelFor,
-      OnCpu ? Device::CPU : Device::GPU, Opts, P->Programs, P->VTables,
-      nullptr);
-  Rep.JitCached = P->Programs.size() == CacheBefore;
-  Rep.CompileSeconds = Rep.JitCached ? 0 : CP->CompileSeconds;
+      OnCpu ? Device::CPU : Device::GPU, Opts, nullptr, &DidCompile);
+  Rep.JitCached = !DidCompile;
+  Rep.CompileSeconds = DidCompile ? CP->CompileSeconds : 0;
   Rep.Diagnostics = CP->Diagnostics;
   Rep.OptStats = CP->Stats;
   if (CP->Failed)
@@ -236,13 +332,127 @@ LaunchReport Runtime::offload(const KernelSpec &Spec, int64_t N,
   Region.pin();
   gpusim::Simulator Sim(Dev, BT, SvmConst, P->SimOpts);
   uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
-  Rep.Sim = Sim.run(*K, {BodyAddr}, uint64_t(N));
+  Rep.Sim = Sim.runRange(*K, {BodyAddr}, uint64_t(Base), uint64_t(Count));
   Region.unpin();
 
   Rep.Ok = Rep.Sim.ok();
   if (!Rep.Ok)
     Rep.Diagnostics += "\n" + Rep.Sim.TrapMessage;
   return Rep;
+}
+
+/// Merged view of a split launch: the partitions ran concurrently, so the
+/// modelled wall time is the slower one; energy and traffic counters are
+/// additive across devices.
+static gpusim::SimResult mergeSimResults(const gpusim::SimResult &Gpu,
+                                         const gpusim::SimResult &Cpu) {
+  gpusim::SimResult M;
+  M.Trapped = Gpu.Trapped || Cpu.Trapped;
+  M.TrapMessage = Gpu.Trapped ? Gpu.TrapMessage : Cpu.TrapMessage;
+  M.Cycles = std::max(Gpu.Cycles, Cpu.Cycles);
+  M.Seconds = std::max(Gpu.Seconds, Cpu.Seconds);
+  M.Joules = Gpu.Joules + Cpu.Joules;
+  M.WarpInstructions = Gpu.WarpInstructions + Cpu.WarpInstructions;
+  M.LaneOps = Gpu.LaneOps + Cpu.LaneOps;
+  M.MemAccesses = Gpu.MemAccesses + Cpu.MemAccesses;
+  M.LinesTouched = Gpu.LinesTouched + Cpu.LinesTouched;
+  M.CacheHits = Gpu.CacheHits + Cpu.CacheHits;
+  M.CacheMisses = Gpu.CacheMisses + Cpu.CacheMisses;
+  M.L1Hits = Gpu.L1Hits + Cpu.L1Hits;
+  M.ContentionEvents = Gpu.ContentionEvents + Cpu.ContentionEvents;
+  M.DivergentBranches = Gpu.DivergentBranches + Cpu.DivergentBranches;
+  M.Barriers = Gpu.Barriers + Cpu.Barriers;
+  M.LocalAccesses = Gpu.LocalAccesses + Cpu.LocalAccesses;
+  return M;
+}
+
+LaunchReport Runtime::offloadHybrid(const KernelSpec &Spec, int64_t N,
+                                    void *BodyPtr) {
+  // Compile the GPU program and check eligibility. The interference
+  // analysis must have proven the kernel schedule-free: distinct
+  // work-items then write disjoint bytes, so the two devices can execute
+  // disjoint index ranges against the same shared memory and the result
+  // is bit-identical to a single-device launch.
+  uint64_t SpecKey = 0;
+  bool GpuCompiled = false;
+  CachedProgram *GpuCP = compileCached(
+      *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
+      &SpecKey, &GpuCompiled);
+  const codegen::BKernel *GK = nullptr;
+  if (!GpuCP->Failed && !GpuCP->Unsupported)
+    GK = GpuCP->Program.findKernel(GpuCP->KernelName);
+
+  bool Eligible = GK && GK->ScheduleFree && N >= P->Hybrid.MinItems &&
+                  N >= 2 && Region.contains(BodyPtr) &&
+                  GK->FrameBytes <= Machine.Cpu.PrivateBytesPerItem;
+  if (!Eligible) {
+    LaunchReport Rep = offloadRange(Spec, 0, N, BodyPtr, /*OnCpu=*/false);
+    Rep.JitCached = Rep.JitCached && !GpuCompiled;
+    return Rep;
+  }
+
+  double Frac = P->fractionFor(SpecKey);
+  int64_t Split =
+      std::clamp<int64_t>(llround(double(N) * Frac), 1, N - 1);
+
+  LaunchReport Rep;
+  Rep.Executed = Device::GPU;
+  Rep.Hybrid = true;
+  Rep.HybridSplit = Split;
+  Rep.HybridGpuFraction = Frac;
+  Rep.JitCached = !GpuCompiled;
+  Rep.CompileSeconds = GpuCompiled ? GpuCP->CompileSeconds : 0;
+  Rep.Diagnostics = GpuCP->Diagnostics;
+  Rep.OptStats = GpuCP->Stats;
+
+  // Both partitions execute the *same* compiled GPU program against the
+  // same binding table, so every work-item runs an identical instruction
+  // stream no matter which device model hosts it; only the timing/energy
+  // model differs. The NumCores op is pinned to the GPU's core count so
+  // id-dependent codegen (the L3 stagger rotation) also matches.
+  gpusim::SimOptions CpuOpts = P->SimOpts;
+  CpuOpts.NumCoresValue = Machine.Gpu.NumCores;
+
+  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
+  Region.pin();
+  gpusim::SimResult CpuR;
+  std::thread CpuThread([&] {
+    gpusim::Simulator Sim(Machine.Cpu, P->GpuBindings, Region.svmConst(),
+                          CpuOpts);
+    CpuR = Sim.runRange(*GK, {BodyAddr}, uint64_t(Split),
+                        uint64_t(N - Split));
+  });
+  gpusim::Simulator GpuSim(Machine.Gpu, P->GpuBindings, Region.svmConst(),
+                           P->SimOpts);
+  gpusim::SimResult GpuR =
+      GpuSim.runRange(*GK, {BodyAddr}, 0, uint64_t(Split));
+  CpuThread.join();
+  Region.unpin();
+
+  Rep.HybridGpuSim = GpuR;
+  Rep.HybridCpuSim = CpuR;
+  Rep.Sim = mergeSimResults(GpuR, CpuR);
+  Rep.Ok = Rep.Sim.ok();
+  if (!Rep.Ok)
+    Rep.Diagnostics += "\n" + Rep.Sim.TrapMessage;
+  else
+    P->recordHybridSample(SpecKey, Split, N - Split, GpuR.Seconds,
+                          CpuR.Seconds);
+  return Rep;
+}
+
+bool Runtime::kernelScheduleFree(const KernelSpec &Spec) {
+  CachedProgram *CP = compileCached(
+      *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
+      nullptr);
+  if (CP->Failed || CP->Unsupported)
+    return false;
+  const codegen::BKernel *K = CP->Program.findKernel(CP->KernelName);
+  return K && K->ScheduleFree;
+}
+
+double Runtime::hybridGpuFraction(const KernelSpec &Spec) const {
+  return P->fractionFor(specKeyOf(Spec));
 }
 
 LaunchReport Runtime::offloadReduce(const KernelSpec &Spec, int64_t N,
@@ -253,13 +463,12 @@ LaunchReport Runtime::offloadReduce(const KernelSpec &Spec, int64_t N,
   const transforms::PipelineOptions &Opts =
       OnCpu ? P->CpuOptions : P->GpuOptions;
 
-  size_t CacheBefore = P->Programs.size();
+  bool DidCompile = false;
   CachedProgram *CP = compileCached(
       *P, Region, Spec, Construct::ParallelReduce,
-      OnCpu ? Device::CPU : Device::GPU, Opts, P->Programs, P->VTables,
-      nullptr);
-  Rep.JitCached = P->Programs.size() == CacheBefore;
-  Rep.CompileSeconds = Rep.JitCached ? 0 : CP->CompileSeconds;
+      OnCpu ? Device::CPU : Device::GPU, Opts, nullptr, &DidCompile);
+  Rep.JitCached = !DidCompile;
+  Rep.CompileSeconds = DidCompile ? CP->CompileSeconds : 0;
   Rep.Diagnostics = CP->Diagnostics;
   Rep.OptStats = CP->Stats;
   if (CP->Failed)
@@ -325,9 +534,10 @@ bool Runtime::installVPtrs(const KernelSpec &Spec, void *Obj,
   uint64_t SpecKey = 0;
   CachedProgram *CP = compileCached(
       *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
-      P->Programs, P->VTables, &SpecKey);
+      &SpecKey);
   if (CP->Failed || CP->Unsupported)
     return false;
+  std::shared_lock<std::shared_mutex> Lock(P->CacheMutex);
   auto SpecIt = P->VTables.find(SpecKey);
   if (SpecIt == P->VTables.end())
     return false;
@@ -353,7 +563,7 @@ bool Runtime::staticStats(const KernelSpec &Spec, codegen::OpMixStats *Out,
                           std::string *Error) {
   CachedProgram *CP = compileCached(
       *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
-      P->Programs, P->VTables, nullptr);
+      nullptr);
   if (CP->Failed || CP->Unsupported) {
     if (Error)
       *Error = CP->Diagnostics;
@@ -367,6 +577,6 @@ bool Runtime::staticStats(const KernelSpec &Spec, codegen::OpMixStats *Out,
 std::string Runtime::diagnosticsFor(const KernelSpec &Spec) {
   CachedProgram *CP = compileCached(
       *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
-      P->Programs, P->VTables, nullptr);
+      nullptr);
   return CP->Diagnostics;
 }

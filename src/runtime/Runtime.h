@@ -41,6 +41,24 @@ namespace runtime {
 enum class Device { CPU, GPU };
 enum class Construct { ParallelFor, ParallelReduce };
 
+/// How offload() maps a parallel_for onto the machine's devices.
+enum class ExecMode {
+  SingleDevice, ///< Legacy behaviour: the whole range on one device.
+  Hybrid        ///< Split schedule-free kernels across GPU + CPU models.
+};
+
+/// Policy knobs for hybrid CPU/GPU partitioning.
+struct HybridOptions {
+  /// Ranges smaller than this always run on a single device (a split
+  /// would be dominated by the second launch's overhead).
+  int64_t MinItems = 64;
+  /// GPU share of the index space before any profile history exists.
+  double InitialGpuFraction = 0.75;
+  /// EWMA weight of the newest throughput sample when adapting the split
+  /// ratio from per-kernel history (1 = use only the latest launch).
+  double Smoothing = 0.5;
+};
+
 /// A kernel handle: CKL source plus the Body class to compile.
 struct KernelSpec {
   std::string Source;
@@ -56,6 +74,15 @@ struct LaunchReport {
   double CompileSeconds = 0; ///< Nonzero only on the JIT-compiling launch.
   bool JitCached = false;
   transforms::PipelineStats OptStats;
+
+  /// Hybrid partitioning detail. When Hybrid is set, Sim holds the merged
+  /// view (Seconds/Cycles = slower partition, energy and counters summed)
+  /// and the per-device partitions are preserved below.
+  bool Hybrid = false;
+  int64_t HybridSplit = 0;      ///< Items [0, Split) ran on the GPU model.
+  double HybridGpuFraction = 0; ///< Fraction used for this launch.
+  gpusim::SimResult HybridGpuSim;
+  gpusim::SimResult HybridCpuSim;
 };
 
 /// Host-side sequential join callback for reductions.
@@ -88,10 +115,49 @@ public:
   void setSimOptions(const gpusim::SimOptions &Options);
   const gpusim::SimOptions &simOptions() const;
 
+  /// Selects single-device or hybrid execution for subsequent offload()
+  /// calls. Hybrid mode splits schedule-free kernels across the GPU and
+  /// CPU machine models (see offloadHybrid); kernels the interference
+  /// analysis cannot prove schedule-free keep single-device behaviour.
+  void setExecMode(ExecMode Mode);
+  ExecMode execMode() const;
+
+  void setHybridOptions(const HybridOptions &Options);
+  const HybridOptions &hybridOptions() const;
+
   /// parallel_for_hetero backend. \p BodyPtr must point into the shared
   /// region. When \p OnCpu, the CPU machine model executes the kernel.
+  /// Thread-safe: the scheduler issues concurrent offloads from worker
+  /// threads (the JIT cache is guarded; concurrent launches must write
+  /// disjoint shared-memory ranges, which the scheduler's hazard tracking
+  /// guarantees for declared access sets).
   LaunchReport offload(const KernelSpec &Spec, int64_t N, void *BodyPtr,
                        bool OnCpu);
+
+  /// Runs the item sub-range [Base, Base + Count) of a parallel_for on one
+  /// device model (global ids start at Base). Building block for hybrid
+  /// partitioning; never splits, regardless of the execution mode.
+  LaunchReport offloadRange(const KernelSpec &Spec, int64_t Base,
+                            int64_t Count, void *BodyPtr, bool OnCpu);
+
+  /// Splits [0, N) at a profile-guided boundary and runs the low part on
+  /// the GPU model and the high part on the CPU model concurrently,
+  /// merging the reports. Requires a schedule-free kernel (disjoint
+  /// per-item writes make the split safe); otherwise, or when N is below
+  /// HybridOptions::MinItems or either compile fails, the whole range runs
+  /// on the GPU model as usual. Each hybrid launch updates the per-kernel
+  /// throughput history that steers the next split.
+  LaunchReport offloadHybrid(const KernelSpec &Spec, int64_t N,
+                             void *BodyPtr);
+
+  /// True when the compiled GPU kernel was proven schedule-free by the
+  /// interference analysis (the precondition for hybrid splitting).
+  /// Compiles on demand; returns false for failed or unsupported kernels.
+  bool kernelScheduleFree(const KernelSpec &Spec);
+
+  /// Current profile-guided GPU fraction for a kernel (InitialGpuFraction
+  /// until the first hybrid launch records history).
+  double hybridGpuFraction(const KernelSpec &Spec) const;
 
   /// parallel_reduce_hetero backend: device-side group trees + host join
   /// of per-group partials into *BodyPtr.

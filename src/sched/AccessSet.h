@@ -1,0 +1,93 @@
+//===- AccessSet.h - Declared shared-memory access intent ------*- C++ -*-===//
+///
+/// \file
+/// A task submitted to the scheduler declares which byte ranges of the
+/// shared region it reads and writes. Because Concord's SVM gives both
+/// devices the same pointers, a declaration is just a set of CPU-address
+/// ranges — no marshalling lists, no buffer handles (compare StarPU's
+/// data handles with STARPU_R/STARPU_W access modes, Courtès 2013).
+///
+/// The scheduler derives hazard edges from overlap queries between the
+/// sets of in-flight tasks:
+///
+///   RAW  — a later task reads a range an earlier task writes
+///   WAR  — a later task writes a range an earlier task reads
+///   WAW  — two tasks write overlapping ranges
+///
+/// Conflicting tasks serialize in submission order; disjoint tasks are
+/// free to run concurrently. Declarations are trusted: an access outside
+/// a task's declared set is undetected (the race lint in analysis/ covers
+/// the intra-kernel story), so declare conservatively — over-declaring
+/// only costs parallelism, never correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_SCHED_ACCESSSET_H
+#define CONCORD_SCHED_ACCESSSET_H
+
+#include "svm/SharedRegion.h"
+
+#include <vector>
+
+namespace concord {
+namespace sched {
+
+/// Declared read/write ranges of one task, in CPU addresses.
+class AccessSet {
+public:
+  AccessSet() = default;
+
+  AccessSet &read(const void *Ptr, size_t Bytes) {
+    appendRange(Reads, svm::MemRange::ofBytes(Ptr, Bytes));
+    return *this;
+  }
+  AccessSet &write(const void *Ptr, size_t Bytes) {
+    appendRange(Writes, svm::MemRange::ofBytes(Ptr, Bytes));
+    return *this;
+  }
+  AccessSet &readWrite(const void *Ptr, size_t Bytes) {
+    return read(Ptr, Bytes).write(Ptr, Bytes);
+  }
+
+  template <typename T> AccessSet &readArray(const T *Ptr, size_t N) {
+    return read(Ptr, N * sizeof(T));
+  }
+  template <typename T> AccessSet &writeArray(T *Ptr, size_t N) {
+    return write(Ptr, N * sizeof(T));
+  }
+
+  const std::vector<svm::MemRange> &reads() const { return Reads; }
+  const std::vector<svm::MemRange> &writes() const { return Writes; }
+  bool empty() const { return Reads.empty() && Writes.empty(); }
+
+  /// True when this set (submitted later) must be ordered after \p Earlier:
+  /// any RAW, WAR, or WAW overlap between the two.
+  bool conflictsWith(const AccessSet &Earlier) const {
+    return anyOverlap(Reads, Earlier.Writes) ||  // RAW
+           anyOverlap(Writes, Earlier.Reads) ||  // WAR
+           anyOverlap(Writes, Earlier.Writes);   // WAW
+  }
+
+private:
+  static void appendRange(std::vector<svm::MemRange> &Into,
+                          svm::MemRange R) {
+    if (!R.empty())
+      Into.push_back(R);
+  }
+
+  static bool anyOverlap(const std::vector<svm::MemRange> &A,
+                         const std::vector<svm::MemRange> &B) {
+    for (const svm::MemRange &RA : A)
+      for (const svm::MemRange &RB : B)
+        if (RA.overlaps(RB))
+          return true;
+    return false;
+  }
+
+  std::vector<svm::MemRange> Reads, Writes;
+};
+
+} // namespace sched
+} // namespace concord
+
+#endif // CONCORD_SCHED_ACCESSSET_H

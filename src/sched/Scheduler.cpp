@@ -1,0 +1,244 @@
+//===- Scheduler.cpp - Async heterogeneous task scheduler -----------------===//
+
+#include "sched/Scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace concord {
+namespace sched {
+
+namespace detail {
+
+/// One submitted task. Graph fields (PendingDeps, Dependents, the Live
+/// membership) are guarded by the scheduler's mutex; the result/done pair
+/// has its own mutex so handles can outlive the scheduler's lock scope.
+struct TaskState {
+  TaskDesc Desc;
+  AccessSet Access;
+  std::chrono::steady_clock::time_point SubmitTime;
+
+  // Guarded by Scheduler::Mutex.
+  unsigned PendingDeps = 0;
+  std::vector<std::shared_ptr<TaskState>> Dependents;
+  bool GraphDone = false; ///< Completed from the dependency graph's view.
+
+  // Completion signalling for TaskHandle::wait().
+  std::mutex DoneMutex;
+  std::condition_variable DoneCv;
+  bool Done = false;
+  TaskResult Result;
+};
+
+} // namespace detail
+
+using detail::TaskState;
+
+static double secondsSince(std::chrono::steady_clock::time_point Since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Since)
+      .count();
+}
+
+uint64_t TaskHandle::id() const { return State ? State->Result.Id : 0; }
+
+bool TaskHandle::done() const {
+  if (!State)
+    return true;
+  std::lock_guard<std::mutex> Lock(State->DoneMutex);
+  return State->Done;
+}
+
+const TaskResult &TaskHandle::wait() const {
+  assert(State && "waiting on an invalid TaskHandle");
+  std::unique_lock<std::mutex> Lock(State->DoneMutex);
+  State->DoneCv.wait(Lock, [&] { return State->Done; });
+  return State->Result;
+}
+
+Scheduler::Scheduler(runtime::Runtime &RT, SchedulerOptions Opts)
+    : RT(RT), Options(std::move(Opts)) {
+  if (Options.NumWorkers == 0)
+    Options.NumWorkers = 2;
+  if (Options.MaxQueued == 0)
+    Options.MaxQueued = 1;
+  if (Options.AllowHybrid) {
+    RT.setHybridOptions(Options.Hybrid);
+    RT.setExecMode(runtime::ExecMode::Hybrid);
+  }
+  Workers.reserve(Options.NumWorkers);
+  for (unsigned I = 0; I < Options.NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler() {
+  drain();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+TaskHandle Scheduler::submit(const runtime::KernelSpec &Spec, int64_t N,
+                             void *BodyPtr, AccessSet Access) {
+  TaskDesc D;
+  D.Spec = Spec;
+  D.N = N;
+  D.BodyPtr = BodyPtr;
+  return submit(std::move(D), std::move(Access));
+}
+
+TaskHandle Scheduler::submit(TaskDesc Desc, AccessSet Access) {
+  auto Task = std::make_shared<TaskState>();
+  if (Desc.Label.empty())
+    Desc.Label = Desc.Spec.BodyClass;
+  Task->Desc = std::move(Desc);
+  Task->Access = std::move(Access);
+
+  bool IsReady = false;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    // Backpressure: a producer cannot run ahead of the devices by more
+    // than MaxQueued unfinished tasks.
+    SpaceCv.wait(Lock, [&] { return Unfinished < Options.MaxQueued; });
+
+    Task->Result.Id = NextTaskId++;
+    Task->Result.Label = Task->Desc.Label;
+    Task->SubmitTime = std::chrono::steady_clock::now();
+
+    // Hazard scan: serialize after every unfinished earlier task whose
+    // access set conflicts (RAW/WAR/WAW). Scanning all live tasks (not
+    // just the latest conflict) keeps the logic order-robust; transitive
+    // edges are redundant but harmless.
+    for (const std::shared_ptr<TaskState> &Earlier : Live) {
+      if (Earlier->GraphDone)
+        continue;
+      if (Task->Access.conflictsWith(Earlier->Access)) {
+        Earlier->Dependents.push_back(Task);
+        ++Task->PendingDeps;
+        ++St.HazardEdges;
+      }
+    }
+    Live.push_back(Task);
+    ++Unfinished;
+    ++St.Submitted;
+    St.MaxQueueDepth = std::max(St.MaxQueueDepth, Unfinished);
+
+    IsReady = Task->PendingDeps == 0;
+    if (IsReady)
+      Ready.push_back(Task);
+  }
+  if (IsReady)
+    WorkCv.notify_one();
+  return TaskHandle(Task);
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  SpaceCv.wait(Lock, [&] { return Unfinished == 0; });
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return St;
+}
+
+void Scheduler::workerLoop() {
+  for (;;) {
+    std::shared_ptr<TaskState> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkCv.wait(Lock, [&] { return Stopping || !Ready.empty(); });
+      if (Ready.empty())
+        return; // Stopping, queue drained.
+      Task = std::move(Ready.front());
+      Ready.pop_front();
+      ++Executing;
+      St.MaxTasksInFlight = std::max(St.MaxTasksInFlight, Executing);
+    }
+    execute(Task);
+    finishTask(Task);
+  }
+}
+
+void Scheduler::execute(const std::shared_ptr<TaskState> &Task) {
+  TaskResult &R = Task->Result;
+  R.Timing.QueueSeconds = secondsSince(Task->SubmitTime);
+  R.StartSeq = ++SeqCounter;
+  if (Options.OnTaskStart)
+    Options.OnTaskStart(R.Id);
+
+  const TaskDesc &D = Task->Desc;
+  auto ExecStart = std::chrono::steady_clock::now();
+  const bool OnCpu = D.Preferred == runtime::Device::CPU;
+  if (OnCpu || !Options.AllowHybrid)
+    R.Report = RT.offloadRange(D.Spec, 0, D.N, D.BodyPtr, OnCpu);
+  else
+    R.Report = RT.offloadHybrid(D.Spec, D.N, D.BodyPtr);
+
+  if (R.Report.FellBack) {
+    // The kernel is outside the GPU subset; run the caller-provided
+    // native loop under the same hazard ordering, or fail the task.
+    if (D.NativeFallback) {
+      D.NativeFallback();
+      R.Ok = true;
+    } else {
+      R.Ok = false;
+      R.Error = "kernel unsupported on device and no native fallback: " +
+                R.Report.Diagnostics;
+    }
+  } else if (!R.Report.Ok) {
+    R.Ok = false;
+    R.Error = R.Report.Diagnostics.empty() ? "launch failed"
+                                           : R.Report.Diagnostics;
+  } else {
+    R.Ok = true;
+  }
+
+  R.Timing.CompileSeconds = R.Report.CompileSeconds;
+  R.Timing.ExecuteSeconds = std::max(
+      0.0, secondsSince(ExecStart) - R.Report.CompileSeconds);
+  R.EndSeq = ++SeqCounter;
+  if (Options.OnTaskFinish)
+    Options.OnTaskFinish(R.Id);
+}
+
+void Scheduler::finishTask(const std::shared_ptr<TaskState> &Task) {
+  std::vector<std::shared_ptr<TaskState>> NowReady;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Task->GraphDone = true;
+    for (const std::shared_ptr<TaskState> &Dep : Task->Dependents) {
+      assert(Dep->PendingDeps > 0 && "dependent missing its edge");
+      if (--Dep->PendingDeps == 0) {
+        Ready.push_back(Dep);
+        NowReady.push_back(Dep);
+      }
+    }
+    Task->Dependents.clear();
+    Live.erase(std::remove(Live.begin(), Live.end(), Task), Live.end());
+    --Executing;
+    --Unfinished;
+    ++St.Completed;
+    if (!Task->Result.Ok)
+      ++St.Failed;
+    if (Task->Result.Report.Hybrid)
+      ++St.HybridLaunches;
+  }
+  // Publish the result before waking waiters.
+  {
+    std::lock_guard<std::mutex> Lock(Task->DoneMutex);
+    Task->Done = true;
+  }
+  Task->DoneCv.notify_all();
+  for (size_t I = 0; I < NowReady.size(); ++I)
+    WorkCv.notify_one();
+  SpaceCv.notify_all();
+}
+
+} // namespace sched
+} // namespace concord

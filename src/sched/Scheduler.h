@@ -1,0 +1,213 @@
+//===- Scheduler.h - Async heterogeneous task scheduler --------*- C++ -*-===//
+///
+/// \file
+/// An asynchronous task layer over runtime::Runtime. Concord's base API
+/// executes one parallel_for_hetero at a time, synchronously, on exactly
+/// one device; the scheduler turns launches into *tasks*:
+///
+///  * submit() enqueues a kernel launch with a declared AccessSet and
+///    returns a TaskHandle future immediately;
+///  * hazard edges (RAW/WAR/WAW on overlapping byte ranges) are derived
+///    automatically from the access sets — conflicting tasks serialize in
+///    submission order, disjoint tasks run concurrently on a worker pool;
+///  * schedule-free kernels may be hybrid-partitioned: the index space is
+///    split at a profile-guided boundary and dispatched to the GPU and
+///    CPU machine models simultaneously (runtime::Runtime::offloadHybrid),
+///    with the reports merged;
+///  * the submission queue is bounded: submit() applies backpressure
+///    (blocks) once MaxQueued tasks are unfinished, so a fast producer
+///    cannot outrun the devices unboundedly;
+///  * every task records queue-wait / compile / execute timing and global
+///    start/end sequence numbers, which the bench harness surfaces and
+///    the hazard tests assert ordering with.
+///
+/// Threading contract: submit()/drain()/wait() may be called from any
+/// thread except scheduler workers (a worker waiting on another task's
+/// handle could deadlock). Configuration of the underlying Runtime
+/// (setGpuOptions, setSimOptions, setExecMode) must not race in-flight
+/// tasks. Access sets are trusted; see AccessSet.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_SCHED_SCHEDULER_H
+#define CONCORD_SCHED_SCHEDULER_H
+
+#include "runtime/Runtime.h"
+#include "sched/AccessSet.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace concord {
+namespace sched {
+
+struct SchedulerOptions {
+  /// Worker threads executing ready tasks (0 = 2). Each launch may itself
+  /// simulate cores on multiple host threads, so a small pool already
+  /// keeps the host busy.
+  unsigned NumWorkers = 0;
+  /// Backpressure bound: maximum unfinished (queued + executing) tasks
+  /// before submit() blocks. Must be >= 1.
+  size_t MaxQueued = 64;
+  /// Allow hybrid CPU/GPU splitting of schedule-free tasks preferring the
+  /// GPU. Ineligible kernels run single-device either way.
+  bool AllowHybrid = true;
+  /// Hybrid policy forwarded to the runtime when AllowHybrid is set.
+  runtime::HybridOptions Hybrid;
+  /// Test/trace instrumentation, invoked on the worker thread immediately
+  /// before and after a task executes. May block (the hazard tests use a
+  /// gate to prove two tasks are in flight simultaneously); must not call
+  /// back into the scheduler.
+  std::function<void(uint64_t TaskId)> OnTaskStart;
+  std::function<void(uint64_t TaskId)> OnTaskFinish;
+};
+
+/// Host-side timing of one task's life cycle.
+struct TaskTiming {
+  double QueueSeconds = 0;   ///< submit() to worker pickup (includes
+                             ///< waiting out hazard dependencies).
+  double CompileSeconds = 0; ///< JIT cost paid by this task (0 if cached).
+  double ExecuteSeconds = 0; ///< Wall time hosting the launch (less JIT).
+};
+
+struct TaskResult {
+  uint64_t Id = 0;
+  std::string Label;
+  bool Ok = false;
+  std::string Error;
+  runtime::LaunchReport Report; ///< Merged report for hybrid launches.
+  TaskTiming Timing;
+  /// Global monotone sequence stamps taken when the task started and
+  /// finished executing. Hazard-ordered tasks satisfy
+  /// Earlier.EndSeq < Later.StartSeq; concurrent tasks have interleaved
+  /// stamps (A.StartSeq < B.EndSeq and B.StartSeq < A.EndSeq).
+  uint64_t StartSeq = 0;
+  uint64_t EndSeq = 0;
+};
+
+namespace detail {
+struct TaskState;
+}
+
+/// Future for a submitted task. Cheap to copy; outliving the Scheduler is
+/// safe (the destructor drains first).
+class TaskHandle {
+public:
+  TaskHandle() = default;
+
+  bool valid() const { return State != nullptr; }
+  uint64_t id() const;
+  bool done() const;
+
+  /// Blocks until the task completes and returns its result. Must not be
+  /// called from a scheduler worker thread.
+  const TaskResult &wait() const;
+
+private:
+  friend class Scheduler;
+  explicit TaskHandle(std::shared_ptr<detail::TaskState> State)
+      : State(std::move(State)) {}
+  std::shared_ptr<detail::TaskState> State;
+};
+
+/// Everything needed to launch one task.
+struct TaskDesc {
+  runtime::KernelSpec Spec;
+  int64_t N = 0;
+  void *BodyPtr = nullptr; ///< Must live in the runtime's shared region.
+  /// Device preference: GPU tasks may hybrid-split; CPU tasks run whole
+  /// on the CPU machine model.
+  runtime::Device Preferred = runtime::Device::GPU;
+  /// Invoked (on the worker) when the kernel is unsupported on the device
+  /// and the runtime reports FellBack; without one the task fails.
+  std::function<void()> NativeFallback;
+  std::string Label; ///< For reports/bench output; defaults to BodyClass.
+};
+
+class Scheduler {
+public:
+  struct Stats {
+    uint64_t Submitted = 0;
+    uint64_t Completed = 0;
+    uint64_t Failed = 0;       ///< Completed with !Ok.
+    uint64_t HazardEdges = 0;  ///< Dependency edges derived from overlaps.
+    uint64_t HybridLaunches = 0;
+    unsigned MaxTasksInFlight = 0; ///< Peak concurrently-executing tasks.
+    size_t MaxQueueDepth = 0;      ///< Peak unfinished tasks (bounded by
+                                   ///< SchedulerOptions::MaxQueued).
+  };
+
+  explicit Scheduler(runtime::Runtime &RT, SchedulerOptions Options = {});
+  /// Drains all submitted tasks, then stops the workers.
+  ~Scheduler();
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Enqueues a task and returns its future. Blocks when MaxQueued tasks
+  /// are already unfinished (backpressure). Hazard edges against all
+  /// unfinished earlier tasks are derived from \p Access here.
+  TaskHandle submit(TaskDesc Desc, AccessSet Access);
+
+  /// Convenience: spec + raw body pointer, GPU-preferred.
+  TaskHandle submit(const runtime::KernelSpec &Spec, int64_t N,
+                    void *BodyPtr, AccessSet Access);
+
+  /// Convenience for Concord Body classes (see concord/Concord.h): derives
+  /// the spec and a native CPU fallback from the body type.
+  template <typename BodyT>
+  TaskHandle submit(int64_t N, BodyT *Body, AccessSet Access,
+                    runtime::Device Preferred = runtime::Device::GPU) {
+    TaskDesc D;
+    D.Spec = runtime::KernelSpec{BodyT::kernelSource(),
+                                 BodyT::kernelClassName()};
+    D.N = N;
+    D.BodyPtr = Body;
+    D.Preferred = Preferred;
+    runtime::Runtime *R = &RT;
+    D.NativeFallback = [R, N, Body] {
+      R->pool().parallelFor(N, [Body](int64_t I) { (*Body)(int(I)); });
+    };
+    return submit(std::move(D), std::move(Access));
+  }
+
+  /// Blocks until every task submitted so far has completed.
+  void drain();
+
+  Stats stats() const;
+  runtime::Runtime &runtime() { return RT; }
+
+private:
+  void workerLoop();
+  void execute(const std::shared_ptr<detail::TaskState> &Task);
+  void finishTask(const std::shared_ptr<detail::TaskState> &Task);
+
+  runtime::Runtime &RT;
+  SchedulerOptions Options;
+
+  mutable std::mutex Mutex; ///< Guards all fields below + task graph state.
+  std::condition_variable WorkCv;  ///< Workers: ready task or stop.
+  std::condition_variable SpaceCv; ///< Producers: queue space / drain.
+  bool Stopping = false;
+  uint64_t NextTaskId = 1;
+  size_t Unfinished = 0; ///< Submitted but not completed.
+  std::deque<std::shared_ptr<detail::TaskState>> Ready;
+  /// Unfinished tasks in submission order (hazard scan candidates).
+  std::vector<std::shared_ptr<detail::TaskState>> Live;
+  unsigned Executing = 0;
+  Stats St;
+
+  std::atomic<uint64_t> SeqCounter{0};
+  std::vector<std::thread> Workers;
+};
+
+} // namespace sched
+} // namespace concord
+
+#endif // CONCORD_SCHED_SCHEDULER_H

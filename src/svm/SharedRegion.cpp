@@ -23,7 +23,7 @@ SharedRegion::SharedRegion(size_t CapacityBytes, uint64_t GpuBase) {
 }
 
 SharedRegion::~SharedRegion() {
-  assert(PinCount == 0 && "destroying a region pinned by a kernel launch");
+  assert(!isPinned() && "destroying a region pinned by a kernel launch");
   std::free(Arena);
 }
 
@@ -114,8 +114,9 @@ void *SharedRegion::hostFromGpu(uint64_t GpuAddr, size_t AccessSize) const {
 }
 
 void SharedRegion::unpin() {
-  assert(PinCount > 0 && "unbalanced unpin");
-  --PinCount;
+  unsigned Was = PinCount.fetch_sub(1, std::memory_order_relaxed);
+  assert(Was > 0 && "unbalanced unpin");
+  (void)Was;
 }
 
 size_t SharedRegion::freeBytes() const {

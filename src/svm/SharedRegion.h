@@ -18,6 +18,7 @@
 #ifndef CONCORD_SVM_SHAREDREGION_H
 #define CONCORD_SVM_SHAREDREGION_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -26,6 +27,33 @@
 
 namespace concord {
 namespace svm {
+
+/// A half-open byte range [Begin, End) of CPU virtual addresses inside a
+/// shared region. The scheduler's access sets are built from these; hazard
+/// detection reduces to overlap queries between ranges.
+struct MemRange {
+  uint64_t Begin = 0;
+  uint64_t End = 0; ///< One past the last byte; Begin == End is empty.
+
+  bool empty() const { return Begin >= End; }
+  uint64_t size() const { return empty() ? 0 : End - Begin; }
+
+  bool overlaps(const MemRange &Other) const {
+    return Begin < Other.End && Other.Begin < End && !empty() &&
+           !Other.empty();
+  }
+  bool contains(const MemRange &Other) const {
+    return Other.empty() || (Begin <= Other.Begin && Other.End <= End);
+  }
+
+  static MemRange ofBytes(const void *Ptr, size_t Bytes) {
+    auto P = reinterpret_cast<uint64_t>(Ptr);
+    return {P, P + Bytes};
+  }
+  template <typename T> static MemRange ofArray(const T *Ptr, size_t N) {
+    return ofBytes(Ptr, N * sizeof(T));
+  }
+};
 
 /// Allocation statistics for a shared region.
 struct RegionStats {
@@ -91,6 +119,17 @@ public:
     return P >= CpuBaseAddr && P < CpuBaseAddr + Capacity;
   }
 
+  /// True if the whole byte range lies inside this region.
+  bool containsRange(const MemRange &R) const {
+    return R.empty() ||
+           (R.Begin >= CpuBaseAddr && R.End <= CpuBaseAddr + Capacity);
+  }
+
+  /// The region's full extent as a MemRange (CPU addresses).
+  MemRange range() const {
+    return {CpuBaseAddr, CpuBaseAddr + Capacity};
+  }
+
   /// CPU virtual address of the region base.
   uint64_t cpuBase() const { return CpuBaseAddr; }
   /// GPU virtual address of the backing surface base.
@@ -111,9 +150,13 @@ public:
   /// Pins the region for the duration of a GPU kernel launch. The region is
   /// modelled as always resident; pinning is tracked so the runtime can
   /// assert the consistency protocol (pin before launch, unpin after).
-  void pin() { ++PinCount; }
+  /// The count is atomic: the scheduler launches kernels concurrently from
+  /// several worker threads, all pinning the same region.
+  void pin() { PinCount.fetch_add(1, std::memory_order_relaxed); }
   void unpin();
-  bool isPinned() const { return PinCount != 0; }
+  bool isPinned() const {
+    return PinCount.load(std::memory_order_relaxed) != 0;
+  }
 
   const RegionStats &stats() const { return Stats; }
 
@@ -135,7 +178,7 @@ private:
   size_t Capacity = 0;
   uint64_t CpuBaseAddr = 0;
   uint64_t GpuBaseAddr = 0;
-  unsigned PinCount = 0;
+  std::atomic<unsigned> PinCount{0};
   RegionStats Stats;
 
   /// Free blocks keyed by arena offset -> block size. Adjacent blocks are

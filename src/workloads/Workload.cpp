@@ -8,6 +8,8 @@ using namespace concord::workloads;
 bool concord::workloads::accumulate(WorkloadRun &Run,
                                     const LaunchReport &Rep) {
   ++Run.Launches;
+  if (Rep.Hybrid)
+    ++Run.HybridLaunches;
   Run.CompileSeconds += Rep.CompileSeconds;
   if (!Rep.Ok || Rep.FellBack) {
     Run.Ok = false;

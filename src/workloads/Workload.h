@@ -36,6 +36,7 @@ struct WorkloadRun {
   bool Ok = false;
   std::string Error;
   unsigned Launches = 0;
+  unsigned HybridLaunches = 0; ///< Launches that hybrid-split CPU+GPU.
   double Seconds = 0;       ///< Modelled device seconds, summed.
   double Joules = 0;        ///< Modelled package energy, summed.
   double CompileSeconds = 0;///< One-time JIT cost (first GPU launch).

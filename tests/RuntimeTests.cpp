@@ -7,6 +7,8 @@
 
 #include <cstring>
 #include <random>
+#include <thread>
+#include <vector>
 
 using namespace concord;
 
@@ -42,6 +44,50 @@ TEST(RuntimeCache, SeparateEntriesPerDeviceAndOptions) {
   EXPECT_EQ(RT.programCacheSize(), 3u);
   RT.offload(Spec, 64, Body, false); // Cached.
   EXPECT_EQ(RT.programCacheSize(), 3u);
+}
+
+// Eight threads racing offload() on the same spec must produce one cache
+// entry and exactly one JIT compile; the losers block on the in-flight
+// compile and reuse its program.
+TEST(RuntimeCache, ConcurrentOffloadCompilesOnce) {
+  svm::SharedRegion Region(32 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  runtime::KernelSpec Spec{TinySrc, "Tiny"};
+
+  constexpr int Threads = 8;
+  constexpr int N = 256;
+  struct Bits {
+    int32_t *Data;
+  };
+  std::vector<Bits *> Bodies;
+  for (int T = 0; T < Threads; ++T) {
+    auto *Data = Region.allocArray<int32_t>(N);
+    auto *Body = Region.create<Bits>();
+    Body->Data = Data;
+    Bodies.push_back(Body);
+  }
+
+  std::vector<LaunchReport> Reports(Threads);
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      Reports[size_t(T)] = RT.offload(Spec, N, Bodies[size_t(T)], false);
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+
+  unsigned Compiles = 0;
+  for (const LaunchReport &Rep : Reports) {
+    ASSERT_TRUE(Rep.Ok) << Rep.Diagnostics;
+    if (!Rep.JitCached)
+      ++Compiles;
+  }
+  EXPECT_EQ(Compiles, 1u);
+  EXPECT_EQ(RT.programCacheSize(), 1u);
+  for (Bits *Body : Bodies)
+    for (int I = 0; I < N; ++I)
+      ASSERT_EQ(Body->Data[I], I * 3);
 }
 
 TEST(RuntimeCache, FailedProgramsAreCachedToo) {

@@ -1,0 +1,310 @@
+//===- SchedTests.cpp - Async scheduler + hybrid partitioning tests -------===//
+
+#include "sched/Scheduler.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <vector>
+
+using namespace concord;
+
+namespace {
+
+/// data[i] = i * 3
+const char *FillSrc = R"(
+  class Fill {
+  public:
+    int* data;
+    void operator()(int i) { data[i] = i * 3; }
+  };
+)";
+
+/// out[i] = in[i] * 2
+const char *DoubleSrc = R"(
+  class Double {
+  public:
+    int* in;
+    int* out;
+    void operator()(int i) { out[i] = in[i] * 2; }
+  };
+)";
+
+/// data[i] = 7
+const char *SevenSrc = R"(
+  class Seven {
+  public:
+    int* data;
+    void operator()(int i) { data[i] = 7; }
+  };
+)";
+
+struct OnePtr {
+  int32_t *Data;
+};
+struct TwoPtr {
+  int32_t *In;
+  int32_t *Out;
+};
+
+sched::TaskDesc descOf(const char *Src, const char *Cls, int64_t N,
+                       void *Body) {
+  sched::TaskDesc D;
+  D.Spec = runtime::KernelSpec{Src, Cls};
+  D.N = N;
+  D.BodyPtr = Body;
+  return D;
+}
+
+} // namespace
+
+// Overlapping access sets must serialize in submission order: a
+// write->read->write chain over the same array yields strictly ordered
+// sequence stamps and the memory state of sequential execution.
+TEST(SchedHazards, OverlappingSerializeInSubmissionOrder) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+
+  constexpr int N = 2048;
+  auto *X = Region.allocArray<int32_t>(N);
+  auto *Y = Region.allocArray<int32_t>(N);
+  auto *Fill = Region.create<OnePtr>();
+  Fill->Data = X;
+  auto *Dbl = Region.create<TwoPtr>();
+  Dbl->In = X;
+  Dbl->Out = Y;
+  auto *Seven = Region.create<OnePtr>();
+  Seven->Data = X;
+
+  sched::SchedulerOptions SO;
+  SO.NumWorkers = 4; // Plenty of workers: only hazards may serialize.
+  sched::Scheduler Sched(RT, SO);
+
+  auto XSet = sched::AccessSet().writeArray(X, N);
+  auto T1 = Sched.submit(descOf(FillSrc, "Fill", N, Fill), XSet);
+  auto T2 = Sched.submit(
+      descOf(DoubleSrc, "Double", N, Dbl),
+      sched::AccessSet().readArray(X, N).writeArray(Y, N)); // RAW on X.
+  auto T3 = Sched.submit(descOf(SevenSrc, "Seven", N, Seven),
+                         XSet); // WAW with T1, WAR with T2.
+  Sched.drain();
+
+  const sched::TaskResult &R1 = T1.wait();
+  const sched::TaskResult &R2 = T2.wait();
+  const sched::TaskResult &R3 = T3.wait();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  ASSERT_TRUE(R3.Ok) << R3.Error;
+
+  // Strict serialization: each task finished before its successor began.
+  EXPECT_LT(R1.EndSeq, R2.StartSeq);
+  EXPECT_LT(R2.EndSeq, R3.StartSeq);
+  EXPECT_EQ(Sched.stats().HazardEdges, 3u); // T1->T2, T1->T3, T2->T3.
+
+  // Memory agrees with sequential execution.
+  for (int I = 0; I < N; ++I) {
+    ASSERT_EQ(Y[I], I * 6) << "Y at " << I;
+    ASSERT_EQ(X[I], 7) << "X at " << I;
+  }
+}
+
+// Tasks with disjoint access sets may overlap: with two workers and a
+// start gate that waits for both, the stats and sequence stamps must show
+// two tasks in flight simultaneously.
+TEST(SchedHazards, DisjointTasksRunConcurrently) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+
+  constexpr int N = 4096;
+  auto *A = Region.allocArray<int32_t>(N);
+  auto *B = Region.allocArray<int32_t>(N);
+  auto *FillA = Region.create<OnePtr>();
+  FillA->Data = A;
+  auto *FillB = Region.create<OnePtr>();
+  FillB->Data = B;
+
+  std::mutex GateMutex;
+  std::condition_variable GateCv;
+  unsigned Started = 0;
+  sched::SchedulerOptions SO;
+  SO.NumWorkers = 2;
+  // Hold every task at its start until both have started (5s timeout so a
+  // serialization bug fails the assertion instead of hanging the test).
+  SO.OnTaskStart = [&](uint64_t) {
+    std::unique_lock<std::mutex> Lock(GateMutex);
+    ++Started;
+    GateCv.notify_all();
+    GateCv.wait_for(Lock, std::chrono::seconds(5),
+                    [&] { return Started >= 2; });
+  };
+  sched::Scheduler Sched(RT, SO);
+
+  auto T1 = Sched.submit(descOf(FillSrc, "Fill", N, FillA),
+                         sched::AccessSet().writeArray(A, N));
+  auto T2 = Sched.submit(descOf(FillSrc, "Fill", N, FillB),
+                         sched::AccessSet().writeArray(B, N));
+  Sched.drain();
+
+  const sched::TaskResult &R1 = T1.wait();
+  const sched::TaskResult &R2 = T2.wait();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(Started, 2u);
+  EXPECT_GE(Sched.stats().MaxTasksInFlight, 2u);
+  EXPECT_EQ(Sched.stats().HazardEdges, 0u);
+  // Interleaved lifetimes: each task started before the other ended.
+  EXPECT_LT(R1.StartSeq, R2.EndSeq);
+  EXPECT_LT(R2.StartSeq, R1.EndSeq);
+  for (int I = 0; I < N; ++I) {
+    ASSERT_EQ(A[I], I * 3);
+    ASSERT_EQ(B[I], I * 3);
+  }
+}
+
+// The bounded submission queue applies backpressure: with MaxQueued = 2,
+// the high-water mark of unfinished tasks never exceeds 2 even when many
+// independent tasks are submitted as fast as possible.
+TEST(SchedBackpressure, UnfinishedTasksBounded) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+
+  constexpr int N = 1024;
+  constexpr int Tasks = 6;
+  std::vector<sched::TaskHandle> Handles;
+  sched::SchedulerOptions SO;
+  SO.NumWorkers = 1;
+  SO.MaxQueued = 2;
+  {
+    sched::Scheduler Sched(RT, SO);
+    for (int T = 0; T < Tasks; ++T) {
+      auto *Data = Region.allocArray<int32_t>(N);
+      auto *Body = Region.create<OnePtr>();
+      Body->Data = Data;
+      Handles.push_back(Sched.submit(descOf(FillSrc, "Fill", N, Body),
+                                     sched::AccessSet().writeArray(Data, N)));
+    }
+    Sched.drain();
+    EXPECT_EQ(Sched.stats().Submitted, unsigned(Tasks));
+    EXPECT_EQ(Sched.stats().Completed, unsigned(Tasks));
+    EXPECT_LE(Sched.stats().MaxQueueDepth, 2u);
+  }
+  for (auto &H : Handles)
+    EXPECT_TRUE(H.wait().Ok) << H.wait().Error;
+}
+
+// Hybrid CPU/GPU partitioning must be bit-identical to the pure-GPU
+// launch for every workload: the schedule-free four actually split, the
+// rest fall back to single-device, and in both cases the full shared
+// arena matches a pure-GPU snapshot byte for byte.
+TEST(SchedHybrid, AllWorkloadsBitIdenticalToPureGpu) {
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  const std::set<std::string> ScheduleFree = {"BarnesHut", "BTree",
+                                              "Raytracer", "SkipList"};
+  for (auto &W : workloads::allWorkloads()) {
+    SCOPED_TRACE(W->name());
+    svm::SharedRegion Region(256 << 20);
+    Runtime RT(Machine, Region);
+    ASSERT_TRUE(W->setup(Region, 1));
+
+    workloads::WorkloadRun G = W->run(RT, /*OnCpu=*/false);
+    ASSERT_TRUE(G.Ok) << G.Error;
+    std::vector<char> Snapshot(Region.capacity());
+    std::memcpy(Snapshot.data(), reinterpret_cast<void *>(Region.cpuBase()),
+                Region.capacity());
+
+    RT.setExecMode(runtime::ExecMode::Hybrid);
+    workloads::WorkloadRun H = W->run(RT, /*OnCpu=*/false);
+    ASSERT_TRUE(H.Ok) << H.Error;
+    std::string VerifyError;
+    EXPECT_TRUE(W->verify(&VerifyError)) << VerifyError;
+
+    const bool ExpectSplit = ScheduleFree.count(W->name()) > 0;
+    EXPECT_EQ(RT.kernelScheduleFree(W->kernelSpec()), ExpectSplit);
+    if (ExpectSplit)
+      EXPECT_GT(H.HybridLaunches, 0u);
+    else
+      EXPECT_EQ(H.HybridLaunches, 0u);
+
+    EXPECT_EQ(std::memcmp(Snapshot.data(),
+                          reinterpret_cast<void *>(Region.cpuBase()),
+                          Region.capacity()),
+              0)
+        << "hybrid execution diverged from the pure-GPU arena";
+  }
+}
+
+// The profile-guided split ratio adapts: after hybrid launches record
+// throughput history, the fraction moves off its initial value and stays
+// inside the clamp.
+TEST(SchedHybrid, SplitRatioAdaptsFromHistory) {
+  svm::SharedRegion Region(32 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  RT.setExecMode(runtime::ExecMode::Hybrid);
+
+  constexpr int N = 32768;
+  auto *Data = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<OnePtr>();
+  Body->Data = Data;
+  runtime::KernelSpec Spec{FillSrc, "Fill"};
+
+  const double Initial = RT.hybridGpuFraction(Spec);
+  EXPECT_DOUBLE_EQ(Initial, RT.hybridOptions().InitialGpuFraction);
+  for (int I = 0; I < 3; ++I) {
+    LaunchReport Rep = RT.offload(Spec, N, Body, /*OnCpu=*/false);
+    ASSERT_TRUE(Rep.Ok) << Rep.Diagnostics;
+    ASSERT_TRUE(Rep.Hybrid);
+    EXPECT_GT(Rep.HybridSplit, 0);
+    EXPECT_LT(Rep.HybridSplit, N);
+  }
+  const double Adapted = RT.hybridGpuFraction(Spec);
+  EXPECT_NE(Adapted, Initial);
+  EXPECT_GE(Adapted, 0.05);
+  EXPECT_LE(Adapted, 0.95);
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Data[I], I * 3);
+}
+
+// A scheduler full of independent tasks sharing one kernel must compile
+// it exactly once: the program cache is guarded, so concurrent workers
+// block on the in-flight compile instead of duplicating it.
+TEST(SchedJit, ConcurrentTasksCompileOnce) {
+  svm::SharedRegion Region(32 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+
+  constexpr int N = 1024;
+  constexpr int Tasks = 8;
+  std::vector<sched::TaskHandle> Handles;
+  sched::SchedulerOptions SO;
+  SO.NumWorkers = 4;
+  SO.AllowHybrid = false; // Single program: GPU only.
+  {
+    sched::Scheduler Sched(RT, SO);
+    for (int T = 0; T < Tasks; ++T) {
+      auto *Data = Region.allocArray<int32_t>(N);
+      auto *Body = Region.create<OnePtr>();
+      Body->Data = Data;
+      Handles.push_back(Sched.submit(descOf(FillSrc, "Fill", N, Body),
+                                     sched::AccessSet().writeArray(Data, N)));
+    }
+    Sched.drain();
+  }
+  unsigned Compiles = 0;
+  for (auto &H : Handles) {
+    const sched::TaskResult &R = H.wait();
+    ASSERT_TRUE(R.Ok) << R.Error;
+    if (!R.Report.JitCached)
+      ++Compiles;
+  }
+  EXPECT_EQ(Compiles, 1u);
+  EXPECT_EQ(RT.programCacheSize(), 1u);
+}
