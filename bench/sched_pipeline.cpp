@@ -14,8 +14,14 @@
 //   --workers N     scheduler worker threads (default 3)
 //   --max-queued N  backpressure bound on unfinished tasks (default 8)
 //   --no-hybrid     disable hybrid CPU/GPU splitting
+//   --no-verify     trust declared access sets instead of verifying them
 //   --json <path>   write per-task timing + scheduler stats as JSON
 //   --quiet         suppress the progress table
+//
+// Access sets run under FootprintPolicy::Verify by default: every declared
+// set is cross-checked against the statically inferred kernel footprint,
+// and the benchmark fails if any submission is rejected — the pipeline's
+// declarations are exact, so a rejection is an analysis regression.
 //
 //===----------------------------------------------------------------------===//
 
@@ -65,6 +71,7 @@ struct Options {
   unsigned Workers = 3;
   size_t MaxQueued = 8;
   bool Hybrid = true;
+  bool Verify = true;
   bool Quiet = false;
   std::string JsonPath;
 };
@@ -88,6 +95,8 @@ int main(int argc, char **argv) {
       Opt.MaxQueued = size_t(Next());
     else if (Arg == "--no-hybrid")
       Opt.Hybrid = false;
+    else if (Arg == "--no-verify")
+      Opt.Verify = false;
     else if (Arg == "--quiet")
       Opt.Quiet = true;
     else if (Arg == "--json" && I + 1 < argc)
@@ -105,6 +114,8 @@ int main(int argc, char **argv) {
   svm::SharedRegion Region(256 << 20);
   auto Machine = gpusim::MachineConfig::ultrabook();
   Runtime RT(Machine, Region);
+  if (Opt.Verify)
+    RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
 
   constexpr int Stages = 3;
   const float Ks[Stages] = {1.25f, 0.75f, 1.5f};
@@ -185,11 +196,22 @@ int main(int argc, char **argv) {
                     R.Report.Hybrid ? "hybrid" : "single");
       }
       std::printf("\n%llu tasks, %llu hazard edges, %llu hybrid, "
-                  "max %u in flight, queue high-water %zu, wall %.3f s\n",
+                  "max %u in flight, queue high-water %zu, "
+                  "%llu verify-rejected, wall %.3f s\n",
                   (unsigned long long)St.Submitted,
                   (unsigned long long)St.HazardEdges,
                   (unsigned long long)St.HybridLaunches,
-                  St.MaxTasksInFlight, St.MaxQueueDepth, WallSeconds);
+                  St.MaxTasksInFlight, St.MaxQueueDepth,
+                  (unsigned long long)St.VerifyRejected, WallSeconds);
+    }
+
+    // Verified mode must be clean: the declared sets are exact, so a
+    // rejection means the footprint analysis or coverage check regressed.
+    if (Opt.Verify && St.VerifyRejected != 0) {
+      std::fprintf(stderr,
+                   "access-set verification rejected %llu tasks\n",
+                   (unsigned long long)St.VerifyRejected);
+      return 1;
     }
 
     if (!Opt.JsonPath.empty()) {
@@ -202,22 +224,25 @@ int main(int argc, char **argv) {
       std::fprintf(F, "  \"machine\": \"%s\",\n", Machine.Name.c_str());
       std::fprintf(F,
                    "  \"frames\": %d, \"items\": %d, \"workers\": %u, "
-                   "\"max_queued\": %zu, \"hybrid\": %s,\n",
+                   "\"max_queued\": %zu, \"hybrid\": %s, \"verify\": %s,\n",
                    Opt.Frames, Opt.Items, Opt.Workers, Opt.MaxQueued,
-                   Opt.Hybrid ? "true" : "false");
+                   Opt.Hybrid ? "true" : "false",
+                   Opt.Verify ? "true" : "false");
       std::fprintf(F, "  \"wall_seconds\": %.6f,\n", WallSeconds);
       std::fprintf(
           F,
           "  \"stats\": {\"submitted\": %llu, \"completed\": %llu, "
           "\"failed\": %llu, \"hazard_edges\": %llu, "
           "\"hybrid_launches\": %llu, \"max_in_flight\": %u, "
-          "\"max_queue_depth\": %zu},\n",
+          "\"max_queue_depth\": %zu, \"verify_rejected\": %llu, "
+          "\"inferred_sets\": %llu},\n",
           (unsigned long long)St.Submitted,
           (unsigned long long)St.Completed,
           (unsigned long long)St.Failed,
           (unsigned long long)St.HazardEdges,
           (unsigned long long)St.HybridLaunches, St.MaxTasksInFlight,
-          St.MaxQueueDepth);
+          St.MaxQueueDepth, (unsigned long long)St.VerifyRejected,
+          (unsigned long long)St.InferredSets);
       std::fprintf(F, "  \"tasks\": [\n");
       for (size_t I = 0; I < Handles.size(); ++I) {
         const sched::TaskResult &R = Handles[I].wait();

@@ -8,6 +8,12 @@
 // concurrently with the chain to show that only true dependencies
 // serialize.
 //
+// The runtime runs in FootprintPolicy::Verify: every declared access set
+// is cross-checked against the statically inferred kernel footprint (an
+// under-declaration would be rejected instead of racing), and the
+// independent task submits with no declaration at all — its set is
+// inferred from the kernel's footprint.
+//
 // Build & run:  ./build/examples/pipeline_async
 //
 //===----------------------------------------------------------------------===//
@@ -73,6 +79,9 @@ int main() {
   svm::SharedRegion Region(64 << 20);
   auto Machine = gpusim::MachineConfig::ultrabook();
   Runtime RT(Machine, Region);
+  // Cross-check every declared access set against the kernel's statically
+  // inferred footprint; an empty declaration falls back to inference.
+  RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
 
   constexpr int N = 65536;
   int *Dist = Region.allocArray<int>(N);
@@ -93,14 +102,15 @@ int main() {
   sched::Scheduler Sched(RT);
 
   // The chain: T2 declares it reads Dist, which T1 writes -> RAW edge,
-  // T2 waits for T1. TIndep touches neither array and runs concurrently.
+  // T2 waits for T1. TIndep declares nothing: under Verify the scheduler
+  // infers its access set from the kernel footprint (a write to Other,
+  // disjoint from the chain), so it still runs concurrently.
   sched::TaskHandle T1 = Sched.submit(
       N, Stage1, sched::AccessSet().writeArray(Dist, N));
   sched::TaskHandle T2 = Sched.submit(
       N, Stage2,
       sched::AccessSet().readArray(Dist, N).writeArray(Mask, N));
-  sched::TaskHandle TIndep = Sched.submit(
-      N, Indep, sched::AccessSet().writeArray(Other, N));
+  sched::TaskHandle TIndep = Sched.submit(N, Indep, sched::AccessSet());
 
   // wait() is the future's join: after it, the task's memory effects are
   // visible and its report (timing, hybrid split) is final.
@@ -131,9 +141,11 @@ int main() {
               RI.StartSeq < R2.EndSeq ? "yes" : "no");
 
   sched::Scheduler::Stats St = Sched.stats();
-  std::printf("%llu tasks, %llu hazard edges, %llu hybrid launches\n",
+  std::printf("%llu tasks, %llu hazard edges, %llu hybrid launches, "
+              "%llu inferred access sets\n",
               (unsigned long long)St.Submitted,
               (unsigned long long)St.HazardEdges,
-              (unsigned long long)St.HybridLaunches);
+              (unsigned long long)St.HybridLaunches,
+              (unsigned long long)St.InferredSets);
   return Inside == N / 4 - 1 ? 0 : 1;
 }

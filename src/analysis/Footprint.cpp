@@ -1,0 +1,495 @@
+//===- Footprint.cpp ------------------------------------------------------===//
+
+#include "analysis/Footprint.h"
+
+#include "cir/Function.h"
+#include "cir/Instruction.h"
+#include "cir/Module.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+namespace {
+
+/// A resolved address: where it points and how it varies with the
+/// work-item index i.
+struct Addr {
+  enum Kind { Private, Root, Unknown } K = Unknown;
+  std::vector<int64_t> Path; ///< Pointer-load offsets from the body (Root).
+  int64_t Scale = 0;         ///< Bytes per i.
+  int64_t Off = 0;           ///< Constant byte offset past the root.
+  bool OffKnown = true;      ///< False: offset unprovable -> Top on root.
+};
+
+/// An affine function of the work-item index: A * i + B.
+struct AffineIdx {
+  int64_t A = 0;
+  int64_t B = 0;
+};
+
+/// Matches index expressions of the form A * i + B over constants, the
+/// global id, integer casts (looked through; indices are the int loop
+/// counter), +, -, * and << by constants.
+bool affineIndex(const Value *V, AffineIdx &Out, unsigned Depth = 0) {
+  if (Depth > 64)
+    return false;
+  if (const auto *C = dyn_cast<ConstantInt>(V)) {
+    Out = {0, C->sext()};
+    return true;
+  }
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return false;
+  switch (I->opcode()) {
+  case Opcode::GlobalId:
+    Out = {1, 0};
+    return true;
+  case Opcode::Cast:
+    switch (I->castKind()) {
+    case CastKind::Trunc:
+    case CastKind::SExt:
+    case CastKind::ZExt:
+      return affineIndex(I->operand(0), Out, Depth + 1);
+    default:
+      return false;
+    }
+  case Opcode::Add:
+  case Opcode::Sub: {
+    AffineIdx L, R;
+    if (!affineIndex(I->operand(0), L, Depth + 1) ||
+        !affineIndex(I->operand(1), R, Depth + 1))
+      return false;
+    if (I->opcode() == Opcode::Add)
+      Out = {L.A + R.A, L.B + R.B};
+    else
+      Out = {L.A - R.A, L.B - R.B};
+    return true;
+  }
+  case Opcode::Mul: {
+    AffineIdx L, R;
+    if (!affineIndex(I->operand(0), L, Depth + 1) ||
+        !affineIndex(I->operand(1), R, Depth + 1))
+      return false;
+    if (L.A != 0 && R.A != 0)
+      return false; // Quadratic in i.
+    Out = {L.A * R.B + R.A * L.B, L.B * R.B};
+    return true;
+  }
+  case Opcode::Shl: {
+    AffineIdx L;
+    const auto *Sh = dyn_cast<ConstantInt>(I->operand(1));
+    if (!Sh || Sh->zext() > 62 ||
+        !affineIndex(I->operand(0), L, Depth + 1))
+      return false;
+    Out = {L.A << Sh->zext(), L.B << Sh->zext()};
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+class Resolver {
+public:
+  Addr resolve(const Value *V, unsigned Depth = 0) {
+    Addr R;
+    if (Depth > 128)
+      return R;
+    if (const auto *A = dyn_cast<Argument>(V)) {
+      // Argument 0 of a kernel entry is the body object's address (see
+      // createKernelEntry); anything else (reduce scratch, item counts)
+      // has no statically known binding.
+      if (A->index() == 0)
+        R.K = Addr::Root;
+      return R;
+    }
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I)
+      return R;
+    switch (I->opcode()) {
+    case Opcode::Alloca:
+      R.K = Addr::Private;
+      return R;
+    case Opcode::Cast:
+    case Opcode::CpuToGpu:
+    case Opcode::GpuToCpu:
+      return resolve(I->operand(0), Depth + 1);
+    case Opcode::FieldAddr: {
+      Addr Base = resolve(I->operand(0), Depth + 1);
+      if (Base.K == Addr::Root)
+        Base.Off += int64_t(I->attr());
+      return Base;
+    }
+    case Opcode::IndexAddr: {
+      Addr Base = resolve(I->operand(0), Depth + 1);
+      if (Base.K != Addr::Root)
+        return Base;
+      const auto *PT = dyn_cast<PointerType>(I->type());
+      int64_t Elem = PT ? int64_t(PT->pointee()->sizeInBytes()) : 0;
+      AffineIdx Ix;
+      if (Elem > 0 && affineIndex(I->operand(1), Ix)) {
+        Base.Scale += Ix.A * Elem;
+        Base.Off += Ix.B * Elem;
+      } else {
+        Base.OffKnown = false;
+      }
+      return Base;
+    }
+    case Opcode::Load: {
+      // A pointer fetched from memory. If its own address is body-rooted
+      // and index-invariant, every work-item loads the same pointer value
+      // and the pointee is one well-identified allocation: extend the
+      // root path by the load offset. Anything else may alias arbitrarily.
+      Addr From = resolve(I->operand(0), Depth + 1);
+      Addr R2;
+      if (From.K == Addr::Root && From.Scale == 0 && From.OffKnown) {
+        R2.K = Addr::Root;
+        R2.Path = From.Path;
+        R2.Path.push_back(From.Off);
+      }
+      return R2;
+    }
+    default:
+      return R; // Phi / select / arithmetic pointers: unknown.
+    }
+  }
+};
+
+} // namespace
+
+const char *concord::analysis::extentKindName(ExtentKind K) {
+  switch (K) {
+  case ExtentKind::None:
+    return "none";
+  case ExtentKind::Exact:
+    return "exact";
+  case ExtentKind::Affine:
+    return "affine";
+  case ExtentKind::Top:
+    return "top";
+  }
+  return "?";
+}
+
+std::string FootprintEntry::describe() const {
+  std::string S = Write ? "write " : "read ";
+  if (!RootKnown)
+    return S + "<unknown root> top";
+  S += "body";
+  for (int64_t Hop : RootPath)
+    S += "[+" + std::to_string(Hop) + "]->";
+  switch (Kind) {
+  case ExtentKind::Exact:
+    S += " [" + std::to_string(Lo) + "," + std::to_string(Hi) + ")";
+    break;
+  case ExtentKind::Affine:
+    S += " i*" + std::to_string(Scale) + "+[" + std::to_string(Lo) + "," +
+         std::to_string(Hi) + ")";
+    break;
+  default:
+    S += " top";
+    break;
+  }
+  return S;
+}
+
+ExtentKind KernelFootprint::readClass() const {
+  if (!Analyzed)
+    return ExtentKind::Top;
+  ExtentKind K = ExtentKind::None;
+  for (const FootprintEntry &E : Entries)
+    if (!E.Write)
+      K = std::max(K, E.Kind);
+  return K;
+}
+
+ExtentKind KernelFootprint::writeClass() const {
+  if (!Analyzed)
+    return ExtentKind::Top;
+  ExtentKind K = ExtentKind::None;
+  for (const FootprintEntry &E : Entries)
+    if (E.Write)
+      K = std::max(K, E.Kind);
+  return K;
+}
+
+bool KernelFootprint::hasWrites() const {
+  if (!Analyzed)
+    return true;
+  for (const FootprintEntry &E : Entries)
+    if (E.Write)
+      return true;
+  return false;
+}
+
+KernelFootprint concord::analysis::computeFootprint(Function &F) {
+  KernelFootprint FP;
+  Resolver Res;
+
+  auto Add = [&](bool Write, const Value *AddrV, uint64_t Bytes,
+                 SourceLoc L) {
+    Addr A = Res.resolve(AddrV);
+    if (A.K == Addr::Private)
+      return; // Per-work-item memory by construction.
+    FootprintEntry E;
+    E.Write = Write;
+    E.Loc = L;
+    if (A.K == Addr::Root) {
+      E.RootKnown = true;
+      E.RootPath = A.Path;
+      if (!A.OffKnown) {
+        E.Kind = ExtentKind::Top;
+      } else {
+        E.Kind = A.Scale == 0 ? ExtentKind::Exact : ExtentKind::Affine;
+        E.Scale = A.Scale;
+        E.Lo = A.Off;
+        E.Hi = A.Off + int64_t(Bytes);
+      }
+    }
+    // Coalesce with an existing entry of the same shape (widening the
+    // constant window is a conservative over-approximation).
+    for (FootprintEntry &Prev : FP.Entries) {
+      if (Prev.Write != E.Write || Prev.RootKnown != E.RootKnown ||
+          Prev.Kind != E.Kind || Prev.RootPath != E.RootPath ||
+          Prev.Scale != E.Scale)
+        continue;
+      Prev.Lo = std::min(Prev.Lo, E.Lo);
+      Prev.Hi = std::max(Prev.Hi, E.Hi);
+      return;
+    }
+    FP.Entries.push_back(std::move(E));
+  };
+
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      switch (I->opcode()) {
+      case Opcode::Barrier:
+      case Opcode::Call:
+      case Opcode::VCall:
+        // Residual calls hide side effects; barriers imply group-wide data
+        // flow through scratch. Whole-region read + write.
+        FP.Analyzed = false;
+        FP.WhyTop = std::string("kernel uses ") + opcodeName(I->opcode()) +
+                    " at " + I->loc().str();
+        FP.TopLoc = I->loc();
+        FP.Entries.clear();
+        return FP;
+      case Opcode::Load:
+        Add(false, I->pointerOperand(), I->accessBytes(), I->loc());
+        break;
+      case Opcode::Store:
+        Add(true, I->pointerOperand(), I->accessBytes(), I->loc());
+        break;
+      case Opcode::Memcpy:
+        Add(true, I->operand(0), I->accessBytes(), I->loc());
+        Add(false, I->operand(1), I->accessBytes(), I->loc());
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  FP.Analyzed = true;
+  return FP;
+}
+
+std::vector<ConcreteAccess> concord::analysis::concretizeFootprint(
+    const KernelFootprint &FP, const void *BodyPtr, int64_t Base,
+    int64_t Count, svm::MemRange WholeRegion,
+    const AllocExtentFn &AllocExtent) {
+  std::vector<ConcreteAccess> Out;
+  if (!FP.Analyzed) {
+    Out.push_back({WholeRegion, false, false, FP.WhyTop});
+    Out.push_back({WholeRegion, true, false, FP.WhyTop});
+    return Out;
+  }
+  for (const FootprintEntry &E : FP.Entries) {
+    ConcreteAccess CA;
+    CA.Write = E.Write;
+    CA.What = E.describe();
+    if (!E.RootKnown || !BodyPtr) {
+      CA.Range = WholeRegion;
+      Out.push_back(std::move(CA));
+      continue;
+    }
+    // Dereference the root path through host memory; every hop must read a
+    // pointer that lies wholly inside the shared region.
+    uint64_t P = reinterpret_cast<uint64_t>(BodyPtr);
+    bool Resolved = true;
+    for (int64_t Hop : E.RootPath) {
+      uint64_t Slot = uint64_t(int64_t(P) + Hop);
+      if (Slot < WholeRegion.Begin ||
+          Slot + sizeof(void *) > WholeRegion.End) {
+        Resolved = false;
+        break;
+      }
+      void *Next = nullptr;
+      std::memcpy(&Next, reinterpret_cast<const void *>(Slot),
+                  sizeof(void *));
+      P = reinterpret_cast<uint64_t>(Next);
+    }
+    if (!Resolved) {
+      CA.Range = WholeRegion;
+      Out.push_back(std::move(CA));
+      continue;
+    }
+    CA.FromBody = E.RootPath.empty();
+    switch (E.Kind) {
+    case ExtentKind::Top:
+      CA.Range = AllocExtent ? AllocExtent(reinterpret_cast<void *>(P))
+                             : WholeRegion;
+      break;
+    case ExtentKind::Exact:
+      CA.Range = {uint64_t(int64_t(P) + E.Lo), uint64_t(int64_t(P) + E.Hi)};
+      break;
+    case ExtentKind::Affine: {
+      if (Count <= 0)
+        continue;
+      int64_t First = E.Scale * Base;
+      int64_t Last = E.Scale * (Base + Count - 1);
+      int64_t Lo = std::min(First, Last) + E.Lo;
+      int64_t Hi = std::max(First, Last) + E.Hi;
+      CA.Range = {uint64_t(int64_t(P) + Lo), uint64_t(int64_t(P) + Hi)};
+      break;
+    }
+    case ExtentKind::None:
+      continue;
+    }
+    // Clamp to the region: out-of-region bytes cannot carry a hazard.
+    CA.Range.Begin = std::max(CA.Range.Begin, WholeRegion.Begin);
+    CA.Range.End = std::min(CA.Range.End, WholeRegion.End);
+    if (CA.Range.empty())
+      continue;
+    Out.push_back(std::move(CA));
+  }
+  return Out;
+}
+
+bool concord::analysis::scheduleFreeFootprint(const KernelFootprint &FP,
+                                              std::string *WhyNot) {
+  auto Couple = [&](const std::string &Why) {
+    if (WhyNot && WhyNot->empty())
+      *WhyNot = Why;
+    return false;
+  };
+  if (!FP.Analyzed)
+    return Couple(FP.WhyTop);
+
+  // Every write must be an affine per-work-item slot.
+  for (const FootprintEntry &E : FP.Entries) {
+    if (!E.Write)
+      continue;
+    if (!E.RootKnown)
+      return Couple("write through unresolved pointer at " + E.Loc.str());
+    if (E.Kind == ExtentKind::Top)
+      return Couple("write with unprovable offset at " + E.Loc.str());
+    if (E.Kind == ExtentKind::Exact)
+      return Couple("uniform-slot shared write at " + E.Loc.str());
+  }
+
+  // Per written root: one stride, and the combined window of all writes
+  // and all reads of that root must fit inside the stride, so work-item
+  // i's accesses stay inside slot [Scale*i, Scale*(i+1)).
+  std::map<std::vector<int64_t>, std::vector<const FootprintEntry *>> Roots;
+  for (const FootprintEntry &E : FP.Entries)
+    if (E.RootKnown)
+      Roots[E.RootPath].push_back(&E);
+  for (const auto &[Path, Entries] : Roots) {
+    const FootprintEntry *FirstWrite = nullptr;
+    for (const FootprintEntry *E : Entries)
+      if (E->Write) {
+        FirstWrite = E;
+        break;
+      }
+    if (!FirstWrite)
+      continue; // Read-only object: no interference from this kernel.
+    int64_t Scale = FirstWrite->Scale;
+    int64_t Lo = FirstWrite->Lo, Hi = FirstWrite->Hi;
+    for (const FootprintEntry *E : Entries) {
+      if (!E->Write && E->Kind != ExtentKind::Affine)
+        return Couple("cross-work-item read of written object at " +
+                      E->Loc.str());
+      if (E->Scale != Scale)
+        return Couple("mixed strides on written object at " +
+                      E->Loc.str());
+      Lo = std::min(Lo, E->Lo);
+      Hi = std::max(Hi, E->Hi);
+    }
+    if (Hi - Lo > std::abs(Scale))
+      return Couple("slot window [" + std::to_string(Lo) + "," +
+                    std::to_string(Hi) + ") exceeds stride " +
+                    std::to_string(Scale) + " at " + FirstWrite->Loc.str());
+  }
+  return true;
+}
+
+std::vector<HazardFinding>
+concord::analysis::footprintHazards(Module &M) {
+  struct KernelFP {
+    Function *F;
+    KernelFootprint FP;
+  };
+  std::vector<KernelFP> Kernels;
+  for (const auto &F : M.functions())
+    if (F->isKernel())
+      Kernels.push_back({F.get(), computeFootprint(*F)});
+
+  // The coarsest write entry is the most useful thing to point at.
+  auto OffendingWrite = [](const KernelFootprint &FP) {
+    const FootprintEntry *Best = nullptr;
+    for (const FootprintEntry &E : FP.Entries)
+      if (E.Write && (!Best || E.Kind > Best->Kind || !E.RootKnown))
+        Best = &E;
+    return Best;
+  };
+
+  std::vector<HazardFinding> Out;
+  for (size_t I = 0; I < Kernels.size(); ++I) {
+    for (size_t J = I; J < Kernels.size(); ++J) {
+      const KernelFP &A = Kernels[I], &B = Kernels[J];
+      HazardFinding H;
+      H.KernelA = A.F->name();
+      H.KernelB = B.F->name();
+      if (!A.FP.hasWrites() && !B.FP.hasWrites()) {
+        H.Message = "independent: neither kernel writes shared memory";
+      } else if (I == J) {
+        std::string Why;
+        if (scheduleFreeFootprint(A.FP, &Why)) {
+          H.Message = "slot-disjoint: concurrent submissions over disjoint "
+                      "index ranges cannot conflict";
+        } else {
+          H.MayConflict = true;
+          H.Message = "may conflict with itself: " + Why;
+          if (!A.FP.Analyzed) {
+            H.Loc = A.FP.TopLoc;
+          } else if (const FootprintEntry *E = OffendingWrite(A.FP)) {
+            H.Loc = E->Loc;
+          }
+        }
+      } else {
+        // Distinct kernels: their body bindings may alias, so any write on
+        // either side can conflict with the other's accesses.
+        H.MayConflict = true;
+        const KernelFP &W = A.FP.hasWrites() ? A : B;
+        if (!W.FP.Analyzed) {
+          H.Message = "may conflict: " + W.FP.WhyTop;
+          H.Loc = W.FP.TopLoc;
+        } else if (const FootprintEntry *E = OffendingWrite(W.FP)) {
+          H.Message = "may conflict: " + E->describe() + " at " +
+                      E->Loc.str() + " can alias the other kernel's accesses";
+          H.Loc = E->Loc;
+        } else {
+          H.Message = "may conflict";
+        }
+      }
+      Out.push_back(std::move(H));
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,162 @@
+//===- Footprint.h - Static SVM footprint analysis --------------*- C++ -*-===//
+///
+/// \file
+/// Computes, per kernel, a conservative symbolic description of the shared
+/// memory it may read and write: its SVM *footprint*. Concord's software SVM
+/// (paper section 3.1) makes every shared access a CIR-visible load/store
+/// relative to region-resident pointers, so the footprint is derivable by a
+/// points-to walk instead of being declared by the caller.
+///
+/// The analysis is interprocedural in effect (it runs on post-pipeline IR,
+/// after devirtualization and inlining have flattened the kernel into one
+/// function), flow-insensitive, and field/offset-sensitive. Every access is
+/// summarized as an entry
+///
+///     root ± (Scale * i + [Lo, Hi))        i = the work-item index
+///
+/// where the root is a chain of pointer loads at constant byte offsets
+/// starting from the kernel's body object (the functor passed to the
+/// parallel launch). Entries degrade monotonically along the lattice
+///
+///     Exact (Scale == 0)  <  Affine (Scale != 0)  <  Top
+///
+/// Top on a known root means "somewhere in the allocation the root points
+/// at"; an unresolved root or an unanalyzable kernel (residual calls,
+/// barriers) means "anywhere in the shared region".
+///
+/// Consumers:
+///  - sched::AccessSet::inferFor / verify mode (concretizeFootprint),
+///  - analysis::isScheduleFree (scheduleFreeFootprint),
+///  - the RunStaticChecks hazard lint (footprintHazards).
+///
+/// Soundness caveats, deliberate and shared with the rest of the analysis
+/// suite: integer casts on index expressions are looked through (indices
+/// are the int loop counter in practice), and distinct root paths are
+/// assumed not to alias each other (two body fields pointing into the same
+/// array would defeat the slot-disjointness proof; none of the supported
+/// workloads does this, and the scheduler's concrete hazard check still
+/// catches overlaps at submission time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_FOOTPRINT_H
+#define CONCORD_ANALYSIS_FOOTPRINT_H
+
+#include "support/SourceLoc.h"
+#include "svm/SharedRegion.h"
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace cir {
+class Function;
+class Module;
+} // namespace cir
+
+namespace analysis {
+
+/// Precision class of one footprint entry (and, by max, of a whole
+/// footprint direction). Ordered: later values are strictly coarser.
+enum class ExtentKind {
+  None,   ///< No accesses in this direction.
+  Exact,  ///< Constant byte window, independent of the work-item index.
+  Affine, ///< Scale * i + constant window.
+  Top,    ///< Unprovable offset: whole allocation / whole region.
+};
+
+const char *extentKindName(ExtentKind K);
+
+/// One summarized access: a byte window relative to a root pointer.
+struct FootprintEntry {
+  bool Write = false;
+  /// True if the root resolved to a load-chain from the body object.
+  /// False = the address could not be traced to the body; the entry
+  /// covers the whole shared region.
+  bool RootKnown = false;
+  /// Byte offsets of the uniform pointer loads leading to the root:
+  /// {} = the body object itself, {8} = *(body + 8), {8, 0} = **... .
+  std::vector<int64_t> RootPath;
+  ExtentKind Kind = ExtentKind::Top;
+  int64_t Scale = 0; ///< Bytes per work-item index (0 for Exact).
+  int64_t Lo = 0;    ///< Window start, bytes past root (+ Scale * i).
+  int64_t Hi = 0;    ///< Window end (exclusive).
+  SourceLoc Loc;     ///< A representative access instruction.
+
+  /// Human-readable form, e.g. "write body[+16]-> i*8+[0,8)".
+  std::string describe() const;
+};
+
+/// The complete symbolic footprint of one kernel.
+struct KernelFootprint {
+  /// False when the kernel could not be analyzed at all (residual call,
+  /// virtual call, or barrier): treat as whole-region read + write.
+  bool Analyzed = false;
+  /// Reason when !Analyzed (names the offending instruction).
+  std::string WhyTop;
+  /// Location of the instruction that defeated the analysis (!Analyzed).
+  SourceLoc TopLoc;
+  std::vector<FootprintEntry> Entries;
+
+  ExtentKind readClass() const;
+  ExtentKind writeClass() const;
+  bool hasWrites() const;
+};
+
+/// Computes the footprint of kernel \p F. Expects post-pipeline IR
+/// (devirtualized, inlined, SVM-lowered); residual calls or barriers make
+/// the result unanalyzed (whole-region ⊤).
+KernelFootprint computeFootprint(cir::Function &F);
+
+/// A footprint entry evaluated against a concrete launch.
+struct ConcreteAccess {
+  svm::MemRange Range;
+  bool Write = false;
+  /// True when the access is to the body object itself (empty root path):
+  /// reads of kernel parameters, which every launch performs implicitly.
+  bool FromBody = false;
+  std::string What; ///< describe() of the originating entry.
+};
+
+/// Maps a root allocation pointer to its extent (used to bound Top-on-root
+/// entries); typically SharedRegion::allocationExtent.
+using AllocExtentFn = std::function<svm::MemRange(const void *)>;
+
+/// Evaluates \p FP against a concrete launch of items [Base, Base+Count)
+/// with the body object at \p BodyPtr. Root paths are dereferenced through
+/// host memory; every hop is bounds-checked against \p WholeRegion and any
+/// failure degrades that entry to the whole region. Resulting ranges are
+/// clamped to \p WholeRegion.
+std::vector<ConcreteAccess>
+concretizeFootprint(const KernelFootprint &FP, const void *BodyPtr,
+                    int64_t Base, int64_t Count, svm::MemRange WholeRegion,
+                    const AllocExtentFn &AllocExtent);
+
+/// Schedule-freedom on footprints: every write lands in a provably
+/// per-work-item slot (all writes to a root share one stride and their
+/// combined window fits in it), and reads of written roots fit in the same
+/// slot. \p WhyNot (optional) receives the first reason for failure.
+bool scheduleFreeFootprint(const KernelFootprint &FP,
+                           std::string *WhyNot = nullptr);
+
+/// One pairwise verdict from the hazard lint.
+struct HazardFinding {
+  std::string KernelA; ///< Kernel function name.
+  std::string KernelB; ///< Second kernel (== KernelA for the self pair).
+  bool MayConflict = false;
+  std::string Message; ///< Verdict and, for conflicts, the offending access.
+  SourceLoc Loc;       ///< Offending instruction (conflicts only).
+};
+
+/// For every unordered kernel pair in \p M (including each kernel with
+/// itself), reports whether two concurrent submissions can conflict on
+/// shared memory. Conservative: distinct kernels with writes may always
+/// conflict (their bindings can alias); a kernel is safe against itself
+/// over disjoint index ranges when scheduleFreeFootprint holds.
+std::vector<HazardFinding> footprintHazards(cir::Module &M);
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_FOOTPRINT_H

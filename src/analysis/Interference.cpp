@@ -2,190 +2,19 @@
 
 #include "analysis/Interference.h"
 
-#include "analysis/Uniformity.h"
+#include "analysis/Footprint.h"
 #include "cir/Function.h"
-#include "cir/Instruction.h"
-
-#include <map>
 
 using namespace concord;
-using namespace concord::cir;
 using namespace concord::analysis;
 
-namespace {
-
-/// How an address varies across work-items.
-enum class AddrClass {
-  Uniform, ///< Same address in every work-item.
-  Self,    ///< Distinct per work-item: indexed by the global id.
-  Other,   ///< Divergent in a way we cannot prove disjoint.
-};
-
-/// Identity and variance of one resolved address chain.
-struct AddrInfo {
-  bool Private = false; ///< Rooted at an alloca (per-work-item memory).
-  bool Known = false;   ///< Object identity (Key) is meaningful.
-  std::string Key;      ///< Root + field-path identity of the object.
-  AddrClass Cls = AddrClass::Other;
-};
-
-/// True when \p V is the work-item's own global id (possibly cast). Global
-/// ids are distinct across work-items, so indexing by one yields disjoint
-/// slots.
-bool isSelfIndex(const Value *V) {
-  while (auto *I = dyn_cast<Instruction>(V)) {
-    if (I->opcode() == Opcode::GlobalId)
-      return true;
-    if (I->opcode() == Opcode::Cast) {
-      V = I->operand(0);
-      continue;
-    }
-    return false;
-  }
-  return false;
-}
-
-class Classifier {
-public:
-  Classifier(UniformityAnalysis &UA) : UA(UA) {}
-
-  AddrInfo classify(const Value *V, unsigned Depth = 0) {
-    AddrInfo R;
-    if (Depth > 64)
-      return R; // Pathological chain; give up (Known=false, Other).
-
-    if (auto *A = dyn_cast<Argument>(V)) {
-      R.Known = true;
-      R.Key = "arg" + std::to_string(A->index());
-      R.Cls = AddrClass::Uniform; // The Body pointer is launch-uniform.
-      return R;
-    }
-    const auto *I = dyn_cast<Instruction>(V);
-    if (!I)
-      return R; // Constants as pointers: unknown object.
-
-    switch (I->opcode()) {
-    case Opcode::Alloca:
-      R.Private = true;
-      R.Known = true;
-      R.Cls = AddrClass::Self; // Physically distinct per work-item.
-      return R;
-    case Opcode::Cast:
-    case Opcode::CpuToGpu:
-    case Opcode::GpuToCpu:
-      return classify(I->operand(0), Depth + 1);
-    case Opcode::FieldAddr: {
-      AddrInfo Base = classify(I->operand(0), Depth + 1);
-      Base.Key += "+f" + std::to_string(I->attr());
-      return Base;
-    }
-    case Opcode::IndexAddr: {
-      AddrInfo Base = classify(I->operand(0), Depth + 1);
-      const Value *Idx = I->operand(1);
-      Base.Key += "[]";
-      if (UA.isUniform(Idx))
-        return Base; // Same slot in every work-item; class unchanged.
-      if (isSelfIndex(Idx)) {
-        if (Base.Cls != AddrClass::Other)
-          Base.Cls = AddrClass::Self;
-        return Base;
-      }
-      Base.Cls = AddrClass::Other;
-      return Base;
-    }
-    case Opcode::Load: {
-      // The pointer itself was loaded from memory. If the load address is
-      // uniform, every work-item fetches the same pointer value and the
-      // pointee is a single well-identified object. Otherwise the loaded
-      // pointers may alias arbitrarily across work-items.
-      AddrInfo From = classify(I->operand(0), Depth + 1);
-      AddrInfo R2;
-      if (From.Known && !From.Private && From.Cls == AddrClass::Uniform) {
-        R2.Known = true;
-        R2.Key = From.Key + "->";
-        R2.Cls = AddrClass::Uniform;
-      }
-      return R2;
-    }
-    default:
-      return R; // Phi / select / arithmetic pointers: unknown.
-    }
-  }
-
-private:
-  UniformityAnalysis &UA;
-};
-
-} // namespace
-
-bool concord::analysis::isScheduleFree(Function &F, std::string *WhyNot) {
-  auto Couple = [&](const std::string &Why) {
-    if (WhyNot && WhyNot->empty())
-      *WhyNot = Why;
-    return false;
-  };
-  if (F.empty())
-    return true;
-
-  // Barriers imply group-wide data flow through shared scratch; calls mean
-  // we cannot see all the side effects. Both are conservatively coupled.
-  for (BasicBlock *BB : F)
-    for (Instruction *I : *BB)
-      if (I->opcode() == Opcode::Barrier || I->opcode() == Opcode::Call ||
-          I->opcode() == Opcode::VCall)
-        return Couple(std::string("kernel uses ") + opcodeName(I->opcode()));
-
-  UniformityAnalysis UA(F);
-  Classifier C(UA);
-
-  struct ObjectUse {
-    bool WrittenSelf = false;
-    bool ReadNonSelf = false;
-  };
-  std::map<std::string, ObjectUse> Objects;
-
-  auto Write = [&](Instruction *I, const Value *Addr) {
-    AddrInfo A = C.classify(Addr);
-    if (A.Private)
-      return true; // Private memory is per-work-item by construction.
-    if (!A.Known || A.Cls != AddrClass::Self)
-      return Couple("non-self-slot shared write at " + I->loc().str());
-    Objects[A.Key].WrittenSelf = true;
-    return true;
-  };
-  auto Read = [&](const Value *Addr) {
-    AddrInfo A = C.classify(Addr);
-    if (A.Private || !A.Known)
-      return; // Unknown reads: assumed disjoint from self-slot writes.
-    if (A.Cls != AddrClass::Self)
-      Objects[A.Key].ReadNonSelf = true;
-  };
-
-  for (BasicBlock *BB : F) {
-    for (Instruction *I : *BB) {
-      switch (I->opcode()) {
-      case Opcode::Store:
-        if (!Write(I, I->operand(1)))
-          return false;
-        break;
-      case Opcode::Load:
-        Read(I->operand(0));
-        break;
-      case Opcode::Memcpy:
-        if (!Write(I, I->operand(0)))
-          return false;
-        Read(I->operand(1));
-        break;
-      default:
-        break;
-      }
-    }
-  }
-
-  // A written array that is also read through a non-self index makes the
-  // read's value depend on whether the owning work-item ran yet.
-  for (const auto &[Key, Use] : Objects)
-    if (Use.WrittenSelf && Use.ReadNonSelf)
-      return Couple("cross-work-item read of written object " + Key);
-  return true;
+bool concord::analysis::isScheduleFree(cir::Function &F,
+                                       std::string *WhyNot) {
+  // Schedule-freedom is a pure consequence of the kernel's symbolic
+  // footprint: every write (and every read of a written object) must stay
+  // inside the work-item's own Scale-byte slot. The offset reasoning
+  // subsumes the earlier syntactic self-index match: `out[i]`,
+  // `nodes[i].next`, and packed layouts like `out[2*i+1]` are all affine
+  // entries whose window fits the stride.
+  return scheduleFreeFootprint(computeFootprint(F), WhyNot);
 }

@@ -8,20 +8,24 @@
 /// functional execution can be parallelized while the timing model replays
 /// deterministically.
 ///
-/// A kernel is schedule-free when every shared-memory write lands in a
-/// "self slot": an address chain rooted at a kernel argument whose only
-/// divergent index step is the work-item's own global id (e.g.
-/// `out[i] = ...` or `nodes[i].next = ...`). Distinct work-items then write
-/// disjoint bytes. Additionally, no slot written this way may be read
-/// through a non-self index (a neighbour read of a written array makes the
-/// result depend on execution order — the paper's benign-race pattern in
-/// BFS/SSSP/CC, which must keep the serial interleaving).
+/// Since the footprint analysis landed this is a thin wrapper over
+/// analysis::scheduleFreeFootprint: a kernel is schedule-free when every
+/// shared-memory write is an affine per-work-item slot — all writes to an
+/// object share one stride Scale and their combined byte window (plus any
+/// reads of the same object) fits inside it, so work-item i's accesses stay
+/// within [Scale*i, Scale*(i+1)). This subsumes the earlier syntactic
+/// self-index match (`out[i]`, `nodes[i].next`) and additionally proves
+/// packed layouts such as `out[2*i]` / `out[2*i+1]` disjoint by offset
+/// reasoning. A written object read outside the slot window (a neighbour
+/// read) stays coupled — the paper's benign-race pattern in BFS/SSSP/CC,
+/// which must keep the serial interleaving.
 ///
 /// Aliasing assumption (documented in DESIGN.md): address chains with
 /// distinct root/field paths do not alias, and pointers loaded through
 /// divergent chains (e.g. tree nodes reached from a traversal stack) do not
-/// alias arrays written via self slots. This holds for Concord's body-class
-/// kernels, where each field points at a separately allocated structure.
+/// alias arrays written via per-item slots. This holds for Concord's
+/// body-class kernels, where each field points at a separately allocated
+/// structure.
 ///
 //===----------------------------------------------------------------------===//
 

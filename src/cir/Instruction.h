@@ -207,6 +207,46 @@ public:
   bool touchesMemory() const {
     return Op == Opcode::Load || Op == Opcode::Store || Op == Opcode::Memcpy;
   }
+  /// True if the instruction reads from memory.
+  bool mayReadMemory() const {
+    return Op == Opcode::Load || Op == Opcode::Memcpy;
+  }
+  /// True if the instruction writes memory.
+  bool mayWriteMemory() const {
+    return Op == Opcode::Store || Op == Opcode::Memcpy;
+  }
+  /// The address operand of a memory access: the source of a Load, the
+  /// destination of a Store or Memcpy. Null for non-memory opcodes.
+  Value *pointerOperand() const {
+    switch (Op) {
+    case Opcode::Load:
+      return operand(0);
+    case Opcode::Store:
+      return operand(1);
+    case Opcode::Memcpy:
+      return operand(0);
+    default:
+      return nullptr;
+    }
+  }
+  /// The value written by a Store, else null.
+  Value *storedValue() const {
+    return Op == Opcode::Store ? operand(0) : nullptr;
+  }
+  /// Bytes moved by a memory access: the accessed type's size for Load and
+  /// Store, the byte-count attribute for Memcpy. Zero for other opcodes.
+  uint64_t accessBytes() const {
+    switch (Op) {
+    case Opcode::Load:
+      return type()->sizeInBytes();
+    case Opcode::Store:
+      return operand(0)->type()->sizeInBytes();
+    case Opcode::Memcpy:
+      return Attr;
+    default:
+      return 0;
+    }
+  }
 
   // Phi helpers.
   Value *incomingValue(unsigned I) const { return operand(I); }

@@ -2,6 +2,7 @@
 
 #include "runtime/Runtime.h"
 
+#include "analysis/Footprint.h"
 #include "codegen/CodeGen.h"
 #include "frontend/Compile.h"
 #include "support/StringUtils.h"
@@ -37,6 +38,7 @@ uint64_t optionsFingerprint(const transforms::PipelineOptions &O) {
   F = F * 131 + O.UnrollMaxTrip;
   F = F * 131 + O.VerifyEachPass;
   F = F * 131 + O.RunStaticChecks;
+  F = F * 131 + O.ReportFootprintHazards;
   return F;
 }
 
@@ -56,6 +58,9 @@ struct Runtime::CachedProgram {
   bool Unsupported = false; ///< Must fall back to native CPU execution.
   bool Failed = false;
   double CompileSeconds = 0;
+  /// Inferred SVM footprint of the post-pipeline kernel (valid only when
+  /// compilation succeeded; entries are immutable once cached).
+  analysis::KernelFootprint Footprint;
 };
 
 struct Runtime::Impl {
@@ -64,6 +69,7 @@ struct Runtime::Impl {
   gpusim::SimOptions SimOpts;
   ExecMode Mode = ExecMode::SingleDevice;
   HybridOptions Hybrid;
+  FootprintPolicy FpPolicy = FootprintPolicy::Trust;
 
   svm::BindingTable GpuBindings;
   svm::BindingTable CpuBindings;
@@ -252,6 +258,11 @@ compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
   codegen::CodeGenResult CG = codegen::compileModule(*M);
   if (!CG.ok())
     return Fail("\ncodegen failed: " + CG.Error);
+  // Footprint of the post-pipeline IR: devirtualized, inlined, and
+  // SVM-lowered, so every shared access is a visible load/store and the
+  // body pointer chain is explicit.
+  if (cir::Function *KF = M->findFunction(CP->KernelName))
+    CP->Footprint = analysis::computeFootprint(*KF);
   CP->Program = std::move(CG.Program);
   CP->Diagnostics = Diags.str();
   CP->CompileSeconds = secondsSince(T0);
@@ -439,6 +450,22 @@ LaunchReport Runtime::offloadHybrid(const KernelSpec &Spec, int64_t N,
     P->recordHybridSample(SpecKey, Split, N - Split, GpuR.Seconds,
                           CpuR.Seconds);
   return Rep;
+}
+
+void Runtime::setFootprintPolicy(FootprintPolicy Policy) {
+  P->FpPolicy = Policy;
+}
+
+FootprintPolicy Runtime::footprintPolicy() const { return P->FpPolicy; }
+
+const analysis::KernelFootprint *
+Runtime::kernelFootprint(const KernelSpec &Spec) {
+  CachedProgram *CP = compileCached(
+      *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
+      nullptr);
+  if (CP->Failed || CP->Unsupported)
+    return nullptr;
+  return &CP->Footprint;
 }
 
 bool Runtime::kernelScheduleFree(const KernelSpec &Spec) {

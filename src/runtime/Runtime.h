@@ -36,10 +36,21 @@
 #include <string>
 
 namespace concord {
+namespace analysis {
+struct KernelFootprint;
+}
 namespace runtime {
 
 enum class Device { CPU, GPU };
 enum class Construct { ParallelFor, ParallelReduce };
+
+/// How the scheduler treats submitted AccessSet declarations, checked
+/// against the statically inferred kernel footprint (analysis/Footprint).
+enum class FootprintPolicy {
+  Trust,  ///< Legacy: declarations are taken at face value.
+  Verify, ///< Reject submissions whose declaration misses inferred bytes.
+  Infer,  ///< Ignore declarations; use the inferred footprint.
+};
 
 /// How offload() maps a parallel_for onto the machine's devices.
 enum class ExecMode {
@@ -124,6 +135,17 @@ public:
 
   void setHybridOptions(const HybridOptions &Options);
   const HybridOptions &hybridOptions() const;
+
+  /// Selects how sched::Scheduler treats AccessSet declarations for
+  /// subsequent submissions (trust / verify / infer). Defaults to Trust.
+  void setFootprintPolicy(FootprintPolicy Policy);
+  FootprintPolicy footprintPolicy() const;
+
+  /// The statically inferred SVM footprint of the compiled GPU kernel
+  /// (compiles on demand). Null for kernels that failed to compile or fell
+  /// back to native CPU execution. The pointer stays valid for the
+  /// runtime's lifetime: cache entries are immutable and never evicted.
+  const analysis::KernelFootprint *kernelFootprint(const KernelSpec &Spec);
 
   /// parallel_for_hetero backend. \p BodyPtr must point into the shared
   /// region. When \p OnCpu, the CPU machine model executes the kernel.

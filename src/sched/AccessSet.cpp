@@ -1,0 +1,99 @@
+//===- AccessSet.cpp - Footprint-derived access sets ----------------------===//
+
+#include "sched/AccessSet.h"
+
+#include "analysis/Footprint.h"
+#include "runtime/Runtime.h"
+
+#include <algorithm>
+
+using namespace concord;
+using namespace concord::sched;
+
+static std::vector<analysis::ConcreteAccess>
+inferredAccesses(runtime::Runtime &RT, const runtime::KernelSpec &Spec,
+                 const void *BodyPtr, int64_t N,
+                 const analysis::KernelFootprint **FPOut = nullptr) {
+  svm::SharedRegion &Region = RT.region();
+  const analysis::KernelFootprint *FP = RT.kernelFootprint(Spec);
+  if (FPOut)
+    *FPOut = FP;
+  // A kernel that failed to compile (or fell back to native CPU) has no
+  // footprint; treat it as unanalyzed — whole-region read + write.
+  analysis::KernelFootprint Top;
+  return analysis::concretizeFootprint(
+      FP ? *FP : Top, BodyPtr, /*Base=*/0, /*Count=*/N, Region.range(),
+      [&Region](const void *P) { return Region.allocationExtent(P); });
+}
+
+AccessSet AccessSet::inferFor(runtime::Runtime &RT,
+                              const runtime::KernelSpec &Spec,
+                              const void *BodyPtr, int64_t N) {
+  AccessSet S;
+  for (const analysis::ConcreteAccess &CA :
+       inferredAccesses(RT, Spec, BodyPtr, N)) {
+    const void *P = reinterpret_cast<const void *>(CA.Range.Begin);
+    if (CA.Write)
+      S.write(P, CA.Range.size());
+    else
+      S.read(P, CA.Range.size());
+  }
+  return S;
+}
+
+/// Whether \p R is fully covered by the union of \p Declared; when not,
+/// \p Missing receives the first uncovered sub-range.
+static bool coveredBy(svm::MemRange R, std::vector<svm::MemRange> Declared,
+                      svm::MemRange *Missing) {
+  std::sort(Declared.begin(), Declared.end(),
+            [](const svm::MemRange &A, const svm::MemRange &B) {
+              return A.Begin < B.Begin;
+            });
+  uint64_t Pos = R.Begin;
+  uint64_t NextStart = R.End;
+  for (const svm::MemRange &D : Declared) {
+    if (D.empty() || D.End <= Pos)
+      continue;
+    if (D.Begin > Pos) {
+      NextStart = std::min(NextStart, D.Begin);
+      break; // Sorted: later ranges start even further right.
+    }
+    Pos = std::max(Pos, D.End);
+    if (Pos >= R.End)
+      return true;
+  }
+  if (Pos >= R.End)
+    return true;
+  *Missing = {Pos, std::max(Pos, std::min(NextStart, R.End))};
+  return false;
+}
+
+std::vector<CoverageGap>
+AccessSet::coverageGaps(const AccessSet &Declared, runtime::Runtime &RT,
+                        const runtime::KernelSpec &Spec, const void *BodyPtr,
+                        int64_t N) {
+  std::vector<CoverageGap> Gaps;
+  const analysis::KernelFootprint *FP = nullptr;
+  auto Accesses = inferredAccesses(RT, Spec, BodyPtr, N, &FP);
+  // Nothing statically checkable: an unanalyzable kernel concretizes to
+  // the whole region, and rejecting every declaration for it would make
+  // verify mode unusable. The declaration stays trusted, as before.
+  if (!FP || !FP->Analyzed)
+    return Gaps;
+
+  // A declared write also serializes the task against readers and writers
+  // of the range, so it covers inferred reads as well.
+  std::vector<svm::MemRange> ReadCover = Declared.reads();
+  ReadCover.insert(ReadCover.end(), Declared.writes().begin(),
+                   Declared.writes().end());
+
+  for (const analysis::ConcreteAccess &CA : Accesses) {
+    if (CA.FromBody)
+      continue; // Reading kernel parameters is implicit in every launch.
+    svm::MemRange Missing;
+    if (!coveredBy(CA.Range, CA.Write ? Declared.writes() : ReadCover,
+                   &Missing))
+      Gaps.push_back({Missing, CA.Write, CA.What});
+  }
+  return Gaps;
+}

@@ -15,10 +15,14 @@
 ///   WAW  — two tasks write overlapping ranges
 ///
 /// Conflicting tasks serialize in submission order; disjoint tasks are
-/// free to run concurrently. Declarations are trusted: an access outside
-/// a task's declared set is undetected (the race lint in analysis/ covers
-/// the intra-kernel story), so declare conservatively — over-declaring
-/// only costs parallelism, never correctness.
+/// free to run concurrently. Under the default FootprintPolicy::Trust,
+/// declarations are taken at face value: an access outside a task's
+/// declared set is undetected, so declare conservatively — over-declaring
+/// only costs parallelism, never correctness. The footprint analysis
+/// removes the trust: Verify cross-checks every declaration against the
+/// statically inferred kernel footprint and rejects under-declarations
+/// (coverageGaps), and Infer — or an empty declaration under Verify —
+/// derives the set entirely from the analysis (inferFor).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,10 +31,24 @@
 
 #include "svm/SharedRegion.h"
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace concord {
+namespace runtime {
+class Runtime;
+struct KernelSpec;
+} // namespace runtime
 namespace sched {
+
+/// One byte range the inferred footprint needs but the declared set does
+/// not cover (see AccessSet::coverageGaps).
+struct CoverageGap {
+  svm::MemRange Missing; ///< First uncovered sub-range.
+  bool Write = false;    ///< Direction of the uncovered access.
+  std::string What;      ///< Symbolic description of the inferred access.
+};
 
 /// Declared read/write ranges of one task, in CPU addresses.
 class AccessSet {
@@ -67,6 +85,27 @@ public:
            anyOverlap(Writes, Earlier.Reads) ||  // WAR
            anyOverlap(Writes, Earlier.Writes);   // WAW
   }
+
+  /// Derives the access set of launching \p Spec over items [0, N) with
+  /// the body object at \p BodyPtr from the statically inferred kernel
+  /// footprint (compiles the kernel on demand, cached). Conservative: an
+  /// unanalyzable kernel or unresolved pointer yields the whole region,
+  /// which serializes against everything.
+  static AccessSet inferFor(runtime::Runtime &RT,
+                            const runtime::KernelSpec &Spec,
+                            const void *BodyPtr, int64_t N);
+
+  /// Checks that \p Declared covers the inferred footprint of the same
+  /// launch: every inferred write must lie inside the declared writes, and
+  /// every inferred read inside the declared reads or writes. Reads of the
+  /// body object itself are implicit in every launch and never reported.
+  /// Returns the uncovered gaps (empty = verified clean); kernels the
+  /// analysis cannot see through (or that failed to compile) produce no
+  /// gaps — there is nothing checkable, so the declaration is trusted.
+  static std::vector<CoverageGap>
+  coverageGaps(const AccessSet &Declared, runtime::Runtime &RT,
+               const runtime::KernelSpec &Spec, const void *BodyPtr,
+               int64_t N);
 
 private:
   static void appendRange(std::vector<svm::MemRange> &Into,

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 
 namespace concord {
 namespace sched {
@@ -96,6 +97,52 @@ TaskHandle Scheduler::submit(TaskDesc Desc, AccessSet Access) {
   auto Task = std::make_shared<TaskState>();
   if (Desc.Label.empty())
     Desc.Label = Desc.Spec.BodyClass;
+
+  // Footprint policy (resolved before the task enters the graph; the
+  // on-demand kernel compile happens on the submitting thread, outside
+  // the scheduler lock, and hits the runtime's JIT cache).
+  const runtime::FootprintPolicy Policy = RT.footprintPolicy();
+  bool Inferred = false;
+  if (Policy == runtime::FootprintPolicy::Infer ||
+      (Policy == runtime::FootprintPolicy::Verify && Access.empty())) {
+    Access = AccessSet::inferFor(RT, Desc.Spec, Desc.BodyPtr, Desc.N);
+    Inferred = true;
+  } else if (Policy == runtime::FootprintPolicy::Verify) {
+    std::vector<CoverageGap> Gaps = AccessSet::coverageGaps(
+        Access, RT, Desc.Spec, Desc.BodyPtr, Desc.N);
+    if (!Gaps.empty()) {
+      // Reject: the declaration would drop a hazard edge and race. The
+      // task completes immediately as failed and never enters the graph.
+      Task->Desc = std::move(Desc);
+      TaskResult &R = Task->Result;
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        R.Id = NextTaskId++;
+        ++St.Submitted;
+        ++St.Completed;
+        ++St.Failed;
+        ++St.VerifyRejected;
+      }
+      R.Label = Task->Desc.Label;
+      char Range[64];
+      std::snprintf(Range, sizeof(Range), "[0x%llx, 0x%llx)",
+                    (unsigned long long)Gaps[0].Missing.Begin,
+                    (unsigned long long)Gaps[0].Missing.End);
+      R.Error = "access-set verification failed: declared set does not "
+                "cover inferred \"" +
+                Gaps[0].What + "\"; uncovered bytes " + Range +
+                (Gaps.size() > 1
+                     ? " (+" + std::to_string(Gaps.size() - 1) + " more)"
+                     : "");
+      {
+        std::lock_guard<std::mutex> DoneLock(Task->DoneMutex);
+        Task->Done = true;
+      }
+      Task->DoneCv.notify_all();
+      return TaskHandle(Task);
+    }
+  }
+
   Task->Desc = std::move(Desc);
   Task->Access = std::move(Access);
 
@@ -126,6 +173,8 @@ TaskHandle Scheduler::submit(TaskDesc Desc, AccessSet Access) {
     Live.push_back(Task);
     ++Unfinished;
     ++St.Submitted;
+    if (Inferred)
+      ++St.InferredSets;
     St.MaxQueueDepth = std::max(St.MaxQueueDepth, Unfinished);
 
     IsReady = Task->PendingDeps == 0;

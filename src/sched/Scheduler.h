@@ -24,8 +24,13 @@
 /// Threading contract: submit()/drain()/wait() may be called from any
 /// thread except scheduler workers (a worker waiting on another task's
 /// handle could deadlock). Configuration of the underlying Runtime
-/// (setGpuOptions, setSimOptions, setExecMode) must not race in-flight
-/// tasks. Access sets are trusted; see AccessSet.h.
+/// (setGpuOptions, setSimOptions, setExecMode, setFootprintPolicy) must
+/// not race in-flight tasks. Access sets are trusted by default; under
+/// runtime::FootprintPolicy::Verify submissions are cross-checked against
+/// the statically inferred kernel footprint (under-declarations are
+/// rejected as already-failed tasks), and under Infer — or for an empty
+/// declaration under Verify — the set is inferred outright. See
+/// AccessSet.h.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -138,6 +143,10 @@ public:
     uint64_t Failed = 0;       ///< Completed with !Ok.
     uint64_t HazardEdges = 0;  ///< Dependency edges derived from overlaps.
     uint64_t HybridLaunches = 0;
+    uint64_t VerifyRejected = 0; ///< Submissions rejected by verify mode
+                                 ///< (counted in Submitted and Failed).
+    uint64_t InferredSets = 0;   ///< Access sets derived from the kernel
+                                 ///< footprint instead of the declaration.
     unsigned MaxTasksInFlight = 0; ///< Peak concurrently-executing tasks.
     size_t MaxQueueDepth = 0;      ///< Peak unfinished tasks (bounded by
                                    ///< SchedulerOptions::MaxQueued).

@@ -104,6 +104,25 @@ void SharedRegion::deallocate(void *Ptr) {
   FreeBlocks.emplace(BlockOff, BlockSize);
 }
 
+MemRange SharedRegion::allocationExtent(const void *Ptr) const {
+  if (!contains(Ptr))
+    return range();
+  uint64_t PayloadOff = reinterpret_cast<uint64_t>(Ptr) - CpuBaseAddr;
+  if (PayloadOff < sizeof(AllocHeader))
+    return range();
+  const auto *Header = reinterpret_cast<const AllocHeader *>(
+      Arena + PayloadOff - sizeof(AllocHeader));
+  if (Header->Magic != HeaderMagic)
+    return range();
+  uint64_t BlockOff = Header->BlockOff;
+  uint64_t BlockSize = Header->BlockSize;
+  if (BlockOff >= Capacity || BlockSize > Capacity ||
+      BlockOff + BlockSize > Capacity || PayloadOff <= BlockOff ||
+      PayloadOff >= BlockOff + BlockSize)
+    return range();
+  return {CpuBaseAddr + PayloadOff, CpuBaseAddr + BlockOff + BlockSize};
+}
+
 void *SharedRegion::hostFromGpu(uint64_t GpuAddr, size_t AccessSize) const {
   if (GpuAddr < GpuBaseAddr)
     return nullptr;

@@ -130,6 +130,13 @@ public:
     return {CpuBaseAddr, CpuBaseAddr + Capacity};
   }
 
+  /// The extent [Ptr, end-of-allocation) of the allocation \p Ptr was
+  /// returned from by allocate(). Used by the footprint analysis to bound a
+  /// ⊤ access rooted at a known allocation instead of charging the whole
+  /// region. Falls back to range() for interior pointers, pointers into
+  /// freed blocks, or anything whose header does not validate.
+  MemRange allocationExtent(const void *Ptr) const;
+
   /// CPU virtual address of the region base.
   uint64_t cpuBase() const { return CpuBaseAddr; }
   /// GPU virtual address of the backing surface base.

@@ -58,6 +58,11 @@ struct PipelineOptions {
   /// execution), SVM address-space soundness (a verification failure), and
   /// the work-item race lint (warnings).
   bool RunStaticChecks = true;
+  /// With RunStaticChecks: also run the footprint hazard lint, reporting
+  /// for every kernel pair whether concurrent submission can conflict on
+  /// shared memory (note diagnostics naming the offending access). Off by
+  /// default — single-kernel modules mostly pair with themselves.
+  bool ReportFootprintHazards = false;
   /// Instrumentation hook invoked after every pass with the pass name.
   /// Tests use it to inject IR corruption and check that VerifyEachPass
   /// attributes the breakage to the right pass.

@@ -1,6 +1,7 @@
 //===- Pipeline.cpp - The Concord GPU compilation pipeline ----------------===//
 
 #include "analysis/AddressSpace.h"
+#include "analysis/Footprint.h"
 #include "analysis/KernelChecks.h"
 #include "analysis/Uniformity.h"
 #include "cir/Verifier.h"
@@ -77,6 +78,14 @@ void runStaticChecks(Module &M, const PipelineOptions &Opts,
       for (const analysis::RaceFinding &R : analysis::lintUniformStores(*F))
         Diags->warning(R.Loc, "@" + F->name() + ": " + R.Message);
   }
+
+  // Footprint hazard lint: for every kernel pair, can two concurrent
+  // submissions conflict on shared memory? Notes, not errors — the
+  // scheduler's concrete hazard tracking stays authoritative at runtime.
+  if (Diags && Opts.ReportFootprintHazards)
+    for (const analysis::HazardFinding &H : analysis::footprintHazards(M))
+      Diags->note(H.Loc, "footprint hazard @" + H.KernelA + " vs @" +
+                             H.KernelB + ": " + H.Message);
 }
 
 std::string joinErrors(const std::vector<std::string> &Errors) {

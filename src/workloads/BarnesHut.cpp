@@ -166,8 +166,7 @@ public:
     return true;
   }
 
-  WorkloadRun run(Runtime &RT, bool OnCpu) override {
-    WorkloadRun Run;
+  void *prepareBody() override {
     std::fill(Ax, Ax + NumBodies, 0.0f);
     std::fill(Ay, Ay + NumBodies, 0.0f);
     std::fill(Az, Az + NumBodies, 0.0f);
@@ -179,8 +178,15 @@ public:
     };
     *static_cast<BodyBits *>(BodyMem) = {Root, Bodies, Ax, Ay, Az,
                                          Theta * Theta};
+    return BodyMem;
+  }
+
+  int64_t itemCount() const override { return int64_t(NumBodies); }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
     LaunchReport Rep =
-        RT.offload(kernelSpec(), int64_t(NumBodies), BodyMem, OnCpu);
+        RT.offload(kernelSpec(), itemCount(), prepareBody(), OnCpu);
     Run.Ok = accumulate(Run, Rep);
     return Run;
   }

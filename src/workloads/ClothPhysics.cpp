@@ -170,8 +170,16 @@ public:
     return true;
   }
 
-  WorkloadRun run(Runtime &RT, bool OnCpu) override {
-    WorkloadRun Run;
+  struct BodyBits {
+    float *Px, *Py, *Pz, *Vx, *Vy, *Vz, *Nx, *Ny, *Nz;
+    int32_t *RowStart;
+    int32_t *Nbr;
+    float *RestLen;
+    int32_t *Pinned;
+    float Energy;
+  };
+
+  void *prepareBody() override {
     size_t N = size_t(Width) * Height;
     std::copy(InitPx.begin(), InitPx.end(), Px);
     std::copy(InitPy.begin(), InitPy.end(), Py);
@@ -179,16 +187,19 @@ public:
     std::fill(Vx, Vx + N, 0.0f);
     std::fill(Vy, Vy + N, 0.0f);
     std::fill(Vz, Vz + N, 0.0f);
+    *static_cast<BodyBits *>(BodyMem) = {Px, Py, Pz, Vx, Vy, Vz, Nx, Ny, Nz,
+                                         RowStart, Nbr, RestLen, Pinned, 0.0f};
+    return BodyMem;
+  }
 
-    struct BodyBits {
-      float *Px, *Py, *Pz, *Vx, *Vy, *Vz, *Nx, *Ny, *Nz;
-      int32_t *RowStart;
-      int32_t *Nbr;
-      float *RestLen;
-      int32_t *Pinned;
-      float Energy;
-    };
-    auto *B = static_cast<BodyBits *>(BodyMem);
+  int64_t itemCount() const override {
+    return int64_t(size_t(Width) * Height);
+  }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
+    size_t N = size_t(Width) * Height;
+    auto *B = static_cast<BodyBits *>(prepareBody());
     runtime::HostJoinFn Join = [](void *Into, void *From) {
       static_cast<BodyBits *>(Into)->Energy +=
           static_cast<BodyBits *>(From)->Energy;

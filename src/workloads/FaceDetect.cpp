@@ -74,7 +74,7 @@ public:
         Weak* weaks;
         int* stageStart;      // NumStages + 1
         float* stageThresh;
-        int* outStage;        // stage reached per window
+        int* outPair;         // per item: [2*i] window id, [2*i+1] stage
         int* order;           // multi-scale detection queue order
         int imgW1;            // imgW + 1
         int winPerRow;
@@ -107,7 +107,12 @@ public:
               break;
             reached = s + 1;
           }
-          outStage[idx] = reached;
+          // Packed per-item record instead of a scatter through order[]:
+          // both stores stay inside work-item i's own 8-byte slot, which
+          // the footprint analysis proves disjoint across items (stride 8,
+          // window [0,8)), making the kernel schedule-free.
+          outPair[2 * i] = idx;
+          outPair[2 * i + 1] = reached;
         }
       };
     )",
@@ -200,9 +205,9 @@ public:
     StageStart =
         Region.allocArray<int32_t>(StageStartV.size());
     StageThresh = Region.allocArray<float>(NumStages);
-    OutStage = Region.allocArray<int32_t>(NumWindows);
+    OutPair = Region.allocArray<int32_t>(2 * NumWindows);
     BodyMem = Region.allocate(128);
-    if (!Weaks || !StageStart || !StageThresh || !OutStage || !BodyMem)
+    if (!Weaks || !StageStart || !StageThresh || !OutPair || !BodyMem)
       return false;
     std::copy(WeaksV.begin(), WeaksV.end(), Weaks);
     std::copy(StageStartV.begin(), StageStartV.end(), StageStart);
@@ -245,15 +250,14 @@ public:
     return true;
   }
 
-  WorkloadRun run(Runtime &RT, bool OnCpu) override {
-    WorkloadRun Run;
-    std::fill(OutStage, OutStage + NumWindows, -1);
+  void *prepareBody() override {
+    std::fill(OutPair, OutPair + 2 * NumWindows, -1);
     struct BodyBits {
       int64_t *Integral;
       WeakClassifier *Weaks;
       int32_t *StageStart;
       float *StageThresh;
-      int32_t *OutStage;
+      int32_t *OutPair;
       int32_t *Order;
       int32_t ImgW1;
       int32_t WinPerRow;
@@ -261,23 +265,34 @@ public:
     };
     *static_cast<BodyBits *>(BodyMem) = {
         Integral,   Weaks,     StageStart,       StageThresh,
-        OutStage,   Order,     int32_t(ImgW + 1), int32_t(WinPerRow),
+        OutPair,    Order,     int32_t(ImgW + 1), int32_t(WinPerRow),
         NumStages};
+    return BodyMem;
+  }
+
+  int64_t itemCount() const override { return int64_t(NumWindows); }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
     LaunchReport Rep =
-        RT.offload(kernelSpec(), int64_t(NumWindows), BodyMem, OnCpu);
+        RT.offload(kernelSpec(), itemCount(), prepareBody(), OnCpu);
     Run.Ok = accumulate(Run, Rep);
     return Run;
   }
 
   bool verify(std::string *Error) const override {
-    for (size_t I = 0; I < NumWindows; ++I)
-      if (OutStage[I] != Expected[I]) {
+    for (size_t I = 0; I < NumWindows; ++I) {
+      int32_t Idx = OutPair[2 * I];
+      int32_t Reached = OutPair[2 * I + 1];
+      if (Idx != Order[I] || Reached != Expected[size_t(Order[I])]) {
         if (Error)
-          *Error = formatString("FaceDetect: window %zu reached %d, "
-                                "expected %d",
-                                I, OutStage[I], Expected[I]);
+          *Error = formatString("FaceDetect: item %zu recorded window %d "
+                                "stage %d, expected window %d stage %d",
+                                I, Idx, Reached, Order[I],
+                                Expected[size_t(Order[I])]);
         return false;
       }
+    }
     return true;
   }
 
@@ -324,7 +339,7 @@ private:
   WeakClassifier *Weaks = nullptr;
   int32_t *StageStart = nullptr;
   float *StageThresh = nullptr;
-  int32_t *OutStage = nullptr;
+  int32_t *OutPair = nullptr;
   int32_t *Order = nullptr;
   void *BodyMem = nullptr;
   std::vector<int32_t> Expected;

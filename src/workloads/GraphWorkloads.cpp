@@ -48,11 +48,8 @@ public:
     return true;
   }
 
-  WorkloadRun run(Runtime &RT, bool OnCpu) override {
-    WorkloadRun Run;
+  void *prepareBody() override {
     initNodeValues();
-    runtime::KernelSpec Spec = kernelSpec();
-
     // Body layout: four/five pointers, written directly into SVM.
     struct BodyBits {
       int32_t *RowStart;
@@ -61,8 +58,17 @@ public:
       int32_t *NodeVal;
       int32_t *Changed;
     };
-    auto *B = static_cast<BodyBits *>(BodyMem);
-    *B = {RowStart, Dest, Weight, NodeVal, Changed};
+    *static_cast<BodyBits *>(BodyMem) = {RowStart, Dest, Weight, NodeVal,
+                                         Changed};
+    return BodyMem;
+  }
+
+  int64_t itemCount() const override { return Graph.NumNodes; }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
+    prepareBody();
+    runtime::KernelSpec Spec = kernelSpec();
 
     for (unsigned Iter = 0; Iter < 100000; ++Iter) {
       Changed[0] = 0;

@@ -234,6 +234,27 @@ public:
     return true;
   }
 
+  void *prepareBody() override {
+    size_t N = size_t(Width) * Height;
+    std::fill(Image, Image + N, -1.0f);
+    struct BodyBits {
+      HostShape **Objects;
+      float *Lx, *Ly, *Lz, *Lpow;
+      float *Image;
+      int32_t NumObjects;
+      int32_t NumLights;
+      int32_t W;
+    };
+    *static_cast<BodyBits *>(BodyMem) = {
+        Objects, Lx, Ly, Lz, Lpow, Image, int32_t(Shapes.size()),
+        int32_t(NumLights), int32_t(Width)};
+    return BodyMem;
+  }
+
+  int64_t itemCount() const override {
+    return int64_t(size_t(Width) * Height);
+  }
+
   WorkloadRun run(Runtime &RT, bool OnCpu) override {
     WorkloadRun Run;
     // Install device vtable pointers (idempotent; the vtables live in the
@@ -249,20 +270,7 @@ public:
       }
     }
 
-    size_t N = size_t(Width) * Height;
-    std::fill(Image, Image + N, -1.0f);
-    struct BodyBits {
-      HostShape **Objects;
-      float *Lx, *Ly, *Lz, *Lpow;
-      float *Image;
-      int32_t NumObjects;
-      int32_t NumLights;
-      int32_t W;
-    };
-    *static_cast<BodyBits *>(BodyMem) = {
-        Objects, Lx, Ly, Lz, Lpow, Image, int32_t(Shapes.size()),
-        int32_t(NumLights), int32_t(Width)};
-    LaunchReport Rep = RT.offload(Spec, int64_t(N), BodyMem, OnCpu);
+    LaunchReport Rep = RT.offload(Spec, itemCount(), prepareBody(), OnCpu);
     Run.Ok = accumulate(Run, Rep);
     return Run;
   }

@@ -163,8 +163,7 @@ public:
     return true;
   }
 
-  WorkloadRun run(Runtime &RT, bool OnCpu) override {
-    WorkloadRun Run;
+  void *prepareBody() override {
     std::fill(Results, Results + NumQueries, -2);
     struct BodyBits {
       BTreeNode *Root;
@@ -172,8 +171,15 @@ public:
       int32_t *Results;
     };
     *static_cast<BodyBits *>(BodyMem) = {Root, Queries, Results};
+    return BodyMem;
+  }
+
+  int64_t itemCount() const override { return int64_t(NumQueries); }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
     LaunchReport Rep =
-        RT.offload(kernelSpec(), int64_t(NumQueries), BodyMem, OnCpu);
+        RT.offload(kernelSpec(), itemCount(), prepareBody(), OnCpu);
     Run.Ok = accumulate(Run, Rep);
     return Run;
   }
@@ -302,8 +308,7 @@ public:
     return true;
   }
 
-  WorkloadRun run(Runtime &RT, bool OnCpu) override {
-    WorkloadRun Run;
+  void *prepareBody() override {
     std::fill(Results, Results + NumQueries, -2);
     struct BodyBits {
       SkipNode *Head;
@@ -311,8 +316,15 @@ public:
       int32_t *Results;
     };
     *static_cast<BodyBits *>(BodyMem) = {Head, Queries, Results};
+    return BodyMem;
+  }
+
+  int64_t itemCount() const override { return int64_t(NumQueries); }
+
+  WorkloadRun run(Runtime &RT, bool OnCpu) override {
+    WorkloadRun Run;
     LaunchReport Rep =
-        RT.offload(kernelSpec(), int64_t(NumQueries), BodyMem, OnCpu);
+        RT.offload(kernelSpec(), itemCount(), prepareBody(), OnCpu);
     Run.Ok = accumulate(Run, Rep);
     return Run;
   }

@@ -62,6 +62,17 @@ public:
   /// native reference. Returns false on allocation failure.
   virtual bool setup(svm::SharedRegion &Region, unsigned Scale) = 0;
 
+  /// Fills and returns the kernel body object for the workload's main
+  /// parallel_for launch (resetting its output arrays), without running
+  /// anything — what run() does immediately before its first offload.
+  /// Pairs with itemCount() so callers (footprint tests, access-set
+  /// inference) can describe the launch the kernel would perform. Null
+  /// for workloads that do not expose a body this way.
+  virtual void *prepareBody() { return nullptr; }
+
+  /// Item count of the main parallel_for launch (see prepareBody()).
+  virtual int64_t itemCount() const { return 0; }
+
   /// Runs the full algorithm on the selected device model, starting from
   /// pristine input state (run() is repeatable).
   virtual WorkloadRun run(Runtime &RT, bool OnCpu) = 0;

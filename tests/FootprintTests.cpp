@@ -1,0 +1,701 @@
+//===- FootprintTests.cpp - Static SVM footprint analysis tests -----------===//
+//
+// Covers analysis/Footprint end to end: the symbolic footprint lattice on
+// small compiled kernels, schedule-freedom proofs (including the packed and
+// neighbor-write promotions), concretization against live shared-region
+// allocations, access-set inference and verify-mode rejection in the
+// scheduler, the per-kernel-pair hazard lint, and the golden precision
+// classification of all nine paper workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Footprint.h"
+#include "cir/IRBuilder.h"
+#include "cir/Printer.h"
+#include "frontend/Compile.h"
+#include "sched/Scheduler.h"
+#include "transforms/Passes.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+
+using namespace concord;
+using namespace concord::analysis;
+
+namespace {
+
+cir::Function *findKernel(cir::Module &M) {
+  for (const auto &F : M.functions())
+    if (F->isKernel() && !F->empty())
+      return F.get();
+  return nullptr;
+}
+
+/// Compiles CKL through the full GPU pipeline and returns the footprint of
+/// the (inlined, devirtualized, SVM-lowered) kernel entry.
+KernelFootprint footprintOf(const char *Src, const char *BodyClass = "K",
+                            std::unique_ptr<cir::Module> *KeepModule =
+                                nullptr) {
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(Src, "t", Diags);
+  EXPECT_TRUE(M != nullptr) << Diags.str();
+  if (!M)
+    return {};
+  EXPECT_NE(frontend::createKernelEntry(*M, BodyClass, Diags), nullptr)
+      << Diags.str();
+  transforms::PipelineStats S;
+  std::string Err;
+  EXPECT_TRUE(
+      transforms::runPipeline(*M, transforms::PipelineOptions::gpuAll(), S,
+                              &Err))
+      << Err;
+  cir::Function *K = findKernel(*M);
+  EXPECT_NE(K, nullptr);
+  if (!K)
+    return {};
+  KernelFootprint FP = computeFootprint(*K);
+  if (KeepModule)
+    *KeepModule = std::move(M);
+  return FP;
+}
+
+const FootprintEntry *findWrite(const KernelFootprint &FP) {
+  for (const FootprintEntry &E : FP.Entries)
+    if (E.Write)
+      return &E;
+  return nullptr;
+}
+
+/// data[i] = i * 3 — the canonical per-work-item slot kernel.
+const char *FillSrc = R"(
+  class Fill {
+  public:
+    int* data;
+    void operator()(int i) { data[i] = i * 3; }
+  };
+)";
+
+struct OnePtr {
+  int32_t *Data;
+};
+
+//===----------------------------------------------------------------------===//
+// computeFootprint on small kernels: the precision lattice.
+//===----------------------------------------------------------------------===//
+
+TEST(FootprintCompute, PerItemFillIsAffineAndFree) {
+  KernelFootprint FP = footprintOf(FillSrc, "Fill");
+  ASSERT_TRUE(FP.Analyzed) << FP.WhyTop;
+  EXPECT_EQ(FP.writeClass(), ExtentKind::Affine);
+  const FootprintEntry *W = findWrite(FP);
+  ASSERT_NE(W, nullptr);
+  EXPECT_TRUE(W->RootKnown);
+  ASSERT_EQ(W->RootPath.size(), 1u); // The data pointer: *(body + 0).
+  EXPECT_EQ(W->RootPath[0], 0);
+  EXPECT_EQ(W->Scale, 4);
+  EXPECT_EQ(W->Lo, 0);
+  EXPECT_EQ(W->Hi, 4);
+  EXPECT_EQ(W->describe(), "write body[+0]-> i*4+[0,4)");
+  std::string Why;
+  EXPECT_TRUE(scheduleFreeFootprint(FP, &Why)) << Why;
+}
+
+TEST(FootprintCompute, PackedPairCoalescesAndStaysFree) {
+  // Two stores into work-item i's own 8-byte record (the FaceDetect
+  // pattern): one coalesced affine entry, window == stride.
+  KernelFootprint FP = footprintOf(R"(
+    class K {
+    public:
+      int* out;
+      void operator()(int i) {
+        out[2 * i] = i;
+        out[2 * i + 1] = i + 1;
+      }
+    };
+  )");
+  ASSERT_TRUE(FP.Analyzed) << FP.WhyTop;
+  const FootprintEntry *W = findWrite(FP);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->Scale, 8);
+  EXPECT_EQ(W->Lo, 0);
+  EXPECT_EQ(W->Hi, 8);
+  std::string Why;
+  EXPECT_TRUE(scheduleFreeFootprint(FP, &Why)) << Why;
+}
+
+TEST(FootprintCompute, PureNeighborWriteIsProvablyFree) {
+  // out[i+1] stays inside work-item i's shifted slot: stride 4, window
+  // [4,8). The old syntactic classifier required a bare self-index and
+  // reported this coupled; the footprint proof is exact.
+  KernelFootprint FP = footprintOf(R"(
+    class K {
+    public:
+      int* out;
+      int n;
+      void operator()(int i) {
+        if (i + 1 < n)
+          out[i + 1] = i;
+      }
+    };
+  )");
+  ASSERT_TRUE(FP.Analyzed) << FP.WhyTop;
+  const FootprintEntry *W = findWrite(FP);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->Kind, ExtentKind::Affine);
+  EXPECT_EQ(W->Lo, 4);
+  EXPECT_EQ(W->Hi, 8);
+  std::string Why;
+  EXPECT_TRUE(scheduleFreeFootprint(FP, &Why)) << Why;
+}
+
+TEST(FootprintCompute, NeighborReadOfWrittenArrayIsCoupled) {
+  // Reading out[i+1] while writing out[i] spans two slots: window [0,8)
+  // exceeds the 4-byte stride, so concurrent halves genuinely interfere.
+  KernelFootprint FP = footprintOf(R"(
+    class K {
+    public:
+      int* out;
+      int n;
+      void operator()(int i) {
+        if (i + 1 < n)
+          out[i] = out[i + 1] + 1;
+      }
+    };
+  )");
+  ASSERT_TRUE(FP.Analyzed) << FP.WhyTop;
+  std::string Why;
+  EXPECT_FALSE(scheduleFreeFootprint(FP, &Why));
+  EXPECT_NE(Why.find("slot window"), std::string::npos) << Why;
+}
+
+TEST(FootprintCompute, UniformSlotStoreIsCoupled) {
+  KernelFootprint FP = footprintOf(R"(
+    class K {
+    public:
+      int* flag;
+      void operator()(int i) { flag[0] = i; }
+    };
+  )");
+  ASSERT_TRUE(FP.Analyzed) << FP.WhyTop;
+  EXPECT_EQ(FP.writeClass(), ExtentKind::Exact);
+  std::string Why;
+  EXPECT_FALSE(scheduleFreeFootprint(FP, &Why));
+  EXPECT_NE(Why.find("uniform-slot"), std::string::npos) << Why;
+}
+
+TEST(FootprintCompute, DataDependentIndexIsTopOnRoot) {
+  // data[idx[i]]: the written offset depends on loaded data, so the write
+  // degrades to Top on its root — the whole data allocation, not the whole
+  // region (the root pointer itself is still well identified).
+  KernelFootprint FP = footprintOf(R"(
+    class K {
+    public:
+      int* idx;
+      int* data;
+      void operator()(int i) { data[idx[i]] = i; }
+    };
+  )");
+  ASSERT_TRUE(FP.Analyzed) << FP.WhyTop;
+  const FootprintEntry *W = findWrite(FP);
+  ASSERT_NE(W, nullptr);
+  EXPECT_TRUE(W->RootKnown);
+  EXPECT_EQ(W->Kind, ExtentKind::Top);
+  EXPECT_EQ(W->describe(), "write body[+8]-> top");
+  std::string Why;
+  EXPECT_FALSE(scheduleFreeFootprint(FP, &Why));
+  EXPECT_NE(Why.find("unprovable offset"), std::string::npos) << Why;
+}
+
+TEST(FootprintCompute, PointerWalkIsWholeRegionTop) {
+  // A data-dependent pointer chase: the final node address flows through a
+  // phi, which the resolver cannot trace to the body. Whole-region write.
+  KernelFootprint FP = footprintOf(R"(
+    class Node {
+    public:
+      int val;
+      Node* next;
+    };
+    class K {
+    public:
+      Node* list;
+      void operator()(int i) {
+        Node* n = list;
+        for (int k = 0; k < i; k++)
+          n = n->next;
+        n->val = i;
+      }
+    };
+  )");
+  ASSERT_TRUE(FP.Analyzed) << FP.WhyTop;
+  const FootprintEntry *W = findWrite(FP);
+  ASSERT_NE(W, nullptr);
+  EXPECT_FALSE(W->RootKnown);
+  EXPECT_EQ(W->describe(), "write <unknown root> top");
+  std::string Why;
+  EXPECT_FALSE(scheduleFreeFootprint(FP, &Why));
+  EXPECT_NE(Why.find("unresolved pointer"), std::string::npos) << Why;
+}
+
+TEST(FootprintCompute, ResidualCallDefeatsTheAnalysis) {
+  // Hand-built kernel with a surviving direct call: nothing is knowable
+  // about the callee's effects, so the kernel is unanalyzed (⊤⊤).
+  cir::Module M("m");
+  cir::TypeContext &T = M.types();
+  cir::Function *Leaf =
+      M.createFunction("leaf", T.functionTy(T.voidTy(), {}));
+  cir::IRBuilder B(M);
+  B.setInsertAtEnd(Leaf->createBlock("entry"));
+  B.createRet();
+  cir::Function *K = M.createFunction(
+      "kernel$t", T.functionTy(T.voidTy(), {T.uint64Ty()}));
+  K->setKernel(true);
+  B.setInsertAtEnd(K->createBlock("entry"));
+  B.createCall(Leaf, {});
+  B.createRet();
+
+  KernelFootprint FP = computeFootprint(*K);
+  EXPECT_FALSE(FP.Analyzed);
+  EXPECT_NE(FP.WhyTop.find("call"), std::string::npos) << FP.WhyTop;
+  EXPECT_EQ(FP.readClass(), ExtentKind::Top);
+  EXPECT_EQ(FP.writeClass(), ExtentKind::Top);
+  EXPECT_TRUE(FP.hasWrites());
+  std::string Why;
+  EXPECT_FALSE(scheduleFreeFootprint(FP, &Why));
+  EXPECT_EQ(Why, FP.WhyTop);
+}
+
+TEST(FootprintCompute, ExtentKindNames) {
+  EXPECT_STREQ(extentKindName(ExtentKind::None), "none");
+  EXPECT_STREQ(extentKindName(ExtentKind::Exact), "exact");
+  EXPECT_STREQ(extentKindName(ExtentKind::Affine), "affine");
+  EXPECT_STREQ(extentKindName(ExtentKind::Top), "top");
+}
+
+//===----------------------------------------------------------------------===//
+// SharedRegion::allocationExtent — the bound for Top-on-root entries.
+//===----------------------------------------------------------------------===//
+
+TEST(AllocationExtent, BoundsOneAllocationNotTheRegion) {
+  svm::SharedRegion Region(1 << 20);
+  auto *A = Region.allocArray<int32_t>(100);
+  auto *B = Region.allocArray<int32_t>(100);
+  ASSERT_TRUE(A && B);
+  svm::MemRange EA = Region.allocationExtent(A);
+  EXPECT_EQ(EA.Begin, reinterpret_cast<uint64_t>(A));
+  EXPECT_GE(EA.End, reinterpret_cast<uint64_t>(A + 100));
+  // Tight: A's extent must not swallow B or the rest of the arena.
+  EXPECT_LE(EA.End, reinterpret_cast<uint64_t>(B));
+  EXPECT_LT(EA.End - EA.Begin, uint64_t(Region.capacity()));
+}
+
+TEST(AllocationExtent, UnheaderedPointerFallsBackToWholeRegion) {
+  svm::SharedRegion Region(1 << 20);
+  auto *A = Region.allocArray<int32_t>(100);
+  ASSERT_TRUE(A);
+  // An interior pointer has no allocation header in front of it.
+  svm::MemRange Interior = Region.allocationExtent(A + 8);
+  EXPECT_EQ(Interior.Begin, Region.range().Begin);
+  EXPECT_EQ(Interior.End, Region.range().End);
+  // A pointer outside the region entirely.
+  int Local = 0;
+  svm::MemRange Outside = Region.allocationExtent(&Local);
+  EXPECT_EQ(Outside.Begin, Region.range().Begin);
+  EXPECT_EQ(Outside.End, Region.range().End);
+}
+
+//===----------------------------------------------------------------------===//
+// Concretization against a live region.
+//===----------------------------------------------------------------------===//
+
+TEST(FootprintConcretize, AffineEntryCoversExactLaunchRange) {
+  KernelFootprint FP = footprintOf(FillSrc, "Fill");
+  ASSERT_TRUE(FP.Analyzed);
+
+  svm::SharedRegion Region(1 << 20);
+  constexpr int N = 256;
+  auto *Data = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<OnePtr>();
+  ASSERT_TRUE(Data && Body);
+  Body->Data = Data;
+
+  auto Extent = [&](const void *P) { return Region.allocationExtent(P); };
+  auto Accesses = concretizeFootprint(FP, Body, 0, N, Region.range(), Extent);
+
+  const ConcreteAccess *W = nullptr, *BodyRead = nullptr;
+  for (const ConcreteAccess &A : Accesses) {
+    if (A.Write)
+      W = &A;
+    else if (A.FromBody)
+      BodyRead = &A;
+  }
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->Range.Begin, reinterpret_cast<uint64_t>(Data));
+  EXPECT_EQ(W->Range.End, reinterpret_cast<uint64_t>(Data + N));
+  EXPECT_FALSE(W->FromBody);
+  // The implicit parameter read of the body object is flagged as such.
+  ASSERT_NE(BodyRead, nullptr);
+  EXPECT_EQ(BodyRead->Range.Begin, reinterpret_cast<uint64_t>(Body));
+}
+
+TEST(FootprintConcretize, TopOnRootBoundsToTheAllocation) {
+  KernelFootprint FP = footprintOf(R"(
+    class K {
+    public:
+      int* idx;
+      int* data;
+      void operator()(int i) { data[idx[i]] = i; }
+    };
+  )");
+  ASSERT_TRUE(FP.Analyzed);
+
+  svm::SharedRegion Region(1 << 20);
+  constexpr int N = 64;
+  struct TwoPtr {
+    int32_t *Idx;
+    int32_t *Data;
+  };
+  auto *Idx = Region.allocArray<int32_t>(N);
+  auto *Data = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<TwoPtr>();
+  ASSERT_TRUE(Idx && Data && Body);
+  Body->Idx = Idx;
+  Body->Data = Data;
+
+  auto Extent = [&](const void *P) { return Region.allocationExtent(P); };
+  auto Accesses = concretizeFootprint(FP, Body, 0, N, Region.range(), Extent);
+  const ConcreteAccess *W = nullptr;
+  for (const ConcreteAccess &A : Accesses)
+    if (A.Write)
+      W = &A;
+  ASSERT_NE(W, nullptr);
+  // The unprovable write is pinned to the data allocation, not the region.
+  EXPECT_EQ(W->Range.Begin, reinterpret_cast<uint64_t>(Data));
+  EXPECT_GE(W->Range.End, reinterpret_cast<uint64_t>(Data + N));
+  EXPECT_LT(W->Range.End - W->Range.Begin, uint64_t(Region.capacity()));
+}
+
+//===----------------------------------------------------------------------===//
+// Access-set inference and the verify policy in the scheduler.
+//===----------------------------------------------------------------------===//
+
+sched::TaskDesc descOf(const char *Src, const char *Cls, int64_t N,
+                       void *Body) {
+  sched::TaskDesc D;
+  D.Spec = runtime::KernelSpec{Src, Cls};
+  D.N = N;
+  D.BodyPtr = Body;
+  return D;
+}
+
+TEST(FootprintInfer, InferredSetConflictsLikeTheDeclaredOne) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+
+  constexpr int N = 512;
+  auto *Data = Region.allocArray<int32_t>(N);
+  auto *Other = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<OnePtr>();
+  Body->Data = Data;
+
+  runtime::KernelSpec Spec{FillSrc, "Fill"};
+  sched::AccessSet Inferred = sched::AccessSet::inferFor(RT, Spec, Body, N);
+  ASSERT_FALSE(Inferred.empty());
+  EXPECT_TRUE(Inferred.conflictsWith(
+      sched::AccessSet().writeArray(Data, N)));
+  EXPECT_FALSE(Inferred.conflictsWith(
+      sched::AccessSet().readWrite(Other, N * sizeof(int32_t))));
+}
+
+TEST(FootprintVerify, AcceptsCoveringDeclaration) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
+
+  constexpr int N = 1024;
+  auto *Data = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<OnePtr>();
+  Body->Data = Data;
+
+  sched::Scheduler Sched(RT, {});
+  auto T = Sched.submit(descOf(FillSrc, "Fill", N, Body),
+                        sched::AccessSet().writeArray(Data, N));
+  Sched.drain();
+  const sched::TaskResult &R = T.wait();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(Sched.stats().VerifyRejected, 0u);
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Data[I], I * 3);
+}
+
+TEST(FootprintVerify, RejectsUnderDeclaredAccessSet) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
+
+  constexpr int N = 1024;
+  auto *Data = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<OnePtr>();
+  Body->Data = Data;
+
+  sched::Scheduler Sched(RT, {});
+  // Declares only the first half of the array the kernel writes: under
+  // Trust this silently drops hazard edges; under Verify it is rejected.
+  auto T = Sched.submit(descOf(FillSrc, "Fill", N, Body),
+                        sched::AccessSet().writeArray(Data, N / 2));
+  Sched.drain();
+  const sched::TaskResult &R = T.wait();
+  EXPECT_TRUE(T.done());
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("access-set verification failed"),
+            std::string::npos)
+      << R.Error;
+  // The diagnostic names the inferred access and the uncovered bytes.
+  EXPECT_NE(R.Error.find("write body"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("uncovered bytes"), std::string::npos) << R.Error;
+  EXPECT_EQ(Sched.stats().VerifyRejected, 1u);
+  EXPECT_EQ(Sched.stats().Failed, 1u);
+  EXPECT_EQ(Sched.stats().Completed, 1u);
+  // The rejected task never launched.
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Data[I], 0) << "rejected task wrote memory at " << I;
+}
+
+TEST(FootprintVerify, EmptyDeclarationFallsBackToInference) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
+
+  constexpr int N = 512;
+  auto *Data = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<OnePtr>();
+  Body->Data = Data;
+
+  sched::Scheduler Sched(RT, {});
+  auto T = Sched.submit(descOf(FillSrc, "Fill", N, Body),
+                        sched::AccessSet());
+  Sched.drain();
+  const sched::TaskResult &R = T.wait();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(Sched.stats().InferredSets, 1u);
+  EXPECT_EQ(Sched.stats().VerifyRejected, 0u);
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Data[I], I * 3);
+}
+
+TEST(FootprintInfer, TopFootprintSerializesAgainstEverything) {
+  // Under Infer, a pointer-walk kernel's footprint is the whole region, so
+  // it must pick up a hazard edge against a task on a disjoint array —
+  // conservative whole-region serialization instead of a silent race.
+  const char *WalkSrc = R"(
+    class Node {
+    public:
+      int val;
+      Node* next;
+    };
+    class Walk {
+    public:
+      Node* list;
+      void operator()(int i) {
+        Node* n = list;
+        for (int k = 0; k < i; k++)
+          n = n->next;
+        n->val = i;
+      }
+    };
+  )";
+  struct HostNode {
+    int32_t Val;
+    HostNode *Next;
+  };
+  struct WalkBody {
+    HostNode *List;
+  };
+
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  RT.setFootprintPolicy(runtime::FootprintPolicy::Infer);
+
+  constexpr int N = 8;
+  HostNode *Nodes = Region.allocArray<HostNode>(N);
+  auto *Data = Region.allocArray<int32_t>(N);
+  auto *FillBody = Region.create<OnePtr>();
+  auto *Walk = Region.create<WalkBody>();
+  ASSERT_TRUE(Nodes && Data && FillBody && Walk);
+  for (int I = 0; I < N; ++I)
+    Nodes[I] = {-1, I + 1 < N ? &Nodes[I + 1] : nullptr};
+  FillBody->Data = Data;
+  Walk->List = Nodes;
+
+  // Hold every task at its start gate until both are submitted: the
+  // hazard scan only sees *unfinished* earlier tasks, and the fill would
+  // otherwise finish while the walk kernel is still JIT-compiling.
+  std::mutex GateMutex;
+  std::condition_variable GateCv;
+  bool Released = false;
+  sched::SchedulerOptions SO;
+  SO.NumWorkers = 2;
+  SO.OnTaskStart = [&](uint64_t) {
+    std::unique_lock<std::mutex> Lock(GateMutex);
+    GateCv.wait_for(Lock, std::chrono::seconds(5), [&] { return Released; });
+  };
+  sched::Scheduler Sched(RT, SO);
+  // Declared sets are ignored under Infer; these would be disjoint.
+  auto T1 = Sched.submit(descOf(FillSrc, "Fill", N, FillBody),
+                         sched::AccessSet().writeArray(Data, N));
+  auto T2 = Sched.submit(descOf(WalkSrc, "Walk", N, Walk),
+                         sched::AccessSet().writeArray(Nodes, N));
+  {
+    std::lock_guard<std::mutex> Lock(GateMutex);
+    Released = true;
+  }
+  GateCv.notify_all();
+  Sched.drain();
+  ASSERT_TRUE(T1.wait().Ok) << T1.wait().Error;
+  ASSERT_TRUE(T2.wait().Ok) << T2.wait().Error;
+  EXPECT_EQ(Sched.stats().InferredSets, 2u);
+  // The walk's whole-region footprint conflicts with the fill.
+  EXPECT_GE(Sched.stats().HazardEdges, 1u);
+  EXPECT_LT(T1.wait().EndSeq, T2.wait().StartSeq);
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Nodes[I].Val, I);
+}
+
+//===----------------------------------------------------------------------===//
+// The RunStaticChecks hazard lint.
+//===----------------------------------------------------------------------===//
+
+TEST(FootprintHazardLint, SelfPairVerdictsPerKernel) {
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(R"(
+    class Fill {
+    public:
+      int* data;
+      void operator()(int i) { data[i] = i; }
+    };
+    class Flag {
+    public:
+      int* flag;
+      void operator()(int i) { flag[0] = i; }
+    };
+  )",
+                                    "t", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  ASSERT_NE(frontend::createKernelEntry(*M, "Fill", Diags), nullptr);
+  ASSERT_NE(frontend::createKernelEntry(*M, "Flag", Diags), nullptr);
+  transforms::PipelineStats S;
+  std::string Err;
+  ASSERT_TRUE(transforms::runPipeline(
+      *M, transforms::PipelineOptions::gpuAll(), S, &Err))
+      << Err;
+
+  auto Findings = footprintHazards(*M);
+  ASSERT_EQ(Findings.size(), 3u); // Fill-Fill, Fill-Flag, Flag-Flag.
+  std::map<std::pair<std::string, std::string>, const HazardFinding *> ByPair;
+  for (const HazardFinding &H : Findings)
+    ByPair[{H.KernelA, H.KernelB}] = &H;
+
+  const HazardFinding *FillSelf =
+      ByPair[{"kernel$Fill", "kernel$Fill"}];
+  ASSERT_NE(FillSelf, nullptr);
+  EXPECT_FALSE(FillSelf->MayConflict);
+  EXPECT_NE(FillSelf->Message.find("slot-disjoint"), std::string::npos)
+      << FillSelf->Message;
+
+  const HazardFinding *FlagSelf =
+      ByPair[{"kernel$Flag", "kernel$Flag"}];
+  ASSERT_NE(FlagSelf, nullptr);
+  EXPECT_TRUE(FlagSelf->MayConflict);
+  EXPECT_NE(FlagSelf->Message.find("uniform-slot"), std::string::npos)
+      << FlagSelf->Message;
+
+  const HazardFinding *Cross = ByPair[{"kernel$Fill", "kernel$Flag"}];
+  ASSERT_NE(Cross, nullptr);
+  EXPECT_TRUE(Cross->MayConflict); // Distinct kernels may alias.
+}
+
+TEST(FootprintHazardLint, ReportedThroughPipelineDiagnostics) {
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(FillSrc, "t", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  ASSERT_NE(frontend::createKernelEntry(*M, "Fill", Diags), nullptr);
+  transforms::PipelineOptions Opts = transforms::PipelineOptions::gpuAll();
+  Opts.ReportFootprintHazards = true;
+  transforms::PipelineStats S;
+  std::string Err;
+  ASSERT_TRUE(transforms::runPipeline(*M, Opts, S, &Err, &Diags)) << Err;
+  EXPECT_NE(Diags.str().find("footprint hazard"), std::string::npos)
+      << Diags.str();
+  EXPECT_NE(Diags.str().find("slot-disjoint"), std::string::npos)
+      << Diags.str();
+}
+
+//===----------------------------------------------------------------------===//
+// The nine workloads: golden precision classes and verified inference.
+//===----------------------------------------------------------------------===//
+
+TEST(FootprintWorkloads, GoldenPrecisionClasses) {
+  // read class / write class per workload, from the analysis itself; a
+  // change here is a precision regression (or an improvement to document).
+  const std::map<std::string, std::pair<std::string, std::string>> Golden = {
+      {"BarnesHut", {"top", "affine"}},
+      {"BFS", {"top", "top"}},
+      {"BTree", {"top", "affine"}},
+      {"ClothPhysics", {"top", "affine"}},
+      {"ConnectedComponent", {"top", "affine"}},
+      {"FaceDetect", {"top", "affine"}},
+      {"Raytracer", {"top", "affine"}},
+      {"SkipList", {"top", "affine"}},
+      {"SSSP", {"top", "top"}},
+  };
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  for (auto &W : workloads::allWorkloads()) {
+    SCOPED_TRACE(W->name());
+    svm::SharedRegion Region(256 << 20);
+    Runtime RT(Machine, Region);
+    ASSERT_TRUE(W->setup(Region, 1));
+    const KernelFootprint *FP = RT.kernelFootprint(W->kernelSpec());
+    ASSERT_NE(FP, nullptr) << RT.diagnosticsFor(W->kernelSpec());
+    ASSERT_TRUE(FP->Analyzed) << FP->WhyTop;
+    auto It = Golden.find(W->name());
+    ASSERT_NE(It, Golden.end());
+    EXPECT_EQ(extentKindName(FP->readClass()), It->second.first);
+    EXPECT_EQ(extentKindName(FP->writeClass()), It->second.second);
+  }
+}
+
+TEST(FootprintWorkloads, InferredSetsAreVerifierAccepted) {
+  // For every workload, the inferred access set of its main launch must
+  // pass its own verification: submitting with the inferred declaration
+  // under Verify produces no coverage gaps.
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  for (auto &W : workloads::allWorkloads()) {
+    SCOPED_TRACE(W->name());
+    svm::SharedRegion Region(256 << 20);
+    Runtime RT(Machine, Region);
+    ASSERT_TRUE(W->setup(Region, 1));
+    void *Body = W->prepareBody();
+    ASSERT_NE(Body, nullptr);
+    int64_t N = W->itemCount();
+    ASSERT_GT(N, 0);
+    sched::AccessSet Inferred =
+        sched::AccessSet::inferFor(RT, W->kernelSpec(), Body, N);
+    ASSERT_FALSE(Inferred.empty());
+    auto Gaps = sched::AccessSet::coverageGaps(Inferred, RT,
+                                               W->kernelSpec(), Body, N);
+    EXPECT_TRUE(Gaps.empty())
+        << Gaps.size() << " gaps, first: " << Gaps[0].What;
+  }
+}
+
+} // namespace

@@ -459,13 +459,16 @@ TEST(ParallelSim, AllWorkloadsSerialParallelAndScalarEquivalent) {
 //===----------------------------------------------------------------------===//
 
 TEST(Interference, WorkloadKernelClassification) {
-  // The four read-heavy pointer-chasing kernels write only their own
-  // output slot and must be proven schedule-free (so the parallel engine
-  // engages for them); the relaxation-style kernels write neighbor slots
-  // and must stay coupled.
+  // The read-heavy pointer-chasing kernels write only their own output
+  // slot and must be proven schedule-free (so the parallel engine engages
+  // for them); the relaxation-style kernels write neighbor slots and must
+  // stay coupled. FaceDetect joined the free set when the footprint
+  // analysis replaced the syntactic self-index match: its packed
+  // outPair[2i], outPair[2i+1] stores stay inside work-item i's own
+  // 8-byte record.
   using namespace concord::workloads;
-  const std::set<std::string> ExpectFree = {"BarnesHut", "BTree",
-                                            "Raytracer", "SkipList"};
+  const std::set<std::string> ExpectFree = {
+      "BarnesHut", "BTree", "FaceDetect", "Raytracer", "SkipList"};
   for (auto &W : allWorkloads()) {
     SCOPED_TRACE(W->name());
     runtime::KernelSpec Spec = W->kernelSpec();
@@ -510,9 +513,38 @@ TEST(Interference, SelfSlotKernelIsScheduleFree) {
   EXPECT_TRUE(CG.Program.Kernels[0].ScheduleFree);
 }
 
-TEST(Interference, NeighborWriteKernelIsCoupled) {
-  // Writes out[i+1]: another work-item's slot, so execution order across
-  // cores could matter - must NOT be marked schedule-free.
+TEST(Interference, NeighborReadWriteKernelIsCoupled) {
+  // Writes out[i] while reading out[i+1]: the combined window spans two
+  // slots, so execution order across cores changes what the read observes
+  // - must NOT be marked schedule-free.
+  const char *Src = R"(
+    class K {
+    public:
+      int* out;
+      int n;
+      void operator()(int i) { if (i + 1 < n) out[i] = out[i + 1] + 1; }
+    };
+  )";
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(Src, "t", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  ASSERT_TRUE(frontend::createKernelEntry(*M, "K", Diags));
+  transforms::PipelineStats S;
+  std::string Err;
+  ASSERT_TRUE(transforms::runPipeline(
+      *M, transforms::PipelineOptions::gpuAll(), S, &Err))
+      << Err;
+  auto CG = codegen::compileModule(*M);
+  ASSERT_TRUE(CG.ok()) << CG.Error;
+  ASSERT_EQ(CG.Program.Kernels.size(), 1u);
+  EXPECT_FALSE(CG.Program.Kernels[0].ScheduleFree);
+}
+
+TEST(Interference, PureNeighborWriteKernelIsFree) {
+  // Writes only out[i+1], a shifted but still exclusive per-work-item
+  // slot. The old syntactic classifier kept this coupled because the
+  // store index was not the bare work-item id; the footprint analysis
+  // proves disjointness (stride 4, window [4,8)).
   const char *Src = R"(
     class K {
     public:
@@ -533,7 +565,7 @@ TEST(Interference, NeighborWriteKernelIsCoupled) {
   auto CG = codegen::compileModule(*M);
   ASSERT_TRUE(CG.ok()) << CG.Error;
   ASSERT_EQ(CG.Program.Kernels.size(), 1u);
-  EXPECT_FALSE(CG.Program.Kernels[0].ScheduleFree);
+  EXPECT_TRUE(CG.Program.Kernels[0].ScheduleFree);
 }
 
 } // namespace
