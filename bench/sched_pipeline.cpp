@@ -235,14 +235,18 @@ int main(int argc, char **argv) {
           "\"failed\": %llu, \"hazard_edges\": %llu, "
           "\"hybrid_launches\": %llu, \"max_in_flight\": %u, "
           "\"max_queue_depth\": %zu, \"verify_rejected\": %llu, "
-          "\"inferred_sets\": %llu},\n",
+          "\"inferred_sets\": %llu, \"windows_clipped\": %llu, "
+          "\"top_demoted\": %llu, \"oob_findings\": %llu},\n",
           (unsigned long long)St.Submitted,
           (unsigned long long)St.Completed,
           (unsigned long long)St.Failed,
           (unsigned long long)St.HazardEdges,
           (unsigned long long)St.HybridLaunches, St.MaxTasksInFlight,
           St.MaxQueueDepth, (unsigned long long)St.VerifyRejected,
-          (unsigned long long)St.InferredSets);
+          (unsigned long long)St.InferredSets,
+          (unsigned long long)RT.refinementStats().WindowsClipped,
+          (unsigned long long)RT.refinementStats().TopDemoted,
+          (unsigned long long)RT.refinementStats().OobFindings);
       std::fprintf(F, "  \"tasks\": [\n");
       for (size_t I = 0; I < Handles.size(); ++I) {
         const sched::TaskResult &R = Handles[I].wait();

@@ -2,11 +2,13 @@
 
 #include "analysis/Footprint.h"
 
+#include "cir/BasicBlock.h"
 #include "cir/Function.h"
 #include "cir/Instruction.h"
 #include "cir/Module.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -17,6 +19,14 @@ using namespace concord::analysis;
 
 namespace {
 
+/// The interval holding exactly 0 (identity for byte-offset accumulation).
+ValueInterval zeroInterval() {
+  ValueInterval R;
+  R.Lo = RangeBound::constant(0);
+  R.Hi = RangeBound::constant(0);
+  return R;
+}
+
 /// A resolved address: where it points and how it varies with the
 /// work-item index i.
 struct Addr {
@@ -24,7 +34,11 @@ struct Addr {
   std::vector<int64_t> Path; ///< Pointer-load offsets from the body (Root).
   int64_t Scale = 0;         ///< Bytes per i.
   int64_t Off = 0;           ///< Constant byte offset past the root.
-  bool OffKnown = true;      ///< False: offset unprovable -> Top on root.
+  bool OffKnown = true;      ///< False: offset unprovable -> Bounded.
+  /// Flow-sensitive interval of the total byte offset past the root, from
+  /// the value-range analysis (guards dominating the access applied).
+  /// Valid whenever K == Root, including when OffKnown is false.
+  ValueInterval Sym = zeroInterval();
 };
 
 /// An affine function of the work-item index: A * i + B.
@@ -97,7 +111,11 @@ bool affineIndex(const Value *V, AffineIdx &Out, unsigned Depth = 0) {
 
 class Resolver {
 public:
-  Addr resolve(const Value *V, unsigned Depth = 0) {
+  explicit Resolver(ValueRanges &VR) : VR(VR) {}
+
+  /// Resolves the address \p V of an access executed in block \p Ctx;
+  /// Ctx selects which branch guards refine the index intervals.
+  Addr resolve(const Value *V, BasicBlock *Ctx, unsigned Depth = 0) {
     Addr R;
     if (Depth > 128)
       return R;
@@ -119,21 +137,34 @@ public:
     case Opcode::Cast:
     case Opcode::CpuToGpu:
     case Opcode::GpuToCpu:
-      return resolve(I->operand(0), Depth + 1);
+      return resolve(I->operand(0), Ctx, Depth + 1);
     case Opcode::FieldAddr: {
-      Addr Base = resolve(I->operand(0), Depth + 1);
-      if (Base.K == Addr::Root)
+      Addr Base = resolve(I->operand(0), Ctx, Depth + 1);
+      if (Base.K == Addr::Root) {
         Base.Off += int64_t(I->attr());
+        Base.Sym = addIntervals(
+            Base.Sym, {RangeBound::constant(int64_t(I->attr())),
+                       RangeBound::constant(int64_t(I->attr()))});
+      }
       return Base;
     }
     case Opcode::IndexAddr: {
-      Addr Base = resolve(I->operand(0), Depth + 1);
+      Addr Base = resolve(I->operand(0), Ctx, Depth + 1);
       if (Base.K != Addr::Root)
         return Base;
       const auto *PT = dyn_cast<PointerType>(I->type());
       int64_t Elem = PT ? int64_t(PT->pointee()->sizeInBytes()) : 0;
+      if (Elem <= 0) {
+        Base.OffKnown = false;
+        Base.Sym = fullInterval();
+        return Base;
+      }
+      // The flow-sensitive byte interval of this index, guard-refined at
+      // the access block — the source of clamps and Bounded precision.
+      Base.Sym = addIntervals(
+          Base.Sym, mulIntervalConst(VR.rangeOf(I->operand(1), Ctx), Elem));
       AffineIdx Ix;
-      if (Elem > 0 && affineIndex(I->operand(1), Ix)) {
+      if (affineIndex(I->operand(1), Ix)) {
         Base.Scale += Ix.A * Elem;
         Base.Off += Ix.B * Elem;
       } else {
@@ -146,7 +177,7 @@ public:
       // and index-invariant, every work-item loads the same pointer value
       // and the pointee is one well-identified allocation: extend the
       // root path by the load offset. Anything else may alias arbitrarily.
-      Addr From = resolve(I->operand(0), Depth + 1);
+      Addr From = resolve(I->operand(0), Ctx, Depth + 1);
       Addr R2;
       if (From.K == Addr::Root && From.Scale == 0 && From.OffKnown) {
         R2.K = Addr::Root;
@@ -159,7 +190,25 @@ public:
       return R; // Phi / select / arithmetic pointers: unknown.
     }
   }
+
+private:
+  ValueRanges &VR;
 };
+
+/// Union of two clamps (the looser bound on each side; incomparable
+/// symbolic bounds widen to infinity).
+ByteClamp joinClamps(const ByteClamp &A, const ByteClamp &B) {
+  ByteClamp R;
+  if (boundLE(A.Lo, B.Lo))
+    R.Lo = A.Lo;
+  else if (boundLE(B.Lo, A.Lo))
+    R.Lo = B.Lo;
+  if (boundLE(A.Hi, B.Hi))
+    R.Hi = B.Hi;
+  else if (boundLE(B.Hi, A.Hi))
+    R.Hi = A.Hi;
+  return R;
+}
 
 } // namespace
 
@@ -171,6 +220,8 @@ const char *concord::analysis::extentKindName(ExtentKind K) {
     return "exact";
   case ExtentKind::Affine:
     return "affine";
+  case ExtentKind::Bounded:
+    return "bounded";
   case ExtentKind::Top:
     return "top";
   }
@@ -192,10 +243,15 @@ std::string FootprintEntry::describe() const {
     S += " i*" + std::to_string(Scale) + "+[" + std::to_string(Lo) + "," +
          std::to_string(Hi) + ")";
     break;
+  case ExtentKind::Bounded:
+    S += " bounded";
+    break;
   default:
     S += " top";
     break;
   }
+  if (Clamp.any())
+    S += " clip [" + Clamp.Lo.str() + ", " + Clamp.Hi.str() + ")";
   return S;
 }
 
@@ -230,11 +286,12 @@ bool KernelFootprint::hasWrites() const {
 
 KernelFootprint concord::analysis::computeFootprint(Function &F) {
   KernelFootprint FP;
-  Resolver Res;
+  ValueRanges VR(F);
+  Resolver Res(VR);
 
   auto Add = [&](bool Write, const Value *AddrV, uint64_t Bytes,
-                 SourceLoc L) {
-    Addr A = Res.resolve(AddrV);
+                 BasicBlock *Ctx, SourceLoc L) {
+    Addr A = Res.resolve(AddrV, Ctx);
     if (A.K == Addr::Private)
       return; // Per-work-item memory by construction.
     FootprintEntry E;
@@ -244,16 +301,40 @@ KernelFootprint concord::analysis::computeFootprint(Function &F) {
       E.RootKnown = true;
       E.RootPath = A.Path;
       if (!A.OffKnown) {
-        E.Kind = ExtentKind::Top;
+        // Data-dependent offset through a known root: the access stays
+        // inside that root's allocation (Bounded), and any finite side of
+        // the guard-proven byte interval narrows it further. A constant
+        // lower bound <= 0 adds nothing over the allocation start.
+        E.Kind = ExtentKind::Bounded;
+        const RangeBound &SL = A.Sym.Lo, &SH = A.Sym.Hi;
+        if (SL.isFinite() &&
+            (SL.S != RangeBound::Sym::None || SL.C > 0))
+          E.Clamp.Lo = SL;
+        if (SH.isFinite())
+          E.Clamp.Hi = addConstBound(SH, int64_t(Bytes));
       } else {
         E.Kind = A.Scale == 0 ? ExtentKind::Exact : ExtentKind::Affine;
         E.Scale = A.Scale;
         E.Lo = A.Off;
         E.Hi = A.Off + int64_t(Bytes);
+        // Guard clamp on a provable window. Work-item-symbolic bounds
+        // merely restate the affine extrapolation, and constants that do
+        // not beat the static window are noise; record only bounds that
+        // add launch-wide information (field-symbolic loop bounds, or
+        // constants tightening the window's edge).
+        const RangeBound &SL = A.Sym.Lo, &SH = A.Sym.Hi;
+        if (SL.isFinite() && SL.S != RangeBound::Sym::WorkItem &&
+            (SL.S == RangeBound::Sym::Field || SL.C > E.Lo))
+          E.Clamp.Lo = SL;
+        if (SH.isFinite() && SH.S != RangeBound::Sym::WorkItem &&
+            (SH.S == RangeBound::Sym::Field ||
+             E.Kind == ExtentKind::Affine))
+          E.Clamp.Hi = addConstBound(SH, int64_t(Bytes));
       }
     }
     // Coalesce with an existing entry of the same shape (widening the
-    // constant window is a conservative over-approximation).
+    // constant window and the clamp union is a conservative
+    // over-approximation).
     for (FootprintEntry &Prev : FP.Entries) {
       if (Prev.Write != E.Write || Prev.RootKnown != E.RootKnown ||
           Prev.Kind != E.Kind || Prev.RootPath != E.RootPath ||
@@ -261,6 +342,7 @@ KernelFootprint concord::analysis::computeFootprint(Function &F) {
         continue;
       Prev.Lo = std::min(Prev.Lo, E.Lo);
       Prev.Hi = std::max(Prev.Hi, E.Hi);
+      Prev.Clamp = joinClamps(Prev.Clamp, E.Clamp);
       return;
     }
     FP.Entries.push_back(std::move(E));
@@ -281,14 +363,14 @@ KernelFootprint concord::analysis::computeFootprint(Function &F) {
         FP.Entries.clear();
         return FP;
       case Opcode::Load:
-        Add(false, I->pointerOperand(), I->accessBytes(), I->loc());
+        Add(false, I->pointerOperand(), I->accessBytes(), BB, I->loc());
         break;
       case Opcode::Store:
-        Add(true, I->pointerOperand(), I->accessBytes(), I->loc());
+        Add(true, I->pointerOperand(), I->accessBytes(), BB, I->loc());
         break;
       case Opcode::Memcpy:
-        Add(true, I->operand(0), I->accessBytes(), I->loc());
-        Add(false, I->operand(1), I->accessBytes(), I->loc());
+        Add(true, I->operand(0), I->accessBytes(), BB, I->loc());
+        Add(false, I->operand(1), I->accessBytes(), BB, I->loc());
         break;
       default:
         break;
@@ -296,8 +378,109 @@ KernelFootprint concord::analysis::computeFootprint(Function &F) {
     }
   }
   FP.Analyzed = true;
+  for (const FootprintEntry &E : FP.Entries) {
+    if (E.Kind == ExtentKind::Bounded)
+      ++FP.TopDemoted;
+    if (E.Clamp.any())
+      ++FP.WindowsClipped;
+  }
   return FP;
 }
+
+namespace {
+
+/// Dereferences a root path through host memory; every hop must read a
+/// pointer that lies wholly inside the shared region.
+bool derefRootPath(const std::vector<int64_t> &Path, uint64_t &P,
+                   svm::MemRange WholeRegion) {
+  for (int64_t Hop : Path) {
+    uint64_t Slot = uint64_t(int64_t(P) + Hop);
+    if (Slot < WholeRegion.Begin ||
+        Slot + sizeof(void *) > WholeRegion.End)
+      return false;
+    void *Next = nullptr;
+    std::memcpy(&Next, reinterpret_cast<const void *>(Slot),
+                sizeof(void *));
+    P = reinterpret_cast<uint64_t>(Next);
+  }
+  return true;
+}
+
+/// Evaluates a symbolic clamp bound for a concrete launch. Field symbols
+/// dereference through host memory (bounds-checked against the region);
+/// work-item symbols evaluate at both ends of [Base, Base+Count) and take
+/// the side selected by \p Upper. Returns false (no bound) for infinite
+/// bounds or any failed dereference.
+bool evalBound(const RangeBound &B, const void *BodyPtr,
+               svm::MemRange WholeRegion, int64_t Base, int64_t Count,
+               bool Upper, int64_t &Out) {
+  if (!B.isFinite() || !BodyPtr)
+    return false;
+  auto Combine = [&](int64_t SymVal) -> bool {
+    __int128 R = (__int128)B.Mul * SymVal + B.C;
+    if (R > INT64_MAX || R < INT64_MIN)
+      return false;
+    Out = int64_t(R);
+    return true;
+  };
+  switch (B.S) {
+  case RangeBound::Sym::None:
+    Out = B.C;
+    return true;
+  case RangeBound::Sym::Field: {
+    uint64_t P = reinterpret_cast<uint64_t>(BodyPtr);
+    if (!derefRootPath(B.Field.Path, P, WholeRegion))
+      return false;
+    uint64_t Slot = uint64_t(int64_t(P) + B.Field.Off);
+    if (Slot < WholeRegion.Begin ||
+        Slot + B.Field.Bytes > WholeRegion.End)
+      return false;
+    int64_t V = 0;
+    if (B.Field.Bytes == 4) {
+      int32_t V32 = 0;
+      std::memcpy(&V32, reinterpret_cast<const void *>(Slot), 4);
+      V = V32;
+    } else {
+      std::memcpy(&V, reinterpret_cast<const void *>(Slot), 8);
+    }
+    return Combine(V);
+  }
+  case RangeBound::Sym::WorkItem: {
+    if (Count <= 0)
+      return false;
+    int64_t A = 0, Z = 0;
+    int64_t SavedOut = Out;
+    if (!Combine(Base)) {
+      Out = SavedOut;
+      return false;
+    }
+    A = Out;
+    if (!Combine(Base + Count - 1)) {
+      Out = SavedOut;
+      return false;
+    }
+    Z = Out;
+    Out = Upper ? std::max(A, Z) : std::min(A, Z);
+    return true;
+  }
+  }
+  return false;
+}
+
+/// Intersects \p R with the clamp evaluated relative to root address \p P.
+void applyClamp(svm::MemRange &R, const ByteClamp &Clamp, uint64_t P,
+                const void *BodyPtr, svm::MemRange WholeRegion,
+                int64_t Base, int64_t Count) {
+  int64_t V = 0;
+  if (evalBound(Clamp.Lo, BodyPtr, WholeRegion, Base, Count,
+                /*Upper=*/false, V))
+    R.Begin = std::max(R.Begin, uint64_t(int64_t(P) + V));
+  if (evalBound(Clamp.Hi, BodyPtr, WholeRegion, Base, Count,
+                /*Upper=*/true, V))
+    R.End = std::min(R.End, uint64_t(int64_t(P) + V));
+}
+
+} // namespace
 
 std::vector<ConcreteAccess> concord::analysis::concretizeFootprint(
     const KernelFootprint &FP, const void *BodyPtr, int64_t Base,
@@ -318,23 +501,8 @@ std::vector<ConcreteAccess> concord::analysis::concretizeFootprint(
       Out.push_back(std::move(CA));
       continue;
     }
-    // Dereference the root path through host memory; every hop must read a
-    // pointer that lies wholly inside the shared region.
     uint64_t P = reinterpret_cast<uint64_t>(BodyPtr);
-    bool Resolved = true;
-    for (int64_t Hop : E.RootPath) {
-      uint64_t Slot = uint64_t(int64_t(P) + Hop);
-      if (Slot < WholeRegion.Begin ||
-          Slot + sizeof(void *) > WholeRegion.End) {
-        Resolved = false;
-        break;
-      }
-      void *Next = nullptr;
-      std::memcpy(&Next, reinterpret_cast<const void *>(Slot),
-                  sizeof(void *));
-      P = reinterpret_cast<uint64_t>(Next);
-    }
-    if (!Resolved) {
+    if (!derefRootPath(E.RootPath, P, WholeRegion)) {
       CA.Range = WholeRegion;
       Out.push_back(std::move(CA));
       continue;
@@ -342,6 +510,10 @@ std::vector<ConcreteAccess> concord::analysis::concretizeFootprint(
     CA.FromBody = E.RootPath.empty();
     switch (E.Kind) {
     case ExtentKind::Top:
+      CA.Range = WholeRegion;
+      break;
+    case ExtentKind::Bounded:
+      // Confined to the root's allocation; guard clamps narrow further.
       CA.Range = AllocExtent ? AllocExtent(reinterpret_cast<void *>(P))
                              : WholeRegion;
       break;
@@ -361,6 +533,8 @@ std::vector<ConcreteAccess> concord::analysis::concretizeFootprint(
     case ExtentKind::None:
       continue;
     }
+    if (E.Clamp.any())
+      applyClamp(CA.Range, E.Clamp, P, BodyPtr, WholeRegion, Base, Count);
     // Clamp to the region: out-of-region bytes cannot carry a hazard.
     CA.Range.Begin = std::max(CA.Range.Begin, WholeRegion.Begin);
     CA.Range.End = std::min(CA.Range.End, WholeRegion.End);
@@ -387,7 +561,7 @@ bool concord::analysis::scheduleFreeFootprint(const KernelFootprint &FP,
       continue;
     if (!E.RootKnown)
       return Couple("write through unresolved pointer at " + E.Loc.str());
-    if (E.Kind == ExtentKind::Top)
+    if (E.Kind == ExtentKind::Top || E.Kind == ExtentKind::Bounded)
       return Couple("write with unprovable offset at " + E.Loc.str());
     if (E.Kind == ExtentKind::Exact)
       return Couple("uniform-slot shared write at " + E.Loc.str());
@@ -427,6 +601,63 @@ bool concord::analysis::scheduleFreeFootprint(const KernelFootprint &FP,
                     std::to_string(Scale) + " at " + FirstWrite->Loc.str());
   }
   return true;
+}
+
+std::vector<OobFinding> concord::analysis::lintFootprintBounds(
+    const KernelFootprint &FP, const std::string &KernelName,
+    const void *BodyPtr, int64_t Base, int64_t Count,
+    svm::MemRange WholeRegion, const AllocExtentFn &AllocExtent) {
+  std::vector<OobFinding> Out;
+  if (!FP.Analyzed || !BodyPtr || !AllocExtent || Count <= 0)
+    return Out;
+  auto Hex = [](svm::MemRange R) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "[0x%llx, 0x%llx)",
+                  (unsigned long long)R.Begin, (unsigned long long)R.End);
+    return std::string(Buf);
+  };
+  for (const FootprintEntry &E : FP.Entries) {
+    // Only Exact/Affine windows are must-ish: every byte in them is
+    // provably touched unless a guard (already folded into Clamp) skips
+    // it. Bounded/Top are may-summaries with no provable window.
+    if (!E.RootKnown ||
+        (E.Kind != ExtentKind::Exact && E.Kind != ExtentKind::Affine))
+      continue;
+    uint64_t P = reinterpret_cast<uint64_t>(BodyPtr);
+    if (!derefRootPath(E.RootPath, P, WholeRegion))
+      continue;
+    svm::MemRange Extent = AllocExtent(reinterpret_cast<void *>(P));
+    // allocationExtent falls back to the whole region for pointers it
+    // cannot attribute to one block (interior pointers, foreign memory);
+    // no per-allocation bound to check against there.
+    if (Extent.Begin == WholeRegion.Begin && Extent.End == WholeRegion.End)
+      continue;
+    svm::MemRange R;
+    if (E.Kind == ExtentKind::Exact) {
+      R = {uint64_t(int64_t(P) + E.Lo), uint64_t(int64_t(P) + E.Hi)};
+    } else {
+      int64_t First = E.Scale * Base;
+      int64_t Last = E.Scale * (Base + Count - 1);
+      R = {uint64_t(int64_t(P) + std::min(First, Last) + E.Lo),
+           uint64_t(int64_t(P) + std::max(First, Last) + E.Hi)};
+    }
+    if (E.Clamp.any())
+      applyClamp(R, E.Clamp, P, BodyPtr, WholeRegion, Base, Count);
+    if (R.empty() || Extent.contains(R))
+      continue;
+    OobFinding F;
+    F.Kernel = KernelName;
+    F.What = E.describe();
+    F.Access = R;
+    F.Extent = Extent;
+    F.Loc = E.Loc;
+    F.Message = std::string("out-of-bounds ") +
+                (E.Write ? "write" : "read") + ": " + F.What + " covers " +
+                Hex(R) + " but the root allocation is " + Hex(Extent) +
+                " at " + E.Loc.str();
+    Out.push_back(std::move(F));
+  }
+  return Out;
 }
 
 std::vector<HazardFinding>

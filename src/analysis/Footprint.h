@@ -9,8 +9,9 @@
 ///
 /// The analysis is interprocedural in effect (it runs on post-pipeline IR,
 /// after devirtualization and inlining have flattened the kernel into one
-/// function), flow-insensitive, and field/offset-sensitive. Every access is
-/// summarized as an entry
+/// function), field/offset-sensitive, and — through analysis/ValueRange —
+/// guard-aware: branch conditions dominating an access clip its window.
+/// Every access is summarized as an entry
 ///
 ///     root ± (Scale * i + [Lo, Hi))        i = the work-item index
 ///
@@ -18,11 +19,16 @@
 /// starting from the kernel's body object (the functor passed to the
 /// parallel launch). Entries degrade monotonically along the lattice
 ///
-///     Exact (Scale == 0)  <  Affine (Scale != 0)  <  Top
+///     Exact (Scale == 0)  <  Affine (Scale != 0)  <  Bounded  <  Top
 ///
-/// Top on a known root means "somewhere in the allocation the root points
-/// at"; an unresolved root or an unanalyzable kernel (residual calls,
-/// barriers) means "anywhere in the shared region".
+/// Bounded is a data-dependent access through a *known* root (BFS/SSSP
+/// reading dest[e] from a CSR array): the window is the root's allocation,
+/// optionally narrowed by a guard-proven byte clamp. Top is reserved for
+/// an unresolved root or an unanalyzable kernel (residual calls, barriers)
+/// and means "anywhere in the shared region". Exact/Affine windows can
+/// additionally carry a clamp (guarded stencils: `if (i+1 < n) out[i+1]`
+/// is provably confined to [4, 4n) bytes), which both the concretizer and
+/// the static out-of-bounds lint apply.
 ///
 /// Consumers:
 ///  - sched::AccessSet::inferFor / verify mode (concretizeFootprint),
@@ -42,6 +48,7 @@
 #ifndef CONCORD_ANALYSIS_FOOTPRINT_H
 #define CONCORD_ANALYSIS_FOOTPRINT_H
 
+#include "analysis/ValueRange.h"
 #include "support/SourceLoc.h"
 #include "svm/SharedRegion.h"
 #include <cstdint>
@@ -60,13 +67,25 @@ namespace analysis {
 /// Precision class of one footprint entry (and, by max, of a whole
 /// footprint direction). Ordered: later values are strictly coarser.
 enum class ExtentKind {
-  None,   ///< No accesses in this direction.
-  Exact,  ///< Constant byte window, independent of the work-item index.
-  Affine, ///< Scale * i + constant window.
-  Top,    ///< Unprovable offset: whole allocation / whole region.
+  None,    ///< No accesses in this direction.
+  Exact,   ///< Constant byte window, independent of the work-item index.
+  Affine,  ///< Scale * i + constant window.
+  Bounded, ///< Data-dependent offset, but the root is known: confined to
+           ///< the root's allocation, possibly narrowed by a clamp.
+  Top,     ///< Unresolved root: anywhere in the shared region.
 };
 
 const char *extentKindName(ExtentKind K);
+
+/// Guard-proven byte bounds on an access, relative to its root pointer and
+/// valid for every work item of any launch (symbolic in body fields and
+/// the launched index range; see analysis/ValueRange). Lo is inclusive,
+/// Hi exclusive; an infinite side means "no proven bound on that side".
+struct ByteClamp {
+  RangeBound Lo = RangeBound::negInf();
+  RangeBound Hi = RangeBound::posInf();
+  bool any() const { return Lo.isFinite() || Hi.isFinite(); }
+};
 
 /// One summarized access: a byte window relative to a root pointer.
 struct FootprintEntry {
@@ -82,9 +101,14 @@ struct FootprintEntry {
   int64_t Scale = 0; ///< Bytes per work-item index (0 for Exact).
   int64_t Lo = 0;    ///< Window start, bytes past root (+ Scale * i).
   int64_t Hi = 0;    ///< Window end (exclusive).
+  /// Flow-sensitive refinement: launch-wide byte bounds proven by the
+  /// guards dominating the access (recorded only when they narrow the
+  /// window). Consumers intersect the concrete range with it.
+  ByteClamp Clamp;
   SourceLoc Loc;     ///< A representative access instruction.
 
-  /// Human-readable form, e.g. "write body[+16]-> i*8+[0,8)".
+  /// Human-readable form, e.g. "write body[+16]-> i*8+[0,8)" or
+  /// "write body[+8]-> i*4+[4,8) clip [4, 4*f16)".
   std::string describe() const;
 };
 
@@ -98,6 +122,13 @@ struct KernelFootprint {
   /// Location of the instruction that defeated the analysis (!Analyzed).
   SourceLoc TopLoc;
   std::vector<FootprintEntry> Entries;
+
+  /// Refinement counters: entries whose window the value-range analysis
+  /// narrowed with a guard-proven clamp, and data-dependent entries that
+  /// would have been whole-allocation Top without the known root
+  /// (demoted to Bounded). Surfaced through Runtime::refinementStats().
+  unsigned WindowsClipped = 0;
+  unsigned TopDemoted = 0;
 
   ExtentKind readClass() const;
   ExtentKind writeClass() const;
@@ -139,6 +170,32 @@ concretizeFootprint(const KernelFootprint &FP, const void *BodyPtr,
 /// slot. \p WhyNot (optional) receives the first reason for failure.
 bool scheduleFreeFootprint(const KernelFootprint &FP,
                            std::string *WhyNot = nullptr);
+
+/// One finding of the static out-of-bounds lint.
+struct OobFinding {
+  std::string Kernel; ///< Kernel function name.
+  std::string What;   ///< describe() of the offending entry.
+  svm::MemRange Access; ///< Proven access window for the checked launch.
+  svm::MemRange Extent; ///< The root's allocation extent.
+  SourceLoc Loc;        ///< The access instruction's source location.
+  std::string Message;  ///< Formatted diagnostic (includes Loc).
+};
+
+/// Static out-of-bounds lint: evaluates every *provable* access window of
+/// \p FP — Exact and Affine entries, with guard clamps applied — against
+/// its root allocation's extent for a launch of items [Base, Base+Count),
+/// and reports windows that provably touch bytes outside the allocation
+/// (the classic unguarded `out[i+1]` off-by-one, before any device runs).
+/// Bounded/Top entries are may-access summaries with no provable window
+/// and are skipped, as are roots whose allocation extent is unknown
+/// (AllocExtent returning the whole region). A reported window either is
+/// a real out-of-bounds access or sits behind a guard the range analysis
+/// cannot prove; the paper's nine workloads lint clean.
+std::vector<OobFinding>
+lintFootprintBounds(const KernelFootprint &FP, const std::string &KernelName,
+                    const void *BodyPtr, int64_t Base, int64_t Count,
+                    svm::MemRange WholeRegion,
+                    const AllocExtentFn &AllocExtent);
 
 /// One pairwise verdict from the hazard lint.
 struct HazardFinding {

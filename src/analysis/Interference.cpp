@@ -15,6 +15,9 @@ bool concord::analysis::isScheduleFree(cir::Function &F,
   // inside the work-item's own Scale-byte slot. The offset reasoning
   // subsumes the earlier syntactic self-index match: `out[i]`,
   // `nodes[i].next`, and packed layouts like `out[2*i+1]` are all affine
-  // entries whose window fits the stride.
+  // entries whose window fits the stride. Bounded entries (data-dependent
+  // offsets confined to a known root allocation) are per-launch, not
+  // per-work-item, facts: a Bounded write still defeats schedule-freedom
+  // exactly like Top, even when a guard clamp narrows its window.
   return scheduleFreeFootprint(computeFootprint(F), WhyNot);
 }

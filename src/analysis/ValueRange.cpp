@@ -1,0 +1,854 @@
+//===- ValueRange.cpp - Flow-sensitive integer range analysis -------------===//
+
+#include "analysis/ValueRange.h"
+
+#include "analysis/CFG.h"
+#include "cir/BasicBlock.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+//===----------------------------------------------------------------------===//
+// Saturating int64 arithmetic. Bounds describe mathematical integers; a sum
+// that leaves the representable range must widen, never wrap.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr int64_t I64Min = INT64_MIN;
+constexpr int64_t I64Max = INT64_MAX;
+
+int64_t satAdd(int64_t A, int64_t B, bool *Sat = nullptr) {
+  __int128 R = (__int128)A + B;
+  if (R > I64Max || R < I64Min) {
+    if (Sat)
+      *Sat = true;
+    return R > 0 ? I64Max : I64Min;
+  }
+  return int64_t(R);
+}
+
+int64_t satMul(int64_t A, int64_t B, bool *Sat = nullptr) {
+  __int128 R = (__int128)A * B;
+  if (R > I64Max || R < I64Min) {
+    if (Sat)
+      *Sat = true;
+    return R > 0 ? I64Max : I64Min;
+  }
+  return int64_t(R);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FieldRef / RangeBound
+//===----------------------------------------------------------------------===//
+
+std::string FieldRef::str() const {
+  std::string S = "f";
+  for (int64_t Hop : Path)
+    S += std::to_string(Hop) + ".";
+  S += std::to_string(Off);
+  return S;
+}
+
+bool RangeBound::comparableWith(const RangeBound &O) const {
+  if (!isFinite() || !O.isFinite() || S != O.S || Mul != O.Mul)
+    return false;
+  return S != Sym::Field || Field == O.Field;
+}
+
+bool concord::analysis::operator==(const RangeBound &A, const RangeBound &B) {
+  if (A.K != B.K)
+    return false;
+  if (A.K != RangeBound::Kind::Finite)
+    return true;
+  return A.S == B.S && A.C == B.C && A.Mul == B.Mul &&
+         (A.S != RangeBound::Sym::Field || A.Field == B.Field);
+}
+
+std::string RangeBound::str() const {
+  if (isNegInf())
+    return "-inf";
+  if (isPosInf())
+    return "+inf";
+  if (S == Sym::None)
+    return std::to_string(C);
+  std::string SymS = S == Sym::Field ? Field.str() : "i";
+  std::string Out =
+      Mul == 1 ? SymS : std::to_string(Mul) + "*" + SymS;
+  if (C > 0)
+    Out += "+" + std::to_string(C);
+  else if (C < 0)
+    Out += std::to_string(C);
+  return Out;
+}
+
+RangeBound concord::analysis::addConstBound(RangeBound B, int64_t C) {
+  if (!B.isFinite())
+    return B;
+  bool Sat = false;
+  B.C = satAdd(B.C, C, &Sat);
+  return Sat ? (B.C > 0 ? RangeBound::posInf() : RangeBound::negInf()) : B;
+}
+
+RangeBound concord::analysis::addBounds(const RangeBound &A,
+                                        const RangeBound &B, bool RoundUp) {
+  auto Widen = [RoundUp] {
+    return RoundUp ? RangeBound::posInf() : RangeBound::negInf();
+  };
+  if (!A.isFinite() || !B.isFinite()) {
+    if (A.isPosInf() || B.isPosInf())
+      return A.isNegInf() || B.isNegInf() ? Widen() : RangeBound::posInf();
+    return RangeBound::negInf();
+  }
+  RangeBound R;
+  R.K = RangeBound::Kind::Finite;
+  bool Sat = false;
+  if (A.S == RangeBound::Sym::None) {
+    R = B;
+    R.C = satAdd(B.C, A.C, &Sat);
+  } else if (B.S == RangeBound::Sym::None) {
+    R = A;
+    R.C = satAdd(A.C, B.C, &Sat);
+  } else if (A.S == B.S &&
+             (A.S != RangeBound::Sym::Field || A.Field == B.Field)) {
+    R = A;
+    R.Mul = satAdd(A.Mul, B.Mul, &Sat);
+    R.C = satAdd(A.C, B.C, &Sat);
+    if (R.Mul == 0) {
+      R.S = RangeBound::Sym::None;
+      R.Field = FieldRef();
+    }
+  } else {
+    return Widen(); // Mixed symbols: not representable.
+  }
+  return Sat ? Widen() : R;
+}
+
+RangeBound concord::analysis::negBound(const RangeBound &B) {
+  if (B.isNegInf())
+    return RangeBound::posInf();
+  if (B.isPosInf())
+    return RangeBound::negInf();
+  RangeBound R = B;
+  bool Sat = false;
+  R.C = satMul(B.C, -1, &Sat);
+  R.Mul = satMul(B.Mul, -1, &Sat);
+  if (Sat)
+    return R.C > 0 || R.Mul > 0 ? RangeBound::posInf()
+                                : RangeBound::negInf();
+  return R;
+}
+
+RangeBound concord::analysis::mulBoundConst(const RangeBound &B, int64_t C,
+                                            bool RoundUp) {
+  assert(C >= 0 && "caller negates first");
+  if (C == 0)
+    return RangeBound::constant(0);
+  if (!B.isFinite())
+    return B;
+  RangeBound R = B;
+  bool Sat = false;
+  R.C = satMul(B.C, C, &Sat);
+  R.Mul = satMul(B.Mul, C, &Sat);
+  if (Sat)
+    return RoundUp ? RangeBound::posInf() : RangeBound::negInf();
+  return R;
+}
+
+bool concord::analysis::boundLE(const RangeBound &A, const RangeBound &B) {
+  if (A.isNegInf() || B.isPosInf())
+    return true;
+  if (A.isPosInf() || B.isNegInf())
+    return false;
+  return A.comparableWith(B) && A.C <= B.C;
+}
+
+//===----------------------------------------------------------------------===//
+// ValueInterval arithmetic
+//===----------------------------------------------------------------------===//
+
+ValueInterval concord::analysis::fullInterval() { return ValueInterval(); }
+
+static ValueInterval pointInterval(RangeBound B) {
+  ValueInterval R;
+  R.Lo = B;
+  R.Hi = std::move(B);
+  return R;
+}
+
+ValueInterval concord::analysis::joinIntervals(const ValueInterval &A,
+                                               const ValueInterval &B) {
+  ValueInterval R;
+  if (boundLE(A.Lo, B.Lo))
+    R.Lo = A.Lo;
+  else if (boundLE(B.Lo, A.Lo))
+    R.Lo = B.Lo;
+  if (boundLE(A.Hi, B.Hi))
+    R.Hi = B.Hi;
+  else if (boundLE(B.Hi, A.Hi))
+    R.Hi = A.Hi;
+  return R;
+}
+
+ValueInterval concord::analysis::addIntervals(const ValueInterval &A,
+                                              const ValueInterval &B) {
+  ValueInterval R;
+  R.Lo = addBounds(A.Lo, B.Lo, /*RoundUp=*/false);
+  R.Hi = addBounds(A.Hi, B.Hi, /*RoundUp=*/true);
+  return R;
+}
+
+ValueInterval concord::analysis::negInterval(const ValueInterval &A) {
+  ValueInterval R;
+  R.Lo = negBound(A.Hi);
+  R.Hi = negBound(A.Lo);
+  return R;
+}
+
+ValueInterval concord::analysis::subIntervals(const ValueInterval &A,
+                                              const ValueInterval &B) {
+  return addIntervals(A, negInterval(B));
+}
+
+ValueInterval concord::analysis::mulIntervalConst(const ValueInterval &A,
+                                                  int64_t C) {
+  if (C == 0)
+    return pointInterval(RangeBound::constant(0));
+  if (C == I64Min)
+    return fullInterval();
+  if (C < 0)
+    return mulIntervalConst(negInterval(A), -C);
+  ValueInterval R;
+  R.Lo = mulBoundConst(A.Lo, C, /*RoundUp=*/false);
+  R.Hi = mulBoundConst(A.Hi, C, /*RoundUp=*/true);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers over the IR
+//===----------------------------------------------------------------------===//
+
+/// Looks through value-preserving integer extensions. ZExt preserves the
+/// value only for non-negative operands; see the header caveat (indices
+/// are the int loop counter in practice, as in Footprint's affineIndex).
+static const Value *stripIntCasts(const Value *V) {
+  while (const auto *I = dyn_cast<Instruction>(V)) {
+    if (I->opcode() != Opcode::Cast)
+      break;
+    CastKind CK = I->castKind();
+    if (CK != CastKind::SExt && CK != CastKind::ZExt)
+      break;
+    V = I->operand(0);
+  }
+  return V;
+}
+
+/// Resolves \p Ptr as a constant-offset chain of field addresses and
+/// uniform pointer loads rooted at the body argument. Mirrors the uniform
+/// branch of Footprint's Resolver.
+static bool uniformBodyAddr(const Value *Ptr, std::vector<int64_t> &Path,
+                            int64_t &Off, unsigned Depth = 0) {
+  if (Depth > 64)
+    return false;
+  if (const auto *A = dyn_cast<Argument>(Ptr)) {
+    Path.clear();
+    Off = 0;
+    return A->index() == 0;
+  }
+  const auto *I = dyn_cast<Instruction>(Ptr);
+  if (!I)
+    return false;
+  switch (I->opcode()) {
+  case Opcode::Cast:
+  case Opcode::CpuToGpu:
+  case Opcode::GpuToCpu:
+    return uniformBodyAddr(I->operand(0), Path, Off, Depth + 1);
+  case Opcode::FieldAddr:
+    if (!uniformBodyAddr(I->operand(0), Path, Off, Depth + 1))
+      return false;
+    Off += int64_t(I->attr());
+    return true;
+  case Opcode::Load:
+    // A pointer loaded from a uniform body slot: every work item sees the
+    // same pointer value, so the chain stays uniform.
+    if (!uniformBodyAddr(I->operand(0), Path, Off, Depth + 1))
+      return false;
+    Path.push_back(Off);
+    Off = 0;
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ValueRanges::matchBodyField(const Value *V, FieldRef &Out) {
+  V = stripIntCasts(V);
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I || I->opcode() != Opcode::Load)
+    return false;
+  Type *Ty = I->type();
+  if (!Ty || !Ty->isInteger())
+    return false;
+  uint64_t Bytes = Ty->sizeInBytes();
+  if (Bytes != 4 && Bytes != 8)
+    return false;
+  std::vector<int64_t> Path;
+  int64_t Off = 0;
+  if (!uniformBodyAddr(I->operand(0), Path, Off))
+    return false;
+  Out.Path = std::move(Path);
+  Out.Off = Off;
+  Out.Bytes = unsigned(Bytes);
+  return true;
+}
+
+static ICmpPred swapOperandsPred(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::SLT:
+    return ICmpPred::SGT;
+  case ICmpPred::SLE:
+    return ICmpPred::SGE;
+  case ICmpPred::SGT:
+    return ICmpPred::SLT;
+  case ICmpPred::SGE:
+    return ICmpPred::SLE;
+  case ICmpPred::ULT:
+    return ICmpPred::UGT;
+  case ICmpPred::ULE:
+    return ICmpPred::UGE;
+  case ICmpPred::UGT:
+    return ICmpPred::ULT;
+  case ICmpPred::UGE:
+    return ICmpPred::ULE;
+  default:
+    return P; // EQ / NE are symmetric.
+  }
+}
+
+static ICmpPred negatePred(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::EQ:
+    return ICmpPred::NE;
+  case ICmpPred::NE:
+    return ICmpPred::EQ;
+  case ICmpPred::SLT:
+    return ICmpPred::SGE;
+  case ICmpPred::SLE:
+    return ICmpPred::SGT;
+  case ICmpPred::SGT:
+    return ICmpPred::SLE;
+  case ICmpPred::SGE:
+    return ICmpPred::SLT;
+  case ICmpPred::ULT:
+    return ICmpPred::UGE;
+  case ICmpPred::ULE:
+    return ICmpPred::UGT;
+  case ICmpPred::UGT:
+    return ICmpPred::ULE;
+  case ICmpPred::UGE:
+    return ICmpPred::ULT;
+  }
+  return P;
+}
+
+/// Tightens R.Lo to \p NewLo when that is a provable improvement.
+static bool meetLo(ValueInterval &R, const RangeBound &NewLo) {
+  if (!NewLo.isFinite())
+    return false;
+  if (R.Lo.isNegInf() || (boundLE(R.Lo, NewLo) && !(R.Lo == NewLo))) {
+    R.Lo = NewLo;
+    return true;
+  }
+  return false;
+}
+
+static bool meetHi(ValueInterval &R, const RangeBound &NewHi) {
+  if (!NewHi.isFinite())
+    return false;
+  if (R.Hi.isPosInf() || (boundLE(NewHi, R.Hi) && !(R.Hi == NewHi))) {
+    R.Hi = NewHi;
+    return true;
+  }
+  return false;
+}
+
+/// Narrows \p R knowing "value <P> Pt" holds (the constrained value is the
+/// left operand). Returns true when a bound actually tightened.
+static bool refineWithCmp(ValueInterval &R, ICmpPred P,
+                          const RangeBound &Pt) {
+  switch (P) {
+  case ICmpPred::SLT:
+    return meetHi(R, addConstBound(Pt, -1));
+  case ICmpPred::SLE:
+    return meetHi(R, Pt);
+  case ICmpPred::SGT:
+    return meetLo(R, addConstBound(Pt, 1));
+  case ICmpPred::SGE:
+    return meetLo(R, Pt);
+  case ICmpPred::EQ: {
+    bool A = meetLo(R, Pt);
+    bool B = meetHi(R, Pt);
+    return A || B;
+  }
+  case ICmpPred::ULT:
+  case ICmpPred::ULE:
+    // x <u C with a non-negative constant C proves 0 <= x (a negative x
+    // reinterprets as a huge unsigned value) as well as the upper bound.
+    if (Pt.isConstant() && Pt.C >= 0) {
+      bool A = meetLo(R, RangeBound::constant(0));
+      bool B = meetHi(R, P == ICmpPred::ULT ? addConstBound(Pt, -1) : Pt);
+      return A || B;
+    }
+    return false;
+  default:
+    return false; // NE / UGT / UGE carry no signed interval information.
+  }
+}
+
+bool ValueRanges::symbolicPoint(const Value *V, RangeBound &Out,
+                                unsigned Depth) {
+  V = stripIntCasts(V);
+  if (const auto *C = dyn_cast<ConstantInt>(V)) {
+    Out = RangeBound::constant(C->sext());
+    return true;
+  }
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return false;
+  if (I->opcode() == Opcode::GlobalId) {
+    Out = RangeBound::workItem(1, 0);
+    return true;
+  }
+  FieldRef FR;
+  if (matchBodyField(V, FR)) {
+    Out = RangeBound::field(std::move(FR), 1, 0);
+    return true;
+  }
+  if (Depth >= 8)
+    return false;
+  // A +/- constant offset from a symbolic point (e.g. the bound `n - 1`).
+  if (I->opcode() == Opcode::Add || I->opcode() == Opcode::Sub) {
+    const auto *LC = dyn_cast<ConstantInt>(stripIntCasts(I->operand(0)));
+    const auto *RC = dyn_cast<ConstantInt>(stripIntCasts(I->operand(1)));
+    RangeBound Inner;
+    if (RC && symbolicPoint(I->operand(0), Inner, Depth + 1)) {
+      Out = addConstBound(Inner, I->opcode() == Opcode::Add ? RC->sext()
+                                                            : -RC->sext());
+      return Out.isFinite();
+    }
+    if (LC && symbolicPoint(I->operand(1), Inner, Depth + 1)) {
+      Out = I->opcode() == Opcode::Add
+                ? addConstBound(Inner, LC->sext())
+                : addConstBound(negBound(Inner), LC->sext());
+      return Out.isFinite();
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// ValueRanges
+//===----------------------------------------------------------------------===//
+
+ValueRanges::ValueRanges(Function &F) : F(F), DT(F) {
+  auto Preds = computePredecessors(F);
+  for (BasicBlock *BB : F) {
+    Instruction *T = BB->terminator();
+    if (!T || T->opcode() != Opcode::CondBr)
+      continue;
+    const auto *Cmp = dyn_cast<Instruction>(T->operand(0));
+    if (!Cmp || Cmp->opcode() != Opcode::ICmp)
+      continue;
+    BasicBlock *TB = T->block(0), *FB = T->block(1);
+    if (TB == FB)
+      continue;
+    // The edge fact holds in a successor (and everything it dominates)
+    // only when the branch is that successor's sole entry.
+    if (Preds[TB].size() == 1)
+      Guards.push_back({Cmp, /*CondTrue=*/true, TB});
+    if (Preds[FB].size() == 1)
+      Guards.push_back({Cmp, /*CondTrue=*/false, FB});
+  }
+}
+
+ValueInterval ValueRanges::rangeOf(const Value *V, BasicBlock *Ctx) {
+  std::vector<const Value *> Active;
+  return compute(V, Ctx, 0, Active);
+}
+
+/// Matches \p Op (through casts) as `SV + Delta` for a constant Delta:
+/// Add(SV, c) / Add(c, SV) give Delta = c, Sub(SV, c) gives Delta = -c.
+/// Sub(c, SV) negates the value and is deliberately not matched.
+static bool matchConstOffsetOf(const Value *Op, const Value *SV,
+                               int64_t &Delta) {
+  const auto *I = dyn_cast<Instruction>(stripIntCasts(Op));
+  if (!I || (I->opcode() != Opcode::Add && I->opcode() != Opcode::Sub))
+    return false;
+  const Value *A = stripIntCasts(I->operand(0));
+  const Value *B = stripIntCasts(I->operand(1));
+  if (const auto *C = dyn_cast<ConstantInt>(B)) {
+    if (A != SV)
+      return false;
+    Delta = I->opcode() == Opcode::Add ? C->sext() : -C->sext();
+    return true;
+  }
+  if (const auto *C = dyn_cast<ConstantInt>(A)) {
+    if (I->opcode() != Opcode::Add || B != SV)
+      return false;
+    Delta = C->sext();
+    return true;
+  }
+  return false;
+}
+
+ValueInterval ValueRanges::applyGuards(const Value *V, BasicBlock *Ctx,
+                                       ValueInterval R) {
+  if (!Ctx || Guards.empty())
+    return R;
+  const Value *SV = stripIntCasts(V);
+  for (const Guard &G : Guards) {
+    if (G.Cmp == V || !DT.dominates(G.Root, Ctx))
+      continue;
+    const Value *L = G.Cmp->operand(0), *Rv = G.Cmp->operand(1);
+    ICmpPred P = G.Cmp->icmpPred();
+    const Value *Other = nullptr;
+    int64_t Delta = 0; // compare operand == V + Delta
+    if (L == V || stripIntCasts(L) == SV) {
+      Other = Rv;
+    } else if (Rv == V || stripIntCasts(Rv) == SV) {
+      Other = L;
+      P = swapOperandsPred(P);
+    } else if (matchConstOffsetOf(L, SV, Delta)) {
+      Other = Rv;
+    } else if (matchConstOffsetOf(Rv, SV, Delta)) {
+      Other = L;
+      P = swapOperandsPred(P);
+    } else {
+      continue;
+    }
+    if (!G.CondTrue)
+      P = negatePred(P);
+    RangeBound Pt;
+    if (!symbolicPoint(Other, Pt))
+      continue;
+    if (Delta == 0) {
+      if (refineWithCmp(R, P, Pt))
+        ++GuardsUsed;
+      continue;
+    }
+    // The guard constrains X = V + Delta. Refine X from scratch, then
+    // shift the result by -Delta before meeting it into V's interval —
+    // refineWithCmp side facts (e.g. ULT's implied `0 <= X`) must not
+    // land on V unshifted.
+    ValueInterval X = fullInterval();
+    if (!refineWithCmp(X, P, Pt))
+      continue;
+    bool LoT = meetLo(R, addConstBound(X.Lo, -Delta));
+    bool HiT = meetHi(R, addConstBound(X.Hi, -Delta));
+    if (LoT || HiT)
+      ++GuardsUsed;
+  }
+  return R;
+}
+
+ValueInterval ValueRanges::compute(const Value *V, BasicBlock *Ctx,
+                                   unsigned Depth,
+                                   std::vector<const Value *> &Active) {
+  if (Depth > 48)
+    return fullInterval();
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return pointInterval(RangeBound::constant(C->sext()));
+  if (V->type() && !V->type()->isInteger())
+    return fullInterval();
+
+  auto Key = std::make_pair(V, Ctx);
+  auto It = Memo.find(Key);
+  if (It != Memo.end())
+    return It->second;
+
+  ValueInterval R;
+  if (const auto *I = dyn_cast<Instruction>(V)) {
+    // Phi cycles: the recursive leg contributes the widest interval (and
+    // is not memoized or guard-refined, so the final result stays sound).
+    for (const Value *A : Active)
+      if (A == V)
+        return fullInterval();
+    Active.push_back(V);
+    R = baseRange(I, Ctx, Depth, Active);
+    Active.pop_back();
+  }
+  R = applyGuards(V, Ctx, R);
+  Memo[Key] = R;
+  return R;
+}
+
+ValueInterval ValueRanges::baseRange(const Instruction *I, BasicBlock *Ctx,
+                                     unsigned Depth,
+                                     std::vector<const Value *> &Active) {
+  auto Rec = [&](const Value *V) { return compute(V, Ctx, Depth + 1, Active); };
+  auto NonNeg = [](const ValueInterval &A) {
+    return boundLE(RangeBound::constant(0), A.Lo);
+  };
+
+  switch (I->opcode()) {
+  case Opcode::Load: {
+    FieldRef FR;
+    if (matchBodyField(I, FR))
+      return pointInterval(RangeBound::field(std::move(FR), 1, 0));
+    return fullInterval();
+  }
+  case Opcode::GlobalId:
+  case Opcode::LocalId:
+  case Opcode::GroupId: {
+    ValueInterval R;
+    R.Lo = RangeBound::constant(0);
+    return R;
+  }
+  case Opcode::GroupSize:
+  case Opcode::NumCores: {
+    ValueInterval R;
+    R.Lo = RangeBound::constant(1);
+    return R;
+  }
+  case Opcode::Cast:
+    switch (I->castKind()) {
+    case CastKind::SExt:
+      return Rec(I->operand(0));
+    case CastKind::ZExt: {
+      ValueInterval A = Rec(I->operand(0));
+      if (NonNeg(A))
+        return A;
+      ValueInterval R;
+      R.Lo = RangeBound::constant(0);
+      return R;
+    }
+    case CastKind::Trunc: {
+      // Value-preserving only when the operand provably fits the narrower
+      // type; otherwise the result may wrap arbitrarily.
+      ValueInterval A = Rec(I->operand(0));
+      uint64_t Bytes = I->type() ? I->type()->sizeInBytes() : 0;
+      if (Bytes >= 1 && Bytes < 8 && A.Lo.isConstant() &&
+          A.Hi.isConstant()) {
+        int64_t Max = (int64_t(1) << (Bytes * 8 - 1)) - 1;
+        if (A.Lo.C >= -Max - 1 && A.Hi.C <= Max)
+          return A;
+      }
+      return fullInterval();
+    }
+    default:
+      return fullInterval();
+    }
+  case Opcode::Add:
+    return addIntervals(Rec(I->operand(0)), Rec(I->operand(1)));
+  case Opcode::Sub:
+    return subIntervals(Rec(I->operand(0)), Rec(I->operand(1)));
+  case Opcode::Neg:
+    return negInterval(Rec(I->operand(0)));
+  case Opcode::Mul: {
+    ValueInterval A = Rec(I->operand(0)), B = Rec(I->operand(1));
+    int64_t C;
+    if (B.isConstant(C))
+      return mulIntervalConst(A, C);
+    if (A.isConstant(C))
+      return mulIntervalConst(B, C);
+    if (NonNeg(A) && NonNeg(B)) {
+      ValueInterval R;
+      R.Lo = RangeBound::constant(0);
+      if (A.Hi.isConstant() && B.Hi.isConstant())
+        R.Hi = RangeBound::constant(satMul(A.Hi.C, B.Hi.C));
+      return R;
+    }
+    return fullInterval();
+  }
+  case Opcode::Shl: {
+    const auto *Sh = dyn_cast<ConstantInt>(I->operand(1));
+    if (Sh && Sh->zext() <= 62)
+      return mulIntervalConst(Rec(I->operand(0)),
+                              int64_t(1) << Sh->zext());
+    return fullInterval();
+  }
+  case Opcode::SDiv:
+  case Opcode::UDiv: {
+    const auto *D = dyn_cast<ConstantInt>(I->operand(1));
+    if (!D || D->sext() <= 0)
+      return fullInterval();
+    ValueInterval A = Rec(I->operand(0));
+    if (I->opcode() == Opcode::UDiv && !NonNeg(A))
+      return fullInterval();
+    // C truncating division is monotone in the dividend for a positive
+    // divisor, so dividing constant endpoints is sound.
+    ValueInterval R;
+    if (A.Lo.isConstant())
+      R.Lo = RangeBound::constant(A.Lo.C / D->sext());
+    if (A.Hi.isConstant())
+      R.Hi = RangeBound::constant(A.Hi.C / D->sext());
+    return R;
+  }
+  case Opcode::SRem: {
+    const auto *D = dyn_cast<ConstantInt>(I->operand(1));
+    if (!D || D->sext() == 0 || D->sext() == I64Min)
+      return fullInterval();
+    int64_t M = std::abs(D->sext()) - 1;
+    ValueInterval A = Rec(I->operand(0));
+    ValueInterval R;
+    R.Lo = RangeBound::constant(NonNeg(A) ? 0 : -M);
+    R.Hi = RangeBound::constant(M);
+    return R;
+  }
+  case Opcode::URem: {
+    const auto *D = dyn_cast<ConstantInt>(I->operand(1));
+    if (!D || D->sext() <= 0)
+      return fullInterval();
+    ValueInterval R;
+    R.Lo = RangeBound::constant(0);
+    R.Hi = RangeBound::constant(D->sext() - 1);
+    return R;
+  }
+  case Opcode::And: {
+    // x & C with a non-negative mask clears the sign bit: [0, C].
+    const auto *LC = dyn_cast<ConstantInt>(I->operand(0));
+    const auto *RC = dyn_cast<ConstantInt>(I->operand(1));
+    int64_t Mask = RC && RC->sext() >= 0   ? RC->sext()
+                   : LC && LC->sext() >= 0 ? LC->sext()
+                                           : -1;
+    if (Mask < 0)
+      return fullInterval();
+    ValueInterval R;
+    R.Lo = RangeBound::constant(0);
+    R.Hi = RangeBound::constant(Mask);
+    return R;
+  }
+  case Opcode::AShr:
+  case Opcode::LShr: {
+    const auto *Sh = dyn_cast<ConstantInt>(I->operand(1));
+    if (!Sh || Sh->zext() > 62)
+      return fullInterval();
+    ValueInterval A = Rec(I->operand(0));
+    if (I->opcode() == Opcode::LShr && !NonNeg(A)) {
+      ValueInterval R;
+      R.Lo = RangeBound::constant(0);
+      return R;
+    }
+    int64_t Div = int64_t(1) << Sh->zext();
+    ValueInterval R;
+    // Arithmetic shift floors toward -inf: monotone, so constant
+    // endpoints divide directly.
+    if (A.Lo.isConstant())
+      R.Lo = RangeBound::constant(
+          A.Lo.C >= 0 ? A.Lo.C / Div : -((-A.Lo.C + Div - 1) / Div));
+    if (A.Hi.isConstant())
+      R.Hi = RangeBound::constant(
+          A.Hi.C >= 0 ? A.Hi.C / Div : -((-A.Hi.C + Div - 1) / Div));
+    return R;
+  }
+  case Opcode::ICmp:
+  case Opcode::FCmp: {
+    ValueInterval R;
+    R.Lo = RangeBound::constant(0);
+    R.Hi = RangeBound::constant(1);
+    return R;
+  }
+  case Opcode::Select: {
+    ValueInterval T = Rec(I->operand(1));
+    ValueInterval Fv = Rec(I->operand(2));
+    // Clamp/min/max idioms: each arm additionally satisfies the selected
+    // polarity of the condition when the arm value is a compare operand.
+    if (const auto *Cmp = dyn_cast<Instruction>(I->operand(0));
+        Cmp && Cmp->opcode() == Opcode::ICmp) {
+      auto RefineArm = [&](ValueInterval &Arm, const Value *ArmV,
+                           bool CondTrue) {
+        const Value *SA = stripIntCasts(ArmV);
+        const Value *L = Cmp->operand(0), *R2 = Cmp->operand(1);
+        ICmpPred P = Cmp->icmpPred();
+        const Value *Other = nullptr;
+        if (stripIntCasts(L) == SA) {
+          Other = R2;
+        } else if (stripIntCasts(R2) == SA) {
+          Other = L;
+          P = swapOperandsPred(P);
+        } else {
+          return;
+        }
+        if (!CondTrue)
+          P = negatePred(P);
+        RangeBound Pt;
+        if (symbolicPoint(Other, Pt))
+          refineWithCmp(Arm, P, Pt);
+      };
+      RefineArm(T, I->operand(1), true);
+      RefineArm(Fv, I->operand(2), false);
+    }
+    return joinIntervals(T, Fv);
+  }
+  case Opcode::Phi: {
+    if (I->numOperands() == 0)
+      return fullInterval();
+    ValueInterval R;
+    bool First = true;
+    for (unsigned K = 0; K < I->numOperands(); ++K) {
+      // Evaluate each incoming value at the end of its incoming block, so
+      // edge guards (loop exit conditions) still apply.
+      BasicBlock *In = K < I->numBlocks() ? I->incomingBlock(K) : Ctx;
+      ValueInterval IV = compute(I->incomingValue(K), In, Depth + 1, Active);
+      R = First ? IV : joinIntervals(R, IV);
+      First = false;
+      if (R.isFull())
+        break;
+    }
+    return R;
+  }
+  case Opcode::Intrinsic: {
+    switch (I->intrinsicId()) {
+    case IntrinsicId::IMin:
+    case IntrinsicId::IMax: {
+      bool IsMin = I->intrinsicId() == IntrinsicId::IMin;
+      ValueInterval A = Rec(I->operand(0)), B = Rec(I->operand(1));
+      ValueInterval R;
+      if (IsMin) {
+        // Upper: min(x, y) <= either upper bound, so any finite one works
+        // (prefer the provably smaller). Lower needs a provable min.
+        if (!A.Hi.isFinite())
+          R.Hi = B.Hi;
+        else
+          R.Hi = boundLE(B.Hi, A.Hi) ? B.Hi : A.Hi;
+        if (boundLE(A.Lo, B.Lo))
+          R.Lo = A.Lo;
+        else if (boundLE(B.Lo, A.Lo))
+          R.Lo = B.Lo;
+      } else {
+        if (!A.Lo.isFinite())
+          R.Lo = B.Lo;
+        else
+          R.Lo = boundLE(A.Lo, B.Lo) ? B.Lo : A.Lo;
+        if (boundLE(B.Hi, A.Hi))
+          R.Hi = A.Hi;
+        else if (boundLE(A.Hi, B.Hi))
+          R.Hi = B.Hi;
+      }
+      return R;
+    }
+    case IntrinsicId::IAbs: {
+      ValueInterval A = Rec(I->operand(0));
+      if (NonNeg(A))
+        return A;
+      ValueInterval R;
+      R.Lo = RangeBound::constant(0);
+      if (A.Lo.isConstant() && A.Hi.isConstant() && A.Lo.C != I64Min)
+        R.Hi = RangeBound::constant(
+            std::max(std::abs(A.Lo.C), std::abs(A.Hi.C)));
+      return R;
+    }
+    default:
+      return fullInterval();
+    }
+  }
+  default:
+    return fullInterval();
+  }
+}

@@ -1,0 +1,231 @@
+//===- ValueRange.h - Flow-sensitive integer range analysis ----*- C++ -*-===//
+///
+/// \file
+/// A flow-sensitive, guard-aware interval analysis over post-pipeline CIR.
+/// Every integer SSA value gets an interval whose endpoints are *symbolic
+/// affine bounds*
+///
+///     -inf  |  +inf  |  C + Mul * sym
+///
+/// where `sym` is nothing (a plain constant), a uniform integer field of
+/// the kernel's body object (a `BodyFieldPromotion`-promoted load such as
+/// the item count `n`), or the work-item index. Keeping the loaded loop
+/// bound symbolic is what lets a guard like `if (i + 1 < n)` prove the
+/// byte-exact window of `out[i + 1]` for *every* launch size — the
+/// footprint consumer substitutes the concrete field value per launch.
+///
+/// Flow sensitivity comes from the dominator tree: a conditional branch
+/// whose successor has a single predecessor establishes its condition in
+/// that successor and everything it dominates, so `rangeOf(V, Ctx)`
+/// refines V against every comparison proven on the path to Ctx. The
+/// refinement is applied at every level of the recursive evaluation, so a
+/// guard on `i + 1` narrows an address computed from a cast of that same
+/// (CSE-unified) add.
+///
+/// Supported refinements: signed compares against constants, uniform body
+/// fields, and the work-item index (either operand side, both branch
+/// polarities, equality); unsigned `<`/`<=` against non-negative constants
+/// (which also prove non-negativity); `min`/`max`/`abs` intrinsics and the
+/// select idioms for them; casts looked through on both the value and the
+/// guard operands. Loops widen to the appropriate infinity (phi cycles),
+/// so every reported bound is sound for all iterations.
+///
+/// Soundness caveats, shared deliberately with the footprint analysis
+/// (Footprint.h): ZExt is treated as value-preserving unless the operand
+/// may be negative (indices are the int loop counter in practice), and
+/// arithmetic on bounds saturates at the int64 limits rather than wrapping.
+///
+/// Consumers: Footprint.cpp (guard-clipped Affine windows; Bounded entries
+/// for data-dependent indices), the static out-of-bounds lint
+/// (lintFootprintBounds), and through those the scheduler's Verify mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_VALUERANGE_H
+#define CONCORD_ANALYSIS_VALUERANGE_H
+
+#include "analysis/Dominators.h"
+#include "cir/Function.h"
+#include "cir/Instruction.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace concord {
+namespace analysis {
+
+/// A uniform integer scalar of the kernel's body object: the value at byte
+/// offset \p Off of the object reached by the pointer-load hops in \p Path
+/// (same convention as FootprintEntry::RootPath; {} = the body itself).
+/// Work-item-invariant by construction, so it is a single symbol per
+/// launch and a consumer can substitute its concrete value.
+struct FieldRef {
+  std::vector<int64_t> Path;
+  int64_t Off = 0;
+  unsigned Bytes = 4; ///< 4 = int32 (sign-extended), 8 = int64.
+
+  friend bool operator==(const FieldRef &A, const FieldRef &B) {
+    return A.Path == B.Path && A.Off == B.Off && A.Bytes == B.Bytes;
+  }
+  friend bool operator!=(const FieldRef &A, const FieldRef &B) {
+    return !(A == B);
+  }
+
+  /// Compact spelling for diagnostics: "f8" = field at byte 8 of the body,
+  /// "f0.8" = byte 8 of the object loaded from body byte 0.
+  std::string str() const;
+};
+
+/// One endpoint of an interval.
+struct RangeBound {
+  enum class Kind { NegInf, PosInf, Finite };
+  /// Symbol attached to a finite bound (Mul != 0 iff Sym != None).
+  enum class Sym { None, Field, WorkItem };
+
+  Kind K = Kind::NegInf;
+  Sym S = Sym::None;
+  int64_t C = 0;   ///< Constant part (the whole value when S == None).
+  int64_t Mul = 0; ///< Coefficient of the symbol.
+  FieldRef Field;  ///< Valid when S == Sym::Field.
+
+  static RangeBound negInf() { return RangeBound(); }
+  static RangeBound posInf() {
+    RangeBound B;
+    B.K = Kind::PosInf;
+    return B;
+  }
+  static RangeBound constant(int64_t C) {
+    RangeBound B;
+    B.K = Kind::Finite;
+    B.C = C;
+    return B;
+  }
+  static RangeBound field(FieldRef F, int64_t Mul, int64_t C) {
+    RangeBound B;
+    B.K = Kind::Finite;
+    B.S = Sym::Field;
+    B.Field = std::move(F);
+    B.Mul = Mul;
+    B.C = C;
+    return B;
+  }
+  static RangeBound workItem(int64_t Mul, int64_t C) {
+    RangeBound B;
+    B.K = Kind::Finite;
+    B.S = Sym::WorkItem;
+    B.Mul = Mul;
+    B.C = C;
+    return B;
+  }
+
+  bool isNegInf() const { return K == Kind::NegInf; }
+  bool isPosInf() const { return K == Kind::PosInf; }
+  bool isFinite() const { return K == Kind::Finite; }
+  bool isConstant() const { return isFinite() && S == Sym::None; }
+  /// Finite bounds over the same symbol (so their difference is constant).
+  bool comparableWith(const RangeBound &O) const;
+
+  friend bool operator==(const RangeBound &A, const RangeBound &B);
+
+  /// "-inf", "+inf", "7", "f8-1" (field symbol), "4*i+4" (work item).
+  std::string str() const;
+};
+
+/// Adds a compile-time constant to a finite bound (infinities absorb).
+RangeBound addConstBound(RangeBound B, int64_t C);
+/// Sum of two bounds; an unrepresentable sum (mixed symbols, overflow)
+/// widens to the infinity selected by \p RoundUp.
+RangeBound addBounds(const RangeBound &A, const RangeBound &B, bool RoundUp);
+/// Negation (swaps the infinities).
+RangeBound negBound(const RangeBound &B);
+/// Scales by a non-negative constant; for the interval-level helper only.
+RangeBound mulBoundConst(const RangeBound &B, int64_t C, bool RoundUp);
+/// Provably A <= B for every assignment of the symbols.
+bool boundLE(const RangeBound &A, const RangeBound &B);
+
+/// Inclusive interval [Lo, Hi] over mathematical integers (arithmetic on
+/// bounds saturates, it does not wrap).
+struct ValueInterval {
+  RangeBound Lo = RangeBound::negInf();
+  RangeBound Hi = RangeBound::posInf();
+
+  bool isFull() const { return Lo.isNegInf() && Hi.isPosInf(); }
+  /// Single known constant value.
+  bool isConstant(int64_t &Out) const {
+    if (Lo.isConstant() && Lo == Hi) {
+      Out = Lo.C;
+      return true;
+    }
+    return false;
+  }
+  /// "[0, f8-1]".
+  std::string str() const { return "[" + Lo.str() + ", " + Hi.str() + "]"; }
+};
+
+ValueInterval fullInterval();
+/// Union (join): the loosest bounds covering both.
+ValueInterval joinIntervals(const ValueInterval &A, const ValueInterval &B);
+/// Interval arithmetic.
+ValueInterval addIntervals(const ValueInterval &A, const ValueInterval &B);
+ValueInterval subIntervals(const ValueInterval &A, const ValueInterval &B);
+ValueInterval negInterval(const ValueInterval &A);
+ValueInterval mulIntervalConst(const ValueInterval &A, int64_t C);
+
+/// Flow-sensitive ranges for one post-pipeline kernel. Construction walks
+/// the CFG once to collect guard facts; queries are memoized per
+/// (value, context block) pair. The object borrows \p F and must not
+/// outlive it.
+class ValueRanges {
+public:
+  explicit ValueRanges(cir::Function &F);
+
+  /// The proven interval of \p V's value whenever control reaches an
+  /// instruction in \p Ctx (null Ctx = no guard refinement, the global
+  /// flow-insensitive range).
+  ValueInterval rangeOf(const cir::Value *V, cir::BasicBlock *Ctx);
+
+  /// Number of guard facts that actually narrowed a query so far.
+  unsigned guardsApplied() const { return GuardsUsed; }
+
+  /// Resolves \p V (looking through integer casts) as a uniform integer
+  /// load from the body object. Exposed for tests.
+  static bool matchBodyField(const cir::Value *V, FieldRef &Out);
+
+private:
+  /// One branch condition proven on entry to Root (and everything Root
+  /// dominates): Cmp evaluates to CondTrue there.
+  struct Guard {
+    const cir::Instruction *Cmp;
+    bool CondTrue;
+    cir::BasicBlock *Root;
+  };
+
+  ValueInterval compute(const cir::Value *V, cir::BasicBlock *Ctx,
+                        unsigned Depth,
+                        std::vector<const cir::Value *> &Active);
+  ValueInterval baseRange(const cir::Instruction *I, cir::BasicBlock *Ctx,
+                          unsigned Depth,
+                          std::vector<const cir::Value *> &Active);
+  ValueInterval applyGuards(const cir::Value *V, cir::BasicBlock *Ctx,
+                            ValueInterval R);
+  /// The value of a guard's other operand as a symbolic point, when it is
+  /// a constant, a body field, the work-item index, or a +/- constant
+  /// offset from one of those.
+  static bool symbolicPoint(const cir::Value *V, RangeBound &Out,
+                            unsigned Depth = 0);
+
+  cir::Function &F;
+  DominatorTree DT;
+  std::vector<Guard> Guards;
+  unsigned GuardsUsed = 0;
+  std::map<std::pair<const cir::Value *, cir::BasicBlock *>, ValueInterval>
+      Memo;
+};
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_VALUERANGE_H

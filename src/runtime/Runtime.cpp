@@ -8,6 +8,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -95,6 +96,12 @@ struct Runtime::Impl {
   };
   mutable std::mutex ProfileMutex;
   std::map<uint64_t, SplitProfile> Profiles;
+
+  /// Footprint-refinement counters (RefinementStats). Compile-time parts
+  /// accumulate once per new cache entry; OobFindings per lint call.
+  std::atomic<uint64_t> WindowsClipped{0};
+  std::atomic<uint64_t> TopDemoted{0};
+  std::atomic<uint64_t> OobFindings{0};
 
   /// Profile-guided GPU fraction for a kernel; InitialGpuFraction until
   /// the first hybrid launch has recorded throughput history.
@@ -261,8 +268,11 @@ compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
   // Footprint of the post-pipeline IR: devirtualized, inlined, and
   // SVM-lowered, so every shared access is a visible load/store and the
   // body pointer chain is explicit.
-  if (cir::Function *KF = M->findFunction(CP->KernelName))
+  if (cir::Function *KF = M->findFunction(CP->KernelName)) {
     CP->Footprint = analysis::computeFootprint(*KF);
+    Impl.WindowsClipped += CP->Footprint.WindowsClipped;
+    Impl.TopDemoted += CP->Footprint.TopDemoted;
+  }
   CP->Program = std::move(CG.Program);
   CP->Diagnostics = Diags.str();
   CP->CompileSeconds = secondsSince(T0);
@@ -466,6 +476,29 @@ Runtime::kernelFootprint(const KernelSpec &Spec) {
   if (CP->Failed || CP->Unsupported)
     return nullptr;
   return &CP->Footprint;
+}
+
+std::vector<analysis::OobFinding>
+Runtime::lintLaunchBounds(const KernelSpec &Spec, const void *BodyPtr,
+                          int64_t Base, int64_t Count) {
+  CachedProgram *CP = compileCached(
+      *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
+      nullptr);
+  if (CP->Failed || CP->Unsupported)
+    return {};
+  std::vector<analysis::OobFinding> Findings = analysis::lintFootprintBounds(
+      CP->Footprint, CP->KernelName, BodyPtr, Base, Count, Region.range(),
+      [this](const void *Ptr) { return Region.allocationExtent(Ptr); });
+  P->OobFindings += Findings.size();
+  return Findings;
+}
+
+RefinementStats Runtime::refinementStats() const {
+  RefinementStats S;
+  S.WindowsClipped = P->WindowsClipped.load();
+  S.TopDemoted = P->TopDemoted.load();
+  S.OobFindings = P->OobFindings.load();
+  return S;
 }
 
 bool Runtime::kernelScheduleFree(const KernelSpec &Spec) {

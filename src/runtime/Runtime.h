@@ -30,10 +30,12 @@
 #include "svm/SharedRegion.h"
 #include "transforms/Passes.h"
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace concord {
 namespace analysis {
@@ -99,6 +101,16 @@ struct LaunchReport {
 /// Host-side sequential join callback for reductions.
 using HostJoinFn = std::function<void(void *Into, void *From)>;
 
+/// Aggregate counters from the flow-sensitive footprint refinement,
+/// summed over every kernel this runtime JIT-compiled (each cache entry
+/// counted once) plus the out-of-bounds findings reported through
+/// lintLaunchBounds. Surfaced in the bench/sched_pipeline JSON.
+struct RefinementStats {
+  uint64_t WindowsClipped = 0; ///< Windows narrowed by a guard clamp.
+  uint64_t TopDemoted = 0;     ///< Data-dependent entries kept root-bounded.
+  uint64_t OobFindings = 0;    ///< lintLaunchBounds findings reported.
+};
+
 class Runtime {
 public:
   // Implementation types, public so the compile cache helpers in
@@ -146,6 +158,19 @@ public:
   /// back to native CPU execution. The pointer stays valid for the
   /// runtime's lifetime: cache entries are immutable and never evicted.
   const analysis::KernelFootprint *kernelFootprint(const KernelSpec &Spec);
+
+  /// Static out-of-bounds lint for a concrete launch: checks the compiled
+  /// kernel's provable footprint windows (guard clamps applied) against
+  /// their root allocations' extents for items [Base, Base+Count) with the
+  /// body object at \p BodyPtr. Compiles on demand; failed or unsupported
+  /// kernels produce no findings. The scheduler's Verify policy rejects
+  /// submissions with findings before they enter the task graph.
+  std::vector<analysis::OobFinding>
+  lintLaunchBounds(const KernelSpec &Spec, const void *BodyPtr,
+                   int64_t Base, int64_t Count);
+
+  /// Aggregate footprint-refinement counters (see RefinementStats).
+  RefinementStats refinementStats() const;
 
   /// parallel_for_hetero backend. \p BodyPtr must point into the shared
   /// region. When \p OnCpu, the CPU machine model executes the kernel.

@@ -6,6 +6,7 @@
 #include "runtime/Runtime.h"
 
 #include <algorithm>
+#include <cstdio>
 
 using namespace concord;
 using namespace concord::sched;
@@ -39,6 +40,69 @@ AccessSet AccessSet::inferFor(runtime::Runtime &RT,
       S.read(P, CA.Range.size());
   }
   return S;
+}
+
+/// Sorts and merges overlapping or adjacent ranges in place.
+static void mergeRanges(std::vector<svm::MemRange> &Rs) {
+  std::sort(Rs.begin(), Rs.end(),
+            [](const svm::MemRange &A, const svm::MemRange &B) {
+              return A.Begin < B.Begin;
+            });
+  std::vector<svm::MemRange> Out;
+  for (const svm::MemRange &R : Rs) {
+    if (R.empty())
+      continue;
+    if (!Out.empty() && R.Begin <= Out.back().End)
+      Out.back().End = std::max(Out.back().End, R.End);
+    else
+      Out.push_back(R);
+  }
+  Rs = std::move(Out);
+}
+
+AccessSet AccessSet::minimalCoverFor(runtime::Runtime &RT,
+                                     const runtime::KernelSpec &Spec,
+                                     const void *BodyPtr, int64_t N) {
+  std::vector<svm::MemRange> Reads, Writes;
+  for (const analysis::ConcreteAccess &CA :
+       inferredAccesses(RT, Spec, BodyPtr, N))
+    if (!CA.FromBody)
+      (CA.Write ? Writes : Reads).push_back(CA.Range);
+  mergeRanges(Writes);
+  mergeRanges(Reads);
+  AccessSet S;
+  for (const svm::MemRange &W : Writes)
+    S.write(reinterpret_cast<const void *>(W.Begin), W.size());
+  for (const svm::MemRange &R : Reads) {
+    // A declared write already covers reads of the same bytes.
+    bool InWrite = false;
+    for (const svm::MemRange &W : Writes)
+      if (W.contains(R)) {
+        InWrite = true;
+        break;
+      }
+    if (!InWrite)
+      S.read(reinterpret_cast<const void *>(R.Begin), R.size());
+  }
+  return S;
+}
+
+std::string AccessSet::describe() const {
+  auto Dir = [](const char *Name, const std::vector<svm::MemRange> &Rs) {
+    std::string S = Name;
+    S += ": ";
+    if (Rs.empty())
+      return S + "none";
+    for (size_t I = 0; I < Rs.size(); ++I) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "[0x%llx, 0x%llx)",
+                    (unsigned long long)Rs[I].Begin,
+                    (unsigned long long)Rs[I].End);
+      S += (I ? ", " : "") + std::string(Buf);
+    }
+    return S;
+  };
+  return Dir("reads", Reads) + "; " + Dir("writes", Writes);
 }
 
 /// Whether \p R is fully covered by the union of \p Declared; when not,

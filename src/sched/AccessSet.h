@@ -107,6 +107,20 @@ public:
                const runtime::KernelSpec &Spec, const void *BodyPtr,
                int64_t N);
 
+  /// The smallest declaration the verifier would accept for this launch:
+  /// the inferred accesses minus the implicit body-object reads, with
+  /// overlapping and adjacent ranges merged per direction and reads that
+  /// lie inside a write range dropped (a declared write covers inferred
+  /// reads too). Used by the scheduler's rejection diagnostic to tell the
+  /// caller exactly what to declare.
+  static AccessSet minimalCoverFor(runtime::Runtime &RT,
+                                   const runtime::KernelSpec &Spec,
+                                   const void *BodyPtr, int64_t N);
+
+  /// "reads: [0x1000, 0x1400); writes: [0x2000, 0x2400), [0x3000, 0x3008)"
+  /// ("reads: none" / "writes: none" for an empty direction).
+  std::string describe() const;
+
 private:
   static void appendRange(std::vector<svm::MemRange> &Into,
                           svm::MemRange R) {

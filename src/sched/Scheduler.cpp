@@ -2,6 +2,8 @@
 
 #include "sched/Scheduler.h"
 
+#include "analysis/Footprint.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -103,6 +105,46 @@ TaskHandle Scheduler::submit(TaskDesc Desc, AccessSet Access) {
   // the scheduler lock, and hits the runtime's JIT cache).
   const runtime::FootprintPolicy Policy = RT.footprintPolicy();
   bool Inferred = false;
+
+  // Reject a submission before it enters the graph: the task completes
+  // immediately as failed.
+  auto Reject = [&](std::string Error, bool Oob) {
+    Task->Desc = std::move(Desc);
+    TaskResult &R = Task->Result;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      R.Id = NextTaskId++;
+      ++St.Submitted;
+      ++St.Completed;
+      ++St.Failed;
+      ++St.VerifyRejected;
+      if (Oob)
+        ++St.OobRejected;
+    }
+    R.Label = Task->Desc.Label;
+    R.Error = std::move(Error);
+    {
+      std::lock_guard<std::mutex> DoneLock(Task->DoneMutex);
+      Task->Done = true;
+    }
+    Task->DoneCv.notify_all();
+    return TaskHandle(Task);
+  };
+
+  if (Policy == runtime::FootprintPolicy::Verify) {
+    // Static out-of-bounds lint first: a provably escaping window is wrong
+    // no matter what the caller declared.
+    std::vector<analysis::OobFinding> Oob =
+        RT.lintLaunchBounds(Desc.Spec, Desc.BodyPtr, /*Base=*/0, Desc.N);
+    if (!Oob.empty())
+      return Reject("static bounds check failed: " + Oob[0].Message +
+                        (Oob.size() > 1
+                             ? " (+" + std::to_string(Oob.size() - 1) +
+                                   " more)"
+                             : ""),
+                    /*Oob=*/true);
+  }
+
   if (Policy == runtime::FootprintPolicy::Infer ||
       (Policy == runtime::FootprintPolicy::Verify && Access.empty())) {
     Access = AccessSet::inferFor(RT, Desc.Spec, Desc.BodyPtr, Desc.N);
@@ -111,35 +153,24 @@ TaskHandle Scheduler::submit(TaskDesc Desc, AccessSet Access) {
     std::vector<CoverageGap> Gaps = AccessSet::coverageGaps(
         Access, RT, Desc.Spec, Desc.BodyPtr, Desc.N);
     if (!Gaps.empty()) {
-      // Reject: the declaration would drop a hazard edge and race. The
-      // task completes immediately as failed and never enters the graph.
-      Task->Desc = std::move(Desc);
-      TaskResult &R = Task->Result;
-      {
-        std::lock_guard<std::mutex> Lock(Mutex);
-        R.Id = NextTaskId++;
-        ++St.Submitted;
-        ++St.Completed;
-        ++St.Failed;
-        ++St.VerifyRejected;
-      }
-      R.Label = Task->Desc.Label;
+      // The declaration would drop a hazard edge and race. Suggest the
+      // smallest declaration the verifier would accept so the caller can
+      // fix the call site without reverse-engineering the footprint.
       char Range[64];
       std::snprintf(Range, sizeof(Range), "[0x%llx, 0x%llx)",
                     (unsigned long long)Gaps[0].Missing.Begin,
                     (unsigned long long)Gaps[0].Missing.End);
-      R.Error = "access-set verification failed: declared set does not "
-                "cover inferred \"" +
-                Gaps[0].What + "\"; uncovered bytes " + Range +
-                (Gaps.size() > 1
-                     ? " (+" + std::to_string(Gaps.size() - 1) + " more)"
-                     : "");
-      {
-        std::lock_guard<std::mutex> DoneLock(Task->DoneMutex);
-        Task->Done = true;
-      }
-      Task->DoneCv.notify_all();
-      return TaskHandle(Task);
+      AccessSet Cover =
+          AccessSet::minimalCoverFor(RT, Desc.Spec, Desc.BodyPtr, Desc.N);
+      return Reject(
+          "access-set verification failed: declared set does not "
+          "cover inferred \"" +
+              Gaps[0].What + "\"; uncovered bytes " + Range +
+              (Gaps.size() > 1
+                   ? " (+" + std::to_string(Gaps.size() - 1) + " more)"
+                   : "") +
+              "; suggested minimal covering AccessSet: " + Cover.describe(),
+          /*Oob=*/false);
     }
   }
 

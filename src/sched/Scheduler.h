@@ -145,6 +145,9 @@ public:
     uint64_t HybridLaunches = 0;
     uint64_t VerifyRejected = 0; ///< Submissions rejected by verify mode
                                  ///< (counted in Submitted and Failed).
+    uint64_t OobRejected = 0;    ///< Submissions rejected by the static
+                                 ///< out-of-bounds lint (verify mode;
+                                 ///< also counted in VerifyRejected).
     uint64_t InferredSets = 0;   ///< Access sets derived from the kernel
                                  ///< footprint instead of the declaration.
     unsigned MaxTasksInFlight = 0; ///< Peak concurrently-executing tasks.

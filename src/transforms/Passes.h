@@ -19,8 +19,10 @@
 #ifndef CONCORD_TRANSFORMS_PASSES_H
 #define CONCORD_TRANSFORMS_PASSES_H
 
+#include "analysis/Footprint.h"
 #include "cir/Module.h"
 #include "support/Diagnostics.h"
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -67,6 +69,25 @@ struct PipelineOptions {
   /// Tests use it to inject IR corruption and check that VerifyEachPass
   /// attributes the breakage to the right pass.
   std::function<void(cir::Module &, const char *)> AfterPassHook;
+
+  /// Launch context for the static out-of-bounds lint (part of
+  /// RunStaticChecks). When enabled, every legal kernel's provable
+  /// footprint windows — Exact/Affine entries with guard clamps applied —
+  /// are evaluated for the launch of items [Base, Base+Count) with the
+  /// body object at BodyPtr and checked against their root allocations'
+  /// extents. A window provably escaping its allocation (the classic
+  /// unguarded `out[i+1]`) is a pipeline *error* with a source location:
+  /// the kernel never compiles, let alone runs. The paper's nine
+  /// workloads lint clean. See analysis::lintFootprintBounds.
+  struct OobLintContext {
+    bool Enabled = false;
+    const void *BodyPtr = nullptr;
+    int64_t Base = 0;
+    int64_t Count = 0;
+    svm::MemRange Region{};
+    analysis::AllocExtentFn AllocExtent;
+  };
+  OobLintContext OobLint;
 
   /// The paper's four evaluated configurations.
   static PipelineOptions gpuBaseline() {

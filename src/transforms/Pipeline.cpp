@@ -44,9 +44,10 @@ private:
   std::vector<std::string> &Errors;
 };
 
-/// Post-pipeline static checks (tentpole of the analysis layer): offload
+///// Post-pipeline static checks (tentpole of the analysis layer): offload
 /// legality with graceful CPU fallback, the PTROPT address-space
-/// invariant, and the work-item race lint.
+/// invariant, the work-item race lint, and (given a launch context) the
+/// static out-of-bounds lint over refined footprint windows.
 void runStaticChecks(Module &M, const PipelineOptions &Opts,
                      std::vector<std::string> &Errors,
                      DiagnosticEngine *Diags) {
@@ -77,6 +78,16 @@ void runStaticChecks(Module &M, const PipelineOptions &Opts,
     if (Diags)
       for (const analysis::RaceFinding &R : analysis::lintUniformStores(*F))
         Diags->warning(R.Loc, "@" + F->name() + ": " + R.Message);
+
+    // Static out-of-bounds lint: with a launch context, provable footprint
+    // windows that escape their root allocation fail the pipeline here,
+    // before any device ever runs the kernel.
+    if (Opts.OobLint.Enabled)
+      for (const analysis::OobFinding &O : analysis::lintFootprintBounds(
+               analysis::computeFootprint(*F), F->name(),
+               Opts.OobLint.BodyPtr, Opts.OobLint.Base, Opts.OobLint.Count,
+               Opts.OobLint.Region, Opts.OobLint.AllocExtent))
+        Errors.push_back("bounds check: @" + O.Kernel + ": " + O.Message);
   }
 
   // Footprint hazard lint: for every kernel pair, can two concurrent

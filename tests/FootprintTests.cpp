@@ -21,6 +21,8 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <string>
@@ -189,10 +191,10 @@ TEST(FootprintCompute, UniformSlotStoreIsCoupled) {
   EXPECT_NE(Why.find("uniform-slot"), std::string::npos) << Why;
 }
 
-TEST(FootprintCompute, DataDependentIndexIsTopOnRoot) {
+TEST(FootprintCompute, DataDependentIndexIsBoundedOnRoot) {
   // data[idx[i]]: the written offset depends on loaded data, so the write
-  // degrades to Top on its root — the whole data allocation, not the whole
-  // region (the root pointer itself is still well identified).
+  // degrades to Bounded on its root — the whole data allocation, not the
+  // whole region (the root pointer itself is still well identified).
   KernelFootprint FP = footprintOf(R"(
     class K {
     public:
@@ -205,8 +207,9 @@ TEST(FootprintCompute, DataDependentIndexIsTopOnRoot) {
   const FootprintEntry *W = findWrite(FP);
   ASSERT_NE(W, nullptr);
   EXPECT_TRUE(W->RootKnown);
-  EXPECT_EQ(W->Kind, ExtentKind::Top);
-  EXPECT_EQ(W->describe(), "write body[+8]-> top");
+  EXPECT_EQ(W->Kind, ExtentKind::Bounded);
+  EXPECT_EQ(W->describe(), "write body[+8]-> bounded");
+  EXPECT_EQ(FP.TopDemoted, 1u);
   std::string Why;
   EXPECT_FALSE(scheduleFreeFootprint(FP, &Why));
   EXPECT_NE(Why.find("unprovable offset"), std::string::npos) << Why;
@@ -458,9 +461,20 @@ TEST(FootprintVerify, RejectsUnderDeclaredAccessSet) {
   EXPECT_NE(R.Error.find("access-set verification failed"),
             std::string::npos)
       << R.Error;
-  // The diagnostic names the inferred access and the uncovered bytes.
+  // The diagnostic names the inferred access, the uncovered bytes, and
+  // the smallest declaration the verifier would have accepted.
   EXPECT_NE(R.Error.find("write body"), std::string::npos) << R.Error;
   EXPECT_NE(R.Error.find("uncovered bytes"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("suggested minimal covering AccessSet"),
+            std::string::npos)
+      << R.Error;
+  {
+    char Want[64];
+    std::snprintf(Want, sizeof(Want), "writes: [0x%llx, 0x%llx)",
+                  (unsigned long long)reinterpret_cast<uintptr_t>(Data),
+                  (unsigned long long)reinterpret_cast<uintptr_t>(Data + N));
+    EXPECT_NE(R.Error.find(Want), std::string::npos) << R.Error;
+  }
   EXPECT_EQ(Sched.stats().VerifyRejected, 1u);
   EXPECT_EQ(Sched.stats().Failed, 1u);
   EXPECT_EQ(Sched.stats().Completed, 1u);
@@ -490,6 +504,73 @@ TEST(FootprintVerify, EmptyDeclarationFallsBackToInference) {
   EXPECT_EQ(Sched.stats().VerifyRejected, 0u);
   for (int I = 0; I < N; ++I)
     ASSERT_EQ(Data[I], I * 3);
+}
+
+TEST(FootprintVerify, GuardedStencilPassesWithExactAccessSet) {
+  // `if (i + 1 < n) out[i + 1] = in[i]`: without the guard clamp the
+  // affine write window for a launch of N items is [4, 4N+4) — one slot
+  // past the allocation — and the byte-exact declaration below would be
+  // rejected as under-declared. The value-range analysis proves the guard
+  // confines the write to [4, 4n) and the read to [0, 4n-4), so the exact
+  // (unpadded) declaration verifies clean.
+  const char *StencilSrc = R"(
+    class Stencil {
+    public:
+      int* in;
+      int* out;
+      int n;
+      void operator()(int i) {
+        if (i + 1 < n)
+          out[i + 1] = in[i];
+      }
+    };
+  )";
+  struct StencilBody {
+    int32_t *In;
+    int32_t *Out;
+    int32_t N;
+  };
+
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
+
+  constexpr int N = 1024;
+  auto *In = Region.allocArray<int32_t>(N);
+  auto *Out = Region.allocArray<int32_t>(N);
+  for (int I = 0; I < N; ++I)
+    In[I] = I * 5;
+  auto *Body = Region.create<StencilBody>();
+  Body->In = In;
+  Body->Out = Out;
+  Body->N = N;
+
+  // The footprint itself records the guard-proven clamps, symbolic in the
+  // loaded bound n (body byte 16).
+  const KernelFootprint *FP =
+      RT.kernelFootprint(runtime::KernelSpec{StencilSrc, "Stencil"});
+  ASSERT_NE(FP, nullptr);
+  ASSERT_TRUE(FP->Analyzed) << FP->WhyTop;
+  EXPECT_GE(FP->WindowsClipped, 1u);
+  const FootprintEntry *W = findWrite(*FP);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->Kind, ExtentKind::Affine);
+  EXPECT_TRUE(W->Clamp.any());
+  EXPECT_EQ(W->describe(), "write body[+8]-> i*4+[4,8) clip [-inf, 4*f16)");
+
+  sched::Scheduler Sched(RT, {});
+  auto T = Sched.submit(
+      descOf(StencilSrc, "Stencil", N, Body),
+      sched::AccessSet().readArray(In, N - 1).writeArray(Out + 1, N - 1));
+  Sched.drain();
+  const sched::TaskResult &R = T.wait();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(Sched.stats().VerifyRejected, 0u);
+  EXPECT_EQ(Sched.stats().OobRejected, 0u);
+  EXPECT_EQ(Out[0], 0); // Guarded slot untouched.
+  for (int I = 1; I < N; ++I)
+    ASSERT_EQ(Out[I], (I - 1) * 5);
 }
 
 TEST(FootprintInfer, TopFootprintSerializesAgainstEverything) {
@@ -647,16 +728,20 @@ TEST(FootprintHazardLint, ReportedThroughPipelineDiagnostics) {
 TEST(FootprintWorkloads, GoldenPrecisionClasses) {
   // read class / write class per workload, from the analysis itself; a
   // change here is a precision regression (or an improvement to document).
+  // "top" survives only where a pointer truly escapes the body chain
+  // (BarnesHut/BTree/SkipList/Raytracer traversals); every data-dependent
+  // index through a known root is now Bounded — confined to the root's
+  // allocation — and BFS/SSSP writes demote from whole-region top.
   const std::map<std::string, std::pair<std::string, std::string>> Golden = {
       {"BarnesHut", {"top", "affine"}},
-      {"BFS", {"top", "top"}},
+      {"BFS", {"bounded", "bounded"}},
       {"BTree", {"top", "affine"}},
-      {"ClothPhysics", {"top", "affine"}},
-      {"ConnectedComponent", {"top", "affine"}},
-      {"FaceDetect", {"top", "affine"}},
+      {"ClothPhysics", {"bounded", "affine"}},
+      {"ConnectedComponent", {"bounded", "affine"}},
+      {"FaceDetect", {"bounded", "affine"}},
       {"Raytracer", {"top", "affine"}},
       {"SkipList", {"top", "affine"}},
-      {"SSSP", {"top", "top"}},
+      {"SSSP", {"bounded", "bounded"}},
   };
   auto Machine = gpusim::MachineConfig::ultrabook();
   for (auto &W : workloads::allWorkloads()) {

@@ -1,0 +1,514 @@
+//===- ValueRangeTests.cpp - Flow-sensitive range analysis tests ----------===//
+//
+// Covers analysis/ValueRange: the symbolic bound arithmetic, guard-aware
+// interval facts on compiled kernels (pinned as strings), the golden
+// refinement facts of the nine paper workloads, and the static
+// out-of-bounds lint built on top — including the injected off-by-one
+// kernel it must flag with a source location, at the pipeline level and
+// through the scheduler's Verify policy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Footprint.h"
+#include "analysis/ValueRange.h"
+#include "frontend/Compile.h"
+#include "sched/Scheduler.h"
+#include "transforms/Passes.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+using namespace concord;
+using namespace concord::analysis;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Bound arithmetic (no IR involved).
+//===----------------------------------------------------------------------===//
+
+TEST(RangeBoundMath, StrForms) {
+  EXPECT_EQ(RangeBound::negInf().str(), "-inf");
+  EXPECT_EQ(RangeBound::posInf().str(), "+inf");
+  EXPECT_EQ(RangeBound::constant(7).str(), "7");
+  FieldRef F;
+  F.Off = 8;
+  EXPECT_EQ(RangeBound::field(F, 1, -1).str(), "f8-1");
+  EXPECT_EQ(RangeBound::field(F, 4, 0).str(), "4*f8");
+  EXPECT_EQ(RangeBound::workItem(4, 4).str(), "4*i+4");
+  FieldRef Nested;
+  Nested.Path = {0};
+  Nested.Off = 8;
+  EXPECT_EQ(Nested.str(), "f0.8");
+}
+
+TEST(RangeBoundMath, SaturatingAdd) {
+  // An overflowing sum widens to the matching infinity — never wraps.
+  RangeBound Big = RangeBound::constant(INT64_MAX - 1);
+  EXPECT_TRUE(addConstBound(Big, 100).isPosInf());
+  EXPECT_TRUE(addConstBound(RangeBound::constant(INT64_MIN + 1), -100)
+                  .isNegInf());
+  RangeBound Fits = addConstBound(Big, 1);
+  ASSERT_TRUE(Fits.isFinite());
+  EXPECT_EQ(Fits.C, INT64_MAX);
+  EXPECT_TRUE(addConstBound(RangeBound::posInf(), 5).isPosInf());
+  EXPECT_TRUE(addConstBound(RangeBound::negInf(), 5).isNegInf());
+}
+
+TEST(RangeBoundMath, MixedSymbolSumWidens) {
+  FieldRef F;
+  F.Off = 8;
+  RangeBound A = RangeBound::field(F, 1, 0);
+  RangeBound B = RangeBound::workItem(1, 0);
+  EXPECT_TRUE(addBounds(A, B, /*RoundUp=*/true).isPosInf());
+  EXPECT_TRUE(addBounds(A, B, /*RoundUp=*/false).isNegInf());
+}
+
+TEST(RangeBoundMath, BoundLEIsProofNotGuess) {
+  FieldRef F;
+  F.Off = 8;
+  // f8-1 <= f8 for every n; f8 vs a constant is unprovable either way.
+  EXPECT_TRUE(boundLE(RangeBound::field(F, 1, -1), RangeBound::field(F, 1, 0)));
+  EXPECT_FALSE(boundLE(RangeBound::field(F, 1, 0), RangeBound::constant(100)));
+  EXPECT_FALSE(boundLE(RangeBound::constant(100), RangeBound::field(F, 1, 0)));
+  EXPECT_TRUE(boundLE(RangeBound::constant(3), RangeBound::constant(4)));
+  EXPECT_TRUE(boundLE(RangeBound::negInf(), RangeBound::constant(-100)));
+}
+
+TEST(RangeBoundMath, JoinPicksProvablyLoosestElseInfinity) {
+  FieldRef F;
+  F.Off = 8;
+  ValueInterval A{RangeBound::constant(0), RangeBound::field(F, 1, -1)};
+  ValueInterval B{RangeBound::constant(2), RangeBound::field(F, 1, 0)};
+  ValueInterval J = joinIntervals(A, B);
+  EXPECT_EQ(J.str(), "[0, f8]");
+  // Constant vs field upper bounds are incomparable: widen to +inf.
+  ValueInterval C{RangeBound::constant(0), RangeBound::constant(10)};
+  EXPECT_EQ(joinIntervals(A, C).Hi.str(), "+inf");
+}
+
+//===----------------------------------------------------------------------===//
+// Guard-aware range facts on compiled kernels.
+//===----------------------------------------------------------------------===//
+
+struct Probe {
+  std::unique_ptr<cir::Module> M;
+  cir::Function *K = nullptr;
+};
+
+Probe compileKernel(const char *Src, const char *BodyClass = "K",
+                    transforms::PipelineOptions Opts =
+                        transforms::PipelineOptions::gpuAll()) {
+  Probe P;
+  DiagnosticEngine Diags;
+  P.M = frontend::compileProgram(Src, "t", Diags);
+  EXPECT_TRUE(P.M != nullptr) << Diags.str();
+  if (!P.M)
+    return P;
+  EXPECT_NE(frontend::createKernelEntry(*P.M, BodyClass, Diags), nullptr)
+      << Diags.str();
+  transforms::PipelineStats S;
+  std::string Err;
+  EXPECT_TRUE(transforms::runPipeline(*P.M, Opts, S, &Err)) << Err;
+  for (const auto &F : P.M->functions())
+    if (F->isKernel() && !F->empty())
+      P.K = F.get();
+  EXPECT_NE(P.K, nullptr);
+  return P;
+}
+
+/// The flow-sensitive interval of the index feeding the first store's
+/// IndexAddr, evaluated at the store's own block (so dominating guards
+/// apply). "<none>" when no store-through-IndexAddr exists.
+std::string firstStoreIndexRange(cir::Function &K) {
+  using namespace concord::cir;
+  for (BasicBlock *BB : K)
+    for (Instruction *I : *BB) {
+      if (I->opcode() != Opcode::Store)
+        continue;
+      const Value *A = I->pointerOperand();
+      while (const auto *AI = dyn_cast<Instruction>(A)) {
+        if (AI->opcode() == Opcode::IndexAddr) {
+          ValueRanges VR(K);
+          return VR.rangeOf(AI->operand(1), BB).str();
+        }
+        if (AI->opcode() == Opcode::Cast ||
+            AI->opcode() == Opcode::CpuToGpu ||
+            AI->opcode() == Opcode::GpuToCpu ||
+            AI->opcode() == Opcode::FieldAddr) {
+          A = AI->operand(0);
+          continue;
+        }
+        break;
+      }
+    }
+  return "<none>";
+}
+
+std::string storeIndexRangeOf(const char *Src) {
+  Probe P = compileKernel(Src);
+  if (!P.K)
+    return "<compile failed>";
+  return firstStoreIndexRange(*P.K);
+}
+
+TEST(GuardedRanges, UnguardedIndexIsNonNegativeOnly) {
+  // The work-item id itself: [0, +inf] — nothing bounds it from above.
+  EXPECT_EQ(storeIndexRangeOf(R"(
+    class K {
+    public:
+      int* out;
+      void operator()(int i) { out[i] = i; }
+    };
+  )"),
+            "[0, +inf]");
+}
+
+TEST(GuardedRanges, UpperGuardAgainstLoadedBound) {
+  // `if (i < n)`: the loaded bound stays symbolic (f8 = body byte 8), so
+  // the proof holds for every launch size.
+  EXPECT_EQ(storeIndexRangeOf(R"(
+    class K {
+    public:
+      int* out;
+      int n;
+      void operator()(int i) { if (i < n) out[i] = i; }
+    };
+  )"),
+            "[0, f8-1]");
+}
+
+TEST(GuardedRanges, GuardOnOffsetExpression) {
+  // The guard is on `i + 1` and the CSE-unified add is also the index:
+  // the stencil write provably stays in [1, n-1].
+  EXPECT_EQ(storeIndexRangeOf(R"(
+    class K {
+    public:
+      int* out;
+      int n;
+      void operator()(int i) { if (i + 1 < n) out[i + 1] = i; }
+    };
+  )"),
+            "[1, f8-1]");
+}
+
+TEST(GuardedRanges, LowerGuardProvesNonNegativeNeighbor) {
+  // `if (i > 0) out[i - 1]`: i >= 1, so i-1 >= 0 — the lower neighbor
+  // never underflows the array.
+  EXPECT_EQ(storeIndexRangeOf(R"(
+    class K {
+    public:
+      int* out;
+      void operator()(int i) { if (i > 0) out[i - 1] = i; }
+    };
+  )"),
+            "[0, +inf]");
+}
+
+TEST(GuardedRanges, EqualityGuardPinsTheValue) {
+  EXPECT_EQ(storeIndexRangeOf(R"(
+    class K {
+    public:
+      int* out;
+      void operator()(int i) { if (i == 7) out[i] = 1; }
+    };
+  )"),
+            "[7, 7]");
+}
+
+TEST(GuardedRanges, ClampIdiomViaSelect) {
+  // min-idiom through a select: j = i < 64 ? i : 64.
+  EXPECT_EQ(storeIndexRangeOf(R"(
+    class K {
+    public:
+      int* out;
+      void operator()(int i) {
+        int j = i < 64 ? i : 64;
+        out[j] = i;
+      }
+    };
+  )"),
+            "[0, 64]");
+}
+
+TEST(GuardedRanges, DoubleGuardIntersects) {
+  // Both sides guarded: a window strictly inside the array.
+  EXPECT_EQ(storeIndexRangeOf(R"(
+    class K {
+    public:
+      int* out;
+      int n;
+      void operator()(int i) {
+        if (i > 0)
+          if (i < n)
+            out[i] = i;
+      }
+    };
+  )"),
+            "[1, f8-1]");
+}
+
+TEST(GuardedRanges, LoopCarriedPhiWidens) {
+  // A data-dependent loop: the counter phi must widen (its upper guard
+  // k < n still applies inside the body, its lower bound is lost to the
+  // cycle). Sound for all iterations, never a guess. Compiled without the
+  // L3 staggering (it rewrites the index to `(k + stagger) % n`, which is
+  // a different — also unbounded-below — expression).
+  Probe P = compileKernel(R"(
+    class K {
+    public:
+      int* out;
+      int* a;
+      int n;
+      void operator()(int i) {
+        int s = 0;
+        for (int k = 0; k < n; k++)
+          s = s + a[k];
+        out[i] = s;
+      }
+    };
+  )",
+                          "K", transforms::PipelineOptions::gpuPtrOpt());
+  ASSERT_NE(P.K, nullptr);
+  using namespace concord::cir;
+  // Find the load a[k] and query its index.
+  std::string R = "<none>";
+  for (BasicBlock *BB : *P.K)
+    for (Instruction *I : *BB) {
+      if (I->opcode() != Opcode::Load)
+        continue;
+      const Value *A = I->pointerOperand();
+      while (const auto *AI = dyn_cast<Instruction>(A)) {
+        if (AI->opcode() == Opcode::IndexAddr) {
+          ValueRanges VR(*P.K);
+          ValueInterval IV = VR.rangeOf(AI->operand(1), BB);
+          // The guarded upper bound must survive the cycle.
+          if (IV.Hi.isFinite())
+            R = IV.str();
+          break;
+        }
+        if (AI->opcode() == Opcode::Cast ||
+            AI->opcode() == Opcode::CpuToGpu ||
+            AI->opcode() == Opcode::GpuToCpu ||
+            AI->opcode() == Opcode::FieldAddr) {
+          A = AI->operand(0);
+          continue;
+        }
+        break;
+      }
+    }
+  EXPECT_EQ(R, "[-inf, f16-1]");
+}
+
+//===----------------------------------------------------------------------===//
+// Golden refinement facts for the nine paper workloads.
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadRanges, GoldenRefinementFacts) {
+  // Per workload: precision class of reads/writes plus the refinement
+  // counters — data-dependent entries kept root-bounded (TopDemoted) and
+  // windows narrowed by a guard clamp (WindowsClipped). A change here is
+  // a precision regression or an improvement to document.
+  struct Fact {
+    std::string Read, Write;
+    unsigned Demoted, Clipped;
+  };
+  const std::map<std::string, Fact> Golden = {
+      {"BarnesHut", {"top", "affine", 0, 0}},
+      {"BFS", {"bounded", "bounded", 3, 0}},
+      {"BTree", {"top", "affine", 0, 0}},
+      {"ClothPhysics", {"bounded", "affine", 5, 0}},
+      {"ConnectedComponent", {"bounded", "affine", 2, 0}},
+      {"FaceDetect", {"bounded", "affine", 4, 2}},
+      {"Raytracer", {"top", "affine", 5, 5}},
+      {"SkipList", {"top", "affine", 0, 0}},
+      {"SSSP", {"bounded", "bounded", 4, 0}},
+  };
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  for (auto &W : workloads::allWorkloads()) {
+    SCOPED_TRACE(W->name());
+    svm::SharedRegion Region(256 << 20);
+    Runtime RT(Machine, Region);
+    ASSERT_TRUE(W->setup(Region, 1));
+    const KernelFootprint *FP = RT.kernelFootprint(W->kernelSpec());
+    ASSERT_NE(FP, nullptr) << RT.diagnosticsFor(W->kernelSpec());
+    ASSERT_TRUE(FP->Analyzed) << FP->WhyTop;
+    auto It = Golden.find(W->name());
+    ASSERT_NE(It, Golden.end());
+    EXPECT_EQ(extentKindName(FP->readClass()), It->second.Read);
+    EXPECT_EQ(extentKindName(FP->writeClass()), It->second.Write);
+    EXPECT_EQ(FP->TopDemoted, It->second.Demoted);
+    EXPECT_EQ(FP->WindowsClipped, It->second.Clipped);
+    // And the runtime aggregates them.
+    runtime::RefinementStats RS = RT.refinementStats();
+    EXPECT_EQ(RS.TopDemoted, It->second.Demoted);
+    EXPECT_EQ(RS.WindowsClipped, It->second.Clipped);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The static out-of-bounds lint.
+//===----------------------------------------------------------------------===//
+
+/// The injected off-by-one: writes out[i + 1] with no guard, so the last
+/// work item provably escapes the allocation. The store is on source line
+/// 6 of this snippet.
+const char *OffByOneSrc = R"(
+  class Oob {
+  public:
+    int* in;
+    int* out;
+    void operator()(int i) {
+      out[i + 1] = in[i];
+    }
+  };
+)";
+
+struct TwoPtrBody {
+  int32_t *In;
+  int32_t *Out;
+};
+
+TEST(OobLint, FlagsInjectedOffByOneWithSourceLocation) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+
+  constexpr int N = 1024;
+  auto *In = Region.allocArray<int32_t>(N);
+  auto *Out = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<TwoPtrBody>();
+  Body->In = In;
+  Body->Out = Out;
+
+  auto Findings = RT.lintLaunchBounds(runtime::KernelSpec{OffByOneSrc, "Oob"},
+                                      Body, 0, N);
+  ASSERT_EQ(Findings.size(), 1u);
+  const OobFinding &F = Findings[0];
+  EXPECT_NE(F.Message.find("out-of-bounds write"), std::string::npos)
+      << F.Message;
+  // Pipeline time knows the source position of the offending store.
+  EXPECT_TRUE(F.Loc.isValid());
+  EXPECT_EQ(F.Loc.Line, 7u) << F.Message;
+  EXPECT_NE(F.Message.find(F.Loc.str()), std::string::npos) << F.Message;
+  // The proven window escapes the allocation by exactly one slot.
+  EXPECT_EQ(F.Extent.End, reinterpret_cast<uint64_t>(Out + N));
+  EXPECT_EQ(F.Access.End, reinterpret_cast<uint64_t>(Out + N + 1));
+  EXPECT_EQ(RT.refinementStats().OobFindings, 1u);
+
+  // The guarded variant of the same kernel lints clean (the clamp pulls
+  // the window back inside the allocation).
+  const char *GuardedSrc = R"(
+    class Oob {
+    public:
+      int* in;
+      int* out;
+      int n;
+      void operator()(int i) {
+        if (i + 1 < n)
+          out[i + 1] = in[i];
+      }
+    };
+  )";
+  struct GuardedBody {
+    int32_t *In;
+    int32_t *Out;
+    int32_t N;
+  };
+  auto *GBody = Region.create<GuardedBody>();
+  GBody->In = In;
+  GBody->Out = Out;
+  GBody->N = N;
+  EXPECT_TRUE(RT.lintLaunchBounds(runtime::KernelSpec{GuardedSrc, "Oob"},
+                                  GBody, 0, N)
+                  .empty());
+}
+
+TEST(OobLint, FailsThePipelineWithLaunchContext) {
+  svm::SharedRegion Region(16 << 20);
+  constexpr int N = 256;
+  auto *In = Region.allocArray<int32_t>(N);
+  auto *Out = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<TwoPtrBody>();
+  Body->In = In;
+  Body->Out = Out;
+
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(OffByOneSrc, "t", Diags);
+  ASSERT_TRUE(M) << Diags.str();
+  ASSERT_NE(frontend::createKernelEntry(*M, "Oob", Diags), nullptr);
+
+  transforms::PipelineOptions Opts = transforms::PipelineOptions::gpuAll();
+  Opts.OobLint.Enabled = true;
+  Opts.OobLint.BodyPtr = Body;
+  Opts.OobLint.Base = 0;
+  Opts.OobLint.Count = N;
+  Opts.OobLint.Region = Region.range();
+  Opts.OobLint.AllocExtent = [&Region](const void *P) {
+    return Region.allocationExtent(P);
+  };
+  transforms::PipelineStats S;
+  std::string Err;
+  EXPECT_FALSE(transforms::runPipeline(*M, Opts, S, &Err, &Diags));
+  EXPECT_NE(Err.find("bounds check"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("out-of-bounds write"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("7:"), std::string::npos) << Err; // Source line.
+}
+
+TEST(OobLint, SchedulerVerifyRejectsBeforeLaunch) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
+
+  constexpr int N = 512;
+  auto *In = Region.allocArray<int32_t>(N);
+  auto *Out = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<TwoPtrBody>();
+  Body->In = In;
+  Body->Out = Out;
+
+  sched::Scheduler Sched(RT, {});
+  sched::TaskDesc D;
+  D.Spec = runtime::KernelSpec{OffByOneSrc, "Oob"};
+  D.N = N;
+  D.BodyPtr = Body;
+  auto T = Sched.submit(std::move(D), sched::AccessSet()
+                                          .readArray(In, N)
+                                          .writeArray(Out, N));
+  Sched.drain();
+  const sched::TaskResult &R = T.wait();
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("static bounds check failed"), std::string::npos)
+      << R.Error;
+  EXPECT_EQ(Sched.stats().OobRejected, 1u);
+  EXPECT_EQ(Sched.stats().VerifyRejected, 1u);
+  // The rejected task never wrote anything.
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], 0);
+}
+
+TEST(OobLint, NineWorkloadsLintClean) {
+  // Acceptance bar: zero findings across the paper's workloads — the lint
+  // only reports windows that provably escape their allocation.
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  for (auto &W : workloads::allWorkloads()) {
+    SCOPED_TRACE(W->name());
+    svm::SharedRegion Region(256 << 20);
+    Runtime RT(Machine, Region);
+    ASSERT_TRUE(W->setup(Region, 1));
+    void *Body = W->prepareBody();
+    ASSERT_NE(Body, nullptr);
+    auto Findings =
+        RT.lintLaunchBounds(W->kernelSpec(), Body, 0, W->itemCount());
+    EXPECT_TRUE(Findings.empty())
+        << Findings.size() << " findings, first: " << Findings[0].Message;
+    EXPECT_EQ(RT.refinementStats().OobFindings, 0u);
+  }
+}
+
+} // namespace
