@@ -8,6 +8,13 @@
 // stage kernel is schedule-free, so GPU-preferred tasks hybrid-split
 // across the GPU and CPU machine models.
 //
+// Each frame additionally submits a histogram task accumulating into one
+// bins array shared by ALL frames. Declared as a plain write those tasks
+// would WAW-serialize; declared (and statically proven) Accumulate they
+// carry no hazard edges among themselves, run concurrently against shadow
+// ranges, and a single injected merge task folds the shadows back before
+// the final verification reads the bins.
+//
 // Flags:
 //   --frames N      number of independent frames (default 6)
 //   --items N       work-items per stage (default 32768)
@@ -64,6 +71,32 @@ struct Axpb {
   }
   static const char *kernelClassName() { return "Axpb"; }
 };
+
+/// bins[keys[i]] += 1 — accumulate-only on bins, proven by the
+/// commutativity analysis; all frames share one bins array.
+struct Hist {
+  int32_t *Keys;
+  int32_t *Bins;
+
+  void operator()(int I) { Bins[Keys[I]] += 1; }
+
+  static const char *kernelSource() {
+    return R"(
+      class Hist {
+      public:
+        int* keys;
+        int* bins;
+        void operator()(int i) {
+          int h = keys[i];
+          bins[h] = bins[h] + 1;
+        }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "Hist"; }
+};
+
+constexpr int HistBins = 64;
 
 struct Options {
   int Frames = 6;
@@ -122,10 +155,17 @@ int main(int argc, char **argv) {
   const float Bs[Stages] = {3.0f, -1.0f, 0.5f};
 
   // Per frame: In -> Buf[0] -> Buf[1] -> Buf[2], all disjoint from other
-  // frames' buffers.
+  // frames' buffers; plus a per-frame keys array feeding the one shared
+  // bins array every frame accumulates into.
   std::vector<float *> Inputs;
   std::vector<std::vector<float *>> Bufs(size_t(Opt.Frames));
+  std::vector<int32_t *> KeyArrays;
   std::vector<Axpb *> Bodies;
+  int32_t *Bins = Region.allocArray<int32_t>(HistBins);
+  if (!Bins)
+    return 1;
+  std::memset(Bins, 0, HistBins * sizeof(int32_t));
+  std::vector<int32_t> ExpectedBins(HistBins, 0);
   for (int F = 0; F < Opt.Frames; ++F) {
     float *In = Region.allocArray<float>(size_t(Opt.Items));
     if (!In)
@@ -139,6 +179,19 @@ int main(int argc, char **argv) {
         return 1;
       Bufs[size_t(F)].push_back(Buf);
     }
+    // One key per bin, permuted per frame: within a launch every
+    // work-item RMWs its own bin (the device interleaves work-items, so
+    // colliding unsynchronized RMWs inside one launch would lose
+    // updates); the accumulation under test is *across* the frames'
+    // tasks. 2F+1 is odd, hence a unit mod the power-of-two bin count.
+    int32_t *Keys = Region.allocArray<int32_t>(HistBins);
+    if (!Keys)
+      return 1;
+    for (int I = 0; I < HistBins; ++I) {
+      Keys[I] = (I * (2 * F + 1) + F) % HistBins;
+      ++ExpectedBins[size_t(Keys[I])];
+    }
+    KeyArrays.push_back(Keys);
   }
 
   sched::SchedulerOptions SO;
@@ -176,6 +229,26 @@ int main(int argc, char **argv) {
                               .readArray(In, size_t(Opt.Items))
                               .writeArray(Out, size_t(Opt.Items))));
       }
+
+      // The frame's accumulate stage: all frames share Bins, yet these
+      // tasks hold no hazard edges among themselves.
+      auto *HistBody = Region.create<Hist>();
+      if (!HistBody)
+        return 1;
+      HistBody->Keys = KeyArrays[size_t(F)];
+      HistBody->Bins = Bins;
+      sched::TaskDesc HD;
+      HD.Spec = KernelSpec{Hist::kernelSource(), Hist::kernelClassName()};
+      HD.N = HistBins;
+      HD.BodyPtr = HistBody;
+      char HistLabel[32];
+      std::snprintf(HistLabel, sizeof(HistLabel), "frame%d/hist", F);
+      HD.Label = HistLabel;
+      Handles.push_back(Sched.submit(
+          std::move(HD),
+          sched::AccessSet()
+              .readArray(KeyArrays[size_t(F)], HistBins)
+              .accumulateArray(Bins, HistBins)));
     }
     Sched.drain();
     WallSeconds = std::chrono::duration<double>(
@@ -197,12 +270,16 @@ int main(int argc, char **argv) {
       }
       std::printf("\n%llu tasks, %llu hazard edges, %llu hybrid, "
                   "max %u in flight, queue high-water %zu, "
-                  "%llu verify-rejected, wall %.3f s\n",
+                  "%llu verify-rejected, %llu accumulate (%llu merge, "
+                  "%llu shadow bytes), wall %.3f s\n",
                   (unsigned long long)St.Submitted,
                   (unsigned long long)St.HazardEdges,
                   (unsigned long long)St.HybridLaunches,
                   St.MaxTasksInFlight, St.MaxQueueDepth,
-                  (unsigned long long)St.VerifyRejected, WallSeconds);
+                  (unsigned long long)St.VerifyRejected,
+                  (unsigned long long)St.AccumTasks,
+                  (unsigned long long)St.MergeTasks,
+                  (unsigned long long)St.ShadowBytes, WallSeconds);
     }
 
     // Verified mode must be clean: the declared sets are exact, so a
@@ -236,7 +313,10 @@ int main(int argc, char **argv) {
           "\"hybrid_launches\": %llu, \"max_in_flight\": %u, "
           "\"max_queue_depth\": %zu, \"verify_rejected\": %llu, "
           "\"inferred_sets\": %llu, \"windows_clipped\": %llu, "
-          "\"top_demoted\": %llu, \"oob_findings\": %llu},\n",
+          "\"top_demoted\": %llu, \"oob_findings\": %llu, "
+          "\"accum_tasks\": %llu, \"accum_demoted\": %llu, "
+          "\"merge_tasks\": %llu, \"shadow_bytes\": %llu, "
+          "\"accum_windows\": %llu, \"accum_rejections\": %llu},\n",
           (unsigned long long)St.Submitted,
           (unsigned long long)St.Completed,
           (unsigned long long)St.Failed,
@@ -246,7 +326,13 @@ int main(int argc, char **argv) {
           (unsigned long long)St.InferredSets,
           (unsigned long long)RT.refinementStats().WindowsClipped,
           (unsigned long long)RT.refinementStats().TopDemoted,
-          (unsigned long long)RT.refinementStats().OobFindings);
+          (unsigned long long)RT.refinementStats().OobFindings,
+          (unsigned long long)St.AccumTasks,
+          (unsigned long long)St.AccumDemoted,
+          (unsigned long long)St.MergeTasks,
+          (unsigned long long)St.ShadowBytes,
+          (unsigned long long)RT.refinementStats().AccumWindows,
+          (unsigned long long)RT.refinementStats().AccumRejections);
       std::fprintf(F, "  \"tasks\": [\n");
       for (size_t I = 0; I < Handles.size(); ++I) {
         const sched::TaskResult &R = Handles[I].wait();
@@ -291,7 +377,14 @@ int main(int argc, char **argv) {
         return 1;
       }
     }
+  for (int B = 0; B < HistBins; ++B)
+    if (Bins[B] != ExpectedBins[size_t(B)]) {
+      std::fprintf(stderr, "bin %d: expected %d, got %d\n", B,
+                   ExpectedBins[size_t(B)], Bins[B]);
+      return 1;
+    }
   if (!Opt.Quiet)
-    std::printf("verified %d frames x %d items\n", Opt.Frames, Opt.Items);
+    std::printf("verified %d frames x %d items (+%d shared bins)\n",
+                Opt.Frames, Opt.Items, HistBins);
   return 0;
 }

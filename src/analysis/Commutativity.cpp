@@ -1,0 +1,781 @@
+//===- Commutativity.cpp - Static reduction-recognition analysis ----------===//
+
+#include "analysis/Commutativity.h"
+
+#include "cir/BasicBlock.h"
+#include "cir/Function.h"
+#include "cir/Instruction.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <type_traits>
+#include <utility>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+namespace {
+
+/// A resolved access address, reduced to what the accumulate proof needs:
+/// which body-rooted object it hits and whether the address is uniform
+/// across work items (constant offsets only).
+struct RAddr {
+  enum Kind { Private, Root, Unknown } K = Unknown;
+  std::vector<int64_t> Path; ///< Pointer-load offsets from the body object.
+  int64_t Off = 0;           ///< Constant byte offset past the root.
+  bool Uniform = true;       ///< No index- or data-dependent component.
+};
+
+/// Mirrors the footprint resolver's root-path trace without the
+/// value-range machinery: only the (path, uniformity) facts matter here.
+RAddr resolveAddr(const Value *V, unsigned Depth = 0) {
+  RAddr R;
+  if (Depth > 128)
+    return R;
+  if (const auto *A = dyn_cast<Argument>(V)) {
+    if (A->index() == 0)
+      R.K = RAddr::Root; // The body object (see createKernelEntry).
+    return R;
+  }
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return R;
+  switch (I->opcode()) {
+  case Opcode::Alloca:
+    R.K = RAddr::Private;
+    return R;
+  case Opcode::Cast:
+  case Opcode::CpuToGpu:
+  case Opcode::GpuToCpu:
+    return resolveAddr(I->operand(0), Depth + 1);
+  case Opcode::FieldAddr: {
+    RAddr Base = resolveAddr(I->operand(0), Depth + 1);
+    if (Base.K == RAddr::Root)
+      Base.Off += int64_t(I->attr());
+    return Base;
+  }
+  case Opcode::IndexAddr: {
+    RAddr Base = resolveAddr(I->operand(0), Depth + 1);
+    if (Base.K != RAddr::Root)
+      return Base;
+    const auto *PT = dyn_cast<PointerType>(I->type());
+    int64_t Elem = PT ? int64_t(PT->pointee()->sizeInBytes()) : 0;
+    if (const auto *C = dyn_cast<ConstantInt>(I->operand(1))) {
+      if (Elem > 0) {
+        Base.Off += C->sext() * Elem;
+        return Base;
+      }
+    }
+    Base.Uniform = false; // Work-item- or data-dependent cell.
+    return Base;
+  }
+  case Opcode::Load: {
+    // A pointer fetched from memory: body-rooted and uniform means every
+    // work item loads the same pointer — extend the root path.
+    RAddr From = resolveAddr(I->operand(0), Depth + 1);
+    RAddr R2;
+    if (From.K == RAddr::Root && From.Uniform) {
+      R2.K = RAddr::Root;
+      R2.Path = From.Path;
+      R2.Path.push_back(From.Off);
+    }
+    return R2;
+  }
+  default:
+    return R; // Phi / select / arithmetic pointer: unknown.
+  }
+}
+
+/// Analysis-wide context shared by the per-store matching helpers.
+struct ProofCtx {
+  /// Root paths the kernel stores through (congruence must not trust a
+  /// load from a path the kernel mutates).
+  std::set<std::vector<int64_t>> StoredPaths;
+  /// Occurrence-counted uses of every value in the function.
+  std::map<const Value *, unsigned> UseCount;
+};
+
+/// Structural congruence of two address (or index) expressions: equal SSA
+/// values, equal constants, pure instructions with congruent operands, or
+/// loads of the same uniform body-rooted slot that the kernel never
+/// stores. This is what survives both the CSE'd (gpuAll) and the naive
+/// un-CSE'd (gpuBaseline) pipelines.
+/// Pair-memoized recursion: shared subexpressions would otherwise make the
+/// walk exponential on deep CSE'd DAGs. Phis are impure, so the walk cannot
+/// cycle and a plain result cache is enough.
+using CongruentMemo = std::map<std::pair<const Value *, const Value *>, bool>;
+
+bool congruentImpl(const Value *A, const Value *B, const ProofCtx &Ctx,
+                   CongruentMemo &Memo) {
+  if (A == B)
+    return true;
+  auto It = Memo.find({A, B});
+  if (It != Memo.end())
+    return It->second;
+  bool &Cached = Memo[{A, B}];
+  if (const auto *CA = dyn_cast<ConstantInt>(A)) {
+    const auto *CB = dyn_cast<ConstantInt>(B);
+    return Cached =
+               CB && CA->zext() == CB->zext() && CA->type() == CB->type();
+  }
+  if (const auto *CA = dyn_cast<ConstantFloat>(A)) {
+    const auto *CB = dyn_cast<ConstantFloat>(B);
+    return Cached = CB && CA->value() == CB->value();
+  }
+  const auto *IA = dyn_cast<Instruction>(A);
+  const auto *IB = dyn_cast<Instruction>(B);
+  if (!IA || !IB || IA->opcode() != IB->opcode() ||
+      IA->attr() != IB->attr() || IA->type() != IB->type() ||
+      IA->numOperands() != IB->numOperands())
+    return Cached = false;
+  if (IA->opcode() == Opcode::Load) {
+    RAddr LA = resolveAddr(IA);
+    if (LA.K != RAddr::Root || !LA.Uniform || Ctx.StoredPaths.count(LA.Path))
+      return Cached = false;
+    return Cached = congruentImpl(IA->operand(0), IB->operand(0), Ctx, Memo);
+  }
+  if (!IA->isPure())
+    return Cached = false;
+  for (unsigned I = 0; I < IA->numOperands(); ++I)
+    if (!congruentImpl(IA->operand(I), IB->operand(I), Ctx, Memo))
+      return Cached = false;
+  return Cached = true;
+}
+
+bool congruent(const Value *A, const Value *B, const ProofCtx &Ctx) {
+  CongruentMemo Memo;
+  return congruentImpl(A, B, Ctx, Memo);
+}
+
+/// Maps a stored-value expression's top node to a reduction operator.
+/// Sub folds into Add (x - a == x + (-a) when the old value is the
+/// minuend); the caller enforces the minuend restriction.
+bool accumOpOf(const Instruction *I, AccumOp &Op) {
+  switch (I->opcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+    Op = AccumOp::Add;
+    return true;
+  case Opcode::Or:
+    Op = AccumOp::Or;
+    return true;
+  case Opcode::And:
+    Op = AccumOp::And;
+    return true;
+  case Opcode::FAdd:
+    Op = AccumOp::FAdd;
+    return true;
+  case Opcode::Intrinsic:
+    switch (I->intrinsicId()) {
+    case IntrinsicId::IMin:
+      Op = AccumOp::Min;
+      return true;
+    case IntrinsicId::IMax:
+      Op = AccumOp::Max;
+      return true;
+    case IntrinsicId::Fmin:
+      Op = AccumOp::FMin;
+      return true;
+    case IntrinsicId::Fmax:
+      Op = AccumOp::FMax;
+      return true;
+    default:
+      return false;
+    }
+  default:
+    return false;
+  }
+}
+
+/// True when \p I continues an \p Op chain (same operator; Add chains also
+/// admit Sub nodes).
+bool sameOpNode(const Instruction *I, AccumOp Op) {
+  AccumOp K;
+  return accumOpOf(I, K) && K == Op;
+}
+
+/// Is \p V a load of the accumulated path \p P?
+const Instruction *asAccumLoad(const Value *V,
+                               const std::vector<int64_t> &P) {
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I || I->opcode() != Opcode::Load)
+    return nullptr;
+  RAddr A = resolveAddr(I->pointerOperand());
+  return (A.K == RAddr::Root && A.Path == P) ? I : nullptr;
+}
+
+/// Decomposition of one stored value into `old (Op) term1 (Op) term2 ...`.
+struct Chain {
+  const Instruction *Terminal = nullptr; ///< The RMW load of the old value.
+  bool MultiTerminal = false;
+  std::vector<const Value *> Terms;        ///< Independent leaves.
+  std::vector<const Instruction *> Nodes;  ///< Same-op interior nodes.
+};
+
+void walkChainImpl(const Value *V, AccumOp Op, const std::vector<int64_t> &P,
+                   Chain &C, std::set<const Value *> &Visited) {
+  if (const Instruction *L = asAccumLoad(V, P)) {
+    if (C.Terminal)
+      C.MultiTerminal = true;
+    else
+      C.Terminal = L;
+    return;
+  }
+  const auto *I = dyn_cast<Instruction>(V);
+  if (I && sameOpNode(I, Op)) {
+    // A same-op node reached twice is a shared subexpression; re-expanding
+    // it would double-count terms (and is exponential on dense DAGs), so
+    // demote the revisit to an opaque term — the interior-node single-use
+    // check rejects such chains anyway.
+    if (!Visited.insert(V).second) {
+      C.Terms.push_back(V);
+      return;
+    }
+    C.Nodes.push_back(I);
+    if (I->opcode() == Opcode::Sub) {
+      // Only the minuend may carry the old value: x - a == x + (-a).
+      walkChainImpl(I->operand(0), Op, P, C, Visited);
+      C.Terms.push_back(I->operand(1));
+    } else {
+      walkChainImpl(I->operand(0), Op, P, C, Visited);
+      walkChainImpl(I->operand(1), Op, P, C, Visited);
+    }
+    return;
+  }
+  C.Terms.push_back(V);
+}
+
+void walkChain(const Value *V, AccumOp Op, const std::vector<int64_t> &P,
+               Chain &C) {
+  std::set<const Value *> Visited;
+  walkChainImpl(V, Op, P, C, Visited);
+}
+
+/// Whether \p V (transitively) observes the accumulated range or any other
+/// mutated shared location — such a term is not independent of the
+/// reduction and defeats the shadow-range execution model.
+bool dependsOnMutableLoadImpl(const Value *V, const std::vector<int64_t> &P,
+                              const ProofCtx &Ctx,
+                              std::map<const Value *, bool> &Memo) {
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return false;
+  auto It = Memo.find(V);
+  if (It != Memo.end())
+    return It->second;
+  bool &Cached = Memo[V];
+  if (I->opcode() == Opcode::Load) {
+    RAddr A = resolveAddr(I->pointerOperand());
+    if (A.K == RAddr::Private)
+      return Cached = false;
+    if (A.K != RAddr::Root)
+      return Cached = true;
+    return Cached = (A.Path == P || Ctx.StoredPaths.count(A.Path) != 0);
+  }
+  if (I->isPhi())
+    return Cached = true; // Loop-carried: out of scope, stay conservative.
+  for (const Value *Op : I->operands())
+    if (dependsOnMutableLoadImpl(Op, P, Ctx, Memo))
+      return Cached = true;
+  return Cached = false;
+}
+
+/// Memoized per query: phis answer true without recursing, so the walk is
+/// cycle-free, and the cache keeps shared subexpressions linear.
+bool dependsOnMutableLoad(const Value *V, const std::vector<int64_t> &P,
+                          const ProofCtx &Ctx) {
+  std::map<const Value *, bool> Memo;
+  return dependsOnMutableLoadImpl(V, P, Ctx, Memo);
+}
+
+/// Finds a load of path \p P anywhere in the expression tree of \p V and
+/// names the operator consuming it (for the "looks reductive" diagnostic).
+const Instruction *findBuriedAccumLoadImpl(const Value *V,
+                                           const std::vector<int64_t> &P,
+                                           const Instruction **UserOut,
+                                           std::set<const Value *> &Visited) {
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I || !Visited.insert(V).second)
+    return nullptr;
+  for (const Value *Op : I->operands()) {
+    if (const Instruction *L = asAccumLoad(Op, P)) {
+      *UserOut = I;
+      return L;
+    }
+    if (const Instruction *L = findBuriedAccumLoadImpl(Op, P, UserOut, Visited))
+      return L;
+  }
+  return nullptr;
+}
+
+/// Unlike the proof walks this one crosses phis (it powers the
+/// "looks reductive" diagnostic, and the buried load may sit behind a
+/// loop-carried value), so the visited set is what guarantees termination
+/// on phi cycles.
+const Instruction *findBuriedAccumLoad(const Value *V,
+                                       const std::vector<int64_t> &P,
+                                       const Instruction **UserOut) {
+  std::set<const Value *> Visited;
+  return findBuriedAccumLoadImpl(V, P, UserOut, Visited);
+}
+
+std::string pathStr(const std::vector<int64_t> &Path) {
+  std::string S = "body";
+  for (int64_t Hop : Path)
+    S += "[+" + std::to_string(Hop) + "]->";
+  return S;
+}
+
+const char *opDisplayName(const Instruction *I) {
+  if (I->opcode() == Opcode::Intrinsic)
+    return intrinsicName(I->intrinsicId());
+  return opcodeName(I->opcode());
+}
+
+} // namespace
+
+const char *concord::analysis::accumOpName(AccumOp Op) {
+  switch (Op) {
+  case AccumOp::Add:
+    return "add";
+  case AccumOp::Min:
+    return "min";
+  case AccumOp::Max:
+    return "max";
+  case AccumOp::Or:
+    return "or";
+  case AccumOp::And:
+    return "and";
+  case AccumOp::FAdd:
+    return "fadd";
+  case AccumOp::FMin:
+    return "fmin";
+  case AccumOp::FMax:
+    return "fmax";
+  }
+  return "?";
+}
+
+bool concord::analysis::accumOpIsFloat(AccumOp Op) {
+  return Op == AccumOp::FAdd || Op == AccumOp::FMin || Op == AccumOp::FMax;
+}
+
+std::string AccumWindow::describe() const {
+  return "accumulate(" + std::string(accumOpName(Op)) + ") " +
+         pathStr(RootPath) + " elem " + std::to_string(ElemBytes);
+}
+
+CommutativityInfo
+concord::analysis::computeCommutativity(cir::Function &F,
+                                        bool AllowRelaxedFP) {
+  CommutativityInfo Info;
+
+  // Same bail-outs as the footprint: residual calls hide accesses and
+  // barriers imply cross-item data flow.
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (I->opcode() == Opcode::Barrier || I->opcode() == Opcode::Call ||
+          I->opcode() == Opcode::VCall)
+        return Info;
+  Info.Analyzed = true;
+
+  ProofCtx Ctx;
+  struct PathAccesses {
+    std::vector<Instruction *> Stores;
+    std::vector<Instruction *> Loads;
+    bool MemcpyTouched = false;
+  };
+  std::map<std::vector<int64_t>, PathAccesses> Paths;
+  bool AnyUnknown = false;
+  SourceLoc UnknownLoc;
+
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      for (const Value *Op : I->operands())
+        ++Ctx.UseCount[Op];
+      switch (I->opcode()) {
+      case Opcode::Load:
+      case Opcode::Store: {
+        RAddr A = resolveAddr(I->pointerOperand());
+        if (A.K == RAddr::Private)
+          break;
+        if (A.K == RAddr::Unknown) {
+          AnyUnknown = true;
+          UnknownLoc = I->loc();
+          break;
+        }
+        if (I->opcode() == Opcode::Store) {
+          Paths[A.Path].Stores.push_back(I);
+          Ctx.StoredPaths.insert(A.Path);
+        } else {
+          Paths[A.Path].Loads.push_back(I);
+        }
+        break;
+      }
+      case Opcode::Memcpy: {
+        for (unsigned OpIdx = 0; OpIdx < 2; ++OpIdx) {
+          RAddr A = resolveAddr(I->operand(OpIdx));
+          if (A.K == RAddr::Root) {
+            Paths[A.Path].MemcpyTouched = true;
+            if (OpIdx == 0)
+              Ctx.StoredPaths.insert(A.Path);
+          } else if (A.K == RAddr::Unknown) {
+            AnyUnknown = true;
+            UnknownLoc = I->loc();
+          }
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  if (AnyUnknown) {
+    // An unresolved pointer may alias any root: no window is provable.
+    AccumRejection R;
+    R.Loc = UnknownLoc;
+    R.Message = "access through unresolved pointer at " + UnknownLoc.str() +
+                " may alias any root";
+    Info.Rejections.push_back(std::move(R));
+    return Info;
+  }
+
+  for (auto &[Path, PA] : Paths) {
+    if (PA.Stores.empty())
+      continue;
+    auto RejectPath = [&](SourceLoc Loc, std::string Msg, const char *OpName,
+                          bool LooksReductive) {
+      AccumRejection R;
+      R.RootPath = Path;
+      R.LooksReductive = LooksReductive;
+      if (OpName)
+        R.Op = OpName;
+      R.Loc = Loc;
+      R.Message = pathStr(Path) + ": " + std::move(Msg);
+      Info.Rejections.push_back(std::move(R));
+    };
+    if (Path.empty()) {
+      RejectPath(PA.Stores[0]->loc(),
+                 "store to the body object itself at " +
+                     PA.Stores[0]->loc().str(),
+                 nullptr, false);
+      continue;
+    }
+    if (PA.MemcpyTouched) {
+      RejectPath(PA.Stores[0]->loc(), "memcpy touches the range", nullptr,
+                 false);
+      continue;
+    }
+
+    bool PathOk = true;
+    bool HaveOp = false;
+    AccumOp PathOp = AccumOp::Add;
+    unsigned ElemBytes = 0;
+    SourceLoc WindowLoc;
+    std::set<const Instruction *> ConsumedLoads;
+
+    for (Instruction *S : PA.Stores) {
+      const Value *V = S->storedValue();
+      const auto *VI = dyn_cast<Instruction>(V);
+      AccumOp Op;
+      if (!VI || !accumOpOf(VI, Op)) {
+        // Not an accepted operator on top. Distinguish a buried RMW (the
+        // lint's target) from a plain overwrite.
+        const Instruction *User = nullptr;
+        if (const Instruction *L = findBuriedAccumLoad(V, Path, &User)) {
+          (void)L;
+          RejectPath(S->loc(),
+                     "store at " + S->loc().str() +
+                         " reads the old value through non-associative op '" +
+                         opDisplayName(User) + "'",
+                     opDisplayName(User), /*LooksReductive=*/true);
+        } else if (asAccumLoad(V, Path)) {
+          RejectPath(S->loc(),
+                     "store at " + S->loc().str() +
+                         " writes the old value back with no combining op",
+                     nullptr, false);
+        } else {
+          RejectPath(S->loc(),
+                     "plain store (no read-modify-write) at " + S->loc().str(),
+                     VI ? opDisplayName(VI) : nullptr, false);
+        }
+        PathOk = false;
+        break;
+      }
+
+      Chain C;
+      walkChain(V, Op, Path, C);
+      if (C.MultiTerminal) {
+        RejectPath(S->loc(),
+                   "store at " + S->loc().str() +
+                       " combines the old value with itself",
+                   accumOpName(Op), /*LooksReductive=*/true);
+        PathOk = false;
+        break;
+      }
+      if (!C.Terminal) {
+        const Instruction *User = nullptr;
+        if (findBuriedAccumLoad(V, Path, &User)) {
+          RejectPath(S->loc(),
+                     "store at " + S->loc().str() +
+                         " reads the old value through non-associative op '" +
+                         opDisplayName(User) + "'",
+                     opDisplayName(User), /*LooksReductive=*/true);
+        } else {
+          RejectPath(S->loc(),
+                     "plain store (no read-modify-write) at " + S->loc().str(),
+                     accumOpName(Op), false);
+        }
+        PathOk = false;
+        break;
+      }
+      if (!congruent(C.Terminal->pointerOperand(), S->pointerOperand(),
+                     Ctx)) {
+        RejectPath(S->loc(),
+                   "store at " + S->loc().str() +
+                       " modifies a different cell than it reads (op '" +
+                       std::string(accumOpName(Op)) + "')",
+                   accumOpName(Op), false);
+        PathOk = false;
+        break;
+      }
+      unsigned SB = unsigned(S->accessBytes());
+      unsigned LB = unsigned(C.Terminal->accessBytes());
+      if (SB != LB || (SB != 1 && SB != 2 && SB != 4 && SB != 8) ||
+          (accumOpIsFloat(Op) && SB != 4)) {
+        RejectPath(S->loc(),
+                   "unsupported element width at " + S->loc().str(), nullptr,
+                   false);
+        PathOk = false;
+        break;
+      }
+      // The old value must not escape the chain: the load and every
+      // interior node feed exactly one consumer.
+      bool Escapes = Ctx.UseCount[C.Terminal] != 1;
+      for (const Instruction *N : C.Nodes)
+        if (Ctx.UseCount[N] != 1)
+          Escapes = true;
+      if (Escapes) {
+        RejectPath(S->loc(),
+                   "old value escapes the read-modify-write at " +
+                       S->loc().str(),
+                   accumOpName(Op), false);
+        PathOk = false;
+        break;
+      }
+      // Every other term must be independent of the accumulated range (a
+      // shadow run sees identity elements, not the master's contents).
+      bool Dependent = false;
+      for (const Value *T : C.Terms)
+        if (dependsOnMutableLoad(T, Path, Ctx)) {
+          Dependent = true;
+          break;
+        }
+      if (Dependent) {
+        RejectPath(S->loc(),
+                   "combined term depends on mutated shared memory at " +
+                       S->loc().str(),
+                   accumOpName(Op), false);
+        PathOk = false;
+        break;
+      }
+      if (HaveOp && (Op != PathOp || ElemBytes != SB)) {
+        RejectPath(S->loc(),
+                   "mixed reduction operators (" +
+                       std::string(accumOpName(PathOp)) + " vs " +
+                       accumOpName(Op) + ") at " + S->loc().str(),
+                   accumOpName(Op), false);
+        PathOk = false;
+        break;
+      }
+      HaveOp = true;
+      PathOp = Op;
+      ElemBytes = SB;
+      WindowLoc = S->loc();
+      ConsumedLoads.insert(C.Terminal);
+    }
+    if (!PathOk)
+      continue;
+
+    if (accumOpIsFloat(PathOp) && !AllowRelaxedFP) {
+      RejectPath(WindowLoc,
+                 "floating-point reduction ('" +
+                     std::string(accumOpName(PathOp)) +
+                     "') requires the RelaxedFPReduction pipeline option",
+                 accumOpName(PathOp), false);
+      continue;
+    }
+
+    // No other read of the range may escape: every load of the path must
+    // be the terminal of some RMW chain above.
+    bool Escaped = false;
+    for (Instruction *L : PA.Loads)
+      if (!ConsumedLoads.count(L)) {
+        RejectPath(L->loc(),
+                   "read of the accumulated range escapes the "
+                   "read-modify-write at " +
+                       L->loc().str(),
+                   accumOpName(PathOp), false);
+        Escaped = true;
+        break;
+      }
+    if (Escaped)
+      continue;
+
+    AccumWindow W;
+    W.RootPath = Path;
+    W.Op = PathOp;
+    W.ElemBytes = ElemBytes;
+    W.Loc = WindowLoc;
+    Info.Windows.push_back(std::move(W));
+  }
+  return Info;
+}
+
+//===----------------------------------------------------------------------===//
+// Identity fill and shadow fold (the scheduler's merge-task kernels).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename T> void fillPattern(void *Dst, size_t Bytes, T V) {
+  auto *P = static_cast<char *>(Dst);
+  size_t N = Bytes / sizeof(T);
+  for (size_t I = 0; I < N; ++I)
+    std::memcpy(P + I * sizeof(T), &V, sizeof(T));
+}
+
+template <typename T>
+void foldInt(void *Master, const void *Shadow, size_t Bytes, AccumOp Op) {
+  size_t N = Bytes / sizeof(T);
+  auto *MP = static_cast<char *>(Master);
+  auto *SP = static_cast<const char *>(Shadow);
+  for (size_t I = 0; I < N; ++I) {
+    T M, S;
+    std::memcpy(&M, MP + I * sizeof(T), sizeof(T));
+    std::memcpy(&S, SP + I * sizeof(T), sizeof(T));
+    // Two's-complement wraparound addition, matching the device: go
+    // through the unsigned type so partial sums that overflow (and cancel
+    // across shadows) are defined behavior, not a UBSan finding.
+    using U = typename std::make_unsigned<T>::type;
+    switch (Op) {
+    case AccumOp::Add:
+      M = T(U(U(M) + U(S)));
+      break;
+    case AccumOp::Min:
+      M = S < M ? S : M;
+      break;
+    case AccumOp::Max:
+      M = S > M ? S : M;
+      break;
+    case AccumOp::Or:
+      M = T(M | S);
+      break;
+    case AccumOp::And:
+      M = T(M & S);
+      break;
+    default:
+      break;
+    }
+    std::memcpy(MP + I * sizeof(T), &M, sizeof(T));
+  }
+}
+
+template <typename T> T signedMinV();
+template <> int8_t signedMinV<int8_t>() { return INT8_MIN; }
+template <> int16_t signedMinV<int16_t>() { return INT16_MIN; }
+template <> int32_t signedMinV<int32_t>() { return INT32_MIN; }
+template <> int64_t signedMinV<int64_t>() { return INT64_MIN; }
+template <typename T> T signedMaxV();
+template <> int8_t signedMaxV<int8_t>() { return INT8_MAX; }
+template <> int16_t signedMaxV<int16_t>() { return INT16_MAX; }
+template <> int32_t signedMaxV<int32_t>() { return INT32_MAX; }
+template <> int64_t signedMaxV<int64_t>() { return INT64_MAX; }
+
+template <typename T>
+void fillMinMax(void *Dst, size_t Bytes, AccumOp Op) {
+  fillPattern<T>(Dst, Bytes, Op == AccumOp::Min ? signedMaxV<T>()
+                                                : signedMinV<T>());
+}
+
+} // namespace
+
+void concord::analysis::fillAccumIdentity(void *Dst, size_t Bytes,
+                                          AccumOp Op, unsigned ElemBytes) {
+  switch (Op) {
+  case AccumOp::Add:
+  case AccumOp::Or:
+  case AccumOp::FAdd:
+    std::memset(Dst, 0, Bytes); // +0.0f is also all-zero bits.
+    return;
+  case AccumOp::And:
+    std::memset(Dst, 0xFF, Bytes);
+    return;
+  case AccumOp::Min:
+  case AccumOp::Max:
+    switch (ElemBytes) {
+    case 1:
+      fillMinMax<int8_t>(Dst, Bytes, Op);
+      return;
+    case 2:
+      fillMinMax<int16_t>(Dst, Bytes, Op);
+      return;
+    case 8:
+      fillMinMax<int64_t>(Dst, Bytes, Op);
+      return;
+    default:
+      fillMinMax<int32_t>(Dst, Bytes, Op);
+      return;
+    }
+  case AccumOp::FMin:
+    fillPattern<float>(Dst, Bytes, __builtin_inff());
+    return;
+  case AccumOp::FMax:
+    fillPattern<float>(Dst, Bytes, -__builtin_inff());
+    return;
+  }
+}
+
+void concord::analysis::foldAccumShadow(void *Master, const void *Shadow,
+                                        size_t Bytes, AccumOp Op,
+                                        unsigned ElemBytes) {
+  if (accumOpIsFloat(Op)) {
+    size_t N = Bytes / sizeof(float);
+    auto *M = static_cast<float *>(Master);
+    auto *S = static_cast<const float *>(Shadow);
+    for (size_t I = 0; I < N; ++I) {
+      switch (Op) {
+      case AccumOp::FAdd:
+        M[I] += S[I];
+        break;
+      case AccumOp::FMin:
+        M[I] = S[I] < M[I] ? S[I] : M[I];
+        break;
+      case AccumOp::FMax:
+        M[I] = S[I] > M[I] ? S[I] : M[I];
+        break;
+      default:
+        break;
+      }
+    }
+    return;
+  }
+  switch (ElemBytes) {
+  case 1:
+    foldInt<int8_t>(Master, Shadow, Bytes, Op);
+    return;
+  case 2:
+    foldInt<int16_t>(Master, Shadow, Bytes, Op);
+    return;
+  case 8:
+    foldInt<int64_t>(Master, Shadow, Bytes, Op);
+    return;
+  default:
+    foldInt<int32_t>(Master, Shadow, Bytes, Op);
+    return;
+  }
+}

@@ -1,0 +1,129 @@
+//===- Commutativity.h - Static reduction-recognition analysis -*- C++ -*-===//
+///
+/// \file
+/// Proves, per kernel root, that the kernel's writes are *accumulate-only*:
+/// every store to the root's range is a read-modify-write of the same
+/// address combining the old value with an associative, commutative
+/// operator, and no other read of that range escapes the RMW. Roots with
+/// that proof form *accumulate windows* — the scheduler may run two such
+/// kernels concurrently against private shadow copies of the root and fold
+/// the shadows back with the same operator in any order, bit-identically to
+/// the serial schedule (for the integer operators; floating-point reduction
+/// is gated behind an explicit relaxed-FP pipeline option because FP
+/// addition is not associative).
+///
+/// The accepted operator set is the classic reduction family:
+///
+///   integer  +  (Sub with the old value as minuend folds into +)
+///   integer  min / max        (the IMin/IMax intrinsics)
+///   bitwise  |  and  &
+///   float    + / fmin / fmax  (only with AllowRelaxedFP)
+///
+/// Layered on analysis/Footprint: the same body-rooted address resolution
+/// identifies which root a store hits, and the footprint's allocation
+/// extents bound the window at launch time. Consumers:
+///
+///  - sched::AccessSet::inferFor auto-classifies proven windows as
+///    Access::Accumulate ranges (FootprintPolicy::Infer);
+///  - AccessSet::coverageGaps rejects a *declared* Accumulate range the
+///    prover cannot confirm, naming the offending store and its op
+///    (FootprintPolicy::Verify);
+///  - the scheduler resolves declared accumulate ranges to shadow plans
+///    (root field offset + master extent) via the proven windows;
+///  - the reduction lint (transforms::runStaticChecks) warns about RMW
+///    sequences that look reductive but use a non-associative operator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_COMMUTATIVITY_H
+#define CONCORD_ANALYSIS_COMMUTATIVITY_H
+
+#include "support/SourceLoc.h"
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace cir {
+class Function;
+}
+
+namespace analysis {
+
+/// The associative, commutative reduction operators the prover accepts.
+enum class AccumOp : uint8_t { Add, Min, Max, Or, And, FAdd, FMin, FMax };
+
+const char *accumOpName(AccumOp Op);
+bool accumOpIsFloat(AccumOp Op);
+
+/// One proven accumulate-only root: every store the kernel performs through
+/// this root path is `*p = *p (Op) term` with the term independent of the
+/// accumulated range, and every load of the range feeds exactly one such
+/// RMW. ElemBytes is the uniform element width of the reduction cells.
+struct AccumWindow {
+  std::vector<int64_t> RootPath; ///< Footprint root path (pointer hops).
+  AccumOp Op = AccumOp::Add;
+  unsigned ElemBytes = 4;
+  SourceLoc Loc; ///< A representative accumulate store.
+
+  /// "accumulate(add) body[+8]-> elem 4".
+  std::string describe() const;
+};
+
+/// Why a written root failed the accumulate proof.
+struct AccumRejection {
+  std::vector<int64_t> RootPath;
+  /// True when the store *is* a read-modify-write of the root but the
+  /// combining operator is outside the associative-commutative set (the
+  /// reduction lint reports exactly these).
+  bool LooksReductive = false;
+  std::string Op;      ///< Name of the offending operator ("mul", "sdiv"...).
+  SourceLoc Loc;       ///< The offending store (or escaping load).
+  std::string Message; ///< Formatted: names the offending instruction + op.
+};
+
+/// Result of the commutativity analysis of one kernel.
+struct CommutativityInfo {
+  /// False when the kernel defeats address resolution entirely (residual
+  /// call, virtual call, or barrier — same bail-outs as the footprint).
+  bool Analyzed = false;
+  std::vector<AccumWindow> Windows;
+  std::vector<AccumRejection> Rejections;
+
+  const AccumWindow *windowFor(const std::vector<int64_t> &Path) const {
+    for (const AccumWindow &W : Windows)
+      if (W.RootPath == Path)
+        return &W;
+    return nullptr;
+  }
+};
+
+/// Runs the accumulate-only proof over every written root of kernel \p F.
+/// Expects post-pipeline IR (devirtualized, inlined, SVM-lowered), like
+/// computeFootprint. Float reductions (FAdd/FMin/FMax) are only admitted
+/// when \p AllowRelaxedFP is set; otherwise they are rejected with a
+/// message pointing at the pipeline option.
+CommutativityInfo computeCommutativity(cir::Function &F,
+                                       bool AllowRelaxedFP = false);
+
+/// Fills \p Bytes bytes at \p Dst with the identity element of \p Op at
+/// element width \p ElemBytes (0 for +/|, all-ones for &, signed
+/// max/min for min/max, +0.0 / +inf / -inf for the float ops). Shadow
+/// ranges start from this so an unmerged cell folds as a no-op.
+void fillAccumIdentity(void *Dst, size_t Bytes, AccumOp Op,
+                       unsigned ElemBytes);
+
+/// Elementwise `Master[j] = Master[j] (Op) Shadow[j]` over \p Bytes bytes.
+/// The scheduler's merge tasks use this to fold a finished accumulate
+/// task's shadow range back into the master allocation. For the integer
+/// ops the result is independent of merge order (associative + commutative
+/// on the fixed-width domain), which is the determinism argument for the
+/// concurrent-accumulate protocol.
+void foldAccumShadow(void *Master, const void *Shadow, size_t Bytes,
+                     AccumOp Op, unsigned ElemBytes);
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_COMMUTATIVITY_H

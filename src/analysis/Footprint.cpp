@@ -488,14 +488,17 @@ std::vector<ConcreteAccess> concord::analysis::concretizeFootprint(
     const AllocExtentFn &AllocExtent) {
   std::vector<ConcreteAccess> Out;
   if (!FP.Analyzed) {
-    Out.push_back({WholeRegion, false, false, FP.WhyTop});
-    Out.push_back({WholeRegion, true, false, FP.WhyTop});
+    Out.push_back({WholeRegion, false, false, false, {}, FP.WhyTop});
+    Out.push_back({WholeRegion, true, false, false, {}, FP.WhyTop});
     return Out;
   }
   for (const FootprintEntry &E : FP.Entries) {
     ConcreteAccess CA;
     CA.Write = E.Write;
     CA.What = E.describe();
+    CA.RootKnown = E.RootKnown;
+    if (E.RootKnown)
+      CA.RootPath = E.RootPath;
     if (!E.RootKnown || !BodyPtr) {
       CA.Range = WholeRegion;
       Out.push_back(std::move(CA));

@@ -147,6 +147,11 @@ struct ConcreteAccess {
   /// True when the access is to the body object itself (empty root path):
   /// reads of kernel parameters, which every launch performs implicitly.
   bool FromBody = false;
+  /// Root path of the originating footprint entry, when it resolved to a
+  /// known root (lets consumers match the range against per-root analyses
+  /// such as the commutativity windows). Meaningless when !RootKnown.
+  bool RootKnown = false;
+  std::vector<int64_t> RootPath;
   std::string What; ///< describe() of the originating entry.
 };
 

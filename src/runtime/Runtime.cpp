@@ -2,6 +2,7 @@
 
 #include "runtime/Runtime.h"
 
+#include "analysis/Commutativity.h"
 #include "analysis/Footprint.h"
 #include "codegen/CodeGen.h"
 #include "frontend/Compile.h"
@@ -40,6 +41,7 @@ uint64_t optionsFingerprint(const transforms::PipelineOptions &O) {
   F = F * 131 + O.VerifyEachPass;
   F = F * 131 + O.RunStaticChecks;
   F = F * 131 + O.ReportFootprintHazards;
+  F = F * 131 + O.RelaxedFPReduction;
   return F;
 }
 
@@ -62,6 +64,8 @@ struct Runtime::CachedProgram {
   /// Inferred SVM footprint of the post-pipeline kernel (valid only when
   /// compilation succeeded; entries are immutable once cached).
   analysis::KernelFootprint Footprint;
+  /// Accumulate-only proof over the same post-pipeline IR.
+  analysis::CommutativityInfo Commut;
 };
 
 struct Runtime::Impl {
@@ -102,6 +106,14 @@ struct Runtime::Impl {
   std::atomic<uint64_t> WindowsClipped{0};
   std::atomic<uint64_t> TopDemoted{0};
   std::atomic<uint64_t> OobFindings{0};
+
+  /// Accumulate-protocol counters (compile-time window/rejection counts
+  /// once per cache entry; task/merge/shadow counts fed by the scheduler).
+  std::atomic<uint64_t> AccumWindows{0};
+  std::atomic<uint64_t> AccumRejections{0};
+  std::atomic<uint64_t> AccumTasks{0};
+  std::atomic<uint64_t> MergeTasks{0};
+  std::atomic<uint64_t> ShadowBytes{0};
 
   /// Profile-guided GPU fraction for a kernel; InitialGpuFraction until
   /// the first hybrid launch has recorded throughput history.
@@ -272,6 +284,10 @@ compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
     CP->Footprint = analysis::computeFootprint(*KF);
     Impl.WindowsClipped += CP->Footprint.WindowsClipped;
     Impl.TopDemoted += CP->Footprint.TopDemoted;
+    CP->Commut =
+        analysis::computeCommutativity(*KF, Opts.RelaxedFPReduction);
+    Impl.AccumWindows += CP->Commut.Windows.size();
+    Impl.AccumRejections += CP->Commut.Rejections.size();
   }
   CP->Program = std::move(CG.Program);
   CP->Diagnostics = Diags.str();
@@ -493,12 +509,44 @@ Runtime::lintLaunchBounds(const KernelSpec &Spec, const void *BodyPtr,
   return Findings;
 }
 
+const analysis::CommutativityInfo *
+Runtime::kernelCommutativity(const KernelSpec &Spec) {
+  CachedProgram *CP = compileCached(
+      *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
+      nullptr);
+  if (CP->Failed || CP->Unsupported)
+    return nullptr;
+  return &CP->Commut;
+}
+
 RefinementStats Runtime::refinementStats() const {
   RefinementStats S;
   S.WindowsClipped = P->WindowsClipped.load();
   S.TopDemoted = P->TopDemoted.load();
   S.OobFindings = P->OobFindings.load();
+  S.AccumWindows = P->AccumWindows.load();
+  S.AccumRejections = P->AccumRejections.load();
+  S.AccumTasks = P->AccumTasks.load();
+  S.MergeTasks = P->MergeTasks.load();
+  S.ShadowBytes = P->ShadowBytes.load();
   return S;
+}
+
+void Runtime::noteAccumTask() { ++P->AccumTasks; }
+void Runtime::noteMergeTask() { ++P->MergeTasks; }
+void Runtime::noteShadowBytes(uint64_t Bytes) { P->ShadowBytes += Bytes; }
+
+void *Runtime::sharedAlloc(size_t Bytes, size_t Align) {
+  // SharedRegion's free-list is not thread-safe; the JIT cache's
+  // exclusive lock already guards its compile-time region allocations
+  // (vtables), so shadow allocation piggybacks on the same mutex.
+  std::unique_lock<std::shared_mutex> Lock(P->CacheMutex);
+  return Region.allocate(Bytes, Align);
+}
+
+void Runtime::sharedFree(void *Ptr) {
+  std::unique_lock<std::shared_mutex> Lock(P->CacheMutex);
+  Region.deallocate(Ptr);
 }
 
 bool Runtime::kernelScheduleFree(const KernelSpec &Spec) {

@@ -40,6 +40,7 @@
 namespace concord {
 namespace analysis {
 struct KernelFootprint;
+struct CommutativityInfo;
 }
 namespace runtime {
 
@@ -109,6 +110,11 @@ struct RefinementStats {
   uint64_t WindowsClipped = 0; ///< Windows narrowed by a guard clamp.
   uint64_t TopDemoted = 0;     ///< Data-dependent entries kept root-bounded.
   uint64_t OobFindings = 0;    ///< lintLaunchBounds findings reported.
+  uint64_t AccumWindows = 0;   ///< Proven accumulate windows (per kernel).
+  uint64_t AccumRejections = 0; ///< Commutativity prover rejections.
+  uint64_t AccumTasks = 0;     ///< Accumulate tasks admitted concurrently.
+  uint64_t MergeTasks = 0;     ///< Shadow-fold merge tasks injected.
+  uint64_t ShadowBytes = 0;    ///< Total shadow-range bytes allocated.
 };
 
 class Runtime {
@@ -169,8 +175,27 @@ public:
   lintLaunchBounds(const KernelSpec &Spec, const void *BodyPtr,
                    int64_t Base, int64_t Count);
 
+  /// The commutativity analysis of the compiled GPU kernel (computed once
+  /// at compile time alongside the footprint). Null under the same
+  /// conditions as kernelFootprint; same lifetime guarantee.
+  const analysis::CommutativityInfo *
+  kernelCommutativity(const KernelSpec &Spec);
+
   /// Aggregate footprint-refinement counters (see RefinementStats).
   RefinementStats refinementStats() const;
+
+  /// Accumulate-protocol counters, fed by the scheduler (see
+  /// RefinementStats::AccumTasks/MergeTasks/ShadowBytes).
+  void noteAccumTask();
+  void noteMergeTask();
+  void noteShadowBytes(uint64_t Bytes);
+
+  /// Thread-safe allocation in the shared region (the SharedRegion
+  /// allocator itself is not thread-safe; these serialize against the JIT
+  /// cache's region writes). The scheduler's shadow ranges use this from
+  /// worker threads.
+  void *sharedAlloc(size_t Bytes, size_t Align = 16);
+  void sharedFree(void *Ptr);
 
   /// parallel_for_hetero backend. \p BodyPtr must point into the shared
   /// region. When \p OnCpu, the CPU machine model executes the kernel.

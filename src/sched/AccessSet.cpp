@@ -11,6 +11,18 @@
 using namespace concord;
 using namespace concord::sched;
 
+const char *concord::sched::accessName(Access M) {
+  switch (M) {
+  case Access::Read:
+    return "read";
+  case Access::Write:
+    return "write";
+  case Access::Accumulate:
+    return "accumulate";
+  }
+  return "?";
+}
+
 static std::vector<analysis::ConcreteAccess>
 inferredAccesses(runtime::Runtime &RT, const runtime::KernelSpec &Spec,
                  const void *BodyPtr, int64_t N,
@@ -27,13 +39,33 @@ inferredAccesses(runtime::Runtime &RT, const runtime::KernelSpec &Spec,
       [&Region](const void *P) { return Region.allocationExtent(P); });
 }
 
+/// The proven accumulate window behind a concrete access, if any: the
+/// access must come from a known root whose path the commutativity
+/// analysis proved accumulate-only.
+static const analysis::AccumWindow *
+windowBehind(const analysis::ConcreteAccess &CA,
+             const analysis::CommutativityInfo *Commut) {
+  if (!Commut || !Commut->Analyzed || !CA.RootKnown)
+    return nullptr;
+  return Commut->windowFor(CA.RootPath);
+}
+
 AccessSet AccessSet::inferFor(runtime::Runtime &RT,
                               const runtime::KernelSpec &Spec,
                               const void *BodyPtr, int64_t N) {
   AccessSet S;
+  const analysis::CommutativityInfo *Commut = RT.kernelCommutativity(Spec);
   for (const analysis::ConcreteAccess &CA :
        inferredAccesses(RT, Spec, BodyPtr, N)) {
     const void *P = reinterpret_cast<const void *>(CA.Range.Begin);
+    if (const analysis::AccumWindow *W = windowBehind(CA, Commut)) {
+      // Writes on a proven accumulate-only root become Accumulate ranges;
+      // the matching reads are the RMW loads the proof already accounts
+      // for (accumulate implies read+write against plain accesses).
+      if (CA.Write)
+        S.accumulate(P, CA.Range.size(), W->Op, W->ElemBytes);
+      continue;
+    }
     if (CA.Write)
       S.write(P, CA.Range.size());
     else
@@ -63,28 +95,71 @@ static void mergeRanges(std::vector<svm::MemRange> &Rs) {
 AccessSet AccessSet::minimalCoverFor(runtime::Runtime &RT,
                                      const runtime::KernelSpec &Spec,
                                      const void *BodyPtr, int64_t N) {
+  const analysis::CommutativityInfo *Commut = RT.kernelCommutativity(Spec);
   std::vector<svm::MemRange> Reads, Writes;
+  struct AccumCover {
+    analysis::AccumOp Op;
+    unsigned ElemBytes;
+    std::vector<svm::MemRange> Ranges;
+  };
+  std::vector<AccumCover> Accums;
   for (const analysis::ConcreteAccess &CA :
-       inferredAccesses(RT, Spec, BodyPtr, N))
-    if (!CA.FromBody)
-      (CA.Write ? Writes : Reads).push_back(CA.Range);
+       inferredAccesses(RT, Spec, BodyPtr, N)) {
+    if (CA.FromBody)
+      continue;
+    if (const analysis::AccumWindow *W = windowBehind(CA, Commut)) {
+      if (!CA.Write)
+        continue; // The RMW loads ride along with the accumulate range.
+      auto It = std::find_if(Accums.begin(), Accums.end(),
+                             [&](const AccumCover &C) {
+                               return C.Op == W->Op &&
+                                      C.ElemBytes == W->ElemBytes;
+                             });
+      if (It == Accums.end()) {
+        Accums.push_back({W->Op, W->ElemBytes, {CA.Range}});
+      } else {
+        It->Ranges.push_back(CA.Range);
+      }
+      continue;
+    }
+    (CA.Write ? Writes : Reads).push_back(CA.Range);
+  }
   mergeRanges(Writes);
   mergeRanges(Reads);
   AccessSet S;
   for (const svm::MemRange &W : Writes)
     S.write(reinterpret_cast<const void *>(W.Begin), W.size());
+  for (AccumCover &C : Accums) {
+    mergeRanges(C.Ranges);
+    for (const svm::MemRange &R : C.Ranges)
+      S.accumulate(reinterpret_cast<const void *>(R.Begin), R.size(), C.Op,
+                   C.ElemBytes);
+  }
   for (const svm::MemRange &R : Reads) {
-    // A declared write already covers reads of the same bytes.
-    bool InWrite = false;
+    // A declared write (or accumulate) already covers reads of the bytes.
+    bool Covered = false;
     for (const svm::MemRange &W : Writes)
       if (W.contains(R)) {
-        InWrite = true;
+        Covered = true;
         break;
       }
-    if (!InWrite)
+    for (const AccumCover &C : Accums)
+      for (const svm::MemRange &A : C.Ranges)
+        if (A.contains(R)) {
+          Covered = true;
+          break;
+        }
+    if (!Covered)
       S.read(reinterpret_cast<const void *>(R.Begin), R.size());
   }
   return S;
+}
+
+static std::string rangeStr(svm::MemRange R) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "[0x%llx, 0x%llx)",
+                (unsigned long long)R.Begin, (unsigned long long)R.End);
+  return Buf;
 }
 
 std::string AccessSet::describe() const {
@@ -93,16 +168,19 @@ std::string AccessSet::describe() const {
     S += ": ";
     if (Rs.empty())
       return S + "none";
-    for (size_t I = 0; I < Rs.size(); ++I) {
-      char Buf[64];
-      std::snprintf(Buf, sizeof(Buf), "[0x%llx, 0x%llx)",
-                    (unsigned long long)Rs[I].Begin,
-                    (unsigned long long)Rs[I].End);
-      S += (I ? ", " : "") + std::string(Buf);
-    }
+    for (size_t I = 0; I < Rs.size(); ++I)
+      S += (I ? ", " : "") + rangeStr(Rs[I]);
     return S;
   };
-  return Dir("reads", Reads) + "; " + Dir("writes", Writes);
+  std::string S = Dir("reads", Reads) + "; " + Dir("writes", Writes);
+  if (!Accums.empty()) {
+    S += "; accumulates: ";
+    for (size_t I = 0; I < Accums.size(); ++I)
+      S += (I ? ", " : "") +
+           std::string(analysis::accumOpName(Accums[I].Op)) + " " +
+           rangeStr(Accums[I].Range);
+  }
+  return S;
 }
 
 /// Whether \p R is fully covered by the union of \p Declared; when not,
@@ -139,25 +217,87 @@ AccessSet::coverageGaps(const AccessSet &Declared, runtime::Runtime &RT,
   std::vector<CoverageGap> Gaps;
   const analysis::KernelFootprint *FP = nullptr;
   auto Accesses = inferredAccesses(RT, Spec, BodyPtr, N, &FP);
-  // Nothing statically checkable: an unanalyzable kernel concretizes to
-  // the whole region, and rejecting every declaration for it would make
-  // verify mode unusable. The declaration stays trusted, as before.
+  const analysis::CommutativityInfo *Commut = RT.kernelCommutativity(Spec);
+
+  // An accumulate declaration is never trusted: honoring it changes how
+  // the task executes (shadow ranges + merge), not just its ordering, so
+  // each declared range must be backed by a proven window of the kernel —
+  // op and element width included. Unconfirmed ranges are rejected with
+  // the prover's reason (the offending store and its operator).
+  std::vector<svm::MemRange> ConfirmedAccums;
+  for (const AccumRange &A : Declared.accums()) {
+    const analysis::AccumWindow *Confirmed = nullptr;
+    const analysis::AccumWindow *NearMiss = nullptr;
+    for (const analysis::ConcreteAccess &CA : Accesses) {
+      const analysis::AccumWindow *W = windowBehind(CA, Commut);
+      if (!W || !CA.Write || !CA.Range.overlaps(A.Range))
+        continue;
+      if (W->Op == A.Op && W->ElemBytes == A.ElemBytes) {
+        Confirmed = W;
+        break;
+      }
+      NearMiss = W;
+    }
+    if (Confirmed) {
+      ConfirmedAccums.push_back(A.Range);
+      continue;
+    }
+    std::string Why;
+    if (NearMiss) {
+      Why = "kernel's proven window is " + NearMiss->describe() +
+            ", declaration says " +
+            std::string(analysis::accumOpName(A.Op)) + " elem " +
+            std::to_string(A.ElemBytes);
+    } else if (!Commut || !Commut->Analyzed) {
+      Why = "kernel is not analyzable (no accumulate proof possible)";
+    } else {
+      // Surface the prover's reason for the root(s) written in the range.
+      for (const analysis::ConcreteAccess &CA : Accesses) {
+        if (!CA.Write || !CA.Range.overlaps(A.Range) || !CA.RootKnown)
+          continue;
+        for (const analysis::AccumRejection &R : Commut->Rejections)
+          if (R.RootPath == CA.RootPath) {
+            Why = R.Message;
+            break;
+          }
+        if (!Why.empty())
+          break;
+      }
+      if (Why.empty())
+        Why = "kernel has no accumulate-only write in the declared range";
+    }
+    Gaps.push_back(
+        {A.Range, Access::Accumulate, "declared accumulate not proven: " + Why});
+  }
+
+  // Nothing statically checkable beyond the accumulate confirmation: an
+  // unanalyzable kernel concretizes to the whole region, and rejecting
+  // every declaration for it would make verify mode unusable. The plain
+  // read/write declaration stays trusted, as before.
   if (!FP || !FP->Analyzed)
     return Gaps;
 
   // A declared write also serializes the task against readers and writers
-  // of the range, so it covers inferred reads as well.
+  // of the range, so it covers inferred reads as well. Confirmed
+  // accumulate ranges serialize at least as strongly against plain
+  // accesses and carry the proof for the RMW itself, so they cover both
+  // directions too.
+  std::vector<svm::MemRange> WriteCover = Declared.writes();
+  WriteCover.insert(WriteCover.end(), ConfirmedAccums.begin(),
+                    ConfirmedAccums.end());
   std::vector<svm::MemRange> ReadCover = Declared.reads();
-  ReadCover.insert(ReadCover.end(), Declared.writes().begin(),
-                   Declared.writes().end());
+  ReadCover.insert(ReadCover.end(), WriteCover.begin(), WriteCover.end());
 
   for (const analysis::ConcreteAccess &CA : Accesses) {
     if (CA.FromBody)
       continue; // Reading kernel parameters is implicit in every launch.
     svm::MemRange Missing;
-    if (!coveredBy(CA.Range, CA.Write ? Declared.writes() : ReadCover,
-                   &Missing))
-      Gaps.push_back({Missing, CA.Write, CA.What});
+    if (!coveredBy(CA.Range, CA.Write ? WriteCover : ReadCover, &Missing)) {
+      Access Mode = CA.Write ? Access::Write : Access::Read;
+      if (CA.Write && windowBehind(CA, Commut))
+        Mode = Access::Accumulate;
+      Gaps.push_back({Missing, Mode, CA.What});
+    }
   }
   return Gaps;
 }

@@ -29,6 +29,7 @@
 #ifndef CONCORD_SCHED_ACCESSSET_H
 #define CONCORD_SCHED_ACCESSSET_H
 
+#include "analysis/Commutativity.h"
 #include "svm/SharedRegion.h"
 
 #include <cstdint>
@@ -42,11 +43,29 @@ struct KernelSpec;
 } // namespace runtime
 namespace sched {
 
+/// How a task touches a declared range. Accumulate is a verified
+/// read-modify-write with one associative, commutative operator: against
+/// plain reads and writes it serializes like a read+write, but two
+/// Accumulate ranges with the same operator commute — no hazard edge, the
+/// scheduler runs them concurrently against shadow ranges and folds the
+/// shadows back in a deterministic merge task.
+enum class Access : uint8_t { Read, Write, Accumulate };
+
+const char *accessName(Access M);
+
+/// One declared accumulate range: the byte range, the reduction operator,
+/// and the element width the operator applies at.
+struct AccumRange {
+  svm::MemRange Range;
+  analysis::AccumOp Op = analysis::AccumOp::Add;
+  unsigned ElemBytes = 4;
+};
+
 /// One byte range the inferred footprint needs but the declared set does
 /// not cover (see AccessSet::coverageGaps).
 struct CoverageGap {
   svm::MemRange Missing; ///< First uncovered sub-range.
-  bool Write = false;    ///< Direction of the uncovered access.
+  Access Mode = Access::Read; ///< Mode of the uncovered access.
   std::string What;      ///< Symbolic description of the inferred access.
 };
 
@@ -67,23 +86,61 @@ public:
     return read(Ptr, Bytes).write(Ptr, Bytes);
   }
 
+  /// Declares an accumulate-only range: every access the task performs in
+  /// it is `*p = *p (Op) term`. Unverified declarations are only honored
+  /// when the commutativity prover confirms them (Verify rejects, Trust
+  /// demotes to read+write).
+  AccessSet &accumulate(const void *Ptr, size_t Bytes,
+                        analysis::AccumOp Op = analysis::AccumOp::Add,
+                        unsigned ElemBytes = 4) {
+    svm::MemRange R = svm::MemRange::ofBytes(Ptr, Bytes);
+    if (!R.empty())
+      Accums.push_back({R, Op, ElemBytes});
+    return *this;
+  }
+
   template <typename T> AccessSet &readArray(const T *Ptr, size_t N) {
     return read(Ptr, N * sizeof(T));
   }
   template <typename T> AccessSet &writeArray(T *Ptr, size_t N) {
     return write(Ptr, N * sizeof(T));
   }
+  template <typename T>
+  AccessSet &accumulateArray(T *Ptr, size_t N,
+                             analysis::AccumOp Op = analysis::AccumOp::Add) {
+    return accumulate(Ptr, N * sizeof(T), Op, sizeof(T));
+  }
 
   const std::vector<svm::MemRange> &reads() const { return Reads; }
   const std::vector<svm::MemRange> &writes() const { return Writes; }
-  bool empty() const { return Reads.empty() && Writes.empty(); }
+  const std::vector<AccumRange> &accums() const { return Accums; }
+  bool empty() const {
+    return Reads.empty() && Writes.empty() && Accums.empty();
+  }
 
   /// True when this set (submitted later) must be ordered after \p Earlier:
-  /// any RAW, WAR, or WAW overlap between the two.
+  /// any RAW, WAR, or WAW overlap between the two. An accumulate range
+  /// behaves like a read+write against plain accesses; two accumulate
+  /// ranges conflict only when they overlap with different operators or
+  /// element widths (same-op accumulates commute).
   bool conflictsWith(const AccessSet &Earlier) const {
-    return anyOverlap(Reads, Earlier.Writes) ||  // RAW
-           anyOverlap(Writes, Earlier.Reads) ||  // WAR
-           anyOverlap(Writes, Earlier.Writes);   // WAW
+    if (anyOverlap(Reads, Earlier.Writes) ||  // RAW
+        anyOverlap(Writes, Earlier.Reads) ||  // WAR
+        anyOverlap(Writes, Earlier.Writes))   // WAW
+      return true;
+    for (const AccumRange &A : Accums)
+      if (overlapsAny(A.Range, Earlier.Reads) ||
+          overlapsAny(A.Range, Earlier.Writes))
+        return true;
+    for (const AccumRange &B : Earlier.Accums)
+      if (overlapsAny(B.Range, Reads) || overlapsAny(B.Range, Writes))
+        return true;
+    for (const AccumRange &A : Accums)
+      for (const AccumRange &B : Earlier.Accums)
+        if (A.Range.overlaps(B.Range) &&
+            (A.Op != B.Op || A.ElemBytes != B.ElemBytes))
+          return true;
+    return false;
   }
 
   /// Derives the access set of launching \p Spec over items [0, N) with
@@ -118,7 +175,9 @@ public:
                                    const void *BodyPtr, int64_t N);
 
   /// "reads: [0x1000, 0x1400); writes: [0x2000, 0x2400), [0x3000, 0x3008)"
-  /// ("reads: none" / "writes: none" for an empty direction).
+  /// ("reads: none" / "writes: none" for an empty direction). When
+  /// accumulate ranges are declared a third segment follows:
+  /// "; accumulates: add [0x4000, 0x4400)".
   std::string describe() const;
 
 private:
@@ -126,6 +185,14 @@ private:
                           svm::MemRange R) {
     if (!R.empty())
       Into.push_back(R);
+  }
+
+  static bool overlapsAny(svm::MemRange R,
+                          const std::vector<svm::MemRange> &Rs) {
+    for (const svm::MemRange &B : Rs)
+      if (R.overlaps(B))
+        return true;
+    return false;
   }
 
   static bool anyOverlap(const std::vector<svm::MemRange> &A,
@@ -138,6 +205,7 @@ private:
   }
 
   std::vector<svm::MemRange> Reads, Writes;
+  std::vector<AccumRange> Accums;
 };
 
 } // namespace sched

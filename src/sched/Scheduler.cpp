@@ -2,17 +2,34 @@
 
 #include "sched/Scheduler.h"
 
+#include "analysis/Commutativity.h"
 #include "analysis/Footprint.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 namespace concord {
 namespace sched {
 
 namespace detail {
+
+/// One resolved accumulate range of a task: which body field to redirect
+/// and the master allocation the shadow stands in for. The shadow spans
+/// the whole master extent (identity cells fold as no-ops), so a partial
+/// declared range is always safe to widen.
+struct ShadowPlan {
+  int64_t FieldOff = 0; ///< Body-field byte offset holding the root pointer.
+  analysis::AccumOp Op = analysis::AccumOp::Add;
+  unsigned ElemBytes = 4;
+  svm::MemRange Master; ///< The root's full allocation extent.
+  /// Shadow allocation, created on the worker right before launch and
+  /// released by the merge task that folds it. Synchronized through the
+  /// scheduler mutex (hazard edges order the merge after this task).
+  void *Shadow = nullptr;
+};
 
 /// One submitted task. Graph fields (PendingDeps, Dependents, the Live
 /// membership) are guarded by the scheduler's mutex; the result/done pair
@@ -21,6 +38,13 @@ struct TaskState {
   TaskDesc Desc;
   AccessSet Access;
   std::chrono::steady_clock::time_point SubmitTime;
+
+  /// Accumulate execution: non-empty for tasks launched against shadow
+  /// ranges. IsMerge marks the injected host-side shadow-fold tasks,
+  /// which run HostWork instead of a kernel launch.
+  std::vector<ShadowPlan> Shadows;
+  bool IsMerge = false;
+  std::function<void()> HostWork;
 
   // Guarded by Scheduler::Mutex.
   unsigned PendingDeps = 0;
@@ -164,8 +188,9 @@ TaskHandle Scheduler::submit(TaskDesc Desc, AccessSet Access) {
           AccessSet::minimalCoverFor(RT, Desc.Spec, Desc.BodyPtr, Desc.N);
       return Reject(
           "access-set verification failed: declared set does not "
-          "cover inferred \"" +
-              Gaps[0].What + "\"; uncovered bytes " + Range +
+          "cover inferred " +
+              std::string(accessName(Gaps[0].Mode)) + " \"" + Gaps[0].What +
+              "\"; uncovered bytes " + Range +
               (Gaps.size() > 1
                    ? " (+" + std::to_string(Gaps.size() - 1) + " more)"
                    : "") +
@@ -174,15 +199,27 @@ TaskHandle Scheduler::submit(TaskDesc Desc, AccessSet Access) {
     }
   }
 
+  // Resolve declared accumulate ranges to shadow plans (proven window +
+  // dereferenced master allocation); unresolved ranges demote to plain
+  // read+write, which only serializes more.
+  resolveShadowPlans(Desc, Access, Task);
+
   Task->Desc = std::move(Desc);
   Task->Access = std::move(Access);
 
   bool IsReady = false;
+  bool InjectedMerge = false;
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     // Backpressure: a producer cannot run ahead of the devices by more
     // than MaxQueued unfinished tasks.
     SpaceCv.wait(Lock, [&] { return Unfinished < Options.MaxQueued; });
+
+    // Close accumulate groups this submission conflicts with: the merge
+    // task folding their shadows enters the graph first, so the hazard
+    // scan below orders this task after the fold. Must happen in the same
+    // lock hold as the scan (a group opened in between would be missed).
+    InjectedMerge = closeAccumGroups(Lock, &Task->Access);
 
     Task->Result.Id = NextTaskId++;
     Task->Result.Label = Task->Desc.Label;
@@ -206,6 +243,11 @@ TaskHandle Scheduler::submit(TaskDesc Desc, AccessSet Access) {
     ++St.Submitted;
     if (Inferred)
       ++St.InferredSets;
+    if (!Task->Shadows.empty()) {
+      OpenAccums.push_back(Task);
+      ++St.AccumTasks;
+      RT.noteAccumTask();
+    }
     St.MaxQueueDepth = std::max(St.MaxQueueDepth, Unfinished);
 
     IsReady = Task->PendingDeps == 0;
@@ -214,11 +256,174 @@ TaskHandle Scheduler::submit(TaskDesc Desc, AccessSet Access) {
   }
   if (IsReady)
     WorkCv.notify_one();
+  if (InjectedMerge)
+    WorkCv.notify_one();
   return TaskHandle(Task);
+}
+
+void Scheduler::resolveShadowPlans(
+    TaskDesc &Desc, AccessSet &Access,
+    const std::shared_ptr<TaskState> &Task) {
+  if (Access.accums().empty())
+    return;
+  const analysis::CommutativityInfo *Commut =
+      RT.kernelCommutativity(Desc.Spec);
+  const analysis::KernelFootprint *FP = RT.kernelFootprint(Desc.Spec);
+  svm::SharedRegion &Region = RT.region();
+
+  // Shadow execution launches the kernel against a copied body object
+  // with the accumulated root redirected. That is only sound when every
+  // write of the kernel goes through a known root pointer: a direct write
+  // into the body object would land in the throwaway copy, and a write
+  // the analysis cannot place could alias the master behind the shadow.
+  bool Eligible =
+      Commut && Commut->Analyzed && FP && FP->Analyzed && Desc.BodyPtr;
+  if (Eligible)
+    for (const analysis::FootprintEntry &E : FP->Entries)
+      if (E.Write && (!E.RootKnown || E.RootPath.empty())) {
+        Eligible = false;
+        break;
+      }
+
+  AccessSet Resolved;
+  for (const svm::MemRange &R : Access.reads())
+    Resolved.read(reinterpret_cast<const void *>(R.Begin), R.size());
+  for (const svm::MemRange &R : Access.writes())
+    Resolved.write(reinterpret_cast<const void *>(R.Begin), R.size());
+
+  uint64_t Demoted = 0;
+  for (const AccumRange &A : Access.accums()) {
+    detail::ShadowPlan Plan;
+    bool Planned = false;
+    if (Eligible) {
+      for (const analysis::AccumWindow &W : Commut->Windows) {
+        // Depth-1 roots only: the body field at RootPath[0] holds the
+        // master pointer the launch redirects. Deeper pointer chains stay
+        // on the serial path.
+        if (W.Op != A.Op || W.ElemBytes != A.ElemBytes ||
+            W.RootPath.size() != 1)
+          continue;
+        uint64_t FieldP = 0;
+        std::memcpy(&FieldP,
+                    static_cast<const char *>(Desc.BodyPtr) + W.RootPath[0],
+                    sizeof(FieldP));
+        if (!Region.contains(reinterpret_cast<const void *>(FieldP)))
+          continue;
+        svm::MemRange Master = Region.allocationExtent(
+            reinterpret_cast<const void *>(FieldP));
+        if (!Master.contains(A.Range))
+          continue;
+        // The shadow stands in for the whole master extent; any other
+        // declared access of this task aliasing it would bypass the
+        // redirect.
+        bool Aliased = false;
+        for (const svm::MemRange &R : Access.reads())
+          if (R.overlaps(Master))
+            Aliased = true;
+        for (const svm::MemRange &R : Access.writes())
+          if (R.overlaps(Master))
+            Aliased = true;
+        if (Aliased)
+          continue;
+        Plan.FieldOff = W.RootPath[0];
+        Plan.Op = W.Op;
+        Plan.ElemBytes = W.ElemBytes;
+        Plan.Master = Master;
+        Planned = true;
+        break;
+      }
+    }
+    if (!Planned) {
+      Resolved.read(reinterpret_cast<const void *>(A.Range.Begin),
+                    A.Range.size());
+      Resolved.write(reinterpret_cast<const void *>(A.Range.Begin),
+                     A.Range.size());
+      ++Demoted;
+      continue;
+    }
+    bool Duplicate = false;
+    for (const detail::ShadowPlan &P : Task->Shadows)
+      if (P.FieldOff == Plan.FieldOff)
+        Duplicate = true; // Same window declared twice; one shadow covers.
+    if (!Duplicate)
+      Task->Shadows.push_back(Plan);
+    Resolved.accumulate(reinterpret_cast<const void *>(A.Range.Begin),
+                        A.Range.size(), A.Op, A.ElemBytes);
+  }
+  Access = std::move(Resolved);
+  if (Demoted) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    St.AccumDemoted += Demoted;
+  }
+}
+
+bool Scheduler::closeAccumGroups(std::unique_lock<std::mutex> &Lock,
+                                 const AccessSet *Incoming) {
+  (void)Lock; // Held by the caller; merge injection must be atomic with
+              // the incoming task's hazard scan.
+  std::vector<std::shared_ptr<TaskState>> Affected;
+  for (auto It = OpenAccums.begin(); It != OpenAccums.end();) {
+    if (!Incoming || Incoming->conflictsWith((*It)->Access)) {
+      Affected.push_back(*It);
+      It = OpenAccums.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  if (Affected.empty())
+    return false;
+
+  auto Merge = std::make_shared<TaskState>();
+  Merge->IsMerge = true;
+  Merge->Desc.Label = "accum-merge";
+  for (const std::shared_ptr<TaskState> &Member : Affected)
+    for (const detail::ShadowPlan &P : Member->Shadows)
+      Merge->Access.readWrite(reinterpret_cast<const void *>(P.Master.Begin),
+                              P.Master.size());
+  runtime::Runtime *R = &RT;
+  Merge->HostWork = [Affected, R] {
+    // Fold order across members is irrelevant: the operators are
+    // associative and commutative on their fixed-width domains, so any
+    // interleaving produces the bit-identical serial result.
+    for (const std::shared_ptr<TaskState> &Member : Affected)
+      for (detail::ShadowPlan &P : Member->Shadows) {
+        if (!P.Shadow)
+          continue; // Task failed before its shadow existed.
+        analysis::foldAccumShadow(
+            reinterpret_cast<void *>(P.Master.Begin), P.Shadow,
+            P.Master.size(), P.Op, P.ElemBytes);
+        R->sharedFree(P.Shadow);
+        P.Shadow = nullptr;
+      }
+  };
+  Merge->Result.Id = NextTaskId++;
+  Merge->Result.Label = Merge->Desc.Label;
+  Merge->SubmitTime = std::chrono::steady_clock::now();
+  for (const std::shared_ptr<TaskState> &Earlier : Live) {
+    if (Earlier->GraphDone)
+      continue;
+    if (Merge->Access.conflictsWith(Earlier->Access)) {
+      Earlier->Dependents.push_back(Merge);
+      ++Merge->PendingDeps;
+      ++St.HazardEdges;
+    }
+  }
+  Live.push_back(Merge);
+  ++Unfinished; // Merges bypass backpressure: injected under the lock.
+  ++St.Submitted;
+  ++St.MergeTasks;
+  RT.noteMergeTask();
+  if (Merge->PendingDeps == 0)
+    Ready.push_back(Merge);
+  return true;
 }
 
 void Scheduler::drain() {
   std::unique_lock<std::mutex> Lock(Mutex);
+  // Fold every open accumulate group first: results must be visible in
+  // the master ranges once drain() returns.
+  if (closeAccumGroups(Lock, nullptr))
+    WorkCv.notify_all();
   SpaceCv.wait(Lock, [&] { return Unfinished == 0; });
 }
 
@@ -252,18 +457,91 @@ void Scheduler::execute(const std::shared_ptr<TaskState> &Task) {
   if (Options.OnTaskStart)
     Options.OnTaskStart(R.Id);
 
-  const TaskDesc &D = Task->Desc;
   auto ExecStart = std::chrono::steady_clock::now();
+  if (Task->IsMerge) {
+    // Host-side shadow fold; no kernel launch, no device report.
+    Task->HostWork();
+    R.Ok = true;
+  } else {
+    launchTask(Task);
+  }
+
+  R.Timing.CompileSeconds = R.Report.CompileSeconds;
+  R.Timing.ExecuteSeconds = std::max(
+      0.0, secondsSince(ExecStart) - R.Report.CompileSeconds);
+  R.EndSeq = ++SeqCounter;
+  if (Options.OnTaskFinish)
+    Options.OnTaskFinish(R.Id);
+}
+
+void Scheduler::launchTask(const std::shared_ptr<TaskState> &Task) {
+  TaskResult &R = Task->Result;
+  const TaskDesc &D = Task->Desc;
+
+  // Accumulate execution: launch against a copy of the body object with
+  // each accumulated root redirected to a fresh identity-filled shadow.
+  // Concurrent same-op tasks then write disjoint shadows; the injected
+  // merge task folds them back into the master.
+  void *LaunchBody = D.BodyPtr;
+  void *BodyCopy = nullptr;
+  if (!Task->Shadows.empty()) {
+    svm::MemRange BodyExt = RT.region().allocationExtent(D.BodyPtr);
+    BodyCopy = RT.sharedAlloc(BodyExt.size());
+    bool SetupOk = BodyCopy != nullptr;
+    if (SetupOk) {
+      std::memcpy(BodyCopy, D.BodyPtr, BodyExt.size());
+      for (detail::ShadowPlan &P : Task->Shadows) {
+        P.Shadow = RT.sharedAlloc(P.Master.size());
+        if (!P.Shadow) {
+          SetupOk = false;
+          break;
+        }
+        analysis::fillAccumIdentity(P.Shadow, P.Master.size(), P.Op,
+                                    P.ElemBytes);
+        RT.noteShadowBytes(P.Master.size());
+        {
+          std::lock_guard<std::mutex> Lock(Mutex);
+          St.ShadowBytes += P.Master.size();
+        }
+        // Redirect the body field, preserving any interior offset of the
+        // stored pointer within its allocation.
+        uint64_t FieldP = 0;
+        std::memcpy(&FieldP, static_cast<char *>(BodyCopy) + P.FieldOff,
+                    sizeof(FieldP));
+        uint64_t Redirect = reinterpret_cast<uint64_t>(P.Shadow) +
+                            (FieldP - P.Master.Begin);
+        std::memcpy(static_cast<char *>(BodyCopy) + P.FieldOff, &Redirect,
+                    sizeof(Redirect));
+      }
+    }
+    if (!SetupOk) {
+      for (detail::ShadowPlan &P : Task->Shadows)
+        if (P.Shadow) {
+          RT.sharedFree(P.Shadow);
+          P.Shadow = nullptr;
+        }
+      if (BodyCopy)
+        RT.sharedFree(BodyCopy);
+      R.Ok = false;
+      R.Error = "accumulate shadow allocation failed (region exhausted)";
+      return;
+    }
+    LaunchBody = BodyCopy;
+  }
+
   const bool OnCpu = D.Preferred == runtime::Device::CPU;
   if (OnCpu || !Options.AllowHybrid)
-    R.Report = RT.offloadRange(D.Spec, 0, D.N, D.BodyPtr, OnCpu);
+    R.Report = RT.offloadRange(D.Spec, 0, D.N, LaunchBody, OnCpu);
   else
-    R.Report = RT.offloadHybrid(D.Spec, D.N, D.BodyPtr);
+    R.Report = RT.offloadHybrid(D.Spec, D.N, LaunchBody);
 
   if (R.Report.FellBack) {
     // The kernel is outside the GPU subset; run the caller-provided
     // native loop under the same hazard ordering, or fail the task.
-    if (D.NativeFallback) {
+    // Shadow plans only exist for statically proven (hence compiled)
+    // kernels, so an accumulate task cannot reach this path with a
+    // fallback that would bypass its shadow redirect.
+    if (D.NativeFallback && Task->Shadows.empty()) {
       D.NativeFallback();
       R.Ok = true;
     } else {
@@ -279,12 +557,8 @@ void Scheduler::execute(const std::shared_ptr<TaskState> &Task) {
     R.Ok = true;
   }
 
-  R.Timing.CompileSeconds = R.Report.CompileSeconds;
-  R.Timing.ExecuteSeconds = std::max(
-      0.0, secondsSince(ExecStart) - R.Report.CompileSeconds);
-  R.EndSeq = ++SeqCounter;
-  if (Options.OnTaskFinish)
-    Options.OnTaskFinish(R.Id);
+  if (BodyCopy)
+    RT.sharedFree(BodyCopy);
 }
 
 void Scheduler::finishTask(const std::shared_ptr<TaskState> &Task) {

@@ -150,6 +150,12 @@ public:
                                  ///< also counted in VerifyRejected).
     uint64_t InferredSets = 0;   ///< Access sets derived from the kernel
                                  ///< footprint instead of the declaration.
+    uint64_t AccumTasks = 0;     ///< Tasks admitted with shadow-range
+                                 ///< accumulate execution.
+    uint64_t AccumDemoted = 0;   ///< Declared accumulate ranges demoted to
+                                 ///< read+write (no matching proven window).
+    uint64_t MergeTasks = 0;     ///< Shadow-fold merge tasks injected.
+    uint64_t ShadowBytes = 0;    ///< Total shadow bytes allocated.
     unsigned MaxTasksInFlight = 0; ///< Peak concurrently-executing tasks.
     size_t MaxQueueDepth = 0;      ///< Peak unfinished tasks (bounded by
                                    ///< SchedulerOptions::MaxQueued).
@@ -198,7 +204,16 @@ public:
 private:
   void workerLoop();
   void execute(const std::shared_ptr<detail::TaskState> &Task);
+  void launchTask(const std::shared_ptr<detail::TaskState> &Task);
   void finishTask(const std::shared_ptr<detail::TaskState> &Task);
+  void resolveShadowPlans(TaskDesc &Desc, AccessSet &Access,
+                          const std::shared_ptr<detail::TaskState> &Task);
+  /// Injects a merge task folding the shadows of every open accumulate
+  /// task that conflicts with \p Incoming (all of them when null). Caller
+  /// holds Mutex. Returns true when a merge was injected (wake a worker
+  /// after releasing the lock).
+  bool closeAccumGroups(std::unique_lock<std::mutex> &Lock,
+                        const AccessSet *Incoming);
 
   runtime::Runtime &RT;
   SchedulerOptions Options;
@@ -212,6 +227,12 @@ private:
   std::deque<std::shared_ptr<detail::TaskState>> Ready;
   /// Unfinished tasks in submission order (hazard scan candidates).
   std::vector<std::shared_ptr<detail::TaskState>> Live;
+  /// Accumulate tasks whose shadows have not been folded back yet (they
+  /// may be queued, running, or already finished). A submission that
+  /// conflicts with one closes its group: a merge task is injected before
+  /// the incoming task's hazard scan, so the reader/writer serializes
+  /// after the fold. drain() closes every open group.
+  std::vector<std::shared_ptr<detail::TaskState>> OpenAccums;
   unsigned Executing = 0;
   Stats St;
 

@@ -65,6 +65,12 @@ struct PipelineOptions {
   /// shared memory (note diagnostics naming the offending access). Off by
   /// default — single-kernel modules mostly pair with themselves.
   bool ReportFootprintHazards = false;
+  /// Admit floating-point reductions (FAdd/Fmin/Fmax read-modify-writes)
+  /// as accumulate windows in the commutativity analysis. FP addition is
+  /// not associative, so concurrent shadow-merge execution can differ from
+  /// the serial schedule in the last ulps; off by default, opt in per
+  /// runtime when that is acceptable.
+  bool RelaxedFPReduction = false;
   /// Instrumentation hook invoked after every pass with the pass name.
   /// Tests use it to inject IR corruption and check that VerifyEachPass
   /// attributes the breakage to the right pass.

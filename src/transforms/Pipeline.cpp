@@ -1,6 +1,7 @@
 //===- Pipeline.cpp - The Concord GPU compilation pipeline ----------------===//
 
 #include "analysis/AddressSpace.h"
+#include "analysis/Commutativity.h"
 #include "analysis/Footprint.h"
 #include "analysis/KernelChecks.h"
 #include "analysis/Uniformity.h"
@@ -78,6 +79,19 @@ void runStaticChecks(Module &M, const PipelineOptions &Opts,
     if (Diags)
       for (const analysis::RaceFinding &R : analysis::lintUniformStores(*F))
         Diags->warning(R.Loc, "@" + F->name() + ": " + R.Message);
+
+    // Reduction lint: read-modify-write sequences that look like a
+    // reduction but combine with a non-associative operator will never
+    // qualify for the concurrent-accumulate protocol — usually a bug in
+    // the kernel, always a lost parallelism opportunity worth naming.
+    if (Diags)
+      for (const analysis::AccumRejection &R :
+           analysis::computeCommutativity(*F, Opts.RelaxedFPReduction)
+               .Rejections)
+        if (R.LooksReductive)
+          Diags->warning(R.Loc, "@" + F->name() +
+                                    ": non-associative reduction: " +
+                                    R.Message);
 
     // Static out-of-bounds lint: with a launch context, provable footprint
     // windows that escape their root allocation fail the pipeline here,

@@ -92,6 +92,10 @@ std::unique_ptr<Workload> makeBFS();
 std::unique_ptr<Workload> makeBTree();
 std::unique_ptr<Workload> makeClothPhysics();
 std::unique_ptr<Workload> makeConnectedComponent();
+/// Accumulate demonstrator (not part of the Table 1 nine): a degree
+/// histogram whose only shared write is an integer-add read-modify-write,
+/// proven accumulate-only by the commutativity analysis.
+std::unique_ptr<Workload> makeDegreeHistogram();
 std::unique_ptr<Workload> makeFaceDetect();
 std::unique_ptr<Workload> makeRaytracer();
 std::unique_ptr<Workload> makeSkipList();

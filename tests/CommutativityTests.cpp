@@ -1,0 +1,357 @@
+//===- CommutativityTests.cpp - Accumulate-only proof tests ---------------===//
+//
+// Covers analysis/Commutativity: the accumulate-only prover on compiled
+// kernels (the full reduction operator family, Sub folding into Add, the
+// float gate), the rejection diagnostics (buried non-associative RMW,
+// self-combine, escaping reads, plain stores, mixed operators), the
+// window/rejection descriptions the scheduler and verify mode surface, and
+// the identity-fill / shadow-fold helpers the merge tasks run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Commutativity.h"
+#include "frontend/Compile.h"
+#include "transforms/Passes.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+using namespace concord;
+using namespace concord::analysis;
+
+namespace {
+
+cir::Function *findKernel(cir::Module &M) {
+  for (const auto &F : M.functions())
+    if (F->isKernel() && !F->empty())
+      return F.get();
+  return nullptr;
+}
+
+/// Compiles CKL through the full GPU pipeline and runs the accumulate
+/// prover on the lowered kernel entry.
+CommutativityInfo commutOf(const char *Src, bool AllowRelaxedFP = false,
+                           const char *BodyClass = "K") {
+  DiagnosticEngine Diags;
+  auto M = frontend::compileProgram(Src, "t", Diags);
+  EXPECT_TRUE(M != nullptr) << Diags.str();
+  if (!M)
+    return {};
+  EXPECT_NE(frontend::createKernelEntry(*M, BodyClass, Diags), nullptr)
+      << Diags.str();
+  transforms::PipelineStats S;
+  std::string Err;
+  EXPECT_TRUE(
+      transforms::runPipeline(*M, transforms::PipelineOptions::gpuAll(), S,
+                              &Err))
+      << Err;
+  cir::Function *Kern = findKernel(*M);
+  EXPECT_NE(Kern, nullptr);
+  if (!Kern)
+    return {};
+  return computeCommutativity(*Kern, AllowRelaxedFP);
+}
+
+std::string allRejections(const CommutativityInfo &CI) {
+  std::string S;
+  for (const AccumRejection &R : CI.Rejections)
+    S += R.Message + "\n";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Proven windows
+//===----------------------------------------------------------------------===//
+
+TEST(Commutativity, HistogramAddIsProven) {
+  CommutativityInfo CI = commutOf(R"(
+    class K {
+    public:
+      int* keys;
+      int* bins;
+      void operator()(int i) {
+        int h = keys[i];
+        bins[h] = bins[h] + 1;
+      }
+    };
+  )");
+  ASSERT_TRUE(CI.Analyzed);
+  ASSERT_EQ(CI.Windows.size(), 1u) << allRejections(CI);
+  const AccumWindow &W = CI.Windows[0];
+  EXPECT_EQ(W.Op, AccumOp::Add);
+  EXPECT_EQ(W.ElemBytes, 4u);
+  // bins is the second pointer field of the body: offset 8.
+  ASSERT_EQ(W.RootPath.size(), 1u);
+  EXPECT_EQ(W.RootPath[0], 8);
+  EXPECT_EQ(W.describe(), "accumulate(add) body[+8]-> elem 4");
+  EXPECT_TRUE(CI.Rejections.empty()) << allRejections(CI);
+}
+
+TEST(Commutativity, SubtractionFoldsIntoAdd) {
+  // out[i] -= v[i] is out[i] = out[i] + (-v[i]): still an Add window.
+  CommutativityInfo CI = commutOf(R"(
+    class K {
+    public:
+      int* v;
+      int* out;
+      void operator()(int i) {
+        out[i] = out[i] - v[i];
+      }
+    };
+  )");
+  ASSERT_TRUE(CI.Analyzed);
+  ASSERT_EQ(CI.Windows.size(), 1u) << allRejections(CI);
+  EXPECT_EQ(CI.Windows[0].Op, AccumOp::Add);
+}
+
+TEST(Commutativity, MinMaxIntrinsicsAreProven) {
+  CommutativityInfo CI = commutOf(R"(
+    class K {
+    public:
+      int* v;
+      int* lo;
+      int* hi;
+      void operator()(int i) {
+        int h = v[i] & 15;
+        lo[h] = min(lo[h], v[i]);
+        hi[h] = max(hi[h], v[i]);
+      }
+    };
+  )");
+  ASSERT_TRUE(CI.Analyzed);
+  ASSERT_EQ(CI.Windows.size(), 2u) << allRejections(CI);
+  EXPECT_NE(CI.windowFor({8}), nullptr);
+  EXPECT_NE(CI.windowFor({16}), nullptr);
+  EXPECT_EQ(CI.windowFor({8})->Op, AccumOp::Min);
+  EXPECT_EQ(CI.windowFor({16})->Op, AccumOp::Max);
+}
+
+TEST(Commutativity, BitwiseOrAndAreProven) {
+  CommutativityInfo CI = commutOf(R"(
+    class K {
+    public:
+      int* v;
+      int* anyBits;
+      int* allBits;
+      void operator()(int i) {
+        int h = v[i] & 7;
+        anyBits[h] = anyBits[h] | v[i];
+        allBits[h] = allBits[h] & v[i];
+      }
+    };
+  )");
+  ASSERT_TRUE(CI.Analyzed);
+  ASSERT_EQ(CI.Windows.size(), 2u) << allRejections(CI);
+  EXPECT_EQ(CI.windowFor({8})->Op, AccumOp::Or);
+  EXPECT_EQ(CI.windowFor({16})->Op, AccumOp::And);
+}
+
+//===----------------------------------------------------------------------===//
+// Rejections
+//===----------------------------------------------------------------------===//
+
+TEST(Commutativity, NonAssociativeRmwIsRejectedAndLooksReductive) {
+  CommutativityInfo CI = commutOf(R"(
+    class K {
+    public:
+      int* keys;
+      int* out;
+      void operator()(int i) {
+        int h = keys[i];
+        out[h] = 2 * out[h] + i;
+      }
+    };
+  )");
+  ASSERT_TRUE(CI.Analyzed);
+  EXPECT_TRUE(CI.Windows.empty());
+  ASSERT_EQ(CI.Rejections.size(), 1u);
+  const AccumRejection &R = CI.Rejections[0];
+  EXPECT_TRUE(R.LooksReductive);
+  EXPECT_EQ(R.Op, "mul");
+  EXPECT_NE(R.Message.find("non-associative op 'mul'"), std::string::npos)
+      << R.Message;
+  EXPECT_NE(R.Message.find("store at"), std::string::npos) << R.Message;
+}
+
+TEST(Commutativity, SelfCombineIsRejected) {
+  CommutativityInfo CI = commutOf(R"(
+    class K {
+    public:
+      int* out;
+      void operator()(int i) {
+        out[i] = out[i] + out[i];
+      }
+    };
+  )");
+  ASSERT_TRUE(CI.Analyzed);
+  EXPECT_TRUE(CI.Windows.empty());
+  ASSERT_EQ(CI.Rejections.size(), 1u);
+  EXPECT_TRUE(CI.Rejections[0].LooksReductive);
+  EXPECT_NE(CI.Rejections[0].Message.find("combines the old value"),
+            std::string::npos)
+      << CI.Rejections[0].Message;
+}
+
+TEST(Commutativity, EscapingReadOfAccumulatedRangeIsRejected) {
+  // The second load of sum[0] feeds a plain store elsewhere: the range is
+  // observed mid-accumulation, so concurrent shadows would change results.
+  CommutativityInfo CI = commutOf(R"(
+    class K {
+    public:
+      int* v;
+      int* sum;
+      int* out;
+      void operator()(int i) {
+        sum[0] = sum[0] + v[i];
+        out[i] = sum[0];
+      }
+    };
+  )");
+  ASSERT_TRUE(CI.Analyzed);
+  EXPECT_EQ(CI.windowFor({8}), nullptr);
+  EXPECT_NE(allRejections(CI).find("escapes the read-modify-write"),
+            std::string::npos)
+      << allRejections(CI);
+}
+
+TEST(Commutativity, PlainStoreIsRejectedWithoutReductiveFlag) {
+  CommutativityInfo CI = commutOf(R"(
+    class K {
+    public:
+      int* out;
+      void operator()(int i) { out[i] = i * 3; }
+    };
+  )");
+  ASSERT_TRUE(CI.Analyzed);
+  EXPECT_TRUE(CI.Windows.empty());
+  ASSERT_EQ(CI.Rejections.size(), 1u);
+  EXPECT_FALSE(CI.Rejections[0].LooksReductive);
+  EXPECT_NE(CI.Rejections[0].Message.find("plain store"), std::string::npos)
+      << CI.Rejections[0].Message;
+}
+
+TEST(Commutativity, MixedOperatorsOnOneRootAreRejected) {
+  CommutativityInfo CI = commutOf(R"(
+    class K {
+    public:
+      int* v;
+      int* out;
+      void operator()(int i) {
+        out[0] = out[0] + v[i];
+        out[4] = out[4] | v[i];
+      }
+    };
+  )");
+  ASSERT_TRUE(CI.Analyzed);
+  EXPECT_EQ(CI.windowFor({8}), nullptr);
+  EXPECT_NE(allRejections(CI).find("mixed reduction operators"),
+            std::string::npos)
+      << allRejections(CI);
+}
+
+TEST(Commutativity, FloatReductionIsGatedBehindRelaxedFP) {
+  const char *Src = R"(
+    class K {
+    public:
+      float* v;
+      float* acc;
+      void operator()(int i) {
+        acc[0] = acc[0] + v[i];
+      }
+    };
+  )";
+  CommutativityInfo Strict = commutOf(Src, /*AllowRelaxedFP=*/false);
+  ASSERT_TRUE(Strict.Analyzed);
+  EXPECT_TRUE(Strict.Windows.empty());
+  ASSERT_FALSE(Strict.Rejections.empty());
+  // The FP gate is a policy choice, not a kernel bug: the lint must not
+  // warn about it on default pipelines.
+  EXPECT_FALSE(Strict.Rejections[0].LooksReductive);
+  EXPECT_NE(Strict.Rejections[0].Message.find("RelaxedFPReduction"),
+            std::string::npos)
+      << Strict.Rejections[0].Message;
+
+  CommutativityInfo Relaxed = commutOf(Src, /*AllowRelaxedFP=*/true);
+  ASSERT_TRUE(Relaxed.Analyzed);
+  ASSERT_EQ(Relaxed.Windows.size(), 1u) << allRejections(Relaxed);
+  EXPECT_EQ(Relaxed.Windows[0].Op, AccumOp::FAdd);
+}
+
+//===----------------------------------------------------------------------===//
+// Identity fill + shadow fold
+//===----------------------------------------------------------------------===//
+
+TEST(Commutativity, IdentityElementsFoldAsNoOps) {
+  struct Case {
+    AccumOp Op;
+    int32_t Master;
+  };
+  for (Case C : {Case{AccumOp::Add, 41}, Case{AccumOp::Min, -7},
+                 Case{AccumOp::Max, 123}, Case{AccumOp::Or, 0x55},
+                 Case{AccumOp::And, 0x55}}) {
+    int32_t Shadow[4];
+    fillAccumIdentity(Shadow, sizeof(Shadow), C.Op, 4);
+    int32_t Master[4] = {C.Master, C.Master, C.Master, C.Master};
+    foldAccumShadow(Master, Shadow, sizeof(Master), C.Op, 4);
+    for (int32_t M : Master)
+      EXPECT_EQ(M, C.Master) << accumOpName(C.Op);
+  }
+}
+
+TEST(Commutativity, FoldAppliesOperatorElementwise) {
+  int32_t Master[3] = {10, -5, 7};
+  int32_t Shadow[3] = {1, 2, 3};
+  foldAccumShadow(Master, Shadow, sizeof(Master), AccumOp::Add, 4);
+  EXPECT_EQ(Master[0], 11);
+  EXPECT_EQ(Master[1], -3);
+  EXPECT_EQ(Master[2], 10);
+
+  int32_t MinM[2] = {5, -9};
+  int32_t MinS[2] = {3, 0};
+  foldAccumShadow(MinM, MinS, sizeof(MinM), AccumOp::Min, 4);
+  EXPECT_EQ(MinM[0], 3);
+  EXPECT_EQ(MinM[1], -9);
+
+  int64_t WideM[1] = {int64_t(1) << 40};
+  int64_t WideS[1] = {int64_t(1) << 41};
+  foldAccumShadow(WideM, WideS, sizeof(WideM), AccumOp::Max, 8);
+  EXPECT_EQ(WideM[0], int64_t(1) << 41);
+}
+
+TEST(Commutativity, FloatIdentitiesAreSigned) {
+  float Shadow[2];
+  fillAccumIdentity(Shadow, sizeof(Shadow), AccumOp::FMin, 4);
+  EXPECT_GT(Shadow[0], std::numeric_limits<float>::max());
+  fillAccumIdentity(Shadow, sizeof(Shadow), AccumOp::FMax, 4);
+  EXPECT_LT(Shadow[0], std::numeric_limits<float>::lowest());
+
+  float Master[2] = {1.5f, -2.5f};
+  float Acc[2] = {0.25f, 0.25f};
+  foldAccumShadow(Master, Acc, sizeof(Master), AccumOp::FAdd, 4);
+  EXPECT_FLOAT_EQ(Master[0], 1.75f);
+  EXPECT_FLOAT_EQ(Master[1], -2.25f);
+}
+
+// The shipped DegreeHistogram workload's fold kernel
+// (bins[b] = bins[b] + partial[b]) must stay provable: the added term is
+// a load from a root the kernel never stores, which is exactly the shape
+// the prover admits for accumulate windows.
+TEST(Commutativity, DegreeHistogramFoldKernelIsProven) {
+  auto W = workloads::makeDegreeHistogram();
+  runtime::KernelSpec Spec = W->kernelSpec();
+  CommutativityInfo CI = commutOf(Spec.Source.c_str(),
+                                  /*AllowRelaxedFP=*/false,
+                                  Spec.BodyClass.c_str());
+  ASSERT_TRUE(CI.Analyzed);
+  EXPECT_TRUE(CI.Rejections.empty()) << allRejections(CI);
+  ASSERT_EQ(CI.Windows.size(), 1u);
+  EXPECT_EQ(CI.Windows[0].Op, AccumOp::Add);
+  EXPECT_EQ(CI.Windows[0].ElemBytes, 4u);
+}
+
+} // namespace

@@ -338,3 +338,350 @@ TEST(SchedJit, ConcurrentTasksCompileOnce) {
   EXPECT_EQ(Compiles, inferMode() ? 0u : 1u);
   EXPECT_EQ(RT.programCacheSize(), 1u);
 }
+
+//===----------------------------------------------------------------------===//
+// Accumulate mode (commutativity analysis + shadow-range execution)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// bins[keys[i]] += 1 — the canonical accumulate-only kernel: the only
+/// shared write is an integer-add read-modify-write of a proven root.
+const char *HistSrc = R"(
+  class Hist {
+  public:
+    int* keys;
+    int* bins;
+    void operator()(int i) {
+      int h = keys[i];
+      bins[h] = bins[h] + 1;
+    }
+  };
+)";
+
+/// out[keys[i]] = 2 * out[keys[i]] + i — reductive-looking but the old
+/// value feeds a multiply, which is not in the associative-commutative set.
+const char *ScaledRmwSrc = R"(
+  class ScaledRmw {
+  public:
+    int* keys;
+    int* out;
+    void operator()(int i) {
+      int h = keys[i];
+      out[h] = 2 * out[h] + i;
+    }
+  };
+)";
+
+constexpr int HistBins = 64;
+
+// The device interleaves work-items *within* a launch, so an
+// unsynchronized data-dependent RMW like bins[keys[i]] += 1 loses updates
+// whenever two items of the same launch hit one bin — that is an
+// intra-launch data race in the kernel, not something the task-level
+// accumulate protocol can (or should) paper over. The concurrency tests
+// therefore drive each launch with a permutation of [0, HistBins): every
+// work-item lands on its own bin, each launch is exact, and the protocol
+// under test is the *cross-task* accumulation into the shared array.
+
+} // namespace
+
+// The pinned concurrency test of the accumulate protocol: two histogram
+// tasks over one shared bins array used to WAW-serialize; with the array
+// declared Accumulate they hold no hazard edge between them, provably run
+// two-in-flight (start gate), and the injected merge task folds their
+// shadow ranges back so the final bins are bit-identical to serial
+// execution.
+TEST(SchedAccumulate, AccumulateTasksRunConcurrently) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  applyFootprintPolicy(RT);
+
+  constexpr int N = HistBins; // one item per bin: launches are race-free
+  auto *Keys1 = Region.allocArray<int32_t>(N);
+  auto *Keys2 = Region.allocArray<int32_t>(N);
+  auto *Bins = Region.allocArray<int32_t>(HistBins);
+  for (int I = 0; I < N; ++I) {
+    Keys1[I] = I;                       // identity permutation
+    Keys2[I] = (I * 7 + 11) % HistBins; // affine permutation (7 odd)
+  }
+  // Non-uniform initial bins: the merge must fold shadows *onto* the
+  // master, not overwrite it.
+  for (int B = 0; B < HistBins; ++B)
+    Bins[B] = 3 * B;
+  // Serial reference: both tasks' counts on top of the initial bins.
+  std::vector<int32_t> Expected(HistBins);
+  for (int B = 0; B < HistBins; ++B)
+    Expected[size_t(B)] = 3 * B;
+  for (int I = 0; I < N; ++I) {
+    ++Expected[size_t(Keys1[I])];
+    ++Expected[size_t(Keys2[I])];
+  }
+  auto *Body1 = Region.create<TwoPtr>();
+  Body1->In = Keys1;
+  Body1->Out = Bins;
+  auto *Body2 = Region.create<TwoPtr>();
+  Body2->In = Keys2;
+  Body2->Out = Bins;
+
+  std::mutex GateMutex;
+  std::condition_variable GateCv;
+  unsigned Started = 0;
+  sched::SchedulerOptions SO;
+  SO.NumWorkers = 2;
+  // Hold each histogram task at its start until both are in flight: if
+  // the accumulate pair held a hazard edge this would time out and the
+  // interleaving assertions below would fail.
+  SO.OnTaskStart = [&](uint64_t) {
+    std::unique_lock<std::mutex> Lock(GateMutex);
+    ++Started;
+    GateCv.notify_all();
+    GateCv.wait_for(Lock, std::chrono::seconds(5),
+                    [&] { return Started >= 2; });
+  };
+  sched::Scheduler Sched(RT, SO);
+
+  auto T1 = Sched.submit(
+      descOf(HistSrc, "Hist", N, Body1),
+      sched::AccessSet().readArray(Keys1, N).accumulateArray(Bins, HistBins));
+  auto T2 = Sched.submit(
+      descOf(HistSrc, "Hist", N, Body2),
+      sched::AccessSet().readArray(Keys2, N).accumulateArray(Bins, HistBins));
+  Sched.drain();
+
+  const sched::TaskResult &R1 = T1.wait();
+  const sched::TaskResult &R2 = T2.wait();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+
+  // Interleaved lifetimes: no edge serialized the accumulate pair.
+  EXPECT_LT(R1.StartSeq, R2.EndSeq);
+  EXPECT_LT(R2.StartSeq, R1.EndSeq);
+
+  sched::Scheduler::Stats St = Sched.stats();
+  EXPECT_EQ(St.AccumTasks, 2u);
+  EXPECT_EQ(St.AccumDemoted, 0u);
+  EXPECT_EQ(St.MergeTasks, 1u); // drain() closed the group once.
+  // The only possible edges are merge -> each still-live accumulate
+  // member; members that already retired by the time drain() closes the
+  // group need (and get) no edge, so the count is timing-dependent.
+  EXPECT_LE(St.HazardEdges, 2u);
+  EXPECT_GE(St.ShadowBytes, uint64_t(2 * HistBins * sizeof(int32_t)));
+
+  for (int B = 0; B < HistBins; ++B)
+    ASSERT_EQ(Bins[B], Expected[size_t(B)]) << "bin " << B;
+}
+
+// A plain reader submitted while accumulate tasks are open closes the
+// group: the merge is injected ahead of it, so the reader observes the
+// fully folded bins without any explicit drain between the submissions.
+TEST(SchedAccumulate, ReaderAfterAccumulatesSeesMergedResult) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  applyFootprintPolicy(RT);
+
+  constexpr int N = HistBins; // one item per bin: launches are race-free
+  auto *Keys1 = Region.allocArray<int32_t>(N);
+  auto *Keys2 = Region.allocArray<int32_t>(N);
+  auto *Bins = Region.allocArray<int32_t>(HistBins);
+  auto *Doubled = Region.allocArray<int32_t>(HistBins);
+  for (int I = 0; I < N; ++I) {
+    Keys1[I] = (I * 5) % HistBins;     // affine permutations (odd
+    Keys2[I] = (I * 3 + 1) % HistBins; // multipliers are units mod 64)
+  }
+  for (int B = 0; B < HistBins; ++B)
+    Bins[B] = B;
+  std::vector<int32_t> Expected(HistBins);
+  for (int B = 0; B < HistBins; ++B)
+    Expected[size_t(B)] = B;
+  for (int I = 0; I < N; ++I) {
+    ++Expected[size_t(Keys1[I])];
+    ++Expected[size_t(Keys2[I])];
+  }
+  auto *Body1 = Region.create<TwoPtr>();
+  Body1->In = Keys1;
+  Body1->Out = Bins;
+  auto *Body2 = Region.create<TwoPtr>();
+  Body2->In = Keys2;
+  Body2->Out = Bins;
+  auto *Reader = Region.create<TwoPtr>();
+  Reader->In = Bins;
+  Reader->Out = Doubled;
+
+  sched::SchedulerOptions SO;
+  SO.NumWorkers = 2;
+  sched::Scheduler Sched(RT, SO);
+
+  auto T1 = Sched.submit(
+      descOf(HistSrc, "Hist", N, Body1),
+      sched::AccessSet().readArray(Keys1, N).accumulateArray(Bins, HistBins));
+  auto T2 = Sched.submit(
+      descOf(HistSrc, "Hist", N, Body2),
+      sched::AccessSet().readArray(Keys2, N).accumulateArray(Bins, HistBins));
+  auto T3 = Sched.submit(descOf(DoubleSrc, "Double", HistBins, Reader),
+                         sched::AccessSet()
+                             .readArray(Bins, HistBins)
+                             .writeArray(Doubled, HistBins));
+  Sched.drain();
+
+  const sched::TaskResult &R1 = T1.wait();
+  const sched::TaskResult &R2 = T2.wait();
+  const sched::TaskResult &R3 = T3.wait();
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  ASSERT_TRUE(R3.Ok) << R3.Error;
+
+  // The reader ran strictly after both accumulate tasks (and the fold
+  // between them, which has no public handle).
+  EXPECT_LT(R1.EndSeq, R3.StartSeq);
+  EXPECT_LT(R2.EndSeq, R3.StartSeq);
+  EXPECT_EQ(Sched.stats().MergeTasks, 1u);
+
+  for (int B = 0; B < HistBins; ++B) {
+    ASSERT_EQ(Bins[B], Expected[size_t(B)]) << "bin " << B;
+    ASSERT_EQ(Doubled[B], Expected[size_t(B)] * 2) << "doubled bin " << B;
+  }
+}
+
+// Under Trust, a declared accumulate the prover cannot back demotes to a
+// plain read+write: the task still runs (correctly, serialized), and the
+// demotion is counted — no shadow execution for unproven declarations.
+TEST(SchedAccumulate, UnprovenAccumulateDemotesUnderTrust) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  applyFootprintPolicy(RT);
+
+  constexpr int N = 1024;
+  auto *Data = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<OnePtr>();
+  Body->Data = Data;
+
+  sched::Scheduler Sched(RT);
+  auto T = Sched.submit(descOf(FillSrc, "Fill", N, Body),
+                        sched::AccessSet().accumulateArray(Data, N));
+  Sched.drain();
+  const sched::TaskResult &R = T.wait();
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  sched::Scheduler::Stats St = Sched.stats();
+  if (inferMode()) {
+    // Inference replaces the declaration with the footprint-derived set:
+    // a plain write, nothing to demote.
+    EXPECT_EQ(St.AccumDemoted, 0u);
+  } else {
+    EXPECT_EQ(St.AccumDemoted, 1u);
+  }
+  EXPECT_EQ(St.AccumTasks, 0u);
+  EXPECT_EQ(St.MergeTasks, 0u);
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(Data[I], I * 3);
+}
+
+// Verify mode rejects a declared Accumulate the prover cannot confirm,
+// naming the offending store: a plain fill kernel is not a reduction.
+TEST(SchedAccumulate, MisdeclaredAccumulateFailsVerify) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
+
+  constexpr int N = 1024;
+  auto *Data = Region.allocArray<int32_t>(N);
+  auto *Body = Region.create<OnePtr>();
+  Body->Data = Data;
+
+  sched::Scheduler Sched(RT);
+  auto T = Sched.submit(descOf(FillSrc, "Fill", N, Body),
+                        sched::AccessSet().accumulateArray(Data, N));
+  Sched.drain();
+  const sched::TaskResult &R = T.wait();
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("declared accumulate not proven"), std::string::npos)
+      << R.Error;
+  EXPECT_NE(R.Error.find("plain store"), std::string::npos) << R.Error;
+  EXPECT_EQ(Sched.stats().VerifyRejected, 1u);
+  EXPECT_EQ(Sched.stats().AccumTasks, 0u);
+}
+
+// Verify also rejects the reductive-looking-but-non-associative case,
+// surfacing the prover's diagnostic with the offending operator.
+TEST(SchedAccumulate, NonAssociativeRmwFailsVerifyWithOperator) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
+
+  constexpr int N = 1024;
+  auto *Keys = Region.allocArray<int32_t>(N);
+  auto *Out = Region.allocArray<int32_t>(HistBins);
+  for (int I = 0; I < N; ++I)
+    Keys[I] = I % HistBins;
+  auto *Body = Region.create<TwoPtr>();
+  Body->In = Keys;
+  Body->Out = Out;
+
+  sched::Scheduler Sched(RT);
+  auto T = Sched.submit(
+      descOf(ScaledRmwSrc, "ScaledRmw", N, Body),
+      sched::AccessSet().readArray(Keys, N).accumulateArray(Out, HistBins));
+  Sched.drain();
+  const sched::TaskResult &R = T.wait();
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("declared accumulate not proven"), std::string::npos)
+      << R.Error;
+  EXPECT_NE(R.Error.find("non-associative op 'mul'"), std::string::npos)
+      << R.Error;
+}
+
+// FootprintPolicy::Infer classifies the histogram's bins as an accumulate
+// range with no declaration at all: two inferred tasks share the shadow
+// protocol and still produce the serial result.
+TEST(SchedAccumulate, InferAutoClassifiesAccumulate) {
+  svm::SharedRegion Region(16 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Runtime RT(Machine, Region);
+  RT.setFootprintPolicy(runtime::FootprintPolicy::Infer);
+
+  constexpr int N = HistBins; // one item per bin: launches are race-free
+  auto *Keys1 = Region.allocArray<int32_t>(N);
+  auto *Keys2 = Region.allocArray<int32_t>(N);
+  auto *Bins = Region.allocArray<int32_t>(HistBins);
+  for (int I = 0; I < N; ++I) {
+    Keys1[I] = I;
+    Keys2[I] = (I * 5 + 2) % HistBins;
+  }
+  for (int B = 0; B < HistBins; ++B)
+    Bins[B] = B;
+  std::vector<int32_t> Expected(HistBins);
+  for (int B = 0; B < HistBins; ++B)
+    Expected[size_t(B)] = B;
+  for (int I = 0; I < N; ++I) {
+    ++Expected[size_t(Keys1[I])];
+    ++Expected[size_t(Keys2[I])];
+  }
+  auto *Body1 = Region.create<TwoPtr>();
+  Body1->In = Keys1;
+  Body1->Out = Bins;
+  auto *Body2 = Region.create<TwoPtr>();
+  Body2->In = Keys2;
+  Body2->Out = Bins;
+
+  sched::Scheduler Sched(RT);
+  auto T1 = Sched.submit(descOf(HistSrc, "Hist", N, Body1),
+                         sched::AccessSet());
+  auto T2 = Sched.submit(descOf(HistSrc, "Hist", N, Body2),
+                         sched::AccessSet());
+  Sched.drain();
+  ASSERT_TRUE(T1.wait().Ok) << T1.wait().Error;
+  ASSERT_TRUE(T2.wait().Ok) << T2.wait().Error;
+
+  sched::Scheduler::Stats St = Sched.stats();
+  EXPECT_EQ(St.InferredSets, 2u);
+  EXPECT_EQ(St.AccumTasks, 2u);
+  EXPECT_EQ(St.MergeTasks, 1u);
+  for (int B = 0; B < HistBins; ++B)
+    ASSERT_EQ(Bins[B], Expected[size_t(B)]) << "bin " << B;
+}

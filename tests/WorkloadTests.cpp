@@ -109,6 +109,18 @@ INSTANTIATE_TEST_SUITE_P(AllNine, WorkloadParamTest,
                            return std::string(I.param.Name);
                          });
 
+// The tenth, non-Table-1 workload (two-phase degree histogram behind the
+// accumulate access mode) goes through the same verification matrix.
+const WorkloadCase ExtraCases[] = {
+    {"DegreeHistogram", makeDegreeHistogram},
+};
+
+INSTANTIATE_TEST_SUITE_P(Extras, WorkloadParamTest,
+                         ::testing::ValuesIn(ExtraCases),
+                         [](const ::testing::TestParamInfo<WorkloadCase> &I) {
+                           return std::string(I.param.Name);
+                         });
+
 TEST(WorkloadRegistry, AllNinePresent) {
   auto All = allWorkloads();
   ASSERT_EQ(All.size(), 9u);
