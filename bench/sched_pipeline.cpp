@@ -6,7 +6,9 @@
 // stages within a frame serialize on RAW hazards while distinct frames —
 // whose buffers are disjoint — overlap freely on the worker pool. The
 // stage kernel is schedule-free, so GPU-preferred tasks hybrid-split
-// across the GPU and CPU machine models.
+// across the GPU and CPU machine models — or, with data-aware placement
+// (the default), run whole on whichever device's LLC model already holds
+// their footprint.
 //
 // Each frame additionally submits a histogram task accumulating into one
 // bins array shared by ALL frames. Declared as a plain write those tasks
@@ -20,7 +22,11 @@
 //   --items N       work-items per stage (default 32768)
 //   --workers N     scheduler worker threads (default 3)
 //   --max-queued N  backpressure bound on unfinished tasks (default 8)
+//   --repeat N      run the pipeline N times; report median/min/max wall
 //   --no-hybrid     disable hybrid CPU/GPU splitting
+//   --no-affinity   disable data-aware placement (FIFO to first free
+//                   worker, hybrid split on every GPU-preferred task) —
+//                   same effect as CONCORD_SCHED_AFFINITY=0
 //   --no-verify     trust declared access sets instead of verifying them
 //   --json <path>   write per-task timing + scheduler stats as JSON
 //   --quiet         suppress the progress table
@@ -35,6 +41,7 @@
 #include "concord/Concord.h"
 #include "sched/Scheduler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -103,11 +110,216 @@ struct Options {
   int Items = 32768;
   unsigned Workers = 3;
   size_t MaxQueued = 8;
+  int Repeat = 1;
   bool Hybrid = true;
+  bool Affinity = true;
   bool Verify = true;
   bool Quiet = false;
   std::string JsonPath;
 };
+
+/// One full pipeline run: fresh arena, fresh runtime (so JIT compiles are
+/// included, identically, in every repeat), fresh scheduler.
+struct RunOutcome {
+  bool Ok = false;
+  double WallSeconds = 0;
+  sched::Scheduler::Stats St;
+  runtime::RefinementStats RS;
+  std::vector<sched::TaskResult> Results;
+  std::string MachineName;
+};
+
+RunOutcome runOnce(const Options &Opt, bool Print) {
+  RunOutcome Out;
+
+  svm::SharedRegion Region(256 << 20);
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  Out.MachineName = Machine.Name;
+  Runtime RT(Machine, Region);
+  if (Opt.Verify)
+    RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
+
+  constexpr int Stages = 3;
+  const float Ks[Stages] = {1.25f, 0.75f, 1.5f};
+  const float Bs[Stages] = {3.0f, -1.0f, 0.5f};
+
+  // Per frame: In -> Buf[0] -> Buf[1] -> Buf[2], all disjoint from other
+  // frames' buffers; plus a per-frame keys array feeding the one shared
+  // bins array every frame accumulates into.
+  std::vector<float *> Inputs;
+  std::vector<std::vector<float *>> Bufs(size_t(Opt.Frames));
+  std::vector<int32_t *> KeyArrays;
+  int32_t *Bins = Region.allocArray<int32_t>(HistBins);
+  if (!Bins)
+    return Out;
+  std::memset(Bins, 0, HistBins * sizeof(int32_t));
+  std::vector<int32_t> ExpectedBins(HistBins, 0);
+  for (int F = 0; F < Opt.Frames; ++F) {
+    float *In = Region.allocArray<float>(size_t(Opt.Items));
+    if (!In)
+      return Out;
+    for (int I = 0; I < Opt.Items; ++I)
+      In[I] = float(I % 97) * 0.5f + float(F);
+    Inputs.push_back(In);
+    for (int S = 0; S < Stages; ++S) {
+      float *Buf = Region.allocArray<float>(size_t(Opt.Items));
+      if (!Buf)
+        return Out;
+      Bufs[size_t(F)].push_back(Buf);
+    }
+    // One key per bin, permuted per frame: within a launch every
+    // work-item RMWs its own bin (the device interleaves work-items, so
+    // colliding unsynchronized RMWs inside one launch would lose
+    // updates); the accumulation under test is *across* the frames'
+    // tasks. 2F+1 is odd, hence a unit mod the power-of-two bin count.
+    int32_t *Keys = Region.allocArray<int32_t>(HistBins);
+    if (!Keys)
+      return Out;
+    for (int I = 0; I < HistBins; ++I) {
+      Keys[I] = (I * (2 * F + 1) + F) % HistBins;
+      ++ExpectedBins[size_t(Keys[I])];
+    }
+    KeyArrays.push_back(Keys);
+  }
+
+  sched::SchedulerOptions SO;
+  SO.NumWorkers = Opt.Workers;
+  SO.MaxQueued = Opt.MaxQueued;
+  SO.AllowHybrid = Opt.Hybrid;
+  SO.DataAwarePlacement = Opt.Affinity;
+
+  std::vector<sched::TaskHandle> Handles;
+  {
+    sched::Scheduler Sched(RT, SO);
+    auto Start = std::chrono::steady_clock::now();
+    for (int F = 0; F < Opt.Frames; ++F) {
+      for (int S = 0; S < Stages; ++S) {
+        float *In = S == 0 ? Inputs[size_t(F)] : Bufs[size_t(F)][S - 1];
+        float *Out2 = Bufs[size_t(F)][S];
+        auto *Body = Region.create<Axpb>();
+        if (!Body)
+          return Out;
+        Body->In = In;
+        Body->Out = Out2;
+        Body->K = Ks[S];
+        Body->B = Bs[S];
+
+        sched::TaskDesc D;
+        D.Spec = KernelSpec{Axpb::kernelSource(), Axpb::kernelClassName()};
+        D.N = Opt.Items;
+        D.BodyPtr = Body;
+        char Label[32];
+        std::snprintf(Label, sizeof(Label), "frame%d/stage%d", F, S);
+        D.Label = Label;
+        Handles.push_back(Sched.submit(
+            std::move(D), sched::AccessSet()
+                              .readArray(In, size_t(Opt.Items))
+                              .writeArray(Out2, size_t(Opt.Items))));
+      }
+
+      // The frame's accumulate stage: all frames share Bins, yet these
+      // tasks hold no hazard edges among themselves.
+      auto *HistBody = Region.create<Hist>();
+      if (!HistBody)
+        return Out;
+      HistBody->Keys = KeyArrays[size_t(F)];
+      HistBody->Bins = Bins;
+      sched::TaskDesc HD;
+      HD.Spec = KernelSpec{Hist::kernelSource(), Hist::kernelClassName()};
+      HD.N = HistBins;
+      HD.BodyPtr = HistBody;
+      char HistLabel[32];
+      std::snprintf(HistLabel, sizeof(HistLabel), "frame%d/hist", F);
+      HD.Label = HistLabel;
+      Handles.push_back(Sched.submit(
+          std::move(HD),
+          sched::AccessSet()
+              .readArray(KeyArrays[size_t(F)], HistBins)
+              .accumulateArray(Bins, HistBins)));
+    }
+    Sched.drain();
+    Out.WallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - Start)
+                          .count();
+    Out.St = Sched.stats();
+    Out.RS = RT.refinementStats();
+  }
+
+  for (const sched::TaskHandle &H : Handles)
+    Out.Results.push_back(H.wait());
+
+  if (Print) {
+    std::printf("%-16s %8s %10s %10s %10s %s\n", "task", "ok", "queue_ms",
+                "compile_ms", "exec_ms", "exec");
+    for (const sched::TaskResult &R : Out.Results)
+      std::printf("%-16s %8s %10.3f %10.3f %10.3f %s\n", R.Label.c_str(),
+                  R.Ok ? "ok" : "FAIL", R.Timing.QueueSeconds * 1e3,
+                  R.Timing.CompileSeconds * 1e3,
+                  R.Timing.ExecuteSeconds * 1e3,
+                  R.Report.Hybrid ? "hybrid" : "single");
+    std::printf("\n%llu tasks, %llu hazard edges, %llu hybrid, "
+                "max %u in flight, queue high-water %zu, "
+                "%llu verify-rejected, %llu accumulate (%llu merge, "
+                "%llu shadow bytes, %llu reused), wall %.3f s\n",
+                (unsigned long long)Out.St.Submitted,
+                (unsigned long long)Out.St.HazardEdges,
+                (unsigned long long)Out.St.HybridLaunches,
+                Out.St.MaxTasksInFlight, Out.St.MaxQueueDepth,
+                (unsigned long long)Out.St.VerifyRejected,
+                (unsigned long long)Out.St.AccumTasks,
+                (unsigned long long)Out.St.MergeTasks,
+                (unsigned long long)Out.St.ShadowBytes,
+                (unsigned long long)Out.St.ShadowReused, Out.WallSeconds);
+    std::printf("placement: %llu gpu, %llu cpu, %llu affinity hits, "
+                "%llu resident bytes, %llu fetched bytes, "
+                "%llu footprint splits\n",
+                (unsigned long long)Out.St.PlacedGpu,
+                (unsigned long long)Out.St.PlacedCpu,
+                (unsigned long long)Out.St.AffinityHits,
+                (unsigned long long)Out.St.ResidentBytes,
+                (unsigned long long)Out.St.FetchedBytes,
+                (unsigned long long)Out.RS.FootprintSplits);
+  }
+
+  // Verified mode must be clean: the declared sets are exact, so a
+  // rejection means the footprint analysis or coverage check regressed.
+  if (Opt.Verify && Out.St.VerifyRejected != 0) {
+    std::fprintf(stderr, "access-set verification rejected %llu tasks\n",
+                 (unsigned long long)Out.St.VerifyRejected);
+    return Out;
+  }
+
+  // Verify: every task ok, final buffers match the host computation.
+  for (const sched::TaskResult &R : Out.Results)
+    if (!R.Ok) {
+      std::fprintf(stderr, "task %s failed: %s\n", R.Label.c_str(),
+                   R.Error.c_str());
+      return Out;
+    }
+  for (int F = 0; F < Opt.Frames; ++F)
+    for (int I = 0; I < Opt.Items; ++I) {
+      float V = Inputs[size_t(F)][I];
+      for (int S = 0; S < Stages; ++S)
+        V = V * Ks[S] + Bs[S];
+      float Got = Bufs[size_t(F)][Stages - 1][I];
+      if (V != Got) {
+        std::fprintf(stderr, "frame %d item %d: expected %g, got %g\n", F,
+                     I, V, Got);
+        return Out;
+      }
+    }
+  for (int B = 0; B < HistBins; ++B)
+    if (Bins[B] != ExpectedBins[size_t(B)]) {
+      std::fprintf(stderr, "bin %d: expected %d, got %d\n", B,
+                   ExpectedBins[size_t(B)], Bins[B]);
+      return Out;
+    }
+  if (Print)
+    std::printf("verified %d frames x %d items (+%d shared bins)\n",
+                Opt.Frames, Opt.Items, HistBins);
+  Out.Ok = true;
+  return Out;
+}
 
 } // namespace
 
@@ -126,8 +338,12 @@ int main(int argc, char **argv) {
       Opt.Workers = unsigned(Next());
     else if (Arg == "--max-queued")
       Opt.MaxQueued = size_t(Next());
+    else if (Arg == "--repeat")
+      Opt.Repeat = int(Next());
     else if (Arg == "--no-hybrid")
       Opt.Hybrid = false;
+    else if (Arg == "--no-affinity")
+      Opt.Affinity = false;
     else if (Arg == "--no-verify")
       Opt.Verify = false;
     else if (Arg == "--quiet")
@@ -139,252 +355,118 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
-  if (Opt.Frames <= 0 || Opt.Items <= 0) {
-    std::fprintf(stderr, "--frames/--items must be positive\n");
+  if (Opt.Frames <= 0 || Opt.Items <= 0 || Opt.Repeat <= 0) {
+    std::fprintf(stderr, "--frames/--items/--repeat must be positive\n");
     return 2;
   }
 
-  svm::SharedRegion Region(256 << 20);
-  auto Machine = gpusim::MachineConfig::ultrabook();
-  Runtime RT(Machine, Region);
-  if (Opt.Verify)
-    RT.setFootprintPolicy(runtime::FootprintPolicy::Verify);
-
-  constexpr int Stages = 3;
-  const float Ks[Stages] = {1.25f, 0.75f, 1.5f};
-  const float Bs[Stages] = {3.0f, -1.0f, 0.5f};
-
-  // Per frame: In -> Buf[0] -> Buf[1] -> Buf[2], all disjoint from other
-  // frames' buffers; plus a per-frame keys array feeding the one shared
-  // bins array every frame accumulates into.
-  std::vector<float *> Inputs;
-  std::vector<std::vector<float *>> Bufs(size_t(Opt.Frames));
-  std::vector<int32_t *> KeyArrays;
-  std::vector<Axpb *> Bodies;
-  int32_t *Bins = Region.allocArray<int32_t>(HistBins);
-  if (!Bins)
-    return 1;
-  std::memset(Bins, 0, HistBins * sizeof(int32_t));
-  std::vector<int32_t> ExpectedBins(HistBins, 0);
-  for (int F = 0; F < Opt.Frames; ++F) {
-    float *In = Region.allocArray<float>(size_t(Opt.Items));
-    if (!In)
+  // Run the pipeline Repeat times over fresh arenas; the per-task table
+  // and JSON detail come from the final run, wall-clock aggregates from
+  // all of them.
+  std::vector<double> Walls;
+  RunOutcome Out;
+  for (int R = 0; R < Opt.Repeat; ++R) {
+    bool Print = !Opt.Quiet && R + 1 == Opt.Repeat;
+    Out = runOnce(Opt, Print);
+    if (!Out.Ok)
       return 1;
-    for (int I = 0; I < Opt.Items; ++I)
-      In[I] = float(I % 97) * 0.5f + float(F);
-    Inputs.push_back(In);
-    for (int S = 0; S < Stages; ++S) {
-      float *Buf = Region.allocArray<float>(size_t(Opt.Items));
-      if (!Buf)
-        return 1;
-      Bufs[size_t(F)].push_back(Buf);
-    }
-    // One key per bin, permuted per frame: within a launch every
-    // work-item RMWs its own bin (the device interleaves work-items, so
-    // colliding unsynchronized RMWs inside one launch would lose
-    // updates); the accumulation under test is *across* the frames'
-    // tasks. 2F+1 is odd, hence a unit mod the power-of-two bin count.
-    int32_t *Keys = Region.allocArray<int32_t>(HistBins);
-    if (!Keys)
-      return 1;
-    for (int I = 0; I < HistBins; ++I) {
-      Keys[I] = (I * (2 * F + 1) + F) % HistBins;
-      ++ExpectedBins[size_t(Keys[I])];
-    }
-    KeyArrays.push_back(Keys);
+    Walls.push_back(Out.WallSeconds);
   }
+  std::sort(Walls.begin(), Walls.end());
+  double WallMin = Walls.front();
+  double WallMax = Walls.back();
+  double WallMedian = Walls.size() % 2
+                          ? Walls[Walls.size() / 2]
+                          : 0.5 * (Walls[Walls.size() / 2 - 1] +
+                                   Walls[Walls.size() / 2]);
+  if (!Opt.Quiet && Opt.Repeat > 1)
+    std::printf("wall over %d runs: median %.3f s, min %.3f s, max %.3f s\n",
+                Opt.Repeat, WallMedian, WallMin, WallMax);
 
-  sched::SchedulerOptions SO;
-  SO.NumWorkers = Opt.Workers;
-  SO.MaxQueued = Opt.MaxQueued;
-  SO.AllowHybrid = Opt.Hybrid;
-
-  std::vector<sched::TaskHandle> Handles;
-  double WallSeconds = 0;
-  {
-    sched::Scheduler Sched(RT, SO);
-    auto Start = std::chrono::steady_clock::now();
-    for (int F = 0; F < Opt.Frames; ++F) {
-      for (int S = 0; S < Stages; ++S) {
-        float *In = S == 0 ? Inputs[size_t(F)] : Bufs[size_t(F)][S - 1];
-        float *Out = Bufs[size_t(F)][S];
-        auto *Body = Region.create<Axpb>();
-        if (!Body)
-          return 1;
-        Body->In = In;
-        Body->Out = Out;
-        Body->K = Ks[S];
-        Body->B = Bs[S];
-        Bodies.push_back(Body);
-
-        sched::TaskDesc D;
-        D.Spec = KernelSpec{Axpb::kernelSource(), Axpb::kernelClassName()};
-        D.N = Opt.Items;
-        D.BodyPtr = Body;
-        char Label[32];
-        std::snprintf(Label, sizeof(Label), "frame%d/stage%d", F, S);
-        D.Label = Label;
-        Handles.push_back(Sched.submit(
-            std::move(D), sched::AccessSet()
-                              .readArray(In, size_t(Opt.Items))
-                              .writeArray(Out, size_t(Opt.Items))));
-      }
-
-      // The frame's accumulate stage: all frames share Bins, yet these
-      // tasks hold no hazard edges among themselves.
-      auto *HistBody = Region.create<Hist>();
-      if (!HistBody)
-        return 1;
-      HistBody->Keys = KeyArrays[size_t(F)];
-      HistBody->Bins = Bins;
-      sched::TaskDesc HD;
-      HD.Spec = KernelSpec{Hist::kernelSource(), Hist::kernelClassName()};
-      HD.N = HistBins;
-      HD.BodyPtr = HistBody;
-      char HistLabel[32];
-      std::snprintf(HistLabel, sizeof(HistLabel), "frame%d/hist", F);
-      HD.Label = HistLabel;
-      Handles.push_back(Sched.submit(
-          std::move(HD),
-          sched::AccessSet()
-              .readArray(KeyArrays[size_t(F)], HistBins)
-              .accumulateArray(Bins, HistBins)));
-    }
-    Sched.drain();
-    WallSeconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - Start)
-                      .count();
-
-    sched::Scheduler::Stats St = Sched.stats();
-    if (!Opt.Quiet) {
-      std::printf("%-16s %8s %10s %10s %10s %s\n", "task", "ok",
-                  "queue_ms", "compile_ms", "exec_ms", "exec");
-      for (const sched::TaskHandle &H : Handles) {
-        const sched::TaskResult &R = H.wait();
-        std::printf("%-16s %8s %10.3f %10.3f %10.3f %s\n",
-                    R.Label.c_str(), R.Ok ? "ok" : "FAIL",
-                    R.Timing.QueueSeconds * 1e3,
-                    R.Timing.CompileSeconds * 1e3,
-                    R.Timing.ExecuteSeconds * 1e3,
-                    R.Report.Hybrid ? "hybrid" : "single");
-      }
-      std::printf("\n%llu tasks, %llu hazard edges, %llu hybrid, "
-                  "max %u in flight, queue high-water %zu, "
-                  "%llu verify-rejected, %llu accumulate (%llu merge, "
-                  "%llu shadow bytes), wall %.3f s\n",
-                  (unsigned long long)St.Submitted,
-                  (unsigned long long)St.HazardEdges,
-                  (unsigned long long)St.HybridLaunches,
-                  St.MaxTasksInFlight, St.MaxQueueDepth,
-                  (unsigned long long)St.VerifyRejected,
-                  (unsigned long long)St.AccumTasks,
-                  (unsigned long long)St.MergeTasks,
-                  (unsigned long long)St.ShadowBytes, WallSeconds);
-    }
-
-    // Verified mode must be clean: the declared sets are exact, so a
-    // rejection means the footprint analysis or coverage check regressed.
-    if (Opt.Verify && St.VerifyRejected != 0) {
-      std::fprintf(stderr,
-                   "access-set verification rejected %llu tasks\n",
-                   (unsigned long long)St.VerifyRejected);
+  if (!Opt.JsonPath.empty()) {
+    const sched::Scheduler::Stats &St = Out.St;
+    const runtime::RefinementStats &RS = Out.RS;
+    std::FILE *F = std::fopen(Opt.JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Opt.JsonPath.c_str());
       return 1;
     }
-
-    if (!Opt.JsonPath.empty()) {
-      std::FILE *F = std::fopen(Opt.JsonPath.c_str(), "w");
-      if (!F) {
-        std::fprintf(stderr, "cannot write %s\n", Opt.JsonPath.c_str());
-        return 1;
-      }
-      std::fprintf(F, "{\n  \"benchmark\": \"sched_pipeline\",\n");
-      std::fprintf(F, "  \"machine\": \"%s\",\n", Machine.Name.c_str());
-      std::fprintf(F,
-                   "  \"frames\": %d, \"items\": %d, \"workers\": %u, "
-                   "\"max_queued\": %zu, \"hybrid\": %s, \"verify\": %s,\n",
-                   Opt.Frames, Opt.Items, Opt.Workers, Opt.MaxQueued,
-                   Opt.Hybrid ? "true" : "false",
-                   Opt.Verify ? "true" : "false");
-      std::fprintf(F, "  \"wall_seconds\": %.6f,\n", WallSeconds);
+    std::fprintf(F, "{\n  \"benchmark\": \"sched_pipeline\",\n");
+    std::fprintf(F, "  \"machine\": \"%s\",\n", Out.MachineName.c_str());
+    std::fprintf(F,
+                 "  \"frames\": %d, \"items\": %d, \"workers\": %u, "
+                 "\"max_queued\": %zu, \"repeat\": %d, \"hybrid\": %s, "
+                 "\"affinity\": %s, \"verify\": %s,\n",
+                 Opt.Frames, Opt.Items, Opt.Workers, Opt.MaxQueued,
+                 Opt.Repeat, Opt.Hybrid ? "true" : "false",
+                 Opt.Affinity ? "true" : "false",
+                 Opt.Verify ? "true" : "false");
+    std::fprintf(F,
+                 "  \"wall_seconds\": %.6f, \"wall_seconds_min\": %.6f, "
+                 "\"wall_seconds_max\": %.6f,\n",
+                 WallMedian, WallMin, WallMax);
+    std::fprintf(
+        F,
+        "  \"stats\": {\"submitted\": %llu, \"completed\": %llu, "
+        "\"failed\": %llu, \"hazard_edges\": %llu, "
+        "\"hybrid_launches\": %llu, \"max_in_flight\": %u, "
+        "\"max_queue_depth\": %zu, \"verify_rejected\": %llu, "
+        "\"inferred_sets\": %llu, \"windows_clipped\": %llu, "
+        "\"top_demoted\": %llu, \"oob_findings\": %llu, "
+        "\"accum_tasks\": %llu, \"accum_demoted\": %llu, "
+        "\"merge_tasks\": %llu, \"shadow_bytes\": %llu, "
+        "\"shadow_reused\": %llu, \"accum_windows\": %llu, "
+        "\"accum_rejections\": %llu, \"placed_gpu\": %llu, "
+        "\"placed_cpu\": %llu, \"affinity_hits\": %llu, "
+        "\"resident_bytes\": %llu, \"fetched_bytes\": %llu, "
+        "\"footprint_splits\": %llu},\n",
+        (unsigned long long)St.Submitted, (unsigned long long)St.Completed,
+        (unsigned long long)St.Failed, (unsigned long long)St.HazardEdges,
+        (unsigned long long)St.HybridLaunches, St.MaxTasksInFlight,
+        St.MaxQueueDepth, (unsigned long long)St.VerifyRejected,
+        (unsigned long long)St.InferredSets,
+        (unsigned long long)RS.WindowsClipped,
+        (unsigned long long)RS.TopDemoted,
+        (unsigned long long)RS.OobFindings,
+        (unsigned long long)St.AccumTasks,
+        (unsigned long long)St.AccumDemoted,
+        (unsigned long long)St.MergeTasks,
+        (unsigned long long)St.ShadowBytes,
+        (unsigned long long)St.ShadowReused,
+        (unsigned long long)RS.AccumWindows,
+        (unsigned long long)RS.AccumRejections,
+        (unsigned long long)St.PlacedGpu, (unsigned long long)St.PlacedCpu,
+        (unsigned long long)St.AffinityHits,
+        (unsigned long long)St.ResidentBytes,
+        (unsigned long long)St.FetchedBytes,
+        (unsigned long long)RS.FootprintSplits);
+    std::fprintf(F, "  \"tasks\": [\n");
+    for (size_t I = 0; I < Out.Results.size(); ++I) {
+      const sched::TaskResult &R = Out.Results[I];
       std::fprintf(
           F,
-          "  \"stats\": {\"submitted\": %llu, \"completed\": %llu, "
-          "\"failed\": %llu, \"hazard_edges\": %llu, "
-          "\"hybrid_launches\": %llu, \"max_in_flight\": %u, "
-          "\"max_queue_depth\": %zu, \"verify_rejected\": %llu, "
-          "\"inferred_sets\": %llu, \"windows_clipped\": %llu, "
-          "\"top_demoted\": %llu, \"oob_findings\": %llu, "
-          "\"accum_tasks\": %llu, \"accum_demoted\": %llu, "
-          "\"merge_tasks\": %llu, \"shadow_bytes\": %llu, "
-          "\"accum_windows\": %llu, \"accum_rejections\": %llu},\n",
-          (unsigned long long)St.Submitted,
-          (unsigned long long)St.Completed,
-          (unsigned long long)St.Failed,
-          (unsigned long long)St.HazardEdges,
-          (unsigned long long)St.HybridLaunches, St.MaxTasksInFlight,
-          St.MaxQueueDepth, (unsigned long long)St.VerifyRejected,
-          (unsigned long long)St.InferredSets,
-          (unsigned long long)RT.refinementStats().WindowsClipped,
-          (unsigned long long)RT.refinementStats().TopDemoted,
-          (unsigned long long)RT.refinementStats().OobFindings,
-          (unsigned long long)St.AccumTasks,
-          (unsigned long long)St.AccumDemoted,
-          (unsigned long long)St.MergeTasks,
-          (unsigned long long)St.ShadowBytes,
-          (unsigned long long)RT.refinementStats().AccumWindows,
-          (unsigned long long)RT.refinementStats().AccumRejections);
-      std::fprintf(F, "  \"tasks\": [\n");
-      for (size_t I = 0; I < Handles.size(); ++I) {
-        const sched::TaskResult &R = Handles[I].wait();
-        std::fprintf(
-            F,
-            "    {\"id\": %llu, \"label\": \"%s\", \"ok\": %s, "
-            "\"queue_seconds\": %.9g, \"compile_seconds\": %.9g, "
-            "\"execute_seconds\": %.9g, \"start_seq\": %llu, "
-            "\"end_seq\": %llu, \"hybrid\": %s, \"hybrid_split\": %lld, "
-            "\"gpu_fraction\": %.4f, \"modelled_seconds\": %.9g, "
-            "\"modelled_joules\": %.9g}%s\n",
-            (unsigned long long)R.Id, R.Label.c_str(),
-            R.Ok ? "true" : "false", R.Timing.QueueSeconds,
-            R.Timing.CompileSeconds, R.Timing.ExecuteSeconds,
-            (unsigned long long)R.StartSeq, (unsigned long long)R.EndSeq,
-            R.Report.Hybrid ? "true" : "false",
-            (long long)R.Report.HybridSplit, R.Report.HybridGpuFraction,
-            R.Report.Sim.Seconds, R.Report.Sim.Joules,
-            I + 1 < Handles.size() ? "," : "");
-      }
-      std::fprintf(F, "  ]\n}\n");
-      std::fclose(F);
+          "    {\"id\": %llu, \"label\": \"%s\", \"ok\": %s, "
+          "\"queue_seconds\": %.9g, \"compile_seconds\": %.9g, "
+          "\"execute_seconds\": %.9g, \"start_seq\": %llu, "
+          "\"end_seq\": %llu, \"hybrid\": %s, \"hybrid_split\": %lld, "
+          "\"gpu_fraction\": %.4f, \"footprint_split\": %s, "
+          "\"device\": \"%s\", \"modelled_seconds\": %.9g, "
+          "\"modelled_joules\": %.9g}%s\n",
+          (unsigned long long)R.Id, R.Label.c_str(),
+          R.Ok ? "true" : "false", R.Timing.QueueSeconds,
+          R.Timing.CompileSeconds, R.Timing.ExecuteSeconds,
+          (unsigned long long)R.StartSeq, (unsigned long long)R.EndSeq,
+          R.Report.Hybrid ? "true" : "false",
+          (long long)R.Report.HybridSplit, R.Report.HybridGpuFraction,
+          R.Report.FootprintSplit ? "true" : "false",
+          R.Report.Hybrid
+              ? "hybrid"
+              : (R.Report.Executed == runtime::Device::GPU ? "gpu" : "cpu"),
+          R.Report.Sim.Seconds, R.Report.Sim.Joules,
+          I + 1 < Out.Results.size() ? "," : "");
     }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
   }
-
-  // Verify: every task ok, final buffers match the host computation.
-  for (const sched::TaskHandle &H : Handles)
-    if (!H.wait().Ok) {
-      std::fprintf(stderr, "task %s failed: %s\n",
-                   H.wait().Label.c_str(), H.wait().Error.c_str());
-      return 1;
-    }
-  for (int F = 0; F < Opt.Frames; ++F)
-    for (int I = 0; I < Opt.Items; ++I) {
-      float V = Inputs[size_t(F)][I];
-      for (int S = 0; S < Stages; ++S)
-        V = V * Ks[S] + Bs[S];
-      float Got = Bufs[size_t(F)][Stages - 1][I];
-      if (V != Got) {
-        std::fprintf(stderr, "frame %d item %d: expected %g, got %g\n", F,
-                     I, V, Got);
-        return 1;
-      }
-    }
-  for (int B = 0; B < HistBins; ++B)
-    if (Bins[B] != ExpectedBins[size_t(B)]) {
-      std::fprintf(stderr, "bin %d: expected %d, got %d\n", B,
-                   ExpectedBins[size_t(B)], Bins[B]);
-      return 1;
-    }
-  if (!Opt.Quiet)
-    std::printf("verified %d frames x %d items (+%d shared bins)\n",
-                Opt.Frames, Opt.Items, HistBins);
   return 0;
 }

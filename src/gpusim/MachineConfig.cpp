@@ -4,6 +4,12 @@
 
 using namespace concord::gpusim;
 
+double DeviceConfig::llcFetchSecondsPerByte() const {
+  double LineBytes = LLC.LineBytes ? double(LLC.LineBytes) : 64.0;
+  double Hz = FreqGHz > 0 ? FreqGHz * 1e9 : 1e9;
+  return CacheMissCost / LineBytes / Hz;
+}
+
 /// Shared shape of both integrated GPUs: 7 hw threads/EU, SIMD-16, shared
 /// un-banked L3 (no per-EU L1 for global data), divergence via SIMT stack.
 static DeviceConfig baseGpu() {

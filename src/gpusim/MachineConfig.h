@@ -88,6 +88,13 @@ struct DeviceConfig {
   double CompanionIdlePowerW = 1.0; ///< Rest of the package, idle.
 
   double LaunchOverheadUs = 10.0; ///< Per kernel launch.
+
+  /// Modelled seconds to stream one byte into this device's LLC from DRAM
+  /// (CacheMissCost core cycles per LLC line). The transfer term of the
+  /// scheduler's placement cost model and of the footprint-guided hybrid
+  /// split — derived from the same constants the simulator charges, so
+  /// placement and timing agree on which device fetches cheaply.
+  double llcFetchSecondsPerByte() const;
 };
 
 /// A machine = a CPU device + an integrated GPU device sharing memory.

@@ -115,6 +115,13 @@ struct Runtime::Impl {
   std::atomic<uint64_t> MergeTasks{0};
   std::atomic<uint64_t> ShadowBytes{0};
 
+  /// Data-aware placement counters (resident/fetched fed by the
+  /// scheduler's residency accounting; splits counted by offloadHybrid).
+  std::atomic<uint64_t> ResidentBytes{0};
+  std::atomic<uint64_t> FetchedBytes{0};
+  std::atomic<uint64_t> AffinityHits{0};
+  std::atomic<uint64_t> FootprintSplits{0};
+
   /// Profile-guided GPU fraction for a kernel; InitialGpuFraction until
   /// the first hybrid launch has recorded throughput history.
   double fractionFor(uint64_t SpecKey) const {
@@ -190,6 +197,12 @@ static uint64_t specKeyOf(const KernelSpec &Spec) {
   return hashString(Spec.Source) * 31 + hashString(Spec.BodyClass);
 }
 
+static uint64_t cacheKeyOf(uint64_t SpecKey, Construct Kind, Device Dev,
+                           const transforms::PipelineOptions &Opts) {
+  return SpecKey * 1315423911ull + uint64_t(Kind) * 7 + uint64_t(Dev) * 3 +
+         optionsFingerprint(Opts);
+}
+
 /// Compiles (or returns the cached) program for a spec + construct +
 /// device. Also materializes the vtables on first compile of a spec.
 /// Thread-safe; \p DidCompile (optional) reports whether this call
@@ -206,9 +219,7 @@ compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
     *SpecKeyOut = SpecKey;
   if (DidCompile)
     *DidCompile = false;
-  uint64_t Key = SpecKey * 1315423911ull +
-                 uint64_t(Kind) * 7 + uint64_t(Dev) * 3 +
-                 optionsFingerprint(Opts);
+  uint64_t Key = cacheKeyOf(SpecKey, Kind, Dev, Opts);
   {
     std::shared_lock<std::shared_mutex> Lock(Impl.CacheMutex);
     auto It = Impl.Programs.find(Key);
@@ -403,6 +414,107 @@ static gpusim::SimResult mergeSimResults(const gpusim::SimResult &Gpu,
   return M;
 }
 
+/// Concretized working-set bytes of the launch sub-range
+/// [Base, Base + Count): the footprint windows evaluated against the body
+/// object, merged so overlapping windows count once.
+static uint64_t partitionBytes(const analysis::KernelFootprint &FP,
+                               const void *BodyPtr, int64_t Base,
+                               int64_t Count, svm::SharedRegion &Region) {
+  std::vector<analysis::ConcreteAccess> Accesses =
+      analysis::concretizeFootprint(
+          FP, BodyPtr, Base, Count, Region.range(),
+          [&Region](const void *Ptr) {
+            return Region.allocationExtent(Ptr);
+          });
+  std::vector<svm::MemRange> Ranges;
+  Ranges.reserve(Accesses.size());
+  for (const analysis::ConcreteAccess &A : Accesses)
+    Ranges.push_back(A.Range);
+  std::sort(Ranges.begin(), Ranges.end(),
+            [](const svm::MemRange &A, const svm::MemRange &B) {
+              return A.Begin < B.Begin;
+            });
+  uint64_t Total = 0;
+  uint64_t End = 0;
+  bool Any = false;
+  for (const svm::MemRange &R : Ranges) {
+    if (R.size() == 0)
+      continue;
+    if (Any && R.Begin < End) {
+      if (R.End > End) {
+        Total += R.End - End;
+        End = R.End;
+      }
+    } else {
+      Total += R.size();
+      End = R.End;
+      Any = true;
+    }
+  }
+  return Total;
+}
+
+/// Clamps the EWMA boundary into the interval where the GPU partition's
+/// working set fits the GPU LLC and the CPU partition's fits the CPU LLC.
+/// Returns true when the boundary moved. Requires a precise footprint:
+/// Bounded/Top entries have no provable per-partition window, so their
+/// concretized whole-allocation ranges would not shrink with the split
+/// and the search would be meaningless.
+static bool refineSplitByFootprint(const analysis::KernelFootprint &FP,
+                                   const void *BodyPtr, int64_t N,
+                                   const gpusim::MachineConfig &Machine,
+                                   svm::SharedRegion &Region,
+                                   int64_t &Split) {
+  if (!FP.Analyzed)
+    return false;
+  for (const analysis::FootprintEntry &E : FP.Entries)
+    if (E.Kind != analysis::ExtentKind::None &&
+        E.Kind != analysis::ExtentKind::Exact &&
+        E.Kind != analysis::ExtentKind::Affine)
+      return false;
+
+  const uint64_t GpuCap = Machine.Gpu.LLC.SizeBytes;
+  const uint64_t CpuCap = Machine.Cpu.LLC.SizeBytes;
+  if (GpuCap == 0 || CpuCap == 0)
+    return false;
+  auto GpuFits = [&](int64_t S) {
+    return partitionBytes(FP, BodyPtr, 0, S, Region) <= GpuCap;
+  };
+  auto CpuFits = [&](int64_t S) {
+    return partitionBytes(FP, BodyPtr, S, N - S, Region) <= CpuCap;
+  };
+  // Partition bytes grow monotonically with partition size, so each
+  // constraint bounds one end of a feasible interval [Lo, Hi].
+  if (!GpuFits(1) || !CpuFits(N - 1))
+    return false; // Even a one-item partition overflows; no boundary helps.
+  int64_t L = 1, H = N - 1;
+  while (L < H) { // Largest S whose GPU partition fits.
+    int64_t M = L + (H - L + 1) / 2;
+    if (GpuFits(M))
+      L = M;
+    else
+      H = M - 1;
+  }
+  int64_t Hi = L;
+  L = 1;
+  H = N - 1;
+  while (L < H) { // Smallest S whose CPU partition fits.
+    int64_t M = L + (H - L) / 2;
+    if (CpuFits(M))
+      H = M;
+    else
+      L = M + 1;
+  }
+  int64_t Lo = L;
+  if (Lo > Hi)
+    return false; // Both caches cannot hold their share at any boundary.
+  int64_t Refined = std::clamp(Split, Lo, Hi);
+  if (Refined == Split)
+    return false;
+  Split = Refined;
+  return true;
+}
+
 LaunchReport Runtime::offloadHybrid(const KernelSpec &Spec, int64_t N,
                                     void *BodyPtr) {
   // Compile the GPU program and check eligibility. The interference
@@ -431,12 +543,20 @@ LaunchReport Runtime::offloadHybrid(const KernelSpec &Spec, int64_t N,
   double Frac = P->fractionFor(SpecKey);
   int64_t Split =
       std::clamp<int64_t>(llround(double(N) * Frac), 1, N - 1);
+  bool Refined = false;
+  if (P->Hybrid.FootprintGuided) {
+    Refined = refineSplitByFootprint(GpuCP->Footprint, BodyPtr, N, Machine,
+                                     Region, Split);
+    if (Refined)
+      ++P->FootprintSplits;
+  }
 
   LaunchReport Rep;
   Rep.Executed = Device::GPU;
   Rep.Hybrid = true;
   Rep.HybridSplit = Split;
   Rep.HybridGpuFraction = Frac;
+  Rep.FootprintSplit = Refined;
   Rep.JitCached = !GpuCompiled;
   Rep.CompileSeconds = GpuCompiled ? GpuCP->CompileSeconds : 0;
   Rep.Diagnostics = GpuCP->Diagnostics;
@@ -476,6 +596,75 @@ LaunchReport Runtime::offloadHybrid(const KernelSpec &Spec, int64_t N,
     P->recordHybridSample(SpecKey, Split, N - Split, GpuR.Seconds,
                           CpuR.Seconds);
   return Rep;
+}
+
+LaunchReport Runtime::offloadPlaced(const KernelSpec &Spec, int64_t N,
+                                    void *BodyPtr, Device Placed) {
+  if (Placed == Device::GPU)
+    return offloadRange(Spec, 0, N, BodyPtr, /*OnCpu=*/false);
+
+  // CPU placement = the hybrid CPU partition over the full range: the
+  // GPU-compiled program on the CPU timing model, GPU bindings and SVM
+  // translation, NumCores pinned — identical instruction stream per
+  // work-item, so the result is bit-identical to a pure-GPU launch.
+  bool GpuCompiled = false;
+  CachedProgram *GpuCP = compileCached(
+      *P, Region, Spec, Construct::ParallelFor, Device::GPU, P->GpuOptions,
+      nullptr, &GpuCompiled);
+  const codegen::BKernel *GK = nullptr;
+  if (!GpuCP->Failed && !GpuCP->Unsupported)
+    GK = GpuCP->Program.findKernel(GpuCP->KernelName);
+  bool Eligible = GK && GK->ScheduleFree && N >= 1 &&
+                  Region.contains(BodyPtr) &&
+                  GK->FrameBytes <= Machine.Cpu.PrivateBytesPerItem;
+  if (!Eligible) {
+    // The scheduler only places eligible tasks; this is the safety net.
+    LaunchReport Rep = offloadRange(Spec, 0, N, BodyPtr, /*OnCpu=*/false);
+    Rep.JitCached = Rep.JitCached && !GpuCompiled;
+    return Rep;
+  }
+
+  LaunchReport Rep;
+  Rep.Executed = Device::CPU;
+  Rep.JitCached = !GpuCompiled;
+  Rep.CompileSeconds = GpuCompiled ? GpuCP->CompileSeconds : 0;
+  Rep.Diagnostics = GpuCP->Diagnostics;
+  Rep.OptStats = GpuCP->Stats;
+
+  gpusim::SimOptions CpuOpts = P->SimOpts;
+  CpuOpts.NumCoresValue = Machine.Gpu.NumCores;
+  Region.pin();
+  gpusim::Simulator Sim(Machine.Cpu, P->GpuBindings, Region.svmConst(),
+                        CpuOpts);
+  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
+  Rep.Sim = Sim.runRange(*GK, {BodyAddr}, 0, uint64_t(N));
+  Region.unpin();
+  Rep.Ok = Rep.Sim.ok();
+  if (!Rep.Ok)
+    Rep.Diagnostics += "\n" + Rep.Sim.TrapMessage;
+  return Rep;
+}
+
+bool Runtime::cachedKernelInfo(
+    const KernelSpec &Spec, bool *ScheduleFree,
+    const analysis::KernelFootprint **Footprint) const {
+  uint64_t Key = cacheKeyOf(specKeyOf(Spec), Construct::ParallelFor,
+                            Device::GPU, P->GpuOptions);
+  std::shared_lock<std::shared_mutex> Lock(P->CacheMutex);
+  auto It = P->Programs.find(Key);
+  if (It == P->Programs.end())
+    return false;
+  const CachedProgram *CP = It->second.get();
+  if (CP->Failed || CP->Unsupported)
+    return false;
+  if (ScheduleFree) {
+    const codegen::BKernel *K = CP->Program.findKernel(CP->KernelName);
+    *ScheduleFree = K && K->ScheduleFree &&
+                    K->FrameBytes <= Machine.Cpu.PrivateBytesPerItem;
+  }
+  if (Footprint)
+    *Footprint = &CP->Footprint;
+  return true;
 }
 
 void Runtime::setFootprintPolicy(FootprintPolicy Policy) {
@@ -529,12 +718,23 @@ RefinementStats Runtime::refinementStats() const {
   S.AccumTasks = P->AccumTasks.load();
   S.MergeTasks = P->MergeTasks.load();
   S.ShadowBytes = P->ShadowBytes.load();
+  S.ResidentBytes = P->ResidentBytes.load();
+  S.FetchedBytes = P->FetchedBytes.load();
+  S.AffinityHits = P->AffinityHits.load();
+  S.FootprintSplits = P->FootprintSplits.load();
   return S;
 }
 
 void Runtime::noteAccumTask() { ++P->AccumTasks; }
 void Runtime::noteMergeTask() { ++P->MergeTasks; }
 void Runtime::noteShadowBytes(uint64_t Bytes) { P->ShadowBytes += Bytes; }
+
+void Runtime::notePlacement(uint64_t ResidentBytes, uint64_t FetchedBytes) {
+  P->ResidentBytes += ResidentBytes;
+  P->FetchedBytes += FetchedBytes;
+}
+
+void Runtime::noteAffinityHit() { ++P->AffinityHits; }
 
 void *Runtime::sharedAlloc(size_t Bytes, size_t Align) {
   // SharedRegion's free-list is not thread-safe; the JIT cache's

@@ -71,6 +71,14 @@ struct HybridOptions {
   /// EWMA weight of the newest throughput sample when adapting the split
   /// ratio from per-kernel history (1 = use only the latest launch).
   double Smoothing = 0.5;
+  /// Footprint-guided boundary refinement: when the kernel's concretized
+  /// footprint is precise (every entry Exact or Affine), the EWMA boundary
+  /// is clamped into the feasible interval where each partition's working
+  /// set fits its device's modelled LLC. Falls back to the plain EWMA
+  /// ratio when the footprint has Bounded/Top entries (no provable
+  /// per-partition byte window) or when no boundary satisfies both cache
+  /// models.
+  bool FootprintGuided = true;
 };
 
 /// A kernel handle: CKL source plus the Body class to compile.
@@ -95,6 +103,9 @@ struct LaunchReport {
   bool Hybrid = false;
   int64_t HybridSplit = 0;      ///< Items [0, Split) ran on the GPU model.
   double HybridGpuFraction = 0; ///< Fraction used for this launch.
+  /// The footprint-guided refinement moved the boundary off the EWMA
+  /// ratio so both partitions' working sets fit their cache models.
+  bool FootprintSplit = false;
   gpusim::SimResult HybridGpuSim;
   gpusim::SimResult HybridCpuSim;
 };
@@ -115,6 +126,15 @@ struct RefinementStats {
   uint64_t AccumTasks = 0;     ///< Accumulate tasks admitted concurrently.
   uint64_t MergeTasks = 0;     ///< Shadow-fold merge tasks injected.
   uint64_t ShadowBytes = 0;    ///< Total shadow-range bytes allocated.
+  uint64_t ResidentBytes = 0;  ///< Launch footprint bytes already resident
+                               ///< on the executing device's LLC model
+                               ///< when the launch retired (scheduler-fed).
+  uint64_t FetchedBytes = 0;   ///< Footprint bytes the executing device
+                               ///< had to stream in (footprint − resident).
+  uint64_t AffinityHits = 0;   ///< Data-aware placements steered to a
+                               ///< device already holding footprint bytes.
+  uint64_t FootprintSplits = 0; ///< Hybrid boundaries moved off the EWMA
+                                ///< ratio by the footprint-guided split.
 };
 
 class Runtime {
@@ -190,6 +210,21 @@ public:
   void noteMergeTask();
   void noteShadowBytes(uint64_t Bytes);
 
+  /// Placement counters, fed by the scheduler's residency accounting when
+  /// a launch retires (see RefinementStats::ResidentBytes/FetchedBytes/
+  /// AffinityHits).
+  void notePlacement(uint64_t ResidentBytes, uint64_t FetchedBytes);
+  void noteAffinityHit();
+
+  /// Non-compiling peek at the GPU program cache: returns true iff the
+  /// kernel's GPU program is already cached and usable (not failed, not
+  /// unsupported), reporting its schedule-freedom and footprint. Never
+  /// triggers a JIT compile, so the scheduler can consult it on the
+  /// submit path without regressing the lazy-compile contract that
+  /// SchedJit.ConcurrentTasksCompileOnce pins down.
+  bool cachedKernelInfo(const KernelSpec &Spec, bool *ScheduleFree,
+                        const analysis::KernelFootprint **Footprint) const;
+
   /// Thread-safe allocation in the shared region (the SharedRegion
   /// allocator itself is not thread-safe; these serialize against the JIT
   /// cache's region writes). The scheduler's shadow ranges use this from
@@ -221,6 +256,17 @@ public:
   /// throughput history that steers the next split.
   LaunchReport offloadHybrid(const KernelSpec &Spec, int64_t N,
                              void *BodyPtr);
+
+  /// Data-aware whole-device placement: runs the entire range [0, N) on
+  /// \p Placed without splitting. GPU placement is a plain GPU launch.
+  /// CPU placement executes the *GPU-compiled* program on the CPU machine
+  /// model with GPU bindings and the NumCores op pinned to the GPU's core
+  /// count — exactly the hybrid CPU partition over the full range — so
+  /// every work-item runs the identical instruction stream and the result
+  /// stays bit-identical to a pure-GPU launch. Requires a schedule-free
+  /// kernel like offloadHybrid; ineligible kernels run on the GPU model.
+  LaunchReport offloadPlaced(const KernelSpec &Spec, int64_t N,
+                             void *BodyPtr, Device Placed);
 
   /// True when the compiled GPU kernel was proven schedule-free by the
   /// interference analysis (the precondition for hybrid splitting).

@@ -1,0 +1,138 @@
+//===- Residency.cpp - Per-device LLC residency model ---------------------===//
+
+#include "sched/Residency.h"
+
+#include <algorithm>
+
+namespace concord {
+namespace sched {
+
+std::vector<svm::MemRange> normalizeRanges(std::vector<svm::MemRange> Ranges) {
+  Ranges.erase(std::remove_if(Ranges.begin(), Ranges.end(),
+                              [](const svm::MemRange &R) {
+                                return R.size() == 0;
+                              }),
+               Ranges.end());
+  std::sort(Ranges.begin(), Ranges.end(),
+            [](const svm::MemRange &A, const svm::MemRange &B) {
+              return A.Begin < B.Begin;
+            });
+  std::vector<svm::MemRange> Out;
+  for (const svm::MemRange &R : Ranges) {
+    if (!Out.empty() && R.Begin <= Out.back().End)
+      Out.back().End = std::max(Out.back().End, R.End);
+    else
+      Out.push_back(R);
+  }
+  return Out;
+}
+
+uint64_t totalRangeBytes(const std::vector<svm::MemRange> &Normalized) {
+  uint64_t Total = 0;
+  for (const svm::MemRange &R : Normalized)
+    Total += R.size();
+  return Total;
+}
+
+ResidencyTracker::ResidencyTracker(uint64_t CapacityBytes,
+                                   unsigned MaxEntries)
+    : Capacity(CapacityBytes), MaxEntries(std::max(1u, MaxEntries)) {}
+
+void ResidencyTracker::touch(const svm::MemRange &R) {
+  if (Capacity == 0 || R.size() == 0)
+    return;
+  svm::MemRange New = R;
+  // A range wider than the cache keeps only its tail: a streaming pass
+  // evicts its own head as it goes.
+  if (New.size() > Capacity)
+    New.Begin = New.End - Capacity;
+
+  // Trim overlapped older entries; an entry straddling both sides splits.
+  size_t Count = Entries.size();
+  for (size_t I = 0; I < Count;) {
+    Entry &E = Entries[I];
+    if (!E.Range.overlaps(New)) {
+      ++I;
+      continue;
+    }
+    TotalBytes -= E.Range.size();
+    svm::MemRange Left{E.Range.Begin, std::min(E.Range.End, New.Begin)};
+    svm::MemRange Right{std::max(E.Range.Begin, New.End), E.Range.End};
+    bool HasLeft = Left.Begin < Left.End;
+    bool HasRight = Right.Begin < Right.End;
+    if (HasLeft) {
+      E.Range = Left;
+      TotalBytes += Left.size();
+      if (HasRight) {
+        Entries.push_back(Entry{Right, E.Stamp});
+        TotalBytes += Right.size();
+      }
+      ++I;
+    } else if (HasRight) {
+      E.Range = Right;
+      TotalBytes += Right.size();
+      ++I;
+    } else {
+      Entries[I] = Entries[Count - 1];
+      if (Count != Entries.size())
+        Entries[Count - 1] = Entries.back();
+      Entries.pop_back();
+      --Count;
+    }
+  }
+
+  Entries.push_back(Entry{New, ++Clock});
+  TotalBytes += New.size();
+  evictToFit();
+}
+
+void ResidencyTracker::touchAll(const std::vector<svm::MemRange> &Ranges) {
+  for (const svm::MemRange &R : Ranges)
+    touch(R);
+}
+
+void ResidencyTracker::evictToFit() {
+  while (TotalBytes > Capacity || Entries.size() > MaxEntries) {
+    size_t Oldest = 0;
+    for (size_t I = 1; I < Entries.size(); ++I)
+      if (Entries[I].Stamp < Entries[Oldest].Stamp)
+        Oldest = I;
+    Entry &E = Entries[Oldest];
+    uint64_t Excess = TotalBytes > Capacity ? TotalBytes - Capacity : 0;
+    if (Excess > 0 && Excess < E.Range.size() &&
+        Entries.size() <= MaxEntries) {
+      // Partial eviction from the range's head keeps the model smooth
+      // when one hot range barely overflows.
+      E.Range.Begin += Excess;
+      TotalBytes -= Excess;
+      return;
+    }
+    TotalBytes -= E.Range.size();
+    Entries[Oldest] = Entries.back();
+    Entries.pop_back();
+  }
+}
+
+uint64_t ResidencyTracker::residentBytes(const svm::MemRange &R) const {
+  uint64_t Res = 0;
+  for (const Entry &E : Entries)
+    if (E.Range.overlaps(R))
+      Res += std::min(E.Range.End, R.End) - std::max(E.Range.Begin, R.Begin);
+  return Res;
+}
+
+uint64_t ResidencyTracker::residentBytes(
+    const std::vector<svm::MemRange> &Normalized) const {
+  uint64_t Res = 0;
+  for (const svm::MemRange &R : Normalized)
+    Res += residentBytes(R);
+  return Res;
+}
+
+void ResidencyTracker::clear() {
+  Entries.clear();
+  TotalBytes = 0;
+}
+
+} // namespace sched
+} // namespace concord

@@ -1,0 +1,88 @@
+//===- Residency.h - Per-device LLC residency model -------------*- C++ -*-===//
+///
+/// \file
+/// A byte-capacity LRU model of which shared-region windows a device's
+/// modelled last-level cache last touched. The scheduler keeps one tracker
+/// per device (capacity = MachineConfig LLC.SizeBytes), feeds it the
+/// concretized footprint of every launch that retires on that device, and
+/// queries it when scoring ready tasks: a task whose windows are still
+/// resident is cheap to place there, one whose bytes live on the other
+/// device pays the modelled fetch cost.
+///
+/// This is a placement heuristic, not a timing model: the simulator keeps
+/// its own per-launch set-associative caches. The tracker only has to be
+/// faithful enough that "bytes_to_fetch = footprint − resident" ranks
+/// devices sensibly, so it models the LLC as a fully-associative LRU over
+/// disjoint byte ranges and ignores associativity conflicts.
+///
+/// Not thread-safe: the scheduler guards its trackers with its own mutex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_SCHED_RESIDENCY_H
+#define CONCORD_SCHED_RESIDENCY_H
+
+#include "svm/SharedRegion.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace concord {
+namespace sched {
+
+/// Sorts, merges, and drops empty ranges so the result is a disjoint
+/// ascending cover of the input. Residency queries over multiple windows
+/// must run on normalized ranges or overlapping declarations (body object
+/// inside a read array, say) would double-count bytes.
+std::vector<svm::MemRange> normalizeRanges(std::vector<svm::MemRange> Ranges);
+
+/// Total byte count of a normalized (disjoint) range list.
+uint64_t totalRangeBytes(const std::vector<svm::MemRange> &Normalized);
+
+class ResidencyTracker {
+public:
+  /// \p CapacityBytes is the modelled LLC size; 0 disables the tracker
+  /// (nothing is ever resident). \p MaxEntries bounds the range list so a
+  /// pathological launch pattern cannot make touch()/residentBytes()
+  /// scans unbounded; the least-recently-used entries evict first either
+  /// way.
+  explicit ResidencyTracker(uint64_t CapacityBytes,
+                            unsigned MaxEntries = 256);
+
+  /// Records that the device just streamed \p R through its LLC. A range
+  /// larger than the capacity keeps only its tail (the bytes a streaming
+  /// pass would leave behind). Overlapped older entries are trimmed, then
+  /// least-recently-touched entries evict until the total fits.
+  void touch(const svm::MemRange &R);
+  void touchAll(const std::vector<svm::MemRange> &Ranges);
+
+  /// Bytes of \p R currently resident.
+  uint64_t residentBytes(const svm::MemRange &R) const;
+  /// Bytes of a *normalized* range list currently resident (callers
+  /// normalize once at submit time; see normalizeRanges).
+  uint64_t residentBytes(const std::vector<svm::MemRange> &Normalized) const;
+
+  uint64_t capacityBytes() const { return Capacity; }
+  uint64_t totalResidentBytes() const { return TotalBytes; }
+  size_t entryCount() const { return Entries.size(); }
+  void clear();
+
+private:
+  struct Entry {
+    svm::MemRange Range;
+    uint64_t Stamp = 0; ///< Last touch; smallest evicts first.
+  };
+
+  void evictToFit();
+
+  uint64_t Capacity;
+  unsigned MaxEntries;
+  uint64_t Clock = 0;
+  uint64_t TotalBytes = 0;
+  std::vector<Entry> Entries; ///< Pairwise disjoint, unordered.
+};
+
+} // namespace sched
+} // namespace concord
+
+#endif // CONCORD_SCHED_RESIDENCY_H

@@ -4,12 +4,15 @@
 
 #include "analysis/Commutativity.h"
 #include "analysis/Footprint.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 
 namespace concord {
 namespace sched {
@@ -25,9 +28,11 @@ struct ShadowPlan {
   analysis::AccumOp Op = analysis::AccumOp::Add;
   unsigned ElemBytes = 4;
   svm::MemRange Master; ///< The root's full allocation extent.
-  /// Shadow allocation, created on the worker right before launch and
-  /// released by the merge task that folds it. Synchronized through the
-  /// scheduler mutex (hazard edges order the merge after this task).
+  /// Shadow allocation, acquired on the worker right before launch (from
+  /// the worker's reuse pool when a matching identity-filled extent is
+  /// cached, freshly allocated otherwise) and recycled or released after
+  /// the merge task folds it. Synchronized through the scheduler mutex
+  /// (hazard edges order the merge after this task).
   void *Shadow = nullptr;
 };
 
@@ -41,10 +46,34 @@ struct TaskState {
 
   /// Accumulate execution: non-empty for tasks launched against shadow
   /// ranges. IsMerge marks the injected host-side shadow-fold tasks,
-  /// which run HostWork instead of a kernel launch.
+  /// which run HostWork instead of a kernel launch; MergeMembers names
+  /// the accumulate tasks whose shadows the fold consumed, so the worker
+  /// can recycle the extents into its reuse pool afterwards.
   std::vector<ShadowPlan> Shadows;
   bool IsMerge = false;
   std::function<void()> HostWork;
+  std::vector<std::shared_ptr<TaskState>> MergeMembers;
+
+  /// Data-aware placement inputs, resolved at submit time outside the
+  /// scheduler lock: the launch's byte windows (concretized from the
+  /// cached kernel footprint when available, the declared access set
+  /// otherwise), normalized and summed; the kernel's spec hash for the
+  /// throughput profile; and whether whole-CPU placement is bit-identity
+  /// safe (schedule-free GPU-preferred kernel, already compiled, no
+  /// shadow redirect in play).
+  std::vector<svm::MemRange> PlaceRanges;
+  uint64_t PlaceBytes = 0;
+  uint64_t SpecKey = 0;
+  bool CrossDeviceOk = false;
+
+  /// Placement decision, taken when a worker dequeues the task (guarded
+  /// by Scheduler::Mutex). Auto keeps the legacy dispatch (preferred
+  /// device / hybrid split); Gpu/Cpu run the whole range on that device.
+  enum class Placement : uint8_t { Auto, Gpu, Cpu };
+  Placement Placed = Placement::Auto;
+  bool AffinityHit = false;
+  int PendingDev = -1;   ///< Device index charged with EstSeconds (0/1).
+  double EstSeconds = 0; ///< Modelled backlog charged until retirement.
 
   // Guarded by Scheduler::Mutex.
   unsigned PendingDeps = 0;
@@ -68,6 +97,51 @@ static double secondsSince(std::chrono::steady_clock::time_point Since) {
       .count();
 }
 
+/// Resolves the placement inputs of a freshly-built task: the launch's
+/// normalized byte windows, total bytes, spec key, and cross-device
+/// eligibility. Runs on the submitting thread outside the scheduler lock.
+/// Deliberately peeks at the JIT cache instead of compiling: under
+/// FootprintPolicy::Trust the first compile must stay on the worker (the
+/// SchedJit tests pin that down), so an uncompiled kernel falls back to
+/// the declared access-set ranges and stays on the legacy dispatch until
+/// its program is cached.
+static void preparePlacement(runtime::Runtime &RT, TaskState &Task) {
+  const TaskDesc &D = Task.Desc;
+  Task.SpecKey =
+      hashString(D.Spec.Source) * 31 + hashString(D.Spec.BodyClass);
+  bool SchedFree = false;
+  const analysis::KernelFootprint *FP = nullptr;
+  if (D.BodyPtr && RT.cachedKernelInfo(D.Spec, &SchedFree, &FP) && FP &&
+      FP->Analyzed) {
+    std::vector<analysis::ConcreteAccess> Accesses =
+        analysis::concretizeFootprint(
+            *FP, D.BodyPtr, /*Base=*/0, D.N, RT.region().range(),
+            [&RT](const void *Ptr) {
+              return RT.region().allocationExtent(Ptr);
+            });
+    Task.PlaceRanges.reserve(Accesses.size());
+    for (const analysis::ConcreteAccess &A : Accesses)
+      Task.PlaceRanges.push_back(A.Range);
+  }
+  if (Task.PlaceRanges.empty()) {
+    for (const svm::MemRange &R : Task.Access.reads())
+      Task.PlaceRanges.push_back(R);
+    for (const svm::MemRange &R : Task.Access.writes())
+      Task.PlaceRanges.push_back(R);
+    for (const AccumRange &A : Task.Access.accums())
+      Task.PlaceRanges.push_back(A.Range);
+  }
+  Task.PlaceRanges = normalizeRanges(std::move(Task.PlaceRanges));
+  Task.PlaceBytes = totalRangeBytes(Task.PlaceRanges);
+  // Whole-CPU placement reuses the hybrid partition mechanism (the GPU
+  // program on the CPU model), so it inherits hybrid's preconditions.
+  // Shadowed accumulate tasks keep the legacy dispatch: their launch
+  // body is rebuilt on the worker and the protocol is pinned as-is.
+  Task.CrossDeviceOk = SchedFree &&
+                       D.Preferred == runtime::Device::GPU &&
+                       Task.Shadows.empty() && D.N >= 1;
+}
+
 uint64_t TaskHandle::id() const { return State ? State->Result.Id : 0; }
 
 bool TaskHandle::done() const {
@@ -85,7 +159,9 @@ const TaskResult &TaskHandle::wait() const {
 }
 
 Scheduler::Scheduler(runtime::Runtime &RT, SchedulerOptions Opts)
-    : RT(RT), Options(std::move(Opts)) {
+    : RT(RT), Options(std::move(Opts)),
+      Residency{ResidencyTracker(RT.machine().Gpu.LLC.SizeBytes),
+                ResidencyTracker(RT.machine().Cpu.LLC.SizeBytes)} {
   if (Options.NumWorkers == 0)
     Options.NumWorkers = 2;
   if (Options.MaxQueued == 0)
@@ -94,9 +170,14 @@ Scheduler::Scheduler(runtime::Runtime &RT, SchedulerOptions Opts)
     RT.setHybridOptions(Options.Hybrid);
     RT.setExecMode(runtime::ExecMode::Hybrid);
   }
+  PlacementOn = Options.DataAwarePlacement;
+  if (const char *Env = std::getenv("CONCORD_SCHED_AFFINITY"))
+    if (Env[0] == '0' && Env[1] == '\0')
+      PlacementOn = false;
+  ShadowPools.resize(Options.NumWorkers);
   Workers.reserve(Options.NumWorkers);
   for (unsigned I = 0; I < Options.NumWorkers; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
 }
 
 Scheduler::~Scheduler() {
@@ -108,6 +189,9 @@ Scheduler::~Scheduler() {
   WorkCv.notify_all();
   for (std::thread &W : Workers)
     W.join();
+  for (std::vector<PooledShadow> &Pool : ShadowPools)
+    for (PooledShadow &E : Pool)
+      RT.sharedFree(E.Ptr);
 }
 
 TaskHandle Scheduler::submit(const runtime::KernelSpec &Spec, int64_t N,
@@ -206,6 +290,7 @@ TaskHandle Scheduler::submit(TaskDesc Desc, AccessSet Access) {
 
   Task->Desc = std::move(Desc);
   Task->Access = std::move(Access);
+  preparePlacement(RT, *Task);
 
   bool IsReady = false;
   bool InjectedMerge = false;
@@ -380,22 +465,22 @@ bool Scheduler::closeAccumGroups(std::unique_lock<std::mutex> &Lock,
     for (const detail::ShadowPlan &P : Member->Shadows)
       Merge->Access.readWrite(reinterpret_cast<const void *>(P.Master.Begin),
                               P.Master.size());
-  runtime::Runtime *R = &RT;
-  Merge->HostWork = [Affected, R] {
+  Merge->HostWork = [Affected] {
     // Fold order across members is irrelevant: the operators are
     // associative and commutative on their fixed-width domains, so any
-    // interleaving produces the bit-identical serial result.
+    // interleaving produces the bit-identical serial result. The shadows
+    // stay allocated here; the executing worker recycles them into its
+    // reuse pool (or frees them) right after this fold runs.
     for (const std::shared_ptr<TaskState> &Member : Affected)
-      for (detail::ShadowPlan &P : Member->Shadows) {
+      for (const detail::ShadowPlan &P : Member->Shadows) {
         if (!P.Shadow)
           continue; // Task failed before its shadow existed.
         analysis::foldAccumShadow(
             reinterpret_cast<void *>(P.Master.Begin), P.Shadow,
             P.Master.size(), P.Op, P.ElemBytes);
-        R->sharedFree(P.Shadow);
-        P.Shadow = nullptr;
       }
   };
+  Merge->MergeMembers = Affected;
   Merge->Result.Id = NextTaskId++;
   Merge->Result.Label = Merge->Desc.Label;
   Merge->SubmitTime = std::chrono::steady_clock::now();
@@ -432,7 +517,7 @@ Scheduler::Stats Scheduler::stats() const {
   return St;
 }
 
-void Scheduler::workerLoop() {
+void Scheduler::workerLoop(unsigned WorkerIdx) {
   for (;;) {
     std::shared_ptr<TaskState> Task;
     {
@@ -440,17 +525,121 @@ void Scheduler::workerLoop() {
       WorkCv.wait(Lock, [&] { return Stopping || !Ready.empty(); });
       if (Ready.empty())
         return; // Stopping, queue drained.
-      Task = std::move(Ready.front());
-      Ready.pop_front();
+      Task = pickReady(Lock);
       ++Executing;
       St.MaxTasksInFlight = std::max(St.MaxTasksInFlight, Executing);
     }
-    execute(Task);
+    execute(Task, WorkerIdx);
     finishTask(Task);
   }
 }
 
-void Scheduler::execute(const std::shared_ptr<TaskState> &Task) {
+double Scheduler::placeScore(const std::shared_ptr<TaskState> &Task,
+                             unsigned Dev) const {
+  const gpusim::DeviceConfig &DC =
+      Dev == 0 ? RT.machine().Gpu : RT.machine().Cpu;
+  uint64_t Res = Residency[Dev].residentBytes(Task->PlaceRanges);
+  uint64_t Fetch = Task->PlaceBytes > Res ? Task->PlaceBytes - Res : 0;
+  double Score = PendingSeconds[Dev] +
+                 double(Fetch) * DC.llcFetchSecondsPerByte() +
+                 DC.LaunchOverheadUs * 1e-6;
+  auto It = Throughput[Dev].find(Task->SpecKey);
+  if (It != Throughput[Dev].end() && It->second.ItemsPerSec > 0)
+    Score += double(Task->Desc.N) / It->second.ItemsPerSec;
+  return Score;
+}
+
+std::shared_ptr<TaskState>
+Scheduler::pickReady(std::unique_lock<std::mutex> &Lock) {
+  (void)Lock; // Held by the caller; scoring reads Mutex-guarded state.
+  assert(!Ready.empty());
+  size_t BestIdx = 0;
+  unsigned BestDev = 0;
+  if (PlacementOn) {
+    // Reordering the ready queue never reorders conflicting work:
+    // simultaneously-ready tasks are pairwise non-conflicting, or the
+    // later one would still be waiting on its hazard edge. Merge tasks
+    // run first regardless of score — they are cheap host-side folds
+    // that unblock every reader serialized behind them.
+    double BestScore = std::numeric_limits<double>::infinity();
+    for (size_t I = 0; I < Ready.size(); ++I) {
+      const std::shared_ptr<TaskState> &T = Ready[I];
+      if (T->IsMerge) {
+        BestIdx = I;
+        BestDev = 0;
+        break;
+      }
+      const bool CpuPref = T->Desc.Preferred == runtime::Device::CPU;
+      unsigned DevLo = CpuPref ? 1u : 0u;
+      unsigned DevHi =
+          !CpuPref && Options.AllowHybrid && T->CrossDeviceOk ? 1u : DevLo;
+      for (unsigned Dev = DevLo; Dev <= DevHi; ++Dev) {
+        double S = placeScore(T, Dev);
+        if (S < BestScore) { // FIFO tie-break: strict improvement only.
+          BestScore = S;
+          BestIdx = I;
+          BestDev = Dev;
+        }
+      }
+    }
+  }
+  std::shared_ptr<TaskState> Task = std::move(Ready[BestIdx]);
+  Ready.erase(Ready.begin() + ptrdiff_t(BestIdx));
+  if (!PlacementOn || Task->IsMerge)
+    return Task;
+
+  const TaskDesc &D = Task->Desc;
+  const bool CpuPref = D.Preferred == runtime::Device::CPU;
+  unsigned Dev = CpuPref ? 1u : BestDev;
+  if (!CpuPref && Options.AllowHybrid) {
+    uint64_t ResG = Residency[0].residentBytes(Task->PlaceRanges);
+    uint64_t ResC = Residency[1].residentBytes(Task->PlaceRanges);
+    const bool Profiled = Throughput[0].count(Task->SpecKey) ||
+                          Throughput[1].count(Task->SpecKey);
+    if (ResG == 0 && ResC == 0 && !Profiled) {
+      // Unknown kernel on cold data: keep the legacy hybrid dispatch.
+      // One split launch warms both trackers and the per-device
+      // throughput profile, which is what the cost model needs before it
+      // can rank the devices. Once the kernel is profiled, cold tasks
+      // are scored like any other (fetching the whole footprint) —
+      // splitting them would scatter their output across both LLC
+      // models and force the next stage to repatriate it.
+      Task->Placed = TaskState::Placement::Auto;
+      Dev = 0;
+    } else {
+      Task->Placed = Dev == 1 ? TaskState::Placement::Cpu
+                              : TaskState::Placement::Gpu;
+      Task->AffinityHit = (Dev == 1 ? ResC : ResG) > 0;
+      if (Task->AffinityHit) {
+        ++St.AffinityHits;
+        RT.noteAffinityHit();
+      }
+      if (Dev == 1)
+        ++St.PlacedCpu;
+      else
+        ++St.PlacedGpu;
+    }
+  }
+
+  // Charge the chosen device's modelled backlog until the task retires,
+  // so concurrent picks spread over both devices instead of piling onto
+  // the first winner.
+  const gpusim::DeviceConfig &DC =
+      Dev == 0 ? RT.machine().Gpu : RT.machine().Cpu;
+  uint64_t Res = Residency[Dev].residentBytes(Task->PlaceRanges);
+  uint64_t Fetch = Task->PlaceBytes > Res ? Task->PlaceBytes - Res : 0;
+  double Est = double(Fetch) * DC.llcFetchSecondsPerByte();
+  auto It = Throughput[Dev].find(Task->SpecKey);
+  if (It != Throughput[Dev].end() && It->second.ItemsPerSec > 0)
+    Est += double(D.N) / It->second.ItemsPerSec;
+  Task->PendingDev = int(Dev);
+  Task->EstSeconds = Est;
+  PendingSeconds[Dev] += Est;
+  return Task;
+}
+
+void Scheduler::execute(const std::shared_ptr<TaskState> &Task,
+                        unsigned WorkerIdx) {
   TaskResult &R = Task->Result;
   R.Timing.QueueSeconds = secondsSince(Task->SubmitTime);
   R.StartSeq = ++SeqCounter;
@@ -461,9 +650,30 @@ void Scheduler::execute(const std::shared_ptr<TaskState> &Task) {
   if (Task->IsMerge) {
     // Host-side shadow fold; no kernel launch, no device report.
     Task->HostWork();
+    // Recycle the folded shadow extents into this worker's reuse pool,
+    // refilled with the operator identity so the next accumulate task
+    // skips both the allocation and the fill. Past the pool bound they
+    // free as before.
+    constexpr size_t MaxPoolEntries = 8;
+    std::vector<PooledShadow> &Pool = ShadowPools[WorkerIdx];
+    for (const std::shared_ptr<TaskState> &Member : Task->MergeMembers)
+      for (detail::ShadowPlan &P : Member->Shadows) {
+        if (!P.Shadow)
+          continue;
+        if (Pool.size() < MaxPoolEntries) {
+          analysis::fillAccumIdentity(P.Shadow, P.Master.size(), P.Op,
+                                      P.ElemBytes);
+          Pool.push_back(
+              PooledShadow{P.Shadow, P.Master.size(), P.Op, P.ElemBytes});
+        } else {
+          RT.sharedFree(P.Shadow);
+        }
+        P.Shadow = nullptr;
+      }
+    Task->MergeMembers.clear();
     R.Ok = true;
   } else {
-    launchTask(Task);
+    launchTask(Task, WorkerIdx);
   }
 
   R.Timing.CompileSeconds = R.Report.CompileSeconds;
@@ -474,7 +684,8 @@ void Scheduler::execute(const std::shared_ptr<TaskState> &Task) {
     Options.OnTaskFinish(R.Id);
 }
 
-void Scheduler::launchTask(const std::shared_ptr<TaskState> &Task) {
+void Scheduler::launchTask(const std::shared_ptr<TaskState> &Task,
+                           unsigned WorkerIdx) {
   TaskResult &R = Task->Result;
   const TaskDesc &D = Task->Desc;
 
@@ -491,17 +702,35 @@ void Scheduler::launchTask(const std::shared_ptr<TaskState> &Task) {
     if (SetupOk) {
       std::memcpy(BodyCopy, D.BodyPtr, BodyExt.size());
       for (detail::ShadowPlan &P : Task->Shadows) {
-        P.Shadow = RT.sharedAlloc(P.Master.size());
-        if (!P.Shadow) {
-          SetupOk = false;
-          break;
+        // Reuse an identity-filled extent from this worker's pool when
+        // one matches; only the owning worker touches its pool, so no
+        // lock is needed.
+        bool Reused = false;
+        std::vector<PooledShadow> &Pool = ShadowPools[WorkerIdx];
+        for (size_t I = 0; I < Pool.size(); ++I)
+          if (Pool[I].Bytes == P.Master.size() && Pool[I].Op == P.Op &&
+              Pool[I].ElemBytes == P.ElemBytes) {
+            P.Shadow = Pool[I].Ptr;
+            Pool[I] = Pool.back();
+            Pool.pop_back();
+            Reused = true;
+            break;
+          }
+        if (!Reused) {
+          P.Shadow = RT.sharedAlloc(P.Master.size());
+          if (!P.Shadow) {
+            SetupOk = false;
+            break;
+          }
+          analysis::fillAccumIdentity(P.Shadow, P.Master.size(), P.Op,
+                                      P.ElemBytes);
         }
-        analysis::fillAccumIdentity(P.Shadow, P.Master.size(), P.Op,
-                                    P.ElemBytes);
         RT.noteShadowBytes(P.Master.size());
         {
           std::lock_guard<std::mutex> Lock(Mutex);
           St.ShadowBytes += P.Master.size();
+          if (Reused)
+            ++St.ShadowReused;
         }
         // Redirect the body field, preserving any interior offset of the
         // stored pointer within its allocation.
@@ -532,6 +761,12 @@ void Scheduler::launchTask(const std::shared_ptr<TaskState> &Task) {
   const bool OnCpu = D.Preferred == runtime::Device::CPU;
   if (OnCpu || !Options.AllowHybrid)
     R.Report = RT.offloadRange(D.Spec, 0, D.N, LaunchBody, OnCpu);
+  else if (Task->Placed == TaskState::Placement::Cpu)
+    R.Report =
+        RT.offloadPlaced(D.Spec, D.N, LaunchBody, runtime::Device::CPU);
+  else if (Task->Placed == TaskState::Placement::Gpu)
+    R.Report =
+        RT.offloadPlaced(D.Spec, D.N, LaunchBody, runtime::Device::GPU);
   else
     R.Report = RT.offloadHybrid(D.Spec, D.N, LaunchBody);
 
@@ -561,10 +796,82 @@ void Scheduler::launchTask(const std::shared_ptr<TaskState> &Task) {
     RT.sharedFree(BodyCopy);
 }
 
+void Scheduler::accountCompletion(
+    const std::shared_ptr<TaskState> &Task) {
+  if (Task->PendingDev >= 0) {
+    double &Pending = PendingSeconds[Task->PendingDev];
+    Pending = std::max(0.0, Pending - Task->EstSeconds);
+  }
+  // Residency and throughput update from launches that actually ran on a
+  // device model. Merge tasks are host-side folds; FellBack tasks ran the
+  // caller's native loop; failed tasks may have launched nothing.
+  if (Task->IsMerge || !Task->Result.Ok || Task->Result.Report.FellBack ||
+      Task->PlaceBytes == 0)
+    return;
+  const runtime::LaunchReport &Rep = Task->Result.Report;
+
+  auto Account = [&](unsigned Dev, const std::vector<svm::MemRange> &Rs) {
+    uint64_t Total = totalRangeBytes(Rs);
+    uint64_t Res = Residency[Dev].residentBytes(Rs);
+    uint64_t Fetch = Total > Res ? Total - Res : 0;
+    St.ResidentBytes += Res;
+    St.FetchedBytes += Fetch;
+    RT.notePlacement(Res, Fetch);
+    Residency[Dev].touchAll(Rs);
+  };
+  auto Sample = [&](unsigned Dev, int64_t Items, double Seconds) {
+    if (Items <= 0 || Seconds <= 0)
+      return;
+    DeviceThroughput &T = Throughput[Dev][Task->SpecKey];
+    double Tp = double(Items) / Seconds;
+    // Same EWMA shape as the runtime's hybrid split profile.
+    T.ItemsPerSec = T.Samples == 0 ? Tp : 0.5 * T.ItemsPerSec + 0.5 * Tp;
+    ++T.Samples;
+  };
+
+  if (Rep.Hybrid) {
+    // Attribute each partition's concretized windows to its device.
+    // Hybrid requires a schedule-free (hence analyzed) kernel, so the
+    // cached footprint is available; cachedKernelInfo never compiles and
+    // only takes the JIT cache's shared lock, which is safe under Mutex
+    // (the runtime never calls back into the scheduler).
+    const analysis::KernelFootprint *FP = nullptr;
+    if (RT.cachedKernelInfo(Task->Desc.Spec, nullptr, &FP) && FP &&
+        FP->Analyzed && Task->Desc.BodyPtr) {
+      auto Concretize = [&](int64_t Base, int64_t Count) {
+        std::vector<analysis::ConcreteAccess> Accesses =
+            analysis::concretizeFootprint(
+                *FP, Task->Desc.BodyPtr, Base, Count, RT.region().range(),
+                [this](const void *Ptr) {
+                  return RT.region().allocationExtent(Ptr);
+                });
+        std::vector<svm::MemRange> Rs;
+        Rs.reserve(Accesses.size());
+        for (const analysis::ConcreteAccess &A : Accesses)
+          Rs.push_back(A.Range);
+        return normalizeRanges(std::move(Rs));
+      };
+      int64_t Split = Rep.HybridSplit;
+      Account(0, Concretize(0, Split));
+      Account(1, Concretize(Split, Task->Desc.N - Split));
+    } else {
+      Account(0, Task->PlaceRanges);
+    }
+    Sample(0, Rep.HybridSplit, Rep.HybridGpuSim.Seconds);
+    Sample(1, Task->Desc.N - Rep.HybridSplit, Rep.HybridCpuSim.Seconds);
+    return;
+  }
+
+  unsigned Dev = Rep.Executed == runtime::Device::GPU ? 0u : 1u;
+  Account(Dev, Task->PlaceRanges);
+  Sample(Dev, Task->Desc.N, Rep.Sim.Seconds);
+}
+
 void Scheduler::finishTask(const std::shared_ptr<TaskState> &Task) {
   std::vector<std::shared_ptr<TaskState>> NowReady;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
+    accountCompletion(Task);
     Task->GraphDone = true;
     for (const std::shared_ptr<TaskState> &Dep : Task->Dependents) {
       assert(Dep->PendingDeps > 0 && "dependent missing its edge");

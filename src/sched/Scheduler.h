@@ -39,10 +39,13 @@
 
 #include "runtime/Runtime.h"
 #include "sched/AccessSet.h"
+#include "sched/Residency.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +53,9 @@
 #include <vector>
 
 namespace concord {
+namespace analysis {
+enum class AccumOp : uint8_t;
+}
 namespace sched {
 
 struct SchedulerOptions {
@@ -65,6 +71,17 @@ struct SchedulerOptions {
   bool AllowHybrid = true;
   /// Hybrid policy forwarded to the runtime when AllowHybrid is set.
   runtime::HybridOptions Hybrid;
+  /// Cache-affinity task placement: instead of FIFO-to-first-free-worker
+  /// with always-hybrid splitting, ready tasks are scored against each
+  /// device's LLC residency model and run whole on the device minimizing
+  /// the estimated finish time (modelled backlog + byte-fetch cost +
+  /// launch overhead + throughput-profiled compute). Bit-identity is
+  /// preserved: simultaneously-ready tasks are pairwise non-conflicting
+  /// (conflicts carry hazard edges), so reordering ready picks is safe,
+  /// and cross-device placement runs the GPU-compiled program on the CPU
+  /// model exactly like a hybrid partition (schedule-free kernels only).
+  /// The CONCORD_SCHED_AFFINITY=0 environment variable forces this off.
+  bool DataAwarePlacement = true;
   /// Test/trace instrumentation, invoked on the worker thread immediately
   /// before and after a task executes. May block (the hazard tests use a
   /// gate to prove two tasks are in flight simultaneously); must not call
@@ -155,7 +172,21 @@ public:
     uint64_t AccumDemoted = 0;   ///< Declared accumulate ranges demoted to
                                  ///< read+write (no matching proven window).
     uint64_t MergeTasks = 0;     ///< Shadow-fold merge tasks injected.
-    uint64_t ShadowBytes = 0;    ///< Total shadow bytes allocated.
+    uint64_t ShadowBytes = 0;    ///< Total shadow bytes handed to tasks
+                                 ///< (freshly allocated or pool-reused).
+    uint64_t ShadowReused = 0;   ///< Shadow ranges served from the
+                                 ///< per-worker reuse pool instead of a
+                                 ///< fresh sharedAlloc.
+    uint64_t ResidentBytes = 0;  ///< Launch footprint bytes already on the
+                                 ///< executing device's LLC model when the
+                                 ///< launch retired.
+    uint64_t FetchedBytes = 0;   ///< Footprint bytes the executing device
+                                 ///< streamed in (footprint − resident).
+    uint64_t AffinityHits = 0;   ///< Placements steered to a device that
+                                 ///< already held part of the footprint.
+    uint64_t PlacedGpu = 0;      ///< Data-aware whole-GPU placements
+                                 ///< (skipping the hybrid split).
+    uint64_t PlacedCpu = 0;      ///< Data-aware whole-CPU placements.
     unsigned MaxTasksInFlight = 0; ///< Peak concurrently-executing tasks.
     size_t MaxQueueDepth = 0;      ///< Peak unfinished tasks (bounded by
                                    ///< SchedulerOptions::MaxQueued).
@@ -202,9 +233,24 @@ public:
   runtime::Runtime &runtime() { return RT; }
 
 private:
-  void workerLoop();
-  void execute(const std::shared_ptr<detail::TaskState> &Task);
-  void launchTask(const std::shared_ptr<detail::TaskState> &Task);
+  void workerLoop(unsigned WorkerIdx);
+  /// Dequeues the next task under \p Lock. With placement on, scores every
+  /// ready task against both device models and picks the (task, device)
+  /// pair minimizing estimated finish time; otherwise FIFO front.
+  std::shared_ptr<detail::TaskState>
+  pickReady(std::unique_lock<std::mutex> &Lock);
+  /// Estimated seconds until \p Dev (0 = GPU, 1 = CPU) would finish the
+  /// task if placed there now: modelled backlog + fetch + launch overhead
+  /// + throughput-profiled compute. Caller holds Mutex.
+  double placeScore(const std::shared_ptr<detail::TaskState> &Task,
+                    unsigned Dev) const;
+  /// Residency/backlog/throughput bookkeeping when a task retires. Caller
+  /// holds Mutex.
+  void accountCompletion(const std::shared_ptr<detail::TaskState> &Task);
+  void execute(const std::shared_ptr<detail::TaskState> &Task,
+               unsigned WorkerIdx);
+  void launchTask(const std::shared_ptr<detail::TaskState> &Task,
+                  unsigned WorkerIdx);
   void finishTask(const std::shared_ptr<detail::TaskState> &Task);
   void resolveShadowPlans(TaskDesc &Desc, AccessSet &Access,
                           const std::shared_ptr<detail::TaskState> &Task);
@@ -235,6 +281,33 @@ private:
   std::vector<std::shared_ptr<detail::TaskState>> OpenAccums;
   unsigned Executing = 0;
   Stats St;
+
+  /// Data-aware placement state (guarded by Mutex). One residency model
+  /// per device (capacity = the machine's modelled LLC sizes), the
+  /// modelled not-yet-finished seconds charged to each device, and a
+  /// per-kernel per-device throughput EWMA fed by retired launches.
+  /// Trackers update even with placement off so an A/B run compares
+  /// fetched-byte counts under identical accounting.
+  bool PlacementOn = false; ///< DataAwarePlacement && env not "0".
+  ResidencyTracker Residency[2]; ///< [0] = GPU, [1] = CPU.
+  double PendingSeconds[2] = {0, 0};
+  struct DeviceThroughput {
+    double ItemsPerSec = 0;
+    uint64_t Samples = 0;
+  };
+  std::map<uint64_t, DeviceThroughput> Throughput[2]; ///< By spec key.
+
+  /// Per-worker pools of identity-filled shadow extents, recycled by the
+  /// merge path instead of sharedFree so steady-state accumulate tasks
+  /// skip the alloc/fill round-trip. Only the owning worker touches its
+  /// pool (no lock); entries are freed in the destructor.
+  struct PooledShadow {
+    void *Ptr = nullptr;
+    size_t Bytes = 0;
+    analysis::AccumOp Op{};
+    unsigned ElemBytes = 0;
+  };
+  std::vector<std::vector<PooledShadow>> ShadowPools;
 
   std::atomic<uint64_t> SeqCounter{0};
   std::vector<std::thread> Workers;
