@@ -28,7 +28,16 @@
 //                   worker, hybrid split on every GPU-preferred task) —
 //                   same effect as CONCORD_SCHED_AFFINITY=0
 //   --no-verify     trust declared access sets instead of verifying them
+//   --sessions N    run N concurrent client-session workers against the
+//                   object store alongside the pipeline: each worker
+//                   claims a session region, fills it with checked
+//                   allocations, and ends the session (an O(1)
+//                   generation-bump reclaim), over and over until the
+//                   pipeline drains. Requires the object store (ignored
+//                   under CONCORD_SVM_LEGACY=1).
 //   --json <path>   write per-task timing + scheduler stats as JSON
+//                   (including an "svm" block: region map, fragmentation,
+//                   o1_resets, per-region residency)
 //   --quiet         suppress the progress table
 //
 // Access sets run under FootprintPolicy::Verify by default: every declared
@@ -40,14 +49,17 @@
 
 #include "concord/Concord.h"
 #include "sched/Scheduler.h"
+#include "svm/ObjectStore.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace concord;
@@ -111,11 +123,29 @@ struct Options {
   unsigned Workers = 3;
   size_t MaxQueued = 8;
   int Repeat = 1;
+  int Sessions = 0;
   bool Hybrid = true;
   bool Affinity = true;
   bool Verify = true;
   bool Quiet = false;
   std::string JsonPath;
+};
+
+/// Snapshot of the shared region's allocator taken after the pipeline
+/// drains (and, for residency, while the scheduler is still alive).
+struct SvmSnapshot {
+  bool Store = false;
+  uint64_t RegionCount = 0;
+  uint64_t RegionBytes = 0;
+  double Fragmentation = 0;
+  uint64_t O1Resets = 0;
+  uint64_t BadFrees = 0;
+  uint64_t FreeBytes = 0;
+  svm::RegionStats Agg;
+  std::vector<svm::RegionInfo> Regions;
+  std::vector<uint64_t> ResidentGpu, ResidentCpu;
+  uint64_t SessionRounds = 0;
+  uint64_t SessionFailures = 0;
 };
 
 /// One full pipeline run: fresh arena, fresh runtime (so JIT compiles are
@@ -127,7 +157,46 @@ struct RunOutcome {
   runtime::RefinementStats RS;
   std::vector<sched::TaskResult> Results;
   std::string MachineName;
+  SvmSnapshot Svm;
 };
+
+/// A client-session worker: claim a session region, fill it with checked
+/// allocations, end the session (O(1) generation-bump reclaim), repeat.
+/// Runs concurrently with the pipeline's heap/shadow traffic to exercise
+/// the store's per-region locking.
+void sessionWorker(svm::ObjectStore &Store, unsigned Seed,
+                   const std::atomic<bool> &Stop,
+                   std::atomic<uint64_t> &Rounds,
+                   std::atomic<uint64_t> &Failures) {
+  constexpr size_t ArrayElems = 1024;
+  while (!Stop.load(std::memory_order_relaxed)) {
+    uint32_t S = Store.createSession();
+    if (S == svm::ObjectStore::InvalidRegion) {
+      ++Failures;
+      std::this_thread::yield();
+      continue;
+    }
+    std::vector<int32_t *> Arrays;
+    for (int A = 0; A < 16; ++A) {
+      auto *Arr = static_cast<int32_t *>(
+          Store.allocateInRegion(S, ArrayElems * sizeof(int32_t), 64));
+      if (!Arr)
+        break; // Session region full — by design sessions are bounded.
+      for (size_t I = 0; I < ArrayElems; ++I)
+        Arr[I] = int32_t((I * 2654435761u) ^ Seed ^ unsigned(A));
+      Arrays.push_back(Arr);
+    }
+    for (size_t A = 0; A < Arrays.size(); ++A)
+      for (size_t I = 0; I < ArrayElems; ++I)
+        if (Arrays[A][I] !=
+            int32_t((I * 2654435761u) ^ Seed ^ unsigned(A))) {
+          ++Failures;
+          break;
+        }
+    Store.endSession(S);
+    Rounds.fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
 RunOutcome runOnce(const Options &Opt, bool Print) {
   RunOutcome Out;
@@ -189,8 +258,17 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
   SO.DataAwarePlacement = Opt.Affinity;
 
   std::vector<sched::TaskHandle> Handles;
+  std::atomic<bool> StopSessions{false};
+  std::atomic<uint64_t> SessionRounds{0}, SessionFailures{0};
+  std::vector<std::thread> SessionThreads;
   {
     sched::Scheduler Sched(RT, SO);
+    if (Opt.Sessions > 0 && Region.usesObjectStore())
+      for (int S = 0; S < Opt.Sessions; ++S)
+        SessionThreads.emplace_back([&, S] {
+          sessionWorker(*Region.objectStore(), unsigned(S) * 7919u + 13u,
+                        StopSessions, SessionRounds, SessionFailures);
+        });
     auto Start = std::chrono::steady_clock::now();
     for (int F = 0; F < Opt.Frames; ++F) {
       for (int S = 0; S < Stages; ++S) {
@@ -241,8 +319,28 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
     Out.WallSeconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - Start)
                           .count();
+    StopSessions.store(true);
+    for (std::thread &T : SessionThreads)
+      T.join();
     Out.St = Sched.stats();
     Out.RS = RT.refinementStats();
+    Out.Svm.ResidentGpu = Sched.residentByRegion(0);
+    Out.Svm.ResidentCpu = Sched.residentByRegion(1);
+  }
+
+  // Allocator snapshot after the scheduler has released its shadow pools.
+  Out.Svm.SessionRounds = SessionRounds.load();
+  Out.Svm.SessionFailures = SessionFailures.load();
+  Out.Svm.Agg = Region.stats();
+  Out.Svm.FreeBytes = Region.freeBytes();
+  if (const svm::ObjectStore *Store = Region.objectStore()) {
+    Out.Svm.Store = true;
+    Out.Svm.RegionCount = Store->regionCount();
+    Out.Svm.RegionBytes = Store->regionBytes();
+    Out.Svm.Fragmentation = Store->fragmentation();
+    Out.Svm.O1Resets = Store->o1Resets();
+    Out.Svm.BadFrees = Store->badFrees();
+    Out.Svm.Regions = Store->regionInfos();
   }
 
   for (const sched::TaskHandle &H : Handles)
@@ -279,6 +377,17 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
                 (unsigned long long)Out.St.ResidentBytes,
                 (unsigned long long)Out.St.FetchedBytes,
                 (unsigned long long)Out.RS.FootprintSplits);
+    if (Out.Svm.Store)
+      std::printf("svm store: %llu regions x %llu KiB, fragmentation "
+                  "%.3f, %llu o1 resets, %llu bad frees, %llu session "
+                  "rounds (%d workers, %llu failures)\n",
+                  (unsigned long long)Out.Svm.RegionCount,
+                  (unsigned long long)(Out.Svm.RegionBytes >> 10),
+                  Out.Svm.Fragmentation,
+                  (unsigned long long)Out.Svm.O1Resets,
+                  (unsigned long long)Out.Svm.BadFrees,
+                  (unsigned long long)Out.Svm.SessionRounds, Opt.Sessions,
+                  (unsigned long long)Out.Svm.SessionFailures);
   }
 
   // Verified mode must be clean: the declared sets are exact, so a
@@ -314,6 +423,11 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
                    ExpectedBins[size_t(B)], Bins[B]);
       return Out;
     }
+  if (Out.Svm.SessionFailures != 0) {
+    std::fprintf(stderr, "session workers hit %llu failures\n",
+                 (unsigned long long)Out.Svm.SessionFailures);
+    return Out;
+  }
   if (Print)
     std::printf("verified %d frames x %d items (+%d shared bins)\n",
                 Opt.Frames, Opt.Items, HistBins);
@@ -340,6 +454,8 @@ int main(int argc, char **argv) {
       Opt.MaxQueued = size_t(Next());
     else if (Arg == "--repeat")
       Opt.Repeat = int(Next());
+    else if (Arg == "--sessions")
+      Opt.Sessions = int(Next());
     else if (Arg == "--no-hybrid")
       Opt.Hybrid = false;
     else if (Arg == "--no-affinity")
@@ -355,7 +471,8 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
-  if (Opt.Frames <= 0 || Opt.Items <= 0 || Opt.Repeat <= 0) {
+  if (Opt.Frames <= 0 || Opt.Items <= 0 || Opt.Repeat <= 0 ||
+      Opt.Sessions < 0) {
     std::fprintf(stderr, "--frames/--items/--repeat must be positive\n");
     return 2;
   }
@@ -440,6 +557,63 @@ int main(int argc, char **argv) {
         (unsigned long long)St.ResidentBytes,
         (unsigned long long)St.FetchedBytes,
         (unsigned long long)RS.FootprintSplits);
+    const SvmSnapshot &Svm = Out.Svm;
+    std::fprintf(
+        F,
+        "  \"svm\": {\"mode\": \"%s\", \"region_count\": %llu, "
+        "\"region_bytes\": %llu, \"fragmentation\": %.6f, "
+        "\"o1_resets\": %llu, \"bad_frees\": %llu, \"free_bytes\": %llu, "
+        "\"current_bytes\": %llu, \"peak_bytes\": %llu, "
+        "\"num_allocs\": %llu, \"num_frees\": %llu, "
+        "\"failed_allocs\": %llu, \"session_workers\": %d, "
+        "\"session_rounds\": %llu, \"session_failures\": %llu,\n",
+        Svm.Store ? "store" : "legacy",
+        (unsigned long long)Svm.RegionCount,
+        (unsigned long long)Svm.RegionBytes, Svm.Fragmentation,
+        (unsigned long long)Svm.O1Resets, (unsigned long long)Svm.BadFrees,
+        (unsigned long long)Svm.FreeBytes,
+        (unsigned long long)Svm.Agg.BytesAllocated,
+        (unsigned long long)Svm.Agg.PeakBytes,
+        (unsigned long long)Svm.Agg.NumAllocs,
+        (unsigned long long)Svm.Agg.NumFrees,
+        (unsigned long long)Svm.Agg.FailedAllocs, Opt.Sessions,
+        (unsigned long long)Svm.SessionRounds,
+        (unsigned long long)Svm.SessionFailures);
+    std::fprintf(F, "    \"regions\": [");
+    {
+      bool First = true;
+      for (const svm::RegionInfo &R : Svm.Regions) {
+        // Skip never-touched pooled regions; reclaimed ones keep their
+        // cumulative stats and stay interesting.
+        if (R.Cls == svm::RegionClass::Unassigned && R.Stats.NumAllocs == 0)
+          continue;
+        std::fprintf(
+            F,
+            "%s\n      {\"index\": %u, \"class\": \"%s\", "
+            "\"generation\": %u, \"used_bytes\": %llu, "
+            "\"live_allocs\": %llu, \"cum_allocs\": %llu, "
+            "\"cum_frees\": %llu, \"peak_bytes\": %llu}",
+            First ? "" : ",", R.Index, svm::regionClassName(R.Cls),
+            R.Generation, (unsigned long long)R.UsedBytes,
+            (unsigned long long)R.LiveAllocs,
+            (unsigned long long)R.Stats.NumAllocs,
+            (unsigned long long)R.Stats.NumFrees,
+            (unsigned long long)R.Stats.PeakBytes);
+        First = false;
+      }
+      std::fprintf(F, "%s],\n", First ? "" : "\n    ");
+    }
+    auto PrintByRegion = [&](const char *Key,
+                             const std::vector<uint64_t> &Buckets,
+                             const char *Tail) {
+      std::fprintf(F, "    \"%s\": [", Key);
+      for (size_t I = 0; I < Buckets.size(); ++I)
+        std::fprintf(F, "%s%llu", I ? ", " : "",
+                     (unsigned long long)Buckets[I]);
+      std::fprintf(F, "]%s\n", Tail);
+    };
+    PrintByRegion("resident_by_region_gpu", Svm.ResidentGpu, ",");
+    PrintByRegion("resident_by_region_cpu", Svm.ResidentCpu, "},");
     std::fprintf(F, "  \"tasks\": [\n");
     for (size_t I = 0; I < Out.Results.size(); ++I) {
       const sched::TaskResult &R = Out.Results[I];

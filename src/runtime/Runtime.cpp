@@ -737,16 +737,16 @@ void Runtime::notePlacement(uint64_t ResidentBytes, uint64_t FetchedBytes) {
 void Runtime::noteAffinityHit() { ++P->AffinityHits; }
 
 void *Runtime::sharedAlloc(size_t Bytes, size_t Align) {
-  // SharedRegion's free-list is not thread-safe; the JIT cache's
-  // exclusive lock already guards its compile-time region allocations
-  // (vtables), so shadow allocation piggybacks on the same mutex.
-  std::unique_lock<std::shared_mutex> Lock(P->CacheMutex);
+  // The region allocator is thread-safe (per-region locks in the object
+  // store, its own mutex in legacy mode), so this no longer borrows the
+  // JIT cache's exclusive lock.
   return Region.allocate(Bytes, Align);
 }
 
-void Runtime::sharedFree(void *Ptr) {
-  std::unique_lock<std::shared_mutex> Lock(P->CacheMutex);
-  Region.deallocate(Ptr);
+void Runtime::sharedFree(void *Ptr) { Region.deallocate(Ptr); }
+
+void *Runtime::shadowAlloc(size_t Bytes, size_t Align) {
+  return Region.allocateShadow(Bytes, Align);
 }
 
 bool Runtime::kernelScheduleFree(const KernelSpec &Spec) {

@@ -225,12 +225,18 @@ public:
   bool cachedKernelInfo(const KernelSpec &Spec, bool *ScheduleFree,
                         const analysis::KernelFootprint **Footprint) const;
 
-  /// Thread-safe allocation in the shared region (the SharedRegion
-  /// allocator itself is not thread-safe; these serialize against the JIT
-  /// cache's region writes). The scheduler's shadow ranges use this from
-  /// worker threads.
+  /// Thread-safe allocation in the shared region. The region's object
+  /// store takes its own per-region locks, so these no longer serialize
+  /// against the JIT cache mutex — concurrent workers allocate from
+  /// different regions without contention.
   void *sharedAlloc(size_t Bytes, size_t Align = 16);
   void sharedFree(void *Ptr);
+
+  /// Allocation from the store's dedicated Shadow region class — the
+  /// scheduler's accumulate shadow ranges and body copies live here so
+  /// their churn never fragments the default heap regions. Equivalent to
+  /// sharedAlloc in legacy-arena mode; freed with sharedFree.
+  void *shadowAlloc(size_t Bytes, size_t Align = 16);
 
   /// parallel_for_hetero backend. \p BodyPtr must point into the shared
   /// region. When \p OnCpu, the CPU machine model executes the kernel.

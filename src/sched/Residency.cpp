@@ -134,5 +134,27 @@ void ResidencyTracker::clear() {
   TotalBytes = 0;
 }
 
+std::vector<uint64_t> ResidencyTracker::byRegion(uint64_t Base,
+                                                 uint64_t RegionBytes,
+                                                 uint32_t RegionCount) const {
+  std::vector<uint64_t> Buckets(RegionCount, 0);
+  if (RegionBytes == 0 || RegionCount == 0)
+    return Buckets;
+  uint64_t SpanEnd = Base + RegionBytes * RegionCount;
+  for (const Entry &E : Entries) {
+    uint64_t Lo = std::max(E.Range.Begin, Base);
+    uint64_t Hi = std::min(E.Range.End, SpanEnd);
+    // Split the clipped entry across the fixed-size regions it straddles.
+    while (Lo < Hi) {
+      uint64_t Region = (Lo - Base) / RegionBytes;
+      uint64_t RegionEnd = Base + (Region + 1) * RegionBytes;
+      uint64_t ChunkEnd = std::min(Hi, RegionEnd);
+      Buckets[Region] += ChunkEnd - Lo;
+      Lo = ChunkEnd;
+    }
+  }
+  return Buckets;
+}
+
 } // namespace sched
 } // namespace concord

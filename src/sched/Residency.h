@@ -67,6 +67,13 @@ public:
   size_t entryCount() const { return Entries.size(); }
   void clear();
 
+  /// Buckets the resident bytes by object-store region: element i is the
+  /// byte count resident in region i of a store whose span starts at
+  /// \p Base with \p RegionCount regions of \p RegionBytes each (a power
+  /// of two). Bytes outside the span are dropped.
+  std::vector<uint64_t> byRegion(uint64_t Base, uint64_t RegionBytes,
+                                 uint32_t RegionCount) const;
+
 private:
   struct Entry {
     svm::MemRange Range;

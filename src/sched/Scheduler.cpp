@@ -5,6 +5,7 @@
 #include "analysis/Commutativity.h"
 #include "analysis/Footprint.h"
 #include "support/StringUtils.h"
+#include "svm/ObjectStore.h"
 
 #include <algorithm>
 #include <cassert>
@@ -517,6 +518,16 @@ Scheduler::Stats Scheduler::stats() const {
   return St;
 }
 
+std::vector<uint64_t> Scheduler::residentByRegion(unsigned Dev) const {
+  assert(Dev < 2);
+  const svm::ObjectStore *Store = RT.region().objectStore();
+  if (!Store)
+    return {};
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Residency[Dev].byRegion(RT.region().cpuBase(), Store->regionBytes(),
+                                 Store->regionCount());
+}
+
 void Scheduler::workerLoop(unsigned WorkerIdx) {
   for (;;) {
     std::shared_ptr<TaskState> Task;
@@ -697,7 +708,9 @@ void Scheduler::launchTask(const std::shared_ptr<TaskState> &Task,
   void *BodyCopy = nullptr;
   if (!Task->Shadows.empty()) {
     svm::MemRange BodyExt = RT.region().allocationExtent(D.BodyPtr);
-    BodyCopy = RT.sharedAlloc(BodyExt.size());
+    // Shadow-class allocation: body copies and shadow ranges churn per
+    // launch, so they live in the store's dedicated Shadow regions.
+    BodyCopy = RT.shadowAlloc(BodyExt.size());
     bool SetupOk = BodyCopy != nullptr;
     if (SetupOk) {
       std::memcpy(BodyCopy, D.BodyPtr, BodyExt.size());
@@ -717,7 +730,7 @@ void Scheduler::launchTask(const std::shared_ptr<TaskState> &Task,
             break;
           }
         if (!Reused) {
-          P.Shadow = RT.sharedAlloc(P.Master.size());
+          P.Shadow = RT.shadowAlloc(P.Master.size());
           if (!P.Shadow) {
             SetupOk = false;
             break;

@@ -232,6 +232,11 @@ public:
   Stats stats() const;
   runtime::Runtime &runtime() { return RT; }
 
+  /// Modelled-LLC resident bytes of device \p Dev (0 = GPU, 1 = CPU)
+  /// bucketed by object-store region; empty when the shared region runs
+  /// the legacy single arena. Thread-safe snapshot.
+  std::vector<uint64_t> residentByRegion(unsigned Dev) const;
+
 private:
   void workerLoop(unsigned WorkerIdx);
   /// Dequeues the next task under \p Lock. With placement on, scores every

@@ -1,0 +1,682 @@
+//===- ObjectStore.cpp - Multi-region SVM object store --------------------===//
+
+#include "svm/ObjectStore.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace concord;
+using namespace concord::svm;
+
+static uint64_t alignUp64(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+const char *concord::svm::regionClassName(RegionClass Cls) {
+  switch (Cls) {
+  case RegionClass::Unassigned:
+    return "free";
+  case RegionClass::Heap:
+    return "heap";
+  case RegionClass::Session:
+    return "session";
+  case RegionClass::FrameRing:
+    return "frame-ring";
+  case RegionClass::Shadow:
+    return "shadow";
+  case RegionClass::LargeRun:
+    return "large-run";
+  }
+  return "?";
+}
+
+/// One fixed-size region. All fields are guarded by M; class transitions
+/// (claim/release) additionally hold the store's PoolMutex.
+struct ObjectStore::Region {
+  mutable std::mutex M;
+  RegionClass Cls = RegionClass::Unassigned;
+  bool Bump = false; ///< FrameRing bump mode (no buddy lists).
+  uint32_t Generation = 0;
+  uint32_t RunHead = InvalidRegion; ///< LargeRun: index of the run head.
+  uint32_t RunLen = 0;              ///< On the run head only.
+  uint64_t BumpOff = 0;
+  uint64_t UsedBytes = 0;
+  uint64_t LiveAllocs = 0;
+  RegionStats Stats; ///< Cumulative across reclaims.
+
+  /// Buddy free lists: FreeByOrder[o] holds region-relative offsets of
+  /// free blocks of size MinBlockBytes << o.
+  std::vector<std::set<uint64_t>> FreeByOrder;
+
+  /// Out-of-band block metadata: block offset -> payload end + the
+  /// generation the block was allocated under. Entries from before a
+  /// generation bump stay behind (that is what makes resets O(1)) and are
+  /// rejected on lookup / purged lazily when a new block overlaps them.
+  struct Block {
+    uint64_t End = 0;
+    uint32_t Gen = 0;
+    uint8_t Order = 0;
+  };
+  std::map<uint64_t, Block> Live;
+};
+
+size_t ObjectStore::regionBytesFor(size_t CapacityBytes) {
+  size_t RB = MinRegionBytes;
+  while (RB * 64 < CapacityBytes)
+    RB <<= 1;
+  return RB;
+}
+
+size_t ObjectStore::roundCapacity(size_t CapacityBytes) {
+  size_t RB = regionBytesFor(CapacityBytes);
+  return size_t(alignUp64(CapacityBytes ? CapacityBytes : RB, RB));
+}
+
+ObjectStore::ObjectStore(char *SpanBase, size_t CapacityBytes)
+    : Base(SpanBase), BaseAddr(reinterpret_cast<uint64_t>(SpanBase)),
+      Capacity(CapacityBytes) {
+  size_t RB = regionBytesFor(CapacityBytes);
+  assert(CapacityBytes % RB == 0 && "capacity must be whole regions");
+  assert(BaseAddr % MaxAlign == 0 && "span must be 64 KiB-aligned");
+  RegionShift = 0;
+  while ((size_t(1) << RegionShift) < RB)
+    ++RegionShift;
+  unsigned MinBlockShift = 0;
+  while ((size_t(1) << MinBlockShift) < MinBlockBytes)
+    ++MinBlockShift;
+  MaxOrder = RegionShift - MinBlockShift;
+
+  size_t Count = CapacityBytes / RB;
+  Regions.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    Regions.push_back(std::make_unique<Region>());
+    FreePool.insert(uint32_t(I));
+  }
+}
+
+ObjectStore::~ObjectStore() = default;
+
+unsigned ObjectStore::orderFor(size_t Bytes) const {
+  unsigned O = 0;
+  size_t S = MinBlockBytes;
+  while (S < Bytes) {
+    S <<= 1;
+    ++O;
+  }
+  return O;
+}
+
+void ObjectStore::noteAllocated(Region &R, uint64_t Bytes) {
+  R.Stats.BytesAllocated += Bytes;
+  if (R.Stats.BytesAllocated > R.Stats.PeakBytes)
+    R.Stats.PeakBytes = R.Stats.BytesAllocated;
+  ++R.Stats.NumAllocs;
+  ++R.LiveAllocs;
+  uint64_t Cur = CurrentBytes.fetch_add(Bytes) + Bytes;
+  uint64_t Prev = PeakBytes.load();
+  while (Cur > Prev && !PeakBytes.compare_exchange_weak(Prev, Cur)) {
+  }
+  ++NumAllocs;
+}
+
+void ObjectStore::noteFreed(Region &R, uint64_t Bytes) {
+  assert(R.Stats.BytesAllocated >= Bytes && "allocator accounting broke");
+  R.Stats.BytesAllocated -= Bytes;
+  ++R.Stats.NumFrees;
+  assert(R.LiveAllocs > 0);
+  --R.LiveAllocs;
+  CurrentBytes.fetch_sub(Bytes);
+  ++NumFrees;
+}
+
+void ObjectStore::buddyInit(Region &R) {
+  R.FreeByOrder.assign(MaxOrder + 1, {});
+  R.FreeByOrder[MaxOrder].insert(0);
+  R.BumpOff = 0;
+  R.UsedBytes = 0;
+}
+
+void ObjectStore::purgeStaleOverlaps(Region &R, uint64_t Lo, uint64_t Hi) {
+  auto It = R.Live.lower_bound(Lo);
+  if (It != R.Live.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second.End > Lo) {
+      assert(Prev->second.Gen != R.Generation &&
+             "live current-generation block overlaps a free block");
+      R.Live.erase(Prev);
+    }
+  }
+  while (It != R.Live.end() && It->first < Hi) {
+    assert(It->second.Gen != R.Generation &&
+           "live current-generation block overlaps a free block");
+    It = R.Live.erase(It);
+  }
+}
+
+uint64_t ObjectStore::buddyAlloc(Region &R, size_t Size, size_t Align,
+                                 size_t *BlockOut) {
+  size_t Needed = std::max(std::max(Size, Align), MinBlockBytes);
+  unsigned Order = orderFor(Needed);
+  if (Order > MaxOrder)
+    return ~0ull;
+  unsigned From = Order;
+  while (From <= MaxOrder && R.FreeByOrder[From].empty())
+    ++From;
+  if (From > MaxOrder)
+    return ~0ull;
+  uint64_t Off = *R.FreeByOrder[From].begin();
+  R.FreeByOrder[From].erase(R.FreeByOrder[From].begin());
+  // Split down, keeping the low half at each level.
+  for (unsigned O = From; O > Order; --O) {
+    size_t Half = MinBlockBytes << (O - 1);
+    R.FreeByOrder[O - 1].insert(Off + Half);
+  }
+  size_t BlockBytes = MinBlockBytes << Order;
+  *BlockOut = BlockBytes;
+  purgeStaleOverlaps(R, Off, Off + BlockBytes);
+  R.Live.emplace(Off,
+                 Region::Block{Off + Size, R.Generation, uint8_t(Order)});
+  R.UsedBytes += BlockBytes;
+  return Off;
+}
+
+uint32_t ObjectStore::claimRegion(RegionClass Cls, bool Bump) {
+  std::lock_guard<std::mutex> Pool(PoolMutex);
+  if (FreePool.empty())
+    return InvalidRegion;
+  uint32_t Idx = *FreePool.begin();
+  FreePool.erase(FreePool.begin());
+  Region &R = regionAt(Idx);
+  {
+    std::lock_guard<std::mutex> Lock(R.M);
+    R.Cls = Cls;
+    R.Bump = Bump;
+    R.RunHead = InvalidRegion;
+    R.RunLen = 0;
+    if (Bump) {
+      R.BumpOff = 0;
+      R.UsedBytes = 0;
+    } else {
+      buddyInit(R);
+    }
+  }
+  if (Cls == RegionClass::Heap)
+    HeapRegions.push_back(Idx);
+  else if (Cls == RegionClass::Shadow)
+    ShadowRegions.push_back(Idx);
+  return Idx;
+}
+
+void ObjectStore::resetRegionLocked(Region &R, uint32_t Idx, bool KeepClaimed,
+                                    bool CountReset) {
+  // The whole generation's allocations are reclaimed at once: one
+  // subtraction, one generation bump, O(log region-size) free-list
+  // levels. No per-object walk — the Live map stays behind and its stale
+  // entries are rejected by generation (and purged lazily on overlap).
+  CurrentBytes.fetch_sub(R.Stats.BytesAllocated);
+  NumFrees.fetch_add(R.LiveAllocs);
+  R.Stats.NumFrees += R.LiveAllocs;
+  R.Stats.BytesAllocated = 0;
+  R.LiveAllocs = 0;
+  R.UsedBytes = 0;
+  R.BumpOff = 0;
+  ++R.Generation;
+  if (CountReset)
+    ++O1Resets;
+  if (KeepClaimed) {
+    if (!R.Bump)
+      buddyInit(R);
+  } else {
+    R.Cls = RegionClass::Unassigned;
+    R.Bump = false;
+    R.RunHead = InvalidRegion;
+    R.RunLen = 0;
+    FreePool.insert(Idx);
+  }
+}
+
+void *ObjectStore::allocate(size_t Size, size_t Align, RegionClass Cls) {
+  assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+  assert((Cls == RegionClass::Heap || Cls == RegionClass::Shadow) &&
+         "allocate() serves Heap/Shadow; use allocateInRegion for sessions");
+  if (Align < 16)
+    Align = 16;
+  if (Size == 0)
+    Size = 1;
+  if (Align > MaxAlign) {
+    ++FailedAllocs;
+    return nullptr;
+  }
+  if (std::max(Size, Align) > regionBytes())
+    return largeAllocate(Size);
+
+  for (;;) {
+    std::vector<uint32_t> Candidates;
+    {
+      std::lock_guard<std::mutex> Pool(PoolMutex);
+      Candidates =
+          Cls == RegionClass::Heap ? HeapRegions : ShadowRegions;
+    }
+    for (uint32_t Idx : Candidates) {
+      Region &R = regionAt(Idx);
+      std::lock_guard<std::mutex> Lock(R.M);
+      if (R.Cls != Cls || R.Bump)
+        continue; // Reclaimed or repurposed since the snapshot.
+      size_t BlockBytes = 0;
+      uint64_t Off = buddyAlloc(R, Size, Align, &BlockBytes);
+      if (Off == ~0ull)
+        continue;
+      noteAllocated(R, BlockBytes);
+      return Base + (uint64_t(Idx) << RegionShift) + Off;
+    }
+    if (claimRegion(Cls, /*Bump=*/false) == InvalidRegion) {
+      ++FailedAllocs;
+      return nullptr;
+    }
+    // Retry with the freshly claimed region in the class list. The loop
+    // terminates: each iteration either allocates or consumes a pooled
+    // region, and the pool is finite.
+  }
+}
+
+void *ObjectStore::allocateInRegion(uint32_t Idx, size_t Size, size_t Align) {
+  assert(Idx < Regions.size());
+  assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+  if (Align < 16)
+    Align = 16;
+  if (Size == 0)
+    Size = 1;
+  Region &R = regionAt(Idx);
+  std::lock_guard<std::mutex> Lock(R.M);
+  if (Align > MaxAlign ||
+      (R.Cls != RegionClass::Session && R.Cls != RegionClass::FrameRing)) {
+    ++FailedAllocs;
+    return nullptr;
+  }
+  if (R.Bump) {
+    uint64_t Off = alignUp64(R.BumpOff, Align);
+    if (Off + Size > regionBytes()) {
+      ++R.Stats.FailedAllocs;
+      ++FailedAllocs;
+      return nullptr;
+    }
+    purgeStaleOverlaps(R, Off, Off + Size);
+    R.Live.emplace(Off, Region::Block{Off + Size, R.Generation, 0});
+    R.BumpOff = Off + Size;
+    R.UsedBytes = R.BumpOff;
+    noteAllocated(R, Size);
+    return Base + (uint64_t(Idx) << RegionShift) + Off;
+  }
+  size_t BlockBytes = 0;
+  uint64_t Off = buddyAlloc(R, Size, Align, &BlockBytes);
+  if (Off == ~0ull) {
+    ++R.Stats.FailedAllocs;
+    ++FailedAllocs;
+    return nullptr;
+  }
+  noteAllocated(R, BlockBytes);
+  return Base + (uint64_t(Idx) << RegionShift) + Off;
+}
+
+void *ObjectStore::largeAllocate(size_t Size) {
+  size_t RB = regionBytes();
+  uint32_t Want = uint32_t((Size + RB - 1) / RB);
+  uint32_t Head = InvalidRegion;
+  {
+    std::lock_guard<std::mutex> Pool(PoolMutex);
+    // Scan the ordered pool for a contiguous run of Want regions.
+    uint32_t RunStart = InvalidRegion, RunLen = 0, Prev = InvalidRegion;
+    for (uint32_t Idx : FreePool) {
+      if (RunLen != 0 && Idx == Prev + 1) {
+        ++RunLen;
+      } else {
+        RunStart = Idx;
+        RunLen = 1;
+      }
+      Prev = Idx;
+      if (RunLen == Want) {
+        Head = RunStart;
+        break;
+      }
+    }
+    if (Head == InvalidRegion) {
+      ++FailedAllocs;
+      return nullptr;
+    }
+    for (uint32_t I = Head; I < Head + Want; ++I)
+      FreePool.erase(I);
+    for (uint32_t I = Head; I < Head + Want; ++I) {
+      Region &R = regionAt(I);
+      std::lock_guard<std::mutex> Lock(R.M);
+      R.Cls = RegionClass::LargeRun;
+      R.Bump = false;
+      R.RunHead = Head;
+      R.RunLen = I == Head ? Want : 0;
+      if (I == Head) {
+        purgeStaleOverlaps(R, 0, regionBytes());
+        R.Live.emplace(0, Region::Block{Size, R.Generation, 0});
+        R.UsedBytes = RB;
+        noteAllocated(R, uint64_t(Want) * RB);
+      } else {
+        R.UsedBytes = RB;
+      }
+    }
+  }
+  return Base + (uint64_t(Head) << RegionShift);
+}
+
+void ObjectStore::largeFree(uint32_t HeadIdx) {
+  std::lock_guard<std::mutex> Pool(PoolMutex);
+  uint32_t Len = 0;
+  {
+    Region &R = regionAt(HeadIdx);
+    std::lock_guard<std::mutex> Lock(R.M);
+    if (R.Cls != RegionClass::LargeRun || R.RunHead != HeadIdx ||
+        R.RunLen == 0) {
+      ++BadFrees;
+      return;
+    }
+    auto It = R.Live.find(0);
+    if (It == R.Live.end() || It->second.Gen != R.Generation) {
+      ++BadFrees;
+      return;
+    }
+    Len = R.RunLen;
+    R.Live.erase(It);
+    noteFreed(R, uint64_t(Len) * regionBytes());
+    ++R.Generation;
+    R.Cls = RegionClass::Unassigned;
+    R.RunHead = InvalidRegion;
+    R.RunLen = 0;
+    R.UsedBytes = 0;
+  }
+  for (uint32_t I = HeadIdx + 1; I < HeadIdx + Len; ++I) {
+    Region &R = regionAt(I);
+    std::lock_guard<std::mutex> Lock(R.M);
+    ++R.Generation;
+    R.Cls = RegionClass::Unassigned;
+    R.RunHead = InvalidRegion;
+    R.UsedBytes = 0;
+  }
+  for (uint32_t I = HeadIdx; I < HeadIdx + Len; ++I)
+    FreePool.insert(I);
+}
+
+void ObjectStore::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  uint32_t Idx = regionOf(Ptr);
+  assert(Idx < Regions.size() && "freeing a pointer outside the store");
+  Region &R = regionAt(Idx);
+  uint64_t Off =
+      reinterpret_cast<uint64_t>(Ptr) - BaseAddr - (uint64_t(Idx) << RegionShift);
+  bool Reclaimable = false;
+  {
+    std::lock_guard<std::mutex> Lock(R.M);
+    if (R.Cls == RegionClass::LargeRun) {
+      if (R.RunHead != Idx || Off != 0) {
+        ++BadFrees;
+        return;
+      }
+      // Fall through to largeFree outside this region lock (it re-locks
+      // under PoolMutex; never two region locks at once).
+    } else {
+      auto It = R.Live.find(Off);
+      if (It == R.Live.end() || It->second.Gen != R.Generation) {
+        // Double free, stale-generation pointer, or interior pointer.
+        ++BadFrees;
+        return;
+      }
+      if (R.Bump) {
+        // Ring space is reclaimed by resetFrameRing, not piecewise; only
+        // the accounting and metadata retire here.
+        noteFreed(R, It->second.End - Off);
+        R.Live.erase(It);
+      } else {
+        unsigned Order = It->second.Order;
+        size_t BlockBytes = MinBlockBytes << Order;
+        R.Live.erase(It);
+        // Coalesce with the buddy at each level.
+        uint64_t Cur = Off;
+        unsigned O = Order;
+        while (O < MaxOrder) {
+          uint64_t Buddy = Cur ^ (uint64_t(MinBlockBytes) << O);
+          if (R.FreeByOrder[O].erase(Buddy) == 0)
+            break;
+          Cur = std::min(Cur, Buddy);
+          ++O;
+        }
+        R.FreeByOrder[O].insert(Cur);
+        R.UsedBytes -= BlockBytes;
+        noteFreed(R, BlockBytes);
+      }
+      Reclaimable = (R.Cls == RegionClass::Heap ||
+                     R.Cls == RegionClass::Shadow) &&
+                    R.LiveAllocs == 0;
+    }
+    if (R.Cls == RegionClass::LargeRun)
+      ; // handled below
+    else if (!Reclaimable)
+      return;
+  }
+  if (Reclaimable) {
+    maybeReclaimEmpty(Idx);
+    return;
+  }
+  largeFree(Idx);
+}
+
+void ObjectStore::maybeReclaimEmpty(uint32_t Idx) {
+  std::lock_guard<std::mutex> Pool(PoolMutex);
+  Region &R = regionAt(Idx);
+  std::lock_guard<std::mutex> Lock(R.M);
+  if ((R.Cls != RegionClass::Heap && R.Cls != RegionClass::Shadow) ||
+      R.LiveAllocs != 0)
+    return; // Raced with a fresh allocation; keep it claimed.
+  std::vector<uint32_t> &List =
+      R.Cls == RegionClass::Heap ? HeapRegions : ShadowRegions;
+  List.erase(std::remove(List.begin(), List.end(), Idx), List.end());
+  resetRegionLocked(R, Idx, /*KeepClaimed=*/false, /*CountReset=*/false);
+}
+
+ExtentResult ObjectStore::allocationExtent(const void *Ptr,
+                                           MemRange *Out) const {
+  uint64_t P = reinterpret_cast<uint64_t>(Ptr);
+  uint32_t Idx = regionOf(Ptr);
+  if (Idx >= Regions.size())
+    return ExtentResult::Unknown;
+  uint32_t Head = Idx;
+  {
+    const Region &R = regionAt(Idx);
+    std::lock_guard<std::mutex> Lock(R.M);
+    if (R.Cls != RegionClass::LargeRun) {
+      uint64_t RegionStart = BaseAddr + (uint64_t(Idx) << RegionShift);
+      uint64_t Off = P - RegionStart;
+      auto It = R.Live.upper_bound(Off);
+      if (It == R.Live.begin())
+        return ExtentResult::Unknown;
+      --It;
+      if (Off >= It->second.End)
+        return ExtentResult::Unknown;
+      if (It->second.Gen != R.Generation)
+        return ExtentResult::Stale;
+      *Out = {P, RegionStart + It->second.End};
+      return ExtentResult::Exact;
+    }
+    Head = R.RunHead;
+    if (Head == InvalidRegion || Head >= Regions.size())
+      return ExtentResult::Unknown;
+  }
+  // Large run: the head region's metadata describes the whole span. The
+  // member lock is released first — never two region locks at once.
+  const Region &H = regionAt(Head);
+  std::lock_guard<std::mutex> Lock(H.M);
+  if (H.Cls != RegionClass::LargeRun || H.RunHead != Head)
+    return ExtentResult::Unknown;
+  auto It = H.Live.find(0);
+  if (It == H.Live.end())
+    return ExtentResult::Unknown;
+  if (It->second.Gen != H.Generation)
+    return ExtentResult::Stale;
+  uint64_t HeadStart = BaseAddr + (uint64_t(Head) << RegionShift);
+  if (P < HeadStart || P >= HeadStart + It->second.End)
+    return ExtentResult::Unknown; // Past the payload, inside the run tail.
+  *Out = {P, HeadStart + It->second.End};
+  return ExtentResult::Exact;
+}
+
+uint32_t ObjectStore::createSession() {
+  return claimRegion(RegionClass::Session, /*Bump=*/false);
+}
+
+void ObjectStore::endSession(uint32_t Idx) {
+  assert(Idx < Regions.size());
+  std::lock_guard<std::mutex> Pool(PoolMutex);
+  Region &R = regionAt(Idx);
+  std::lock_guard<std::mutex> Lock(R.M);
+  if (R.Cls != RegionClass::Session) {
+    ++BadFrees;
+    return;
+  }
+  resetRegionLocked(R, Idx, /*KeepClaimed=*/false, /*CountReset=*/true);
+}
+
+uint32_t ObjectStore::createFrameRing() {
+  return claimRegion(RegionClass::FrameRing, /*Bump=*/true);
+}
+
+void ObjectStore::resetFrameRing(uint32_t Idx) {
+  assert(Idx < Regions.size());
+  Region &R = regionAt(Idx);
+  std::lock_guard<std::mutex> Lock(R.M);
+  if (R.Cls != RegionClass::FrameRing) {
+    ++BadFrees;
+    return;
+  }
+  resetRegionLocked(R, Idx, /*KeepClaimed=*/true, /*CountReset=*/true);
+}
+
+void ObjectStore::releaseFrameRing(uint32_t Idx) {
+  assert(Idx < Regions.size());
+  std::lock_guard<std::mutex> Pool(PoolMutex);
+  Region &R = regionAt(Idx);
+  std::lock_guard<std::mutex> Lock(R.M);
+  if (R.Cls != RegionClass::FrameRing) {
+    ++BadFrees;
+    return;
+  }
+  resetRegionLocked(R, Idx, /*KeepClaimed=*/false, /*CountReset=*/true);
+}
+
+uint32_t ObjectStore::generationOf(uint32_t Idx) const {
+  assert(Idx < Regions.size());
+  const Region &R = regionAt(Idx);
+  std::lock_guard<std::mutex> Lock(R.M);
+  return R.Generation;
+}
+
+RegionStats ObjectStore::aggregateStats() const {
+  RegionStats S;
+  S.BytesAllocated = CurrentBytes.load();
+  S.PeakBytes = PeakBytes.load();
+  S.NumAllocs = NumAllocs.load();
+  S.NumFrees = NumFrees.load();
+  S.FailedAllocs = FailedAllocs.load();
+  return S;
+}
+
+std::vector<RegionInfo> ObjectStore::regionInfos() const {
+  std::vector<RegionInfo> Out;
+  Out.reserve(Regions.size());
+  for (uint32_t I = 0; I < Regions.size(); ++I) {
+    const Region &R = regionAt(I);
+    std::lock_guard<std::mutex> Lock(R.M);
+    RegionInfo Info;
+    Info.Index = I;
+    Info.Cls = R.Cls;
+    Info.Generation = R.Generation;
+    Info.UsedBytes = R.UsedBytes;
+    Info.LiveAllocs = R.LiveAllocs;
+    Info.Stats = R.Stats;
+    Out.push_back(Info);
+  }
+  return Out;
+}
+
+size_t ObjectStore::freeBytes() const {
+  std::lock_guard<std::mutex> Pool(PoolMutex);
+  size_t RB = regionBytes();
+  size_t Total = FreePool.size() * RB;
+  for (uint32_t I = 0; I < Regions.size(); ++I) {
+    const Region &R = regionAt(I);
+    std::lock_guard<std::mutex> Lock(R.M);
+    switch (R.Cls) {
+    case RegionClass::Heap:
+    case RegionClass::Session:
+    case RegionClass::Shadow:
+      Total += RB - R.UsedBytes;
+      break;
+    case RegionClass::FrameRing:
+      Total += RB - R.BumpOff;
+      break;
+    default:
+      break;
+    }
+  }
+  return Total;
+}
+
+size_t ObjectStore::freeBlockCount() const {
+  std::lock_guard<std::mutex> Pool(PoolMutex);
+  size_t Count = FreePool.size();
+  for (uint32_t I = 0; I < Regions.size(); ++I) {
+    const Region &R = regionAt(I);
+    std::lock_guard<std::mutex> Lock(R.M);
+    for (const std::set<uint64_t> &FL : R.FreeByOrder)
+      if (R.Cls == RegionClass::Heap || R.Cls == RegionClass::Session ||
+          R.Cls == RegionClass::Shadow)
+        Count += FL.size();
+  }
+  return Count;
+}
+
+double ObjectStore::fragmentation() const {
+  std::lock_guard<std::mutex> Pool(PoolMutex);
+  size_t RB = regionBytes();
+  uint64_t TotalFree = uint64_t(FreePool.size()) * RB;
+  // Largest contiguous chunk: the longest run of pooled regions, or the
+  // biggest free buddy block / bump tail in a claimed region.
+  uint64_t Largest = 0;
+  {
+    uint32_t RunLen = 0, Prev = InvalidRegion;
+    for (uint32_t Idx : FreePool) {
+      RunLen = (RunLen != 0 && Idx == Prev + 1) ? RunLen + 1 : 1;
+      Prev = Idx;
+      Largest = std::max(Largest, uint64_t(RunLen) * RB);
+    }
+  }
+  for (uint32_t I = 0; I < Regions.size(); ++I) {
+    const Region &R = regionAt(I);
+    std::lock_guard<std::mutex> Lock(R.M);
+    switch (R.Cls) {
+    case RegionClass::Heap:
+    case RegionClass::Session:
+    case RegionClass::Shadow: {
+      TotalFree += RB - R.UsedBytes;
+      for (unsigned O = 0; O < R.FreeByOrder.size(); ++O)
+        if (!R.FreeByOrder[O].empty())
+          Largest = std::max(Largest, uint64_t(MinBlockBytes) << O);
+      break;
+    }
+    case RegionClass::FrameRing:
+      TotalFree += RB - R.BumpOff;
+      Largest = std::max(Largest, uint64_t(RB - R.BumpOff));
+      break;
+    default:
+      break;
+    }
+  }
+  if (TotalFree == 0)
+    return 0.0;
+  return 1.0 - double(Largest) / double(TotalFree);
+}

@@ -1,0 +1,258 @@
+//===- ObjectStore.h - Multi-region SVM object store ------------*- C++ -*-===//
+///
+/// \file
+/// The shared region's allocator, rebuilt as a multi-region object store.
+///
+/// One contiguous CPU/GPU virtual span (reserved by SharedRegion, so
+/// svmConst() stays a single one-add constant and codegen/SvmLowering are
+/// untouched) is carved into fixed-size power-of-two regions. Address to
+/// region is a shift, so contains/extent/hazard queries stay O(ranges),
+/// never O(regions x ranges). Each region has
+///
+///  * its own mutex — allocation scales with concurrent client sessions
+///    instead of serializing on one global (or, worse, borrowed) lock;
+///  * a binary buddy allocator (split on allocate, buddy-coalesce on
+///    free) or, for frame rings, a bump pointer;
+///  * a generation stamp: endSession()/resetFrameRing() reclaim every
+///    allocation in the region in O(1) by bumping the generation — no
+///    per-object free, no free-list walk — and allocationExtent() rejects
+///    pointers whose block carries a stale generation;
+///  * per-region RegionStats plus out-of-band block metadata, so interior
+///    pointers resolve to their true allocation's extent (tightening the
+///    footprint analysis' Bounded windows) instead of falling back to the
+///    whole region.
+///
+/// Region classes: the default Heap (grown/shrunk region by region on
+/// demand), per-session Session regions, per-frame FrameRing bump
+/// regions, a Shadow class backing the scheduler's accumulate shadow
+/// ranges, and LargeRun members of a contiguous multi-region span serving
+/// allocations bigger than one region.
+///
+/// The design follows GPU-visible object-store allocators (Springer's
+/// memory-efficient OOP-on-GPU work; pulse's objstore buddy) adapted to
+/// Concord's single-span SVM of paper section 3.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_SVM_OBJECTSTORE_H
+#define CONCORD_SVM_OBJECTSTORE_H
+
+#include "svm/SharedRegion.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace concord {
+namespace svm {
+
+/// What a region is currently serving.
+enum class RegionClass : uint8_t {
+  Unassigned, ///< In the free pool, claimable by any class.
+  Heap,       ///< Default malloc/free heap (buddy), grown on demand.
+  Session,    ///< One client session's objects (buddy); O(1) reclaim.
+  FrameRing,  ///< Per-frame bump ring; O(1) reset via generation bump.
+  Shadow,     ///< Scheduler accumulate shadow ranges (buddy).
+  LargeRun,   ///< Member of a contiguous multi-region large allocation.
+};
+
+const char *regionClassName(RegionClass Cls);
+
+/// Snapshot of one region for stats reporting.
+struct RegionInfo {
+  uint32_t Index = 0;
+  RegionClass Cls = RegionClass::Unassigned;
+  uint32_t Generation = 0;
+  uint64_t UsedBytes = 0;  ///< Block-granularity bytes taken from the region.
+  uint64_t LiveAllocs = 0; ///< Live allocations (0 for pooled regions).
+  RegionStats Stats;       ///< Cumulative across reclaims of this region.
+};
+
+/// Result classification for allocationExtent queries.
+enum class ExtentResult {
+  Exact,   ///< Pointer resolved to a live allocation (interior included).
+  Stale,   ///< Block metadata found, but its generation predates a region
+           ///< reset: the allocation was reclaimed in O(1). Rejected.
+  Unknown, ///< No attributable block (freed, foreign, pooled region).
+};
+
+class ObjectStore {
+public:
+  static constexpr uint32_t InvalidRegion = 0xffffffffu;
+  /// Smallest region (and the span alignment): region starts are always
+  /// 64 KiB-aligned, which bounds the largest honourable alignment.
+  static constexpr size_t MinRegionBytes = 64 << 10;
+  static constexpr size_t MaxAlign = 64 << 10;
+  /// Smallest buddy block.
+  static constexpr size_t MinBlockBytes = 64;
+
+  /// Region size for a requested span capacity: the smallest power of two
+  /// >= MinRegionBytes giving at most ~64 regions.
+  static size_t regionBytesFor(size_t CapacityBytes);
+  /// Capacity rounded up to a whole number of regions.
+  static size_t roundCapacity(size_t CapacityBytes);
+
+  /// \p Base must point at \p CapacityBytes of memory aligned to 64 KiB,
+  /// with CapacityBytes a multiple of regionBytesFor(CapacityBytes). The
+  /// store does not own the span.
+  ObjectStore(char *Base, size_t CapacityBytes);
+  ~ObjectStore();
+
+  ObjectStore(const ObjectStore &) = delete;
+  ObjectStore &operator=(const ObjectStore &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Allocation
+  //===--------------------------------------------------------------------===//
+
+  /// Allocates in (a region of) the given class, claiming fresh regions
+  /// from the pool as the class fills up. Sizes above one region are
+  /// served by a contiguous run of free regions (class LargeRun).
+  /// Thread-safe; returns null on exhaustion. \p Align must be a power of
+  /// two <= MaxAlign (values below 16 are rounded up to 16).
+  void *allocate(size_t Size, size_t Align = 16,
+                 RegionClass Cls = RegionClass::Heap);
+
+  /// Allocates inside one specific Session or FrameRing region (sessions
+  /// are bounded by their region by design — null when it is full).
+  void *allocateInRegion(uint32_t Region, size_t Size, size_t Align = 16);
+
+  /// Frees a pointer from any region/class. Freeing a pointer that is not
+  /// a live allocation start (double free, stale generation, interior)
+  /// is counted in badFrees() and otherwise ignored.
+  void deallocate(void *Ptr);
+
+  /// Resolves \p Ptr (which must lie inside the span) to its allocation:
+  /// Exact fills \p Out with [Ptr, allocation end) even for interior
+  /// pointers; Stale means the block's generation predates a region
+  /// reset; Unknown means no block metadata covers the pointer.
+  ExtentResult allocationExtent(const void *Ptr, MemRange *Out) const;
+
+  //===--------------------------------------------------------------------===//
+  // Sessions and frame rings
+  //===--------------------------------------------------------------------===//
+
+  /// Claims a region for a client session (buddy allocator). Returns
+  /// InvalidRegion when the pool is empty.
+  uint32_t createSession();
+
+  /// Ends a session: every allocation in the region is reclaimed in O(1)
+  /// by bumping the region generation and reinitializing the buddy free
+  /// lists (O(log region-size) levels, no per-object work). The region
+  /// returns to the pool; stale pointers into it are rejected by
+  /// allocationExtent.
+  void endSession(uint32_t Region);
+
+  /// Claims a region as a per-frame bump ring. Returns InvalidRegion when
+  /// the pool is empty.
+  uint32_t createFrameRing();
+
+  /// Frees the frame's allocations in O(1): generation bump + bump-offset
+  /// rewind. The region stays claimed for the next frame.
+  void resetFrameRing(uint32_t Region);
+
+  /// Returns a frame ring to the pool (O(1), generation-bumped).
+  void releaseFrameRing(uint32_t Region);
+
+  //===--------------------------------------------------------------------===//
+  // Geometry and stats
+  //===--------------------------------------------------------------------===//
+
+  uint32_t regionOf(const void *Ptr) const {
+    return uint32_t((reinterpret_cast<uint64_t>(Ptr) - BaseAddr) >>
+                    RegionShift);
+  }
+  size_t regionBytes() const { return size_t(1) << RegionShift; }
+  uint32_t regionCount() const { return uint32_t(Regions.size()); }
+  size_t capacity() const { return Capacity; }
+
+  /// Current generation of a region.
+  uint32_t generationOf(uint32_t Region) const;
+
+  /// O(1) reclamations performed (endSession + resetFrameRing +
+  /// releaseFrameRing).
+  uint64_t o1Resets() const { return O1Resets.load(); }
+  /// Rejected deallocate() calls (double frees, stale/interior pointers).
+  uint64_t badFrees() const { return BadFrees.load(); }
+
+  /// Aggregate allocator statistics across all regions (PeakBytes is the
+  /// true global high-water mark, not a sum of per-region peaks).
+  RegionStats aggregateStats() const;
+
+  /// Per-region snapshots, pooled regions included.
+  std::vector<RegionInfo> regionInfos() const;
+
+  /// Free bytes: pooled regions plus per-region buddy/bump slack.
+  size_t freeBytes() const;
+  /// Free buddy blocks across claimed regions plus pooled regions
+  /// (fragmentation indicator).
+  size_t freeBlockCount() const;
+  /// 1 - largest-free-chunk / total-free-bytes in [0, 1]; 0 when the
+  /// store is empty or a maximal contiguous chunk holds all free bytes.
+  double fragmentation() const;
+
+private:
+  struct Region;
+
+  Region &regionAt(uint32_t Idx) { return *Regions[Idx]; }
+  const Region &regionAt(uint32_t Idx) const { return *Regions[Idx]; }
+
+  unsigned orderFor(size_t Bytes) const;
+  /// Buddy allocation inside a locked region; null offset sentinel is
+  /// ~0ull. Caller updates store-level stats.
+  uint64_t buddyAlloc(Region &R, size_t Size, size_t Align, size_t *BlockOut);
+  void buddyInit(Region &R);
+  /// Erases Live entries overlapping [Lo, Hi) — only stale-generation
+  /// entries can overlap a block the allocator just handed out, so this
+  /// is the lazy purge behind O(1) resets (amortized O(1) per insert).
+  void purgeStaleOverlaps(Region &R, uint64_t Lo, uint64_t Hi);
+  /// Claims the lowest-index pooled region for \p Cls. Returns
+  /// InvalidRegion when the pool is empty. Caller must not hold locks.
+  uint32_t claimRegion(RegionClass Cls, bool Bump);
+  /// Generation-bump reclaim of a claimed region; returns it to the pool
+  /// unless \p KeepClaimed. Counts an O(1) reset when \p CountReset.
+  void resetRegionLocked(Region &R, uint32_t Idx, bool KeepClaimed,
+                         bool CountReset);
+  void *largeAllocate(size_t Size);
+  void largeFree(uint32_t HeadIdx);
+  void maybeReclaimEmpty(uint32_t Idx);
+  void noteAllocated(Region &R, uint64_t Bytes);
+  void noteFreed(Region &R, uint64_t Bytes);
+
+  char *Base = nullptr;
+  uint64_t BaseAddr = 0;
+  size_t Capacity = 0;
+  unsigned RegionShift = 0;
+  unsigned MaxOrder = 0; ///< Buddy order of a whole region.
+
+  std::vector<std::unique_ptr<Region>> Regions;
+
+  /// Guards the free pool, the per-class region lists, and class
+  /// transitions (which also hold the region mutex; lock order is always
+  /// PoolMutex before a region mutex, and never two region mutexes at
+  /// once).
+  mutable std::mutex PoolMutex;
+  std::set<uint32_t> FreePool; ///< Ordered for contiguous-run scans.
+  std::vector<uint32_t> HeapRegions;
+  std::vector<uint32_t> ShadowRegions;
+
+  // Store-level counters so aggregate stats never walk all regions under
+  // every region lock.
+  std::atomic<uint64_t> CurrentBytes{0};
+  std::atomic<uint64_t> PeakBytes{0};
+  std::atomic<uint64_t> NumAllocs{0};
+  std::atomic<uint64_t> NumFrees{0};
+  std::atomic<uint64_t> FailedAllocs{0};
+  std::atomic<uint64_t> O1Resets{0};
+  std::atomic<uint64_t> BadFrees{0};
+};
+
+} // namespace svm
+} // namespace concord
+
+#endif // CONCORD_SVM_OBJECTSTORE_H

@@ -1,6 +1,7 @@
 //===- SharedRegion.cpp ---------------------------------------------------===//
 
 #include "svm/SharedRegion.h"
+#include "svm/ObjectStore.h"
 
 #include <cassert>
 #include <cstdlib>
@@ -13,27 +14,55 @@ static uint64_t alignUp(uint64_t Value, uint64_t Align) {
   return (Value + Align - 1) & ~(Align - 1);
 }
 
-SharedRegion::SharedRegion(size_t CapacityBytes, uint64_t GpuBase) {
+static ArenaMode resolveMode(ArenaMode Mode) {
+  if (Mode != ArenaMode::Auto)
+    return Mode;
+  const char *Env = std::getenv("CONCORD_SVM_LEGACY");
+  if (Env && Env[0] == '1' && Env[1] == '\0')
+    return ArenaMode::Legacy;
+  return ArenaMode::Store;
+}
+
+SharedRegion::SharedRegion(size_t CapacityBytes, uint64_t GpuBase,
+                           ArenaMode Mode) {
+  GpuBaseAddr = GpuBase;
+  if (resolveMode(Mode) == ArenaMode::Store) {
+    Capacity = ObjectStore::roundCapacity(CapacityBytes);
+    // Region starts must be 64 KiB-aligned so buddy blocks' natural
+    // alignment carries through to absolute addresses.
+    Arena = static_cast<char *>(
+        std::aligned_alloc(ObjectStore::MaxAlign, Capacity));
+    assert(Arena && "failed to reserve shared region arena");
+    CpuBaseAddr = reinterpret_cast<uint64_t>(Arena);
+    Store = std::make_unique<ObjectStore>(Arena, Capacity);
+    return;
+  }
   Capacity = alignUp(CapacityBytes, 4096);
-  Arena = static_cast<char *>(std::aligned_alloc(4096, Capacity));
+  // Same 64 KiB base alignment as the store span, so offset-relative
+  // alignment implies absolute alignment in both modes.
+  Arena = static_cast<char *>(std::aligned_alloc(
+      ObjectStore::MaxAlign, alignUp(Capacity, ObjectStore::MaxAlign)));
   assert(Arena && "failed to reserve shared region arena");
   CpuBaseAddr = reinterpret_cast<uint64_t>(Arena);
-  GpuBaseAddr = GpuBase;
   FreeBlocks.emplace(0, Capacity);
 }
 
 SharedRegion::~SharedRegion() {
   assert(!isPinned() && "destroying a region pinned by a kernel launch");
+  Store.reset();
   std::free(Arena);
 }
 
 void *SharedRegion::allocate(size_t Size, size_t Align) {
   assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+  if (Store)
+    return Store->allocate(Size, Align, RegionClass::Heap);
   if (Align < 16)
     Align = 16;
   if (Size == 0)
     Size = 1;
 
+  std::lock_guard<std::mutex> Lock(LegacyMutex);
   // First fit: find a free block that can hold header + aligned payload.
   for (auto It = FreeBlocks.begin(); It != FreeBlocks.end(); ++It) {
     uint64_t BlockOff = It->first;
@@ -59,6 +88,7 @@ void *SharedRegion::allocate(size_t Size, size_t Align) {
     Header->BlockOff = BlockOff;
     Header->BlockSize = ConsumedSize;
     Header->Magic = HeaderMagic;
+    LiveBlocks[PayloadOff] = BlockOff + ConsumedSize;
 
     Stats.BytesAllocated += ConsumedSize;
     if (Stats.BytesAllocated > Stats.PeakBytes)
@@ -71,10 +101,20 @@ void *SharedRegion::allocate(size_t Size, size_t Align) {
   return nullptr;
 }
 
+void *SharedRegion::allocateShadow(size_t Size, size_t Align) {
+  if (Store)
+    return Store->allocate(Size, Align, RegionClass::Shadow);
+  return allocate(Size, Align);
+}
+
 void SharedRegion::deallocate(void *Ptr) {
   if (!Ptr)
     return;
   assert(contains(Ptr) && "freeing a pointer outside the shared region");
+  if (Store) {
+    Store->deallocate(Ptr);
+    return;
+  }
   auto *Header = reinterpret_cast<AllocHeader *>(static_cast<char *>(Ptr) -
                                                  sizeof(AllocHeader));
   assert(Header->Magic == HeaderMagic && "corrupt or double-freed block");
@@ -82,9 +122,12 @@ void SharedRegion::deallocate(void *Ptr) {
 
   uint64_t BlockOff = Header->BlockOff;
   uint64_t BlockSize = Header->BlockSize;
+
+  std::lock_guard<std::mutex> Lock(LegacyMutex);
   assert(Stats.BytesAllocated >= BlockSize && "allocator accounting broke");
   Stats.BytesAllocated -= BlockSize;
   ++Stats.NumFrees;
+  LiveBlocks.erase(reinterpret_cast<uint64_t>(Ptr) - CpuBaseAddr);
 
   // Coalesce with the following block.
   auto Next = FreeBlocks.lower_bound(BlockOff);
@@ -107,20 +150,33 @@ void SharedRegion::deallocate(void *Ptr) {
 MemRange SharedRegion::allocationExtent(const void *Ptr) const {
   if (!contains(Ptr))
     return range();
-  uint64_t PayloadOff = reinterpret_cast<uint64_t>(Ptr) - CpuBaseAddr;
-  if (PayloadOff < sizeof(AllocHeader))
+  if (Store) {
+    MemRange Out;
+    switch (Store->allocationExtent(Ptr, &Out)) {
+    case ExtentResult::Exact:
+      return Out;
+    case ExtentResult::Stale:
+      // The allocation was reclaimed wholesale (generation bump); an
+      // empty range makes every access through the stale pointer fail
+      // containment checks instead of silently charging the region.
+      return {0, 0};
+    case ExtentResult::Unknown:
+      return range();
+    }
     return range();
-  const auto *Header = reinterpret_cast<const AllocHeader *>(
-      Arena + PayloadOff - sizeof(AllocHeader));
-  if (Header->Magic != HeaderMagic)
+  }
+  uint64_t Off = reinterpret_cast<uint64_t>(Ptr) - CpuBaseAddr;
+  std::lock_guard<std::mutex> Lock(LegacyMutex);
+  // Attribute interior pointers to their allocation via the live map — a
+  // pointer into the middle of a live block bounds accesses by that block,
+  // not the whole region.
+  auto It = LiveBlocks.upper_bound(Off);
+  if (It == LiveBlocks.begin())
     return range();
-  uint64_t BlockOff = Header->BlockOff;
-  uint64_t BlockSize = Header->BlockSize;
-  if (BlockOff >= Capacity || BlockSize > Capacity ||
-      BlockOff + BlockSize > Capacity || PayloadOff <= BlockOff ||
-      PayloadOff >= BlockOff + BlockSize)
+  --It;
+  if (Off >= It->second)
     return range();
-  return {CpuBaseAddr + PayloadOff, CpuBaseAddr + BlockOff + BlockSize};
+  return {CpuBaseAddr + Off, CpuBaseAddr + It->second};
 }
 
 void *SharedRegion::hostFromGpu(uint64_t GpuAddr, size_t AccessSize) const {
@@ -138,11 +194,28 @@ void SharedRegion::unpin() {
   (void)Was;
 }
 
+RegionStats SharedRegion::stats() const {
+  if (Store)
+    return Store->aggregateStats();
+  std::lock_guard<std::mutex> Lock(LegacyMutex);
+  return Stats;
+}
+
 size_t SharedRegion::freeBytes() const {
+  if (Store)
+    return Store->freeBytes();
+  std::lock_guard<std::mutex> Lock(LegacyMutex);
   size_t Total = 0;
   for (const auto &[Off, Size] : FreeBlocks)
     Total += Size;
   return Total;
+}
+
+size_t SharedRegion::freeBlockCount() const {
+  if (Store)
+    return Store->freeBlockCount();
+  std::lock_guard<std::mutex> Lock(LegacyMutex);
+  return FreeBlocks.size();
 }
 
 static SharedRegion *GlobalDefaultRegion = nullptr;

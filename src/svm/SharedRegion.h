@@ -13,6 +13,12 @@
 /// \c svmConst() = gpuBase - cpuBase, exactly the transformation the Concord
 /// compiler emits (Figure 3 of the paper).
 ///
+/// The region's allocator is the multi-region ObjectStore (ObjectStore.h):
+/// one contiguous span — so svmConst() stays a single constant — carved into
+/// fixed-size regions with per-region buddy allocators, locks, and
+/// generation stamps. The pre-store single-arena first-fit allocator is kept
+/// behind ArenaMode::Legacy (env CONCORD_SVM_LEGACY=1) as an escape hatch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CONCORD_SVM_SHAREDREGION_H
@@ -22,11 +28,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <new>
 #include <utility>
 
 namespace concord {
 namespace svm {
+
+class ObjectStore;
 
 /// A half-open byte range [Begin, End) of CPU virtual addresses inside a
 /// shared region. The scheduler's access sets are built from these; hazard
@@ -55,22 +65,32 @@ struct MemRange {
   }
 };
 
-/// Allocation statistics for a shared region.
+/// Allocation statistics for a shared region (or one region of the store).
 struct RegionStats {
-  uint64_t BytesAllocated = 0; ///< Currently live payload bytes.
+  uint64_t BytesAllocated = 0; ///< Currently live block-granularity bytes.
   uint64_t PeakBytes = 0;      ///< High-water mark of live bytes.
   uint64_t NumAllocs = 0;      ///< Total successful allocations.
   uint64_t NumFrees = 0;       ///< Total frees.
   uint64_t FailedAllocs = 0;   ///< Allocations that returned null.
 };
 
-/// A pinned CPU/GPU-shared memory arena with a first-fit, coalescing
-/// free-list allocator.
+/// Which allocator backs a SharedRegion.
+enum class ArenaMode {
+  Auto,   ///< ObjectStore unless env CONCORD_SVM_LEGACY=1.
+  Legacy, ///< Pre-store single-arena first-fit free list.
+  Store,  ///< Multi-region ObjectStore.
+};
+
+/// A pinned CPU/GPU-shared memory arena.
 ///
 /// The arena is ordinary host memory (all physical memory is shared between
 /// CPU and GPU on the modelled processor), so the CPU side manipulates
 /// objects in it directly with native loads and stores. The simulated GPU
 /// accesses it through a BindingTable surface.
+///
+/// All allocator entry points are thread-safe: the object store takes
+/// per-region locks, the legacy arena its own mutex — callers no longer
+/// serialize on any external (borrowed) lock.
 class SharedRegion {
 public:
   /// Default synthetic GPU virtual base for the region's backing surface.
@@ -79,17 +99,24 @@ public:
   static constexpr uint64_t DefaultGpuBase = 0x4000000000ull;
 
   explicit SharedRegion(size_t CapacityBytes,
-                        uint64_t GpuBase = DefaultGpuBase);
+                        uint64_t GpuBase = DefaultGpuBase,
+                        ArenaMode Mode = ArenaMode::Auto);
   ~SharedRegion();
 
   SharedRegion(const SharedRegion &) = delete;
   SharedRegion &operator=(const SharedRegion &) = delete;
 
   /// Allocates \p Size bytes aligned to \p Align (power of two). Returns
-  /// null when the region is exhausted.
+  /// null when the region is exhausted. Thread-safe.
   void *allocate(size_t Size, size_t Align = 16);
 
+  /// Allocates from the store's dedicated Shadow region class (the
+  /// scheduler's accumulate shadow ranges), keeping shadow churn out of the
+  /// default heap regions. Falls back to allocate() in legacy mode.
+  void *allocateShadow(size_t Size, size_t Align = 16);
+
   /// Frees a pointer previously returned by allocate(). Null is ignored.
+  /// Thread-safe.
   void deallocate(void *Ptr);
 
   /// Typed array allocation (uninitialized).
@@ -130,11 +157,14 @@ public:
     return {CpuBaseAddr, CpuBaseAddr + Capacity};
   }
 
-  /// The extent [Ptr, end-of-allocation) of the allocation \p Ptr was
-  /// returned from by allocate(). Used by the footprint analysis to bound a
-  /// ⊤ access rooted at a known allocation instead of charging the whole
-  /// region. Falls back to range() for interior pointers, pointers into
-  /// freed blocks, or anything whose header does not validate.
+  /// The extent [Ptr, end-of-allocation) of the live allocation containing
+  /// \p Ptr — interior pointers resolve to their true allocation, not the
+  /// whole region. Used by the footprint analysis to bound a ⊤ access
+  /// rooted at a known allocation instead of charging the whole region.
+  ///
+  /// Returns an empty range for stale pointers into a store region that was
+  /// reclaimed in O(1) (generation bumped), and falls back to range() when
+  /// no allocation can be attributed (freed block, foreign pointer).
   MemRange allocationExtent(const void *Ptr) const;
 
   /// CPU virtual address of the region base.
@@ -165,13 +195,21 @@ public:
     return PinCount.load(std::memory_order_relaxed) != 0;
   }
 
-  const RegionStats &stats() const { return Stats; }
+  /// Aggregate allocation statistics (snapshot; thread-safe).
+  RegionStats stats() const;
 
   /// Number of free bytes currently available (counting headers as used).
   size_t freeBytes() const;
 
-  /// Number of blocks on the free list (fragmentation indicator).
-  size_t freeBlockCount() const { return FreeBlocks.size(); }
+  /// Number of free blocks (fragmentation indicator): legacy free-list
+  /// entries, or the store's pooled regions + free buddy blocks.
+  size_t freeBlockCount() const;
+
+  /// The backing object store, or null in legacy mode. Sessions, frame
+  /// rings, and per-region stats are reached through this.
+  ObjectStore *objectStore() { return Store.get(); }
+  const ObjectStore *objectStore() const { return Store.get(); }
+  bool usesObjectStore() const { return Store != nullptr; }
 
 private:
   struct AllocHeader {
@@ -186,11 +224,19 @@ private:
   uint64_t CpuBaseAddr = 0;
   uint64_t GpuBaseAddr = 0;
   std::atomic<unsigned> PinCount{0};
-  RegionStats Stats;
 
+  /// Multi-region allocator; null in legacy mode.
+  std::unique_ptr<ObjectStore> Store;
+
+  // Legacy-arena state, all guarded by LegacyMutex.
+  mutable std::mutex LegacyMutex;
+  RegionStats Stats;
   /// Free blocks keyed by arena offset -> block size. Adjacent blocks are
   /// coalesced on free.
   std::map<uint64_t, uint64_t> FreeBlocks;
+  /// Live payload extents keyed by payload offset -> payload end offset so
+  /// interior pointers resolve to their allocation (not the whole region).
+  std::map<uint64_t, uint64_t> LiveBlocks;
 };
 
 /// Installs \p Region as the process-wide default used by svmMalloc/svmFree

@@ -297,14 +297,24 @@ TEST(AllocationExtent, BoundsOneAllocationNotTheRegion) {
   EXPECT_LT(EA.End - EA.Begin, uint64_t(Region.capacity()));
 }
 
-TEST(AllocationExtent, UnheaderedPointerFallsBackToWholeRegion) {
+TEST(AllocationExtent, InteriorPointerResolvesToItsAllocation) {
   svm::SharedRegion Region(1 << 20);
   auto *A = Region.allocArray<int32_t>(100);
-  ASSERT_TRUE(A);
-  // An interior pointer has no allocation header in front of it.
+  auto *B = Region.allocArray<int32_t>(100);
+  ASSERT_TRUE(A && B);
+  // An interior pointer is attributed to the allocation containing it —
+  // the footprint window tightens to [ptr, end-of-allocation), never the
+  // whole region (the pre-store behaviour this test used to pin).
   svm::MemRange Interior = Region.allocationExtent(A + 8);
-  EXPECT_EQ(Interior.Begin, Region.range().Begin);
-  EXPECT_EQ(Interior.End, Region.range().End);
+  EXPECT_EQ(Interior.Begin, reinterpret_cast<uint64_t>(A + 8));
+  EXPECT_GE(Interior.End, reinterpret_cast<uint64_t>(A + 100));
+  EXPECT_LE(Interior.End, reinterpret_cast<uint64_t>(B));
+  // A pointer into freed memory no longer attributes; whole-region
+  // fallback keeps unanalyzable roots conservative.
+  Region.deallocate(A);
+  svm::MemRange Freed = Region.allocationExtent(A + 8);
+  EXPECT_EQ(Freed.Begin, Region.range().Begin);
+  EXPECT_EQ(Freed.End, Region.range().End);
   // A pointer outside the region entirely.
   int Local = 0;
   svm::MemRange Outside = Region.allocationExtent(&Local);

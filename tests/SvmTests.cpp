@@ -1,157 +1,551 @@
 //===- SvmTests.cpp - Unit tests for the software SVM layer --------------===//
 
 #include "svm/BindingTable.h"
+#include "svm/ObjectStore.h"
 #include "svm/SharedRegion.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <random>
+#include <thread>
 #include <vector>
 
 using namespace concord::svm;
 
 namespace {
 
-TEST(SharedRegion, BasicAllocation) {
-  SharedRegion R(1 << 20);
-  void *P = R.allocate(64);
-  ASSERT_NE(P, nullptr);
-  EXPECT_TRUE(R.contains(P));
-  std::memset(P, 0xAB, 64);
-  R.deallocate(P);
-  EXPECT_EQ(R.stats().NumAllocs, 1u);
-  EXPECT_EQ(R.stats().NumFrees, 1u);
-  EXPECT_EQ(R.stats().BytesAllocated, 0u);
+//===----------------------------------------------------------------------===//
+// SharedRegion facade, parameterized over both allocator backends: the
+// multi-region object store (default) and the legacy single-arena
+// first-fit free list (CONCORD_SVM_LEGACY=1 escape hatch).
+//===----------------------------------------------------------------------===//
+
+class RegionModeTest : public ::testing::TestWithParam<ArenaMode> {
+protected:
+  std::unique_ptr<SharedRegion> makeRegion(size_t Capacity) {
+    return std::make_unique<SharedRegion>(
+        Capacity, SharedRegion::DefaultGpuBase, GetParam());
+  }
+};
+
+const char *modeName(const ::testing::TestParamInfo<ArenaMode> &Info) {
+  return Info.param == ArenaMode::Legacy ? "Legacy" : "Store";
 }
 
-TEST(SharedRegion, AlignmentHonored) {
-  SharedRegion R(1 << 20);
-  for (size_t Align : {16ul, 32ul, 64ul, 256ul, 4096ul}) {
-    void *P = R.allocate(10, Align);
-    ASSERT_NE(P, nullptr);
+INSTANTIATE_TEST_SUITE_P(Modes, RegionModeTest,
+                         ::testing::Values(ArenaMode::Legacy,
+                                           ArenaMode::Store),
+                         modeName);
+
+TEST_P(RegionModeTest, BasicAllocation) {
+  auto R = makeRegion(1 << 20);
+  void *P = R->allocate(64);
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(R->contains(P));
+  std::memset(P, 0xAB, 64);
+  R->deallocate(P);
+  EXPECT_EQ(R->stats().NumAllocs, 1u);
+  EXPECT_EQ(R->stats().NumFrees, 1u);
+  EXPECT_EQ(R->stats().BytesAllocated, 0u);
+}
+
+TEST_P(RegionModeTest, AlignmentHonored) {
+  auto R = makeRegion(1 << 20);
+  // Both backends honour alignments well past the default 16, up to the
+  // store's 64 KiB region alignment.
+  for (size_t Align : {16ul, 32ul, 64ul, 256ul, 4096ul, 65536ul}) {
+    void *P = R->allocate(10, Align);
+    ASSERT_NE(P, nullptr) << "align " << Align;
     EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u)
         << "align " << Align;
   }
 }
 
-TEST(SharedRegion, ExhaustionReturnsNull) {
-  SharedRegion R(64 << 10);
-  void *P = R.allocate(1 << 20);
+TEST_P(RegionModeTest, ExhaustionReturnsNull) {
+  auto R = makeRegion(64 << 10);
+  void *P = R->allocate(1 << 20);
   EXPECT_EQ(P, nullptr);
-  EXPECT_EQ(R.stats().FailedAllocs, 1u);
+  EXPECT_EQ(R->stats().FailedAllocs, 1u);
 }
 
-TEST(SharedRegion, CoalescingReassemblesArena) {
-  SharedRegion R(1 << 20);
+TEST_P(RegionModeTest, CoalescingReassemblesArena) {
+  auto R = makeRegion(1 << 20);
   std::vector<void *> Ptrs;
   for (int I = 0; I < 64; ++I)
-    Ptrs.push_back(R.allocate(1024));
+    Ptrs.push_back(R->allocate(1024));
   // Free in a scattered order; coalescing should merge everything back.
   std::mt19937 Rng(42);
   std::shuffle(Ptrs.begin(), Ptrs.end(), Rng);
   for (void *P : Ptrs)
-    R.deallocate(P);
-  EXPECT_EQ(R.freeBlockCount(), 1u);
-  EXPECT_EQ(R.stats().BytesAllocated, 0u);
-  // And a huge allocation fits again.
-  EXPECT_NE(R.allocate((1 << 20) - 4096), nullptr);
+    R->deallocate(P);
+  EXPECT_EQ(R->stats().BytesAllocated, 0u);
+  EXPECT_EQ(R->freeBytes(), R->capacity());
+  if (R->usesObjectStore())
+    // Buddy-coalesced regions drain back to the pool: one free block per
+    // pooled region.
+    EXPECT_EQ(R->freeBlockCount(), R->objectStore()->regionCount());
+  else
+    EXPECT_EQ(R->freeBlockCount(), 1u);
+  // And a huge allocation fits again (a contiguous multi-region run in
+  // store mode).
+  EXPECT_NE(R->allocate((1 << 20) - 4096), nullptr);
 }
 
-TEST(SharedRegion, TranslationRoundTrip) {
-  SharedRegion R(1 << 20);
-  void *P = R.allocate(128);
+TEST_P(RegionModeTest, TranslationRoundTrip) {
+  auto R = makeRegion(1 << 20);
+  void *P = R->allocate(128);
   uint64_t Cpu = reinterpret_cast<uint64_t>(P);
-  uint64_t Gpu = R.gpuFromCpu(Cpu);
-  EXPECT_EQ(Gpu, Cpu + R.svmConst());
-  EXPECT_EQ(R.cpuFromGpu(Gpu), Cpu);
+  uint64_t Gpu = R->gpuFromCpu(Cpu);
+  EXPECT_EQ(Gpu, Cpu + R->svmConst());
+  EXPECT_EQ(R->cpuFromGpu(Gpu), Cpu);
   // hostFromGpu must resolve to the same bytes.
-  void *Host = R.hostFromGpu(Gpu, 128);
+  void *Host = R->hostFromGpu(Gpu, 128);
   EXPECT_EQ(Host, P);
 }
 
-TEST(SharedRegion, HostFromGpuBoundsChecked) {
-  SharedRegion R(1 << 16);
-  EXPECT_EQ(R.hostFromGpu(R.gpuBase() - 1, 1), nullptr);
-  EXPECT_EQ(R.hostFromGpu(R.gpuBase() + (1 << 16), 1), nullptr);
-  EXPECT_EQ(R.hostFromGpu(R.gpuBase() + (1 << 16) - 4, 8), nullptr);
-  EXPECT_NE(R.hostFromGpu(R.gpuBase(), 8), nullptr);
+TEST_P(RegionModeTest, HostFromGpuBoundsChecked) {
+  auto R = makeRegion(1 << 16);
+  EXPECT_EQ(R->hostFromGpu(R->gpuBase() - 1, 1), nullptr);
+  EXPECT_EQ(R->hostFromGpu(R->gpuBase() + R->capacity(), 1), nullptr);
+  EXPECT_EQ(R->hostFromGpu(R->gpuBase() + R->capacity() - 4, 8), nullptr);
+  EXPECT_NE(R->hostFromGpu(R->gpuBase(), 8), nullptr);
 }
 
-TEST(SharedRegion, PointerContainingStructures) {
+TEST_P(RegionModeTest, PointerContainingStructures) {
   // The Figure 1 scenario: build a linked list inside the region; pointers
   // stored in memory are CPU virtual addresses.
   struct Node {
     int Value;
     Node *Next;
   };
-  SharedRegion R(1 << 20);
-  Node *Arr = R.allocArray<Node>(100);
+  auto R = makeRegion(1 << 20);
+  Node *Arr = R->allocArray<Node>(100);
   ASSERT_NE(Arr, nullptr);
   for (int I = 0; I < 100; ++I) {
     Arr[I].Value = I;
     Arr[I].Next = I + 1 < 100 ? &Arr[I + 1] : nullptr;
   }
   // Walk via GPU-space translation as the device would.
-  uint64_t GpuAddr = R.gpuFromCpu(reinterpret_cast<uint64_t>(&Arr[0]));
+  uint64_t GpuAddr = R->gpuFromCpu(reinterpret_cast<uint64_t>(&Arr[0]));
   int Count = 0;
   while (GpuAddr) {
-    auto *N = static_cast<Node *>(R.hostFromGpu(GpuAddr, sizeof(Node)));
+    auto *N = static_cast<Node *>(R->hostFromGpu(GpuAddr, sizeof(Node)));
     ASSERT_NE(N, nullptr);
     EXPECT_EQ(N->Value, Count);
     ++Count;
-    GpuAddr = N->Next ? R.gpuFromCpu(reinterpret_cast<uint64_t>(N->Next)) : 0;
+    GpuAddr =
+        N->Next ? R->gpuFromCpu(reinterpret_cast<uint64_t>(N->Next)) : 0;
   }
   EXPECT_EQ(Count, 100);
 }
 
-TEST(SharedRegion, CreateDestroy) {
-  SharedRegion R(1 << 20);
+TEST_P(RegionModeTest, CreateDestroy) {
+  auto R = makeRegion(1 << 20);
   struct Widget {
     int A;
     float B;
     Widget(int A, float B) : A(A), B(B) {}
   };
-  Widget *W = R.create<Widget>(7, 2.5f);
+  Widget *W = R->create<Widget>(7, 2.5f);
   ASSERT_NE(W, nullptr);
   EXPECT_EQ(W->A, 7);
   EXPECT_FLOAT_EQ(W->B, 2.5f);
-  R.destroy(W);
-  EXPECT_EQ(R.stats().BytesAllocated, 0u);
+  R->destroy(W);
+  EXPECT_EQ(R->stats().BytesAllocated, 0u);
 }
 
-TEST(SharedRegion, PinTracking) {
-  SharedRegion R(1 << 16);
-  EXPECT_FALSE(R.isPinned());
-  R.pin();
-  EXPECT_TRUE(R.isPinned());
-  R.pin();
-  R.unpin();
-  EXPECT_TRUE(R.isPinned());
-  R.unpin();
-  EXPECT_FALSE(R.isPinned());
+TEST_P(RegionModeTest, PinTracking) {
+  auto R = makeRegion(1 << 16);
+  EXPECT_FALSE(R->isPinned());
+  R->pin();
+  EXPECT_TRUE(R->isPinned());
+  R->pin();
+  R->unpin();
+  EXPECT_TRUE(R->isPinned());
+  R->unpin();
+  EXPECT_FALSE(R->isPinned());
 }
 
-TEST(SharedRegion, DefaultRegionRedirection) {
-  SharedRegion R(1 << 20);
-  DefaultRegionScope Scope(R);
+TEST_P(RegionModeTest, DefaultRegionRedirection) {
+  auto R = makeRegion(1 << 20);
+  DefaultRegionScope Scope(*R);
   void *P = svmMalloc(256);
   ASSERT_NE(P, nullptr);
-  EXPECT_TRUE(R.contains(P));
+  EXPECT_TRUE(R->contains(P));
   svmFree(P);
-  EXPECT_EQ(R.stats().NumFrees, 1u);
+  EXPECT_EQ(R->stats().NumFrees, 1u);
 }
 
-TEST(SharedRegion, PeakTracksHighWater) {
-  SharedRegion R(1 << 20);
-  void *A = R.allocate(1000);
-  void *B = R.allocate(2000);
-  uint64_t Peak = R.stats().PeakBytes;
-  R.deallocate(A);
-  R.deallocate(B);
+TEST_P(RegionModeTest, PeakTracksHighWater) {
+  auto R = makeRegion(1 << 20);
+  void *A = R->allocate(1000);
+  void *B = R->allocate(2000);
+  uint64_t Peak = R->stats().PeakBytes;
+  R->deallocate(A);
+  R->deallocate(B);
   EXPECT_GE(Peak, 3000u);
-  EXPECT_EQ(R.stats().PeakBytes, Peak);
+  EXPECT_EQ(R->stats().PeakBytes, Peak);
 }
+
+TEST_P(RegionModeTest, InteriorPointerResolvesToAllocation) {
+  // Satellite regression: a pointer into the middle of a live allocation
+  // bounds to that allocation's extent, never the whole region.
+  auto R = makeRegion(1 << 20);
+  auto *A = R->allocArray<int32_t>(256);
+  auto *B = R->allocArray<int32_t>(256);
+  ASSERT_TRUE(A && B);
+  MemRange E = R->allocationExtent(A + 17);
+  EXPECT_EQ(E.Begin, reinterpret_cast<uint64_t>(A + 17));
+  EXPECT_GE(E.End, reinterpret_cast<uint64_t>(A + 256));
+  EXPECT_LE(E.End, reinterpret_cast<uint64_t>(B));
+  EXPECT_LT(E.size(), uint64_t(R->capacity()));
+}
+
+TEST_P(RegionModeTest, AllocateShadowIsFreeable) {
+  auto R = makeRegion(1 << 20);
+  void *S = R->allocateShadow(4096, 64);
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(R->contains(S));
+  std::memset(S, 0, 4096);
+  R->deallocate(S);
+  EXPECT_EQ(R->stats().BytesAllocated, 0u);
+}
+
+// Multi-threaded alloc/free stress with content validation; exercises the
+// store's per-region locks (and the legacy arena's mutex) under the TSan
+// CI job.
+TEST_P(RegionModeTest, ThreadedAllocFreeStress) {
+  auto R = makeRegion(16 << 20);
+  constexpr unsigned Threads = 4;
+  constexpr int StepsPerThread = 2000;
+  std::atomic<bool> Failed{false};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      std::mt19937_64 Rng(T * 1337u + 7u);
+      struct Block {
+        void *Ptr;
+        size_t Size;
+        unsigned char Tag;
+      };
+      std::vector<Block> Live;
+      std::uniform_int_distribution<size_t> SizeDist(1, 4096);
+      for (int Step = 0; Step < StepsPerThread && !Failed; ++Step) {
+        bool DoAlloc = Live.empty() || (Rng() % 100) < 55;
+        if (DoAlloc) {
+          size_t Size = SizeDist(Rng);
+          size_t Align = size_t(16) << (Rng() % 4);
+          void *P = R->allocate(Size, Align);
+          if (!P)
+            continue;
+          if (reinterpret_cast<uintptr_t>(P) % Align != 0) {
+            Failed = true;
+            break;
+          }
+          unsigned char Tag = static_cast<unsigned char>(Rng());
+          std::memset(P, Tag, Size);
+          Live.push_back({P, Size, Tag});
+        } else {
+          size_t Pick = Rng() % Live.size();
+          auto *Bytes = static_cast<unsigned char *>(Live[Pick].Ptr);
+          for (size_t B = 0; B < Live[Pick].Size; B += 61)
+            if (Bytes[B] != Live[Pick].Tag) {
+              Failed = true;
+              break;
+            }
+          R->deallocate(Live[Pick].Ptr);
+          Live[Pick] = Live.back();
+          Live.pop_back();
+        }
+      }
+      for (Block &L : Live)
+        R->deallocate(L.Ptr);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_FALSE(Failed.load()) << "cross-thread corruption or misalignment";
+  EXPECT_EQ(R->stats().BytesAllocated, 0u);
+  EXPECT_EQ(R->freeBytes(), R->capacity());
+}
+
+//===----------------------------------------------------------------------===//
+// ObjectStore specifics: buddy round trips, region classes, generation
+// stamps, O(1) reclamation.
+//===----------------------------------------------------------------------===//
+
+class ObjectStoreTest : public ::testing::Test {
+protected:
+  ObjectStoreTest()
+      : Region(8 << 20, SharedRegion::DefaultGpuBase, ArenaMode::Store),
+        Store(*Region.objectStore()) {}
+
+  SharedRegion Region;
+  ObjectStore &Store;
+};
+
+TEST(ObjectStoreGeometry, RegionSizingAndRounding) {
+  // Small spans: one 64 KiB region minimum.
+  EXPECT_EQ(ObjectStore::regionBytesFor(1), ObjectStore::MinRegionBytes);
+  EXPECT_EQ(ObjectStore::roundCapacity(1), ObjectStore::MinRegionBytes);
+  // Region size scales so a span has at most ~64 regions.
+  EXPECT_EQ(ObjectStore::regionBytesFor(256 << 20), size_t(4) << 20);
+  EXPECT_EQ(ObjectStore::roundCapacity(256 << 20), size_t(256) << 20);
+  // Capacity rounds up to whole regions.
+  EXPECT_EQ(ObjectStore::roundCapacity((64 << 10) + 1), size_t(128) << 10);
+}
+
+TEST_F(ObjectStoreTest, AddressToRegionIsAShift) {
+  void *A = Store.allocate(64);
+  ASSERT_NE(A, nullptr);
+  uint32_t Idx = Store.regionOf(A);
+  EXPECT_LT(Idx, Store.regionCount());
+  uint64_t Off = reinterpret_cast<uint64_t>(A) - Region.cpuBase();
+  EXPECT_EQ(Idx, Off / Store.regionBytes());
+  Store.deallocate(A);
+}
+
+TEST_F(ObjectStoreTest, BuddySplitCoalesceRoundTrip) {
+  size_t RB = Store.regionBytes();
+  uint32_t Pooled = Store.regionCount();
+  // Fill exactly one region: a half, then two quarters.
+  void *Half = Store.allocate(RB / 2);
+  void *Q1 = Store.allocate(RB / 4);
+  void *Q2 = Store.allocate(RB / 4);
+  ASSERT_TRUE(Half && Q1 && Q2);
+  EXPECT_EQ(Store.regionOf(Half), Store.regionOf(Q1));
+  EXPECT_EQ(Store.regionOf(Q1), Store.regionOf(Q2));
+  EXPECT_EQ(Store.freeBytes(), (uint64_t(Pooled) - 1) * RB);
+
+  // Freeing both quarters coalesces them into one half-region buddy
+  // block: free-list count is pooled regions + exactly one block.
+  Store.deallocate(Q1);
+  Store.deallocate(Q2);
+  EXPECT_EQ(Store.freeBlockCount(), size_t(Pooled) - 1 + 1);
+
+  // Freeing the half empties the region, which returns to the pool.
+  Store.deallocate(Half);
+  EXPECT_EQ(Store.freeBlockCount(), size_t(Pooled));
+  EXPECT_EQ(Store.freeBytes(), uint64_t(Pooled) * RB);
+  EXPECT_EQ(Store.aggregateStats().BytesAllocated, 0u);
+}
+
+TEST_F(ObjectStoreTest, AlignmentBeyondMaxIsRejected) {
+  void *P = Store.allocate(64, ObjectStore::MaxAlign);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % ObjectStore::MaxAlign, 0u);
+  Store.deallocate(P);
+  EXPECT_EQ(Store.allocate(64, ObjectStore::MaxAlign * 2), nullptr);
+  EXPECT_EQ(Store.aggregateStats().FailedAllocs, 1u);
+}
+
+TEST_F(ObjectStoreTest, LargeRunSpansRegionsAndFreesWhole) {
+  size_t RB = Store.regionBytes();
+  size_t Size = 3 * RB + RB / 2; // Four regions' worth.
+  auto *P = static_cast<char *>(Store.allocate(Size));
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0x5C, Size);
+  // The whole span resolves to one allocation, interior pointers
+  // included — even pointers in member regions past the head.
+  MemRange E;
+  ASSERT_EQ(Store.allocationExtent(P + Size - 1, &E), ExtentResult::Exact);
+  EXPECT_EQ(E.End, reinterpret_cast<uint64_t>(P) + Size);
+  Store.deallocate(P);
+  EXPECT_EQ(Store.freeBytes(), Store.capacity());
+  // A second cycle reuses the same contiguous run.
+  void *Q = Store.allocate(Size);
+  EXPECT_EQ(Q, P);
+  Store.deallocate(Q);
+}
+
+TEST_F(ObjectStoreTest, DoubleFreeIsDetectedAndCounted) {
+  void *P = Store.allocate(256);
+  ASSERT_NE(P, nullptr);
+  Store.deallocate(P);
+  EXPECT_EQ(Store.badFrees(), 0u);
+  // Double free: rejected, counted, accounting untouched.
+  Store.deallocate(P);
+  EXPECT_EQ(Store.badFrees(), 1u);
+  EXPECT_EQ(Store.aggregateStats().NumFrees, 1u);
+  EXPECT_EQ(Store.aggregateStats().BytesAllocated, 0u);
+  // Interior-pointer free: also rejected.
+  void *Q = Store.allocate(256);
+  Store.deallocate(static_cast<char *>(Q) + 8);
+  EXPECT_EQ(Store.badFrees(), 2u);
+  Store.deallocate(Q);
+}
+
+TEST_F(ObjectStoreTest, SessionEndsInO1AndInvalidatesPointers) {
+  uint32_t S = Store.createSession();
+  ASSERT_NE(S, ObjectStore::InvalidRegion);
+  uint32_t GenBefore = Store.generationOf(S);
+
+  auto *A = static_cast<int32_t *>(
+      Store.allocateInRegion(S, 1024 * sizeof(int32_t), 64));
+  auto *B = static_cast<int32_t *>(
+      Store.allocateInRegion(S, 512 * sizeof(int32_t)));
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(Store.regionOf(A), S);
+  MemRange E;
+  EXPECT_EQ(Store.allocationExtent(A, &E), ExtentResult::Exact);
+
+  uint64_t Resets = Store.o1Resets();
+  Store.endSession(S);
+  // One generation bump reclaims every allocation in the region: no
+  // per-object frees, the o1_resets counter ticks once.
+  EXPECT_EQ(Store.o1Resets(), Resets + 1);
+  EXPECT_EQ(Store.generationOf(S), GenBefore + 1);
+  EXPECT_EQ(Store.aggregateStats().BytesAllocated, 0u);
+  // Stale pointers are rejected, exactly (not Unknown-conservative).
+  EXPECT_EQ(Store.allocationExtent(A, &E), ExtentResult::Stale);
+  EXPECT_EQ(Store.allocationExtent(B + 5, &E), ExtentResult::Stale);
+  // Allocating into the dead session fails; freeing a stale pointer is a
+  // bad free, not corruption.
+  EXPECT_EQ(Store.allocateInRegion(S, 64), nullptr);
+  Store.deallocate(A);
+  EXPECT_EQ(Store.badFrees(), 1u);
+}
+
+// The acceptance-pinned behaviour: a frame ring frees a whole frame's
+// allocations in O(1) (generation bump + bump-pointer rewind) and
+// allocationExtent rejects the frame's stale pointers afterwards.
+TEST_F(ObjectStoreTest, FrameRingResetFreesFrameInO1) {
+  uint32_t F = Store.createFrameRing();
+  ASSERT_NE(F, ObjectStore::InvalidRegion);
+
+  std::vector<void *> Frame;
+  for (int I = 0; I < 32; ++I) {
+    void *P = Store.allocateInRegion(F, 1000, 32);
+    ASSERT_NE(P, nullptr);
+    Frame.push_back(P);
+  }
+  MemRange E;
+  for (void *P : Frame)
+    ASSERT_EQ(Store.allocationExtent(P, &E), ExtentResult::Exact);
+  uint32_t Gen = Store.generationOf(F);
+  uint64_t Resets = Store.o1Resets();
+
+  Store.resetFrameRing(F);
+
+  EXPECT_EQ(Store.o1Resets(), Resets + 1);
+  EXPECT_EQ(Store.generationOf(F), Gen + 1);
+  EXPECT_EQ(Store.aggregateStats().BytesAllocated, 0u);
+  for (void *P : Frame)
+    EXPECT_EQ(Store.allocationExtent(P, &E), ExtentResult::Stale)
+        << "stale frame pointer must be rejected";
+
+  // The next frame reuses the ring from its start; the fresh allocation
+  // is live even though it aliases a stale one (lazy purge by overlap).
+  void *Next = Store.allocateInRegion(F, 1000, 32);
+  ASSERT_EQ(Next, Frame[0]);
+  ASSERT_EQ(Store.allocationExtent(Next, &E), ExtentResult::Exact);
+  EXPECT_EQ(E.Begin, reinterpret_cast<uint64_t>(Next));
+
+  Store.releaseFrameRing(F);
+  EXPECT_EQ(Store.freeBytes(), Store.capacity());
+}
+
+TEST_F(ObjectStoreTest, ShadowClassUsesDedicatedRegions) {
+  void *Heap = Store.allocate(128);
+  void *Shadow = Store.allocate(128, 16, RegionClass::Shadow);
+  ASSERT_TRUE(Heap && Shadow);
+  EXPECT_NE(Store.regionOf(Heap), Store.regionOf(Shadow));
+  bool SawShadow = false;
+  for (const RegionInfo &Info : Store.regionInfos())
+    if (Info.Index == Store.regionOf(Shadow)) {
+      EXPECT_EQ(Info.Cls, RegionClass::Shadow);
+      EXPECT_EQ(Info.LiveAllocs, 1u);
+      SawShadow = true;
+    }
+  EXPECT_TRUE(SawShadow);
+  Store.deallocate(Heap);
+  Store.deallocate(Shadow);
+}
+
+TEST_F(ObjectStoreTest, FragmentationReflectsScatteredFrees) {
+  EXPECT_DOUBLE_EQ(Store.fragmentation(), 0.0); // One maximal run free.
+  // Claim alternating small blocks across several regions' worth, free
+  // half: fragmentation rises above zero.
+  std::vector<void *> Keep, Drop;
+  size_t Chunk = Store.regionBytes() / 8;
+  for (int I = 0; I < 24; ++I) {
+    void *P = Store.allocate(Chunk);
+    ASSERT_NE(P, nullptr);
+    (I % 2 ? Keep : Drop).push_back(P);
+  }
+  for (void *P : Drop)
+    Store.deallocate(P);
+  EXPECT_GT(Store.fragmentation(), 0.0);
+  EXPECT_LT(Store.fragmentation(), 1.0);
+  for (void *P : Keep)
+    Store.deallocate(P);
+  EXPECT_DOUBLE_EQ(Store.fragmentation(), 0.0); // Pool fully reassembled.
+}
+
+TEST_F(ObjectStoreTest, ConcurrentSessionsDoNotInterfere) {
+  constexpr unsigned Threads = 4;
+  std::atomic<uint64_t> Failures{0};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      for (int Round = 0; Round < 50; ++Round) {
+        uint32_t S = Store.createSession();
+        if (S == ObjectStore::InvalidRegion) {
+          ++Failures;
+          return;
+        }
+        std::vector<uint32_t *> Arrays;
+        for (int A = 0; A < 8; ++A) {
+          auto *Arr = static_cast<uint32_t *>(
+              Store.allocateInRegion(S, 256 * sizeof(uint32_t)));
+          if (!Arr) {
+            ++Failures;
+            break;
+          }
+          for (int I = 0; I < 256; ++I)
+            Arr[I] = (T << 24) ^ (Round << 12) ^ unsigned(I * (A + 1));
+          Arrays.push_back(Arr);
+        }
+        for (size_t A = 0; A < Arrays.size(); ++A)
+          for (int I = 0; I < 256; ++I)
+            if (Arrays[A][I] !=
+                ((T << 24) ^ (Round << 12) ^ unsigned(I * (A + 1))))
+              ++Failures;
+        Store.endSession(S);
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Store.o1Resets(), uint64_t(Threads) * 50);
+  EXPECT_EQ(Store.aggregateStats().BytesAllocated, 0u);
+  EXPECT_EQ(Store.freeBytes(), Store.capacity());
+}
+
+TEST_F(ObjectStoreTest, StaleExtentSurfacesAsEmptyRangeThroughFacade) {
+  // Through the SharedRegion facade, a stale pointer yields an *empty*
+  // range — every containment check against it fails, so the OOB lint
+  // reports instead of silently charging the whole region.
+  uint32_t S = Store.createSession();
+  ASSERT_NE(S, ObjectStore::InvalidRegion);
+  void *P = Store.allocateInRegion(S, 4096);
+  ASSERT_NE(P, nullptr);
+  Store.endSession(S);
+  MemRange Stale = Region.allocationExtent(P);
+  EXPECT_TRUE(Stale.empty());
+  // A never-allocated in-span pointer still falls back to the whole
+  // region (conservative Unknown).
+  MemRange Unknown = Region.allocationExtent(
+      reinterpret_cast<const void *>(Region.cpuBase() + Region.capacity() -
+                                     64));
+  EXPECT_EQ(Unknown.Begin, Region.range().Begin);
+  EXPECT_EQ(Unknown.End, Region.range().End);
+}
+
+//===----------------------------------------------------------------------===//
+// BindingTable (unchanged by the object store).
+//===----------------------------------------------------------------------===//
 
 TEST(BindingTable, SharedRegionIsSurfaceZero) {
   SharedRegion R(1 << 20);

@@ -91,6 +91,31 @@ TEST_P(WorkloadParamTest, AllGpuConfigsVerify) {
   }
 }
 
+// Acceptance gate for the multi-region object store: every workload must
+// produce verified-correct memory effects on both the buddy-allocated store
+// and the legacy first-fit arena, with the same launch count. Timing is not
+// compared — arena offsets differ between the allocators and the machine
+// model's latency depends on addresses.
+TEST_P(WorkloadParamTest, StoreAndLegacyArenasAgree) {
+  auto Machine = gpusim::MachineConfig::ultrabook();
+  const svm::ArenaMode Modes[2] = {svm::ArenaMode::Store,
+                                   svm::ArenaMode::Legacy};
+  unsigned Launches[2] = {0, 0};
+  for (int M = 0; M < 2; ++M) {
+    svm::SharedRegion Region(256 << 20, svm::SharedRegion::DefaultGpuBase,
+                             Modes[M]);
+    Runtime RT(Machine, Region);
+    auto W = GetParam().Make();
+    ASSERT_TRUE(W->setup(Region, TestScale));
+    WorkloadRun Run = W->run(RT, /*OnCpu=*/false);
+    ASSERT_TRUE(Run.Ok) << Run.Error;
+    std::string Error;
+    EXPECT_TRUE(W->verify(&Error)) << Error;
+    Launches[M] = Run.Launches;
+  }
+  EXPECT_EQ(Launches[0], Launches[1]);
+}
+
 const WorkloadCase Cases[] = {
     {"BarnesHut", makeBarnesHut},
     {"BFS", makeBFS},
