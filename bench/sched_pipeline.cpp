@@ -17,6 +17,13 @@
 // ranges, and a single injected merge task folds the shadows back before
 // the final verification reads the bins.
 //
+// A third per-frame stage walks a linked list of pool-allocated nodes — a
+// pointer chase no interval analysis can bound. The points-to analysis
+// demotes its footprint from whole-region Top to the node pool's hull
+// (pts_demoted in the JSON), and the benchmark declares exactly that hull
+// so verification passes and the hazard graph is identical whether the
+// analysis is on or off (--no-pts / CONCORD_ANALYSIS_PTS=0).
+//
 // Flags:
 //   --frames N      number of independent frames (default 6)
 //   --items N       work-items per stage (default 32768)
@@ -28,6 +35,11 @@
 //                   worker, hybrid split on every GPU-preferred task) —
 //                   same effect as CONCORD_SCHED_AFFINITY=0
 //   --no-verify     trust declared access sets instead of verifying them
+//   --no-pts        disable the points-to analysis (footprints for the
+//                   chase stage fall back to whole-region Top) — same
+//                   effect as CONCORD_ANALYSIS_PTS=0; combine with
+//                   --no-verify, since Top footprints reject the chase
+//                   stage's finite declaration
 //   --sessions N    run N concurrent client-session workers against the
 //                   object store alongside the pipeline: each worker
 //                   claims a session region, fills it with checked
@@ -115,7 +127,63 @@ struct Hist {
   static const char *kernelClassName() { return "Hist"; }
 };
 
+/// out[i] = sum of val over a Len-step walk from head — a pointer chase
+/// whose footprint only the points-to analysis can bound (to the node
+/// pool's hull). Every work-item walks the same list; the count-bounded
+/// loop follows the BTree workload's idiom.
+struct ChaseNode {
+  ChaseNode *Next;
+  float Val;
+};
+
+struct Chase {
+  ChaseNode *Head;
+  float *Out;
+  int32_t Len;
+
+  void operator()(int I) {
+    ChaseNode *N = Head;
+    float S = 0.0f;
+    for (int K = 0; K < Len; K++) {
+      S = S + N->Val;
+      N = N->Next;
+    }
+    Out[I] = S;
+  }
+
+  static const char *kernelSource() {
+    return R"(
+      class ChaseNode {
+      public:
+        ChaseNode* next;
+        float val;
+      };
+      class Chase {
+      public:
+        ChaseNode* head;
+        float* out;
+        int len;
+        void operator()(int i) {
+          ChaseNode* n = head;
+          float s = 0.0f;
+          for (int k = 0; k < len; k++) {
+            s = s + n->val;
+            n = n->next;
+          }
+          out[i] = s;
+        }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "Chase"; }
+};
+
 constexpr int HistBins = 64;
+// 96 * 16 B nodes per frame: a size class no other allocation in the
+// benchmark shares, so the recorded pool hull covers exactly the frames'
+// node arrays.
+constexpr int ChaseLen = 96;
+constexpr int ChaseItems = 256;
 
 struct Options {
   int Frames = 6;
@@ -127,6 +195,7 @@ struct Options {
   bool Hybrid = true;
   bool Affinity = true;
   bool Verify = true;
+  bool Pts = true;
   bool Quiet = false;
   std::string JsonPath;
 };
@@ -223,6 +292,29 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
     return Out;
   std::memset(Bins, 0, HistBins * sizeof(int32_t));
   std::vector<int32_t> ExpectedBins(HistBins, 0);
+
+  // Chase node pools first, back to back, so the size class's convex hull
+  // spans only node arrays: a declared read of the hull then hazards with
+  // nothing the stage tasks write. Each frame's list visits its ChaseLen
+  // nodes once (ring links, count-bounded walk).
+  std::vector<ChaseNode *> NodePools;
+  std::vector<float *> ChaseOuts;
+  std::vector<float> ExpectedChase;
+  for (int F = 0; F < Opt.Frames; ++F) {
+    ChaseNode *Nodes = Region.allocArray<ChaseNode>(ChaseLen);
+    if (!Nodes)
+      return Out;
+    float Sum = 0.0f;
+    for (int K = 0; K < ChaseLen; ++K) {
+      Nodes[K].Next = &Nodes[(K + 1) % ChaseLen];
+      // Multiples of 0.5 keep the float sum exact, so host and device
+      // agree bit-for-bit.
+      Nodes[K].Val = float((K * 7 + F) % 17) * 0.5f;
+      Sum += Nodes[K].Val;
+    }
+    NodePools.push_back(Nodes);
+    ExpectedChase.push_back(Sum);
+  }
   for (int F = 0; F < Opt.Frames; ++F) {
     float *In = Region.allocArray<float>(size_t(Opt.Items));
     if (!In)
@@ -249,6 +341,10 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
       ++ExpectedBins[size_t(Keys[I])];
     }
     KeyArrays.push_back(Keys);
+    float *COut = Region.allocArray<float>(ChaseItems);
+    if (!COut)
+      return Out;
+    ChaseOuts.push_back(COut);
   }
 
   sched::SchedulerOptions SO;
@@ -314,6 +410,30 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
           sched::AccessSet()
               .readArray(KeyArrays[size_t(F)], HistBins)
               .accumulateArray(Bins, HistBins)));
+
+      // The frame's pointer-chase stage: the declaration is the node
+      // pool's hull — exactly what the points-to analysis concretizes the
+      // chase's reads to, so verification passes and the hazard graph
+      // does not depend on whether the analysis runs.
+      auto *ChaseBody = Region.create<Chase>();
+      if (!ChaseBody)
+        return Out;
+      ChaseBody->Head = NodePools[size_t(F)];
+      ChaseBody->Out = ChaseOuts[size_t(F)];
+      ChaseBody->Len = ChaseLen;
+      sched::TaskDesc CD;
+      CD.Spec = KernelSpec{Chase::kernelSource(), Chase::kernelClassName()};
+      CD.N = ChaseItems;
+      CD.BodyPtr = ChaseBody;
+      char ChaseLabel[32];
+      std::snprintf(ChaseLabel, sizeof(ChaseLabel), "frame%d/chase", F);
+      CD.Label = ChaseLabel;
+      svm::MemRange Hull = Region.poolExtent(NodePools[size_t(F)]);
+      Handles.push_back(Sched.submit(
+          std::move(CD),
+          sched::AccessSet()
+              .read(reinterpret_cast<const void *>(Hull.Begin), Hull.size())
+              .writeArray(ChaseOuts[size_t(F)], ChaseItems)));
     }
     Sched.drain();
     Out.WallSeconds = std::chrono::duration<double>(
@@ -377,6 +497,10 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
                 (unsigned long long)Out.St.ResidentBytes,
                 (unsigned long long)Out.St.FetchedBytes,
                 (unsigned long long)Out.RS.FootprintSplits);
+    std::printf("points-to: %llu demoted, %llu roots, %llu alias findings\n",
+                (unsigned long long)Out.RS.PtsDemoted,
+                (unsigned long long)Out.RS.PtsRoots,
+                (unsigned long long)Out.RS.AliasLintFindings);
     if (Out.Svm.Store)
       std::printf("svm store: %llu regions x %llu KiB, fragmentation "
                   "%.3f, %llu o1 resets, %llu bad frees, %llu session "
@@ -423,6 +547,14 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
                    ExpectedBins[size_t(B)], Bins[B]);
       return Out;
     }
+  for (int F = 0; F < Opt.Frames; ++F)
+    for (int I = 0; I < ChaseItems; ++I)
+      if (ChaseOuts[size_t(F)][I] != ExpectedChase[size_t(F)]) {
+        std::fprintf(stderr, "chase frame %d item %d: expected %g, got %g\n",
+                     F, I, double(ExpectedChase[size_t(F)]),
+                     double(ChaseOuts[size_t(F)][I]));
+        return Out;
+      }
   if (Out.Svm.SessionFailures != 0) {
     std::fprintf(stderr, "session workers hit %llu failures\n",
                  (unsigned long long)Out.Svm.SessionFailures);
@@ -462,6 +594,8 @@ int main(int argc, char **argv) {
       Opt.Affinity = false;
     else if (Arg == "--no-verify")
       Opt.Verify = false;
+    else if (Arg == "--no-pts")
+      Opt.Pts = false;
     else if (Arg == "--quiet")
       Opt.Quiet = true;
     else if (Arg == "--json" && I + 1 < argc)
@@ -476,6 +610,10 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "--frames/--items/--repeat must be positive\n");
     return 2;
   }
+  // Latch before the first compile: pointsToEnabled() reads the
+  // environment once, like CONCORD_SCHED_AFFINITY.
+  if (!Opt.Pts)
+    setenv("CONCORD_ANALYSIS_PTS", "0", 1);
 
   // Run the pipeline Repeat times over fresh arenas; the per-task table
   // and JSON detail come from the final run, wall-clock aggregates from
@@ -513,11 +651,11 @@ int main(int argc, char **argv) {
     std::fprintf(F,
                  "  \"frames\": %d, \"items\": %d, \"workers\": %u, "
                  "\"max_queued\": %zu, \"repeat\": %d, \"hybrid\": %s, "
-                 "\"affinity\": %s, \"verify\": %s,\n",
+                 "\"affinity\": %s, \"verify\": %s, \"pts\": %s,\n",
                  Opt.Frames, Opt.Items, Opt.Workers, Opt.MaxQueued,
                  Opt.Repeat, Opt.Hybrid ? "true" : "false",
                  Opt.Affinity ? "true" : "false",
-                 Opt.Verify ? "true" : "false");
+                 Opt.Verify ? "true" : "false", Opt.Pts ? "true" : "false");
     std::fprintf(F,
                  "  \"wall_seconds\": %.6f, \"wall_seconds_min\": %.6f, "
                  "\"wall_seconds_max\": %.6f,\n",
@@ -536,7 +674,8 @@ int main(int argc, char **argv) {
         "\"accum_rejections\": %llu, \"placed_gpu\": %llu, "
         "\"placed_cpu\": %llu, \"affinity_hits\": %llu, "
         "\"resident_bytes\": %llu, \"fetched_bytes\": %llu, "
-        "\"footprint_splits\": %llu},\n",
+        "\"footprint_splits\": %llu, \"pts_demoted\": %llu, "
+        "\"pts_roots\": %llu, \"alias_lint_findings\": %llu},\n",
         (unsigned long long)St.Submitted, (unsigned long long)St.Completed,
         (unsigned long long)St.Failed, (unsigned long long)St.HazardEdges,
         (unsigned long long)St.HybridLaunches, St.MaxTasksInFlight,
@@ -556,7 +695,9 @@ int main(int argc, char **argv) {
         (unsigned long long)St.AffinityHits,
         (unsigned long long)St.ResidentBytes,
         (unsigned long long)St.FetchedBytes,
-        (unsigned long long)RS.FootprintSplits);
+        (unsigned long long)RS.FootprintSplits,
+        (unsigned long long)RS.PtsDemoted, (unsigned long long)RS.PtsRoots,
+        (unsigned long long)RS.AliasLintFindings);
     const SvmSnapshot &Svm = Out.Svm;
     std::fprintf(
         F,

@@ -2,6 +2,7 @@
 
 #include "analysis/Footprint.h"
 
+#include "analysis/PointsTo.h"
 #include "cir/BasicBlock.h"
 #include "cir/Function.h"
 #include "cir/Instruction.h"
@@ -12,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 
 using namespace concord;
 using namespace concord::cir;
@@ -232,6 +234,15 @@ std::string FootprintEntry::describe() const {
   std::string S = Write ? "write " : "read ";
   if (!RootKnown)
     return S + "<unknown root> top";
+  if (Pool) {
+    S += "pool(" + PoolClass + " via body";
+    for (int64_t Hop : RootPath)
+      S += "[+" + std::to_string(Hop) + "]->";
+    S += ") bounded";
+    if (Clamp.any())
+      S += " clip [" + Clamp.Lo.str() + ", " + Clamp.Hi.str() + ")";
+    return S;
+  }
   S += "body";
   for (int64_t Hop : RootPath)
     S += "[+" + std::to_string(Hop) + "]->";
@@ -288,12 +299,61 @@ KernelFootprint concord::analysis::computeFootprint(Function &F) {
   KernelFootprint FP;
   ValueRanges VR(F);
   Resolver Res(VR);
+  // Lazily built on the first address the resolver gives up on; most
+  // regular kernels never pay for it.
+  std::unique_ptr<PointsTo> PT;
+
+  auto Coalesce = [&](FootprintEntry E) {
+    // Coalesce with an existing entry of the same shape (widening the
+    // constant window and the clamp union is a conservative
+    // over-approximation).
+    for (FootprintEntry &Prev : FP.Entries) {
+      if (Prev.Write != E.Write || Prev.RootKnown != E.RootKnown ||
+          Prev.Kind != E.Kind || Prev.RootPath != E.RootPath ||
+          Prev.Scale != E.Scale || Prev.PtsRoot != E.PtsRoot ||
+          Prev.Pool != E.Pool || Prev.PoolClass != E.PoolClass)
+        continue;
+      Prev.Lo = std::min(Prev.Lo, E.Lo);
+      Prev.Hi = std::max(Prev.Hi, E.Hi);
+      Prev.Clamp = joinClamps(Prev.Clamp, E.Clamp);
+      return;
+    }
+    FP.Entries.push_back(std::move(E));
+  };
 
   auto Add = [&](bool Write, const Value *AddrV, uint64_t Bytes,
                  BasicBlock *Ctx, SourceLoc L) {
     Addr A = Res.resolve(AddrV, Ctx);
     if (A.K == Addr::Private)
       return; // Per-work-item memory by construction.
+    if (A.K == Addr::Unknown && pointsToEnabled()) {
+      // The walk hit a loaded pointer (BTree/SkipList/BarnesHut node
+      // chase). Ask the points-to analysis for the finite set of objects
+      // the address can reference; if every member is a named allocation
+      // or class pool, the access is a multi-root Bounded union instead
+      // of whole-region Top.
+      if (!PT)
+        PT = std::make_unique<PointsTo>(F);
+      PtsRootSummary S = PT->rootsFor(AddrV);
+      if (S.Resolved) {
+        if (S.PrivateOnly)
+          return; // Stack memory reached through pointers.
+        ++FP.PtsDemoted;
+        for (const PtsRootInfo &R : S.Roots) {
+          FootprintEntry E;
+          E.Write = Write;
+          E.Loc = L;
+          E.RootKnown = true;
+          E.RootPath = R.Path;
+          E.Kind = ExtentKind::Bounded;
+          E.PtsRoot = true;
+          E.Pool = R.Pool;
+          E.PoolClass = R.PoolClass;
+          Coalesce(std::move(E));
+        }
+        return;
+      }
+    }
     FootprintEntry E;
     E.Write = Write;
     E.Loc = L;
@@ -332,20 +392,7 @@ KernelFootprint concord::analysis::computeFootprint(Function &F) {
           E.Clamp.Hi = addConstBound(SH, int64_t(Bytes));
       }
     }
-    // Coalesce with an existing entry of the same shape (widening the
-    // constant window and the clamp union is a conservative
-    // over-approximation).
-    for (FootprintEntry &Prev : FP.Entries) {
-      if (Prev.Write != E.Write || Prev.RootKnown != E.RootKnown ||
-          Prev.Kind != E.Kind || Prev.RootPath != E.RootPath ||
-          Prev.Scale != E.Scale)
-        continue;
-      Prev.Lo = std::min(Prev.Lo, E.Lo);
-      Prev.Hi = std::max(Prev.Hi, E.Hi);
-      Prev.Clamp = joinClamps(Prev.Clamp, E.Clamp);
-      return;
-    }
-    FP.Entries.push_back(std::move(E));
+    Coalesce(std::move(E));
   };
 
   for (BasicBlock *BB : F) {
@@ -379,7 +426,9 @@ KernelFootprint concord::analysis::computeFootprint(Function &F) {
   }
   FP.Analyzed = true;
   for (const FootprintEntry &E : FP.Entries) {
-    if (E.Kind == ExtentKind::Bounded)
+    if (E.PtsRoot)
+      ++FP.PtsRoots; // Multi-root demotions count separately.
+    else if (E.Kind == ExtentKind::Bounded)
       ++FP.TopDemoted;
     if (E.Clamp.any())
       ++FP.WindowsClipped;
@@ -485,11 +534,17 @@ void applyClamp(svm::MemRange &R, const ByteClamp &Clamp, uint64_t P,
 std::vector<ConcreteAccess> concord::analysis::concretizeFootprint(
     const KernelFootprint &FP, const void *BodyPtr, int64_t Base,
     int64_t Count, svm::MemRange WholeRegion,
-    const AllocExtentFn &AllocExtent) {
+    const AllocExtentFn &AllocExtent, const AllocExtentFn &PoolExtent) {
   std::vector<ConcreteAccess> Out;
   if (!FP.Analyzed) {
-    Out.push_back({WholeRegion, false, false, false, {}, FP.WhyTop});
-    Out.push_back({WholeRegion, true, false, false, {}, FP.WhyTop});
+    // One whole-region *write* subsumes the old read/write pair: every
+    // conflict class (RAW, WAR, WAW) needs a write on one side, so the
+    // extra read entry only duplicated hazard edges.
+    ConcreteAccess CA;
+    CA.Range = WholeRegion;
+    CA.Write = true;
+    CA.What = FP.WhyTop;
+    Out.push_back(std::move(CA));
     return Out;
   }
   for (const FootprintEntry &E : FP.Entries) {
@@ -497,6 +552,7 @@ std::vector<ConcreteAccess> concord::analysis::concretizeFootprint(
     CA.Write = E.Write;
     CA.What = E.describe();
     CA.RootKnown = E.RootKnown;
+    CA.Pool = E.Pool;
     if (E.RootKnown)
       CA.RootPath = E.RootPath;
     if (!E.RootKnown || !BodyPtr) {
@@ -516,9 +572,16 @@ std::vector<ConcreteAccess> concord::analysis::concretizeFootprint(
       CA.Range = WholeRegion;
       break;
     case ExtentKind::Bounded:
-      // Confined to the root's allocation; guard clamps narrow further.
-      CA.Range = AllocExtent ? AllocExtent(reinterpret_cast<void *>(P))
-                             : WholeRegion;
+      // Confined to the root's allocation — or, for a pool entry, to the
+      // hull of the seed's size class; guard clamps narrow further. A
+      // single allocation's extent would under-approximate a pool, so
+      // pools without a PoolExtent fall back to the whole region.
+      if (E.Pool)
+        CA.Range = PoolExtent ? PoolExtent(reinterpret_cast<void *>(P))
+                              : WholeRegion;
+      else
+        CA.Range = AllocExtent ? AllocExtent(reinterpret_cast<void *>(P))
+                               : WholeRegion;
       break;
     case ExtentKind::Exact:
       CA.Range = {uint64_t(int64_t(P) + E.Lo), uint64_t(int64_t(P) + E.Hi)};

@@ -35,13 +35,27 @@
 ///  - analysis::isScheduleFree (scheduleFreeFootprint),
 ///  - the RunStaticChecks hazard lint (footprintHazards).
 ///
+/// When the address walk hits a pointer the resolver cannot attribute to a
+/// root (a loaded pointer that is not index-invariant: the chased node
+/// pointers of BTree/SkipList/BarnesHut), the analysis/PointsTo pass is
+/// consulted: if every object the address may reference is a named
+/// allocation or class pool, the access becomes a *multi-root* Bounded
+/// union (one entry per root, PtsRoot set; pool entries carry the pool
+/// class and a seed path) instead of whole-region Top. The PtsDemoted /
+/// PtsRoots counters record the demotions; CONCORD_ANALYSIS_PTS=0
+/// restores the old Top behavior.
+///
 /// Soundness caveats, deliberate and shared with the rest of the analysis
 /// suite: integer casts on index expressions are looked through (indices
 /// are the int loop counter in practice), and distinct root paths are
 /// assumed not to alias each other (two body fields pointing into the same
 /// array would defeat the slot-disjointness proof; none of the supported
 /// workloads does this, and the scheduler's concrete hazard check still
-/// catches overlaps at submission time).
+/// catches overlaps at submission time). Pool entries extend the same
+/// assumption to typed pools: a pool of class C is assumed disjoint from
+/// roots of other types, and concretizes to the convex hull of C-sized
+/// allocations (SharedRegion::poolExtent), which over- but never
+/// under-approximates the pool.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -105,6 +119,15 @@ struct FootprintEntry {
   /// guards dominating the access (recorded only when they narrow the
   /// window). Consumers intersect the concrete range with it.
   ByteClamp Clamp;
+  /// True when the root was recovered by the points-to analysis after the
+  /// resolver failed (pointer-chasing access). Always Bounded; excluded
+  /// from the TopDemoted counter (counted in PtsDemoted/PtsRoots instead).
+  bool PtsRoot = false;
+  /// PtsRoot only: the entry covers a whole class *pool* — any allocation
+  /// of PoolClass — rather than a single allocation. RootPath is then the
+  /// pool's seed path (dereferences to one member at launch time).
+  bool Pool = false;
+  std::string PoolClass;
   SourceLoc Loc;     ///< A representative access instruction.
 
   /// Human-readable form, e.g. "write body[+16]-> i*8+[0,8)" or
@@ -129,6 +152,12 @@ struct KernelFootprint {
   /// (demoted to Bounded). Surfaced through Runtime::refinementStats().
   unsigned WindowsClipped = 0;
   unsigned TopDemoted = 0;
+  /// Points-to refinement counters: accesses the resolver gave up on that
+  /// the points-to analysis confined to named roots (PtsDemoted, counted
+  /// per access), and the resulting multi-root entries after coalescing
+  /// (PtsRoots). Zero when CONCORD_ANALYSIS_PTS=0.
+  unsigned PtsDemoted = 0;
+  unsigned PtsRoots = 0;
 
   ExtentKind readClass() const;
   ExtentKind writeClass() const;
@@ -152,6 +181,9 @@ struct ConcreteAccess {
   /// such as the commutativity windows). Meaningless when !RootKnown.
   bool RootKnown = false;
   std::vector<int64_t> RootPath;
+  /// True when the range covers a class pool (see FootprintEntry::Pool);
+  /// RootPath is then the seed path, not the accessed allocation's.
+  bool Pool = false;
   std::string What; ///< describe() of the originating entry.
 };
 
@@ -163,11 +195,16 @@ using AllocExtentFn = std::function<svm::MemRange(const void *)>;
 /// with the body object at \p BodyPtr. Root paths are dereferenced through
 /// host memory; every hop is bounds-checked against \p WholeRegion and any
 /// failure degrades that entry to the whole region. Resulting ranges are
-/// clamped to \p WholeRegion.
+/// clamped to \p WholeRegion. Pool entries evaluate through \p PoolExtent
+/// (typically SharedRegion::poolExtent, the hull of same-size-class
+/// allocations located via the entry's seed path); when it is absent they
+/// fall back to the whole region — a single allocation's extent would
+/// under-approximate a pool.
 std::vector<ConcreteAccess>
 concretizeFootprint(const KernelFootprint &FP, const void *BodyPtr,
                     int64_t Base, int64_t Count, svm::MemRange WholeRegion,
-                    const AllocExtentFn &AllocExtent);
+                    const AllocExtentFn &AllocExtent,
+                    const AllocExtentFn &PoolExtent = {});
 
 /// Schedule-freedom on footprints: every write lands in a provably
 /// per-work-item slot (all writes to a root share one stride and their

@@ -1,0 +1,665 @@
+//===- PointsTo.cpp -------------------------------------------------------===//
+
+#include "analysis/PointsTo.h"
+
+#include "cir/BasicBlock.h"
+#include "cir/Function.h"
+#include "cir/Instruction.h"
+#include "cir/Module.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <set>
+#include <tuple>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+namespace {
+
+/// Field paths longer than this widen to the pointee's class pool (or
+/// Extern when untyped): recursion deeper than any supported workload's
+/// static unrolling.
+constexpr size_t PathCap = 8;
+/// Distinct known offsets tracked per object per set before the object's
+/// refs collapse to one unknown-offset ref (pointer-increment loops).
+constexpr size_t OffsetCap = 4;
+
+std::string pathStr(const std::vector<int64_t> &Path) {
+  std::string S = "body";
+  for (int64_t Hop : Path)
+    S += "[+" + std::to_string(Hop) + "]->";
+  return S;
+}
+
+} // namespace
+
+bool concord::analysis::pointsToEnabled() {
+  static const bool Enabled = [] {
+    const char *E = std::getenv("CONCORD_ANALYSIS_PTS");
+    return !(E && E[0] == '0' && E[1] == '\0');
+  }();
+  return Enabled;
+}
+
+std::string PtsObject::str() const {
+  switch (K) {
+  case Body:
+    return "body";
+  case Field:
+    return pathStr(Path);
+  case Pool:
+    return "pool(" + (Class ? Class->name() : std::string("?")) + ")";
+  case Alloca:
+    return "alloca";
+  case Extern:
+    return "extern";
+  }
+  return "?";
+}
+
+struct PointsTo::Impl {
+  Function &F;
+  std::vector<PtsObject> Objects;
+  /// Object id of the body and the single Extern object.
+  unsigned BodyId = 0, ExternId = 0;
+  const ClassType *BodyClass = nullptr;
+
+  /// Value representative: casts, SVM translates, and single-incoming phis
+  /// collapse to their operand (the pointer-equivalence pre-pass).
+  std::map<const Value *, const Value *> Rep;
+  /// Points-to sets, keyed on representatives. Sorted vectors.
+  std::map<const Value *, std::vector<PtsRef>> Sets;
+  /// What pointers may be stored inside each object (one merged cell).
+  std::map<unsigned, std::vector<PtsRef>> Cells;
+  /// Loads currently known to read each object (re-fired on cell growth).
+  std::map<unsigned, std::set<const Instruction *>> Readers;
+  /// Dependents of each representative value.
+  std::map<const Value *, std::vector<const Instruction *>> Users;
+
+  // Object uniquing.
+  std::map<std::vector<int64_t>, unsigned> FieldIds;
+  std::map<const ClassType *, unsigned> PoolIds;
+  std::map<const Instruction *, unsigned> AllocaIds;
+
+  PtsStats Stats;
+  static const std::vector<PtsRef> Empty;
+
+  explicit Impl(Function &F) : F(F) {}
+
+  const Value *rep(const Value *V) const {
+    while (true) {
+      auto It = Rep.find(V);
+      if (It == Rep.end())
+        return V;
+      V = It->second;
+    }
+  }
+
+  unsigned fieldObject(const std::vector<int64_t> &Path,
+                       const ClassType *Class) {
+    auto It = FieldIds.find(Path);
+    if (It != FieldIds.end()) {
+      // Same path loaded at two different classes is a type pun: drop the
+      // class so it can neither seed a pool nor narrow a devirt.
+      PtsObject &O = Objects[It->second];
+      if (O.Class != Class)
+        O.Class = nullptr;
+      return It->second;
+    }
+    PtsObject O;
+    O.K = PtsObject::Field;
+    O.Path = Path;
+    O.Class = Class;
+    Objects.push_back(std::move(O));
+    FieldIds[Path] = unsigned(Objects.size() - 1);
+    return unsigned(Objects.size() - 1);
+  }
+
+  unsigned poolObject(const ClassType *Class) {
+    auto It = PoolIds.find(Class);
+    if (It != PoolIds.end())
+      return It->second;
+    PtsObject O;
+    O.K = PtsObject::Pool;
+    O.Class = Class;
+    Objects.push_back(std::move(O));
+    PoolIds[Class] = unsigned(Objects.size() - 1);
+    return unsigned(Objects.size() - 1);
+  }
+
+  unsigned allocaObject(const Instruction *Site) {
+    auto It = AllocaIds.find(Site);
+    if (It != AllocaIds.end())
+      return It->second;
+    PtsObject O;
+    O.K = PtsObject::Alloca;
+    O.Site = Site;
+    Objects.push_back(std::move(O));
+    AllocaIds[Site] = unsigned(Objects.size() - 1);
+    return unsigned(Objects.size() - 1);
+  }
+
+  /// Inserts \p R into \p Set with the offset-widening rule. Returns true
+  /// if the set changed.
+  bool insert(std::vector<PtsRef> &Set, PtsRef R) {
+    // An unknown-offset ref for the object subsumes every known one.
+    size_t Known = 0;
+    for (const PtsRef &E : Set)
+      if (E.Obj == R.Obj) {
+        if (!E.OffKnown)
+          return false;
+        if (E == R)
+          return false;
+        ++Known;
+      }
+    if (R.OffKnown && Known >= OffsetCap) {
+      R.Off = 0;
+      R.OffKnown = false;
+    }
+    if (!R.OffKnown) {
+      Set.erase(std::remove_if(Set.begin(), Set.end(),
+                               [&](const PtsRef &E) { return E.Obj == R.Obj; }),
+                Set.end());
+    }
+    Set.insert(std::upper_bound(Set.begin(), Set.end(), R), R);
+    Stats.MaxSetSize =
+        std::max(Stats.MaxSetSize, unsigned(Set.size()));
+    return true;
+  }
+
+  bool insertAll(std::vector<PtsRef> &Set, const std::vector<PtsRef> &From) {
+    bool Changed = false;
+    for (const PtsRef &R : From)
+      Changed |= insert(Set, R);
+    return Changed;
+  }
+
+  const std::vector<PtsRef> &setOf(const Value *V) const {
+    auto It = Sets.find(rep(V));
+    return It == Sets.end() ? Empty : It->second;
+  }
+
+  /// The pointee class of pointer type \p Ty, else null.
+  static const ClassType *pointeeClass(const Type *Ty) {
+    const auto *PT = dyn_cast<PointerType>(Ty);
+    return PT ? dyn_cast<ClassType>(PT->pointee()) : nullptr;
+  }
+
+  /// Dereference rule: what does loading a pointer of pointee class
+  /// \p LoadClass out of (\p Ref into Objects[Ref.Obj]) yield?
+  void deref(const PtsRef &From, const ClassType *LoadClass,
+             std::vector<PtsRef> &Out) {
+    const PtsObject &O = Objects[From.Obj];
+    switch (O.K) {
+    case PtsObject::Extern:
+      Out.push_back({ExternId, 0, true});
+      return;
+    case PtsObject::Alloca:
+      return; // Cell contents only (merged in by the caller).
+    case PtsObject::Pool:
+      // A pointer field of a pool member: any allocation of the field's
+      // class (the next hop of the recursive structure).
+      Out.push_back({LoadClass ? poolObject(LoadClass) : ExternId, 0, true});
+      return;
+    case PtsObject::Body:
+    case PtsObject::Field: {
+      const ClassType *OwnerClass =
+          O.K == PtsObject::Body ? BodyClass : O.Class;
+      if (!From.OffKnown) {
+        // Work-item-dependent slot (BarnesHut's bodies[i]): some member
+        // of the field class' pool, unnameable individually.
+        Out.push_back({LoadClass ? poolObject(LoadClass) : ExternId, 0, true});
+        return;
+      }
+      if (LoadClass && LoadClass == OwnerClass) {
+        // Cycle collapse: a C-typed link out of a C object — the
+        // recursive structure closes over the class pool instead of
+        // growing paths (BTree children, SkipList forward).
+        Out.push_back({poolObject(LoadClass), 0, true});
+        return;
+      }
+      std::vector<int64_t> Path = O.Path;
+      Path.push_back(From.Off);
+      if (Path.size() > PathCap) {
+        Out.push_back({LoadClass ? poolObject(LoadClass) : ExternId, 0, true});
+        return;
+      }
+      Out.push_back({fieldObject(Path, LoadClass), 0, true});
+      return;
+    }
+    }
+  }
+
+  /// Recomputes the transfer function of \p I from current inputs; true if
+  /// I's set (or a cell, for stores) grew.
+  bool transfer(const Instruction *I) {
+    const Value *Target = rep(I);
+    switch (I->opcode()) {
+    case Opcode::Alloca:
+      return insert(Sets[Target], {allocaObject(I), 0, true});
+    case Opcode::FieldAddr: {
+      bool Changed = false;
+      for (PtsRef R : setOf(I->operand(0))) {
+        if (R.OffKnown)
+          R.Off += int64_t(I->attr());
+        Changed |= insert(Sets[Target], R);
+      }
+      return Changed;
+    }
+    case Opcode::IndexAddr: {
+      const auto *PT = dyn_cast<PointerType>(I->type());
+      int64_t Elem = 0;
+      if (PT && !PT->pointee()->isVoid() && !PT->pointee()->isFunction())
+        Elem = int64_t(PT->pointee()->sizeInBytes());
+      const auto *C = dyn_cast<ConstantInt>(I->operand(1));
+      bool Changed = false;
+      for (PtsRef R : setOf(I->operand(0))) {
+        if (C && Elem > 0 && R.OffKnown) {
+          R.Off += C->sext() * Elem;
+        } else {
+          R.Off = 0;
+          R.OffKnown = false;
+        }
+        Changed |= insert(Sets[Target], R);
+      }
+      return Changed;
+    }
+    case Opcode::Phi:
+    case Opcode::Select: {
+      bool Changed = false;
+      unsigned First = I->opcode() == Opcode::Select ? 1 : 0;
+      for (unsigned K = First; K < I->numOperands(); ++K) {
+        const Value *Op = rep(I->operand(K));
+        if (Op == Target)
+          continue; // Self-loop (p = phi(p, x)) adds nothing.
+        Changed |= insertAll(Sets[Target], setOf(Op));
+      }
+      return Changed;
+    }
+    case Opcode::Load: {
+      const ClassType *LoadClass = pointeeClass(I->type());
+      std::vector<PtsRef> New;
+      bool Changed = false;
+      for (const PtsRef &R : setOf(I->operand(0))) {
+        deref(R, LoadClass, New);
+        // Anything the kernel itself stored into the object flows out of
+        // every load of it.
+        Readers[R.Obj].insert(I);
+        auto CellIt = Cells.find(R.Obj);
+        if (CellIt != Cells.end())
+          Changed |= insertAll(Sets[Target], CellIt->second);
+      }
+      for (const PtsRef &R : New)
+        Changed |= insert(Sets[Target], R);
+      return Changed;
+    }
+    case Opcode::Store: {
+      const std::vector<PtsRef> &Val = setOf(I->operand(0));
+      if (Val.empty())
+        return false;
+      bool Changed = false;
+      for (const PtsRef &R : setOf(I->operand(1)))
+        Changed |= insertAll(Cells[R.Obj], Val);
+      return Changed;
+    }
+    case Opcode::Memcpy: {
+      // Byte copies can smuggle pointers: poison destination cells.
+      bool Changed = false;
+      for (const PtsRef &R : setOf(I->operand(0)))
+        Changed |= insert(Cells[R.Obj], {ExternId, 0, true});
+      return Changed;
+    }
+    case Opcode::Call:
+    case Opcode::VCall:
+    case Opcode::Intrinsic:
+      if (I->type()->isPointer())
+        return insert(Sets[Target], {ExternId, 0, true});
+      return false;
+    case Opcode::LocalBase:
+      return insert(Sets[Target], {ExternId, 0, true});
+    default:
+      return false;
+    }
+  }
+
+  void solve() {
+    // Extern object is always id 1 (Body is 0).
+    {
+      PtsObject B;
+      B.K = PtsObject::Body;
+      Objects.push_back(B);
+      BodyId = 0;
+      PtsObject E;
+      E.K = PtsObject::Extern;
+      Objects.push_back(E);
+      ExternId = 1;
+    }
+
+    // Pointer-equivalence pre-pass: collapse pure value copies so each
+    // equivalence class solves once.
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB) {
+        switch (I->opcode()) {
+        case Opcode::Cast:
+        case Opcode::CpuToGpu:
+        case Opcode::GpuToCpu:
+          Rep[I] = I->operand(0);
+          break;
+        case Opcode::Phi:
+          if (I->numOperands() == 1)
+            Rep[I] = I->operand(0);
+          break;
+        default:
+          break;
+        }
+      }
+
+    // Seeds. Argument 0 of a kernel entry is the body object's CPU
+    // address (see createKernelEntry); a method's argument 0 is `this`.
+    // Every other pointer argument has no statically known binding.
+    if (F.numArgs() > 0) {
+      Argument *A0 = F.arg(0);
+      if (F.isKernel() || pointeeClass(A0->type())) {
+        Sets[A0].push_back({BodyId, 0, true});
+        BodyClass = pointeeClass(A0->type());
+      } else {
+        Sets[A0].push_back({ExternId, 0, true});
+      }
+    }
+    for (unsigned K = 1; K < F.numArgs(); ++K)
+      if (F.arg(K)->type()->isPointer())
+        Sets[F.arg(K)].push_back({ExternId, 0, true});
+
+    // A kernel's body class shows up as the IntToPtr cast of argument 0.
+    if (F.isKernel() && !BodyClass && F.numArgs() > 0)
+      for (BasicBlock *BB : F) {
+        for (Instruction *I : *BB)
+          if (I->opcode() == Opcode::Cast &&
+              rep(I->operand(0)) == F.arg(0)) {
+            if (const ClassType *C = pointeeClass(I->type())) {
+              BodyClass = C;
+              break;
+            }
+          }
+        if (BodyClass)
+          break;
+      }
+
+    // Constraint graph: which instructions re-fire when a value grows.
+    std::vector<const Instruction *> Constraints;
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB) {
+        switch (I->opcode()) {
+        case Opcode::Alloca:
+        case Opcode::FieldAddr:
+        case Opcode::IndexAddr:
+        case Opcode::Phi:
+        case Opcode::Select:
+        case Opcode::Load:
+        case Opcode::Store:
+        case Opcode::Memcpy:
+        case Opcode::Call:
+        case Opcode::VCall:
+        case Opcode::Intrinsic:
+        case Opcode::LocalBase:
+          if (Rep.count(I))
+            break; // Collapsed copies have no transfer of their own.
+          Constraints.push_back(I);
+          for (const Value *Op : I->operands())
+            Users[rep(Op)].push_back(I);
+          break;
+        default:
+          break;
+        }
+      }
+    Stats.Constraints = unsigned(Constraints.size());
+
+    std::deque<const Instruction *> Work(Constraints.begin(),
+                                         Constraints.end());
+    std::set<const Instruction *> InWork(Constraints.begin(),
+                                         Constraints.end());
+    auto Push = [&](const Instruction *I) {
+      if (InWork.insert(I).second)
+        Work.push_back(I);
+    };
+    while (!Work.empty()) {
+      const Instruction *I = Work.front();
+      Work.pop_front();
+      InWork.erase(I);
+      ++Stats.Iterations;
+      if (!transfer(I))
+        continue;
+      if (I->opcode() == Opcode::Store || I->opcode() == Opcode::Memcpy) {
+        // A cell grew: every load currently reading any stored-into object
+        // must re-fire. (Conservative: re-fire readers of all objects in
+        // the address set.)
+        for (const PtsRef &R : setOf(I->opcode() == Opcode::Store
+                                         ? I->operand(1)
+                                         : I->operand(0))) {
+          auto It = Readers.find(R.Obj);
+          if (It != Readers.end())
+            for (const Instruction *L : It->second)
+              Push(L);
+        }
+      } else {
+        auto It = Users.find(rep(I));
+        if (It != Users.end())
+          for (const Instruction *U : It->second)
+            Push(U);
+      }
+    }
+
+    // Seed resolution: each pool adopts the shortest same-class Field path
+    // (deterministic: length, then lexicographic) so consumers can locate
+    // one live member — and with it the pool's size class — at launch.
+    for (auto &[Class, Id] : PoolIds) {
+      const std::vector<int64_t> *Best = nullptr;
+      for (const PtsObject &O : Objects) {
+        if (O.K != PtsObject::Field || O.Class != Class)
+          continue;
+        if (!Best || O.Path.size() < Best->size() ||
+            (O.Path.size() == Best->size() && O.Path < *Best))
+          Best = &O.Path;
+      }
+      if (Best) {
+        Objects[Id].Path = *Best;
+        Objects[Id].HasSeed = true;
+      }
+    }
+    Stats.Objects = unsigned(Objects.size());
+  }
+};
+
+const std::vector<PtsRef> PointsTo::Impl::Empty;
+
+PointsTo::PointsTo(Function &F) : P(new Impl(F)) {
+  P->solve();
+  Stats = P->Stats;
+}
+
+PointsTo::~PointsTo() { delete P; }
+
+const std::vector<PtsRef> &PointsTo::refsOf(const Value *V) const {
+  return P->setOf(V);
+}
+
+const PtsObject &PointsTo::object(unsigned Id) const {
+  return P->Objects[Id];
+}
+
+unsigned PointsTo::numObjects() const { return unsigned(P->Objects.size()); }
+
+PtsRootSummary PointsTo::rootsFor(const Value *Addr) const {
+  PtsRootSummary S;
+  const std::vector<PtsRef> &Refs = P->setOf(Addr);
+  if (Refs.empty())
+    return S; // Untracked provenance: unresolved.
+  bool SawPrivate = false;
+  for (const PtsRef &R : Refs) {
+    const PtsObject &O = P->Objects[R.Obj];
+    switch (O.K) {
+    case PtsObject::Body:
+      S.Roots.push_back({false, "", {}});
+      break;
+    case PtsObject::Field:
+      S.Roots.push_back({false, "", O.Path});
+      break;
+    case PtsObject::Pool:
+      if (!O.HasSeed)
+        return S; // No runtime handle on the pool: stay Top.
+      S.Roots.push_back({true, O.Class ? O.Class->name() : "?", O.Path});
+      break;
+    case PtsObject::Alloca:
+      SawPrivate = true;
+      break;
+    case PtsObject::Extern:
+      return S;
+    }
+  }
+  std::sort(S.Roots.begin(), S.Roots.end(),
+            [](const PtsRootInfo &A, const PtsRootInfo &B) {
+              return std::tie(A.Pool, A.PoolClass, A.Path) <
+                     std::tie(B.Pool, B.PoolClass, B.Path);
+            });
+  S.Roots.erase(std::unique(S.Roots.begin(), S.Roots.end(),
+                            [](const PtsRootInfo &A, const PtsRootInfo &B) {
+                              return A.Pool == B.Pool &&
+                                     A.PoolClass == B.PoolClass &&
+                                     A.Path == B.Path;
+                            }),
+                S.Roots.end());
+  S.Resolved = !S.Roots.empty() || SawPrivate;
+  S.PrivateOnly = S.Roots.empty() && SawPrivate;
+  return S;
+}
+
+PointsTo::ClassSet PointsTo::classesOf(const Value *Receiver) const {
+  ClassSet S;
+  const std::vector<PtsRef> &Refs = P->setOf(Receiver);
+  if (Refs.empty())
+    return S;
+  for (const PtsRef &R : Refs) {
+    const PtsObject &O = P->Objects[R.Obj];
+    const ClassType *C = nullptr;
+    switch (O.K) {
+    case PtsObject::Body:
+      C = P->BodyClass;
+      break;
+    case PtsObject::Field:
+    case PtsObject::Pool:
+      C = O.Class;
+      break;
+    case PtsObject::Alloca:
+      C = O.Site ? dyn_cast<ClassType>(O.Site->auxType()) : nullptr;
+      break;
+    case PtsObject::Extern:
+      break;
+    }
+    // A pointer offset into an object no longer has the object's static
+    // type (a base subobject would, but offsets are not tracked against
+    // the layout here): give up rather than mis-narrow.
+    if (!C || R.Off != 0 || !R.OffKnown)
+      return ClassSet();
+    if (std::find(S.Classes.begin(), S.Classes.end(), C) == S.Classes.end())
+      S.Classes.push_back(C);
+  }
+  S.AllKnown = !S.Classes.empty();
+  return S;
+}
+
+std::string PointsTo::describe(const Value *V) const {
+  const std::vector<PtsRef> &Refs = P->setOf(V);
+  if (Refs.empty())
+    return "{?}";
+  std::string S = "{";
+  for (size_t K = 0; K < Refs.size(); ++K) {
+    if (K)
+      S += ", ";
+    S += P->Objects[Refs[K].Obj].str();
+    if (!Refs[K].OffKnown)
+      S += "+?";
+    else if (Refs[K].Off != 0)
+      S += "+" + std::to_string(Refs[K].Off);
+  }
+  return S + "}";
+}
+
+std::vector<AliasFinding>
+concord::analysis::lintPointerAliases(Function &F) {
+  std::vector<AliasFinding> Out;
+  if (!pointsToEnabled())
+    return Out;
+  PointsTo PT(F);
+
+  // Stores whose address reaches a class pool: two work-items chasing
+  // node pointers can land on the same node, so no slot-disjointness
+  // argument covers the store.
+  auto PoolsOf = [&](const Value *Addr) {
+    std::set<unsigned> Pools;
+    for (const PtsRef &R : PT.refsOf(Addr))
+      if (PT.object(R.Obj).K == PtsObject::Pool)
+        Pools.insert(R.Obj);
+    return Pools;
+  };
+
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      if (I->opcode() != Opcode::Store)
+        continue;
+      const Value *Addr = I->pointerOperand();
+      std::set<unsigned> Pools = PoolsOf(Addr);
+      if (Pools.empty())
+        continue;
+      AliasFinding AF;
+      AF.Kernel = F.name();
+      AF.StoreLoc = I->loc();
+      AF.StoreDesc = PT.describe(Addr);
+      // Partner: the first other access reaching any of the same pools;
+      // absent that, another work-item's execution of this same store is
+      // the aliasing pair.
+      const Instruction *Other = nullptr;
+      for (BasicBlock *BB2 : F) {
+        for (Instruction *I2 : *BB2) {
+          if (I2 == I || !I2->touchesMemory())
+            continue;
+          std::set<unsigned> P2 = PoolsOf(I2->pointerOperand());
+          bool Overlap = false;
+          for (unsigned Id : P2)
+            if (Pools.count(Id))
+              Overlap = true;
+          if (Overlap) {
+            Other = I2;
+            break;
+          }
+        }
+        if (Other)
+          break;
+      }
+      std::string PoolName =
+          PT.object(*Pools.begin()).str();
+      if (Other) {
+        AF.OtherLoc = Other->loc();
+        AF.OtherDesc = PT.describe(Other->pointerOperand());
+        AF.Message = "store through " + AF.StoreDesc + " at " +
+                     AF.StoreLoc.str() + " may alias the " +
+                     (Other->mayWriteMemory() ? "store" : "load") +
+                     " through " + AF.OtherDesc + " at " +
+                     AF.OtherLoc.str() + " from another work-item (both reach " +
+                     PoolName + ")";
+      } else {
+        AF.OtherLoc = I->loc();
+        AF.OtherDesc = AF.StoreDesc;
+        AF.Message = "store through " + AF.StoreDesc + " at " +
+                     AF.StoreLoc.str() +
+                     " may alias the same store from another work-item "
+                     "(both reach " +
+                     PoolName + ")";
+      }
+      Out.push_back(std::move(AF));
+    }
+  }
+  return Out;
+}

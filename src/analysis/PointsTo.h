@@ -1,0 +1,223 @@
+//===- PointsTo.h - Allocation-site points-to analysis ----------*- C++ -*-===//
+///
+/// \file
+/// Flow-insensitive, field-sensitive, inclusion-based (Andersen-style)
+/// points-to analysis over CIR with allocation-site abstraction. The
+/// irregular workloads the paper targets (BTree, SkipList, BarnesHut) chase
+/// pointers loaded from memory, which the footprint resolver alone cannot
+/// attribute to a root: every such access used to degrade the whole kernel
+/// summary to Top ("anywhere in the shared region"). This analysis names
+/// the finite set of abstract objects such a pointer can reference, so a
+/// pointer-chasing access demotes to a *multi-root* Bounded summary.
+///
+/// Abstract object kinds:
+///  - Body        — the kernel body object (argument 0 of a kernel entry,
+///                  or the `this` argument of a method).
+///  - Field(path) — the single allocation reached by dereferencing a chain
+///                  of index-invariant pointer loads at constant byte
+///                  offsets starting from the body ({8} = *(body+8)).
+///                  Generalizes the footprint resolver's RootPath: the
+///                  chain is per-object, so `root->left->right` is a
+///                  distinct object from `root`.
+///  - Pool(C)     — *any* allocation of class C. The type-closure summary
+///                  for host-linked recursive structures: loading a `C*`
+///                  field out of an object already abstracted as C-typed
+///                  collapses to Pool(C) instead of growing paths forever
+///                  (this is the analysis' cycle collapse — the loop-carried
+///                  phi webs of BTree/SkipList converge in one widening
+///                  step instead of enumerating unbounded paths). A pool
+///                  carries a representative *seed path* (a Field path of
+///                  the same class, e.g. {0} for the BTree root) that
+///                  consumers dereference at launch time to locate the
+///                  pool's size class.
+///  - Alloca(site)— a private stack object (one merged cell per site);
+///                  BarnesHut's `BHNode *stack[192]` traversal stack.
+///  - Extern      — untraceable: non-body pointer arguments, residual call
+///                  results, integers reinterpreted as pointers whose
+///                  provenance is unknown. Any query touching Extern stays
+///                  Top.
+///
+/// Constraint forms (inclusion edges over a sparse graph):
+///   copy   pts(dst) ⊇ pts(src)           casts, svm translates, phi, select
+///   shift  pts(dst) ⊇ pts(src) + k       FieldAddr, IndexAddr by constants
+///   load   pts(dst) ⊇ *pts(addr)         structural deref + stored cells
+///   store  cell(o)  ⊇ pts(val)           for every o in pts(addr)
+///
+/// Solved with a worklist over the value graph: a pre-pass collapses
+/// pointer-equivalent values (cast/translate chains and single-incoming
+/// phis) to one representative, then constraints re-fire only when an
+/// input set grows. Offsets within one object widen to "unknown offset"
+/// past a small constant cap, and Field paths past a depth cap widen to
+/// the class pool (or Extern when untyped), so the object universe — and
+/// with it the fixpoint — stays finite and near-linear in practice.
+///
+/// Consumers:
+///  - analysis::computeFootprint — rootsFor() demotes unresolved addresses
+///    to multi-root Bounded entries (KernelFootprint::PtsDemoted/PtsRoots),
+///  - transforms::runStaticChecks — lintPointerAliases() flags stores
+///    through may-aliasing pointers from distinct work-items,
+///  - transforms::devirtualize — classesOf() intersects receiver points-to
+///    classes with the CHA candidate set.
+///
+/// Precision limits, deliberate: one merged cell per abstract object (no
+/// strong updates — the analysis is flow-insensitive), pools merge all
+/// allocations of a class, and function symbols loaded from vtables stay
+/// Extern (Raytracer's post-devirt vtable probes remain Top). Soundness
+/// shares the footprint caveat: distinct typed roots are assumed not to
+/// alias; the scheduler's concrete overlap check remains the runtime net.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_POINTSTO_H
+#define CONCORD_ANALYSIS_POINTSTO_H
+
+#include "support/SourceLoc.h"
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace cir {
+class ClassType;
+class Function;
+class Instruction;
+class Value;
+} // namespace cir
+
+namespace analysis {
+
+/// One abstract memory object (allocation-site abstraction).
+struct PtsObject {
+  enum Kind { Body, Field, Pool, Alloca, Extern };
+  Kind K = Extern;
+  /// Body-rooted pointer-load offsets naming the allocation (Field), or
+  /// the pool's representative seed path (Pool, when HasSeed).
+  std::vector<int64_t> Path;
+  /// Pointee class, when known (Field of class-typed fields, Pool always).
+  const cir::ClassType *Class = nullptr;
+  /// The alloca instruction (Alloca objects only).
+  const cir::Instruction *Site = nullptr;
+  /// Pool only: a Field path of the same class was found to seed runtime
+  /// pool-extent lookups. Pools without a seed concretize to the whole
+  /// region (sound fallback).
+  bool HasSeed = false;
+
+  std::string str() const;
+};
+
+/// One element of a points-to set: an object plus the byte offset within
+/// it the pointer refers to (offset collapses to unknown under widening).
+struct PtsRef {
+  unsigned Obj = 0;
+  int64_t Off = 0;
+  bool OffKnown = true;
+
+  bool operator<(const PtsRef &O) const {
+    if (Obj != O.Obj)
+      return Obj < O.Obj;
+    if (OffKnown != O.OffKnown)
+      return OffKnown < O.OffKnown;
+    return Off < O.Off;
+  }
+  bool operator==(const PtsRef &O) const {
+    return Obj == O.Obj && Off == O.Off && OffKnown == O.OffKnown;
+  }
+};
+
+/// One shared root named by a points-to query: either a single allocation
+/// (a body-rooted Field path) or a class pool reached through a seed path.
+struct PtsRootInfo {
+  bool Pool = false;
+  std::string PoolClass; ///< Class name (Pool roots only).
+  std::vector<int64_t> Path; ///< Field path, or the pool's seed path.
+};
+
+/// Summary of everything an address value may point at, in footprint
+/// vocabulary.
+struct PtsRootSummary {
+  /// True when every member of the set is a named shared root or private
+  /// stack memory — nothing Extern or untracked.
+  bool Resolved = false;
+  /// True when the set holds only private (alloca/body-less) memory; the
+  /// access needs no footprint entry at all.
+  bool PrivateOnly = false;
+  std::vector<PtsRootInfo> Roots;
+};
+
+/// Solver statistics (surfaced through bench JSON for A/B runs).
+struct PtsStats {
+  unsigned Objects = 0;     ///< Abstract objects materialized.
+  unsigned Constraints = 0; ///< Pointer-relevant instructions constrained.
+  unsigned Iterations = 0;  ///< Worklist pops until fixpoint.
+  unsigned MaxSetSize = 0;  ///< Largest points-to set seen.
+};
+
+/// One finding of the pointer alias lint (see lintPointerAliases).
+struct AliasFinding {
+  std::string Kernel;    ///< Kernel function name.
+  SourceLoc StoreLoc;    ///< The store through a pool-aliased pointer.
+  SourceLoc OtherLoc;    ///< A second access reaching the same pool.
+  std::string StoreDesc; ///< Points-to set of the store address.
+  std::string OtherDesc; ///< Points-to set of the partner access.
+  std::string Message;   ///< Formatted diagnostic (includes both locs).
+};
+
+/// Runs the analysis over \p F at construction; queries are O(set size).
+class PointsTo {
+public:
+  explicit PointsTo(cir::Function &F);
+  ~PointsTo();
+  PointsTo(const PointsTo &) = delete;
+  PointsTo &operator=(const PointsTo &) = delete;
+
+  /// The points-to set of pointer-like value \p V (empty = untracked:
+  /// either a non-pointer or a pointer of unknown provenance).
+  const std::vector<PtsRef> &refsOf(const cir::Value *V) const;
+
+  const PtsObject &object(unsigned Id) const;
+  unsigned numObjects() const;
+
+  /// Footprint vocabulary: can every object \p Addr may reference be
+  /// enumerated as a body-rooted allocation or class pool?
+  PtsRootSummary rootsFor(const cir::Value *Addr) const;
+
+  /// Devirtualization vocabulary: the set of static pointee classes of
+  /// \p Receiver. AllKnown is false when any member is Extern, untracked,
+  /// or class-less — callers must then keep the full CHA candidate set.
+  struct ClassSet {
+    bool AllKnown = false;
+    std::vector<const cir::ClassType *> Classes;
+  };
+  ClassSet classesOf(const cir::Value *Receiver) const;
+
+  /// Human-readable points-to set, e.g. "{pool(BTreeNode), body[+16]}".
+  std::string describe(const cir::Value *V) const;
+
+  const PtsStats &stats() const { return Stats; }
+
+private:
+  struct Impl;
+  Impl *P;
+  PtsStats Stats;
+};
+
+/// Global escape hatch: CONCORD_ANALYSIS_PTS=0 disables every points-to
+/// consumer (footprint demotion, alias lint, devirt narrowing), restoring
+/// the pre-analysis Top behavior. Latched on first use, like
+/// CONCORD_SCHED_AFFINITY.
+bool pointsToEnabled();
+
+/// Pointer-aware race lint, layered over the Uniformity store lint: flags
+/// stores whose address points into a class *pool* — two work-items
+/// chasing node pointers can reach the same node, so the store may alias
+/// another work-item's access even though no affine slot proof exists.
+/// Reported with the aliasing pair named and both source locations.
+/// Index-disjoint (Exact/Affine) stores and Bounded stores through a
+/// single named allocation do not trigger.
+std::vector<AliasFinding> lintPointerAliases(cir::Function &F);
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_POINTSTO_H

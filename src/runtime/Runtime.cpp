@@ -4,6 +4,7 @@
 
 #include "analysis/Commutativity.h"
 #include "analysis/Footprint.h"
+#include "analysis/PointsTo.h"
 #include "codegen/CodeGen.h"
 #include "frontend/Compile.h"
 #include "support/StringUtils.h"
@@ -106,6 +107,9 @@ struct Runtime::Impl {
   std::atomic<uint64_t> WindowsClipped{0};
   std::atomic<uint64_t> TopDemoted{0};
   std::atomic<uint64_t> OobFindings{0};
+  std::atomic<uint64_t> PtsDemoted{0};
+  std::atomic<uint64_t> PtsRoots{0};
+  std::atomic<uint64_t> AliasLintFindings{0};
 
   /// Accumulate-protocol counters (compile-time window/rejection counts
   /// once per cache entry; task/merge/shadow counts fed by the scheduler).
@@ -295,6 +299,9 @@ compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
     CP->Footprint = analysis::computeFootprint(*KF);
     Impl.WindowsClipped += CP->Footprint.WindowsClipped;
     Impl.TopDemoted += CP->Footprint.TopDemoted;
+    Impl.PtsDemoted += CP->Footprint.PtsDemoted;
+    Impl.PtsRoots += CP->Footprint.PtsRoots;
+    Impl.AliasLintFindings += analysis::lintPointerAliases(*KF).size();
     CP->Commut =
         analysis::computeCommutativity(*KF, Opts.RelaxedFPReduction);
     Impl.AccumWindows += CP->Commut.Windows.size();
@@ -425,7 +432,8 @@ static uint64_t partitionBytes(const analysis::KernelFootprint &FP,
           FP, BodyPtr, Base, Count, Region.range(),
           [&Region](const void *Ptr) {
             return Region.allocationExtent(Ptr);
-          });
+          },
+          [&Region](const void *Ptr) { return Region.poolExtent(Ptr); });
   std::vector<svm::MemRange> Ranges;
   Ranges.reserve(Accesses.size());
   for (const analysis::ConcreteAccess &A : Accesses)
@@ -713,6 +721,9 @@ RefinementStats Runtime::refinementStats() const {
   S.WindowsClipped = P->WindowsClipped.load();
   S.TopDemoted = P->TopDemoted.load();
   S.OobFindings = P->OobFindings.load();
+  S.PtsDemoted = P->PtsDemoted.load();
+  S.PtsRoots = P->PtsRoots.load();
+  S.AliasLintFindings = P->AliasLintFindings.load();
   S.AccumWindows = P->AccumWindows.load();
   S.AccumRejections = P->AccumRejections.load();
   S.AccumTasks = P->AccumTasks.load();

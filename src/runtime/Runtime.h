@@ -121,6 +121,10 @@ struct RefinementStats {
   uint64_t WindowsClipped = 0; ///< Windows narrowed by a guard clamp.
   uint64_t TopDemoted = 0;     ///< Data-dependent entries kept root-bounded.
   uint64_t OobFindings = 0;    ///< lintLaunchBounds findings reported.
+  uint64_t PtsDemoted = 0;     ///< Pointer-chasing accesses the points-to
+                               ///< analysis confined to named roots.
+  uint64_t PtsRoots = 0;       ///< Multi-root Bounded entries produced.
+  uint64_t AliasLintFindings = 0; ///< Pointer alias lint findings.
   uint64_t AccumWindows = 0;   ///< Proven accumulate windows (per kernel).
   uint64_t AccumRejections = 0; ///< Commutativity prover rejections.
   uint64_t AccumTasks = 0;     ///< Accumulate tasks admitted concurrently.

@@ -36,7 +36,8 @@ inferredAccesses(runtime::Runtime &RT, const runtime::KernelSpec &Spec,
   analysis::KernelFootprint Top;
   return analysis::concretizeFootprint(
       FP ? *FP : Top, BodyPtr, /*Base=*/0, /*Count=*/N, Region.range(),
-      [&Region](const void *P) { return Region.allocationExtent(P); });
+      [&Region](const void *P) { return Region.allocationExtent(P); },
+      [&Region](const void *P) { return Region.poolExtent(P); });
 }
 
 /// The proven accumulate window behind a concrete access, if any: the

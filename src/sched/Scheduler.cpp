@@ -119,7 +119,8 @@ static void preparePlacement(runtime::Runtime &RT, TaskState &Task) {
             *FP, D.BodyPtr, /*Base=*/0, D.N, RT.region().range(),
             [&RT](const void *Ptr) {
               return RT.region().allocationExtent(Ptr);
-            });
+            },
+            [&RT](const void *Ptr) { return RT.region().poolExtent(Ptr); });
     Task.PlaceRanges.reserve(Accesses.size());
     for (const analysis::ConcreteAccess &A : Accesses)
       Task.PlaceRanges.push_back(A.Range);
@@ -857,6 +858,9 @@ void Scheduler::accountCompletion(
                 *FP, Task->Desc.BodyPtr, Base, Count, RT.region().range(),
                 [this](const void *Ptr) {
                   return RT.region().allocationExtent(Ptr);
+                },
+                [this](const void *Ptr) {
+                  return RT.region().poolExtent(Ptr);
                 });
         std::vector<svm::MemRange> Rs;
         Rs.reserve(Accesses.size());

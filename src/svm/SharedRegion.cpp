@@ -3,6 +3,7 @@
 #include "svm/SharedRegion.h"
 #include "svm/ObjectStore.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
@@ -53,10 +54,27 @@ SharedRegion::~SharedRegion() {
   std::free(Arena);
 }
 
+void SharedRegion::recordPoolAlloc(void *Ptr, size_t Size) {
+  if (Size == 0)
+    Size = 1;
+  std::lock_guard<std::mutex> Lock(PoolMutex);
+  PoolSizes[reinterpret_cast<uint64_t>(Ptr)] = Size;
+  MemRange R = MemRange::ofBytes(Ptr, Size);
+  auto [It, Fresh] = PoolHulls.emplace(Size, R);
+  if (!Fresh) {
+    It->second.Begin = std::min(It->second.Begin, R.Begin);
+    It->second.End = std::max(It->second.End, R.End);
+  }
+}
+
 void *SharedRegion::allocate(size_t Size, size_t Align) {
   assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
-  if (Store)
-    return Store->allocate(Size, Align, RegionClass::Heap);
+  if (Store) {
+    void *P = Store->allocate(Size, Align, RegionClass::Heap);
+    if (P)
+      recordPoolAlloc(P, Size);
+    return P;
+  }
   if (Align < 16)
     Align = 16;
   if (Size == 0)
@@ -94,6 +112,7 @@ void *SharedRegion::allocate(size_t Size, size_t Align) {
     if (Stats.BytesAllocated > Stats.PeakBytes)
       Stats.PeakBytes = Stats.BytesAllocated;
     ++Stats.NumAllocs;
+    recordPoolAlloc(Arena + PayloadOff, Size);
     return Arena + PayloadOff;
   }
 
@@ -111,6 +130,12 @@ void SharedRegion::deallocate(void *Ptr) {
   if (!Ptr)
     return;
   assert(contains(Ptr) && "freeing a pointer outside the shared region");
+  {
+    // Drop the size-class membership; the hull deliberately stays (a pool
+    // summary may only get looser).
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    PoolSizes.erase(reinterpret_cast<uint64_t>(Ptr));
+  }
   if (Store) {
     Store->deallocate(Ptr);
     return;
@@ -177,6 +202,19 @@ MemRange SharedRegion::allocationExtent(const void *Ptr) const {
   if (Off >= It->second)
     return range();
   return {CpuBaseAddr + Off, CpuBaseAddr + It->second};
+}
+
+MemRange SharedRegion::poolExtent(const void *Seed) const {
+  if (!contains(Seed))
+    return range();
+  std::lock_guard<std::mutex> Lock(PoolMutex);
+  auto SizeIt = PoolSizes.find(reinterpret_cast<uint64_t>(Seed));
+  if (SizeIt == PoolSizes.end())
+    return range(); // Interior/foreign seed: whole region, sound.
+  auto HullIt = PoolHulls.find(SizeIt->second);
+  if (HullIt == PoolHulls.end())
+    return range();
+  return HullIt->second;
 }
 
 void *SharedRegion::hostFromGpu(uint64_t GpuAddr, size_t AccessSize) const {

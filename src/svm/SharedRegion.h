@@ -167,6 +167,16 @@ public:
   /// no allocation can be attributed (freed block, foreign pointer).
   MemRange allocationExtent(const void *Ptr) const;
 
+  /// The convex hull of every allocation sharing \p Seed's *requested
+  /// size* — its size class, which the points-to analysis uses as the
+  /// concrete stand-in for an allocation pool ("any node of class C").
+  /// Seed must be the begin address of a live allocation made through this
+  /// facade; anything else falls back to range() (sound: a pool summary
+  /// may over- but never under-approximate). The hull is monotone — frees
+  /// never shrink it — so a concretized pool range can only get looser,
+  /// never miss a member that existed at analysis time.
+  MemRange poolExtent(const void *Seed) const;
+
   /// CPU virtual address of the region base.
   uint64_t cpuBase() const { return CpuBaseAddr; }
   /// GPU virtual address of the backing surface base.
@@ -237,6 +247,16 @@ private:
   /// Live payload extents keyed by payload offset -> payload end offset so
   /// interior pointers resolve to their allocation (not the whole region).
   std::map<uint64_t, uint64_t> LiveBlocks;
+
+  // Pool (size-class) bookkeeping for poolExtent, mode-independent and
+  // guarded by PoolMutex. PoolSizes maps each live allocation's begin
+  // address to its *requested* size (the size class key — the allocators
+  // pad block sizes, so the header cannot recover it); PoolHulls grows
+  // monotonically per size class and is never shrunk by frees.
+  mutable std::mutex PoolMutex;
+  std::map<uint64_t, size_t> PoolSizes;
+  std::map<size_t, MemRange> PoolHulls;
+  void recordPoolAlloc(void *Ptr, size_t Size);
 };
 
 /// Installs \p Region as the process-wide default used by svmMalloc/svmFree

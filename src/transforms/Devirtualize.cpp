@@ -8,19 +8,58 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/ClassHierarchy.h"
+#include "analysis/PointsTo.h"
 #include "transforms/Passes.h"
+
+#include <memory>
 
 using namespace concord;
 using namespace concord::cir;
 using namespace concord::transforms;
 
+/// Drops CHA candidates whose implementing class shares no inheritance
+/// chain with any class the receiver may point to. The points-to classes
+/// are static types of allocation sites and chased fields, so a target
+/// implemented in class MC stays feasible when MC is on the same chain as
+/// some points-to class C (the dynamic type is C or derived-from-C, and
+/// such an object dispatches to MC's implementation only if the chains
+/// meet). An empty intersection would mean the receiver provably never
+/// has a vtable for this slot — keep the CHA set in that case rather than
+/// trusting the over-approximation that far.
+static void narrowByPointsTo(std::vector<Function *> &Targets,
+                             const analysis::PointsTo::ClassSet &CS,
+                             PipelineStats &Stats) {
+  if (!CS.AllKnown || CS.Classes.empty() || Targets.size() < 2)
+    return;
+  std::vector<Function *> Narrowed;
+  for (Function *T : Targets) {
+    const ClassType *MC = T->methodOf();
+    bool Feasible = !MC;
+    for (const ClassType *C : CS.Classes)
+      if (MC && (MC->isBaseOrSelf(C) || C->isBaseOrSelf(MC))) {
+        Feasible = true;
+        break;
+      }
+    if (Feasible)
+      Narrowed.push_back(T);
+  }
+  if (!Narrowed.empty() && Narrowed.size() < Targets.size()) {
+    ++Stats.VCallsPtsNarrowed;
+    Targets = std::move(Narrowed);
+  }
+}
+
 /// Lowers the VCall at (BB, Idx). Returns the number of candidate targets.
 static unsigned lowerVCall(Module &M, Function &F, BasicBlock *BB,
-                           size_t Idx, const analysis::ClassHierarchy &CHA) {
+                           size_t Idx, const analysis::ClassHierarchy &CHA,
+                           const analysis::PointsTo *PT,
+                           PipelineStats &Stats) {
   Instruction *VC = BB->instr(Idx);
   std::vector<Function *> Targets =
       CHA.possibleTargets(VC->vcallClass(), VC->vcallGroup(), VC->vcallSlot());
   assert(!Targets.empty() && "virtual call with no possible target");
+  if (PT && VC->numOperands() > 0)
+    narrowByPointsTo(Targets, PT->classesOf(VC->operand(0)), Stats);
   TypeContext &T = M.types();
 
   std::vector<Value *> CallArgs(VC->operands());
@@ -153,6 +192,18 @@ bool concord::transforms::devirtualize(Module &M, PipelineStats &Stats) {
   analysis::ClassHierarchy CHA(M);
   bool Changed = false;
   for (const auto &F : M.functions()) {
+    // Points-to over the pre-lowering IR: receivers queried below are
+    // original values, so one solve per function covers every vcall even
+    // as lowering rewrites the CFG around them.
+    std::unique_ptr<analysis::PointsTo> PT;
+    if (analysis::pointsToEnabled())
+      for (BasicBlock *BB : *F) {
+        for (size_t Idx = 0; Idx < BB->size() && !PT; ++Idx)
+          if (BB->instr(Idx)->opcode() == Opcode::VCall)
+            PT = std::make_unique<analysis::PointsTo>(*F);
+        if (PT)
+          break;
+      }
     bool FoundOne = true;
     while (FoundOne) {
       FoundOne = false;
@@ -160,7 +211,7 @@ bool concord::transforms::devirtualize(Module &M, PipelineStats &Stats) {
         for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
           if (BB->instr(Idx)->opcode() != Opcode::VCall)
             continue;
-          lowerVCall(M, *F, BB, Idx, CHA);
+          lowerVCall(M, *F, BB, Idx, CHA, PT.get(), Stats);
           ++Stats.VCallsDevirtualized;
           Changed = true;
           FoundOne = true;

@@ -131,6 +131,7 @@ struct PipelineStats {
   unsigned TranslationsInserted = 0;
   unsigned TranslationsRemoved = 0;
   unsigned VCallsDevirtualized = 0;
+  unsigned VCallsPtsNarrowed = 0;
   unsigned CallsInlined = 0;
   unsigned LoopsStaggered = 0;
   unsigned LoopsUnrolled = 0;

@@ -4,6 +4,7 @@
 #include "analysis/Commutativity.h"
 #include "analysis/Footprint.h"
 #include "analysis/KernelChecks.h"
+#include "analysis/PointsTo.h"
 #include "analysis/Uniformity.h"
 #include "cir/Verifier.h"
 #include "transforms/Passes.h"
@@ -79,6 +80,16 @@ void runStaticChecks(Module &M, const PipelineOptions &Opts,
     if (Diags)
       for (const analysis::RaceFinding &R : analysis::lintUniformStores(*F))
         Diags->warning(R.Loc, "@" + F->name() + ": " + R.Message);
+
+    // Pointer alias lint: stores whose address may reach a shared
+    // allocation pool can collide with another work-item's access to the
+    // same pool. Points-to is an over-approximation, so these are
+    // warnings — real races surface here, but so may sharded pools the
+    // analysis cannot split.
+    if (Diags && analysis::pointsToEnabled())
+      for (const analysis::AliasFinding &A :
+           analysis::lintPointerAliases(*F))
+        Diags->warning(A.StoreLoc, "@" + F->name() + ": " + A.Message);
 
     // Reduction lint: read-modify-write sequences that look like a
     // reduction but combine with a non-associative operator will never

@@ -193,6 +193,93 @@ TEST(SchedHazards, DisjointTasksRunConcurrently) {
   }
 }
 
+// The paper's flagship irregular kernel scheduled next to a dense fill.
+// Under Trust the declared sets (node-pool hull + query/result arrays vs
+// the fill's array) are disjoint by construction; under Infer the
+// declarations are ignored and the points-to multi-root footprint — the
+// root's allocation, the BTreeNode pool hull, and the affine
+// query/result accesses — replaces the old whole-region top. Either way:
+// no hazard edge, two tasks in flight, interleaved lifetimes.
+TEST(SchedHazards, BTreeLookupOverlapsDisjointFillBothPolicies) {
+  for (runtime::FootprintPolicy Policy :
+       {runtime::FootprintPolicy::Trust, runtime::FootprintPolicy::Infer}) {
+    SCOPED_TRACE(Policy == runtime::FootprintPolicy::Trust ? "Trust"
+                                                           : "Infer");
+    svm::SharedRegion Region(64 << 20);
+    auto Machine = gpusim::MachineConfig::ultrabook();
+    Runtime RT(Machine, Region);
+    RT.setFootprintPolicy(Policy);
+
+    auto BT = workloads::makeBTree();
+    ASSERT_TRUE(BT->setup(Region, 1));
+    void *Body = BT->prepareBody();
+    ASSERT_NE(Body, nullptr);
+    struct BTreeBodyBits {
+      void *Root;
+      int32_t *Queries;
+      int32_t *Results;
+    };
+    auto *BB = static_cast<BTreeBodyBits *>(Body);
+    int64_t QN = BT->itemCount();
+
+    // Allocated after setup, so the fill array sits above every BTree
+    // allocation (the region allocates monotonically upward).
+    constexpr int N = 4096;
+    auto *A = Region.allocArray<int32_t>(N);
+    auto *FillBody = Region.create<OnePtr>();
+    ASSERT_TRUE(A && FillBody);
+    FillBody->Data = A;
+
+    // Warm the JIT cache so neither task spends its in-flight window
+    // compiling while the other waits at the gate.
+    RT.kernelFootprint(runtime::KernelSpec{FillSrc, "Fill"});
+    RT.kernelFootprint(BT->kernelSpec());
+
+    std::mutex GateMutex;
+    std::condition_variable GateCv;
+    unsigned Started = 0;
+    sched::SchedulerOptions SO;
+    SO.NumWorkers = 2;
+    SO.OnTaskStart = [&](uint64_t) {
+      std::unique_lock<std::mutex> Lock(GateMutex);
+      ++Started;
+      GateCv.notify_all();
+      GateCv.wait_for(Lock, std::chrono::seconds(5),
+                      [&] { return Started >= 2; });
+    };
+    sched::Scheduler Sched(RT, SO);
+
+    sched::TaskDesc BD;
+    BD.Spec = BT->kernelSpec();
+    BD.N = QN;
+    BD.BodyPtr = Body;
+    svm::MemRange Hull = Region.poolExtent(BB->Root);
+    auto T1 = Sched.submit(
+        std::move(BD),
+        sched::AccessSet()
+            .read(reinterpret_cast<const void *>(Hull.Begin), Hull.size())
+            .readArray(BB->Queries, size_t(QN))
+            .writeArray(BB->Results, size_t(QN)));
+    auto T2 = Sched.submit(descOf(FillSrc, "Fill", N, FillBody),
+                           sched::AccessSet().writeArray(A, N));
+    Sched.drain();
+
+    const sched::TaskResult &R1 = T1.wait();
+    const sched::TaskResult &R2 = T2.wait();
+    ASSERT_TRUE(R1.Ok) << R1.Error;
+    ASSERT_TRUE(R2.Ok) << R2.Error;
+    EXPECT_EQ(Started, 2u);
+    EXPECT_EQ(Sched.stats().HazardEdges, 0u);
+    EXPECT_GE(Sched.stats().MaxTasksInFlight, 2u);
+    EXPECT_LT(R1.StartSeq, R2.EndSeq);
+    EXPECT_LT(R2.StartSeq, R1.EndSeq);
+    std::string Err;
+    EXPECT_TRUE(BT->verify(&Err)) << Err;
+    for (int I = 0; I < N; ++I)
+      ASSERT_EQ(A[I], I * 3);
+  }
+}
+
 // The bounded submission queue applies backpressure: with MaxQueued = 2,
 // the high-water mark of unfinished tasks never exceeds 2 even when many
 // independent tasks are submitted as fast as possible.

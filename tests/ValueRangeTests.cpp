@@ -310,23 +310,28 @@ TEST(GuardedRanges, LoopCarriedPhiWidens) {
 
 TEST(WorkloadRanges, GoldenRefinementFacts) {
   // Per workload: precision class of reads/writes plus the refinement
-  // counters — data-dependent entries kept root-bounded (TopDemoted) and
-  // windows narrowed by a guard clamp (WindowsClipped). A change here is
-  // a precision regression or an improvement to document.
+  // counters — data-dependent entries kept root-bounded (TopDemoted),
+  // windows narrowed by a guard clamp (WindowsClipped), and
+  // pointer-chasing accesses the points-to analysis confined to named
+  // roots (PtsDemoted/PtsRoots). A change here is a precision regression
+  // or an improvement to document. The tree/list traversals (BarnesHut,
+  // BTree, SkipList) demote from whole-region top to a finite multi-root
+  // union; Raytracer's chase goes through a hand-rolled vtable load, which
+  // points-to cannot type, so it stays top.
   struct Fact {
     std::string Read, Write;
-    unsigned Demoted, Clipped;
+    unsigned Demoted, Clipped, PtsDemoted, PtsRoots;
   };
   const std::map<std::string, Fact> Golden = {
-      {"BarnesHut", {"top", "affine", 0, 0}},
-      {"BFS", {"bounded", "bounded", 3, 0}},
-      {"BTree", {"top", "affine", 0, 0}},
-      {"ClothPhysics", {"bounded", "affine", 5, 0}},
-      {"ConnectedComponent", {"bounded", "affine", 2, 0}},
-      {"FaceDetect", {"bounded", "affine", 4, 2}},
-      {"Raytracer", {"top", "affine", 5, 5}},
-      {"SkipList", {"top", "affine", 0, 0}},
-      {"SSSP", {"bounded", "bounded", 4, 0}},
+      {"BarnesHut", {"bounded", "affine", 0, 0, 10, 2}},
+      {"BFS", {"bounded", "bounded", 3, 0, 0, 0}},
+      {"BTree", {"bounded", "affine", 0, 0, 7, 2}},
+      {"ClothPhysics", {"bounded", "affine", 5, 0, 0, 0}},
+      {"ConnectedComponent", {"bounded", "affine", 2, 0, 0, 0}},
+      {"FaceDetect", {"bounded", "affine", 4, 2, 0, 0}},
+      {"Raytracer", {"top", "affine", 5, 5, 0, 0}},
+      {"SkipList", {"bounded", "affine", 0, 0, 7, 2}},
+      {"SSSP", {"bounded", "bounded", 4, 0, 0, 0}},
   };
   auto Machine = gpusim::MachineConfig::ultrabook();
   for (auto &W : workloads::allWorkloads()) {
@@ -343,10 +348,14 @@ TEST(WorkloadRanges, GoldenRefinementFacts) {
     EXPECT_EQ(extentKindName(FP->writeClass()), It->second.Write);
     EXPECT_EQ(FP->TopDemoted, It->second.Demoted);
     EXPECT_EQ(FP->WindowsClipped, It->second.Clipped);
+    EXPECT_EQ(FP->PtsDemoted, It->second.PtsDemoted);
+    EXPECT_EQ(FP->PtsRoots, It->second.PtsRoots);
     // And the runtime aggregates them.
     runtime::RefinementStats RS = RT.refinementStats();
     EXPECT_EQ(RS.TopDemoted, It->second.Demoted);
     EXPECT_EQ(RS.WindowsClipped, It->second.Clipped);
+    EXPECT_EQ(RS.PtsDemoted, It->second.PtsDemoted);
+    EXPECT_EQ(RS.PtsRoots, It->second.PtsRoots);
   }
 }
 
