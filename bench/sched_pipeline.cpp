@@ -24,6 +24,15 @@
 // so verification passes and the hazard graph is identical whether the
 // analysis is on or off (--no-pts / CONCORD_ANALYSIS_PTS=0).
 //
+// A fourth per-frame stage writes two 4-byte fields of an 8-byte packed
+// element (out[2i], out[2i+1]) — the classic AoS field walk whose warp
+// transaction touches twice the cache lines a packed layout needs. The
+// coalescing analysis classifies both stores Strided, and the SOA layout
+// transform (on by default) stages the array as AoSoA columns, making the
+// A/B comparison observable in modelled_lines: with --no-soa the same
+// launches touch strictly more modelled L3 lines while producing
+// bit-identical buffers.
+//
 // Flags:
 //   --frames N      number of independent frames (default 6)
 //   --items N       work-items per stage (default 32768)
@@ -40,6 +49,9 @@
 //                   effect as CONCORD_ANALYSIS_PTS=0; combine with
 //                   --no-verify, since Top footprints reject the chase
 //                   stage's finite declaration
+//   --no-soa        disable the SOA layout transform (pack stages run the
+//                   AoS program as written) — same effect as
+//                   CONCORD_TRANSFORM_SOA=0
 //   --sessions N    run N concurrent client-session workers against the
 //                   object store alongside the pipeline: each worker
 //                   claims a session region, fills it with checked
@@ -178,6 +190,39 @@ struct Chase {
   static const char *kernelClassName() { return "Chase"; }
 };
 
+/// out[2i] = in[i]*k, out[2i+1] = in[i]+k — an AoS walk over packed
+/// 8-byte elements: each 4-byte store strides 8 bytes per lane, so a warp
+/// touches twice the lines a packed layout needs. The SOA transform's
+/// showcase stage.
+struct Pack {
+  float *In;
+  float *Out; ///< 2*N floats: element i = {scaled, offset}.
+  float K;
+
+  void operator()(int I) {
+    float V = In[I];
+    Out[2 * I] = V * K;
+    Out[2 * I + 1] = V + K;
+  }
+
+  static const char *kernelSource() {
+    return R"(
+      class Pack {
+      public:
+        float* in;
+        float* out;
+        float k;
+        void operator()(int i) {
+          float v = in[i];
+          out[2*i] = v * k;
+          out[2*i+1] = v + k;
+        }
+      };
+    )";
+  }
+  static const char *kernelClassName() { return "Pack"; }
+};
+
 constexpr int HistBins = 64;
 // 96 * 16 B nodes per frame: a size class no other allocation in the
 // benchmark shares, so the recorded pool hull covers exactly the frames'
@@ -196,6 +241,7 @@ struct Options {
   bool Affinity = true;
   bool Verify = true;
   bool Pts = true;
+  bool Soa = true;
   bool Quiet = false;
   std::string JsonPath;
 };
@@ -227,6 +273,9 @@ struct RunOutcome {
   std::vector<sched::TaskResult> Results;
   std::string MachineName;
   SvmSnapshot Svm;
+  /// Sum of the simulator's distinct-L3-line count over every task — the
+  /// metric the SOA A/B comparison is about.
+  uint64_t ModelledLines = 0;
 };
 
 /// A client-session worker: claim a session region, fill it with checked
@@ -300,6 +349,8 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
   std::vector<ChaseNode *> NodePools;
   std::vector<float *> ChaseOuts;
   std::vector<float> ExpectedChase;
+  std::vector<float *> PackOuts;
+  constexpr float PackK = 0.5f; // Halves keep the float math exact.
   for (int F = 0; F < Opt.Frames; ++F) {
     ChaseNode *Nodes = Region.allocArray<ChaseNode>(ChaseLen);
     if (!Nodes)
@@ -345,6 +396,11 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
     if (!COut)
       return Out;
     ChaseOuts.push_back(COut);
+    float *POut = Region.allocArray<float>(2 * size_t(Opt.Items));
+    if (!POut)
+      return Out;
+    std::memset(POut, 0, 2 * size_t(Opt.Items) * sizeof(float));
+    PackOuts.push_back(POut);
   }
 
   sched::SchedulerOptions SO;
@@ -434,6 +490,27 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
           sched::AccessSet()
               .read(reinterpret_cast<const void *>(Hull.Begin), Hull.size())
               .writeArray(ChaseOuts[size_t(F)], ChaseItems)));
+
+      // The frame's AoS pack stage: the SOA transform's target (strided
+      // stores; staged as AoSoA columns unless --no-soa).
+      auto *PackBody = Region.create<Pack>();
+      if (!PackBody)
+        return Out;
+      PackBody->In = Inputs[size_t(F)];
+      PackBody->Out = PackOuts[size_t(F)];
+      PackBody->K = PackK;
+      sched::TaskDesc PD;
+      PD.Spec = KernelSpec{Pack::kernelSource(), Pack::kernelClassName()};
+      PD.N = Opt.Items;
+      PD.BodyPtr = PackBody;
+      char PackLabel[32];
+      std::snprintf(PackLabel, sizeof(PackLabel), "frame%d/pack", F);
+      PD.Label = PackLabel;
+      Handles.push_back(Sched.submit(
+          std::move(PD),
+          sched::AccessSet()
+              .readArray(Inputs[size_t(F)], size_t(Opt.Items))
+              .writeArray(PackOuts[size_t(F)], 2 * size_t(Opt.Items))));
     }
     Sched.drain();
     Out.WallSeconds = std::chrono::duration<double>(
@@ -465,6 +542,8 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
 
   for (const sched::TaskHandle &H : Handles)
     Out.Results.push_back(H.wait());
+  for (const sched::TaskResult &R : Out.Results)
+    Out.ModelledLines += R.Report.Sim.LinesTouched;
 
   if (Print) {
     std::printf("%-16s %8s %10s %10s %10s %s\n", "task", "ok", "queue_ms",
@@ -501,6 +580,18 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
                 (unsigned long long)Out.RS.PtsDemoted,
                 (unsigned long long)Out.RS.PtsRoots,
                 (unsigned long long)Out.RS.AliasLintFindings);
+    std::printf("coalescing: %llu uniform, %llu coalesced, %llu strided, "
+                "%llu scattered; soa: %llu rewrites, %llu launches, "
+                "%llu fallbacks, %llu staged bytes; %llu modelled lines\n",
+                (unsigned long long)Out.RS.UniformAccesses,
+                (unsigned long long)Out.RS.CoalescedAccesses,
+                (unsigned long long)Out.RS.StridedAccesses,
+                (unsigned long long)Out.RS.ScatteredAccesses,
+                (unsigned long long)Out.RS.SoaRewrites,
+                (unsigned long long)Out.RS.SoaLaunches,
+                (unsigned long long)Out.RS.SoaFallbacks,
+                (unsigned long long)Out.RS.SoaStagedBytes,
+                (unsigned long long)Out.ModelledLines);
     if (Out.Svm.Store)
       std::printf("svm store: %llu regions x %llu KiB, fragmentation "
                   "%.3f, %llu o1 resets, %llu bad frees, %llu session "
@@ -555,6 +646,20 @@ RunOutcome runOnce(const Options &Opt, bool Print) {
                      double(ChaseOuts[size_t(F)][I]));
         return Out;
       }
+  for (int F = 0; F < Opt.Frames; ++F)
+    for (int I = 0; I < Opt.Items; ++I) {
+      float V = Inputs[size_t(F)][I];
+      if (PackOuts[size_t(F)][2 * I] != V * PackK ||
+          PackOuts[size_t(F)][2 * I + 1] != V + PackK) {
+        std::fprintf(stderr,
+                     "pack frame %d item %d: expected {%g, %g}, got "
+                     "{%g, %g}\n",
+                     F, I, double(V * PackK), double(V + PackK),
+                     double(PackOuts[size_t(F)][2 * I]),
+                     double(PackOuts[size_t(F)][2 * I + 1]));
+        return Out;
+      }
+    }
   if (Out.Svm.SessionFailures != 0) {
     std::fprintf(stderr, "session workers hit %llu failures\n",
                  (unsigned long long)Out.Svm.SessionFailures);
@@ -596,6 +701,8 @@ int main(int argc, char **argv) {
       Opt.Verify = false;
     else if (Arg == "--no-pts")
       Opt.Pts = false;
+    else if (Arg == "--no-soa")
+      Opt.Soa = false;
     else if (Arg == "--quiet")
       Opt.Quiet = true;
     else if (Arg == "--json" && I + 1 < argc)
@@ -610,10 +717,12 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "--frames/--items/--repeat must be positive\n");
     return 2;
   }
-  // Latch before the first compile: pointsToEnabled() reads the
-  // environment once, like CONCORD_SCHED_AFFINITY.
+  // Latch before the first compile: pointsToEnabled() and
+  // soaTransformEnabled() read the environment once.
   if (!Opt.Pts)
     setenv("CONCORD_ANALYSIS_PTS", "0", 1);
+  if (!Opt.Soa)
+    setenv("CONCORD_TRANSFORM_SOA", "0", 1);
 
   // Run the pipeline Repeat times over fresh arenas; the per-task table
   // and JSON detail come from the final run, wall-clock aggregates from
@@ -651,11 +760,13 @@ int main(int argc, char **argv) {
     std::fprintf(F,
                  "  \"frames\": %d, \"items\": %d, \"workers\": %u, "
                  "\"max_queued\": %zu, \"repeat\": %d, \"hybrid\": %s, "
-                 "\"affinity\": %s, \"verify\": %s, \"pts\": %s,\n",
+                 "\"affinity\": %s, \"verify\": %s, \"pts\": %s, "
+                 "\"soa\": %s,\n",
                  Opt.Frames, Opt.Items, Opt.Workers, Opt.MaxQueued,
                  Opt.Repeat, Opt.Hybrid ? "true" : "false",
                  Opt.Affinity ? "true" : "false",
-                 Opt.Verify ? "true" : "false", Opt.Pts ? "true" : "false");
+                 Opt.Verify ? "true" : "false", Opt.Pts ? "true" : "false",
+                 Opt.Soa ? "true" : "false");
     std::fprintf(F,
                  "  \"wall_seconds\": %.6f, \"wall_seconds_min\": %.6f, "
                  "\"wall_seconds_max\": %.6f,\n",
@@ -675,7 +786,12 @@ int main(int argc, char **argv) {
         "\"placed_cpu\": %llu, \"affinity_hits\": %llu, "
         "\"resident_bytes\": %llu, \"fetched_bytes\": %llu, "
         "\"footprint_splits\": %llu, \"pts_demoted\": %llu, "
-        "\"pts_roots\": %llu, \"alias_lint_findings\": %llu},\n",
+        "\"pts_roots\": %llu, \"alias_lint_findings\": %llu, "
+        "\"uniform_accesses\": %llu, \"coalesced_accesses\": %llu, "
+        "\"strided_accesses\": %llu, \"scattered_accesses\": %llu, "
+        "\"soa_rewrites\": %llu, \"soa_launches\": %llu, "
+        "\"soa_fallbacks\": %llu, \"soa_staged_bytes\": %llu, "
+        "\"modelled_lines\": %llu},\n",
         (unsigned long long)St.Submitted, (unsigned long long)St.Completed,
         (unsigned long long)St.Failed, (unsigned long long)St.HazardEdges,
         (unsigned long long)St.HybridLaunches, St.MaxTasksInFlight,
@@ -697,7 +813,16 @@ int main(int argc, char **argv) {
         (unsigned long long)St.FetchedBytes,
         (unsigned long long)RS.FootprintSplits,
         (unsigned long long)RS.PtsDemoted, (unsigned long long)RS.PtsRoots,
-        (unsigned long long)RS.AliasLintFindings);
+        (unsigned long long)RS.AliasLintFindings,
+        (unsigned long long)RS.UniformAccesses,
+        (unsigned long long)RS.CoalescedAccesses,
+        (unsigned long long)RS.StridedAccesses,
+        (unsigned long long)RS.ScatteredAccesses,
+        (unsigned long long)RS.SoaRewrites,
+        (unsigned long long)RS.SoaLaunches,
+        (unsigned long long)RS.SoaFallbacks,
+        (unsigned long long)RS.SoaStagedBytes,
+        (unsigned long long)Out.ModelledLines);
     const SvmSnapshot &Svm = Out.Svm;
     std::fprintf(
         F,
@@ -765,8 +890,9 @@ int main(int argc, char **argv) {
           "\"execute_seconds\": %.9g, \"start_seq\": %llu, "
           "\"end_seq\": %llu, \"hybrid\": %s, \"hybrid_split\": %lld, "
           "\"gpu_fraction\": %.4f, \"footprint_split\": %s, "
+          "\"soa_staged\": %s, "
           "\"device\": \"%s\", \"modelled_seconds\": %.9g, "
-          "\"modelled_joules\": %.9g}%s\n",
+          "\"modelled_joules\": %.9g, \"modelled_lines\": %llu}%s\n",
           (unsigned long long)R.Id, R.Label.c_str(),
           R.Ok ? "true" : "false", R.Timing.QueueSeconds,
           R.Timing.CompileSeconds, R.Timing.ExecuteSeconds,
@@ -774,10 +900,12 @@ int main(int argc, char **argv) {
           R.Report.Hybrid ? "true" : "false",
           (long long)R.Report.HybridSplit, R.Report.HybridGpuFraction,
           R.Report.FootprintSplit ? "true" : "false",
+          R.Report.SoaStaged ? "true" : "false",
           R.Report.Hybrid
               ? "hybrid"
               : (R.Report.Executed == runtime::Device::GPU ? "gpu" : "cpu"),
           R.Report.Sim.Seconds, R.Report.Sim.Joules,
+          (unsigned long long)R.Report.Sim.LinesTouched,
           I + 1 < Out.Results.size() ? "," : "");
     }
     std::fprintf(F, "  ]\n}\n");

@@ -1,0 +1,390 @@
+//===- Coalescing.cpp -----------------------------------------------------===//
+
+#include "analysis/Coalescing.h"
+
+#include "analysis/Uniformity.h"
+#include "cir/BasicBlock.h"
+#include "cir/Instruction.h"
+#include "cir/Type.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+
+namespace {
+
+/// An address offset as an affine function of the global id:
+///   G*gid + T*(gid >> log2 W) + L*(gid & (W-1)) + C   (bytes).
+struct Affine4 {
+  int64_t G = 0;
+  int64_t T = 0;
+  int64_t L = 0;
+  int64_t C = 0;
+
+  Affine4 operator+(const Affine4 &O) const {
+    return {G + O.G, T + O.T, L + O.L, C + O.C};
+  }
+  Affine4 operator-(const Affine4 &O) const {
+    return {G - O.G, T - O.T, L - O.L, C - O.C};
+  }
+  Affine4 scaled(int64_t K) const { return {G * K, T * K, L * K, C * K}; }
+  bool isConst() const { return G == 0 && T == 0 && L == 0; }
+};
+
+/// Matches integer expressions affine in the global id, including the
+/// AoSoA tile/lane decomposition `gid >> log2 W` and `gid & (W-1)` that
+/// the SoaLayout transform emits. Anything else is non-affine.
+bool affineId(const Value *V, unsigned SimdWidth, Affine4 &Out,
+              unsigned Depth = 0) {
+  if (Depth > 64)
+    return false;
+  if (const auto *C = dyn_cast<ConstantInt>(V)) {
+    Out = {0, 0, 0, C->sext()};
+    return true;
+  }
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return false;
+  switch (I->opcode()) {
+  case Opcode::GlobalId:
+    Out = {1, 0, 0, 0};
+    return true;
+  case Opcode::Cast:
+    switch (I->castKind()) {
+    case CastKind::Trunc:
+    case CastKind::SExt:
+    case CastKind::ZExt:
+      return affineId(I->operand(0), SimdWidth, Out, Depth + 1);
+    default:
+      return false;
+    }
+  case Opcode::Add:
+  case Opcode::Sub: {
+    Affine4 L, R;
+    if (!affineId(I->operand(0), SimdWidth, L, Depth + 1) ||
+        !affineId(I->operand(1), SimdWidth, R, Depth + 1))
+      return false;
+    Out = I->opcode() == Opcode::Add ? L + R : L - R;
+    return true;
+  }
+  case Opcode::Mul: {
+    Affine4 L, R;
+    if (!affineId(I->operand(0), SimdWidth, L, Depth + 1) ||
+        !affineId(I->operand(1), SimdWidth, R, Depth + 1))
+      return false;
+    if (L.isConst())
+      Out = R.scaled(L.C);
+    else if (R.isConst())
+      Out = L.scaled(R.C);
+    else
+      return false;
+    return true;
+  }
+  case Opcode::Shl: {
+    Affine4 L;
+    const auto *Sh = dyn_cast<ConstantInt>(I->operand(1));
+    if (!Sh || Sh->zext() > 62 ||
+        !affineId(I->operand(0), SimdWidth, L, Depth + 1))
+      return false;
+    Out = L.scaled(int64_t(1) << Sh->zext());
+    return true;
+  }
+  case Opcode::LShr:
+  case Opcode::AShr: {
+    // Only the warp-tile split of the id itself: gid >> log2 W.
+    Affine4 L;
+    const auto *Sh = dyn_cast<ConstantInt>(I->operand(1));
+    if (!Sh || !affineId(I->operand(0), SimdWidth, L, Depth + 1))
+      return false;
+    if (L.isConst() && L.C >= 0 && Sh->zext() <= 62) {
+      Out = {0, 0, 0, L.C >> Sh->zext()};
+      return true;
+    }
+    if (L.G == 1 && L.T == 0 && L.L == 0 && L.C == 0 &&
+        (uint64_t(1) << Sh->zext()) == SimdWidth) {
+      Out = {0, 1, 0, 0};
+      return true;
+    }
+    return false;
+  }
+  case Opcode::And: {
+    // Only the warp-lane split of the id itself: gid & (W-1).
+    Affine4 L, R;
+    if (!affineId(I->operand(0), SimdWidth, L, Depth + 1) ||
+        !affineId(I->operand(1), SimdWidth, R, Depth + 1))
+      return false;
+    if (L.isConst() && R.isConst()) {
+      Out = {0, 0, 0, L.C & R.C};
+      return true;
+    }
+    const Affine4 *Id = L.isConst() ? &R : &L;
+    const Affine4 *Mask = L.isConst() ? &L : &R;
+    if (!Mask->isConst())
+      return false;
+    if (Id->G == 1 && Id->T == 0 && Id->L == 0 && Id->C == 0 &&
+        uint64_t(Mask->C) == uint64_t(SimdWidth) - 1) {
+      Out = {0, 0, 1, 0};
+      return true;
+    }
+    return false;
+  }
+  default:
+    return false;
+  }
+}
+
+/// A resolved address: which allocation it is rooted at and how the byte
+/// offset past that root varies with the global id. The same walk as the
+/// footprint resolver, minus the flow-sensitive intervals.
+struct AAddr {
+  enum Kind { Private, Root, Unknown } K = Unknown;
+  std::vector<int64_t> Path; ///< Pointer-load offsets from the body.
+  Affine4 Off;
+  bool AffineOK = true;
+};
+
+AAddr resolveAddr(const Value *V, unsigned SimdWidth, unsigned Depth = 0) {
+  AAddr R;
+  if (Depth > 128) {
+    R.AffineOK = false;
+    return R;
+  }
+  if (const auto *A = dyn_cast<Argument>(V)) {
+    if (A->index() == 0)
+      R.K = AAddr::Root;
+    return R;
+  }
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return R;
+  switch (I->opcode()) {
+  case Opcode::Alloca:
+    R.K = AAddr::Private;
+    return R;
+  case Opcode::Cast:
+  case Opcode::CpuToGpu:
+  case Opcode::GpuToCpu:
+    return resolveAddr(I->operand(0), SimdWidth, Depth + 1);
+  case Opcode::FieldAddr: {
+    AAddr Base = resolveAddr(I->operand(0), SimdWidth, Depth + 1);
+    if (Base.K == AAddr::Root)
+      Base.Off.C += int64_t(I->attr());
+    return Base;
+  }
+  case Opcode::IndexAddr: {
+    AAddr Base = resolveAddr(I->operand(0), SimdWidth, Depth + 1);
+    if (Base.K != AAddr::Root)
+      return Base;
+    const auto *PT = dyn_cast<PointerType>(I->type());
+    int64_t Elem = PT ? int64_t(PT->pointee()->sizeInBytes()) : 0;
+    Affine4 Ix;
+    if (Elem <= 0 || !affineId(I->operand(1), SimdWidth, Ix)) {
+      Base.AffineOK = false;
+      return Base;
+    }
+    Base.Off = Base.Off + Ix.scaled(Elem);
+    return Base;
+  }
+  case Opcode::Load: {
+    // A pointer fetched from memory: body-rooted and id-invariant means
+    // one well-identified allocation shared by the warp; extend the root
+    // path. Anything else is an unknown base.
+    AAddr From = resolveAddr(I->operand(0), SimdWidth, Depth + 1);
+    AAddr R2;
+    if (From.K == AAddr::Root && From.AffineOK && From.Off.isConst()) {
+      R2.K = AAddr::Root;
+      R2.Path = From.Path;
+      R2.Path.push_back(From.Off.C);
+    }
+    return R2;
+  }
+  default:
+    return R;
+  }
+}
+
+unsigned ceilDiv(uint64_t A, uint64_t B) { return unsigned((A + B - 1) / B); }
+
+} // namespace
+
+const char *concord::analysis::accessPatternName(AccessPattern P) {
+  switch (P) {
+  case AccessPattern::Uniform:
+    return "uniform";
+  case AccessPattern::Coalesced:
+    return "coalesced";
+  case AccessPattern::Strided:
+    return "strided";
+  case AccessPattern::Scattered:
+    return "scattered";
+  }
+  return "?";
+}
+
+std::string CoalescingAccess::describe() const {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "%s %s %ub stride %+lldb x%.2f at %s",
+                Write ? "store" : "load", accessPatternName(Pattern),
+                unsigned(AccessBytes), (long long)StrideBytes, Amplification,
+                Loc.str().c_str());
+  return Buf;
+}
+
+AccessPattern KernelCoalescing::worst() const {
+  AccessPattern W = AccessPattern::Uniform;
+  for (const CoalescingAccess &A : Accesses)
+    W = std::max(W, A.Pattern);
+  return W;
+}
+
+double KernelCoalescing::amplification() const {
+  if (IdealLines == 0)
+    return 1.0;
+  return double(ModelledLines) / double(IdealLines);
+}
+
+std::string KernelCoalescing::summary() const {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%s u%u c%u s%u x%u amp%.2f",
+                accessPatternName(worst()), UniformCount, CoalescedCount,
+                StridedCount, ScatteredCount, amplification());
+  return Buf;
+}
+
+KernelCoalescing concord::analysis::computeCoalescing(Function &F,
+                                                      unsigned SimdWidth,
+                                                      unsigned LineBytes) {
+  KernelCoalescing KC;
+  KC.SimdWidth = SimdWidth;
+  KC.LineBytes = LineBytes;
+  UniformityAnalysis UA(F);
+
+  auto Classify = [&](Instruction *I, const Value *AddrV, bool Write,
+                      uint64_t Bytes) {
+    AAddr A = resolveAddr(AddrV, SimdWidth);
+    if (A.K == AAddr::Private)
+      return; // Per-work-item memory never shares a warp transaction.
+    if (Bytes == 0)
+      return;
+    CoalescingAccess CA;
+    CA.At = I;
+    CA.Loc = I->loc();
+    CA.Write = Write;
+    CA.AccessBytes = Bytes;
+    CA.RootKnown = A.K == AAddr::Root;
+    CA.RootPath = A.Path;
+    const unsigned W = SimdWidth, L = LineBytes;
+    const unsigned LinesPerLane = std::max(1u, ceilDiv(Bytes, L));
+    CA.IdealLines = std::max(1u, ceilDiv(uint64_t(W) * Bytes, L));
+    if (A.K == AAddr::Root && A.AffineOK) {
+      CA.Affine = true;
+      CA.GidBytes = A.Off.G;
+      CA.TileBytes = A.Off.T;
+      CA.LaneBytes = A.Off.L;
+      CA.ConstOff = A.Off.C;
+      // Within one aligned warp the tile index (gid >> log2 W) is
+      // constant, so lanes step by the gid and lane coefficients only.
+      CA.StrideBytes = A.Off.G + A.Off.L;
+      const uint64_t AbsStride =
+          CA.StrideBytes < 0 ? uint64_t(-CA.StrideBytes)
+                             : uint64_t(CA.StrideBytes);
+      if (CA.StrideBytes == 0) {
+        CA.Pattern = AccessPattern::Uniform;
+        CA.ModelledLines = LinesPerLane;
+      } else if (AbsStride == Bytes) {
+        CA.Pattern = AccessPattern::Coalesced;
+        CA.ModelledLines = std::min(
+            uint64_t(W) * LinesPerLane,
+            uint64_t(ceilDiv(AbsStride * (W - 1) + Bytes, L)));
+      } else {
+        CA.Pattern = AccessPattern::Strided;
+        CA.ModelledLines = std::min(
+            uint64_t(W) * LinesPerLane,
+            uint64_t(ceilDiv(AbsStride * (W - 1) + Bytes, L)));
+      }
+    } else if (UA.isUniform(AddrV)) {
+      // Non-affine but provably warp-invariant (e.g. a pointer loaded
+      // from a shared slot): one transaction serves the whole warp.
+      CA.Pattern = AccessPattern::Uniform;
+      CA.ModelledLines = LinesPerLane;
+    } else {
+      CA.Pattern = AccessPattern::Scattered;
+      CA.ModelledLines = W * LinesPerLane;
+    }
+    CA.Amplification = double(CA.ModelledLines) / double(CA.IdealLines);
+    switch (CA.Pattern) {
+    case AccessPattern::Uniform:
+      ++KC.UniformCount;
+      break;
+    case AccessPattern::Coalesced:
+      ++KC.CoalescedCount;
+      break;
+    case AccessPattern::Strided:
+      ++KC.StridedCount;
+      break;
+    case AccessPattern::Scattered:
+      ++KC.ScatteredCount;
+      break;
+    }
+    KC.ModelledLines += CA.ModelledLines;
+    KC.IdealLines += CA.IdealLines;
+    KC.Accesses.push_back(std::move(CA));
+  };
+
+  for (BasicBlock *BB : F) {
+    for (Instruction *I : *BB) {
+      switch (I->opcode()) {
+      case Opcode::Load:
+        Classify(I, I->pointerOperand(), false, I->accessBytes());
+        break;
+      case Opcode::Store:
+        Classify(I, I->pointerOperand(), true, I->accessBytes());
+        break;
+      case Opcode::Memcpy:
+        Classify(I, I->operand(0), true, I->accessBytes());
+        Classify(I, I->operand(1), false, I->accessBytes());
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return KC;
+}
+
+std::vector<CoalescingFinding>
+concord::analysis::lintUncoalesced(Function &F, unsigned SimdWidth,
+                                   unsigned LineBytes,
+                                   double MinAmplification) {
+  std::vector<CoalescingFinding> Out;
+  KernelCoalescing KC = computeCoalescing(F, SimdWidth, LineBytes);
+  for (const CoalescingAccess &A : KC.Accesses) {
+    // Only strided AoS walks: a layout change fixes those. Scattered
+    // pointer chases have no static stride to repack, and coalesced /
+    // uniform accesses are already minimal.
+    if (A.Pattern != AccessPattern::Strided || !A.RootKnown)
+      continue;
+    if (A.Amplification < MinAmplification)
+      continue;
+    CoalescingFinding Fd;
+    Fd.At = A.At;
+    Fd.Loc = A.Loc;
+    char Buf[256];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "uncoalesced %s: %u-byte access strides %lld bytes per lane across "
+        "a %u-wide warp; one warp touches %u cache lines where a packed "
+        "layout needs %u (x%.2f amplification) — consider an SOA layout "
+        "for this field",
+        A.Write ? "store" : "load", unsigned(A.AccessBytes),
+        (long long)A.StrideBytes, SimdWidth, A.ModelledLines, A.IdealLines,
+        A.Amplification);
+    Fd.Message = Buf;
+    Out.push_back(std::move(Fd));
+  }
+  return Out;
+}

@@ -1,0 +1,134 @@
+//===- Coalescing.h - Warp-level memory coalescing analysis -----*- C++ -*-===//
+///
+/// \file
+/// Classifies every load/store of a kernel by how its address varies
+/// across the lanes of one SIMD warp, on the lattice
+///
+///     Uniform < Coalesced < Strided(k) < Scattered
+///
+/// The simulator forms warps from SimdWidth *consecutive* global ids, so
+/// an address is modelled per-warp as an affine function of the id:
+///
+///     addr(gid) = root + G*gid + T*(gid >> log2 W) + L*(gid & (W-1)) + C
+///
+/// The tile (`T`) and lane (`L`) terms exist so the structure-of-arrays
+/// layout produced by transforms/SoaLayout — whose addresses are exactly
+/// of that AoSoA shape — classifies as Coalesced instead of falling to
+/// Scattered. Within an aligned warp the tile index is constant, so the
+/// per-lane byte stride is `G + L`:
+///
+///   * Uniform     stride 0 (or the uniformity analysis proves the whole
+///                 address value warp-invariant, e.g. a pointer loaded
+///                 from a body slot)
+///   * Coalesced   |stride| == access size: lanes touch adjacent bytes
+///   * Strided(k)  |stride| == k * access size, k > 1 — the classic AoS
+///                 field walk; k is the element stride in units of the
+///                 access
+///   * Scattered   address not affine in the id (pointer chase, data-
+///                 dependent index)
+///
+/// For each access the analysis also models the cache lines one warp's
+/// transaction touches against the gpusim line size, giving a
+/// transaction-amplification estimate (modelled / ideal lines); kernels
+/// aggregate these into per-kernel totals consumed by the uncoalesced
+/// lint, the SoaLayout transform, Runtime::refinementStats, and the
+/// sched_pipeline bench JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_ANALYSIS_COALESCING_H
+#define CONCORD_ANALYSIS_COALESCING_H
+
+#include "cir/Function.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace analysis {
+
+enum class AccessPattern : uint8_t {
+  Uniform = 0,
+  Coalesced = 1,
+  Strided = 2,
+  Scattered = 3,
+};
+
+const char *accessPatternName(AccessPattern P);
+
+/// One classified memory access.
+struct CoalescingAccess {
+  const cir::Instruction *At = nullptr;
+  SourceLoc Loc;
+  bool Write = false;
+  AccessPattern Pattern = AccessPattern::Scattered;
+  /// Address is affine in the id (G/T/L/C below are meaningful).
+  bool Affine = false;
+  int64_t GidBytes = 0;    ///< G: bytes per unit global id.
+  int64_t TileBytes = 0;   ///< T: bytes per unit (gid >> log2 W).
+  int64_t LaneBytes = 0;   ///< L: bytes per unit (gid & (W-1)).
+  int64_t ConstOff = 0;    ///< C: constant byte offset past the root.
+  int64_t StrideBytes = 0; ///< Per-lane byte stride within a warp (G + L).
+  uint64_t AccessBytes = 0;
+  /// Base disambiguation (same walk as the footprint analysis): true when
+  /// the address is rooted at the kernel body object, with RootPath the
+  /// chain of pointer-load offsets from it.
+  bool RootKnown = false;
+  std::vector<int64_t> RootPath;
+  /// Cache lines one full warp's transaction is modelled to touch, and
+  /// the minimum a perfectly packed layout would need.
+  unsigned ModelledLines = 0;
+  unsigned IdealLines = 0;
+  /// ModelledLines / IdealLines.
+  double Amplification = 1.0;
+
+  std::string describe() const;
+};
+
+/// Per-kernel coalescing summary.
+struct KernelCoalescing {
+  unsigned SimdWidth = 0;
+  unsigned LineBytes = 0;
+  std::vector<CoalescingAccess> Accesses;
+  unsigned UniformCount = 0;
+  unsigned CoalescedCount = 0;
+  unsigned StridedCount = 0;
+  unsigned ScatteredCount = 0;
+  /// Sums of the per-access line models (one warp each).
+  uint64_t ModelledLines = 0;
+  uint64_t IdealLines = 0;
+
+  /// Worst-case pattern over all accesses (the kernel's verdict).
+  AccessPattern worst() const;
+  /// ModelledLines / IdealLines over the whole kernel.
+  double amplification() const;
+  /// Compact golden form, e.g. "coalesced 5/0/1/0 x1.00".
+  std::string summary() const;
+};
+
+/// Classifies every load/store/memcpy of \p F. Defaults match the gpusim
+/// ultrabook GPU: 16-wide SIMD, 64-byte L3 lines. Accesses to private
+/// (per-work-item alloca) memory are skipped.
+KernelCoalescing computeCoalescing(cir::Function &F, unsigned SimdWidth = 16,
+                                   unsigned LineBytes = 64);
+
+/// One uncoalesced-access lint finding.
+struct CoalescingFinding {
+  const cir::Instruction *At = nullptr;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Flags strided AoS field accesses: body-rooted affine accesses whose
+/// warp transaction is modelled at >= MinAmplification times the packed
+/// ideal. Scattered pointer chases are not flagged (no layout fix would
+/// help them); uniform and coalesced accesses never fire.
+std::vector<CoalescingFinding>
+lintUncoalesced(cir::Function &F, unsigned SimdWidth = 16,
+                unsigned LineBytes = 64, double MinAmplification = 2.0);
+
+} // namespace analysis
+} // namespace concord
+
+#endif // CONCORD_ANALYSIS_COALESCING_H

@@ -6,6 +6,7 @@
 #include "cir/Function.h"
 #include "cir/Instruction.h"
 #include "cir/Module.h"
+#include "support/Env.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -37,11 +38,7 @@ std::string pathStr(const std::vector<int64_t> &Path) {
 } // namespace
 
 bool concord::analysis::pointsToEnabled() {
-  static const bool Enabled = [] {
-    const char *E = std::getenv("CONCORD_ANALYSIS_PTS");
-    return !(E && E[0] == '0' && E[1] == '\0');
-  }();
-  return Enabled;
+  return support::env::pointsToEnabled();
 }
 
 std::string PtsObject::str() const {

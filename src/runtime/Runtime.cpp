@@ -2,11 +2,13 @@
 
 #include "runtime/Runtime.h"
 
+#include "analysis/Coalescing.h"
 #include "analysis/Commutativity.h"
 #include "analysis/Footprint.h"
 #include "analysis/PointsTo.h"
 #include "codegen/CodeGen.h"
 #include "frontend/Compile.h"
+#include "support/Env.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -43,6 +45,7 @@ uint64_t optionsFingerprint(const transforms::PipelineOptions &O) {
   F = F * 131 + O.RunStaticChecks;
   F = F * 131 + O.ReportFootprintHazards;
   F = F * 131 + O.RelaxedFPReduction;
+  F = F * 131 + O.EnableSoaLayout;
   return F;
 }
 
@@ -67,6 +70,14 @@ struct Runtime::CachedProgram {
   analysis::KernelFootprint Footprint;
   /// Accumulate-only proof over the same post-pipeline IR.
   analysis::CommutativityInfo Commut;
+  /// The SOA-transformed sibling program (transforms/SoaLayout) and its
+  /// staging plan, from a second compile with EnableSoaLayout. Only set
+  /// for GPU parallel-for entries whose rewrite found an eligible root;
+  /// the base Program above stays the fallback (and the source of every
+  /// scheduling analysis, so placement is layout-independent).
+  bool HasSoa = false;
+  codegen::KernelProgram SoaProgram;
+  transforms::SoaKernelPlan SoaPlan;
 };
 
 struct Runtime::Impl {
@@ -125,6 +136,17 @@ struct Runtime::Impl {
   std::atomic<uint64_t> FetchedBytes{0};
   std::atomic<uint64_t> AffinityHits{0};
   std::atomic<uint64_t> FootprintSplits{0};
+
+  /// Coalescing classification (once per compiled GPU parallel-for cache
+  /// entry) and SOA staging counters (per launch).
+  std::atomic<uint64_t> UniformAccesses{0};
+  std::atomic<uint64_t> CoalescedAccesses{0};
+  std::atomic<uint64_t> StridedAccesses{0};
+  std::atomic<uint64_t> ScatteredAccesses{0};
+  std::atomic<uint64_t> SoaRewrites{0};
+  std::atomic<uint64_t> SoaLaunches{0};
+  std::atomic<uint64_t> SoaFallbacks{0};
+  std::atomic<uint64_t> SoaStagedBytes{0};
 
   /// Profile-guided GPU fraction for a kernel; InitialGpuFraction until
   /// the first hybrid launch has recorded throughput history.
@@ -306,9 +328,52 @@ compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
         analysis::computeCommutativity(*KF, Opts.RelaxedFPReduction);
     Impl.AccumWindows += CP->Commut.Windows.size();
     Impl.AccumRejections += CP->Commut.Rejections.size();
+    if (Dev == Device::GPU && Kind == Construct::ParallelFor) {
+      analysis::KernelCoalescing KC = analysis::computeCoalescing(*KF);
+      Impl.UniformAccesses += KC.UniformCount;
+      Impl.CoalescedAccesses += KC.CoalescedCount;
+      Impl.StridedAccesses += KC.StridedCount;
+      Impl.ScatteredAccesses += KC.ScatteredCount;
+    }
   }
   CP->Program = std::move(CG.Program);
   CP->Diagnostics = Diags.str();
+
+  // Coalescing-driven SOA sibling: compile the spec a second time with the
+  // AoSoA rewrite enabled. Only kernels whose rewrite produced an active
+  // staging plan keep the sibling; everything else (and every analysis
+  // consumer — footprint, commutativity, scheduling) continues to see the
+  // base program, so the transform cannot perturb placement decisions.
+  // CONCORD_TRANSFORM_SOA=0 disables the attempt entirely.
+  if (Dev == Device::GPU && Kind == Construct::ParallelFor &&
+      !Opts.EnableSoaLayout && support::env::soaTransformEnabled() &&
+      CP->Footprint.Analyzed) {
+    DiagnosticEngine SDiags;
+    auto SM = frontend::compileProgram(Spec.Source, Spec.BodyClass, SDiags);
+    if (SM && frontend::createKernelEntry(*SM, Spec.BodyClass, SDiags) &&
+        !SDiags.hasUnsupportedFeature()) {
+      transforms::PipelineOptions SOpts = Opts;
+      SOpts.EnableSoaLayout = true;
+      transforms::PipelineStats SStats;
+      transforms::SoaModulePlans Plans;
+      std::string SErr;
+      if (transforms::runPipeline(*SM, SOpts, SStats, &SErr, &SDiags,
+                                  &Plans) &&
+          !SDiags.hasUnsupportedFeature()) {
+        auto PlanIt = Plans.find(CP->KernelName);
+        if (PlanIt != Plans.end() && PlanIt->second.active()) {
+          codegen::CodeGenResult SCG = codegen::compileModule(*SM);
+          if (SCG.ok() && SCG.Program.findKernel(CP->KernelName)) {
+            CP->SoaProgram = std::move(SCG.Program);
+            CP->SoaPlan = std::move(PlanIt->second);
+            CP->HasSoa = true;
+            CP->Stats.SoaRewrites = SStats.SoaRewrites;
+            Impl.SoaRewrites += SStats.SoaRewrites;
+          }
+        }
+      }
+    }
+  }
   CP->CompileSeconds = secondsSince(T0);
 
   // Materialize the vtables in the shared region once per spec.
@@ -330,6 +395,196 @@ compileCached(Runtime::Impl &Impl, svm::SharedRegion &Region,
   auto *Raw = CP.get();
   Programs.emplace(Key, std::move(CP));
   return Raw;
+}
+
+//===--- SOA slab staging (transforms/SoaLayout.h protocol) ---------------===//
+
+namespace {
+
+/// In-flight AoSoA staging of one launch: one column slab per rewritten
+/// root plus the body copy whose root slots were patched to the virtual
+/// slab bases.
+struct SoaStage {
+  struct Root {
+    const transforms::SoaRootPlan *Plan = nullptr;
+    char *Src = nullptr;  ///< AoS array base (original allocation).
+    char *Slab = nullptr; ///< Column slab covering the launch's tiles.
+    int64_t T0 = 0;       ///< First tile index staged.
+  };
+  std::vector<Root> Roots;
+  char *BodyCopy = nullptr;
+  unsigned SimdWidth = 16;
+  int64_t Base = 0, Count = 0;
+  bool Active = false;
+};
+
+void soaRelease(svm::SharedRegion &Region, SoaStage &St) {
+  for (SoaStage::Root &R : St.Roots)
+    Region.deallocate(R.Slab);
+  Region.deallocate(St.BodyCopy);
+  St.Roots.clear();
+  St.BodyCopy = nullptr;
+  St.Active = false;
+}
+
+} // namespace
+
+/// Stages the SOA slabs for a launch of items [Base, Base+Count): gathers
+/// every planned field column, clones the body object, and patches the
+/// clone's root slots to the virtual slab bases (slab - T0*tileBytes, so
+/// the kernel's absolute-tile addressing lands in the slab). Returns false
+/// — leaving nothing allocated — when a runtime precondition fails: an
+/// unresolvable or too-short source allocation, overlapping planned
+/// sources, or a footprint access outside the plan overlapping a staged
+/// window (it would see stale AoS bytes or miss a staged write). The
+/// caller then runs the base program; results are bit-identical either
+/// way, staging only changes the modelled access pattern.
+static bool soaPrepare(Runtime::Impl &Impl, svm::SharedRegion &Region,
+                       const Runtime::CachedProgram *CP, void *BodyPtr,
+                       int64_t Base, int64_t Count, SoaStage &St) {
+  if (!CP->HasSoa || Count <= 0 || Base < 0 || !CP->Footprint.Analyzed)
+    return false;
+  const transforms::SoaKernelPlan &Plan = CP->SoaPlan;
+  const int64_t W = Plan.SimdWidth;
+  if (W <= 0)
+    return false;
+
+  svm::MemRange BodyExt = Region.allocationExtent(BodyPtr);
+  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
+  if (BodyExt.empty() || BodyAddr < BodyExt.Begin ||
+      BodyAddr >= BodyExt.End)
+    return false;
+  size_t CopyBytes = size_t(BodyExt.End - BodyAddr);
+
+  // Resolve every planned root's source window for this launch and check
+  // it stays inside its own live allocation.
+  struct SrcWin {
+    char *Arr;
+    uint64_t Lo, Hi;
+  };
+  std::vector<SrcWin> Srcs;
+  for (const transforms::SoaRootPlan &RP : Plan.Roots) {
+    if (RP.BodySlotOff < 0 ||
+        uint64_t(RP.BodySlotOff) + sizeof(char *) > CopyBytes)
+      return false;
+    char *Arr = nullptr;
+    std::memcpy(&Arr, static_cast<char *>(BodyPtr) + RP.BodySlotOff,
+                sizeof(char *));
+    if (!Arr || !Region.contains(Arr))
+      return false;
+    uint64_t Lo = reinterpret_cast<uint64_t>(Arr) +
+                  uint64_t(Base) * uint64_t(RP.Stride);
+    uint64_t Hi = reinterpret_cast<uint64_t>(Arr) +
+                  uint64_t(Base + Count) * uint64_t(RP.Stride);
+    svm::MemRange Ext = Region.allocationExtent(Arr);
+    if (Ext.empty() || Lo < Ext.Begin || Hi > Ext.End)
+      return false;
+    Srcs.push_back({Arr, Lo, Hi});
+  }
+  // Two slots holding overlapping arrays would stage the same bytes into
+  // two slabs and writes could diverge between them.
+  for (size_t I = 0; I < Srcs.size(); ++I)
+    for (size_t J = I + 1; J < Srcs.size(); ++J)
+      if (Srcs[I].Lo < Srcs[J].Hi && Srcs[J].Lo < Srcs[I].Hi)
+        return false;
+
+  // Any footprint access *outside* the plan overlapping a staged window
+  // aliases bytes the kernel now sees only through the slab. The planned
+  // accesses themselves concretize inside the windows by construction
+  // (affine, stride S, segment within the element).
+  std::vector<analysis::ConcreteAccess> Accesses =
+      analysis::concretizeFootprint(
+          CP->Footprint, BodyPtr, Base, Count, Region.range(),
+          [&Region](const void *Ptr) {
+            return Region.allocationExtent(Ptr);
+          },
+          [&Region](const void *Ptr) { return Region.poolExtent(Ptr); });
+  for (const analysis::ConcreteAccess &A : Accesses) {
+    bool Planned =
+        A.RootKnown && !A.Pool && A.RootPath.size() == 1 &&
+        std::any_of(Plan.Roots.begin(), Plan.Roots.end(),
+                    [&](const transforms::SoaRootPlan &RP) {
+                      return RP.BodySlotOff == A.RootPath[0];
+                    });
+    if (Planned)
+      continue;
+    for (const SrcWin &S : Srcs)
+      if (A.Range.Begin < S.Hi && S.Lo < A.Range.End)
+        return false;
+  }
+
+  // Clone the body: the kernel reads the patched slots from the clone
+  // while the original object stays untouched for the host (and for any
+  // concurrent launch running the base program).
+  St.BodyCopy = static_cast<char *>(Region.allocateShadow(CopyBytes, 64));
+  if (!St.BodyCopy)
+    return false;
+  std::memcpy(St.BodyCopy, BodyPtr, CopyBytes);
+  St.SimdWidth = unsigned(W);
+  St.Base = Base;
+  St.Count = Count;
+
+  uint64_t Staged = 0;
+  for (size_t R = 0; R < Plan.Roots.size(); ++R) {
+    const transforms::SoaRootPlan &RP = Plan.Roots[R];
+    const uint64_t Tile = RP.tileBytes(unsigned(W));
+    int64_t T0 = Base / W;
+    int64_t T1 = (Base + Count - 1) / W;
+    char *Slab = static_cast<char *>(
+        Region.allocateShadow(size_t(T1 - T0 + 1) * Tile, 64));
+    if (!Slab) {
+      soaRelease(Region, St);
+      return false;
+    }
+    St.Roots.push_back({&RP, Srcs[R].Arr, Slab, T0});
+    for (const transforms::SoaFieldSeg &Seg : RP.Segs) {
+      for (int64_t Gid = Base; Gid < Base + Count; ++Gid)
+        std::memcpy(Slab + size_t(Gid / W - T0) * Tile +
+                        size_t(Seg.Off) * size_t(W) +
+                        size_t(Gid % W) * Seg.Bytes,
+                    Srcs[R].Arr + size_t(Gid) * size_t(RP.Stride) +
+                        Seg.Off,
+                    Seg.Bytes);
+      Staged += uint64_t(Count) * Seg.Bytes;
+    }
+    uint64_t Virtual =
+        reinterpret_cast<uint64_t>(Slab) - uint64_t(T0) * Tile;
+    std::memcpy(St.BodyCopy + RP.BodySlotOff, &Virtual, sizeof(uint64_t));
+  }
+  Impl.SoaStagedBytes += Staged;
+  ++Impl.SoaLaunches;
+  St.Active = true;
+  return true;
+}
+
+/// Scatters written columns back to the AoS arrays (only when the launch
+/// succeeded) and releases the slabs and the body copy. No-op when
+/// nothing was staged.
+static void soaFinish(Runtime::Impl &Impl, svm::SharedRegion &Region,
+                      SoaStage &St, bool WriteBack) {
+  if (!St.Active)
+    return;
+  const int64_t W = St.SimdWidth;
+  if (WriteBack) {
+    uint64_t Staged = 0;
+    for (const SoaStage::Root &R : St.Roots) {
+      const transforms::SoaRootPlan &RP = *R.Plan;
+      const uint64_t Tile = RP.tileBytes(unsigned(W));
+      for (const transforms::SoaFieldSeg &Seg : RP.Segs) {
+        if (!Seg.Written)
+          continue;
+        for (int64_t Gid = St.Base; Gid < St.Base + St.Count; ++Gid)
+          std::memcpy(R.Src + size_t(Gid) * size_t(RP.Stride) + Seg.Off,
+                      R.Slab + size_t(Gid / W - R.T0) * Tile +
+                          size_t(Seg.Off) * size_t(W) +
+                          size_t(Gid % W) * Seg.Bytes,
+                      Seg.Bytes);
+        Staged += uint64_t(St.Count) * Seg.Bytes;
+      }
+    }
+    Impl.SoaStagedBytes += Staged;
+  }
+  soaRelease(Region, St);
 }
 
 void Runtime::setExecMode(ExecMode Mode) { P->Mode = Mode; }
@@ -384,11 +639,28 @@ LaunchReport Runtime::offloadRange(const KernelSpec &Spec, int64_t Base,
   svm::BindingTable &BT = OnCpu ? P->CpuBindings : P->GpuBindings;
   uint64_t SvmConst = OnCpu ? 0 : Region.svmConst();
 
+  // SOA sibling: stage the slabs and run the transformed program against
+  // the patched body copy; fall back to the base program when the runtime
+  // safety checks reject staging.
+  const codegen::BKernel *RunK = K;
+  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
+  SoaStage Soa;
+  if (!OnCpu && CP->HasSoa && support::env::soaTransformEnabled()) {
+    if (soaPrepare(*P, Region, CP, BodyPtr, Base, Count, Soa)) {
+      RunK = CP->SoaProgram.findKernel(CP->KernelName);
+      BodyAddr = reinterpret_cast<uint64_t>(Soa.BodyCopy);
+      Rep.SoaStaged = true;
+    } else {
+      ++P->SoaFallbacks;
+    }
+  }
+
   Region.pin();
   gpusim::Simulator Sim(Dev, BT, SvmConst, P->SimOpts);
-  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
-  Rep.Sim = Sim.runRange(*K, {BodyAddr}, uint64_t(Base), uint64_t(Count));
+  Rep.Sim = Sim.runRange(*RunK, {BodyAddr}, uint64_t(Base),
+                         uint64_t(Count));
   Region.unpin();
+  soaFinish(*P, Region, Soa, /*WriteBack=*/Rep.Sim.ok());
 
   Rep.Ok = Rep.Sim.ok();
   if (!Rep.Ok)
@@ -574,29 +846,45 @@ LaunchReport Runtime::offloadHybrid(const KernelSpec &Spec, int64_t N,
   // same binding table, so every work-item runs an identical instruction
   // stream no matter which device model hosts it; only the timing/energy
   // model differs. The NumCores op is pinned to the GPU's core count so
-  // id-dependent codegen (the L3 stagger rotation) also matches.
+  // id-dependent codegen (the L3 stagger rotation) also matches. SOA
+  // staging covers the full range [0, N) once; both partitions then
+  // address disjoint columns of the same slab (the base kernel is
+  // schedule-free, and the column mapping is a bijection per item).
+  const codegen::BKernel *RunK = GK;
+  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
+  SoaStage Soa;
+  if (GpuCP->HasSoa && support::env::soaTransformEnabled()) {
+    if (soaPrepare(*P, Region, GpuCP, BodyPtr, 0, N, Soa)) {
+      RunK = GpuCP->SoaProgram.findKernel(GpuCP->KernelName);
+      BodyAddr = reinterpret_cast<uint64_t>(Soa.BodyCopy);
+      Rep.SoaStaged = true;
+    } else {
+      ++P->SoaFallbacks;
+    }
+  }
+
   gpusim::SimOptions CpuOpts = P->SimOpts;
   CpuOpts.NumCoresValue = Machine.Gpu.NumCores;
 
-  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
   Region.pin();
   gpusim::SimResult CpuR;
   std::thread CpuThread([&] {
     gpusim::Simulator Sim(Machine.Cpu, P->GpuBindings, Region.svmConst(),
                           CpuOpts);
-    CpuR = Sim.runRange(*GK, {BodyAddr}, uint64_t(Split),
+    CpuR = Sim.runRange(*RunK, {BodyAddr}, uint64_t(Split),
                         uint64_t(N - Split));
   });
   gpusim::Simulator GpuSim(Machine.Gpu, P->GpuBindings, Region.svmConst(),
                            P->SimOpts);
   gpusim::SimResult GpuR =
-      GpuSim.runRange(*GK, {BodyAddr}, 0, uint64_t(Split));
+      GpuSim.runRange(*RunK, {BodyAddr}, 0, uint64_t(Split));
   CpuThread.join();
   Region.unpin();
 
   Rep.HybridGpuSim = GpuR;
   Rep.HybridCpuSim = CpuR;
   Rep.Sim = mergeSimResults(GpuR, CpuR);
+  soaFinish(*P, Region, Soa, /*WriteBack=*/Rep.Sim.ok());
   Rep.Ok = Rep.Sim.ok();
   if (!Rep.Ok)
     Rep.Diagnostics += "\n" + Rep.Sim.TrapMessage;
@@ -639,14 +927,29 @@ LaunchReport Runtime::offloadPlaced(const KernelSpec &Spec, int64_t N,
   Rep.Diagnostics = GpuCP->Diagnostics;
   Rep.OptStats = GpuCP->Stats;
 
+  // CPU placement still runs the GPU program, so the SOA sibling (when
+  // staged) keeps the launch bit-identical with the GPU leg's layout.
+  const codegen::BKernel *RunK = GK;
+  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
+  SoaStage Soa;
+  if (GpuCP->HasSoa && support::env::soaTransformEnabled()) {
+    if (soaPrepare(*P, Region, GpuCP, BodyPtr, 0, N, Soa)) {
+      RunK = GpuCP->SoaProgram.findKernel(GpuCP->KernelName);
+      BodyAddr = reinterpret_cast<uint64_t>(Soa.BodyCopy);
+      Rep.SoaStaged = true;
+    } else {
+      ++P->SoaFallbacks;
+    }
+  }
+
   gpusim::SimOptions CpuOpts = P->SimOpts;
   CpuOpts.NumCoresValue = Machine.Gpu.NumCores;
   Region.pin();
   gpusim::Simulator Sim(Machine.Cpu, P->GpuBindings, Region.svmConst(),
                         CpuOpts);
-  uint64_t BodyAddr = reinterpret_cast<uint64_t>(BodyPtr);
-  Rep.Sim = Sim.runRange(*GK, {BodyAddr}, 0, uint64_t(N));
+  Rep.Sim = Sim.runRange(*RunK, {BodyAddr}, 0, uint64_t(N));
   Region.unpin();
+  soaFinish(*P, Region, Soa, /*WriteBack=*/Rep.Sim.ok());
   Rep.Ok = Rep.Sim.ok();
   if (!Rep.Ok)
     Rep.Diagnostics += "\n" + Rep.Sim.TrapMessage;
@@ -733,6 +1036,14 @@ RefinementStats Runtime::refinementStats() const {
   S.FetchedBytes = P->FetchedBytes.load();
   S.AffinityHits = P->AffinityHits.load();
   S.FootprintSplits = P->FootprintSplits.load();
+  S.UniformAccesses = P->UniformAccesses.load();
+  S.CoalescedAccesses = P->CoalescedAccesses.load();
+  S.StridedAccesses = P->StridedAccesses.load();
+  S.ScatteredAccesses = P->ScatteredAccesses.load();
+  S.SoaRewrites = P->SoaRewrites.load();
+  S.SoaLaunches = P->SoaLaunches.load();
+  S.SoaFallbacks = P->SoaFallbacks.load();
+  S.SoaStagedBytes = P->SoaStagedBytes.load();
   return S;
 }
 

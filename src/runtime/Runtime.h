@@ -96,6 +96,10 @@ struct LaunchReport {
   double CompileSeconds = 0; ///< Nonzero only on the JIT-compiling launch.
   bool JitCached = false;
   transforms::PipelineStats OptStats;
+  /// The launch ran the SOA-transformed program against a staged AoSoA
+  /// slab (see transforms/SoaLayout.h); results are bit-identical to the
+  /// untransformed program, with fewer modelled L3 transactions.
+  bool SoaStaged = false;
 
   /// Hybrid partitioning detail. When Hybrid is set, Sim holds the merged
   /// view (Seconds/Cycles = slower partition, energy and counters summed)
@@ -139,6 +143,20 @@ struct RefinementStats {
                                ///< device already holding footprint bytes.
   uint64_t FootprintSplits = 0; ///< Hybrid boundaries moved off the EWMA
                                 ///< ratio by the footprint-guided split.
+  /// Warp-level coalescing classification of every compiled GPU
+  /// parallel-for kernel (analysis/Coalescing; one count per static
+  /// access, each cache entry counted once).
+  uint64_t UniformAccesses = 0;   ///< Warp-invariant addresses.
+  uint64_t CoalescedAccesses = 0; ///< Lanes touch adjacent bytes.
+  uint64_t StridedAccesses = 0;   ///< AoS field walks (lint candidates).
+  uint64_t ScatteredAccesses = 0; ///< Non-affine (pointer chases).
+  /// SOA layout transform (transforms/SoaLayout + the staging protocol).
+  uint64_t SoaRewrites = 0;    ///< Accesses rewritten to AoSoA columns.
+  uint64_t SoaLaunches = 0;    ///< Launches run against a staged slab.
+  uint64_t SoaFallbacks = 0;   ///< Launches where the runtime safety
+                               ///< checks rejected staging (base program
+                               ///< ran instead; still bit-identical).
+  uint64_t SoaStagedBytes = 0; ///< Column bytes gathered + scattered.
 };
 
 class Runtime {

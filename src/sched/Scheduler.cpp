@@ -4,6 +4,7 @@
 
 #include "analysis/Commutativity.h"
 #include "analysis/Footprint.h"
+#include "support/Env.h"
 #include "support/StringUtils.h"
 #include "svm/ObjectStore.h"
 
@@ -172,10 +173,8 @@ Scheduler::Scheduler(runtime::Runtime &RT, SchedulerOptions Opts)
     RT.setHybridOptions(Options.Hybrid);
     RT.setExecMode(runtime::ExecMode::Hybrid);
   }
-  PlacementOn = Options.DataAwarePlacement;
-  if (const char *Env = std::getenv("CONCORD_SCHED_AFFINITY"))
-    if (Env[0] == '0' && Env[1] == '\0')
-      PlacementOn = false;
+  PlacementOn =
+      Options.DataAwarePlacement && support::env::schedAffinityEnabled();
   ShadowPools.resize(Options.NumWorkers);
   Workers.reserve(Options.NumWorkers);
   for (unsigned I = 0; I < Options.NumWorkers; ++I)

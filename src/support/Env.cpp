@@ -1,0 +1,30 @@
+#include "support/Env.h"
+
+#include <cstdlib>
+
+namespace concord::support::env {
+
+bool flag(const char *Name, bool Default) {
+  const char *V = std::getenv(Name);
+  if (!V)
+    return Default;
+  return !(V[0] == '0' && V[1] == '\0');
+}
+
+bool svmLegacyArena() { return flag("CONCORD_SVM_LEGACY", false); }
+
+bool schedAffinityEnabled() { return flag("CONCORD_SCHED_AFFINITY", true); }
+
+bool pointsToEnabled() {
+  static const bool V = flag("CONCORD_ANALYSIS_PTS", true);
+  return V;
+}
+
+bool schedInferMode() {
+  static const bool V = flag("CONCORD_SCHED_INFER", false);
+  return V;
+}
+
+bool soaTransformEnabled() { return flag("CONCORD_TRANSFORM_SOA", true); }
+
+} // namespace concord::support::env

@@ -1,0 +1,60 @@
+// Central registry for the CONCORD_* environment-variable escape hatches.
+//
+// Every runtime knob the project exposes goes through this header so the
+// full set is discoverable in one place (see the table in README.md).
+// The value grammar is uniform across all flags:
+//
+//   unset        -> the flag's documented default
+//   "0"          -> disabled
+//   anything else-> enabled
+//
+// Two read disciplines exist, chosen per flag to match how the consumer
+// uses it:
+//
+//  * fresh   — re-read from the environment on every call. Used where the
+//              consumer samples the flag at object construction time and
+//              tests legitimately toggle it mid-process (scheduler
+//              affinity, legacy SVM arena).
+//  * latched — read once on first use and cached for the process
+//              lifetime. Used where mid-run flips would desynchronise
+//              cached state (the points-to analysis feeding memoised
+//              footprints, the sched-test inference mode).
+#ifndef CONCORD_SUPPORT_ENV_H
+#define CONCORD_SUPPORT_ENV_H
+
+namespace concord::support::env {
+
+/// Uniform fresh read of one CONCORD_* flag: unset -> Default, "0" ->
+/// false, any other value -> true.
+bool flag(const char *Name, bool Default);
+
+/// CONCORD_SVM_LEGACY (fresh, default off): force the legacy single
+/// first-fit arena instead of the multi-region object store. Sampled at
+/// SharedRegion construction.
+bool svmLegacyArena();
+
+/// CONCORD_SCHED_AFFINITY (fresh, default on): data-aware task placement
+/// and the footprint-guided hybrid split. "0" restores the legacy
+/// split-everything policy. Sampled at Scheduler construction.
+bool schedAffinityEnabled();
+
+/// CONCORD_ANALYSIS_PTS (latched, default on): the allocation-site
+/// points-to analysis behind footprint demotion, the alias lint, and
+/// devirt narrowing. Latched because footprints are memoised in the
+/// program cache.
+bool pointsToEnabled();
+
+/// CONCORD_SCHED_INFER (latched, default off): rerun the scheduler test
+/// suite with every declared access set replaced by footprint inference.
+bool schedInferMode();
+
+/// CONCORD_TRANSFORM_SOA (fresh, default on): the analysis-driven
+/// structure-of-arrays layout transform. Checked both when the JIT
+/// compiles the SOA sibling program and again at every launch before
+/// slab staging, so a mid-process "0" cleanly reverts to the base
+/// program even when a cached SOA variant exists.
+bool soaTransformEnabled();
+
+} // namespace concord::support::env
+
+#endif // CONCORD_SUPPORT_ENV_H

@@ -1,6 +1,7 @@
 //===- SharedRegion.cpp ---------------------------------------------------===//
 
 #include "svm/SharedRegion.h"
+#include "support/Env.h"
 #include "svm/ObjectStore.h"
 
 #include <algorithm>
@@ -18,10 +19,8 @@ static uint64_t alignUp(uint64_t Value, uint64_t Align) {
 static ArenaMode resolveMode(ArenaMode Mode) {
   if (Mode != ArenaMode::Auto)
     return Mode;
-  const char *Env = std::getenv("CONCORD_SVM_LEGACY");
-  if (Env && Env[0] == '1' && Env[1] == '\0')
-    return ArenaMode::Legacy;
-  return ArenaMode::Store;
+  return support::env::svmLegacyArena() ? ArenaMode::Legacy
+                                        : ArenaMode::Store;
 }
 
 SharedRegion::SharedRegion(size_t CapacityBytes, uint64_t GpuBase,

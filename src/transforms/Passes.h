@@ -22,6 +22,7 @@
 #include "analysis/Footprint.h"
 #include "cir/Module.h"
 #include "support/Diagnostics.h"
+#include "transforms/SoaLayout.h"
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -50,6 +51,12 @@ struct PipelineOptions {
   /// Run cleanup (CSE/DCE/LICM) after SVM lowering; off reproduces the
   /// naive "GPU" baseline configuration.
   bool CleanupAfterSvm = true;
+  /// Run the coalescing-driven AoSoA structure-of-arrays rewrite
+  /// (transforms/SoaLayout). Off by default everywhere: the rewritten
+  /// program is only correct against the staging protocol described in
+  /// SoaLayout.h, so only callers that honor the returned SoaModulePlans
+  /// (the runtime's dedicated SOA compile) may enable it.
+  bool EnableSoaLayout = false;
 
   /// Run the (dominance-strengthened) verifier after every pass and stop
   /// at the first pass that breaks the IR, naming it in the error. Slower;
@@ -138,6 +145,7 @@ struct PipelineStats {
   unsigned AllocasPromoted = 0;
   unsigned TailCallsEliminated = 0;
   unsigned InstructionsRemoved = 0;
+  unsigned SoaRewrites = 0;
 };
 
 //===--- Individual passes (exposed for unit testing) --------------------===//
@@ -207,9 +215,12 @@ cir::Function *createReduceKernel(cir::Module &M,
 /// findings are reported through \p Diags (as unsupported-feature and
 /// warning diagnostics respectively) and do not fail the pipeline: the
 /// runtime reacts to the former by falling back to native CPU execution.
+/// \p SoaPlans, when non-null and EnableSoaLayout is set, receives the
+/// staging plan of every kernel the SOA rewrite transformed.
 bool runPipeline(cir::Module &M, const PipelineOptions &Opts,
                  PipelineStats &Stats, std::string *VerifyError = nullptr,
-                 DiagnosticEngine *Diags = nullptr);
+                 DiagnosticEngine *Diags = nullptr,
+                 SoaModulePlans *SoaPlans = nullptr);
 
 } // namespace transforms
 } // namespace concord

@@ -1,6 +1,7 @@
 //===- Pipeline.cpp - The Concord GPU compilation pipeline ----------------===//
 
 #include "analysis/AddressSpace.h"
+#include "analysis/Coalescing.h"
 #include "analysis/Commutativity.h"
 #include "analysis/Footprint.h"
 #include "analysis/KernelChecks.h"
@@ -91,6 +92,15 @@ void runStaticChecks(Module &M, const PipelineOptions &Opts,
            analysis::lintPointerAliases(*F))
         Diags->warning(A.StoreLoc, "@" + F->name() + ": " + A.Message);
 
+    // Uncoalesced-access lint: body-rooted strided AoS field walks whose
+    // modelled warp transaction touches a multiple of the packed-ideal
+    // cache lines. Warnings — the SOA layout transform (or a manual
+    // layout change) is the fix, and the kernel still runs correctly.
+    if (Diags)
+      for (const analysis::CoalescingFinding &C :
+           analysis::lintUncoalesced(*F))
+        Diags->warning(C.Loc, "@" + F->name() + ": " + C.Message);
+
     // Reduction lint: read-modify-write sequences that look like a
     // reduction but combine with a non-associative operator will never
     // qualify for the concurrent-accumulate protocol — usually a bug in
@@ -139,7 +149,8 @@ std::string joinErrors(const std::vector<std::string> &Errors) {
 bool concord::transforms::runPipeline(Module &M, const PipelineOptions &Opts,
                                       PipelineStats &Stats,
                                       std::string *VerifyError,
-                                      DiagnosticEngine *Diags) {
+                                      DiagnosticEngine *Diags,
+                                      SoaModulePlans *SoaPlans) {
   std::vector<std::string> Errors;
   auto Fail = [&]() {
     if (VerifyError)
@@ -191,6 +202,19 @@ bool concord::transforms::runPipeline(Module &M, const PipelineOptions &Opts,
         OnKernel("dce", dce);
     if (!Ok)
       return Fail();
+
+    // The AoSoA rewrite sees the scalar-optimized, pre-lowering address
+    // chains; its staging plan goes back to the caller (the runtime owes
+    // the slab protocol described in SoaLayout.h for any active plan).
+    if (Opts.EnableSoaLayout) {
+      if (!R.run("soaLayout", [&] {
+            SoaKernelPlan P;
+            soaLayout(*F, Stats, P);
+            if (P.active() && SoaPlans)
+              (*SoaPlans)[F->name()] = std::move(P);
+          }))
+        return Fail();
+    }
 
     if (Opts.EnableL3Opt && !OnKernel("l3ContentionOpt", l3ContentionOpt))
       return Fail();

@@ -1,0 +1,289 @@
+//===- SoaLayout.cpp ------------------------------------------------------===//
+
+#include "transforms/SoaLayout.h"
+
+#include "analysis/Coalescing.h"
+#include "cir/BasicBlock.h"
+#include "cir/IRBuilder.h"
+#include "cir/Instruction.h"
+#include "cir/Module.h"
+#include "transforms/Passes.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace concord;
+using namespace concord::cir;
+using namespace concord::analysis;
+using namespace concord::transforms;
+
+namespace {
+
+/// The Load instruction producing the array base pointer of an address
+/// chain — the first pointer load on the base walk. With a single-hop
+/// root path this is exactly the body-slot load.
+Instruction *findRootLoad(Value *V, unsigned Depth = 0) {
+  auto *I = dyn_cast<Instruction>(V);
+  if (!I || Depth > 128)
+    return nullptr;
+  switch (I->opcode()) {
+  case Opcode::Load:
+    return I;
+  case Opcode::Cast:
+  case Opcode::CpuToGpu:
+  case Opcode::GpuToCpu:
+  case Opcode::FieldAddr:
+  case Opcode::IndexAddr:
+    return findRootLoad(I->operand(0), Depth + 1);
+  default:
+    return nullptr;
+  }
+}
+
+constexpr unsigned log2u(unsigned V) {
+  unsigned L = 0;
+  while ((1u << L) < V)
+    ++L;
+  return L;
+}
+
+/// Matches an address that is a constant byte offset from the body object
+/// (the kernel's first argument); \p Off receives the offset.
+bool bodyConstOffset(const Value *V, int64_t &Off, unsigned Depth = 0) {
+  if (Depth > 128)
+    return false;
+  if (const auto *A = dyn_cast<Argument>(V)) {
+    if (A->index() != 0)
+      return false;
+    Off = 0;
+    return true;
+  }
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return false;
+  switch (I->opcode()) {
+  case Opcode::Cast:
+  case Opcode::CpuToGpu:
+  case Opcode::GpuToCpu:
+    return bodyConstOffset(I->operand(0), Off, Depth + 1);
+  case Opcode::FieldAddr:
+    if (!bodyConstOffset(I->operand(0), Off, Depth + 1))
+      return false;
+    Off += int64_t(I->attr());
+    return true;
+  case Opcode::IndexAddr: {
+    if (!bodyConstOffset(I->operand(0), Off, Depth + 1))
+      return false;
+    const auto *PT = dyn_cast<PointerType>(I->type());
+    const auto *Ix = dyn_cast<ConstantInt>(I->operand(1));
+    if (!PT || !Ix)
+      return false;
+    Off += Ix->sext() * int64_t(PT->pointee()->sizeInBytes());
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+/// True when some address derived from the array pointer at body slot
+/// \p Slot escapes as a *value*: stored to memory, compared, fed to a phi
+/// or anything else that is not an address computation or the pointer
+/// operand of a direct load/store. The rewrite redirects the slot to the
+/// column slab, so an escaped derived address would leak a slab-relative
+/// pointer into data the host (or a later launch) reads — e.g. a kernel
+/// building `nodes[i].next = &nodes[i+1]`. Such roots are ineligible.
+bool slotAddressEscapes(Function &F, int64_t Slot) {
+  std::vector<const Value *> DerivedVec;
+  std::set<const Value *> Derived;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB) {
+      int64_t Off = 0;
+      if (I->opcode() == Opcode::Load &&
+          bodyConstOffset(I->pointerOperand(), Off) && Off == Slot)
+        Derived.insert(I);
+    }
+  bool Changed = !Derived.empty();
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB) {
+        if (Derived.count(I))
+          continue;
+        switch (I->opcode()) {
+        case Opcode::Cast:
+        case Opcode::CpuToGpu:
+        case Opcode::GpuToCpu:
+        case Opcode::FieldAddr:
+        case Opcode::IndexAddr:
+          if (Derived.count(I->operand(0))) {
+            Derived.insert(I);
+            Changed = true;
+          }
+          break;
+        default:
+          break;
+        }
+      }
+  }
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      for (unsigned K = 0; K < I->numOperands(); ++K) {
+        if (!Derived.count(I->operand(K)))
+          continue;
+        switch (I->opcode()) {
+        case Opcode::Load:
+          break; // The address operand of the access itself.
+        case Opcode::Store:
+          if (K == 1)
+            break;    // Address position.
+          return true; // The derived address is the stored value.
+        case Opcode::Cast:
+        case Opcode::CpuToGpu:
+        case Opcode::GpuToCpu:
+        case Opcode::FieldAddr:
+          break; // Further address computation (tracked above).
+        case Opcode::IndexAddr:
+          if (K == 0)
+            break;    // Base position.
+          return true; // A pointer used as an index.
+        default:
+          return true; // Compare, phi, select, call, return, memcpy, ...
+        }
+      }
+  return false;
+}
+
+} // namespace
+
+unsigned concord::transforms::soaLayout(Function &F, PipelineStats &Stats,
+                                        SoaKernelPlan &Plan) {
+  Plan.Roots.clear();
+  const unsigned W = Plan.SimdWidth ? Plan.SimdWidth : 16;
+  if ((W & (W - 1)) != 0)
+    return 0;
+  KernelCoalescing KC = computeCoalescing(F, W);
+
+  // A kernel that writes the body object directly could clobber a root
+  // pointer slot mid-launch; the staged copy would diverge. Bail.
+  for (const CoalescingAccess &A : KC.Accesses)
+    if (A.Write && A.RootKnown && A.RootPath.empty())
+      return 0;
+
+  // Candidate roots: single-hop body slots with at least one strided
+  // access. Eligibility then requires *every* access through the slot to
+  // be an affine per-item element access of one common stride.
+  std::vector<int64_t> Slots;
+  for (const CoalescingAccess &A : KC.Accesses)
+    if (A.Pattern == AccessPattern::Strided && A.RootKnown &&
+        A.RootPath.size() == 1 &&
+        std::find(Slots.begin(), Slots.end(), A.RootPath[0]) == Slots.end())
+      Slots.push_back(A.RootPath[0]);
+  std::sort(Slots.begin(), Slots.end());
+
+  unsigned Total = 0;
+  for (int64_t Slot : Slots) {
+    std::vector<const CoalescingAccess *> On;
+    for (const CoalescingAccess &A : KC.Accesses)
+      if (A.RootKnown && A.RootPath.size() == 1 && A.RootPath[0] == Slot)
+        On.push_back(&A);
+
+    int64_t S = 0;
+    bool Eligible = true, AnyStrided = false;
+    for (const CoalescingAccess *A : On) {
+      if (!A->Affine || A->TileBytes != 0 || A->LaneBytes != 0 ||
+          A->GidBytes <= 0 || A->At->opcode() == Opcode::Memcpy) {
+        Eligible = false;
+        break;
+      }
+      if (S == 0)
+        S = A->GidBytes;
+      if (A->GidBytes != S || A->ConstOff < 0 ||
+          A->ConstOff + int64_t(A->AccessBytes) > S) {
+        Eligible = false;
+        break;
+      }
+      AnyStrided |= A->Pattern == AccessPattern::Strided;
+    }
+    if (!Eligible || !AnyStrided || S <= 0)
+      continue;
+    if (slotAddressEscapes(F, Slot))
+      continue;
+
+    // Field segments must be identical or disjoint: the column mapping
+    // is per segment, so a partial overlap would alias two columns.
+    SoaRootPlan RP;
+    RP.BodySlotOff = Slot;
+    RP.Stride = S;
+    for (const CoalescingAccess *A : On) {
+      bool Merged = false, Bad = false;
+      for (SoaFieldSeg &Seg : RP.Segs) {
+        if (Seg.Off == A->ConstOff && Seg.Bytes == A->AccessBytes) {
+          Seg.Written |= A->Write;
+          Merged = true;
+          break;
+        }
+        if (A->ConstOff < Seg.Off + int64_t(Seg.Bytes) &&
+            Seg.Off < A->ConstOff + int64_t(A->AccessBytes)) {
+          Bad = true;
+          break;
+        }
+      }
+      if (Bad) {
+        RP.Segs.clear();
+        break;
+      }
+      if (!Merged)
+        RP.Segs.push_back({A->ConstOff, A->AccessBytes, A->Write});
+    }
+    if (RP.Segs.empty())
+      continue;
+    std::sort(RP.Segs.begin(), RP.Segs.end(),
+              [](const SoaFieldSeg &A, const SoaFieldSeg &B) {
+                return A.Off < B.Off;
+              });
+
+    // Rewrite every access through this slot to the AoSoA address
+    //   base + (gid >> log2 W)*(S*W) + B*W + (gid & (W-1))*bytes.
+    Module &M = *F.parent();
+    IRBuilder Bld(M);
+    Type *I64 = M.types().int64Ty();
+    Type *I8Ptr = M.types().pointerTo(M.types().int8Ty());
+    for (const CoalescingAccess *A : On) {
+      auto *At = const_cast<Instruction *>(A->At);
+      Value *PtrOp = At->opcode() == Opcode::Memcpy ? At->operand(0)
+                                                    : At->pointerOperand();
+      Instruction *Root = findRootLoad(PtrOp);
+      if (!Root)
+        continue; // Unreachable given resolution above; stay safe.
+      BasicBlock *BB = At->parent();
+      Bld.setInsertAt(BB, BB->indexOf(At));
+      Bld.setLoc(At->loc());
+      Value *Gid = Bld.createDeviceQuery(Opcode::GlobalId);
+      Value *G64 = Bld.createCast(CastKind::SExt, Gid, I64);
+      Value *Tile = Bld.createBinOp(
+          Opcode::LShr, G64, M.constInt(I64, log2u(W)), "soa.tile");
+      Value *Lane = Bld.createBinOp(Opcode::And, G64,
+                                    M.constInt(I64, W - 1), "soa.lane");
+      Value *TileOff = Bld.createBinOp(
+          Opcode::Mul, Tile, M.constInt(I64, uint64_t(S) * W));
+      Value *LaneOff = Bld.createBinOp(
+          Opcode::Mul, Lane, M.constInt(I64, A->AccessBytes));
+      Value *Sum = Bld.createBinOp(
+          Opcode::Add, TileOff,
+          M.constInt(I64, uint64_t(A->ConstOff) * W));
+      Sum = Bld.createBinOp(Opcode::Add, Sum, LaneOff, "soa.off");
+      Value *Base8 = Bld.createCast(CastKind::BitCast, Root, I8Ptr);
+      Value *Addr8 = Bld.createIndexAddr(Base8, Sum);
+      Value *Addr =
+          Bld.createCast(CastKind::BitCast, Addr8, PtrOp->type(), "soa.addr");
+      At->replaceUsesOfWith(PtrOp, Addr);
+      ++RP.Rewrites;
+    }
+    Total += RP.Rewrites;
+    Stats.SoaRewrites += RP.Rewrites;
+    Plan.SimdWidth = W;
+    Plan.Roots.push_back(std::move(RP));
+  }
+  return Total;
+}

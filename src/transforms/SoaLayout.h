@@ -1,0 +1,90 @@
+//===- SoaLayout.h - AoSoA structure-of-arrays layout plan ------*- C++ -*-===//
+///
+/// \file
+/// The coalescing-analysis-driven layout transform and the plan it records
+/// for the runtime.
+///
+/// For a kernel whose accesses to one body-rooted array are all affine
+/// per-item element accesses (`base + S*gid + B`, field segment
+/// [B, B+bytes) inside an element of stride S) and at least one of them is
+/// warp-strided, the pass rewrites those accesses to an AoSoA
+/// ("array-of-structures-of-arrays") layout tiled by the SIMD width W:
+///
+///     soa(gid, seg B) = base + (gid / W)*(S*W) + B*W + (gid % W)*bytes
+///
+/// One tile packs each field segment of W consecutive items contiguously,
+/// so a warp (W consecutive ids) reads a field as one dense line-aligned
+/// run — Coalesced on the analysis lattice — while the tile size (S*W
+/// bytes) keeps the total slab exactly as large as the AoS original.
+///
+/// The rewritten program is only correct against a staged slab: the
+/// runtime must allocate `tiles * S * W` bytes, copy each planned segment
+/// column in (gather from AoS), patch the root pointer slot in the body
+/// *copy* to `slab - firstTile*S*W`, and scatter written segments back
+/// after the launch. SoaRootPlan records everything that protocol needs.
+/// All other analyses (footprint, commutativity, OOB lint, scheduling)
+/// keep running on the untransformed program, so hazard edges and
+/// summaries are layout-independent; the plan's segments are covered by
+/// the base footprint's hulls by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONCORD_TRANSFORMS_SOALAYOUT_H
+#define CONCORD_TRANSFORMS_SOALAYOUT_H
+
+#include "cir/Function.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace concord {
+namespace transforms {
+
+struct PipelineStats;
+
+/// One field segment [Off, Off+Bytes) of an AoS element, packed as its
+/// own column per tile.
+struct SoaFieldSeg {
+  int64_t Off = 0;
+  uint64_t Bytes = 0;
+  bool Written = false;
+};
+
+/// One rewritten array: reached by loading the pointer at byte offset
+/// BodySlotOff of the body object, elements of Stride bytes.
+struct SoaRootPlan {
+  int64_t BodySlotOff = 0;
+  int64_t Stride = 0;
+  std::vector<SoaFieldSeg> Segs;
+  unsigned Rewrites = 0;
+
+  /// Slab bytes one W-item tile occupies (equals the AoS bytes of W
+  /// elements).
+  uint64_t tileBytes(unsigned SimdWidth) const {
+    return uint64_t(Stride) * SimdWidth;
+  }
+};
+
+/// Everything the runtime must stage for one transformed kernel.
+struct SoaKernelPlan {
+  unsigned SimdWidth = 16;
+  std::vector<SoaRootPlan> Roots;
+  bool active() const { return !Roots.empty(); }
+};
+
+/// Plans per kernel name, filled by runPipeline when EnableSoaLayout is
+/// set. A kernel with no (or no eligible) strided root has no entry.
+using SoaModulePlans = std::map<std::string, SoaKernelPlan>;
+
+/// Runs the SOA rewrite on one kernel. Returns the number of accesses
+/// rewritten (0 when nothing was eligible); \p Plan describes the staging
+/// the caller now owes. Must run before SVM lowering.
+unsigned soaLayout(cir::Function &F, PipelineStats &Stats,
+                   SoaKernelPlan &Plan);
+
+} // namespace transforms
+} // namespace concord
+
+#endif // CONCORD_TRANSFORMS_SOALAYOUT_H

@@ -1,6 +1,7 @@
 //===- SchedTests.cpp - Async scheduler + hybrid partitioning tests -------===//
 
 #include "sched/Scheduler.h"
+#include "support/Env.h"
 #include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
@@ -22,10 +23,7 @@ namespace {
 /// derived from the static footprint analysis instead of the declarations
 /// (the thread-sanitizer CI job does this): the hazard edges, ordering,
 /// and memory outcomes must be the same either way.
-bool inferMode() {
-  static const bool V = std::getenv("CONCORD_SCHED_INFER") != nullptr;
-  return V;
-}
+bool inferMode() { return support::env::schedInferMode(); }
 
 void applyFootprintPolicy(Runtime &RT) {
   if (inferMode())
